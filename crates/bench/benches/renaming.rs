@@ -1,0 +1,41 @@
+//! Criterion micro-benchmark: overhead of the queue-renaming layer
+//! (allocation, per-block bookkeeping, release) under a hot-queue pattern.
+
+use cfds::RenamingTable;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dram_sim::GroupId;
+use pktbuf_model::LogicalQueueId;
+
+fn bench_renaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("renaming");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for blocks in [1_000usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("hot_queue_write_read", blocks),
+            &blocks,
+            |b, &n| {
+                b.iter(|| {
+                    let mut table = RenamingTable::new(512, 1024, 32);
+                    let preferred: Vec<GroupId> = (0..32).map(GroupId::new).collect();
+                    let q = LogicalQueueId::new(7);
+                    for _ in 0..n {
+                        let _ = table
+                            .physical_for_write(q, |_| true, &preferred)
+                            .unwrap();
+                        table.note_block_written(q);
+                    }
+                    for _ in 0..n {
+                        table.physical_for_read(q).unwrap();
+                        table.note_block_read(q);
+                    }
+                    table.allocations()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_renaming);
+criterion_main!(benches);

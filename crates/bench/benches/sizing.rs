@@ -1,0 +1,35 @@
+//! Criterion micro-benchmark: cost of the analytical sizing and technology
+//! evaluation routines (they are called thousands of times by the figure
+//! sweeps and the Figure 11 binary search).
+
+use cacti_lite::ProcessNode;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pktbuf_model::{CfdsConfig, LineRate};
+use sim::techeval::{cfds_point, max_queues_meeting_target, rads_point};
+
+fn bench_sizing(c: &mut Criterion) {
+    let node = ProcessNode::node_130nm();
+    let mut c = c.benchmark_group("sizing");
+    c.sample_size(10);
+    c.measurement_time(std::time::Duration::from_secs(3));
+    c.bench_function("rads_point_oc3072", |b| {
+        b.iter(|| rads_point(LineRate::Oc3072, 512, 32, 15_873, &node))
+    });
+    let cfg = CfdsConfig::builder()
+        .num_queues(512)
+        .granularity(4)
+        .rads_granularity(32)
+        .num_banks(256)
+        .build()
+        .unwrap();
+    c.bench_function("cfds_point_oc3072_b4", |b| {
+        b.iter(|| cfds_point(&cfg, cfg.min_lookahead(), &node))
+    });
+    c.bench_function("fig11_max_queues_cfds_b4", |b| {
+        b.iter(|| max_queues_meeting_target(LineRate::Oc3072, 4, 32, 256, &node))
+    });
+    c.finish();
+}
+
+criterion_group!(benches, bench_sizing);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmark: per-slot simulation cost of the three designs
+//! (E10). Useful to keep the simulator fast enough for the long validation
+//! runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pktbuf::{CfdsBuffer, DramOnlyBuffer, PacketBuffer, RadsBuffer};
+use pktbuf_model::{CfdsConfig, LineRate, LogicalQueueId, RadsConfig};
+use traffic::{preload_cells, AdversarialRoundRobin, RequestGenerator};
+
+fn rads_cfg(q: usize) -> RadsConfig {
+    RadsConfig {
+        line_rate: LineRate::Oc3072,
+        num_queues: q,
+        granularity: 16,
+        lookahead: None,
+        dram: Default::default(),
+    }
+}
+
+fn cfds_cfg(q: usize) -> CfdsConfig {
+    CfdsConfig::builder()
+        .line_rate(LineRate::Oc3072)
+        .num_queues(q)
+        .granularity(4)
+        .rads_granularity(16)
+        .num_banks(64)
+        .build()
+        .unwrap()
+}
+
+fn drive(buf: &mut dyn PacketBuffer, requests: &mut AdversarialRoundRobin, slots: u64) {
+    for t in 0..slots {
+        let request = requests.next(t, &|q: LogicalQueueId| buf.requestable_cells(q));
+        buf.step(None, request);
+    }
+}
+
+fn bench_slot_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slot_cost");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for q in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("dram_only", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut buf = DramOnlyBuffer::new(rads_cfg(q));
+                for (queue, cells) in preload_cells(q, 64) {
+                    buf.preload(queue, cells);
+                }
+                drive(&mut buf, &mut AdversarialRoundRobin::new(q), 4_096);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rads", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut buf = RadsBuffer::new(rads_cfg(q));
+                for (queue, cells) in preload_cells(q, 64) {
+                    buf.preload_dram(queue, cells);
+                }
+                drive(&mut buf, &mut AdversarialRoundRobin::new(q), 4_096);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cfds", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut buf = CfdsBuffer::new(cfds_cfg(q));
+                for (queue, cells) in preload_cells(q, 64) {
+                    buf.preload_dram(queue, cells);
+                }
+                drive(&mut buf, &mut AdversarialRoundRobin::new(q), 4_096);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slot_cost);
+criterion_main!(benches);

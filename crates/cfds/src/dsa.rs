@@ -1,0 +1,201 @@
+//! DRAM Scheduler Algorithms (the selection policy of the DSS).
+
+use crate::orr::OngoingRequestsRegister;
+use crate::rr::RequestsRegister;
+use serde::{Deserialize, Serialize};
+
+/// A DRAM Scheduler Algorithm selects which pending request of the Requests
+/// Register to issue next, subject to the locked banks in the Ongoing
+/// Requests Register.
+pub trait DramSchedulerAlgorithm {
+    /// Returns the position (0 = oldest) of the entry to issue, or `None` when
+    /// no pending request targets an unlocked bank (or the RR is empty).
+    fn choose(&mut self, rr: &RequestsRegister, orr: &OngoingRequestsRegister) -> Option<usize>;
+
+    /// Policy name for reports and ablations.
+    fn name(&self) -> &'static str;
+}
+
+/// Enumerates the available DSA policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DsaPolicy {
+    /// The paper's policy: the *oldest* request addressed to an unlocked bank
+    /// (wake-up/select, like a superscalar issue queue).
+    OldestFirst,
+    /// Strict FIFO: only the oldest request may issue; if its bank is locked
+    /// the opportunity is wasted. This is the no-reordering ablation baseline.
+    FifoOnly,
+    /// Any eligible request, chosen pseudo-randomly (ablation: shows that age
+    /// ordering, not just eligibility, is what bounds the delay).
+    RandomEligible {
+        /// Seed of the small xorshift generator used for the choice.
+        seed: u64,
+    },
+}
+
+impl DsaPolicy {
+    /// Instantiates the policy.
+    pub fn instantiate(self) -> Box<dyn DramSchedulerAlgorithm + Send> {
+        match self {
+            DsaPolicy::OldestFirst => Box::new(OldestFirstDsa),
+            DsaPolicy::FifoOnly => Box::new(FifoOnlyDsa),
+            DsaPolicy::RandomEligible { seed } => Box::new(RandomEligibleDsa::new(seed)),
+        }
+    }
+}
+
+/// Oldest-ready-first selection (the paper's DSA).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OldestFirstDsa;
+
+impl DramSchedulerAlgorithm for OldestFirstDsa {
+    fn choose(&mut self, rr: &RequestsRegister, orr: &OngoingRequestsRegister) -> Option<usize> {
+        rr.iter().position(|e| !orr.is_locked(e.bank))
+    }
+
+    fn name(&self) -> &'static str {
+        "oldest-first"
+    }
+}
+
+/// Strict-FIFO selection (no reordering).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoOnlyDsa;
+
+impl DramSchedulerAlgorithm for FifoOnlyDsa {
+    fn choose(&mut self, rr: &RequestsRegister, orr: &OngoingRequestsRegister) -> Option<usize> {
+        let oldest = rr.iter().next()?;
+        if orr.is_locked(oldest.bank) {
+            None
+        } else {
+            Some(0)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo-only"
+    }
+}
+
+/// Uniform choice among eligible requests.
+#[derive(Debug, Clone)]
+pub struct RandomEligibleDsa {
+    state: u64,
+}
+
+impl RandomEligibleDsa {
+    /// Creates the policy with a non-zero seed.
+    pub fn new(seed: u64) -> Self {
+        RandomEligibleDsa {
+            state: seed.max(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*: cheap, deterministic, no external dependency.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+impl DramSchedulerAlgorithm for RandomEligibleDsa {
+    fn choose(&mut self, rr: &RequestsRegister, orr: &OngoingRequestsRegister) -> Option<usize> {
+        let eligible: Vec<usize> = rr
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !orr.is_locked(e.bank))
+            .map(|(i, _)| i)
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let pick = (self.next_u64() % eligible.len() as u64) as usize;
+        Some(eligible[pick])
+    }
+
+    fn name(&self) -> &'static str {
+        "random-eligible"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{BankId, DramRequest};
+    use pktbuf_model::PhysicalQueueId;
+
+    fn rr_with(banks: &[u32]) -> RequestsRegister {
+        let mut rr = RequestsRegister::new();
+        for (i, b) in banks.iter().enumerate() {
+            rr.push(
+                DramRequest::read(PhysicalQueueId::new(i as u32), 0, 0),
+                BankId::new(*b),
+                i as u64,
+            );
+        }
+        rr
+    }
+
+    #[test]
+    fn oldest_first_skips_locked_banks() {
+        let rr = rr_with(&[3, 5, 7]);
+        let mut orr = OngoingRequestsRegister::new(2);
+        orr.record_issue(BankId::new(3));
+        let mut dsa = OldestFirstDsa;
+        assert_eq!(dsa.choose(&rr, &orr), Some(1));
+        orr.record_issue(BankId::new(5));
+        assert_eq!(dsa.choose(&rr, &orr), Some(2));
+        assert_eq!(dsa.name(), "oldest-first");
+    }
+
+    #[test]
+    fn oldest_first_returns_none_when_all_locked() {
+        let rr = rr_with(&[1, 1]);
+        let mut orr = OngoingRequestsRegister::new(1);
+        orr.record_issue(BankId::new(1));
+        let mut dsa = OldestFirstDsa;
+        assert_eq!(dsa.choose(&rr, &orr), None);
+        assert_eq!(dsa.choose(&RequestsRegister::new(), &orr), None);
+    }
+
+    #[test]
+    fn fifo_only_wastes_opportunity_on_conflict() {
+        let rr = rr_with(&[4, 9]);
+        let mut orr = OngoingRequestsRegister::new(1);
+        orr.record_issue(BankId::new(4));
+        let mut dsa = FifoOnlyDsa;
+        // Bank 9 is free, but FIFO refuses to reorder.
+        assert_eq!(dsa.choose(&rr, &orr), None);
+        let empty_orr = OngoingRequestsRegister::new(1);
+        assert_eq!(dsa.choose(&rr, &empty_orr), Some(0));
+        assert_eq!(dsa.name(), "fifo-only");
+    }
+
+    #[test]
+    fn random_eligible_only_picks_unlocked() {
+        let rr = rr_with(&[2, 6, 2, 6, 8]);
+        let mut orr = OngoingRequestsRegister::new(1);
+        orr.record_issue(BankId::new(2));
+        let mut dsa = RandomEligibleDsa::new(42);
+        for _ in 0..50 {
+            let pos = dsa.choose(&rr, &orr).unwrap();
+            assert!(pos == 1 || pos == 3 || pos == 4, "picked locked entry {pos}");
+        }
+        assert_eq!(dsa.name(), "random-eligible");
+    }
+
+    #[test]
+    fn policies_instantiate() {
+        for p in [
+            DsaPolicy::OldestFirst,
+            DsaPolicy::FifoOnly,
+            DsaPolicy::RandomEligible { seed: 7 },
+        ] {
+            assert!(!p.instantiate().name().is_empty());
+        }
+    }
+}

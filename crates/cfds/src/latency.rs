@@ -1,0 +1,83 @@
+//! The latency shift register (§5.4).
+
+use pktbuf_model::LogicalQueueId;
+use std::collections::VecDeque;
+
+/// A fixed-delay line inserted between the MMA lookahead and the SRAM read.
+///
+/// Because the DSS may delay and reorder the MMA's replenishment requests, a
+/// request leaving the lookahead might ask for a cell whose block has not been
+/// written into the SRAM yet. Delaying every grant by the worst-case DSS delay
+/// (equation (3)) restores the zero-miss guarantee at the price of a fixed
+/// additional latency and a slightly larger SRAM.
+#[derive(Debug, Clone)]
+pub struct LatencyRegister {
+    slots: VecDeque<Option<LogicalQueueId>>,
+    capacity: usize,
+}
+
+impl LatencyRegister {
+    /// Creates a delay line of `capacity` slots. A capacity of zero forwards
+    /// requests immediately (the RADS degenerate case).
+    pub fn new(capacity: usize) -> Self {
+        LatencyRegister {
+            slots: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Length of the delay line in slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of requests currently in flight inside the register.
+    pub fn in_flight(&self) -> usize {
+        self.slots.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Pushes the request leaving the lookahead this slot and returns the one
+    /// that completed its extra delay (if the register is full).
+    pub fn push(&mut self, request: Option<LogicalQueueId>) -> Option<LogicalQueueId> {
+        if self.capacity == 0 {
+            return request;
+        }
+        self.slots.push_back(request);
+        if self.slots.len() > self.capacity {
+            self.slots.pop_front().flatten()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32) -> LogicalQueueId {
+        LogicalQueueId::new(i)
+    }
+
+    #[test]
+    fn zero_capacity_is_passthrough() {
+        let mut l = LatencyRegister::new(0);
+        assert_eq!(l.push(Some(q(3))), Some(q(3)));
+        assert_eq!(l.push(None), None);
+        assert_eq!(l.capacity(), 0);
+        assert_eq!(l.in_flight(), 0);
+    }
+
+    #[test]
+    fn requests_emerge_after_exactly_capacity_slots() {
+        let mut l = LatencyRegister::new(3);
+        assert_eq!(l.push(Some(q(1))), None);
+        assert_eq!(l.push(Some(q(2))), None);
+        assert_eq!(l.push(None), None);
+        assert_eq!(l.in_flight(), 2);
+        assert_eq!(l.push(Some(q(3))), Some(q(1)));
+        assert_eq!(l.push(None), Some(q(2)));
+        assert_eq!(l.push(None), None); // the idle slot emerges
+        assert_eq!(l.push(None), Some(q(3)));
+    }
+}

@@ -1,0 +1,206 @@
+//! The DRAM-only baseline buffer (§1).
+//!
+//! A buffer built from DRAM alone cannot give worst-case guarantees at high
+//! line rates: in the worst case every access pays the full random access
+//! time, so the buffer can move at most one cell per `B` slots in each
+//! direction. This front end models exactly that and is used by the E1
+//! experiment to reproduce the introduction's motivation numbers.
+
+use crate::stats::BufferStats;
+use crate::traits::{PacketBuffer, SlotOutcome};
+use crate::verify::DeliveryVerifier;
+use pktbuf_model::{Cell, LogicalQueueId, RadsConfig};
+use std::collections::VecDeque;
+
+/// A packet buffer whose only storage is the DRAM itself.
+#[derive(Debug)]
+pub struct DramOnlyBuffer {
+    cfg: RadsConfig,
+    queues: Vec<VecDeque<Cell>>,
+    /// Slot at which the DRAM read port is free again.
+    read_busy_until: u64,
+    /// Slot at which the DRAM write port is free again.
+    write_busy_until: u64,
+    /// Arrivals waiting for the write port.
+    write_backlog: VecDeque<Cell>,
+    slot: u64,
+    available: Vec<u64>,
+    stats: BufferStats,
+    verifier: DeliveryVerifier,
+}
+
+impl DramOnlyBuffer {
+    /// Creates a DRAM-only buffer for the given configuration (only the number
+    /// of queues and the granularity — i.e. the random access time in slots —
+    /// are used).
+    pub fn new(cfg: RadsConfig) -> Self {
+        DramOnlyBuffer {
+            queues: vec![VecDeque::new(); cfg.num_queues],
+            read_busy_until: 0,
+            write_busy_until: 0,
+            write_backlog: VecDeque::new(),
+            slot: 0,
+            available: vec![0; cfg.num_queues],
+            stats: BufferStats::default(),
+            verifier: DeliveryVerifier::new(cfg.num_queues),
+            cfg,
+        }
+    }
+
+    /// Worst-case sustainable throughput of this buffer, as a fraction of the
+    /// line rate: one cell per random access time per direction.
+    pub fn worst_case_throughput_fraction(&self) -> f64 {
+        1.0 / self.cfg.granularity as f64
+    }
+
+    /// Preloads `cells` into `queue` (they count as already written to DRAM).
+    pub fn preload(&mut self, queue: LogicalQueueId, cells: Vec<Cell>) {
+        self.available[queue.as_usize()] += cells.len() as u64;
+        self.queues[queue.as_usize()].extend(cells);
+    }
+}
+
+impl PacketBuffer for DramOnlyBuffer {
+    fn step(&mut self, arrival: Option<Cell>, request: Option<LogicalQueueId>) -> SlotOutcome {
+        let t = self.slot;
+        self.slot += 1;
+        self.stats.slots += 1;
+        let mut outcome = SlotOutcome::default();
+
+        // Arrivals queue for the write port; each write occupies the DRAM for
+        // a full random access time (worst case: no row locality).
+        if let Some(cell) = arrival {
+            self.stats.arrivals += 1;
+            self.write_backlog.push_back(cell);
+        }
+        if self.write_busy_until <= t {
+            if let Some(cell) = self.write_backlog.pop_front() {
+                let q = cell.queue().as_usize();
+                self.available[q] += 1;
+                self.queues[q].push_back(cell);
+                self.write_busy_until = t + self.cfg.granularity as u64;
+                self.stats.dram_writes += 1;
+            }
+        }
+
+        // A request can only be served if the read port is free; otherwise it
+        // is a miss (the cell was not produced in time).
+        if let Some(queue) = request {
+            self.stats.requests += 1;
+            let qi = queue.as_usize();
+            if self.available[qi] > 0 {
+                self.available[qi] -= 1;
+            }
+            if self.read_busy_until <= t {
+                if let Some(cell) = self.queues[qi].pop_front() {
+                    self.read_busy_until = t + self.cfg.granularity as u64;
+                    self.stats.dram_reads += 1;
+                    self.stats.grants += 1;
+                    if !self.verifier.check(queue, &cell) {
+                        self.stats.order_violations += 1;
+                    }
+                    outcome.granted = Some(cell);
+                } else {
+                    self.stats.misses += 1;
+                    outcome.miss = Some(queue);
+                }
+            } else {
+                self.stats.misses += 1;
+                outcome.miss = Some(queue);
+            }
+        }
+        outcome
+    }
+
+    fn current_slot(&self) -> u64 {
+        self.slot
+    }
+
+    fn num_queues(&self) -> usize {
+        self.cfg.num_queues
+    }
+
+    fn requestable_cells(&self, queue: LogicalQueueId) -> u64 {
+        self.available[queue.as_usize()]
+    }
+
+    fn pipeline_delay_slots(&self) -> usize {
+        0
+    }
+
+    fn stats(&self) -> &BufferStats {
+        &self.stats
+    }
+
+    fn design_name(&self) -> &'static str {
+        "DRAM-only"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pktbuf_model::LineRate;
+
+    fn cfg() -> RadsConfig {
+        RadsConfig {
+            line_rate: LineRate::Oc3072,
+            num_queues: 4,
+            granularity: 8,
+            lookahead: None,
+            dram: Default::default(),
+        }
+    }
+
+    fn q(i: u32) -> LogicalQueueId {
+        LogicalQueueId::new(i)
+    }
+
+    #[test]
+    fn back_to_back_requests_miss_at_line_rate() {
+        let mut b = DramOnlyBuffer::new(cfg());
+        b.preload(q(0), (0..32).map(|i| Cell::new(q(0), i, 0)).collect());
+        let mut grants = 0;
+        for _ in 0..32 {
+            let out = b.step(None, Some(q(0)));
+            if out.granted.is_some() {
+                grants += 1;
+            }
+        }
+        // One grant per random access time of 8 slots: only ~1/8 of requests
+        // can be honoured.
+        assert_eq!(grants, 4);
+        assert_eq!(b.stats().misses, 28);
+        assert!(b.stats().miss_rate() > 0.8);
+        assert!((b.worst_case_throughput_fraction() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paced_requests_are_all_served() {
+        let mut b = DramOnlyBuffer::new(cfg());
+        b.preload(q(1), (0..8).map(|i| Cell::new(q(1), i, 0)).collect());
+        for i in 0..64 {
+            let req = if i % 8 == 0 { Some(q(1)) } else { None };
+            let out = b.step(None, req);
+            assert!(out.miss.is_none());
+        }
+        assert_eq!(b.stats().grants, 8);
+        assert_eq!(b.stats().order_violations, 0);
+        assert_eq!(b.design_name(), "DRAM-only");
+        assert_eq!(b.pipeline_delay_slots(), 0);
+        assert_eq!(b.num_queues(), 4);
+        assert_eq!(b.current_slot(), 64);
+    }
+
+    #[test]
+    fn arrivals_share_nothing_with_reads_but_pace_writes() {
+        let mut b = DramOnlyBuffer::new(cfg());
+        for i in 0..16 {
+            b.step(Some(Cell::new(q(2), i, 0)), None);
+        }
+        // Only one write per 8 slots completed: 2 of 16 cells are in DRAM.
+        assert_eq!(b.stats().dram_writes, 2);
+        assert_eq!(b.requestable_cells(q(2)), 2);
+        assert_eq!(b.stats().arrivals, 16);
+    }
+}

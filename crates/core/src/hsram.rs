@@ -1,0 +1,69 @@
+//! Selection of the head-SRAM organisation used by a buffer front end.
+
+use serde::{Deserialize, Serialize};
+use sram_buf::{GlobalCamBuffer, SharedBuffer, UnifiedLinkedListBuffer};
+
+/// Which functional head-SRAM organisation a buffer instantiates.
+///
+/// Both uphold the same [`SharedBuffer`] contract; they differ in how they
+/// locate cells internally (and, physically, in area and access time — see the
+/// `cacti-lite` crate and the Figure 8/10 experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum HeadSramKind {
+    /// Fully associative (queue, order)-tagged store. Robust to arbitrary
+    /// out-of-order block arrival, which CFDS with renaming requires.
+    #[default]
+    GlobalCam,
+    /// Direct-mapped linked lists with one lane per bank of a group. Assumes
+    /// same-lane blocks arrive in order (true for RADS and for CFDS without
+    /// renaming).
+    UnifiedLinkedList,
+}
+
+impl HeadSramKind {
+    /// Builds the functional buffer: `lanes` is `B/b` (1 for RADS) and
+    /// `cells_per_block` is the DRAM transfer granularity.
+    pub fn build(
+        self,
+        num_queues: usize,
+        capacity_cells: usize,
+        lanes: usize,
+        cells_per_block: usize,
+    ) -> Box<dyn SharedBuffer + Send> {
+        match self {
+            HeadSramKind::GlobalCam => Box::new(GlobalCamBuffer::with_block_size(
+                num_queues,
+                capacity_cells,
+                cells_per_block,
+            )),
+            HeadSramKind::UnifiedLinkedList => Box::new(UnifiedLinkedListBuffer::with_lanes(
+                num_queues,
+                // The linked list is a direct-mapped array and must be
+                // allocated up front; cap the functional capacity at 2^20
+                // cells (far above any analytical bound used in practice).
+                capacity_cells.min(1 << 20),
+                lanes,
+                cells_per_block,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pktbuf_model::{Cell, LogicalQueueId};
+
+    #[test]
+    fn both_kinds_build_working_buffers() {
+        for kind in [HeadSramKind::GlobalCam, HeadSramKind::UnifiedLinkedList] {
+            let mut b = kind.build(2, 64, 2, 4);
+            let q = LogicalQueueId::new(1);
+            b.insert_block(q, 0, (0..4).map(|i| Cell::new(q, i, 0)).collect())
+                .unwrap();
+            assert_eq!(b.pop_front(q).unwrap().seq(), 0);
+            assert_eq!(b.capacity(), 64);
+        }
+        assert_eq!(HeadSramKind::default(), HeadSramKind::GlobalCam);
+    }
+}

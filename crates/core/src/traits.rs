@@ -1,0 +1,82 @@
+//! The common interface of all packet-buffer memory systems.
+
+use crate::stats::BufferStats;
+use pktbuf_model::{Cell, LogicalQueueId};
+
+/// What happened during one slot of buffer operation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SlotOutcome {
+    /// Cell granted to the arbiter this slot, if any.
+    pub granted: Option<Cell>,
+    /// A request became due this slot but its cell was not in the head SRAM —
+    /// the *miss* that worst-case designs must make impossible.
+    pub miss: Option<LogicalQueueId>,
+    /// An arriving cell was dropped because the tail SRAM was full.
+    pub dropped_arrival: Option<Cell>,
+}
+
+impl SlotOutcome {
+    /// Whether this slot completed without a miss or a drop.
+    pub fn is_clean(&self) -> bool {
+        self.miss.is_none() && self.dropped_arrival.is_none()
+    }
+}
+
+/// A slot-synchronous packet-buffer memory system.
+///
+/// One call to [`PacketBuffer::step`] advances the buffer by one time slot: at
+/// most one cell arrives from the transmission line and at most one cell
+/// request arrives from the switch-fabric arbiter, and at most one cell is
+/// granted back to the arbiter.
+///
+/// The request stream is subject to one rule inherited from the paper's
+/// system model: the arbiter only requests cells that are actually in the
+/// buffer's head path (i.e. have been written to DRAM or preloaded).
+/// [`PacketBuffer::requestable_cells`] reports how many further requests a
+/// queue can absorb; well-behaved workloads consult it.
+pub trait PacketBuffer {
+    /// Advances the buffer by one slot.
+    fn step(&mut self, arrival: Option<Cell>, request: Option<LogicalQueueId>) -> SlotOutcome;
+
+    /// The current slot (number of `step` calls performed).
+    fn current_slot(&self) -> u64;
+
+    /// Number of logical queues.
+    fn num_queues(&self) -> usize;
+
+    /// Number of cells of `queue` that the arbiter may still request
+    /// (cells committed to the head path minus requests already accepted).
+    fn requestable_cells(&self, queue: LogicalQueueId) -> u64;
+
+    /// Fixed pipeline delay of the head path in slots (lookahead plus, for
+    /// CFDS, the latency register). After the last request is injected, this
+    /// many further slots are needed to drain all grants.
+    fn pipeline_delay_slots(&self) -> usize;
+
+    /// Aggregate statistics.
+    fn stats(&self) -> &BufferStats;
+
+    /// Human-readable name of the design ("RADS", "CFDS", …).
+    fn design_name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_outcome_is_clean() {
+        assert!(SlotOutcome::default().is_clean());
+        let with_miss = SlotOutcome {
+            miss: Some(LogicalQueueId::new(1)),
+            ..SlotOutcome::default()
+        };
+        assert!(!with_miss.is_clean());
+        let q = LogicalQueueId::new(0);
+        let with_drop = SlotOutcome {
+            dropped_arrival: Some(Cell::new(q, 0, 0)),
+            ..SlotOutcome::default()
+        };
+        assert!(!with_drop.is_clean());
+    }
+}

@@ -1,0 +1,478 @@
+//! Per-queue DRAM block storage with group capacity accounting.
+//!
+//! The storage view of the DRAM: each physical queue is a FIFO of `b`-cell
+//! blocks that lives entirely inside its statically assigned bank group. The
+//! store tracks per-group occupancy so the fragmentation experiments (§6) can
+//! observe how much of the DRAM is actually usable with and without renaming.
+
+use crate::mapping::AddressMapper;
+use crate::request::GroupId;
+use pktbuf_model::{Cell, PhysicalQueueId};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the [`DramStore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The bank group that the queue is assigned to has no free block.
+    GroupFull {
+        /// Group that is full.
+        group: GroupId,
+        /// Capacity of the group in blocks.
+        capacity_blocks: usize,
+    },
+    /// A read was attempted on a queue with no blocks in DRAM.
+    QueueEmpty {
+        /// The empty queue.
+        queue: PhysicalQueueId,
+    },
+    /// The requested block ordinal is not resident.
+    BlockMissing {
+        /// Queue of the missing block.
+        queue: PhysicalQueueId,
+        /// Requested ordinal.
+        ordinal: u64,
+    },
+    /// A block was written twice at the same ordinal.
+    BlockAlreadyPresent {
+        /// Queue of the duplicate block.
+        queue: PhysicalQueueId,
+        /// Duplicate ordinal.
+        ordinal: u64,
+    },
+    /// Queue index outside the configured range.
+    QueueOutOfRange {
+        /// The offending queue.
+        queue: PhysicalQueueId,
+        /// Configured number of physical queues.
+        num_queues: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::GroupFull {
+                group,
+                capacity_blocks,
+            } => write!(f, "{group} is full ({capacity_blocks} blocks)"),
+            StoreError::QueueEmpty { queue } => write!(f, "{queue} has no blocks in DRAM"),
+            StoreError::BlockMissing { queue, ordinal } => {
+                write!(f, "block {ordinal} of {queue} is not in DRAM")
+            }
+            StoreError::BlockAlreadyPresent { queue, ordinal } => {
+                write!(f, "block {ordinal} of {queue} is already in DRAM")
+            }
+            StoreError::QueueOutOfRange { queue, num_queues } => {
+                write!(f, "{queue} out of range ({num_queues} physical queues)")
+            }
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+/// FIFO block storage for every physical queue, constrained by per-group
+/// capacity.
+#[derive(Debug, Clone)]
+pub struct DramStore {
+    mapper: AddressMapper,
+    /// Per-queue blocks keyed by block ordinal (each block is a `Vec<Cell>` of
+    /// up to `b` cells). A map is used instead of a plain FIFO because the
+    /// CFDS scheduler may commit blocks to the DRAM out of ordinal order.
+    queues: Vec<BTreeMap<u64, Vec<Cell>>>,
+    /// Next block ordinal to be written, per queue (monotonically increasing).
+    tail_ordinal: Vec<u64>,
+    /// Ordinal of the block currently at the head, per queue.
+    head_ordinal: Vec<u64>,
+    /// Blocks currently resident, per group.
+    group_occupancy: Vec<usize>,
+    /// Capacity of each group in blocks.
+    group_capacity_blocks: usize,
+}
+
+impl DramStore {
+    /// Creates a store where each of the `G` groups can hold
+    /// `group_capacity_blocks` blocks.
+    pub fn new(mapper: AddressMapper, group_capacity_blocks: usize) -> Self {
+        let nq = mapper.config().num_physical_queues();
+        let ng = mapper.config().num_groups();
+        DramStore {
+            mapper,
+            queues: vec![BTreeMap::new(); nq],
+            tail_ordinal: vec![0; nq],
+            head_ordinal: vec![0; nq],
+            group_occupancy: vec![0; ng],
+            group_capacity_blocks,
+        }
+    }
+
+    /// Creates a store sized from a total DRAM capacity in cells, split evenly
+    /// over the groups (blocks of `cells_per_block` cells).
+    pub fn with_total_capacity(
+        mapper: AddressMapper,
+        total_capacity_cells: usize,
+        cells_per_block: usize,
+    ) -> Self {
+        let ng = mapper.config().num_groups();
+        let blocks = total_capacity_cells / cells_per_block.max(1);
+        DramStore::new(mapper, blocks / ng.max(1))
+    }
+
+    fn check_queue(&self, queue: PhysicalQueueId) -> Result<usize, StoreError> {
+        let idx = queue.as_usize();
+        if idx >= self.queues.len() {
+            return Err(StoreError::QueueOutOfRange {
+                queue,
+                num_queues: self.queues.len(),
+            });
+        }
+        Ok(idx)
+    }
+
+    /// Appends a block of cells to `queue`.
+    ///
+    /// Returns the ordinal assigned to the block (which determines the bank it
+    /// lives in).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::GroupFull`] when the queue's group has no free block;
+    /// [`StoreError::QueueOutOfRange`] for an unknown queue.
+    pub fn write_block(
+        &mut self,
+        queue: PhysicalQueueId,
+        cells: Vec<Cell>,
+    ) -> Result<u64, StoreError> {
+        let ordinal = self.tail_ordinal[self.check_queue(queue)?];
+        self.write_block_at(queue, ordinal, cells)?;
+        Ok(ordinal)
+    }
+
+    /// Writes a block at an explicit ordinal (used by the CFDS scheduler,
+    /// which assigns ordinals at submit time and may commit them out of
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::GroupFull`], [`StoreError::BlockAlreadyPresent`] or
+    /// [`StoreError::QueueOutOfRange`].
+    pub fn write_block_at(
+        &mut self,
+        queue: PhysicalQueueId,
+        ordinal: u64,
+        cells: Vec<Cell>,
+    ) -> Result<(), StoreError> {
+        let idx = self.check_queue(queue)?;
+        let group = self.mapper.group_of_queue(queue);
+        if self.group_occupancy[group.index()] >= self.group_capacity_blocks {
+            return Err(StoreError::GroupFull {
+                group,
+                capacity_blocks: self.group_capacity_blocks,
+            });
+        }
+        if self.queues[idx].contains_key(&ordinal) {
+            return Err(StoreError::BlockAlreadyPresent { queue, ordinal });
+        }
+        self.queues[idx].insert(ordinal, cells);
+        if ordinal >= self.tail_ordinal[idx] {
+            self.tail_ordinal[idx] = ordinal + 1;
+        }
+        self.group_occupancy[group.index()] += 1;
+        Ok(())
+    }
+
+    /// Removes and returns the block at the head of `queue` together with its
+    /// ordinal.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::QueueEmpty`] when the queue holds no block;
+    /// [`StoreError::QueueOutOfRange`] for an unknown queue.
+    pub fn read_block(
+        &mut self,
+        queue: PhysicalQueueId,
+    ) -> Result<(u64, Vec<Cell>), StoreError> {
+        let idx = self.check_queue(queue)?;
+        let ordinal = *self.queues[idx]
+            .keys()
+            .next()
+            .ok_or(StoreError::QueueEmpty { queue })?;
+        let block = self.read_block_at(queue, ordinal)?;
+        Ok((ordinal, block))
+    }
+
+    /// Removes and returns the block stored at `ordinal` for `queue`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BlockMissing`] or [`StoreError::QueueOutOfRange`].
+    pub fn read_block_at(
+        &mut self,
+        queue: PhysicalQueueId,
+        ordinal: u64,
+    ) -> Result<Vec<Cell>, StoreError> {
+        let idx = self.check_queue(queue)?;
+        let block = self.queues[idx]
+            .remove(&ordinal)
+            .ok_or(StoreError::BlockMissing { queue, ordinal })?;
+        if ordinal >= self.head_ordinal[idx] {
+            self.head_ordinal[idx] = ordinal + 1;
+        }
+        let group = self.mapper.group_of_queue(queue);
+        self.group_occupancy[group.index()] -= 1;
+        Ok(block)
+    }
+
+    /// Whether a block is resident at `ordinal` for `queue`.
+    pub fn has_block(&self, queue: PhysicalQueueId, ordinal: u64) -> bool {
+        self.queues
+            .get(queue.as_usize())
+            .map(|q| q.contains_key(&ordinal))
+            .unwrap_or(false)
+    }
+
+    /// Ordinal that the *next* written block of `queue` will receive.
+    pub fn next_write_ordinal(&self, queue: PhysicalQueueId) -> u64 {
+        self.tail_ordinal[queue.as_usize()]
+    }
+
+    /// Ordinal of the block currently at the head of `queue`.
+    pub fn head_ordinal(&self, queue: PhysicalQueueId) -> u64 {
+        self.head_ordinal[queue.as_usize()]
+    }
+
+    /// Number of blocks currently stored for `queue`.
+    pub fn blocks_in_queue(&self, queue: PhysicalQueueId) -> usize {
+        self.queues[queue.as_usize()].len()
+    }
+
+    /// Number of cells currently stored for `queue`.
+    pub fn cells_in_queue(&self, queue: PhysicalQueueId) -> usize {
+        self.queues[queue.as_usize()].values().map(Vec::len).sum()
+    }
+
+    /// Blocks currently resident in `group`.
+    pub fn group_occupancy(&self, group: GroupId) -> usize {
+        self.group_occupancy[group.index()]
+    }
+
+    /// Capacity of each group in blocks.
+    pub fn group_capacity_blocks(&self) -> usize {
+        self.group_capacity_blocks
+    }
+
+    /// Whether `group` has room for at least one more block.
+    pub fn group_has_room(&self, group: GroupId) -> bool {
+        self.group_occupancy[group.index()] < self.group_capacity_blocks
+    }
+
+    /// Total blocks resident across all groups.
+    pub fn total_blocks(&self) -> usize {
+        self.group_occupancy.iter().sum()
+    }
+
+    /// Fraction of the total DRAM block capacity currently used.
+    pub fn utilisation(&self) -> f64 {
+        let cap = self.group_capacity_blocks * self.group_occupancy.len();
+        if cap == 0 {
+            return 0.0;
+        }
+        self.total_blocks() as f64 / cap as f64
+    }
+
+    /// The address mapper used by this store.
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// Group with the fewest resident blocks (used by the renaming balancer).
+    pub fn least_loaded_group(&self) -> GroupId {
+        let (idx, _) = self
+            .group_occupancy
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, occ)| **occ)
+            .expect("at least one group");
+        GroupId::new(idx as u32)
+    }
+
+    /// Groups that currently have free space, ordered by ascending occupancy.
+    pub fn groups_with_room(&self) -> Vec<GroupId> {
+        let mut v: Vec<(usize, usize)> = self
+            .group_occupancy
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, occ)| *occ < self.group_capacity_blocks)
+            .collect();
+        v.sort_by_key(|(_, occ)| *occ);
+        v.into_iter().map(|(i, _)| GroupId::new(i as u32)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::InterleavingConfig;
+    use pktbuf_model::LogicalQueueId;
+
+    fn store(group_blocks: usize) -> DramStore {
+        let mapper = AddressMapper::new(InterleavingConfig::new(16, 4, 8).unwrap());
+        DramStore::new(mapper, group_blocks)
+    }
+
+    fn mk_cells(q: u32, start_seq: u64, n: usize) -> Vec<Cell> {
+        (0..n)
+            .map(|i| Cell::new(LogicalQueueId::new(q), start_seq + i as u64, 0))
+            .collect()
+    }
+
+    #[test]
+    fn write_then_read_is_fifo() {
+        let mut s = store(8);
+        let q = PhysicalQueueId::new(1);
+        assert_eq!(s.write_block(q, mk_cells(1, 0, 4)).unwrap(), 0);
+        assert_eq!(s.write_block(q, mk_cells(1, 4, 4)).unwrap(), 1);
+        assert_eq!(s.blocks_in_queue(q), 2);
+        assert_eq!(s.cells_in_queue(q), 8);
+        let (o0, b0) = s.read_block(q).unwrap();
+        assert_eq!(o0, 0);
+        assert_eq!(b0[0].seq(), 0);
+        let (o1, b1) = s.read_block(q).unwrap();
+        assert_eq!(o1, 1);
+        assert_eq!(b1[0].seq(), 4);
+        assert!(matches!(
+            s.read_block(q),
+            Err(StoreError::QueueEmpty { .. })
+        ));
+    }
+
+    #[test]
+    fn group_capacity_is_enforced() {
+        let mut s = store(2);
+        // Queues 0 and 4 both map to group 0 (4 groups).
+        let q0 = PhysicalQueueId::new(0);
+        let q4 = PhysicalQueueId::new(4);
+        s.write_block(q0, mk_cells(0, 0, 4)).unwrap();
+        s.write_block(q4, mk_cells(4, 0, 4)).unwrap();
+        let err = s.write_block(q0, mk_cells(0, 4, 4)).unwrap_err();
+        assert!(matches!(err, StoreError::GroupFull { .. }));
+        assert!(!s.group_has_room(GroupId::new(0)));
+        assert!(s.group_has_room(GroupId::new(1)));
+        // Draining frees space.
+        s.read_block(q4).unwrap();
+        assert!(s.group_has_room(GroupId::new(0)));
+        s.write_block(q0, mk_cells(0, 4, 4)).unwrap();
+    }
+
+    #[test]
+    fn occupancy_and_utilisation() {
+        let mut s = store(4);
+        assert_eq!(s.total_blocks(), 0);
+        assert_eq!(s.utilisation(), 0.0);
+        s.write_block(PhysicalQueueId::new(0), mk_cells(0, 0, 4)).unwrap();
+        s.write_block(PhysicalQueueId::new(1), mk_cells(1, 0, 4)).unwrap();
+        assert_eq!(s.total_blocks(), 2);
+        assert_eq!(s.group_occupancy(GroupId::new(0)), 1);
+        assert_eq!(s.group_occupancy(GroupId::new(1)), 1);
+        assert!((s.utilisation() - 2.0 / 16.0).abs() < 1e-12);
+        assert_eq!(s.group_capacity_blocks(), 4);
+    }
+
+    #[test]
+    fn least_loaded_and_groups_with_room() {
+        let mut s = store(2);
+        s.write_block(PhysicalQueueId::new(0), mk_cells(0, 0, 1)).unwrap();
+        s.write_block(PhysicalQueueId::new(0), mk_cells(0, 1, 1)).unwrap();
+        s.write_block(PhysicalQueueId::new(1), mk_cells(1, 0, 1)).unwrap();
+        // Group 0 full, group 1 half, groups 2 and 3 empty.
+        let ll = s.least_loaded_group();
+        assert!(ll == GroupId::new(2) || ll == GroupId::new(3));
+        let rooms = s.groups_with_room();
+        assert!(!rooms.contains(&GroupId::new(0)));
+        assert_eq!(rooms.len(), 3);
+        // Empty groups come first.
+        assert!(rooms[0] == GroupId::new(2) || rooms[0] == GroupId::new(3));
+    }
+
+    #[test]
+    fn out_of_range_queue_is_rejected() {
+        let mut s = store(2);
+        let bad = PhysicalQueueId::new(999);
+        assert!(matches!(
+            s.write_block(bad, vec![]),
+            Err(StoreError::QueueOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.read_block(bad),
+            Err(StoreError::QueueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn ordinals_track_head_and_tail() {
+        let mut s = store(8);
+        let q = PhysicalQueueId::new(2);
+        assert_eq!(s.next_write_ordinal(q), 0);
+        s.write_block(q, mk_cells(2, 0, 4)).unwrap();
+        s.write_block(q, mk_cells(2, 4, 4)).unwrap();
+        assert_eq!(s.next_write_ordinal(q), 2);
+        assert_eq!(s.head_ordinal(q), 0);
+        s.read_block(q).unwrap();
+        assert_eq!(s.head_ordinal(q), 1);
+    }
+
+    #[test]
+    fn explicit_ordinal_writes_and_reads() {
+        let mut s = store(8);
+        let q = PhysicalQueueId::new(3);
+        // Commit out of order (ordinal 1 before 0), as the CFDS DSA may do.
+        s.write_block_at(q, 1, mk_cells(3, 4, 4)).unwrap();
+        s.write_block_at(q, 0, mk_cells(3, 0, 4)).unwrap();
+        assert!(s.has_block(q, 0));
+        assert!(s.has_block(q, 1));
+        assert!(!s.has_block(q, 2));
+        assert_eq!(s.next_write_ordinal(q), 2);
+        // FIFO read still returns the lowest ordinal first.
+        let (o, b) = s.read_block(q).unwrap();
+        assert_eq!(o, 0);
+        assert_eq!(b[0].seq(), 0);
+        let b1 = s.read_block_at(q, 1).unwrap();
+        assert_eq!(b1[0].seq(), 4);
+        assert!(matches!(
+            s.read_block_at(q, 1),
+            Err(StoreError::BlockMissing { .. })
+        ));
+        // Duplicate write is rejected.
+        s.write_block_at(q, 5, mk_cells(3, 20, 4)).unwrap();
+        assert!(matches!(
+            s.write_block_at(q, 5, mk_cells(3, 20, 4)),
+            Err(StoreError::BlockAlreadyPresent { .. })
+        ));
+    }
+
+    #[test]
+    fn with_total_capacity_divides_evenly() {
+        let mapper = AddressMapper::new(InterleavingConfig::new(16, 4, 8).unwrap());
+        let s = DramStore::with_total_capacity(mapper, 1024, 4);
+        // 1024 cells / 4 cells per block = 256 blocks / 4 groups = 64.
+        assert_eq!(s.group_capacity_blocks(), 64);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(StoreError::QueueEmpty {
+            queue: PhysicalQueueId::new(3)
+        }
+        .to_string()
+        .contains("Qp3"));
+        assert!(StoreError::GroupFull {
+            group: GroupId::new(1),
+            capacity_blocks: 7
+        }
+        .to_string()
+        .contains('7'));
+    }
+}

@@ -1,0 +1,134 @@
+//! Earliest Critical Queue First (ECQF) head MMA.
+
+use crate::counters::OccupancyCounters;
+use crate::lookahead::LookaheadRegister;
+use crate::traits::HeadMma;
+use pktbuf_model::LogicalQueueId;
+
+/// The ECQF policy (§3): walk the lookahead from head to tail, decrementing a
+/// copy of the occupancy counters; the first queue whose copied counter drops
+/// below zero is the *earliest critical* queue and is replenished.
+///
+/// With a lookahead of `Q·(B−1)+1` slots there is always at least one critical
+/// queue whenever the system is busy, and the SRAM never needs to hold more
+/// than `Q·(B−1) + B` cells.
+#[derive(Debug, Clone)]
+pub struct EcqfMma {
+    granularity: usize,
+    /// Scratch copy of the counters, kept allocated across calls.
+    scratch: Vec<i64>,
+}
+
+impl EcqfMma {
+    /// Creates an ECQF policy replenishing `granularity` cells at a time.
+    pub fn new(granularity: usize) -> Self {
+        EcqfMma {
+            granularity: granularity.max(1),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl HeadMma for EcqfMma {
+    fn select(
+        &mut self,
+        counters: &OccupancyCounters,
+        lookahead: &LookaheadRegister,
+    ) -> Option<LogicalQueueId> {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&counters.snapshot());
+        for request in lookahead.iter() {
+            let Some(queue) = request else { continue };
+            let c = &mut self.scratch[queue.as_usize()];
+            *c -= 1;
+            if *c < 0 {
+                return Some(queue);
+            }
+        }
+        None
+    }
+
+    fn granularity(&self) -> usize {
+        self.granularity
+    }
+
+    fn name(&self) -> &'static str {
+        "ECQF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32) -> LogicalQueueId {
+        LogicalQueueId::new(i)
+    }
+
+    /// The worked example of Figure 3: Q = 4, B = 3, L = 6, occupancies
+    /// (1, 3, 1, 1), lookahead = Q1 Q1 Q1 Q3 Q3 Q6(empty). ECQF must pick Q1.
+    #[test]
+    fn figure3_example_selects_queue_1() {
+        let mut counters = OccupancyCounters::new(4);
+        counters.add(q(0), 1);
+        counters.add(q(1), 3);
+        counters.add(q(2), 1);
+        counters.add(q(3), 1);
+        let mut l = LookaheadRegister::new(6);
+        for i in [0u32, 0, 0, 2, 2] {
+            l.push(Some(q(i)));
+        }
+        l.push(None);
+        let mut ecqf = EcqfMma::new(3);
+        assert_eq!(ecqf.select(&counters, &l), Some(q(0)));
+    }
+
+    #[test]
+    fn no_critical_queue_returns_none() {
+        let mut counters = OccupancyCounters::new(2);
+        counters.add(q(0), 5);
+        counters.add(q(1), 5);
+        let mut l = LookaheadRegister::new(4);
+        for i in [0u32, 1, 0, 1] {
+            l.push(Some(q(i)));
+        }
+        let mut ecqf = EcqfMma::new(3);
+        assert_eq!(ecqf.select(&counters, &l), None);
+    }
+
+    #[test]
+    fn earliest_not_most_starved_queue_wins() {
+        // Queue 1 will go critical at lookahead position 2; queue 0 would go
+        // critical later even though it has more pending requests overall.
+        let mut counters = OccupancyCounters::new(2);
+        counters.add(q(0), 3);
+        counters.add(q(1), 1);
+        let mut l = LookaheadRegister::new(8);
+        for i in [0u32, 1, 1, 0, 0, 0, 0, 0] {
+            l.push(Some(q(i)));
+        }
+        let mut ecqf = EcqfMma::new(4);
+        assert_eq!(ecqf.select(&counters, &l), Some(q(1)));
+    }
+
+    #[test]
+    fn idle_slots_are_skipped() {
+        let mut counters = OccupancyCounters::new(1);
+        counters.add(q(0), 1);
+        let mut l = LookaheadRegister::new(4);
+        l.push(None);
+        l.push(None);
+        l.push(Some(q(0)));
+        l.push(Some(q(0)));
+        let mut ecqf = EcqfMma::new(2);
+        assert_eq!(ecqf.select(&counters, &l), Some(q(0)));
+        assert_eq!(ecqf.name(), "ECQF");
+        assert_eq!(ecqf.granularity(), 2);
+    }
+
+    #[test]
+    fn zero_granularity_is_clamped() {
+        let ecqf = EcqfMma::new(0);
+        assert_eq!(ecqf.granularity(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! The lookahead shift register of arbiter requests.
+
+use pktbuf_model::LogicalQueueId;
+use std::collections::VecDeque;
+
+/// A fixed-length shift register of arbiter requests.
+///
+/// Every slot the arbiter pushes one request (or an explicit idle slot) at the
+/// tail; the request at the head is the one granted in the current slot. The
+/// register therefore delays every request by its length, which is the price
+/// paid for letting the MMA see `L` requests into the future.
+#[derive(Debug, Clone)]
+pub struct LookaheadRegister {
+    slots: VecDeque<Option<LogicalQueueId>>,
+    capacity: usize,
+}
+
+impl LookaheadRegister {
+    /// Creates an empty lookahead of `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-length lookahead is expressed by
+    /// not using a lookahead at all (see [`crate::MdqfMma`]).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "lookahead must have at least one slot");
+        LookaheadRegister {
+            slots: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Length of the register in slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of requests currently held (including idle slots).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the register holds no requests at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether the register is full, i.e. the next push will also pop.
+    pub fn is_full(&self) -> bool {
+        self.slots.len() >= self.capacity
+    }
+
+    /// Pushes a request (or an idle slot) at the tail. If the register was
+    /// full, the head element is shifted out and returned (`Some(head)`),
+    /// otherwise `None` is returned and nothing leaves the register yet.
+    pub fn push(&mut self, request: Option<LogicalQueueId>) -> Option<Option<LogicalQueueId>> {
+        self.slots.push_back(request);
+        if self.slots.len() > self.capacity {
+            self.slots.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// The request at the head (the next to be granted), if the register is
+    /// non-empty.
+    pub fn head(&self) -> Option<Option<LogicalQueueId>> {
+        self.slots.front().copied()
+    }
+
+    /// Iterates over the requests from head (granted soonest) to tail.
+    pub fn iter(&self) -> impl Iterator<Item = Option<LogicalQueueId>> + '_ {
+        self.slots.iter().copied()
+    }
+
+    /// Number of pending requests for `queue` currently in the register.
+    pub fn pending_for(&self, queue: LogicalQueueId) -> usize {
+        self.slots.iter().filter(|r| **r == Some(queue)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32) -> LogicalQueueId {
+        LogicalQueueId::new(i)
+    }
+
+    #[test]
+    fn push_fills_then_shifts() {
+        let mut l = LookaheadRegister::new(3);
+        assert!(l.is_empty());
+        assert_eq!(l.push(Some(q(1))), None);
+        assert_eq!(l.push(Some(q(2))), None);
+        assert_eq!(l.push(None), None);
+        assert!(l.is_full());
+        assert_eq!(l.len(), 3);
+        // Fourth push shifts the head out.
+        assert_eq!(l.push(Some(q(3))), Some(Some(q(1))));
+        assert_eq!(l.head(), Some(Some(q(2))));
+        assert_eq!(l.capacity(), 3);
+    }
+
+    #[test]
+    fn iteration_is_head_to_tail() {
+        let mut l = LookaheadRegister::new(4);
+        for i in 0..4 {
+            l.push(Some(q(i)));
+        }
+        let order: Vec<u32> = l.iter().map(|r| r.unwrap().index()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pending_for_counts_matching_requests() {
+        let mut l = LookaheadRegister::new(5);
+        for i in [0u32, 1, 0, 2, 0] {
+            l.push(Some(q(i)));
+        }
+        assert_eq!(l.pending_for(q(0)), 3);
+        assert_eq!(l.pending_for(q(1)), 1);
+        assert_eq!(l.pending_for(q(9)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_panics() {
+        let _ = LookaheadRegister::new(0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Most Deficit Queue First (MDQF) head MMA.
+
+use crate::counters::OccupancyCounters;
+use crate::lookahead::LookaheadRegister;
+use crate::traits::HeadMma;
+use pktbuf_model::LogicalQueueId;
+
+/// The MDQF policy: replenish the queue with the largest *deficit*, defined as
+/// pending requests in the lookahead minus the occupancy counter.
+///
+/// Unlike ECQF it does not need the full `Q·(B−1)+1` lookahead — it degrades
+/// gracefully down to a lookahead of one slot — but it requires a larger SRAM
+/// (on the order of `Q·B·ln Q` cells for zero lookahead, [13]).
+#[derive(Debug, Clone)]
+pub struct MdqfMma {
+    granularity: usize,
+    scratch: Vec<i64>,
+}
+
+impl MdqfMma {
+    /// Creates an MDQF policy replenishing `granularity` cells at a time.
+    pub fn new(granularity: usize) -> Self {
+        MdqfMma {
+            granularity: granularity.max(1),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl HeadMma for MdqfMma {
+    fn select(
+        &mut self,
+        counters: &OccupancyCounters,
+        lookahead: &LookaheadRegister,
+    ) -> Option<LogicalQueueId> {
+        // deficit[q] = pending requests − counter.
+        self.scratch.clear();
+        self.scratch
+            .extend(counters.snapshot().iter().map(|c| -c));
+        for request in lookahead.iter().flatten() {
+            self.scratch[request.as_usize()] += 1;
+        }
+        let (best_idx, best_deficit) = self
+            .scratch
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|(i, d)| (*d, std::cmp::Reverse(*i)))?;
+        // Only replenish queues that actually have demand outstanding or are
+        // running low; a queue with a large surplus never needs service.
+        if best_deficit > -(self.granularity as i64) {
+            Some(LogicalQueueId::new(best_idx as u32))
+        } else {
+            None
+        }
+    }
+
+    fn granularity(&self) -> usize {
+        self.granularity
+    }
+
+    fn name(&self) -> &'static str {
+        "MDQF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32) -> LogicalQueueId {
+        LogicalQueueId::new(i)
+    }
+
+    #[test]
+    fn picks_largest_deficit() {
+        let mut counters = OccupancyCounters::new(3);
+        counters.add(q(0), 4);
+        counters.add(q(1), 1);
+        counters.add(q(2), 2);
+        let mut l = LookaheadRegister::new(6);
+        for i in [1u32, 1, 1, 2, 0, 2] {
+            l.push(Some(q(i)));
+        }
+        // deficits: q0 = 1-4 = -3, q1 = 3-1 = 2, q2 = 2-2 = 0.
+        let mut mdqf = MdqfMma::new(4);
+        assert_eq!(mdqf.select(&counters, &l), Some(q(1)));
+    }
+
+    #[test]
+    fn ties_break_towards_lower_index() {
+        let counters = OccupancyCounters::new(3);
+        let mut l = LookaheadRegister::new(4);
+        for i in [1u32, 2, 1, 2] {
+            l.push(Some(q(i)));
+        }
+        let mut mdqf = MdqfMma::new(2);
+        assert_eq!(mdqf.select(&counters, &l), Some(q(1)));
+    }
+
+    #[test]
+    fn saturated_queues_are_not_replenished() {
+        let mut counters = OccupancyCounters::new(2);
+        counters.add(q(0), 50);
+        counters.add(q(1), 50);
+        let mut l = LookaheadRegister::new(2);
+        l.push(Some(q(0)));
+        l.push(Some(q(1)));
+        let mut mdqf = MdqfMma::new(4);
+        assert_eq!(mdqf.select(&counters, &l), None);
+        assert_eq!(mdqf.name(), "MDQF");
+        assert_eq!(mdqf.granularity(), 4);
+    }
+
+    #[test]
+    fn works_with_single_slot_lookahead() {
+        let mut counters = OccupancyCounters::new(2);
+        counters.add(q(1), 1);
+        let mut l = LookaheadRegister::new(1);
+        l.push(Some(q(0)));
+        let mut mdqf = MdqfMma::new(2);
+        assert_eq!(mdqf.select(&counters, &l), Some(q(0)));
+    }
+}

@@ -1,0 +1,156 @@
+//! The assembled head-MMA subsystem: lookahead + counters + policy.
+
+use crate::counters::OccupancyCounters;
+use crate::lookahead::LookaheadRegister;
+use crate::traits::{HeadMma, HeadMmaPolicy};
+use pktbuf_model::LogicalQueueId;
+
+/// Event produced by one slot of MMA operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MmaEvent {
+    /// Request that left the lookahead this slot and must now be served from
+    /// the SRAM (i.e. granted to the arbiter). `None` while the lookahead is
+    /// still warming up or for idle slots.
+    pub due: Option<LogicalQueueId>,
+}
+
+/// The head-MMA subsystem of Figure 3/Figure 5: a lookahead shift register, a
+/// set of occupancy counters and a replenishment policy.
+///
+/// The owner drives it with one [`HeadMmaSubsystem::on_request`] call per slot
+/// and one [`HeadMmaSubsystem::select_replenishment`] call every granularity
+/// period.
+pub struct HeadMmaSubsystem {
+    lookahead: LookaheadRegister,
+    counters: OccupancyCounters,
+    policy: Box<dyn HeadMma + Send>,
+}
+
+impl std::fmt::Debug for HeadMmaSubsystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeadMmaSubsystem")
+            .field("policy", &self.policy.name())
+            .field("granularity", &self.policy.granularity())
+            .field("lookahead_capacity", &self.lookahead.capacity())
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+impl HeadMmaSubsystem {
+    /// Creates a subsystem with the given policy, lookahead length and number
+    /// of queues.
+    pub fn new(policy: HeadMmaPolicy, granularity: usize, lookahead: usize, num_queues: usize) -> Self {
+        HeadMmaSubsystem {
+            lookahead: LookaheadRegister::new(lookahead),
+            counters: OccupancyCounters::new(num_queues),
+            policy: policy.instantiate(granularity),
+        }
+    }
+
+    /// Slot-level operation: push the arbiter's request of this slot (or
+    /// `None` for an idle slot) into the lookahead. If the lookahead is full,
+    /// the request shifted out at the head is *due* and is returned in the
+    /// event; its occupancy counter is decremented.
+    pub fn on_request(&mut self, request: Option<LogicalQueueId>) -> MmaEvent {
+        let shifted = self.lookahead.push(request);
+        match shifted {
+            Some(Some(due)) => {
+                self.counters.take_one(due);
+                MmaEvent { due: Some(due) }
+            }
+            _ => MmaEvent::default(),
+        }
+    }
+
+    /// Granularity-period operation: ask the policy which queue to replenish.
+    /// If a queue is selected its counter is credited with the granularity and
+    /// the queue is returned so the owner can schedule the DRAM transfer.
+    pub fn select_replenishment(&mut self) -> Option<LogicalQueueId> {
+        let choice = self.policy.select(&self.counters, &self.lookahead)?;
+        self.counters.add(choice, self.policy.granularity() as i64);
+        Some(choice)
+    }
+
+    /// Credits `queue` with `cells` already present in the SRAM (used to
+    /// initialise a warm buffer).
+    pub fn preload(&mut self, queue: LogicalQueueId, cells: i64) {
+        self.counters.add(queue, cells);
+    }
+
+    /// Read access to the occupancy counters (for verification).
+    pub fn counters(&self) -> &OccupancyCounters {
+        &self.counters
+    }
+
+    /// Read access to the lookahead register.
+    pub fn lookahead(&self) -> &LookaheadRegister {
+        &self.lookahead
+    }
+
+    /// Granularity of the underlying policy.
+    pub fn granularity(&self) -> usize {
+        self.policy.granularity()
+    }
+
+    /// Name of the underlying policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+
+    #[test]
+    fn debug_is_nonempty() {
+        let mma = HeadMmaSubsystem::new(HeadMmaPolicy::Ecqf, 2, 3, 2);
+        let s = format!("{mma:?}");
+        assert!(s.contains("ECQF"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32) -> LogicalQueueId {
+        LogicalQueueId::new(i)
+    }
+
+    #[test]
+    fn requests_become_due_after_lookahead_delay() {
+        let mut mma = HeadMmaSubsystem::new(HeadMmaPolicy::Ecqf, 2, 3, 2);
+        mma.preload(q(0), 2);
+        assert_eq!(mma.on_request(Some(q(0))).due, None);
+        assert_eq!(mma.on_request(Some(q(1))).due, None);
+        assert_eq!(mma.on_request(Some(q(0))).due, None);
+        // Fourth push shifts the first request out.
+        assert_eq!(mma.on_request(None).due, Some(q(0)));
+        assert_eq!(mma.counters().get(q(0)), 1);
+    }
+
+    #[test]
+    fn replenishment_credits_counter() {
+        let mut mma = HeadMmaSubsystem::new(HeadMmaPolicy::Ecqf, 4, 4, 2);
+        for _ in 0..4 {
+            mma.on_request(Some(q(1)));
+        }
+        let sel = mma.select_replenishment();
+        assert_eq!(sel, Some(q(1)));
+        assert_eq!(mma.counters().get(q(1)), 4);
+        assert_eq!(mma.granularity(), 4);
+        assert_eq!(mma.policy_name(), "ECQF");
+        assert_eq!(mma.lookahead().capacity(), 4);
+    }
+
+    #[test]
+    fn idle_slots_produce_no_due_request() {
+        let mut mma = HeadMmaSubsystem::new(HeadMmaPolicy::Mdqf, 2, 2, 1);
+        assert_eq!(mma.on_request(None).due, None);
+        assert_eq!(mma.on_request(None).due, None);
+        assert_eq!(mma.on_request(None).due, None);
+        assert_eq!(mma.counters().get(q(0)), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Tail-side Memory Management Algorithm.
+
+use pktbuf_model::LogicalQueueId;
+
+/// A tail MMA selects, every granularity period, a queue whose cells should be
+/// written back from the tail SRAM to the DRAM.
+pub trait TailMma {
+    /// Selects a queue to write back given the tail-SRAM occupancy of every
+    /// queue (in cells), or `None` when no queue has accumulated a full batch.
+    fn select(&mut self, occupancies: &[usize]) -> Option<LogicalQueueId>;
+
+    /// Cells moved per writeback.
+    fn granularity(&self) -> usize;
+}
+
+/// The simple threshold tail MMA of §3: write back (a batch of `B` cells from)
+/// any queue whose occupancy reached the granularity. Among eligible queues
+/// the fullest one is chosen, which also minimises the tail-SRAM high-water
+/// mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThresholdTailMma {
+    granularity: usize,
+}
+
+impl ThresholdTailMma {
+    /// Creates a threshold tail MMA with the given granularity.
+    pub fn new(granularity: usize) -> Self {
+        ThresholdTailMma {
+            granularity: granularity.max(1),
+        }
+    }
+
+    /// Worst-case tail-SRAM size with this policy: `Q·(B−1) + B` cells
+    /// (every queue may sit just below the threshold plus one full batch
+    /// arriving before the next writeback opportunity).
+    pub fn required_sram_cells(num_queues: usize, granularity: usize) -> usize {
+        num_queues * (granularity - 1) + granularity
+    }
+}
+
+impl TailMma for ThresholdTailMma {
+    fn select(&mut self, occupancies: &[usize]) -> Option<LogicalQueueId> {
+        occupancies
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, occ)| *occ >= self.granularity)
+            .max_by_key(|(i, occ)| (*occ, std::cmp::Reverse(*i)))
+            .map(|(i, _)| LogicalQueueId::new(i as u32))
+    }
+
+    fn granularity(&self) -> usize {
+        self.granularity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_fullest_eligible_queue() {
+        let mut t = ThresholdTailMma::new(4);
+        assert_eq!(t.select(&[3, 7, 5, 2]), Some(LogicalQueueId::new(1)));
+        assert_eq!(t.select(&[3, 2, 1, 0]), None);
+        assert_eq!(t.granularity(), 4);
+    }
+
+    #[test]
+    fn ties_break_towards_lower_index() {
+        let mut t = ThresholdTailMma::new(2);
+        assert_eq!(t.select(&[5, 5, 5]), Some(LogicalQueueId::new(0)));
+    }
+
+    #[test]
+    fn required_sram_matches_formula() {
+        assert_eq!(ThresholdTailMma::required_sram_cells(4, 3), 4 * 2 + 3);
+        assert_eq!(
+            ThresholdTailMma::required_sram_cells(512, 32),
+            512 * 31 + 32
+        );
+    }
+
+    #[test]
+    fn zero_granularity_is_clamped() {
+        let t = ThresholdTailMma::new(0);
+        assert_eq!(t.granularity(), 1);
+    }
+}

@@ -1,0 +1,525 @@
+//! Dimensioning parameters of the RADS and CFDS memory architectures.
+
+use crate::error::ConfigError;
+use crate::rate::LineRate;
+use crate::time::Nanoseconds;
+use serde::{Deserialize, Serialize};
+
+/// DRAM timing parameters relevant to the buffer design.
+///
+/// Only the *random access time* matters for worst-case dimensioning: it is the
+/// spacing that RADS must leave between any two accesses, and the per-bank busy
+/// time that CFDS must respect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramTiming {
+    /// Random access (activate + read/write + precharge) time of one bank.
+    pub random_access: Nanoseconds,
+    /// Time needed to broadcast a new address / command on the bus. Limits how
+    /// often a new bank access can be *initiated* even when banks are free.
+    pub address_cycle: Nanoseconds,
+}
+
+impl DramTiming {
+    /// The paper's assumed commodity DRAM: 48 ns random access time, with an
+    /// address bus fast enough not to be the bottleneck at the studied rates.
+    pub fn commodity_2003() -> Self {
+        DramTiming {
+            random_access: Nanoseconds::new(48.0),
+            address_cycle: Nanoseconds::new(3.2),
+        }
+    }
+
+    /// A conservative 102.4 ns device (= 32 slots at OC-3072, 8 slots at
+    /// OC-768), matching the granularity values `B = 32` and `B = 8` that the
+    /// paper uses for its two design points.
+    pub fn paper_design_point() -> Self {
+        DramTiming {
+            random_access: Nanoseconds::new(102.4),
+            address_cycle: Nanoseconds::new(3.2),
+        }
+    }
+
+    /// RADS granularity `B` (slots per DRAM access) at `rate`.
+    pub fn rads_granularity(&self, rate: LineRate) -> usize {
+        let slot = rate.slot_duration().as_ns();
+        (self.random_access.as_ns() / slot).ceil() as usize
+    }
+
+    /// Bank busy time expressed in slots at `rate`.
+    pub fn busy_slots(&self, rate: LineRate) -> u64 {
+        self.rads_granularity(rate) as u64
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        DramTiming::paper_design_point()
+    }
+}
+
+/// Derived sizing summary shared by RADS and CFDS front ends.
+///
+/// Produced by the sizing routines in the `mma` and `cfds` crates; collected
+/// here so that the reporting/benchmark layer can treat both designs uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct BufferSizing {
+    /// Head (and tail) SRAM capacity in cells.
+    pub sram_cells: usize,
+    /// Lookahead shift-register length in slots.
+    pub lookahead_slots: usize,
+    /// Additional latency-register length in slots (zero for RADS).
+    pub latency_slots: usize,
+    /// Requests-register entries (zero for RADS).
+    pub rr_entries: usize,
+}
+
+impl BufferSizing {
+    /// Total scheduler-visible delay in slots (lookahead plus reorder latency).
+    pub fn total_delay_slots(&self) -> usize {
+        self.lookahead_slots + self.latency_slots
+    }
+}
+
+/// Configuration of the Random Access DRAM System (RADS) baseline (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadsConfig {
+    /// Line rate of the interface this buffer serves.
+    pub line_rate: LineRate,
+    /// Number of VOQs `Q`.
+    pub num_queues: usize,
+    /// DRAM access granularity `B` in cells.
+    pub granularity: usize,
+    /// Lookahead length in slots. `None` selects the ECQF minimum
+    /// `Q·(B − 1) + 1`.
+    pub lookahead: Option<usize>,
+    /// DRAM timing assumptions.
+    pub dram: DramTiming,
+}
+
+impl RadsConfig {
+    /// Builds the paper's design point for a line rate: `B` follows from the
+    /// DRAM random access time (8 at OC-768, 32 at OC-3072 with the 102.4 ns
+    /// device), lookahead defaults to the ECQF minimum.
+    pub fn for_line_rate(line_rate: LineRate, num_queues: usize) -> Self {
+        let dram = DramTiming::paper_design_point();
+        RadsConfig {
+            line_rate,
+            num_queues,
+            granularity: dram.rads_granularity(line_rate),
+            lookahead: None,
+            dram,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any parameter is zero or the lookahead is
+    /// below the ECQF zero-miss minimum.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_queues == 0 {
+            return Err(ConfigError::ZeroParameter("num_queues"));
+        }
+        if self.granularity == 0 {
+            return Err(ConfigError::ZeroParameter("granularity"));
+        }
+        if let Some(l) = self.lookahead {
+            let min = self.min_lookahead();
+            if l < min {
+                return Err(ConfigError::LookaheadTooShort {
+                    requested: l,
+                    minimum: min,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// ECQF minimum lookahead `Q·(B − 1) + 1` (§3).
+    pub fn min_lookahead(&self) -> usize {
+        self.num_queues * (self.granularity - 1) + 1
+    }
+
+    /// Effective lookahead: the explicit value or the ECQF minimum.
+    pub fn effective_lookahead(&self) -> usize {
+        self.lookahead.unwrap_or_else(|| self.min_lookahead())
+    }
+}
+
+/// Configuration of the Conflict-Free DRAM System (CFDS) — the paper's
+/// contribution (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CfdsConfig {
+    /// Line rate of the interface this buffer serves.
+    pub line_rate: LineRate,
+    /// Number of *logical* VOQs `Q`.
+    pub num_queues: usize,
+    /// Oversubscription factor `k`: number of physical queues is
+    /// `k × num_queues` (§6). The DRAM scheduler manages reads and writes, so
+    /// the effective number of queue streams seen by the DSS is `2 ×` this.
+    pub physical_queue_factor: usize,
+    /// CFDS per-access granularity `b` in cells (must divide `B`).
+    pub granularity: usize,
+    /// RADS granularity `B` in cells, i.e. the DRAM random access time in
+    /// slots.
+    pub rads_granularity: usize,
+    /// Number of DRAM banks `M`.
+    pub num_banks: usize,
+    /// Lookahead length in slots. `None` selects the ECQF minimum computed with
+    /// granularity `b`.
+    pub lookahead: Option<usize>,
+    /// DRAM timing assumptions.
+    pub dram: DramTiming,
+}
+
+impl CfdsConfig {
+    /// Starts a builder pre-loaded with the paper's OC-3072 defaults.
+    pub fn builder() -> CfdsConfigBuilder {
+        CfdsConfigBuilder::new()
+    }
+
+    /// Number of banks per group, `B/b`.
+    pub fn banks_per_group(&self) -> usize {
+        self.rads_granularity / self.granularity
+    }
+
+    /// Number of bank groups `G = M / (B/b)`.
+    pub fn num_groups(&self) -> usize {
+        self.num_banks / self.banks_per_group()
+    }
+
+    /// Number of physical queues (`k × Q`).
+    pub fn num_physical_queues(&self) -> usize {
+        self.physical_queue_factor * self.num_queues
+    }
+
+    /// Physical queues assigned to each group (ceiling).
+    pub fn queues_per_group(&self) -> usize {
+        let g = self.num_groups();
+        self.num_physical_queues().div_ceil(g)
+    }
+
+    /// ECQF minimum lookahead computed with the CFDS granularity `b`.
+    pub fn min_lookahead(&self) -> usize {
+        self.num_queues * (self.granularity - 1) + 1
+    }
+
+    /// Effective lookahead: the explicit value or the ECQF minimum.
+    pub fn effective_lookahead(&self) -> usize {
+        self.lookahead.unwrap_or_else(|| self.min_lookahead())
+    }
+
+    /// Validates divisibility and positivity constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when `b` does not divide `B`, `B/b` does not
+    /// divide `M`, any parameter is zero, or the lookahead is below the
+    /// zero-miss minimum.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (v, name) in [
+            (self.num_queues, "num_queues"),
+            (self.physical_queue_factor, "physical_queue_factor"),
+            (self.granularity, "granularity"),
+            (self.rads_granularity, "rads_granularity"),
+            (self.num_banks, "num_banks"),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::ZeroParameter(name));
+            }
+        }
+        if self.rads_granularity % self.granularity != 0 {
+            return Err(ConfigError::GranularityNotDivisor {
+                b: self.granularity,
+                big_b: self.rads_granularity,
+            });
+        }
+        let bpg = self.banks_per_group();
+        if self.num_banks % bpg != 0 {
+            return Err(ConfigError::BanksNotDivisible {
+                banks: self.num_banks,
+                banks_per_group: bpg,
+            });
+        }
+        if let Some(l) = self.lookahead {
+            let min = self.min_lookahead();
+            if l < min {
+                return Err(ConfigError::LookaheadTooShort {
+                    requested: l,
+                    minimum: min,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The RADS configuration this CFDS instance is refining (same `Q`, same
+    /// DRAM, granularity `B`). Useful for side-by-side comparisons.
+    pub fn equivalent_rads(&self) -> RadsConfig {
+        RadsConfig {
+            line_rate: self.line_rate,
+            num_queues: self.num_queues,
+            granularity: self.rads_granularity,
+            lookahead: None,
+            dram: self.dram,
+        }
+    }
+}
+
+/// Builder for [`CfdsConfig`].
+///
+/// Defaults correspond to the paper's OC-3072 evaluation: `Q = 512`,
+/// `B = 32`, `b = 4`, `M = 256`, one physical queue per logical queue and the
+/// ECQF minimum lookahead.
+#[derive(Debug, Clone)]
+pub struct CfdsConfigBuilder {
+    line_rate: LineRate,
+    num_queues: usize,
+    physical_queue_factor: usize,
+    granularity: usize,
+    rads_granularity: Option<usize>,
+    num_banks: usize,
+    lookahead: Option<usize>,
+    dram: DramTiming,
+}
+
+impl Default for CfdsConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CfdsConfigBuilder {
+    /// Creates a builder with the paper's OC-3072 defaults.
+    pub fn new() -> Self {
+        CfdsConfigBuilder {
+            line_rate: LineRate::Oc3072,
+            num_queues: 512,
+            physical_queue_factor: 1,
+            granularity: 4,
+            rads_granularity: None,
+            num_banks: 256,
+            lookahead: None,
+            dram: DramTiming::paper_design_point(),
+        }
+    }
+
+    /// Sets the line rate.
+    pub fn line_rate(mut self, rate: LineRate) -> Self {
+        self.line_rate = rate;
+        self
+    }
+
+    /// Sets the number of logical VOQs `Q`.
+    pub fn num_queues(mut self, q: usize) -> Self {
+        self.num_queues = q;
+        self
+    }
+
+    /// Sets the physical-queue oversubscription factor `k`.
+    pub fn physical_queue_factor(mut self, k: usize) -> Self {
+        self.physical_queue_factor = k;
+        self
+    }
+
+    /// Sets the CFDS granularity `b` (cells per DRAM access).
+    pub fn granularity(mut self, b: usize) -> Self {
+        self.granularity = b;
+        self
+    }
+
+    /// Overrides the RADS granularity `B`. By default it is derived from the
+    /// DRAM random access time and the line rate.
+    pub fn rads_granularity(mut self, big_b: usize) -> Self {
+        self.rads_granularity = Some(big_b);
+        self
+    }
+
+    /// Sets the number of DRAM banks `M`.
+    pub fn num_banks(mut self, m: usize) -> Self {
+        self.num_banks = m;
+        self
+    }
+
+    /// Sets an explicit lookahead length (slots).
+    pub fn lookahead(mut self, slots: usize) -> Self {
+        self.lookahead = Some(slots);
+        self
+    }
+
+    /// Sets the DRAM timing assumptions.
+    pub fn dram(mut self, dram: DramTiming) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// Finalises and validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ConfigError`] from [`CfdsConfig::validate`].
+    pub fn build(self) -> Result<CfdsConfig, ConfigError> {
+        let rads_granularity = self
+            .rads_granularity
+            .unwrap_or_else(|| self.dram.rads_granularity(self.line_rate));
+        let cfg = CfdsConfig {
+            line_rate: self.line_rate,
+            num_queues: self.num_queues,
+            physical_queue_factor: self.physical_queue_factor,
+            granularity: self.granularity,
+            rads_granularity,
+            num_banks: self.num_banks,
+            lookahead: self.lookahead,
+            dram: self.dram,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_timing_granularities() {
+        let d = DramTiming::paper_design_point();
+        assert_eq!(d.rads_granularity(LineRate::Oc3072), 32);
+        assert_eq!(d.rads_granularity(LineRate::Oc768), 8);
+        assert_eq!(d.busy_slots(LineRate::Oc3072), 32);
+        let c = DramTiming::commodity_2003();
+        assert_eq!(c.rads_granularity(LineRate::Oc3072), 15);
+        assert_eq!(DramTiming::default(), DramTiming::paper_design_point());
+    }
+
+    #[test]
+    fn rads_min_lookahead_formula() {
+        let cfg = RadsConfig::for_line_rate(LineRate::Oc3072, 512);
+        assert_eq!(cfg.granularity, 32);
+        assert_eq!(cfg.min_lookahead(), 512 * 31 + 1);
+        assert_eq!(cfg.effective_lookahead(), 512 * 31 + 1);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn rads_rejects_short_lookahead() {
+        let mut cfg = RadsConfig::for_line_rate(LineRate::Oc768, 128);
+        cfg.lookahead = Some(10);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::LookaheadTooShort { .. })
+        ));
+        cfg.lookahead = Some(cfg.min_lookahead());
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn rads_rejects_zero_parameters() {
+        let mut cfg = RadsConfig::for_line_rate(LineRate::Oc768, 128);
+        cfg.num_queues = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroParameter("num_queues"))
+        );
+        let mut cfg = RadsConfig::for_line_rate(LineRate::Oc768, 128);
+        cfg.granularity = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroParameter("granularity"))
+        );
+    }
+
+    #[test]
+    fn cfds_builder_defaults_match_paper() {
+        let cfg = CfdsConfig::builder().build().unwrap();
+        assert_eq!(cfg.num_queues, 512);
+        assert_eq!(cfg.rads_granularity, 32);
+        assert_eq!(cfg.granularity, 4);
+        assert_eq!(cfg.num_banks, 256);
+        assert_eq!(cfg.banks_per_group(), 8);
+        assert_eq!(cfg.num_groups(), 32);
+        assert_eq!(cfg.queues_per_group(), 16);
+        assert_eq!(cfg.min_lookahead(), 512 * 3 + 1);
+    }
+
+    #[test]
+    fn cfds_divisibility_checks() {
+        let err = CfdsConfig::builder().granularity(5).build().unwrap_err();
+        assert!(matches!(err, ConfigError::GranularityNotDivisor { .. }));
+
+        let err = CfdsConfig::builder()
+            .granularity(4)
+            .num_banks(100)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::BanksNotDivisible { .. }));
+    }
+
+    #[test]
+    fn cfds_allows_fewer_queues_than_groups() {
+        // B/b = 2, G = 128 groups but only 4 physical queues: some groups are
+        // simply unused, which is legal (and what the degenerate b = B RADS
+        // configuration looks like).
+        let cfg = CfdsConfig::builder()
+            .num_queues(4)
+            .granularity(16)
+            .num_banks(256)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.num_groups(), 128);
+        assert_eq!(cfg.queues_per_group(), 1);
+    }
+
+    #[test]
+    fn cfds_lookahead_validation() {
+        let err = CfdsConfig::builder().lookahead(3).build().unwrap_err();
+        assert!(matches!(err, ConfigError::LookaheadTooShort { .. }));
+        let ok = CfdsConfig::builder().lookahead(2000).build().unwrap();
+        assert_eq!(ok.effective_lookahead(), 2000);
+    }
+
+    #[test]
+    fn cfds_equivalent_rads_shares_parameters() {
+        let cfds = CfdsConfig::builder().build().unwrap();
+        let rads = cfds.equivalent_rads();
+        assert_eq!(rads.num_queues, cfds.num_queues);
+        assert_eq!(rads.granularity, cfds.rads_granularity);
+        assert_eq!(rads.line_rate, cfds.line_rate);
+    }
+
+    #[test]
+    fn cfds_oversubscription() {
+        let cfg = CfdsConfig::builder()
+            .physical_queue_factor(2)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.num_physical_queues(), 1024);
+        assert_eq!(cfg.queues_per_group(), 32);
+    }
+
+    #[test]
+    fn buffer_sizing_total_delay() {
+        let s = BufferSizing {
+            sram_cells: 100,
+            lookahead_slots: 50,
+            latency_slots: 20,
+            rr_entries: 8,
+        };
+        assert_eq!(s.total_delay_slots(), 70);
+        assert_eq!(BufferSizing::default().total_delay_slots(), 0);
+    }
+
+    #[test]
+    fn zero_parameter_detection_in_cfds() {
+        let mut cfg = CfdsConfig::builder().build().unwrap();
+        cfg.num_banks = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroParameter("num_banks")));
+        let mut cfg = CfdsConfig::builder().build().unwrap();
+        cfg.physical_queue_factor = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroParameter("physical_queue_factor"))
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Line rates and derived per-cell timing.
+
+use crate::cell::CELL_BYTES;
+use crate::time::SlotDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// SONET/SDH line rates considered by the paper, plus a custom escape hatch.
+///
+/// The basic time-slot of the buffer is the transmission time of one 64-byte
+/// cell at the line rate; e.g. 3.2 ns at OC-3072 (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LineRate {
+    /// OC-192, 10 Gb/s.
+    Oc192,
+    /// OC-768, 40 Gb/s.
+    Oc768,
+    /// OC-3072, 160 Gb/s — the paper's headline target.
+    Oc3072,
+    /// Arbitrary rate in gigabits per second.
+    CustomGbps(f64),
+}
+
+impl LineRate {
+    /// Line rate in bits per second.
+    ///
+    /// The paper uses the rounded "10 / 40 / 160 Gb/s" figures rather than the
+    /// exact SONET payload rates, and so do we.
+    pub fn bits_per_second(self) -> f64 {
+        match self {
+            LineRate::Oc192 => 10e9,
+            LineRate::Oc768 => 40e9,
+            LineRate::Oc3072 => 160e9,
+            LineRate::CustomGbps(g) => g * 1e9,
+        }
+    }
+
+    /// Line rate in gigabits per second.
+    pub fn gbps(self) -> f64 {
+        self.bits_per_second() / 1e9
+    }
+
+    /// Duration of one time slot: the transmission time of a 64-byte cell.
+    ///
+    /// OC-768 → 12.8 ns, OC-3072 → 3.2 ns.
+    pub fn slot_duration(self) -> SlotDuration {
+        let bits = (CELL_BYTES * 8) as f64;
+        SlotDuration::from_ns(bits / self.bits_per_second() * 1e9)
+    }
+
+    /// Packet-buffer bandwidth required for an input-queued architecture:
+    /// twice the line rate (each cell is written once and read once).
+    pub fn required_buffer_bandwidth_bps(self) -> f64 {
+        2.0 * self.bits_per_second()
+    }
+
+    /// Rule-of-thumb buffer capacity: round-trip-time × line rate (§2).
+    ///
+    /// `rtt_seconds` defaults to 0.2 s in the paper, giving 4 GB at OC-3072.
+    pub fn buffer_capacity_bytes(self, rtt_seconds: f64) -> f64 {
+        self.bits_per_second() * rtt_seconds / 8.0
+    }
+
+    /// The RADS data granularity `B`: number of cells that must be transferred
+    /// per DRAM access so that one batch is produced/consumed per DRAM random
+    /// access time (`ceil(t_rc / slot)`).
+    pub fn rads_granularity(self, dram_random_access_ns: f64) -> usize {
+        let slot_ns = self.slot_duration().as_ns();
+        (dram_random_access_ns / slot_ns).ceil() as usize
+    }
+}
+
+impl fmt::Display for LineRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LineRate::Oc192 => write!(f, "OC-192 (10 Gb/s)"),
+            LineRate::Oc768 => write!(f, "OC-768 (40 Gb/s)"),
+            LineRate::Oc3072 => write!(f, "OC-3072 (160 Gb/s)"),
+            LineRate::CustomGbps(g) => write!(f, "custom ({g} Gb/s)"),
+        }
+    }
+}
+
+impl Default for LineRate {
+    fn default() -> Self {
+        LineRate::Oc3072
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn slot_durations_match_paper() {
+        assert!(close(LineRate::Oc3072.slot_duration().as_ns(), 3.2));
+        assert!(close(LineRate::Oc768.slot_duration().as_ns(), 12.8));
+        assert!(close(LineRate::Oc192.slot_duration().as_ns(), 51.2));
+    }
+
+    #[test]
+    fn rads_granularity_matches_paper_design_points() {
+        // The paper assumes 48 ns DRAM random access time and sets B = 8 for
+        // OC-768 and B = 32 for OC-3072 (§7). ceil(48/12.8) = 4 would be the
+        // exact value; the paper conservatively doubles it to 8 — our helper
+        // reports the exact ceiling, so check the OC-3072 point where they
+        // agree up to the same rounding.
+        assert_eq!(LineRate::Oc3072.rads_granularity(48.0), 15);
+        assert_eq!(LineRate::Oc3072.rads_granularity(102.4), 32);
+        assert_eq!(LineRate::Oc768.rads_granularity(102.4), 8);
+    }
+
+    #[test]
+    fn buffer_capacity_rule_of_thumb() {
+        // 160 Gb/s * 0.2 s / 8 = 4 GB.
+        let bytes = LineRate::Oc3072.buffer_capacity_bytes(0.2);
+        assert!(close(bytes, 4e9));
+    }
+
+    #[test]
+    fn required_bandwidth_is_twice_line_rate() {
+        assert!(close(
+            LineRate::Oc768.required_buffer_bandwidth_bps(),
+            80e9
+        ));
+    }
+
+    #[test]
+    fn custom_rate() {
+        let r = LineRate::CustomGbps(1.0);
+        assert!(close(r.bits_per_second(), 1e9));
+        assert!(close(r.slot_duration().as_ns(), 512.0));
+        assert_eq!(r.to_string(), "custom (1 Gb/s)");
+    }
+
+    #[test]
+    fn display_named_rates() {
+        assert_eq!(LineRate::Oc3072.to_string(), "OC-3072 (160 Gb/s)");
+        assert_eq!(LineRate::default(), LineRate::Oc3072);
+    }
+}

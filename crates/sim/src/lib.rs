@@ -1,0 +1,47 @@
+//! Slot-level simulation engine, experiment scenarios and the technology
+//! evaluation glue used by the benchmark harness.
+//!
+//! The crate has three roles:
+//!
+//! * [`SimulationEngine`] drives any [`pktbuf::PacketBuffer`] with an arrival
+//!   and a request generator from the `traffic` crate, slot by slot, and
+//!   produces a [`SimulationReport`] with the buffer's own statistics plus
+//!   engine-level counters.
+//! * [`scenario`] defines ready-made experiment scenarios (which design, which
+//!   workload, how many slots, how much preload) so that examples, integration
+//!   tests and the benchmark harness all run exactly the same code.
+//! * [`techeval`] combines the dimensioning formulas (`mma::sizing`,
+//!   `cfds::sizing`) with the physical SRAM model (`cacti-lite`) to produce
+//!   the area/access-time/delay numbers behind Figures 8, 10 and 11 and
+//!   Table 2.
+//!
+//! # Example
+//!
+//! ```
+//! use sim::scenario::{DesignKind, Scenario, Workload};
+//!
+//! let scenario = Scenario {
+//!     design: DesignKind::Cfds,
+//!     workload: Workload::AdversarialRoundRobin,
+//!     num_queues: 8,
+//!     granularity: 2,
+//!     rads_granularity: 8,
+//!     num_banks: 16,
+//!     preload_cells_per_queue: 32,
+//!     arrival_slots: 0,
+//!     seed: 1,
+//! };
+//! let report = scenario.run();
+//! assert!(report.stats.is_loss_free());
+//! assert_eq!(report.stats.grants, 8 * 32);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod engine;
+pub mod report;
+pub mod scenario;
+pub mod techeval;
+
+pub use engine::{SimulationEngine, SimulationReport};

@@ -1,0 +1,357 @@
+//! Ready-made experiment scenarios shared by tests, examples and benches.
+
+use crate::engine::{SimulationEngine, SimulationReport};
+use pktbuf::{CfdsBuffer, DramOnlyBuffer, PacketBuffer, RadsBuffer};
+use pktbuf_model::{CfdsConfig, DramTiming, LineRate, LogicalQueueId, RadsConfig};
+use serde::{Deserialize, Serialize};
+use traffic::{
+    AdversarialRoundRobin, ArrivalGenerator, BurstyArrivals, GreedyQueueDrain, HotspotArrivals,
+    HotspotRequests, RequestGenerator, UniformArrivals, UniformRandomRequests,
+};
+
+/// Which packet-buffer design a scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignKind {
+    /// DRAM-only baseline (§1).
+    DramOnly,
+    /// Hybrid SRAM/DRAM baseline (§3).
+    Rads,
+    /// The paper's conflict-free DRAM system (§5).
+    Cfds,
+}
+
+impl DesignKind {
+    /// All designs, baseline first.
+    pub fn all() -> [DesignKind; 3] {
+        [DesignKind::DramOnly, DesignKind::Rads, DesignKind::Cfds]
+    }
+}
+
+/// Which workload a scenario applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// The ECQF worst case: round-robin drain over all queues.
+    AdversarialRoundRobin,
+    /// Uniform random arrivals and requests.
+    UniformRandom,
+    /// Bursty (on/off) arrivals with round-robin requests.
+    Bursty,
+    /// Hot-spotted arrivals and requests.
+    Hotspot,
+    /// Drain one queue at a time (long same-queue runs).
+    GreedyDrain,
+}
+
+impl Workload {
+    /// All workloads.
+    pub fn all() -> [Workload; 5] {
+        [
+            Workload::AdversarialRoundRobin,
+            Workload::UniformRandom,
+            Workload::Bursty,
+            Workload::Hotspot,
+            Workload::GreedyDrain,
+        ]
+    }
+}
+
+/// A fully specified experiment scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Design under test.
+    pub design: DesignKind,
+    /// Workload applied.
+    pub workload: Workload,
+    /// Number of logical queues `Q`.
+    pub num_queues: usize,
+    /// CFDS granularity `b` (ignored by RADS and DRAM-only).
+    pub granularity: usize,
+    /// RADS granularity `B` (DRAM random access time in slots).
+    pub rads_granularity: usize,
+    /// Number of DRAM banks `M` (CFDS only).
+    pub num_banks: usize,
+    /// Cells preloaded into the DRAM per queue before the run (rounded down to
+    /// a multiple of the transfer granularity).
+    pub preload_cells_per_queue: u64,
+    /// Slots during which the arrival generator is active. Preload and live
+    /// arrivals are mutually exclusive (sequence numbers would clash).
+    pub arrival_slots: u64,
+    /// Seed for the random workloads.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A small CFDS scenario useful as a smoke test.
+    pub fn small_cfds() -> Self {
+        Scenario {
+            design: DesignKind::Cfds,
+            workload: Workload::AdversarialRoundRobin,
+            num_queues: 8,
+            granularity: 2,
+            rads_granularity: 8,
+            num_banks: 16,
+            preload_cells_per_queue: 32,
+            arrival_slots: 0,
+            seed: 1,
+        }
+    }
+
+    /// The RADS configuration implied by this scenario.
+    pub fn rads_config(&self) -> RadsConfig {
+        RadsConfig {
+            line_rate: LineRate::Oc3072,
+            num_queues: self.num_queues,
+            granularity: self.rads_granularity,
+            lookahead: None,
+            dram: DramTiming::paper_design_point(),
+        }
+    }
+
+    /// The CFDS configuration implied by this scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters do not form a valid CFDS configuration.
+    pub fn cfds_config(&self) -> CfdsConfig {
+        CfdsConfig::builder()
+            .line_rate(LineRate::Oc3072)
+            .num_queues(self.num_queues)
+            .granularity(self.granularity)
+            .rads_granularity(self.rads_granularity)
+            .num_banks(self.num_banks)
+            .build()
+            .expect("scenario parameters form a valid CFDS configuration")
+    }
+
+    /// Builds the buffer under test, preloaded as requested.
+    pub fn build_buffer(&self) -> Box<dyn PacketBuffer + Send> {
+        let granularity = match self.design {
+            DesignKind::Cfds => self.granularity,
+            _ => self.rads_granularity,
+        };
+        let preload = self.preload_cells_per_queue - self.preload_cells_per_queue % granularity as u64;
+        match self.design {
+            DesignKind::DramOnly => {
+                let mut buf = DramOnlyBuffer::new(self.rads_config());
+                for (q, cells) in traffic::preload_cells(self.num_queues, preload) {
+                    buf.preload(q, cells);
+                }
+                Box::new(buf)
+            }
+            DesignKind::Rads => {
+                let mut buf = RadsBuffer::new(self.rads_config());
+                for (q, cells) in traffic::preload_cells(self.num_queues, preload) {
+                    buf.preload_dram(q, cells);
+                }
+                Box::new(buf)
+            }
+            DesignKind::Cfds => {
+                let mut buf = CfdsBuffer::new(self.cfds_config());
+                for (q, cells) in traffic::preload_cells(self.num_queues, preload) {
+                    buf.preload_dram(q, cells);
+                }
+                Box::new(buf)
+            }
+        }
+    }
+
+    fn build_arrivals(&self) -> Box<dyn ArrivalGenerator + Send> {
+        let q = self.num_queues;
+        match self.workload {
+            Workload::AdversarialRoundRobin | Workload::GreedyDrain => {
+                Box::new(UniformArrivals::new(q, 0.9, self.seed))
+            }
+            Workload::UniformRandom => Box::new(UniformArrivals::new(q, 0.8, self.seed)),
+            Workload::Bursty => Box::new(BurstyArrivals::new(q, 32.0, 8.0, self.seed)),
+            Workload::Hotspot => Box::new(HotspotArrivals::new(q, 0.9, q.div_ceil(8), 0.8, self.seed)),
+        }
+    }
+
+    fn build_requests(&self) -> Box<dyn RequestGenerator + Send> {
+        let q = self.num_queues;
+        match self.workload {
+            Workload::AdversarialRoundRobin | Workload::Bursty => {
+                Box::new(AdversarialRoundRobin::new(q))
+            }
+            Workload::UniformRandom => Box::new(UniformRandomRequests::new(q, 0.9, self.seed + 1)),
+            Workload::Hotspot => Box::new(HotspotRequests::new(q, q.div_ceil(8), 0.8, self.seed + 1)),
+            Workload::GreedyDrain => Box::new(GreedyQueueDrain::new(q)),
+        }
+    }
+
+    /// Runs the scenario to completion and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both a preload and live arrivals are requested (their
+    /// sequence numbers would clash).
+    pub fn run(&self) -> SimulationReport {
+        self.run_with_grant_log(false)
+    }
+
+    /// Runs the scenario, optionally recording the per-grant queue log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both a preload and live arrivals are requested.
+    pub fn run_with_grant_log(&self, record: bool) -> SimulationReport {
+        assert!(
+            self.preload_cells_per_queue == 0 || self.arrival_slots == 0,
+            "preload and live arrivals are mutually exclusive in a scenario"
+        );
+        let mut buffer = self.build_buffer();
+        let mut requests = self.build_requests();
+        let report = if self.arrival_slots > 0 {
+            let mut arrivals = self.build_arrivals();
+            SimulationEngine::new(buffer.as_mut())
+                .record_grants(record)
+                .run(arrivals.as_mut(), requests.as_mut(), self.arrival_slots)
+        } else {
+            let mut no_arrivals = NoArrivals {
+                num_queues: self.num_queues,
+            };
+            SimulationEngine::new(buffer.as_mut())
+                .record_grants(record)
+                .run(&mut no_arrivals, requests.as_mut(), 0)
+        };
+        report
+    }
+}
+
+/// An arrival generator that never produces a cell (preload-only scenarios).
+#[derive(Debug, Clone, Copy)]
+struct NoArrivals {
+    num_queues: usize,
+}
+
+impl ArrivalGenerator for NoArrivals {
+    fn next(&mut self, _slot: u64) -> Option<pktbuf_model::Cell> {
+        None
+    }
+
+    fn num_queues(&self) -> usize {
+        self.num_queues
+    }
+
+    fn name(&self) -> &'static str {
+        "preload-only"
+    }
+}
+
+/// Runs the same preloaded drain against every design and checks that the
+/// delivered per-queue cell counts agree. Returns the reports in
+/// [`DesignKind::all`] order.
+pub fn run_design_comparison(base: &Scenario) -> Vec<SimulationReport> {
+    DesignKind::all()
+        .iter()
+        .map(|design| {
+            let scenario = Scenario {
+                design: *design,
+                ..*base
+            };
+            scenario.run_with_grant_log(true)
+        })
+        .collect()
+}
+
+/// Convenience: how many cells each queue received in a grant log.
+pub fn grants_per_queue(report: &SimulationReport, num_queues: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; num_queues];
+    if let Some(log) = &report.grant_log {
+        for q in log {
+            counts[*q as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Helper used by binaries: the set of queues a request generator may touch.
+pub fn all_queues(num_queues: usize) -> Vec<LogicalQueueId> {
+    (0..num_queues as u32).map(LogicalQueueId::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cfds_scenario_is_loss_free() {
+        let report = Scenario::small_cfds().run();
+        assert!(report.stats.is_loss_free(), "{:?}", report.stats);
+        assert_eq!(report.stats.grants, 8 * 32);
+        assert_eq!(report.design, "CFDS");
+    }
+
+    #[test]
+    fn rads_scenario_with_live_arrivals() {
+        let scenario = Scenario {
+            design: DesignKind::Rads,
+            workload: Workload::UniformRandom,
+            preload_cells_per_queue: 0,
+            arrival_slots: 2_000,
+            num_queues: 4,
+            granularity: 2,
+            rads_granularity: 4,
+            num_banks: 8,
+            seed: 3,
+        };
+        let report = scenario.run();
+        assert_eq!(report.design, "RADS");
+        assert!(report.stats.is_loss_free(), "{:?}", report.stats);
+        assert!(report.stats.grants > 100);
+    }
+
+    #[test]
+    fn design_comparison_grants_the_same_cells() {
+        let base = Scenario {
+            preload_cells_per_queue: 16,
+            ..Scenario::small_cfds()
+        };
+        let reports = run_design_comparison(&base);
+        assert_eq!(reports.len(), 3);
+        // RADS and CFDS deliver every preloaded cell; the DRAM-only baseline
+        // cannot keep up with back-to-back requests and misses instead.
+        let per_queue_rads = grants_per_queue(&reports[1], base.num_queues);
+        let per_queue_cfds = grants_per_queue(&reports[2], base.num_queues);
+        assert_eq!(per_queue_rads, per_queue_cfds);
+        assert!(per_queue_rads.iter().all(|&c| c == 16));
+        assert!(reports[0].stats.misses > 0, "DRAM-only must fall behind");
+        assert!(reports[1].stats.is_loss_free());
+        assert!(reports[2].stats.is_loss_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn preload_and_arrivals_are_exclusive() {
+        let scenario = Scenario {
+            arrival_slots: 100,
+            ..Scenario::small_cfds()
+        };
+        let _ = scenario.run();
+    }
+
+    #[test]
+    fn enumerations_cover_all_variants() {
+        assert_eq!(DesignKind::all().len(), 3);
+        assert_eq!(Workload::all().len(), 5);
+        assert_eq!(all_queues(3).len(), 3);
+    }
+
+    #[test]
+    fn every_workload_runs_on_cfds_without_loss() {
+        for workload in Workload::all() {
+            let scenario = Scenario {
+                workload,
+                preload_cells_per_queue: 0,
+                arrival_slots: 1_500,
+                ..Scenario::small_cfds()
+            };
+            let report = scenario.run();
+            assert!(
+                report.stats.is_loss_free(),
+                "{workload:?}: {:?}",
+                report.stats
+            );
+        }
+    }
+}

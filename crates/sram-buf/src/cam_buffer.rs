@@ -1,0 +1,250 @@
+//! The global-CAM shared buffer: cells tagged with `(queue, order)`.
+
+use crate::traits::{BufferError, SharedBuffer};
+use pktbuf_model::{Cell, LogicalQueueId};
+use std::collections::BTreeMap;
+
+/// Fully associative shared buffer.
+///
+/// Every resident cell is indexed by its `(queue, cell order)` tag, so blocks
+/// can be written in any order and the head of each queue is found with a
+/// single associative search — the functional counterpart of the paper's
+/// "global CAM" organisation.
+#[derive(Debug, Clone)]
+pub struct GlobalCamBuffer {
+    /// Tag → cell store. A BTreeMap keyed by (queue, order) keeps per-queue
+    /// cells sorted by order, mirroring what the priority encoder of a real
+    /// CAM would resolve.
+    store: BTreeMap<(u32, u64), Cell>,
+    /// Next cell order expected at the head of each queue.
+    head_order: Vec<u64>,
+    /// Next cell order to assign at the tail of each queue (for `push_cell`
+    /// and for mapping block ordinals to cell orders).
+    tail_order: Vec<u64>,
+    /// Cells per block, used to convert block ordinals into cell orders.
+    cells_per_block: usize,
+    capacity: usize,
+    peak: usize,
+}
+
+impl GlobalCamBuffer {
+    /// Creates a buffer for `num_queues` queues and `capacity` cells.
+    /// `cells_per_block` is the DRAM transfer granularity (`B` for RADS, `b`
+    /// for CFDS) used to translate block ordinals into cell orders.
+    pub fn new(num_queues: usize, capacity: usize) -> Self {
+        GlobalCamBuffer::with_block_size(num_queues, capacity, 1)
+    }
+
+    /// Creates a buffer whose blocks contain `cells_per_block` cells.
+    pub fn with_block_size(num_queues: usize, capacity: usize, cells_per_block: usize) -> Self {
+        GlobalCamBuffer {
+            store: BTreeMap::new(),
+            head_order: vec![0; num_queues],
+            tail_order: vec![0; num_queues],
+            cells_per_block: cells_per_block.max(1),
+            capacity,
+            peak: 0,
+        }
+    }
+
+    fn check_queue(&self, queue: LogicalQueueId) -> Result<usize, BufferError> {
+        let idx = queue.as_usize();
+        if idx >= self.head_order.len() {
+            return Err(BufferError::QueueOutOfRange {
+                queue,
+                num_queues: self.head_order.len(),
+            });
+        }
+        Ok(idx)
+    }
+
+    fn note_peak(&mut self) {
+        self.peak = self.peak.max(self.store.len());
+    }
+}
+
+impl SharedBuffer for GlobalCamBuffer {
+    fn insert_block(
+        &mut self,
+        queue: LogicalQueueId,
+        ordinal: u64,
+        cells: Vec<Cell>,
+    ) -> Result<(), BufferError> {
+        let idx = self.check_queue(queue)?;
+        if self.store.len() + cells.len() > self.capacity {
+            return Err(BufferError::Full {
+                capacity: self.capacity,
+            });
+        }
+        let base = ordinal * self.cells_per_block as u64;
+        if self
+            .store
+            .contains_key(&(queue.index(), base))
+        {
+            return Err(BufferError::DuplicateBlock { queue, ordinal });
+        }
+        for (i, cell) in cells.into_iter().enumerate() {
+            self.store.insert((queue.index(), base + i as u64), cell);
+        }
+        // Keep the tail order monotone so push_cell after block inserts works.
+        let end = base + self.cells_per_block as u64;
+        if end > self.tail_order[idx] {
+            self.tail_order[idx] = end;
+        }
+        self.note_peak();
+        Ok(())
+    }
+
+    fn push_cell(&mut self, queue: LogicalQueueId, cell: Cell) -> Result<(), BufferError> {
+        let idx = self.check_queue(queue)?;
+        if self.store.len() + 1 > self.capacity {
+            return Err(BufferError::Full {
+                capacity: self.capacity,
+            });
+        }
+        let order = self.tail_order[idx];
+        self.tail_order[idx] += 1;
+        self.store.insert((queue.index(), order), cell);
+        self.note_peak();
+        Ok(())
+    }
+
+    fn pop_front(&mut self, queue: LogicalQueueId) -> Option<Cell> {
+        let idx = self.check_queue(queue).ok()?;
+        let key = (queue.index(), self.head_order[idx]);
+        let cell = self.store.remove(&key)?;
+        self.head_order[idx] += 1;
+        Some(cell)
+    }
+
+    fn available(&self, queue: LogicalQueueId) -> usize {
+        let idx = match self.check_queue(queue) {
+            Ok(i) => i,
+            Err(_) => return 0,
+        };
+        let mut order = self.head_order[idx];
+        let mut n = 0;
+        while self.store.contains_key(&(queue.index(), order)) {
+            n += 1;
+            order += 1;
+        }
+        n
+    }
+
+    fn occupancy(&self) -> usize {
+        self.store.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    fn num_queues(&self) -> usize {
+        self.head_order.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells(q: u32, start: u64, n: usize) -> Vec<Cell> {
+        (0..n)
+            .map(|i| Cell::new(LogicalQueueId::new(q), start + i as u64, 0))
+            .collect()
+    }
+
+    #[test]
+    fn in_order_blocks_drain_fifo() {
+        let q = LogicalQueueId::new(0);
+        let mut b = GlobalCamBuffer::with_block_size(2, 64, 4);
+        b.insert_block(q, 0, cells(0, 0, 4)).unwrap();
+        b.insert_block(q, 1, cells(0, 4, 4)).unwrap();
+        for i in 0..8 {
+            assert_eq!(b.pop_front(q).unwrap().seq(), i);
+        }
+        assert!(b.pop_front(q).is_none());
+    }
+
+    #[test]
+    fn out_of_order_blocks_still_drain_fifo() {
+        let q = LogicalQueueId::new(1);
+        let mut b = GlobalCamBuffer::with_block_size(2, 64, 4);
+        b.insert_block(q, 2, cells(1, 8, 4)).unwrap();
+        b.insert_block(q, 0, cells(1, 0, 4)).unwrap();
+        // Block 1 missing: only block 0's cells are available.
+        assert_eq!(b.available(q), 4);
+        for i in 0..4 {
+            assert_eq!(b.pop_front(q).unwrap().seq(), i);
+        }
+        assert!(b.pop_front(q).is_none(), "cell 4 not yet resident");
+        b.insert_block(q, 1, cells(1, 4, 4)).unwrap();
+        assert_eq!(b.available(q), 8);
+        for i in 4..12 {
+            assert_eq!(b.pop_front(q).unwrap().seq(), i);
+        }
+    }
+
+    #[test]
+    fn capacity_and_duplicates_are_enforced() {
+        let q = LogicalQueueId::new(0);
+        let mut b = GlobalCamBuffer::with_block_size(1, 4, 4);
+        b.insert_block(q, 0, cells(0, 0, 4)).unwrap();
+        assert!(matches!(
+            b.insert_block(q, 1, cells(0, 4, 4)),
+            Err(BufferError::Full { .. })
+        ));
+        let mut b = GlobalCamBuffer::with_block_size(1, 64, 4);
+        b.insert_block(q, 0, cells(0, 0, 4)).unwrap();
+        assert!(matches!(
+            b.insert_block(q, 0, cells(0, 0, 4)),
+            Err(BufferError::DuplicateBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn push_cell_appends_at_tail() {
+        let q = LogicalQueueId::new(0);
+        let mut b = GlobalCamBuffer::new(1, 16);
+        for i in 0..5 {
+            b.push_cell(q, Cell::new(q, i, 0)).unwrap();
+        }
+        assert_eq!(b.occupancy(), 5);
+        assert_eq!(b.available(q), 5);
+        for i in 0..5 {
+            assert_eq!(b.pop_front(q).unwrap().seq(), i);
+        }
+    }
+
+    #[test]
+    fn queue_out_of_range() {
+        let mut b = GlobalCamBuffer::new(2, 16);
+        let bad = LogicalQueueId::new(9);
+        assert!(matches!(
+            b.push_cell(bad, Cell::new(bad, 0, 0)),
+            Err(BufferError::QueueOutOfRange { .. })
+        ));
+        assert_eq!(b.available(bad), 0);
+        assert!(b.pop_front(bad).is_none());
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water_mark() {
+        let q = LogicalQueueId::new(0);
+        let mut b = GlobalCamBuffer::new(1, 16);
+        for i in 0..6 {
+            b.push_cell(q, Cell::new(q, i, 0)).unwrap();
+        }
+        for _ in 0..6 {
+            b.pop_front(q);
+        }
+        assert_eq!(b.occupancy(), 0);
+        assert_eq!(b.peak_occupancy(), 6);
+        assert_eq!(b.capacity(), 16);
+        assert_eq!(b.num_queues(), 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! Cell arrival generators (line side).
+
+use crate::seq::SeqTracker;
+use pktbuf_model::{Cell, LogicalQueueId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of cells arriving from the transmission line, at most one per
+/// slot.
+pub trait ArrivalGenerator {
+    /// Returns the cell arriving at `slot`, if any.
+    fn next(&mut self, slot: u64) -> Option<Cell>;
+
+    /// Number of queues this generator targets.
+    fn num_queues(&self) -> usize;
+
+    /// Generator name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Bernoulli arrivals: a cell arrives with probability `load` each slot, to a
+/// uniformly random queue.
+#[derive(Debug)]
+pub struct UniformArrivals {
+    seq: SeqTracker,
+    load: f64,
+    rng: StdRng,
+}
+
+impl UniformArrivals {
+    /// Creates a uniform generator with the given offered load (0.0–1.0).
+    pub fn new(num_queues: usize, load: f64, seed: u64) -> Self {
+        UniformArrivals {
+            seq: SeqTracker::new(num_queues),
+            load: load.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Starts every queue's sequence numbers at `offset` (for use after a
+    /// preload).
+    pub fn with_seq_offset(mut self, offset: u64) -> Self {
+        self.seq = SeqTracker::with_offset(self.seq.num_queues(), offset);
+        self
+    }
+}
+
+impl ArrivalGenerator for UniformArrivals {
+    fn next(&mut self, slot: u64) -> Option<Cell> {
+        if self.rng.gen::<f64>() >= self.load {
+            return None;
+        }
+        let q = LogicalQueueId::new(self.rng.gen_range(0..self.seq.num_queues()) as u32);
+        Some(self.seq.mint(q, slot))
+    }
+
+    fn num_queues(&self) -> usize {
+        self.seq.num_queues()
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// Deterministic full-load arrivals cycling round-robin over the queues.
+#[derive(Debug)]
+pub struct RoundRobinArrivals {
+    seq: SeqTracker,
+    next_queue: u32,
+}
+
+impl RoundRobinArrivals {
+    /// Creates a round-robin generator at full load.
+    pub fn new(num_queues: usize) -> Self {
+        RoundRobinArrivals {
+            seq: SeqTracker::new(num_queues),
+            next_queue: 0,
+        }
+    }
+
+    /// Starts every queue's sequence numbers at `offset`.
+    pub fn with_seq_offset(mut self, offset: u64) -> Self {
+        self.seq = SeqTracker::with_offset(self.seq.num_queues(), offset);
+        self
+    }
+}
+
+impl ArrivalGenerator for RoundRobinArrivals {
+    fn next(&mut self, slot: u64) -> Option<Cell> {
+        let q = LogicalQueueId::new(self.next_queue);
+        self.next_queue = (self.next_queue + 1) % self.seq.num_queues() as u32;
+        Some(self.seq.mint(q, slot))
+    }
+
+    fn num_queues(&self) -> usize {
+        self.seq.num_queues()
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// On/off (bursty) arrivals: during an "on" period all cells go to one queue;
+/// periods alternate with geometrically distributed lengths.
+#[derive(Debug)]
+pub struct BurstyArrivals {
+    seq: SeqTracker,
+    rng: StdRng,
+    mean_burst: f64,
+    mean_idle: f64,
+    current_queue: Option<LogicalQueueId>,
+    remaining: u64,
+}
+
+impl BurstyArrivals {
+    /// Creates a bursty generator with mean burst length `mean_burst` cells
+    /// and mean idle gap `mean_idle` slots.
+    pub fn new(num_queues: usize, mean_burst: f64, mean_idle: f64, seed: u64) -> Self {
+        BurstyArrivals {
+            seq: SeqTracker::new(num_queues),
+            rng: StdRng::seed_from_u64(seed),
+            mean_burst: mean_burst.max(1.0),
+            mean_idle: mean_idle.max(0.0),
+            current_queue: None,
+            remaining: 0,
+        }
+    }
+
+    fn geometric(rng: &mut StdRng, mean: f64) -> u64 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        let p = 1.0 / mean;
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        (u.ln() / (1.0 - p).max(f64::MIN_POSITIVE).ln()).ceil().max(1.0) as u64
+    }
+}
+
+impl ArrivalGenerator for BurstyArrivals {
+    fn next(&mut self, slot: u64) -> Option<Cell> {
+        if self.remaining == 0 {
+            match self.current_queue {
+                Some(_) => {
+                    // Burst ended: start an idle period.
+                    self.current_queue = None;
+                    self.remaining = Self::geometric(&mut self.rng, self.mean_idle);
+                    if self.remaining == 0 {
+                        // Zero-length idle: fall through to a new burst below.
+                    } else {
+                        self.remaining -= 1;
+                        return None;
+                    }
+                }
+                None => {}
+            }
+            // Start a new burst.
+            let q = self.rng.gen_range(0..self.seq.num_queues()) as u32;
+            self.current_queue = Some(LogicalQueueId::new(q));
+            self.remaining = Self::geometric(&mut self.rng, self.mean_burst);
+        }
+        match self.current_queue {
+            Some(q) => {
+                self.remaining -= 1;
+                Some(self.seq.mint(q, slot))
+            }
+            None => {
+                self.remaining = self.remaining.saturating_sub(1);
+                None
+            }
+        }
+    }
+
+    fn num_queues(&self) -> usize {
+        self.seq.num_queues()
+    }
+
+    fn name(&self) -> &'static str {
+        "bursty"
+    }
+}
+
+/// Hotspot arrivals: a fraction of the traffic targets a small set of hot
+/// queues, the rest is uniform.
+#[derive(Debug)]
+pub struct HotspotArrivals {
+    seq: SeqTracker,
+    rng: StdRng,
+    load: f64,
+    hot_queues: usize,
+    hot_fraction: f64,
+}
+
+impl HotspotArrivals {
+    /// Creates a hotspot generator: `hot_fraction` of arrivals go to the first
+    /// `hot_queues` queues.
+    pub fn new(
+        num_queues: usize,
+        load: f64,
+        hot_queues: usize,
+        hot_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        HotspotArrivals {
+            seq: SeqTracker::new(num_queues),
+            rng: StdRng::seed_from_u64(seed),
+            load: load.clamp(0.0, 1.0),
+            hot_queues: hot_queues.clamp(1, num_queues),
+            hot_fraction: hot_fraction.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl ArrivalGenerator for HotspotArrivals {
+    fn next(&mut self, slot: u64) -> Option<Cell> {
+        if self.rng.gen::<f64>() >= self.load {
+            return None;
+        }
+        let q = if self.rng.gen::<f64>() < self.hot_fraction {
+            self.rng.gen_range(0..self.hot_queues)
+        } else {
+            self.rng.gen_range(0..self.seq.num_queues())
+        };
+        Some(self.seq.mint(LogicalQueueId::new(q as u32), slot))
+    }
+
+    fn num_queues(&self) -> usize {
+        self.seq.num_queues()
+    }
+
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_load() {
+        let mut g = UniformArrivals::new(8, 0.5, 1);
+        let produced = (0..10_000).filter(|t| g.next(*t).is_some()).count();
+        assert!(produced > 4_000 && produced < 6_000, "{produced}");
+        assert_eq!(g.num_queues(), 8);
+        assert_eq!(g.name(), "uniform");
+    }
+
+    #[test]
+    fn uniform_sequences_are_fifo_per_queue() {
+        let mut g = UniformArrivals::new(4, 1.0, 2);
+        let mut last = vec![None::<u64>; 4];
+        for t in 0..1_000 {
+            if let Some(c) = g.next(t) {
+                let qi = c.queue().as_usize();
+                if let Some(prev) = last[qi] {
+                    assert_eq!(c.seq(), prev + 1);
+                }
+                last[qi] = Some(c.seq());
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_queues_at_full_load() {
+        let mut g = RoundRobinArrivals::new(3).with_seq_offset(10);
+        let cells: Vec<Cell> = (0..6).map(|t| g.next(t).unwrap()).collect();
+        let queues: Vec<u32> = cells.iter().map(|c| c.queue().index()).collect();
+        assert_eq!(queues, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(cells[0].seq(), 10);
+        assert_eq!(cells[3].seq(), 11);
+        assert_eq!(g.name(), "round-robin");
+    }
+
+    #[test]
+    fn bursty_produces_runs_to_single_queues() {
+        let mut g = BurstyArrivals::new(8, 16.0, 4.0, 3);
+        let mut run_lengths = Vec::new();
+        let mut current: Option<(u32, u64)> = None;
+        for t in 0..20_000 {
+            match g.next(t) {
+                Some(c) => match current {
+                    Some((q, len)) if q == c.queue().index() => current = Some((q, len + 1)),
+                    Some((_, len)) => {
+                        run_lengths.push(len);
+                        current = Some((c.queue().index(), 1));
+                    }
+                    None => current = Some((c.queue().index(), 1)),
+                },
+                None => {
+                    if let Some((_, len)) = current.take() {
+                        run_lengths.push(len);
+                    }
+                }
+            }
+        }
+        let mean: f64 = run_lengths.iter().sum::<u64>() as f64 / run_lengths.len() as f64;
+        assert!(mean > 4.0, "bursts should be long on average, got {mean}");
+        assert_eq!(g.name(), "bursty");
+        assert_eq!(g.num_queues(), 8);
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let mut g = HotspotArrivals::new(16, 1.0, 2, 0.8, 4);
+        let mut hot = 0u64;
+        let mut total = 0u64;
+        for t in 0..20_000 {
+            if let Some(c) = g.next(t) {
+                total += 1;
+                if c.queue().index() < 2 {
+                    hot += 1;
+                }
+            }
+        }
+        let frac = hot as f64 / total as f64;
+        assert!(frac > 0.7, "hot fraction {frac}");
+        assert_eq!(g.name(), "hotspot");
+        assert_eq!(g.num_queues(), 16);
+    }
+}

@@ -1,0 +1,86 @@
+//! Workload generators for packet-buffer experiments.
+//!
+//! Two sides of a packet buffer are driven externally and this crate provides
+//! generators for both:
+//!
+//! * **Arrivals** ([`ArrivalGenerator`]): cells coming from the transmission
+//!   line, at most one per slot. Uniform, bursty (on/off), hotspot and
+//!   deterministic round-robin patterns are provided, plus trace replay.
+//! * **Requests** ([`RequestGenerator`]): the switch-fabric arbiter asking for
+//!   one cell per slot. The most important pattern is
+//!   [`AdversarialRoundRobin`], the worst case of the ECQF analysis (§3): the
+//!   scheduler drains all queues in lock-step so that they all run dry at the
+//!   same time, putting maximum pressure on the MMA.
+//!
+//! Request generators receive a `requestable` oracle so that they never ask
+//! for a cell that is not in the buffer's head path — the system-model
+//! assumption the paper (and any real switch fabric) operates under.
+//!
+//! # Example
+//!
+//! ```
+//! use traffic::{AdversarialRoundRobin, RequestGenerator};
+//! use pktbuf_model::LogicalQueueId;
+//!
+//! let mut gen = AdversarialRoundRobin::new(4);
+//! // All queues have cells available: requests cycle 0, 1, 2, 3, 0, …
+//! let all = |_q: LogicalQueueId| 1u64;
+//! assert_eq!(gen.next(0, &all).unwrap().index(), 0);
+//! assert_eq!(gen.next(1, &all).unwrap().index(), 1);
+//! assert_eq!(gen.next(2, &all).unwrap().index(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arrivals;
+mod requests;
+mod seq;
+mod trace;
+
+pub use arrivals::{
+    ArrivalGenerator, BurstyArrivals, HotspotArrivals, RoundRobinArrivals, UniformArrivals,
+};
+pub use requests::{
+    AdversarialRoundRobin, GreedyQueueDrain, HotspotRequests, RequestGenerator,
+    UniformRandomRequests,
+};
+pub use seq::SeqTracker;
+pub use trace::{RecordedTrace, TraceArrivals, TraceRequests};
+
+/// Builds a preload set: `cells_per_queue` cells for each of `num_queues`
+/// queues, with sequence numbers starting at zero. Use together with
+/// [`SeqTracker::with_offset`] (or the generators' `with_seq_offset`
+/// constructors) so that subsequent arrivals continue the numbering.
+pub fn preload_cells(
+    num_queues: usize,
+    cells_per_queue: u64,
+) -> Vec<(pktbuf_model::LogicalQueueId, Vec<pktbuf_model::Cell>)> {
+    (0..num_queues as u32)
+        .map(|q| {
+            let queue = pktbuf_model::LogicalQueueId::new(q);
+            let cells = (0..cells_per_queue)
+                .map(|s| pktbuf_model::Cell::new(queue, s, 0))
+                .collect();
+            (queue, cells)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preload_cells_builds_per_queue_sequences() {
+        let sets = preload_cells(3, 4);
+        assert_eq!(sets.len(), 3);
+        for (q, cells) in &sets {
+            assert_eq!(cells.len(), 4);
+            for (i, c) in cells.iter().enumerate() {
+                assert_eq!(c.queue(), *q);
+                assert_eq!(c.seq(), i as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Arbiter request generators (switch-fabric side).
+
+use pktbuf_model::LogicalQueueId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of arbiter requests, at most one per slot.
+///
+/// `requestable` reports how many more cells of a queue the buffer can still
+/// promise to the arbiter; generators must not request a queue whose count is
+/// zero (the paper's system model: the scheduler only asks for cells that are
+/// in the buffer).
+pub trait RequestGenerator {
+    /// Returns the queue requested at `slot`, if any.
+    fn next(
+        &mut self,
+        slot: u64,
+        requestable: &dyn Fn(LogicalQueueId) -> u64,
+    ) -> Option<LogicalQueueId>;
+
+    /// Generator name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The ECQF worst case (§3): drain all queues in strict round-robin order so
+/// that every queue runs dry at roughly the same time.
+#[derive(Debug, Clone)]
+pub struct AdversarialRoundRobin {
+    num_queues: usize,
+    next: u32,
+}
+
+impl AdversarialRoundRobin {
+    /// Creates the generator over `num_queues` queues.
+    pub fn new(num_queues: usize) -> Self {
+        AdversarialRoundRobin {
+            num_queues,
+            next: 0,
+        }
+    }
+}
+
+impl RequestGenerator for AdversarialRoundRobin {
+    fn next(
+        &mut self,
+        _slot: u64,
+        requestable: &dyn Fn(LogicalQueueId) -> u64,
+    ) -> Option<LogicalQueueId> {
+        // Try each queue once, starting from the round-robin pointer, and
+        // request the first one that still has cells to give.
+        for i in 0..self.num_queues {
+            let q = LogicalQueueId::new(((self.next as usize + i) % self.num_queues) as u32);
+            if requestable(q) > 0 {
+                self.next = ((q.index() as usize + 1) % self.num_queues) as u32;
+                return Some(q);
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "adversarial-round-robin"
+    }
+}
+
+/// Requests a uniformly random queue among those that have cells available.
+#[derive(Debug)]
+pub struct UniformRandomRequests {
+    num_queues: usize,
+    load: f64,
+    rng: StdRng,
+}
+
+impl UniformRandomRequests {
+    /// Creates the generator with the given request load (0.0–1.0).
+    pub fn new(num_queues: usize, load: f64, seed: u64) -> Self {
+        UniformRandomRequests {
+            num_queues,
+            load: load.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RequestGenerator for UniformRandomRequests {
+    fn next(
+        &mut self,
+        _slot: u64,
+        requestable: &dyn Fn(LogicalQueueId) -> u64,
+    ) -> Option<LogicalQueueId> {
+        if self.rng.gen::<f64>() >= self.load {
+            return None;
+        }
+        // Sample a starting point and walk forward to the first queue with
+        // available cells — unbiased enough for workload purposes and O(Q)
+        // worst case.
+        let start = self.rng.gen_range(0..self.num_queues);
+        for i in 0..self.num_queues {
+            let q = LogicalQueueId::new(((start + i) % self.num_queues) as u32);
+            if requestable(q) > 0 {
+                return Some(q);
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform-random"
+    }
+}
+
+/// Drains one queue completely before moving to the next — the opposite
+/// extreme of the round-robin worst case, exercising long same-queue runs
+/// (and hence consecutive accesses to the banks of a single group in CFDS).
+#[derive(Debug, Clone)]
+pub struct GreedyQueueDrain {
+    num_queues: usize,
+    current: u32,
+}
+
+impl GreedyQueueDrain {
+    /// Creates the generator over `num_queues` queues.
+    pub fn new(num_queues: usize) -> Self {
+        GreedyQueueDrain {
+            num_queues,
+            current: 0,
+        }
+    }
+}
+
+impl RequestGenerator for GreedyQueueDrain {
+    fn next(
+        &mut self,
+        _slot: u64,
+        requestable: &dyn Fn(LogicalQueueId) -> u64,
+    ) -> Option<LogicalQueueId> {
+        for i in 0..self.num_queues {
+            let q = LogicalQueueId::new(((self.current as usize + i) % self.num_queues) as u32);
+            if requestable(q) > 0 {
+                self.current = q.index();
+                return Some(q);
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy-queue-drain"
+    }
+}
+
+/// Requests concentrate on a few hot queues with some probability, otherwise
+/// behave uniformly.
+#[derive(Debug)]
+pub struct HotspotRequests {
+    num_queues: usize,
+    hot_queues: usize,
+    hot_fraction: f64,
+    rng: StdRng,
+}
+
+impl HotspotRequests {
+    /// Creates the generator: `hot_fraction` of requests target the first
+    /// `hot_queues` queues.
+    pub fn new(num_queues: usize, hot_queues: usize, hot_fraction: f64, seed: u64) -> Self {
+        HotspotRequests {
+            num_queues,
+            hot_queues: hot_queues.clamp(1, num_queues),
+            hot_fraction: hot_fraction.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RequestGenerator for HotspotRequests {
+    fn next(
+        &mut self,
+        _slot: u64,
+        requestable: &dyn Fn(LogicalQueueId) -> u64,
+    ) -> Option<LogicalQueueId> {
+        let (start, span) = if self.rng.gen::<f64>() < self.hot_fraction {
+            (self.rng.gen_range(0..self.hot_queues), self.hot_queues)
+        } else {
+            (self.rng.gen_range(0..self.num_queues), self.num_queues)
+        };
+        for i in 0..self.num_queues {
+            let q = LogicalQueueId::new(((start + i) % span.max(1)) as u32);
+            if requestable(q) > 0 {
+                return Some(q);
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32) -> LogicalQueueId {
+        LogicalQueueId::new(i)
+    }
+
+    #[test]
+    fn adversarial_round_robin_cycles() {
+        let mut g = AdversarialRoundRobin::new(3);
+        let all = |_q: LogicalQueueId| 5u64;
+        let order: Vec<u32> = (0..6).map(|t| g.next(t, &all).unwrap().index()).collect();
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(g.name(), "adversarial-round-robin");
+    }
+
+    #[test]
+    fn adversarial_skips_empty_queues() {
+        let mut g = AdversarialRoundRobin::new(3);
+        let only_two = |qq: LogicalQueueId| if qq.index() == 2 { 3 } else { 0 };
+        assert_eq!(g.next(0, &only_two), Some(q(2)));
+        assert_eq!(g.next(1, &only_two), Some(q(2)));
+        let none = |_qq: LogicalQueueId| 0u64;
+        assert_eq!(g.next(2, &none), None);
+    }
+
+    #[test]
+    fn greedy_drain_sticks_to_a_queue() {
+        let mut g = GreedyQueueDrain::new(4);
+        let mut remaining = [3u64, 2, 0, 1];
+        for _ in 0..6 {
+            let counts = remaining;
+            let pick = g.next(0, &|qq: LogicalQueueId| counts[qq.as_usize()]).unwrap();
+            remaining[pick.as_usize()] -= 1;
+        }
+        assert_eq!(remaining, [0, 0, 0, 0]);
+        assert_eq!(g.name(), "greedy-queue-drain");
+    }
+
+    #[test]
+    fn uniform_random_only_requests_available_queues() {
+        let mut g = UniformRandomRequests::new(8, 1.0, 7);
+        let avail = |qq: LogicalQueueId| if qq.index() % 2 == 0 { 1 } else { 0 };
+        for t in 0..200 {
+            if let Some(picked) = g.next(t, &avail) {
+                assert_eq!(picked.index() % 2, 0);
+            }
+        }
+        assert_eq!(g.name(), "uniform-random");
+    }
+
+    #[test]
+    fn uniform_random_respects_load() {
+        let mut g = UniformRandomRequests::new(4, 0.25, 9);
+        let all = |_qq: LogicalQueueId| 1u64;
+        let issued = (0..10_000).filter(|t| g.next(*t, &all).is_some()).count();
+        assert!(issued > 1_800 && issued < 3_200, "{issued}");
+    }
+
+    #[test]
+    fn hotspot_requests_prefer_hot_queues() {
+        let mut g = HotspotRequests::new(16, 2, 0.9, 11);
+        let all = |_qq: LogicalQueueId| 1u64;
+        let mut hot = 0;
+        let mut total = 0;
+        for t in 0..10_000 {
+            if let Some(picked) = g.next(t, &all) {
+                total += 1;
+                if picked.index() < 2 {
+                    hot += 1;
+                }
+            }
+        }
+        assert!(hot as f64 / total as f64 > 0.8);
+        assert_eq!(g.name(), "hotspot");
+    }
+}

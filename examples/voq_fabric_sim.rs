@@ -1,0 +1,69 @@
+//! A virtual-output-queued input line card in front of a crossbar-like
+//! scheduler: live arrivals, per-queue destinations and a fabric that asks for
+//! cells according to its own (hot-spotted) schedule.
+//!
+//! Exercises the full tail-SRAM → DRAM → head-SRAM path of the CFDS buffer
+//! with renaming under a skewed, bursty workload, and prints per-queue
+//! delivery counts at the end.
+//!
+//! Run with: `cargo run --release --example voq_fabric_sim`
+
+use future_packet_buffers::buffers::{CfdsBuffer, PacketBuffer};
+use future_packet_buffers::model::{CfdsConfig, LineRate, LogicalQueueId};
+use future_packet_buffers::traffic::{
+    ArrivalGenerator, BurstyArrivals, HotspotRequests, RequestGenerator,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let num_queues = 32;
+    let cfg = CfdsConfig::builder()
+        .line_rate(LineRate::Oc3072)
+        .num_queues(num_queues)
+        .granularity(2)
+        .rads_granularity(8)
+        .num_banks(64)
+        .physical_queue_factor(2)
+        .build()?;
+    let mut buf = CfdsBuffer::new(cfg);
+
+    // Bursty arrivals (long trains of cells to one destination at a time) and
+    // a fabric scheduler that favours a handful of hot output ports.
+    let mut arrivals = BurstyArrivals::new(num_queues, 48.0, 12.0, 2024);
+    let mut fabric = HotspotRequests::new(num_queues, 4, 0.7, 77);
+
+    let active_slots = 60_000u64;
+    let drain = buf.pipeline_delay_slots() as u64 + 2_048;
+    let mut per_queue_grants = vec![0u64; num_queues];
+    for t in 0..(active_slots + drain) {
+        let arrival = (t < active_slots).then(|| arrivals.next(t)).flatten();
+        let request = fabric.next(t, &|q: LogicalQueueId| buf.requestable_cells(q));
+        let outcome = buf.step(arrival, request);
+        if let Some(cell) = outcome.granted {
+            per_queue_grants[cell.queue().as_usize()] += 1;
+        }
+        assert!(outcome.miss.is_none(), "zero-miss guarantee violated at slot {t}");
+    }
+
+    let stats = buf.stats();
+    println!("VOQ line card with {num_queues} queues over {} slots", stats.slots);
+    println!(
+        "arrivals {}   grants {}   misses {}   drops {}   bank conflicts {}",
+        stats.arrivals, stats.grants, stats.misses, stats.drops, stats.bank_conflicts
+    );
+    println!(
+        "peak SRAM: head {} cells, tail {} cells; peak RR {} entries; DRAM utilisation {:.3}",
+        stats.peak_head_sram_cells,
+        stats.peak_tail_sram_cells,
+        stats.peak_rr_entries,
+        buf.dram_utilisation()
+    );
+    println!("\nper-queue grants (hot outputs first):");
+    for (i, grants) in per_queue_grants.iter().enumerate() {
+        if *grants > 0 {
+            println!("  queue {i:3}: {grants}");
+        }
+    }
+    assert!(stats.is_loss_free());
+    println!("\nworst-case guarantees held for the whole run.");
+    Ok(())
+}
