@@ -12,25 +12,28 @@ fn bench_dsa_select(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(3));
     for rr_fill in [16usize, 64, 256, 1024] {
-        group.bench_with_input(BenchmarkId::new("oldest_first", rr_fill), &rr_fill, |b, &n| {
-            b.iter(|| {
-                let mapper =
-                    AddressMapper::new(InterleavingConfig::new(256, 8, 1024).unwrap());
-                let mut dss = DramSchedulerSubsystem::new(mapper, 8, DsaPolicy::OldestFirst);
-                for i in 0..n {
-                    dss.submit_read(PhysicalQueueId::new((i % 1024) as u32), i as u64);
-                }
-                let mut issued = 0;
-                let mut t = 0u64;
-                while issued < n {
-                    if dss.issue(t).is_some() {
-                        issued += 1;
+        group.bench_with_input(
+            BenchmarkId::new("oldest_first", rr_fill),
+            &rr_fill,
+            |b, &n| {
+                b.iter(|| {
+                    let mapper = AddressMapper::new(InterleavingConfig::new(256, 8, 1024).unwrap());
+                    let mut dss = DramSchedulerSubsystem::new(mapper, 8, DsaPolicy::OldestFirst);
+                    for i in 0..n {
+                        dss.submit_read(PhysicalQueueId::new((i % 1024) as u32), i as u64);
                     }
-                    t += 4;
-                }
-                issued
-            })
-        });
+                    let mut issued = 0;
+                    let mut t = 0u64;
+                    while issued < n {
+                        if dss.issue(t).is_some() {
+                            issued += 1;
+                        }
+                        t += 4;
+                    }
+                    issued
+                })
+            },
+        );
     }
     group.finish();
 }

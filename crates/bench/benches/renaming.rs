@@ -20,9 +20,7 @@ fn bench_renaming(c: &mut Criterion) {
                     let preferred: Vec<GroupId> = (0..32).map(GroupId::new).collect();
                     let q = LogicalQueueId::new(7);
                     for _ in 0..n {
-                        let _ = table
-                            .physical_for_write(q, |_| true, &preferred)
-                            .unwrap();
+                        let _ = table.physical_for_write(q, |_| true, &preferred).unwrap();
                         table.note_block_written(q);
                     }
                     for _ in 0..n {

@@ -49,7 +49,12 @@ fn run(policy: DsaPolicy) -> (String, pktbuf::BufferStats, usize, u64) {
 fn main() {
     println!("== E9: DRAM Scheduler Algorithm ablation (bursty live traffic, 32 queues) ==\n");
     let mut table = TextTable::new(vec![
-        "DSA policy", "grants", "misses", "DSS stalls", "peak RR", "max DSS delay (slots)",
+        "DSA policy",
+        "grants",
+        "misses",
+        "DSS stalls",
+        "peak RR",
+        "max DSS delay (slots)",
     ]);
     for policy in [
         DsaPolicy::OldestFirst,

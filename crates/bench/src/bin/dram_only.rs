@@ -11,7 +11,11 @@ fn main() {
     println!("== E1a: SDRAM chip model (16-bit, 100 MHz reference chip of [9]) ==\n");
     let chip = SdramChip::reference_16mb();
     let mut table = TextTable::new(vec![
-        "chips", "bus bits", "peak Gb/s", "guaranteed Gb/s", "efficiency",
+        "chips",
+        "bus bits",
+        "peak Gb/s",
+        "guaranteed Gb/s",
+        "efficiency",
     ]);
     for chips in [1u32, 2, 4, 8, 16, 32] {
         let cfg = MultiChipConfig::new(chip, chips);
@@ -24,7 +28,9 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("Paper quotes: single chip 1.6 Gb/s peak vs 1.2 Gb/s guaranteed; 8 chips only 5.12 Gb/s.\n");
+    println!(
+        "Paper quotes: single chip 1.6 Gb/s peak vs 1.2 Gb/s guaranteed; 8 chips only 5.12 Gb/s.\n"
+    );
 
     println!("== E1b: slot-level DRAM-only buffer under back-to-back requests ==\n");
     let cfg = RadsConfig {

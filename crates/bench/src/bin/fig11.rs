@@ -9,7 +9,9 @@ use sim::techeval::max_queues_meeting_target;
 
 fn main() {
     let node = ProcessNode::node_130nm();
-    println!("== Figure 11: maximum number of queues meeting the OC-3072 access-time constraint ==\n");
+    println!(
+        "== Figure 11: maximum number of queues meeting the OC-3072 access-time constraint ==\n"
+    );
     let mut table = TextTable::new(vec!["b", "design", "max queues"]);
     let mut rads_max = 0usize;
     let mut best_cfds = 0usize;

@@ -6,12 +6,10 @@ use pktbuf_model::{CfdsConfig, LineRate};
 use sim::report::TextTable;
 
 fn row(rate: LineRate, q: usize, big_b: usize, m: usize) {
-    println!(
-        "-- {rate}: Q = {q}, B = {big_b}, M = {m} --\n"
-    );
+    println!("-- {rate}: Q = {q}, B = {big_b}, M = {m} --\n");
     let mut table = TextTable::new(vec!["b", "RR size (entries)", "scheduling time (ns)"]);
     for b in [32usize, 16, 8, 4, 2, 1] {
-        if b > big_b || big_b % b != 0 || m % (big_b / b) != 0 {
+        if b > big_b || !big_b.is_multiple_of(b) || !m.is_multiple_of(big_b / b) {
             continue;
         }
         let cfg = CfdsConfig::builder()

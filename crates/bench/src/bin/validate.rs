@@ -8,7 +8,14 @@ use sim::scenario::{DesignKind, Scenario, Workload};
 fn main() {
     println!("== E7: slot-level validation of the worst-case guarantees ==\n");
     let mut table = TextTable::new(vec![
-        "design", "workload", "grants", "misses", "drops", "conflicts", "peak h-SRAM", "peak RR",
+        "design",
+        "workload",
+        "grants",
+        "misses",
+        "drops",
+        "conflicts",
+        "peak h-SRAM",
+        "peak RR",
         "loss-free",
     ]);
     for design in [DesignKind::Rads, DesignKind::Cfds] {

@@ -4,7 +4,7 @@
 //! with a tag (queue identifier + relative order) and resolves a scheduler
 //! request by searching all tags in parallel. Compared to a direct-mapped
 //! SRAM, a CAM pays: (i) a much larger storage cell for the tag bits (storage
-//! + comparator), and (ii) a search phase — driving the search lines and
+//! plus comparator), and (ii) a search phase — driving the search lines and
 //! resolving the match lines and priority encoder — before the matched data
 //! row can be read out. It avoids, however, the serialized pointer-chasing of
 //! a linked-list organisation.
@@ -66,7 +66,8 @@ pub fn estimate_cam(org: &CamOrganization, node: &ProcessNode) -> MemoryEstimate
     let searchline_len = cam_cell_side * block_entries;
 
     let t_search_drive = node.wire_delay_ns(searchline_len) + node.fo4_ns * 3.0;
-    let t_matchline = node.wire_delay_ns(matchline_len) + 0.0015 * org.tag_bits as f64 + node.sense_amp_ns;
+    let t_matchline =
+        node.wire_delay_ns(matchline_len) + 0.0015 * org.tag_bits as f64 + node.sense_amp_ns;
     // Priority encoder over all entries (hierarchical).
     let t_encoder = node.fo4_ns * (entries as f64).log2().ceil() * 0.8;
     // Routing across blocks: H-tree over the tag-array footprint.
@@ -87,9 +88,14 @@ pub fn estimate_cam(org: &CamOrganization, node: &ProcessNode) -> MemoryEstimate
     let access = t_search_drive + t_matchline + t_encoder + t_block_route + t_data + node.output_ns;
 
     // --- Area ----------------------------------------------------------------
-    let tag_area_um2 =
-        entries as f64 * org.tag_bits as f64 * node.cam_cell_um2 * pitch * pitch * node.periphery_overhead;
-    let area = tag_area_um2 * 1e-8 + data.area_cm2 * (node.cam_cell_um2 / node.sram_cell_um2).sqrt();
+    let tag_area_um2 = entries as f64
+        * org.tag_bits as f64
+        * node.cam_cell_um2
+        * pitch
+        * pitch
+        * node.periphery_overhead;
+    let area =
+        tag_area_um2 * 1e-8 + data.area_cm2 * (node.cam_cell_um2 / node.sram_cell_um2).sqrt();
 
     MemoryEstimate {
         access_time_ns: access,
@@ -167,8 +173,14 @@ mod tests {
     #[test]
     fn ports_increase_cam_cost() {
         let node = ProcessNode::node_130nm();
-        let one = estimate_cam(&CamOrganization::new(1 << 14, 512, 32).with_ports(1, 1), &node);
-        let two = estimate_cam(&CamOrganization::new(1 << 14, 512, 32).with_ports(2, 2), &node);
+        let one = estimate_cam(
+            &CamOrganization::new(1 << 14, 512, 32).with_ports(1, 1),
+            &node,
+        );
+        let two = estimate_cam(
+            &CamOrganization::new(1 << 14, 512, 32).with_ports(2, 2),
+            &node,
+        );
         assert!(two.area_cm2 > one.area_cm2);
         assert!(two.access_time_ns >= one.access_time_ns);
     }

@@ -63,7 +63,8 @@ fn delay_for_partition(org: &SramOrganization, node: &ProcessNode, p: &ArrayPart
 
     // Bitline: discharge along the sub-array height (dominated by wire +
     // cell loading), then the sense amplifier.
-    let t_bitline = node.wire_delay_ns(subarray_height) + 0.00045 * p.rows as f64 + node.sense_amp_ns;
+    let t_bitline =
+        node.wire_delay_ns(subarray_height) + 0.00045 * p.rows as f64 + node.sense_amp_ns;
 
     // Routing from the selected sub-array to the edge of the macro plus the
     // output multiplexer tree over the sub-arrays. The request travels down
@@ -178,9 +179,17 @@ mod tests {
         // 3.2 ns OC-3072 slot, while RADS-class megabyte SRAMs exceed it —
         // the crossover the paper's Figures 10 and 11 rely on.
         let cfds_class = est(192 << 10, (1, 1));
-        assert!(cfds_class.access_time_ns < 3.2, "{}", cfds_class.access_time_ns);
+        assert!(
+            cfds_class.access_time_ns < 3.2,
+            "{}",
+            cfds_class.access_time_ns
+        );
         let rads_class = est(1 << 20, (1, 1));
-        assert!(rads_class.access_time_ns > 3.2, "{}", rads_class.access_time_ns);
+        assert!(
+            rads_class.access_time_ns > 3.2,
+            "{}",
+            rads_class.access_time_ns
+        );
     }
 
     #[test]

@@ -86,9 +86,7 @@ pub struct RandomEligibleDsa {
 impl RandomEligibleDsa {
     /// Creates the policy with a non-zero seed.
     pub fn new(seed: u64) -> Self {
-        RandomEligibleDsa {
-            state: seed.max(1),
-        }
+        RandomEligibleDsa { state: seed.max(1) }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -183,7 +181,10 @@ mod tests {
         let mut dsa = RandomEligibleDsa::new(42);
         for _ in 0..50 {
             let pos = dsa.choose(&rr, &orr).unwrap();
-            assert!(pos == 1 || pos == 3 || pos == 4, "picked locked entry {pos}");
+            assert!(
+                pos == 1 || pos == 3 || pos == 4,
+                "picked locked entry {pos}"
+            );
         }
         assert_eq!(dsa.name(), "random-eligible");
     }

@@ -233,7 +233,10 @@ impl RenamingTable {
         assert!(head.blocks > 0, "note_block_read with zero recorded blocks");
         head.blocks -= 1;
         if head.blocks == 0 {
-            let released = self.registers[idx].pop_front().expect("head exists").physical;
+            let released = self.registers[idx]
+                .pop_front()
+                .expect("head exists")
+                .physical;
             let group = self.group_of(released);
             self.free[group.index()].push(released);
             self.releases += 1;

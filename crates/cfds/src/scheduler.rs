@@ -242,7 +242,7 @@ mod tests {
         let mut d = dss(DsaPolicy::OldestFirst);
         let qa = PhysicalQueueId::new(0); // group 0
         let qb = PhysicalQueueId::new(4); // also group 0 (8 queues, 4 groups)
-        // Both queues start at ordinal 0 → both target bank 0 of group 0.
+                                          // Both queues start at ordinal 0 → both target bank 0 of group 0.
         d.submit_read(qa, 0);
         d.submit_read(qb, 1);
         // And a queue in another group.

@@ -1,8 +1,9 @@
 //! CFDS dimensioning formulas (equations (1)–(4) of §5, reconstructed).
 //!
 //! The scanned equations are partly garbled; the reconstructions below follow
-//! the surrounding prose and are cross-checked against Table 2 (see
-//! `EXPERIMENTS.md` for the residual discrepancies at `b = B/2` and `b = B`)
+//! the surrounding prose and are cross-checked against Table 2 (the `table2`
+//! binary in the `bench` crate prints the reproduced column next to the
+//! paper's, including the residual discrepancies at `b = B/2` and `b = B`)
 //! and against the empirical maxima measured by the slot-level simulator.
 
 use mma::sizing::rads_sram_size_cells;
@@ -46,8 +47,7 @@ pub fn latency_slots(cfg: &CfdsConfig) -> usize {
     if cfg.banks_per_group() <= 1 {
         return 0;
     }
-    (rr_size(cfg) + max_skips(cfg)) * cfg.granularity
-        + (cfg.rads_granularity - cfg.granularity)
+    (rr_size(cfg) + max_skips(cfg)) * cfg.granularity + (cfg.rads_granularity - cfg.granularity)
 }
 
 /// Head-SRAM size in cells (equation (4)): the RADS requirement at granularity

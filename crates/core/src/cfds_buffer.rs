@@ -5,7 +5,9 @@ use crate::hsram::HeadSramKind;
 use crate::stats::BufferStats;
 use crate::traits::{PacketBuffer, SlotOutcome};
 use crate::verify::DeliveryVerifier;
-use cfds::{sizing as cfds_sizing, DramSchedulerSubsystem, DsaPolicy, LatencyRegister, RenamingTable};
+use cfds::{
+    sizing as cfds_sizing, DramSchedulerSubsystem, DsaPolicy, LatencyRegister, RenamingTable,
+};
 use dram_sim::{AccessKind, AddressMapper, BankArray, DramStore, GroupId, InterleavingConfig};
 use mma::{HeadMmaPolicy, HeadMmaSubsystem, TailMma, ThresholdTailMma};
 use pktbuf_model::{Cell, CfdsConfig, LogicalQueueId, PhysicalQueueId};
@@ -205,7 +207,7 @@ impl CfdsBuffer {
     pub fn preload_dram(&mut self, queue: LogicalQueueId, cells: Vec<Cell>) {
         let b = self.cfg.granularity;
         assert!(
-            cells.len() % b == 0,
+            cells.len().is_multiple_of(b),
             "preload length must be a multiple of the granularity"
         );
         self.available[queue.as_usize()] += cells.len() as u64;
@@ -310,8 +312,10 @@ impl CfdsBuffer {
         let qi = queue.as_usize();
         let block_index = self.read_blocks_submitted[qi];
         self.read_blocks_submitted[qi] += 1;
-        self.read_tags
-            .insert((physical.index(), request.block_ordinal), (queue, block_index));
+        self.read_tags.insert(
+            (physical.index(), request.block_ordinal),
+            (queue, block_index),
+        );
     }
 
     fn issue_opportunities(&mut self, now: u64) {
@@ -333,10 +337,11 @@ impl CfdsBuffer {
                     self.group_pending[group.index()] =
                         self.group_pending[group.index()].saturating_sub(1);
                     if let Some(cells) = self.pending_writes.remove(&key) {
-                        match self
-                            .store
-                            .write_block_at(physical, issued.request.block_ordinal, cells)
-                        {
+                        match self.store.write_block_at(
+                            physical,
+                            issued.request.block_ordinal,
+                            cells,
+                        ) {
                             Ok(()) => self.stats.dram_writes += 1,
                             Err(_) => self.stats.blocked_writebacks += 1,
                         }
@@ -422,7 +427,7 @@ impl PacketBuffer for CfdsBuffer {
         let emerged = self.latency.push(due);
 
         // 4. Every b slots: MMA decisions and DSS issue opportunities.
-        if now % self.cfg.granularity as u64 == 0 {
+        if now.is_multiple_of(self.cfg.granularity as u64) {
             self.submit_writeback(now);
             self.submit_replenishment(now);
             self.issue_opportunities(now);
@@ -495,7 +500,9 @@ mod tests {
 
     fn preload_all(buf: &mut CfdsBuffer, q: usize, cells_per_queue: u64) {
         for i in 0..q as u32 {
-            let cells: Vec<Cell> = (0..cells_per_queue).map(|s| Cell::new(lq(i), s, 0)).collect();
+            let cells: Vec<Cell> = (0..cells_per_queue)
+                .map(|s| Cell::new(lq(i), s, 0))
+                .collect();
             buf.preload_dram(lq(i), cells);
         }
     }

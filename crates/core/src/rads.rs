@@ -119,7 +119,7 @@ impl RadsBuffer {
     pub fn preload_dram(&mut self, queue: LogicalQueueId, cells: Vec<Cell>) {
         let b = self.cfg.granularity;
         assert!(
-            cells.len() % b == 0,
+            cells.len().is_multiple_of(b),
             "preload length must be a multiple of the granularity"
         );
         self.available[queue.as_usize()] += cells.len() as u64;
@@ -244,7 +244,7 @@ impl PacketBuffer for RadsBuffer {
         }
 
         // 4. Every B slots the DRAM performs one write and one read access.
-        if now % self.cfg.granularity as u64 == 0 {
+        if now.is_multiple_of(self.cfg.granularity as u64) {
             self.dram_period_ops(now);
         }
 
@@ -313,7 +313,9 @@ mod tests {
 
     fn preload_all(buf: &mut RadsBuffer, q: usize, cells_per_queue: u64) {
         for i in 0..q as u32 {
-            let cells: Vec<Cell> = (0..cells_per_queue).map(|s| Cell::new(lq(i), s, 0)).collect();
+            let cells: Vec<Cell> = (0..cells_per_queue)
+                .map(|s| Cell::new(lq(i), s, 0))
+                .collect();
             buf.preload_dram(lq(i), cells);
         }
     }
@@ -387,11 +389,10 @@ mod tests {
         let q = 2;
         let b = 2;
         let mut buf = RadsBuffer::new(small_cfg(q, b));
-        // Feed 16 cells to queue 0 through the tail path.
-        let mut seq = 0u64;
+        // Feed 16 cells to queue 0 through the tail path (seq follows the
+        // arrival slot one-to-one here).
         for t in 0..16u64 {
-            let cell = Cell::new(lq(0), seq, t);
-            seq += 1;
+            let cell = Cell::new(lq(0), t, t);
             buf.step(Some(cell), None);
         }
         // Let the tail MMA push everything to DRAM.

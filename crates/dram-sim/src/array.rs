@@ -27,7 +27,9 @@ impl BankArray {
     pub fn new(num_banks: usize, busy_slots: u64) -> Self {
         assert!(num_banks > 0, "a DRAM needs at least one bank");
         BankArray {
-            banks: (0..num_banks).map(|i| Bank::new(BankId::new(i as u32))).collect(),
+            banks: (0..num_banks)
+                .map(|i| Bank::new(BankId::new(i as u32)))
+                .collect(),
             busy_slots,
             stats: DramStats::default(),
         }

@@ -58,7 +58,8 @@ pub struct SdramChip {
 }
 
 impl SdramChip {
-    /// The single-chip design point of [9]: 16 Mb SDRAM, 16-bit interface,
+    /// The single-chip design point of reference \[9\] of the paper: 16 Mb
+    /// SDRAM, 16-bit interface,
     /// 100 MHz clock.
     pub fn reference_16mb() -> Self {
         SdramChip {

@@ -74,7 +74,7 @@ impl InterleavingConfig {
         if num_physical_queues == 0 {
             return Err(MappingError::Zero("num_physical_queues"));
         }
-        if num_banks % banks_per_group != 0 {
+        if !num_banks.is_multiple_of(banks_per_group) {
             return Err(MappingError::NotDivisible {
                 num_banks,
                 banks_per_group,
@@ -213,9 +213,7 @@ impl AddressMapper {
         let queue_high = queue.as_usize() as u64 / groups;
         // Row index within the bank combines the per-bank block row and the
         // high-order queue bits (each queue owns a contiguous row range).
-        let row = queue_high
-            .wrapping_mul(1 << 20)
-            .wrapping_add(d.row);
+        let row = queue_high.wrapping_mul(1 << 20).wrapping_add(d.row);
         let mut addr = row;
         addr = addr * groups + d.group.index() as u64;
         addr = addr * bpg + d.bank_in_group as u64;

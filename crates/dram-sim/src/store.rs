@@ -190,10 +190,7 @@ impl DramStore {
     ///
     /// [`StoreError::QueueEmpty`] when the queue holds no block;
     /// [`StoreError::QueueOutOfRange`] for an unknown queue.
-    pub fn read_block(
-        &mut self,
-        queue: PhysicalQueueId,
-    ) -> Result<(u64, Vec<Cell>), StoreError> {
+    pub fn read_block(&mut self, queue: PhysicalQueueId) -> Result<(u64, Vec<Cell>), StoreError> {
         let idx = self.check_queue(queue)?;
         let ordinal = *self.queues[idx]
             .keys()
@@ -372,8 +369,10 @@ mod tests {
         let mut s = store(4);
         assert_eq!(s.total_blocks(), 0);
         assert_eq!(s.utilisation(), 0.0);
-        s.write_block(PhysicalQueueId::new(0), mk_cells(0, 0, 4)).unwrap();
-        s.write_block(PhysicalQueueId::new(1), mk_cells(1, 0, 4)).unwrap();
+        s.write_block(PhysicalQueueId::new(0), mk_cells(0, 0, 4))
+            .unwrap();
+        s.write_block(PhysicalQueueId::new(1), mk_cells(1, 0, 4))
+            .unwrap();
         assert_eq!(s.total_blocks(), 2);
         assert_eq!(s.group_occupancy(GroupId::new(0)), 1);
         assert_eq!(s.group_occupancy(GroupId::new(1)), 1);
@@ -384,9 +383,12 @@ mod tests {
     #[test]
     fn least_loaded_and_groups_with_room() {
         let mut s = store(2);
-        s.write_block(PhysicalQueueId::new(0), mk_cells(0, 0, 1)).unwrap();
-        s.write_block(PhysicalQueueId::new(0), mk_cells(0, 1, 1)).unwrap();
-        s.write_block(PhysicalQueueId::new(1), mk_cells(1, 0, 1)).unwrap();
+        s.write_block(PhysicalQueueId::new(0), mk_cells(0, 0, 1))
+            .unwrap();
+        s.write_block(PhysicalQueueId::new(0), mk_cells(0, 1, 1))
+            .unwrap();
+        s.write_block(PhysicalQueueId::new(1), mk_cells(1, 0, 1))
+            .unwrap();
         // Group 0 full, group 1 half, groups 2 and 3 empty.
         let ll = s.least_loaded_group();
         assert!(ll == GroupId::new(2) || ll == GroupId::new(3));

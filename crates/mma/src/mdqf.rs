@@ -10,7 +10,8 @@ use pktbuf_model::LogicalQueueId;
 ///
 /// Unlike ECQF it does not need the full `Q·(B−1)+1` lookahead — it degrades
 /// gracefully down to a lookahead of one slot — but it requires a larger SRAM
-/// (on the order of `Q·B·ln Q` cells for zero lookahead, [13]).
+/// (on the order of `Q·B·ln Q` cells for zero lookahead, reference \[13\] of
+/// the paper).
 #[derive(Debug, Clone)]
 pub struct MdqfMma {
     granularity: usize,
@@ -35,8 +36,7 @@ impl HeadMma for MdqfMma {
     ) -> Option<LogicalQueueId> {
         // deficit[q] = pending requests − counter.
         self.scratch.clear();
-        self.scratch
-            .extend(counters.snapshot().iter().map(|c| -c));
+        self.scratch.extend(counters.snapshot().iter().map(|c| -c));
         for request in lookahead.iter().flatten() {
             self.scratch[request.as_usize()] += 1;
         }

@@ -1,4 +1,4 @@
-//! RADS dimensioning formulas (§3 and [13]).
+//! RADS dimensioning formulas (§3 and reference \[13\] of the paper).
 //!
 //! The exact closed form of `rads_sram_size(L, Q, B)` is given in the Iyer,
 //! Kompella, McKeown technical report that the paper references; the paper
@@ -41,9 +41,7 @@ pub fn rads_sram_size_cells(lookahead: usize, num_queues: usize, granularity: us
     let l_max = min_lookahead(num_queues, granularity);
     let l = lookahead.clamp(1, l_max);
     let base = ecqf_min_sram_cells(num_queues, granularity);
-    let extra = (num_queues as f64)
-        * (granularity as f64)
-        * ((l_max as f64) / (l as f64)).ln();
+    let extra = (num_queues as f64) * (granularity as f64) * ((l_max as f64) / (l as f64)).ln();
     base + extra.ceil() as usize
 }
 
@@ -78,7 +76,10 @@ mod tests {
         // OC-768: Q = 128, B = 8 → ~0.9k cells ≈ 58 kB ("64 kB" in the paper).
         let cells = rads_sram_size_cells(min_lookahead(128, 8), 128, 8);
         let kb = cells as f64 * 64.0 / 1e3;
-        assert!(kb > 50.0 && kb < 70.0, "OC-768 max-lookahead SRAM = {kb} kB");
+        assert!(
+            kb > 50.0 && kb < 70.0,
+            "OC-768 max-lookahead SRAM = {kb} kB"
+        );
     }
 
     #[test]

@@ -40,7 +40,12 @@ impl std::fmt::Debug for HeadMmaSubsystem {
 impl HeadMmaSubsystem {
     /// Creates a subsystem with the given policy, lookahead length and number
     /// of queues.
-    pub fn new(policy: HeadMmaPolicy, granularity: usize, lookahead: usize, num_queues: usize) -> Self {
+    pub fn new(
+        policy: HeadMmaPolicy,
+        granularity: usize,
+        lookahead: usize,
+        num_queues: usize,
+    ) -> Self {
         HeadMmaSubsystem {
             lookahead: LookaheadRegister::new(lookahead),
             counters: OccupancyCounters::new(num_queues),

@@ -229,14 +229,14 @@ impl CfdsConfig {
                 return Err(ConfigError::ZeroParameter(name));
             }
         }
-        if self.rads_granularity % self.granularity != 0 {
+        if !self.rads_granularity.is_multiple_of(self.granularity) {
             return Err(ConfigError::GranularityNotDivisor {
                 b: self.granularity,
                 big_b: self.rads_granularity,
             });
         }
         let bpg = self.banks_per_group();
-        if self.num_banks % bpg != 0 {
+        if !self.num_banks.is_multiple_of(bpg) {
             return Err(ConfigError::BanksNotDivisible {
                 banks: self.num_banks,
                 banks_per_group: bpg,

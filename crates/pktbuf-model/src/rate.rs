@@ -9,13 +9,14 @@ use std::fmt;
 ///
 /// The basic time-slot of the buffer is the transmission time of one 64-byte
 /// cell at the line rate; e.g. 3.2 ns at OC-3072 (§2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum LineRate {
     /// OC-192, 10 Gb/s.
     Oc192,
     /// OC-768, 40 Gb/s.
     Oc768,
     /// OC-3072, 160 Gb/s — the paper's headline target.
+    #[default]
     Oc3072,
     /// Arbitrary rate in gigabits per second.
     CustomGbps(f64),
@@ -81,12 +82,6 @@ impl fmt::Display for LineRate {
     }
 }
 
-impl Default for LineRate {
-    fn default() -> Self {
-        LineRate::Oc3072
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,10 +118,7 @@ mod tests {
 
     #[test]
     fn required_bandwidth_is_twice_line_rate() {
-        assert!(close(
-            LineRate::Oc768.required_buffer_bandwidth_bps(),
-            80e9
-        ));
+        assert!(close(LineRate::Oc768.required_buffer_bandwidth_bps(), 80e9));
     }
 
     #[test]

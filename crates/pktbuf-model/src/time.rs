@@ -74,7 +74,7 @@ impl fmt::Display for Slot {
 
 /// A physical duration in nanoseconds.
 ///
-/// Used by the technology model ([`cacti-lite`]) and by the conversion between
+/// Used by the technology model (the `cacti_lite` crate) and by the conversion between
 /// DRAM timing parameters and slot counts.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
 #[serde(transparent)]

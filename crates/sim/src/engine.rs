@@ -135,9 +135,11 @@ mod tests {
         let mut buf = RadsBuffer::new(cfg);
         let mut arrivals = UniformArrivals::new(4, 0.8, 42);
         let mut requests = AdversarialRoundRobin::new(4);
-        let report = SimulationEngine::new(&mut buf)
-            .record_grants(true)
-            .run(&mut arrivals, &mut requests, 2_000);
+        let report = SimulationEngine::new(&mut buf).record_grants(true).run(
+            &mut arrivals,
+            &mut requests,
+            2_000,
+        );
         assert_eq!(report.design, "RADS");
         assert!(report.workload.contains("uniform"));
         assert!(report.stats.is_loss_free(), "{:?}", report.stats);
@@ -161,8 +163,7 @@ mod tests {
         let mut buf = CfdsBuffer::new(cfg);
         let mut arrivals = UniformArrivals::new(4, 0.8, 7);
         let mut requests = AdversarialRoundRobin::new(4);
-        let report =
-            SimulationEngine::new(&mut buf).run(&mut arrivals, &mut requests, 2_000);
+        let report = SimulationEngine::new(&mut buf).run(&mut arrivals, &mut requests, 2_000);
         assert_eq!(report.design, "CFDS");
         assert!(report.stats.is_loss_free(), "{:?}", report.stats);
         assert_eq!(report.stats.bank_conflicts, 0);

@@ -129,7 +129,8 @@ impl Scenario {
             DesignKind::Cfds => self.granularity,
             _ => self.rads_granularity,
         };
-        let preload = self.preload_cells_per_queue - self.preload_cells_per_queue % granularity as u64;
+        let preload =
+            self.preload_cells_per_queue - self.preload_cells_per_queue % granularity as u64;
         match self.design {
             DesignKind::DramOnly => {
                 let mut buf = DramOnlyBuffer::new(self.rads_config());
@@ -163,7 +164,9 @@ impl Scenario {
             }
             Workload::UniformRandom => Box::new(UniformArrivals::new(q, 0.8, self.seed)),
             Workload::Bursty => Box::new(BurstyArrivals::new(q, 32.0, 8.0, self.seed)),
-            Workload::Hotspot => Box::new(HotspotArrivals::new(q, 0.9, q.div_ceil(8), 0.8, self.seed)),
+            Workload::Hotspot => {
+                Box::new(HotspotArrivals::new(q, 0.9, q.div_ceil(8), 0.8, self.seed))
+            }
         }
     }
 
@@ -174,7 +177,9 @@ impl Scenario {
                 Box::new(AdversarialRoundRobin::new(q))
             }
             Workload::UniformRandom => Box::new(UniformRandomRequests::new(q, 0.9, self.seed + 1)),
-            Workload::Hotspot => Box::new(HotspotRequests::new(q, q.div_ceil(8), 0.8, self.seed + 1)),
+            Workload::Hotspot => {
+                Box::new(HotspotRequests::new(q, q.div_ceil(8), 0.8, self.seed + 1))
+            }
             Workload::GreedyDrain => Box::new(GreedyQueueDrain::new(q)),
         }
     }

@@ -185,8 +185,8 @@ pub fn rads_point(
 /// Figure 10 point: a CFDS design with the given configuration and lookahead.
 pub fn cfds_point(cfg: &CfdsConfig, lookahead: usize, node: &ProcessNode) -> DesignPoint {
     let head_cells = cfds_sizing::sram_cells(cfg, lookahead);
-    let tail_cells = cfg.num_queues * (cfg.granularity - 1) + cfg.granularity
-        + cfds_sizing::latency_slots(cfg);
+    let tail_cells =
+        cfg.num_queues * (cfg.granularity - 1) + cfg.granularity + cfds_sizing::latency_slots(cfg);
     DesignPoint {
         design: "CFDS".to_string(),
         granularity: cfg.granularity,
@@ -293,7 +293,11 @@ mod tests {
         // §7.2: RADS is fine at OC-768 (12.8 ns slot) even at the shortest
         // lookahead, but cannot meet OC-3072 (3.2 ns) even at the longest.
         let oc768 = rads_point(LineRate::Oc768, 128, 8, 64, &node());
-        assert!(oc768.meets(LineRate::Oc768), "{}", oc768.best_access_time_ns());
+        assert!(
+            oc768.meets(LineRate::Oc768),
+            "{}",
+            oc768.best_access_time_ns()
+        );
         let oc3072 = rads_point(
             LineRate::Oc3072,
             512,
@@ -320,7 +324,11 @@ mod tests {
             .build()
             .unwrap();
         let point = cfds_point(&cfg, cfg.min_lookahead(), &node());
-        assert!(point.meets(LineRate::Oc3072), "{}", point.best_access_time_ns());
+        assert!(
+            point.meets(LineRate::Oc3072),
+            "{}",
+            point.best_access_time_ns()
+        );
         assert!(point.delay_seconds < 3e-5, "{}", point.delay_seconds);
         assert!(point.total_area_cm2() < 1.5, "{}", point.total_area_cm2());
         // And it is both faster and smaller than the RADS equivalent.
@@ -355,7 +363,10 @@ mod tests {
             cfds_max as f64 >= 3.0 * rads_max as f64,
             "CFDS {cfds_max} vs RADS {rads_max}"
         );
-        assert!(cfds_max >= 512, "CFDS reaches the paper's target Q (got {cfds_max})");
+        assert!(
+            cfds_max >= 512,
+            "CFDS reaches the paper's target Q (got {cfds_max})"
+        );
     }
 
     #[test]

@@ -77,10 +77,7 @@ impl SharedBuffer for GlobalCamBuffer {
             });
         }
         let base = ordinal * self.cells_per_block as u64;
-        if self
-            .store
-            .contains_key(&(queue.index(), base))
-        {
+        if self.store.contains_key(&(queue.index(), base)) {
             return Err(BufferError::DuplicateBlock { queue, ordinal });
         }
         for (i, cell) in cells.into_iter().enumerate() {

@@ -134,26 +134,25 @@ impl BurstyArrivals {
         }
         let p = 1.0 / mean;
         let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-        (u.ln() / (1.0 - p).max(f64::MIN_POSITIVE).ln()).ceil().max(1.0) as u64
+        (u.ln() / (1.0 - p).max(f64::MIN_POSITIVE).ln())
+            .ceil()
+            .max(1.0) as u64
     }
 }
 
 impl ArrivalGenerator for BurstyArrivals {
     fn next(&mut self, slot: u64) -> Option<Cell> {
         if self.remaining == 0 {
-            match self.current_queue {
-                Some(_) => {
-                    // Burst ended: start an idle period.
-                    self.current_queue = None;
-                    self.remaining = Self::geometric(&mut self.rng, self.mean_idle);
-                    if self.remaining == 0 {
-                        // Zero-length idle: fall through to a new burst below.
-                    } else {
-                        self.remaining -= 1;
-                        return None;
-                    }
+            if self.current_queue.is_some() {
+                // Burst ended: start an idle period.
+                self.current_queue = None;
+                self.remaining = Self::geometric(&mut self.rng, self.mean_idle);
+                if self.remaining == 0 {
+                    // Zero-length idle: fall through to a new burst below.
+                } else {
+                    self.remaining -= 1;
+                    return None;
                 }
-                None => {}
             }
             // Start a new burst.
             let q = self.rng.gen_range(0..self.seq.num_queues()) as u32;
@@ -250,7 +249,7 @@ mod tests {
     #[test]
     fn uniform_sequences_are_fifo_per_queue() {
         let mut g = UniformArrivals::new(4, 1.0, 2);
-        let mut last = vec![None::<u64>; 4];
+        let mut last = [None::<u64>; 4];
         for t in 0..1_000 {
             if let Some(c) = g.next(t) {
                 let qi = c.queue().as_usize();

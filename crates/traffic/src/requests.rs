@@ -230,7 +230,9 @@ mod tests {
         let mut remaining = [3u64, 2, 0, 1];
         for _ in 0..6 {
             let counts = remaining;
-            let pick = g.next(0, &|qq: LogicalQueueId| counts[qq.as_usize()]).unwrap();
+            let pick = g
+                .next(0, &|qq: LogicalQueueId| counts[qq.as_usize()])
+                .unwrap();
             remaining[pick.as_usize()] -= 1;
         }
         assert_eq!(remaining, [0, 0, 0, 0]);
@@ -240,7 +242,7 @@ mod tests {
     #[test]
     fn uniform_random_only_requests_available_queues() {
         let mut g = UniformRandomRequests::new(8, 1.0, 7);
-        let avail = |qq: LogicalQueueId| if qq.index() % 2 == 0 { 1 } else { 0 };
+        let avail = |qq: LogicalQueueId| if qq.index().is_multiple_of(2) { 1 } else { 0 };
         for t in 0..200 {
             if let Some(picked) = g.next(t, &avail) {
                 assert_eq!(picked.index() % 2, 0);

@@ -10,10 +10,10 @@
 //! Run with: `cargo run --release --example oc3072_router`
 
 use future_packet_buffers::buffers::{CfdsBuffer, DramOnlyBuffer, PacketBuffer, RadsBuffer};
+use future_packet_buffers::cacti::ProcessNode;
 use future_packet_buffers::model::{CfdsConfig, LineRate, LogicalQueueId, RadsConfig};
 use future_packet_buffers::sim::techeval;
 use future_packet_buffers::traffic::{preload_cells, AdversarialRoundRobin, RequestGenerator};
-use future_packet_buffers::cacti::ProcessNode;
 
 const QUEUES: usize = 64; // scaled from 512 to keep the example fast
 const CELLS_PER_QUEUE: u64 = 64;

@@ -6,7 +6,7 @@
 use future_packet_buffers::buffers::{CfdsBuffer, PacketBuffer};
 use future_packet_buffers::model::{CfdsConfig, LineRate, LogicalQueueId};
 use future_packet_buffers::traffic::{
-    AdversarialRoundRobin, RequestGenerator, RoundRobinArrivals, ArrivalGenerator,
+    AdversarialRoundRobin, ArrivalGenerator, RequestGenerator, RoundRobinArrivals,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -40,15 +40,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let arrival = (t < active).then(|| arrivals.next(t)).flatten();
         let request = requests.next(t, &|q: LogicalQueueId| buf.requestable_cells(q));
         let outcome = buf.step(arrival, request);
-        assert!(outcome.miss.is_none(), "a miss would violate the worst-case guarantee");
+        assert!(
+            outcome.miss.is_none(),
+            "a miss would violate the worst-case guarantee"
+        );
     }
 
     let stats = buf.stats();
     println!("slots simulated        : {}", stats.slots);
-    println!("cells through the buffer: {} in / {} out", stats.arrivals, stats.grants);
-    println!("misses / drops / conflicts: {} / {} / {}", stats.misses, stats.drops, stats.bank_conflicts);
-    println!("peak head SRAM (cells) : {} (analytical bound {})", stats.peak_head_sram_cells, buf.analytical_head_sram());
-    println!("peak requests register : {} (analytical bound {})", buf.peak_rr_occupancy(), buf.analytical_rr_size());
+    println!(
+        "cells through the buffer: {} in / {} out",
+        stats.arrivals, stats.grants
+    );
+    println!(
+        "misses / drops / conflicts: {} / {} / {}",
+        stats.misses, stats.drops, stats.bank_conflicts
+    );
+    println!(
+        "peak head SRAM (cells) : {} (analytical bound {})",
+        stats.peak_head_sram_cells,
+        buf.analytical_head_sram()
+    );
+    println!(
+        "peak requests register : {} (analytical bound {})",
+        buf.peak_rr_occupancy(),
+        buf.analytical_rr_size()
+    );
     println!("loss-free              : {}", stats.is_loss_free());
     Ok(())
 }

@@ -22,15 +22,20 @@ fn main() {
     let banks = 256usize;
     let node = ProcessNode::node_130nm();
 
-    println!(
-        "Dimensioning sweep at {line_rate}, Q = {num_queues}, B = {big_b}, M = {banks}\n"
-    );
+    println!("Dimensioning sweep at {line_rate}, Q = {num_queues}, B = {big_b}, M = {banks}\n");
     let mut table = TextTable::new(vec![
-        "b", "lookahead", "latency", "delay(us)", "head SRAM", "RR", "access(ns)", "area(cm2)",
+        "b",
+        "lookahead",
+        "latency",
+        "delay(us)",
+        "head SRAM",
+        "RR",
+        "access(ns)",
+        "area(cm2)",
         "meets 3.2ns",
     ]);
     for b in [32usize, 16, 8, 4, 2, 1] {
-        if big_b % b != 0 || banks % (big_b / b) != 0 {
+        if !big_b.is_multiple_of(b) || !banks.is_multiple_of(big_b / b) {
             continue;
         }
         let point = if b == big_b {

@@ -41,11 +41,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if let Some(cell) = outcome.granted {
             per_queue_grants[cell.queue().as_usize()] += 1;
         }
-        assert!(outcome.miss.is_none(), "zero-miss guarantee violated at slot {t}");
+        assert!(
+            outcome.miss.is_none(),
+            "zero-miss guarantee violated at slot {t}"
+        );
     }
 
     let stats = buf.stats();
-    println!("VOQ line card with {num_queues} queues over {} slots", stats.slots);
+    println!(
+        "VOQ line card with {num_queues} queues over {} slots",
+        stats.slots
+    );
     println!(
         "arrivals {}   grants {}   misses {}   drops {}   bank conflicts {}",
         stats.arrivals, stats.grants, stats.misses, stats.drops, stats.bank_conflicts

@@ -16,8 +16,8 @@
 //! * [`traffic`] — arrival and arbiter-request workload generators.
 //! * [`sim`] — slot-level engine, scenarios and the technology evaluation.
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
-//! `EXPERIMENTS.md` for the paper-versus-measured comparison.
+//! See `README.md` for a tour of the workspace, the design notes, and how to
+//! run the tests, benches and experiment binaries.
 
 #![warn(missing_docs)]
 

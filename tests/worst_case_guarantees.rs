@@ -41,7 +41,10 @@ fn every_workload_is_loss_free_on_rads_and_cfds() {
                 "{design:?}/{workload:?}: {:?}",
                 report.stats
             );
-            assert!(report.stats.grants > 1_000, "{design:?}/{workload:?} made progress");
+            assert!(
+                report.stats.grants > 1_000,
+                "{design:?}/{workload:?} made progress"
+            );
         }
     }
 }
@@ -74,7 +77,12 @@ fn designs_deliver_identical_per_queue_grant_counts() {
 fn cfds_peak_rr_and_delay_respect_the_analytical_bounds() {
     // Several (b, B, M, Q) combinations; the empirical maxima from the
     // adversarial drain must stay within equations (1)–(3).
-    for (q, b, big_b, m) in [(8, 2, 8, 16), (16, 4, 16, 64), (32, 2, 16, 64), (24, 4, 8, 32)] {
+    for (q, b, big_b, m) in [
+        (8, 2, 8, 16),
+        (16, 4, 16, 64),
+        (32, 2, 16, 64),
+        (24, 4, 8, 32),
+    ] {
         let cfg = cfds_cfg(q, b, big_b, m);
         let mut buf = CfdsBuffer::new(cfg);
         for (queue, cells) in preload_cells(q, 64) {
@@ -138,17 +146,14 @@ fn rads_peak_head_sram_respects_the_ecqf_bound() {
 fn cfds_handles_interleaved_arrivals_and_requests_for_long_runs() {
     let cfg = cfds_cfg(12, 2, 8, 24);
     let mut buf = CfdsBuffer::new(cfg);
-    let mut seqs = vec![0u64; 12];
+    let mut seqs = [0u64; 12];
     let mut requests = AdversarialRoundRobin::new(12);
     // 30k slots of full-load arrivals round-robin over the queues, requests as
     // aggressive as the availability rule allows.
     for t in 0..30_000u64 {
         let qi = (t % 12) as usize;
-        let cell = future_packet_buffers::model::Cell::new(
-            LogicalQueueId::new(qi as u32),
-            seqs[qi],
-            t,
-        );
+        let cell =
+            future_packet_buffers::model::Cell::new(LogicalQueueId::new(qi as u32), seqs[qi], t);
         seqs[qi] += 1;
         let request = requests.next(t, &|qq: LogicalQueueId| buf.requestable_cells(qq));
         let out = buf.step(Some(cell), request);

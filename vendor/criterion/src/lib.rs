@@ -1,0 +1,264 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container cannot reach crates.io, so this crate implements the
+//! surface the workspace benches compile against — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! wall-clock measurement loop: each benchmark is warmed up once, then run
+//! `sample_size` times (or until `measurement_time` elapses, whichever comes
+//! first) and the minimum / mean / maximum per-iteration times are printed.
+//! There is no statistical analysis, outlier rejection or HTML report.
+//!
+//! `cargo bench` works end to end; numbers are indicative, not rigorous.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifies one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured routine.
+#[derive(Debug)]
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine` repeatedly; the routine's return value is
+    /// black-boxed so it cannot be optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, not recorded
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Bounds the wall-clock time spent measuring one benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs `routine` as the benchmark `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: R,
+    ) -> &mut Self
+    where
+        R: FnOnce(&mut Bencher<'_>, &I),
+    {
+        let full_name = format!("{}/{}", self.name, id);
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        run_one(&full_name, sample_size, measurement_time, |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Runs `routine` as the benchmark `name`.
+    pub fn bench_function<R>(&mut self, name: impl Display, routine: R) -> &mut Self
+    where
+        R: FnOnce(&mut Bencher<'_>),
+    {
+        let full_name = format!("{}/{}", self.name, name);
+        run_one(&full_name, self.sample_size, self.measurement_time, routine);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to `criterion_group!` target functions.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            measurement_time,
+        }
+    }
+
+    /// Runs `routine` as a stand-alone benchmark.
+    pub fn bench_function<R>(&mut self, name: impl Display, routine: R) -> &mut Self
+    where
+        R: FnOnce(&mut Bencher<'_>),
+    {
+        let name = name.to_string();
+        run_one(&name, self.sample_size, self.measurement_time, routine);
+        self
+    }
+}
+
+fn run_one<R: FnOnce(&mut Bencher<'_>)>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    routine: R,
+) {
+    let mut samples = Vec::with_capacity(sample_size);
+    let mut bencher = Bencher {
+        samples: &mut samples,
+        sample_size,
+        measurement_time,
+    };
+    routine(&mut bencher);
+    if samples.is_empty() {
+        println!("{name:<48} (no samples recorded)");
+        return;
+    }
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<48} time: [{} {} {}]  ({} samples)",
+        format_duration(*min),
+        format_duration(mean),
+        format_duration(*max),
+        samples.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        #[doc = ::core::concat!("Runs the `", ::core::stringify!($group), "` benchmark targets.")]
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(50));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_records() {
+        benches();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.000 µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.000 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

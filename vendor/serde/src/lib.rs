@@ -1,0 +1,157 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The build container cannot reach crates.io, so this crate defines the
+//! subset of serde's trait vocabulary that the workspace compiles against:
+//! [`Serialize`] / [`Deserialize`] with their `Serializer` / `Deserializer`
+//! drivers, the [`ser::SerializeStruct`] compound builder used by the manual
+//! `Cell` impl, and [`de::Error::custom`]. No encoder/decoder back end is
+//! provided (there is no `serde_json` here either); the impls exist so that
+//! derive bounds and manual impls type-check. Swapping `[workspace.dependencies]`
+//! back to the real serde requires no source changes.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialisation half of the serde data model (condensed).
+pub mod ser {
+    use core::fmt::Display;
+
+    /// Trait for serialisation errors, as in real serde.
+    pub trait Error: Sized + Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Returned by [`crate::Serializer::serialize_struct`]; receives one call
+    /// per field and a final [`SerializeStruct::end`].
+    pub trait SerializeStruct {
+        /// Value produced on success.
+        type Ok;
+        /// Error produced on failure.
+        type Error: Error;
+
+        /// Serialises one named field of the struct.
+        fn serialize_field<T: ?Sized + crate::Serialize>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+
+        /// Finishes the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+/// Deserialisation half of the serde data model (condensed).
+pub mod de {
+    use core::fmt::Display;
+
+    /// Trait for deserialisation errors, as in real serde.
+    pub trait Error: Sized + Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A data structure that can be serialised through any [`Serializer`].
+pub trait Serialize {
+    /// Serialises `self` into the given driver.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A format driver that data structures describe themselves to.
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: ser::Error;
+    /// Compound builder for structs.
+    type SerializeStruct: ser::SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serialises a unit value (also what the derive stand-in emits).
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialises a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Begins serialising a struct with `len` fields.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+}
+
+/// A data structure that can be reconstructed through any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Drives `deserializer` to produce a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A format driver that produces values for [`Deserialize`] impls.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: de::Error;
+}
+
+macro_rules! stub_serialize_via_u64 {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+
+stub_serialize_via_u64!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(self.to_bits())
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(f64::from(*self).to_bits())
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(serializer),
+            None => serializer.serialize_unit(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}

@@ -1,0 +1,79 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no access to crates.io, so this proc-macro crate
+//! provides `#[derive(Serialize)]` / `#[derive(Deserialize)]` with the same
+//! *surface* as the real ones: the derived impls satisfy trait bounds (for
+//! example `SerializeStruct::serialize_field<T: Serialize>`) and accept
+//! `#[serde(...)]` helper attributes, but they do not encode real data — the
+//! workspace never serialises at runtime today, it only needs the impls to
+//! exist. Swap this crate for the real `serde_derive` by editing
+//! `[workspace.dependencies]` once the build has network access.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts the identifier of the type a derive was applied to.
+///
+/// Walks the item token stream, skipping outer attributes and visibility
+/// modifiers, until it finds the `struct` / `enum` / `union` keyword; the next
+/// identifier is the type name. The derived types in this workspace are all
+/// non-generic, which the real derive and this stand-in both rely on here.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute body `[...]`.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Bracket {
+                        tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    if let Some(TokenTree::Ident(name)) = tokens.next() {
+                        return name.to_string();
+                    }
+                    panic!("serde derive stand-in: item has no name");
+                }
+                // `pub`, `pub(crate)` etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("serde derive stand-in: expected a struct, enum or union");
+}
+
+/// Stand-in for serde's `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 serializer.serialize_unit()\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde derive stand-in: generated impl must parse")
+}
+
+/// Stand-in for serde's `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(_deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 ::core::result::Result::Err(::serde::de::Error::custom(\n\
+                     \"the vendored serde stand-in cannot decode data\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde derive stand-in: generated impl must parse")
+}
