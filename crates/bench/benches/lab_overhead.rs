@@ -1,0 +1,96 @@
+//! Criterion micro-benchmark: dispatch overhead of the `LabRunner` /
+//! `ExperimentSpec` abstraction versus driving `SimulationEngine` directly
+//! with the same scenario. Guards against the declarative layer costing
+//! simulation throughput: per slot the runner should add only setup noise
+//! (expansion, boxing, one thread hop), not per-slot work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim::lab::LabRunner;
+use sim::scenario::{DesignKind, Scenario, Workload};
+use sim::spec::{ExperimentSpec, Sweep};
+use sim::SimulationEngine;
+
+const SLOTS: u64 = 8_192;
+
+fn scenario() -> Scenario {
+    Scenario {
+        design: DesignKind::Cfds,
+        workload: Workload::AdversarialRoundRobin,
+        num_queues: 32,
+        granularity: 4,
+        rads_granularity: 16,
+        num_banks: 64,
+        preload_cells_per_queue: 0,
+        arrival_slots: SLOTS,
+        seed: 1,
+        ..Scenario::small_cfds()
+    }
+}
+
+fn spec() -> ExperimentSpec {
+    let s = scenario();
+    ExperimentSpec::builder()
+        .name("lab-overhead")
+        .designs([s.design])
+        .workloads([s.workload])
+        .num_queues(Sweep::fixed(s.num_queues as u64))
+        .granularity(Sweep::fixed(s.granularity as u64))
+        .rads_granularity(Sweep::fixed(s.rads_granularity as u64))
+        .num_banks(Sweep::fixed(s.num_banks as u64))
+        .arrival_slots(s.arrival_slots)
+        .seeds([s.seed])
+        .build()
+        .expect("the overhead spec is valid")
+}
+
+fn bench_lab_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lab_overhead");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    // Baseline: one scenario driven straight through the engine.
+    group.bench_function("engine_direct", |b| {
+        b.iter(|| {
+            let report = scenario().run();
+            assert!(report.stats.grants > 0);
+            report.stats.grants
+        })
+    });
+
+    // Same run through the full declarative stack, single worker.
+    group.bench_function("lab_runner_1_thread", |b| {
+        let spec = spec();
+        let runner = LabRunner::new().with_threads(1);
+        b.iter(|| {
+            let report = runner.run(&spec).expect("spec runs");
+            assert_eq!(report.runs.len(), 1);
+            report.aggregate.total_grants
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_engine_reference(c: &mut Criterion) {
+    // Reference point: the engine without even the scenario layer, to see
+    // what the scenario convenience itself costs.
+    let mut group = c.benchmark_group("engine_reference");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("engine_raw", |b| {
+        b.iter(|| {
+            let s = scenario();
+            let mut buffer = s.build_buffer();
+            let mut arrivals = traffic::UniformArrivals::new(32, 0.9, 1);
+            let mut requests = traffic::AdversarialRoundRobin::new(32);
+            let report =
+                SimulationEngine::new(buffer.as_mut()).run(&mut arrivals, &mut requests, SLOTS);
+            assert!(report.stats.grants > 0);
+            report.stats.grants
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lab_overhead, bench_engine_reference);
+criterion_main!(benches);

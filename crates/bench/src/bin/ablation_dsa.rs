@@ -3,77 +3,11 @@
 //! reordering) and a random-eligible scheduler (eligibility without age
 //! order), under a bursty live workload that concentrates traffic on few
 //! queues (and hence few bank groups).
-
-use cfds::DsaPolicy;
-use pktbuf::{CfdsBuffer, CfdsBufferOptions, PacketBuffer};
-use pktbuf_model::{CfdsConfig, LineRate, LogicalQueueId};
-use sim::report::TextTable;
-use traffic::{AdversarialRoundRobin, ArrivalGenerator, BurstyArrivals, RequestGenerator};
-
-fn run(policy: DsaPolicy) -> (String, pktbuf::BufferStats, usize, u64) {
-    let cfg = CfdsConfig::builder()
-        .line_rate(LineRate::Oc3072)
-        .num_queues(32)
-        .granularity(2)
-        .rads_granularity(8)
-        .num_banks(32)
-        .physical_queue_factor(2)
-        .build()
-        .expect("valid configuration");
-    let options = CfdsBufferOptions {
-        dsa: policy,
-        ..CfdsBufferOptions::default()
-    };
-    let mut buf = CfdsBuffer::with_options(cfg, options);
-    let mut arrivals = BurstyArrivals::new(32, 64.0, 4.0, 99);
-    let mut requests = AdversarialRoundRobin::new(32);
-    let active = 20_000u64;
-    for t in 0..(active + buf.pipeline_delay_slots() as u64 + 2_048) {
-        let arrival = (t < active).then(|| arrivals.next(t)).flatten();
-        let request = requests.next(t, &|q: LogicalQueueId| buf.requestable_cells(q));
-        buf.step(arrival, request);
-    }
-    let label = match policy {
-        DsaPolicy::OldestFirst => "oldest-first (paper)",
-        DsaPolicy::FifoOnly => "strict FIFO (no reordering)",
-        DsaPolicy::RandomEligible { .. } => "random eligible",
-    };
-    (
-        label.to_string(),
-        *buf.stats(),
-        buf.peak_rr_occupancy(),
-        buf.stats().max_dss_delay_slots,
-    )
-}
+//!
+//! Thin wrapper: the experiment is defined once in
+//! [`bench::paper::ablation_dsa`] (also reachable as `pktbuf-lab paper
+//! ablation_dsa`).
 
 fn main() {
-    println!("== E9: DRAM Scheduler Algorithm ablation (bursty live traffic, 32 queues) ==\n");
-    let mut table = TextTable::new(vec![
-        "DSA policy",
-        "grants",
-        "misses",
-        "DSS stalls",
-        "peak RR",
-        "max DSS delay (slots)",
-    ]);
-    for policy in [
-        DsaPolicy::OldestFirst,
-        DsaPolicy::FifoOnly,
-        DsaPolicy::RandomEligible { seed: 42 },
-    ] {
-        let (label, stats, peak_rr, max_delay) = run(policy);
-        table.push_row(vec![
-            label,
-            format!("{}", stats.grants),
-            format!("{}", stats.misses),
-            format!("{}", stats.dss_stalls),
-            format!("{peak_rr}"),
-            format!("{max_delay}"),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("The oldest-first issue-queue policy keeps the Requests Register and the worst-case");
-    println!("DSS delay bounded; the alternatives waste issue opportunities on locked banks or");
-    println!("let old requests starve, which shows up as larger RR occupancy, larger delays and");
-    println!("eventually misses.");
+    bench::paper::ablation_dsa();
 }

@@ -1,65 +1,9 @@
 //! Experiment E1 (§1): peak vs. worst-case guaranteed bandwidth of DRAM-only
 //! buffers, and how wider multi-chip buses hit diminishing returns.
-
-use dram_sim::{MultiChipConfig, SdramChip};
-use pktbuf::{DramOnlyBuffer, PacketBuffer};
-use pktbuf_model::{LineRate, LogicalQueueId, RadsConfig};
-use sim::report::TextTable;
-use traffic::preload_cells;
+//!
+//! Thin wrapper: the experiment is defined once in [`bench::paper::dram_only`]
+//! (also reachable as `pktbuf-lab paper dram_only`).
 
 fn main() {
-    println!("== E1a: SDRAM chip model (16-bit, 100 MHz reference chip of [9]) ==\n");
-    let chip = SdramChip::reference_16mb();
-    let mut table = TextTable::new(vec![
-        "chips",
-        "bus bits",
-        "peak Gb/s",
-        "guaranteed Gb/s",
-        "efficiency",
-    ]);
-    for chips in [1u32, 2, 4, 8, 16, 32] {
-        let cfg = MultiChipConfig::new(chip, chips);
-        table.push_row(vec![
-            format!("{chips}"),
-            format!("{}", chip.data_width_bits * chips),
-            format!("{:.2}", cfg.peak_bandwidth_bps() / 1e9),
-            format!("{:.2}", cfg.guaranteed_bandwidth_bps() / 1e9),
-            format!("{:.2}", cfg.worst_case_efficiency()),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "Paper quotes: single chip 1.6 Gb/s peak vs 1.2 Gb/s guaranteed; 8 chips only 5.12 Gb/s.\n"
-    );
-
-    println!("== E1b: slot-level DRAM-only buffer under back-to-back requests ==\n");
-    let cfg = RadsConfig {
-        line_rate: LineRate::Oc3072,
-        num_queues: 16,
-        granularity: 32,
-        lookahead: None,
-        dram: Default::default(),
-    };
-    let mut buf = DramOnlyBuffer::new(cfg);
-    for (q, cells) in preload_cells(16, 256) {
-        buf.preload(q, cells);
-    }
-    let mut requests_issued = 0u64;
-    for t in 0..16 * 256u64 {
-        let q = LogicalQueueId::new((t % 16) as u32);
-        if buf.requestable_cells(q) > 0 {
-            requests_issued += 1;
-            buf.step(None, Some(q));
-        } else {
-            buf.step(None, None);
-        }
-    }
-    let s = buf.stats();
-    println!(
-        "requests {requests_issued}, grants {}, misses {}, sustained fraction of line rate {:.3} (worst-case model {:.3})",
-        s.grants,
-        s.misses,
-        s.grants as f64 / requests_issued.max(1) as f64,
-        buf.worst_case_throughput_fraction()
-    );
+    bench::paper::dram_only();
 }

@@ -1,63 +1,10 @@
 //! Figure 10: SRAM area (head + tail) and most restrictive access time as a
 //! function of the scheduler-visible delay, for RADS (b = 32) and CFDS
 //! configurations (b = 16 … 1) at OC-3072, Q = 512, M = 256.
-
-use bench::{lookahead_sweep, oc3072_parameters};
-use cacti_lite::ProcessNode;
-use pktbuf_model::CfdsConfig;
-use sim::report::TextTable;
-use sim::techeval::{cfds_point, rads_point, DesignPoint};
-
-fn print_series(label: &str, points: &[DesignPoint]) {
-    println!("-- {label} --\n");
-    let mut table = TextTable::new(vec![
-        "delay (us)",
-        "head SRAM (cells)",
-        "access time (ns)",
-        "area h+t (cm2)",
-        "meets 3.2 ns",
-    ]);
-    for p in points {
-        table.push_row(vec![
-            format!("{:.1}", p.delay_seconds * 1e6),
-            format!("{}", p.head_sram_cells),
-            format!("{:.2}", p.best_access_time_ns()),
-            format!("{:.2}", p.total_area_cm2()),
-            format!("{}", p.meets(pktbuf_model::LineRate::Oc3072)),
-        ]);
-    }
-    println!("{}", table.render());
-}
+//!
+//! Thin wrapper: the experiment is defined once in [`bench::paper::fig10`]
+//! (also reachable as `pktbuf-lab paper fig10`).
 
 fn main() {
-    let node = ProcessNode::node_130nm();
-    let (rate, q, big_b, m) = oc3072_parameters();
-    println!("== Figure 10: RADS vs CFDS SRAM cost as a function of delay (OC-3072, Q = 512) ==\n");
-
-    let rads: Vec<DesignPoint> = lookahead_sweep(q, big_b, 6)
-        .into_iter()
-        .map(|l| rads_point(rate, q, big_b, l, &node))
-        .collect();
-    print_series("RADS (b = 32)", &rads);
-
-    for b in [16usize, 8, 4, 2, 1] {
-        let Ok(cfg) = CfdsConfig::builder()
-            .line_rate(rate)
-            .num_queues(q)
-            .granularity(b)
-            .rads_granularity(big_b)
-            .num_banks(m)
-            .build()
-        else {
-            continue;
-        };
-        let points: Vec<DesignPoint> = lookahead_sweep(q, b, 6)
-            .into_iter()
-            .map(|l| cfds_point(&cfg, l, &node))
-            .collect();
-        print_series(&format!("CFDS (b = {b})"), &points);
-    }
-    println!("Paper shape: CFDS with b = 4–8 meets the 3.2 ns target with ~10 us of delay and");
-    println!("well under 1 cm2, while RADS needs > 50 us and still cannot reach 3.2 ns; too");
-    println!("small a granularity (b = 1–2) loses the advantage again to reordering overhead.");
+    bench::paper::fig10();
 }

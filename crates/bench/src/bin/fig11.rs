@@ -1,36 +1,10 @@
 //! Figure 11: the maximum number of queues each configuration can support at
 //! OC-3072 while keeping the head-SRAM access time within the 3.2 ns slot
 //! (using the maximum lookahead, i.e. the smallest SRAM).
-
-use cacti_lite::ProcessNode;
-use pktbuf_model::LineRate;
-use sim::report::TextTable;
-use sim::techeval::max_queues_meeting_target;
+//!
+//! Thin wrapper: the experiment is defined once in [`bench::paper::fig11`]
+//! (also reachable as `pktbuf-lab paper fig11`).
 
 fn main() {
-    let node = ProcessNode::node_130nm();
-    println!(
-        "== Figure 11: maximum number of queues meeting the OC-3072 access-time constraint ==\n"
-    );
-    let mut table = TextTable::new(vec!["b", "design", "max queues"]);
-    let mut rads_max = 0usize;
-    let mut best_cfds = 0usize;
-    for b in [32usize, 16, 8, 4, 2, 1] {
-        let design = if b == 32 { "RADS" } else { "CFDS" };
-        let qmax = max_queues_meeting_target(LineRate::Oc3072, b, 32, 256, &node);
-        if b == 32 {
-            rads_max = qmax;
-        } else {
-            best_cfds = best_cfds.max(qmax);
-        }
-        table.push_row(vec![format!("{b}"), design.to_string(), format!("{qmax}")]);
-    }
-    println!("{}", table.render());
-    println!(
-        "CFDS supports {:.1}x more queues than RADS at its best granularity ({} vs {}).",
-        best_cfds as f64 / rads_max.max(1) as f64,
-        best_cfds,
-        rads_max
-    );
-    println!("Paper: roughly 6x (up to ~850 physical queues vs ~140 for RADS).");
+    bench::paper::fig11();
 }

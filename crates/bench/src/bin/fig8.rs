@@ -1,50 +1,10 @@
 //! Figure 8: RADS h-SRAM access time and area as a function of the lookahead,
 //! for the global CAM and the time-multiplexed unified linked list, at OC-768
 //! (Q = 128, B = 8) and OC-3072 (Q = 512, B = 32).
-
-use bench::{lookahead_sweep, oc3072_parameters, oc768_parameters};
-use cacti_lite::ProcessNode;
-use pktbuf_model::LineRate;
-use sim::report::{format_bytes, TextTable};
-use sim::techeval::rads_point;
-use sram_buf::SramImplKind;
-
-fn panel(rate: LineRate, q: usize, big_b: usize, node: &ProcessNode) {
-    println!(
-        "-- {rate}: Q = {q}, B = {big_b} (slot = {:.1} ns) --\n",
-        rate.slot_duration().as_ns()
-    );
-    let mut table = TextTable::new(vec![
-        "lookahead (slots)",
-        "h-SRAM size",
-        "CAM access (ns)",
-        "CAM area (cm2)",
-        "LL time-mux access (ns)",
-        "LL time-mux area (cm2)",
-    ]);
-    for lookahead in lookahead_sweep(q, big_b, 10) {
-        let p = rads_point(rate, q, big_b, lookahead, node);
-        let cam = p.head_impl(SramImplKind::GlobalCam);
-        let ll = p.head_impl(SramImplKind::UnifiedLinkedListTimeMux);
-        table.push_row(vec![
-            format!("{lookahead}"),
-            format_bytes((p.head_sram_cells * 64) as f64),
-            format!("{:.2}", cam.access_time_ns),
-            format!("{:.3}", cam.area_cm2),
-            format!("{:.2}", ll.access_time_ns),
-            format!("{:.3}", ll.area_cm2),
-        ]);
-    }
-    println!("{}", table.render());
-}
+//!
+//! Thin wrapper: the experiment is defined once in [`bench::paper::fig8`]
+//! (also reachable as `pktbuf-lab paper fig8`).
 
 fn main() {
-    let node = ProcessNode::node_130nm();
-    println!("== Figure 8: RADS SRAM cost vs. lookahead (0.13 um) ==\n");
-    let (rate768, q768, b768) = oc768_parameters();
-    panel(rate768, q768, b768, &node);
-    let (rate3072, q3072, b3072, _) = oc3072_parameters();
-    panel(rate3072, q3072, b3072, &node);
-    println!("Paper shape: OC-768 meets its 12.8 ns slot easily with ~0.1 cm2; at OC-3072 no");
-    println!("implementation reaches the 3.2 ns slot and the areas approach or exceed 1 cm2.");
+    bench::paper::fig8();
 }

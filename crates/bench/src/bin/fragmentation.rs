@@ -4,78 +4,11 @@
 //! renaming a logical queue can only use the capacity of its statically
 //! assigned group (1/G of the DRAM); with renaming it chains physical queues
 //! across groups and can use the whole memory.
-
-use pktbuf::{CfdsBuffer, CfdsBufferOptions, PacketBuffer};
-use pktbuf_model::{Cell, CfdsConfig, LineRate, LogicalQueueId};
-use sim::report::TextTable;
-
-fn run(oversubscription: usize, hot_queues: usize) -> (f64, usize, u64) {
-    let cfg = CfdsConfig::builder()
-        .line_rate(LineRate::Oc3072)
-        .num_queues(32)
-        .granularity(2)
-        .rads_granularity(8)
-        .num_banks(32)
-        .physical_queue_factor(oversubscription)
-        .build()
-        .expect("valid configuration");
-    // Small DRAM so that per-group capacity actually binds: 512 blocks total.
-    let options = CfdsBufferOptions {
-        dram_capacity_cells: Some(1024),
-        ..CfdsBufferOptions::default()
-    };
-    let mut buf = CfdsBuffer::with_options(cfg, options);
-    // Feed cells only to the hot queues through the tail path until writebacks
-    // start being blocked or the DRAM is effectively full.
-    let mut seqs = vec![0u64; hot_queues];
-    for t in 0..40_000u64 {
-        let qi = (t % hot_queues as u64) as usize;
-        let cell = Cell::new(LogicalQueueId::new(qi as u32), seqs[qi], t);
-        seqs[qi] += 1;
-        buf.step(Some(cell), None);
-        if buf.dram_utilisation() > 0.99 {
-            break;
-        }
-    }
-    let max_chain = (0..hot_queues)
-        .map(|q| buf.renaming_chain_length(LogicalQueueId::new(q as u32)))
-        .max()
-        .unwrap_or(0);
-    (
-        buf.dram_utilisation(),
-        max_chain,
-        buf.stats().blocked_writebacks,
-    )
-}
+//!
+//! Thin wrapper: the experiment is defined once in
+//! [`bench::paper::fragmentation`] (also reachable as `pktbuf-lab paper
+//! fragmentation`).
 
 fn main() {
-    println!("== E8: DRAM fragmentation and queue renaming (32 queues, 16 groups, tiny DRAM) ==\n");
-    let num_groups = 16.0f64;
-    let mut table = TextTable::new(vec![
-        "physical queues / logical",
-        "hot queues",
-        "static assignment limit",
-        "utilisation with renaming",
-        "max renaming chain",
-        "blocked writebacks",
-    ]);
-    for (oversub, hot) in [(1usize, 1usize), (1, 2), (2, 1), (2, 2), (4, 4)] {
-        let (util, chain, blocked) = run(oversub, hot);
-        // Without renaming a logical queue is pinned to one group, so `hot`
-        // active queues can use at most hot/G of the DRAM.
-        let static_limit = (hot as f64 / num_groups).min(1.0);
-        table.push_row(vec![
-            format!("{oversub}x"),
-            format!("{hot}"),
-            format!("{:.2}", static_limit),
-            format!("{:.2}", util),
-            format!("{chain}"),
-            format!("{blocked}"),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("With the static queue-to-group assignment alone, `hot` backlogged queues could use");
-    println!("at most hot/G of the DRAM (the fragmentation problem of §6). The renaming layer");
-    println!("chains physical queues across groups and reaches essentially full utilisation in");
-    println!("every case, while the chain stays short and names are recycled.");
+    bench::paper::fragmentation();
 }

@@ -1,0 +1,416 @@
+//! `pktbuf-lab`: the single command line for every experiment in this
+//! repository.
+//!
+//! Experiments are *data*: a serializable [`ExperimentSpec`] (designs ×
+//! workloads × swept parameters × seeds) executed by a multi-threaded
+//! [`LabRunner`]. The legacy one-off binaries (`fig8`, `validate`, …) remain
+//! as thin wrappers over `pktbuf-lab paper <name>`.
+//!
+//! ```text
+//! pktbuf-lab run   --spec lab.json [--threads N] [--json out.json] [--csv out.csv]
+//! pktbuf-lab run   --designs cfds --workloads bursty --queues 32 --slots 20000
+//! pktbuf-lab sweep --designs rads,cfds --workloads all --queues 64..1024*2 -b 1,2,4,8
+//! pktbuf-lab paper <fig8|fig10|fig11|table2|validate|dram_only|fragmentation|ablation_dsa>
+//! pktbuf-lab spec  # print a template spec to adapt
+//! ```
+
+use sim::lab::{ExperimentReport, LabRunner};
+use sim::report::TextTable;
+use sim::scenario::{DesignKind, Workload};
+use sim::spec::{ExperimentSpec, Sweep};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((command, rest)) => (command.as_str(), rest),
+        None => {
+            print_usage();
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command {
+        "run" => run_command(rest, false),
+        "sweep" => run_command(rest, true),
+        "paper" => paper_command(rest),
+        "spec" => {
+            println!("{}", template_spec().to_json());
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?} (try `pktbuf-lab help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("pktbuf-lab: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "pktbuf-lab — declarative packet-buffer experiments
+
+USAGE:
+    pktbuf-lab run   [SPEC FLAGS] [OUTPUT FLAGS]   execute a spec (file or inline flags)
+    pktbuf-lab sweep [SPEC FLAGS] [OUTPUT FLAGS]   same, and print the per-run table
+    pktbuf-lab paper <ARTEFACT>                    regenerate a paper artefact
+    pktbuf-lab spec                                print a template spec JSON
+
+SPEC FLAGS (inline specs; every axis accepts 'v', 'v1,v2,…', 'a..b*factor', 'a..b+step'):
+    --spec <FILE>            read the spec from a JSON file ('-' = stdin); other spec flags override it
+    --name <NAME>            experiment name
+    --designs <LIST|all>     dram-only, rads, cfds            (default cfds)
+    --workloads <LIST|all>   adversarial-round-robin, uniform-random, bursty, hotspot, greedy-drain
+    --rate <RATE>            oc192 | oc768 | oc3072 | <Gb/s>  (default oc3072)
+    --queues <SWEEP>         logical queues Q                 (default 32)
+    -b, --granularity <SWEEP>     CFDS granularity b          (default 4)
+    -B, --rads-granularity <SWEEP> RADS granularity B         (default 16)
+    --banks <SWEEP>          DRAM banks M                     (default 64)
+    --slots <N>              live-arrival slots               (default 10000)
+    --preload <N>            preloaded cells/queue instead of live arrivals
+    --seeds <LIST>           RNG seeds                        (default 1)
+    --record-grants          record per-grant queue logs
+
+OUTPUT FLAGS:
+    --threads <N>            worker threads (default: all cores)
+    --json <FILE>            write the full report as JSON ('-' = stdout)
+    --csv <FILE>             write one CSV row per run ('-' = stdout)
+
+PAPER ARTEFACTS:
+    {}",
+        bench::paper::ARTEFACTS.join(", ")
+    );
+}
+
+/// The template printed by `pktbuf-lab spec`: a small two-design sweep that
+/// finishes quickly and demonstrates every field.
+fn template_spec() -> ExperimentSpec {
+    ExperimentSpec::builder()
+        .name("example-sweep")
+        .designs([DesignKind::Rads, DesignKind::Cfds])
+        .workloads([Workload::AdversarialRoundRobin, Workload::Bursty])
+        .num_queues(Sweep::list([16, 32]))
+        .granularity(Sweep::fixed(4))
+        .rads_granularity(Sweep::fixed(16))
+        .num_banks(Sweep::fixed(64))
+        .arrival_slots(5_000)
+        .seeds([1, 101])
+        .build()
+        .expect("the template spec is valid")
+}
+
+fn paper_command(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or_else(|| {
+        format!(
+            "paper needs an artefact name: {}",
+            bench::paper::ARTEFACTS.join(", ")
+        )
+    })?;
+    if args.len() > 1 {
+        return Err(format!("unexpected argument {:?}", args[1]));
+    }
+    match bench::paper::run_artefact(name) {
+        Some(true) => Ok(()),
+        Some(false) => Err(format!("artefact {name:?} reported a failure")),
+        None => Err(format!(
+            "unknown artefact {name:?} (expected one of: {})",
+            bench::paper::ARTEFACTS.join(", ")
+        )),
+    }
+}
+
+/// Parsed output options shared by `run` and `sweep`.
+struct OutputOptions {
+    threads: Option<usize>,
+    json: Option<String>,
+    csv: Option<String>,
+}
+
+fn run_command(args: &[String], print_runs: bool) -> Result<(), String> {
+    let (spec, output) = parse_spec_args(args)?;
+    let mut runner = LabRunner::new();
+    if let Some(threads) = output.threads {
+        runner = runner.with_threads(threads);
+    }
+    let report = runner.run(&spec).map_err(|e| e.to_string())?;
+    // When a machine-readable artifact targets stdout ('-'), the human
+    // summary moves to stderr so the stream stays valid JSON/CSV. Two
+    // artifacts cannot share stdout — the concatenation would be neither.
+    if output.json.as_deref() == Some("-") && output.csv.as_deref() == Some("-") {
+        return Err("--json - and --csv - cannot both write to stdout".to_owned());
+    }
+    let machine_stdout = output.json.as_deref() == Some("-") || output.csv.as_deref() == Some("-");
+    print_summary(&report, print_runs, machine_stdout);
+    if let Some(path) = &output.json {
+        write_artifact(path, &report.to_json(), "JSON report")?;
+    }
+    if let Some(path) = &output.csv {
+        write_artifact(path, &report.to_csv(), "CSV report")?;
+    }
+    Ok(())
+}
+
+fn write_artifact(path: &str, content: &str, what: &str) -> Result<(), String> {
+    if path == "-" {
+        println!("{content}");
+        Ok(())
+    } else {
+        std::fs::write(path, content)
+            .map_err(|e| format!("cannot write {what} to {path:?}: {e}"))?;
+        eprintln!("wrote {what} to {path}");
+        Ok(())
+    }
+}
+
+/// A deferred spec mutation from one inline flag.
+type SpecEdit = Box<dyn FnOnce(&mut ExperimentSpec) -> Result<(), String>>;
+
+fn parse_spec_args(args: &[String]) -> Result<(ExperimentSpec, OutputOptions), String> {
+    let mut base: Option<ExperimentSpec> = None;
+    let mut output = OutputOptions {
+        threads: None,
+        json: None,
+        csv: None,
+    };
+    // Inline flags are collected first, then applied over the (optional)
+    // spec-file base, so `--spec file --seeds 9` reseeds a saved experiment.
+    let mut edits: Vec<SpecEdit> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--spec" => {
+                let path = value("--spec")?;
+                let text = if path == "-" {
+                    use std::io::Read as _;
+                    let mut buffer = String::new();
+                    std::io::stdin()
+                        .read_to_string(&mut buffer)
+                        .map_err(|e| format!("cannot read stdin: {e}"))?;
+                    buffer
+                } else {
+                    std::fs::read_to_string(&path)
+                        .map_err(|e| format!("cannot read {path:?}: {e}"))?
+                };
+                base = Some(ExperimentSpec::from_json(&text).map_err(|e| e.to_string())?);
+            }
+            "--name" => {
+                let v = value("--name")?;
+                edits.push(Box::new(move |s| {
+                    s.name = v;
+                    Ok(())
+                }));
+            }
+            "--designs" => {
+                let v = value("--designs")?;
+                edits.push(Box::new(move |s| {
+                    s.designs = if v.eq_ignore_ascii_case("all") {
+                        DesignKind::all().to_vec()
+                    } else {
+                        parse_list(&v, "design")?
+                    };
+                    Ok(())
+                }));
+            }
+            "--workloads" => {
+                let v = value("--workloads")?;
+                edits.push(Box::new(move |s| {
+                    s.workloads = if v.eq_ignore_ascii_case("all") {
+                        Workload::all().to_vec()
+                    } else {
+                        parse_list(&v, "workload")?
+                    };
+                    Ok(())
+                }));
+            }
+            "--rate" => {
+                let v = value("--rate")?;
+                edits.push(Box::new(move |s| {
+                    s.line_rate = v.parse().map_err(|e| format!("--rate: {e}"))?;
+                    Ok(())
+                }));
+            }
+            "--queues" => {
+                let v = value("--queues")?;
+                edits.push(Box::new(move |s| {
+                    s.num_queues = parse_sweep(&v, "--queues")?;
+                    Ok(())
+                }));
+            }
+            "-b" | "--granularity" => {
+                let v = value("--granularity")?;
+                edits.push(Box::new(move |s| {
+                    s.granularity = parse_sweep(&v, "--granularity")?;
+                    Ok(())
+                }));
+            }
+            "-B" | "--rads-granularity" => {
+                let v = value("--rads-granularity")?;
+                edits.push(Box::new(move |s| {
+                    s.rads_granularity = parse_sweep(&v, "--rads-granularity")?;
+                    Ok(())
+                }));
+            }
+            "--banks" => {
+                let v = value("--banks")?;
+                edits.push(Box::new(move |s| {
+                    s.num_banks = parse_sweep(&v, "--banks")?;
+                    Ok(())
+                }));
+            }
+            "--slots" => {
+                let v = value("--slots")?;
+                edits.push(Box::new(move |s| {
+                    s.arrival_slots = parse_int(&v, "--slots")?;
+                    if s.arrival_slots > 0 {
+                        s.preload_cells_per_queue = 0;
+                    }
+                    Ok(())
+                }));
+            }
+            "--preload" => {
+                let v = value("--preload")?;
+                edits.push(Box::new(move |s| {
+                    s.preload_cells_per_queue = parse_int(&v, "--preload")?;
+                    if s.preload_cells_per_queue > 0 {
+                        s.arrival_slots = 0;
+                    }
+                    Ok(())
+                }));
+            }
+            "--seeds" => {
+                let v = value("--seeds")?;
+                edits.push(Box::new(move |s| {
+                    s.seeds = v
+                        .split(',')
+                        .map(|part| parse_int(part, "--seeds"))
+                        .collect::<Result<Vec<u64>, String>>()?;
+                    Ok(())
+                }));
+            }
+            "--record-grants" => {
+                edits.push(Box::new(|s| {
+                    s.record_grants = true;
+                    Ok(())
+                }));
+            }
+            "--threads" => {
+                output.threads = Some(parse_int(&value("--threads")?, "--threads")? as usize)
+            }
+            "--json" => output.json = Some(value("--json")?),
+            "--csv" => output.csv = Some(value("--csv")?),
+            other => return Err(format!("unknown flag {other:?} (try `pktbuf-lab help`)")),
+        }
+    }
+    let mut spec = base.unwrap_or_else(|| {
+        ExperimentSpec::builder()
+            .build()
+            .expect("the default spec is valid")
+    });
+    for edit in edits {
+        edit(&mut spec)?;
+    }
+    spec.expand().map_err(|e| e.to_string())?;
+    Ok((spec, output))
+}
+
+fn parse_int(text: &str, flag: &str) -> Result<u64, String> {
+    text.trim()
+        .parse()
+        .map_err(|_| format!("{flag}: {text:?} is not an unsigned integer"))
+}
+
+fn parse_sweep(text: &str, flag: &str) -> Result<Sweep, String> {
+    text.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+fn parse_list<T: std::str::FromStr>(text: &str, what: &str) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let items = text
+        .split(',')
+        .filter(|part| !part.trim().is_empty())
+        .map(|part| part.trim().parse::<T>().map_err(|e| e.to_string()))
+        .collect::<Result<Vec<T>, String>>()?;
+    if items.is_empty() {
+        Err(format!("empty {what} list"))
+    } else {
+        Ok(items)
+    }
+}
+
+fn print_summary(report: &ExperimentReport, print_runs: bool, to_stderr: bool) {
+    let emit = |line: &str| {
+        if to_stderr {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    if print_runs {
+        let mut table = TextTable::new(vec![
+            "run",
+            "design",
+            "workload",
+            "Q",
+            "b",
+            "B",
+            "M",
+            "seed",
+            "grants",
+            "misses",
+            "drops",
+            "conflicts",
+            "grants/slot",
+            "loss-free",
+        ]);
+        for run in &report.runs {
+            let s = &run.scenario;
+            let r = &run.report;
+            table.push_row(vec![
+                run.index.to_string(),
+                s.design.to_string(),
+                s.workload.to_string(),
+                s.num_queues.to_string(),
+                s.granularity.to_string(),
+                s.rads_granularity.to_string(),
+                s.num_banks.to_string(),
+                s.seed.to_string(),
+                r.stats.grants.to_string(),
+                r.stats.misses.to_string(),
+                r.stats.drops.to_string(),
+                r.stats.bank_conflicts.to_string(),
+                format!("{:.3}", r.grants_per_slot()),
+                r.stats.is_loss_free().to_string(),
+            ]);
+        }
+        emit(&table.render());
+    }
+    let agg = &report.aggregate;
+    emit(&format!(
+        "{}: {} runs ({} skipped invalid), {} loss-free, {} grants, {} misses, {} drops, \
+         {} conflicts, mean {:.3} grants/slot, peak h-SRAM {} cells, peak RR {} entries",
+        report.spec.name,
+        agg.runs,
+        report.skipped_invalid,
+        agg.loss_free_runs,
+        agg.total_grants,
+        agg.total_misses,
+        agg.total_drops,
+        agg.total_bank_conflicts,
+        agg.mean_grants_per_slot,
+        agg.peak_head_sram_cells,
+        agg.peak_rr_entries,
+    ));
+}

@@ -1,39 +1,9 @@
 //! Table 2: Requests-Register size and the time available to schedule one
 //! request, for OC-768 and OC-3072, as the CFDS granularity b varies.
-
-use cfds::sizing::{rr_size, scheduling_time_ns};
-use pktbuf_model::{CfdsConfig, LineRate};
-use sim::report::TextTable;
-
-fn row(rate: LineRate, q: usize, big_b: usize, m: usize) {
-    println!("-- {rate}: Q = {q}, B = {big_b}, M = {m} --\n");
-    let mut table = TextTable::new(vec!["b", "RR size (entries)", "scheduling time (ns)"]);
-    for b in [32usize, 16, 8, 4, 2, 1] {
-        if b > big_b || !big_b.is_multiple_of(b) || !m.is_multiple_of(big_b / b) {
-            continue;
-        }
-        let cfg = CfdsConfig::builder()
-            .line_rate(rate)
-            .num_queues(q)
-            .granularity(b)
-            .rads_granularity(big_b)
-            .num_banks(m)
-            .build()
-            .expect("valid configuration");
-        table.push_row(vec![
-            format!("{b}"),
-            format!("{}", rr_size(&cfg)),
-            format!("{:.1}", scheduling_time_ns(&cfg)),
-        ]);
-    }
-    println!("{}", table.render());
-}
+//!
+//! Thin wrapper: the experiment is defined once in [`bench::paper::table2`]
+//! (also reachable as `pktbuf-lab paper table2`).
 
 fn main() {
-    println!("== Table 2: Requests Register size and scheduling time ==\n");
-    row(LineRate::Oc768, 128, 8, 256);
-    row(LineRate::Oc3072, 512, 32, 256);
-    println!("Paper (OC-3072): RR = 0, 8, 64, 256, 1024, 4096 for b = 32…1;");
-    println!("our closed form matches for b <= 8 and reports the conservative bound at b = 16.");
-    println!("Reference point: the Alpha 21264 selects from a 20-entry window in ~1 ns (0.35 um).");
+    bench::paper::table2();
 }

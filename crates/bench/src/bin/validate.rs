@@ -1,78 +1,18 @@
 //! Experiment E7: slot-level validation of the worst-case claims of §5 —
 //! zero misses, zero drops, FIFO order, zero bank conflicts and bounded
 //! Requests-Register occupancy — for RADS and CFDS under every workload.
+//!
+//! Thin wrapper: the experiment is defined once in [`bench::paper::validate`]
+//! (spec-driven; also reachable as `pktbuf-lab paper validate`).
 
-use sim::report::TextTable;
-use sim::scenario::{DesignKind, Scenario, Workload};
+use std::process::ExitCode;
 
-fn main() {
-    println!("== E7: slot-level validation of the worst-case guarantees ==\n");
-    let mut table = TextTable::new(vec![
-        "design",
-        "workload",
-        "grants",
-        "misses",
-        "drops",
-        "conflicts",
-        "peak h-SRAM",
-        "peak RR",
-        "loss-free",
-    ]);
-    for design in [DesignKind::Rads, DesignKind::Cfds] {
-        for workload in Workload::all() {
-            let scenario = Scenario {
-                design,
-                workload,
-                num_queues: 32,
-                granularity: 4,
-                rads_granularity: 16,
-                num_banks: 64,
-                preload_cells_per_queue: 0,
-                arrival_slots: 20_000,
-                seed: 7,
-            };
-            let r = scenario.run();
-            table.push_row(vec![
-                r.design.clone(),
-                format!("{workload:?}"),
-                format!("{}", r.stats.grants),
-                format!("{}", r.stats.misses),
-                format!("{}", r.stats.drops),
-                format!("{}", r.stats.bank_conflicts),
-                format!("{}", r.stats.peak_head_sram_cells),
-                format!("{}", r.stats.peak_rr_entries),
-                format!("{}", r.stats.is_loss_free()),
-            ]);
-        }
+fn main() -> ExitCode {
+    let (live, preloaded) = bench::paper::validate();
+    if live.aggregate.all_loss_free && preloaded.aggregate.all_loss_free {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("validate: FAILED — a run violated the worst-case guarantees");
+        ExitCode::FAILURE
     }
-    // The preloaded adversarial drain (the paper's worst case) at a larger
-    // scale.
-    for design in [DesignKind::Rads, DesignKind::Cfds] {
-        let scenario = Scenario {
-            design,
-            workload: Workload::AdversarialRoundRobin,
-            num_queues: 64,
-            granularity: 4,
-            rads_granularity: 16,
-            num_banks: 64,
-            preload_cells_per_queue: 128,
-            arrival_slots: 0,
-            seed: 11,
-        };
-        let r = scenario.run();
-        table.push_row(vec![
-            format!("{} (preloaded)", r.design),
-            "AdversarialRoundRobin".to_string(),
-            format!("{}", r.stats.grants),
-            format!("{}", r.stats.misses),
-            format!("{}", r.stats.drops),
-            format!("{}", r.stats.bank_conflicts),
-            format!("{}", r.stats.peak_head_sram_cells),
-            format!("{}", r.stats.peak_rr_entries),
-            format!("{}", r.stats.is_loss_free()),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("Every row must report zero misses, drops and conflicts (the DRAM-only baseline,");
-    println!("by contrast, misses heavily — see the `dram_only` binary).");
 }

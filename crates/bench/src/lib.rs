@@ -14,6 +14,8 @@
 
 use pktbuf_model::{CfdsConfig, LineRate};
 
+pub mod paper;
+
 /// The OC-768 evaluation point of §7 (Q = 128, B = 8).
 pub fn oc768_parameters() -> (LineRate, usize, usize) {
     (LineRate::Oc768, 128, 8)

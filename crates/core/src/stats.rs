@@ -1,9 +1,9 @@
 //! Aggregate statistics of a packet-buffer run.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Serializer};
 
 /// Counters accumulated by a packet buffer over its lifetime.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Deserialize)]
 pub struct BufferStats {
     /// Slots simulated.
     pub slots: u64,
@@ -39,6 +39,37 @@ pub struct BufferStats {
     pub peak_rr_entries: u64,
     /// Largest DSS queueing delay observed (slots).
     pub max_dss_delay_slots: u64,
+}
+
+// Hand-written so that reports really encode (the vendored serde derive only
+// type-checks). Field order matches the declaration; keep the two in sync.
+impl Serialize for BufferStats {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("BufferStats", 18)?;
+        st.serialize_field("slots", &self.slots)?;
+        st.serialize_field("arrivals", &self.arrivals)?;
+        st.serialize_field("drops", &self.drops)?;
+        st.serialize_field("requests", &self.requests)?;
+        st.serialize_field("grants", &self.grants)?;
+        st.serialize_field("misses", &self.misses)?;
+        st.serialize_field("order_violations", &self.order_violations)?;
+        st.serialize_field("dram_reads", &self.dram_reads)?;
+        st.serialize_field("dram_writes", &self.dram_writes)?;
+        st.serialize_field("bank_conflicts", &self.bank_conflicts)?;
+        st.serialize_field("dss_stalls", &self.dss_stalls)?;
+        st.serialize_field(
+            "unfulfilled_replenishments",
+            &self.unfulfilled_replenishments,
+        )?;
+        st.serialize_field("blocked_writebacks", &self.blocked_writebacks)?;
+        st.serialize_field("peak_head_sram_cells", &self.peak_head_sram_cells)?;
+        st.serialize_field("peak_tail_sram_cells", &self.peak_tail_sram_cells)?;
+        st.serialize_field("peak_rr_entries", &self.peak_rr_entries)?;
+        st.serialize_field("max_dss_delay_slots", &self.max_dss_delay_slots)?;
+        st.serialize_field("loss_free", &self.is_loss_free())?;
+        st.end()
+    }
 }
 
 impl BufferStats {

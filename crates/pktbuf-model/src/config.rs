@@ -3,7 +3,7 @@
 use crate::error::ConfigError;
 use crate::rate::LineRate;
 use crate::time::Nanoseconds;
-use serde::{Deserialize, Serialize};
+use serde::{de, Deserialize, Deserializer, Serialize, Serializer};
 
 /// DRAM timing parameters relevant to the buffer design.
 ///
@@ -267,6 +267,151 @@ impl CfdsConfig {
     }
 }
 
+/// Optional knobs a declarative experiment spec can turn without rebuilding a
+/// whole configuration — the hook the `sim` spec layer applies on top of the
+/// parameters it sweeps explicitly.
+///
+/// Every field is `None` by default, meaning "keep the configuration's own
+/// value". `dram_capacity_cells` is a *buffer-level* limit (it bounds the DRAM
+/// store rather than the dimensioning maths), so [`ConfigOverrides::apply_rads`]
+/// and [`ConfigOverrides::apply_cfds`] ignore it; the buffer construction site
+/// is expected to honour it where the design supports a capacity limit.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ConfigOverrides {
+    /// Explicit lookahead length in slots (default: the ECQF minimum).
+    pub lookahead: Option<usize>,
+    /// CFDS physical-queue oversubscription factor `k` (§6).
+    pub physical_queue_factor: Option<usize>,
+    /// DRAM random access time in nanoseconds.
+    pub dram_random_access_ns: Option<f64>,
+    /// DRAM address/command cycle time in nanoseconds.
+    pub dram_address_cycle_ns: Option<f64>,
+    /// Total DRAM capacity in cells (buffer-level; CFDS only today).
+    pub dram_capacity_cells: Option<u64>,
+}
+
+impl ConfigOverrides {
+    /// Overrides nothing.
+    pub fn none() -> Self {
+        ConfigOverrides::default()
+    }
+
+    /// Whether every knob is left at "keep the configuration's value".
+    pub fn is_none(&self) -> bool {
+        *self == ConfigOverrides::default()
+    }
+
+    /// `base` with any overridden DRAM timing parameters substituted.
+    pub fn dram_timing(&self, base: DramTiming) -> DramTiming {
+        DramTiming {
+            random_access: self
+                .dram_random_access_ns
+                .map_or(base.random_access, Nanoseconds::new),
+            address_cycle: self
+                .dram_address_cycle_ns
+                .map_or(base.address_cycle, Nanoseconds::new),
+        }
+    }
+
+    /// Applies the relevant knobs to a RADS configuration.
+    ///
+    /// The result is *not* revalidated here — callers that accept untrusted
+    /// specs should run [`RadsConfig::validate`] afterwards.
+    pub fn apply_rads(&self, mut cfg: RadsConfig) -> RadsConfig {
+        if let Some(l) = self.lookahead {
+            cfg.lookahead = Some(l);
+        }
+        cfg.dram = self.dram_timing(cfg.dram);
+        cfg
+    }
+
+    /// Applies the relevant knobs to a CFDS configuration builder (so that the
+    /// result is revalidated by [`CfdsConfigBuilder::build`]).
+    pub fn apply_cfds(&self, mut builder: CfdsConfigBuilder) -> CfdsConfigBuilder {
+        if let Some(l) = self.lookahead {
+            builder = builder.lookahead(l);
+        }
+        if let Some(k) = self.physical_queue_factor {
+            builder = builder.physical_queue_factor(k);
+        }
+        let base = builder.dram;
+        builder.dram(self.dram_timing(base))
+    }
+}
+
+// Hand-written serde: an overrides object serialises only the knobs that are
+// set, and rejects unknown keys when read back (typos in spec files should
+// fail loudly, not silently override nothing).
+impl Serialize for ConfigOverrides {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let len = usize::from(self.lookahead.is_some())
+            + usize::from(self.physical_queue_factor.is_some())
+            + usize::from(self.dram_random_access_ns.is_some())
+            + usize::from(self.dram_address_cycle_ns.is_some())
+            + usize::from(self.dram_capacity_cells.is_some());
+        let mut st = serializer.serialize_struct("ConfigOverrides", len)?;
+        if let Some(v) = self.lookahead {
+            st.serialize_field("lookahead", &v)?;
+        }
+        if let Some(v) = self.physical_queue_factor {
+            st.serialize_field("physical_queue_factor", &v)?;
+        }
+        if let Some(v) = self.dram_random_access_ns {
+            st.serialize_field("dram_random_access_ns", &v)?;
+        }
+        if let Some(v) = self.dram_address_cycle_ns {
+            st.serialize_field("dram_address_cycle_ns", &v)?;
+        }
+        if let Some(v) = self.dram_capacity_cells {
+            st.serialize_field("dram_capacity_cells", &v)?;
+        }
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for ConfigOverrides {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = ConfigOverrides;
+            fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                f.write_str("a configuration-overrides object")
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<Self::Value, E> {
+                Ok(ConfigOverrides::none())
+            }
+            fn visit_map<A: de::MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = ConfigOverrides::none();
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "lookahead" => out.lookahead = Some(map.next_value()?),
+                        "physical_queue_factor" => {
+                            out.physical_queue_factor = Some(map.next_value()?)
+                        }
+                        "dram_random_access_ns" => {
+                            out.dram_random_access_ns = Some(map.next_value()?)
+                        }
+                        "dram_address_cycle_ns" => {
+                            out.dram_address_cycle_ns = Some(map.next_value()?)
+                        }
+                        "dram_capacity_cells" => out.dram_capacity_cells = Some(map.next_value()?),
+                        other => {
+                            return Err(de::Error::custom(format_args!(
+                                "unknown override {other:?} (expected lookahead, \
+                                 physical_queue_factor, dram_random_access_ns, \
+                                 dram_address_cycle_ns or dram_capacity_cells)"
+                            )))
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
 /// Builder for [`CfdsConfig`].
 ///
 /// Defaults correspond to the paper's OC-3072 evaluation: `Q = 512`,
@@ -508,6 +653,41 @@ mod tests {
         };
         assert_eq!(s.total_delay_slots(), 70);
         assert_eq!(BufferSizing::default().total_delay_slots(), 0);
+    }
+
+    #[test]
+    fn overrides_default_to_keeping_everything() {
+        let ov = ConfigOverrides::none();
+        assert!(ov.is_none());
+        let rads = RadsConfig::for_line_rate(LineRate::Oc3072, 512);
+        assert_eq!(ov.apply_rads(rads), rads);
+        let cfds = ov.apply_cfds(CfdsConfig::builder()).build().unwrap();
+        assert_eq!(cfds, CfdsConfig::builder().build().unwrap());
+    }
+
+    #[test]
+    fn overrides_apply_each_knob() {
+        let ov = ConfigOverrides {
+            lookahead: Some(20_000),
+            physical_queue_factor: Some(2),
+            dram_random_access_ns: Some(48.0),
+            dram_address_cycle_ns: Some(1.6),
+            dram_capacity_cells: Some(4_096),
+        };
+        assert!(!ov.is_none());
+        let rads = ov.apply_rads(RadsConfig::for_line_rate(LineRate::Oc3072, 512));
+        assert_eq!(rads.lookahead, Some(20_000));
+        assert_eq!(rads.dram.random_access, Nanoseconds::new(48.0));
+        assert_eq!(rads.dram.address_cycle, Nanoseconds::new(1.6));
+        // The 48 ns override changes the derived `B` (ceil(48/3.2) = 15), so
+        // pin `B = 32` explicitly to keep the divisibility constraints happy.
+        let cfds = ov
+            .apply_cfds(CfdsConfig::builder().rads_granularity(32))
+            .build()
+            .unwrap();
+        assert_eq!(cfds.lookahead, Some(20_000));
+        assert_eq!(cfds.physical_queue_factor, 2);
+        assert_eq!(cfds.dram.random_access, Nanoseconds::new(48.0));
     }
 
     #[test]

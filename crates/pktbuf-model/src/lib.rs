@@ -48,8 +48,10 @@ mod rate;
 mod time;
 
 pub use cell::{Cell, CellPayload, CELL_BYTES};
-pub use config::{BufferSizing, CfdsConfig, CfdsConfigBuilder, DramTiming, RadsConfig};
+pub use config::{
+    BufferSizing, CfdsConfig, CfdsConfigBuilder, ConfigOverrides, DramTiming, RadsConfig,
+};
 pub use error::{ConfigError, ModelError};
 pub use queue::{LogicalQueueId, PhysicalQueueId, QueueKind};
-pub use rate::LineRate;
+pub use rate::{LineRate, ParseLineRateError};
 pub use time::{Nanoseconds, Slot, SlotDuration};

@@ -2,11 +2,11 @@
 
 use pktbuf::{BufferStats, PacketBuffer};
 use pktbuf_model::LogicalQueueId;
-use serde::{Deserialize, Serialize};
+use serde::{Serialize, Serializer};
 use traffic::{ArrivalGenerator, RequestGenerator};
 
 /// Result of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationReport {
     /// Design under test ("RADS", "CFDS", "DRAM-only").
     pub design: String,
@@ -20,6 +20,22 @@ pub struct SimulationReport {
     /// Queue indices of granted cells, in grant order (recorded only when
     /// requested; used to compare designs cell by cell).
     pub grant_log: Option<Vec<u32>>,
+}
+
+// Hand-written so that reports really encode (the vendored derive only
+// type-checks). Reports are write-only: there is no Deserialize.
+impl Serialize for SimulationReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("SimulationReport", 6)?;
+        st.serialize_field("design", &self.design)?;
+        st.serialize_field("workload", &self.workload)?;
+        st.serialize_field("slots", &self.slots)?;
+        st.serialize_field("grants_per_slot", &self.grants_per_slot())?;
+        st.serialize_field("stats", &self.stats)?;
+        st.serialize_field("grant_log", &self.grant_log)?;
+        st.end()
+    }
 }
 
 impl SimulationReport {

@@ -15,7 +15,7 @@
 //!   the area/access-time/delay numbers behind Figures 8, 10 and 11 and
 //!   Table 2.
 //!
-//! # Example
+//! # Example: one scenario
 //!
 //! ```
 //! use sim::scenario::{DesignKind, Scenario, Workload};
@@ -30,18 +30,50 @@
 //!     preload_cells_per_queue: 32,
 //!     arrival_slots: 0,
 //!     seed: 1,
+//!     ..Scenario::small_cfds()
 //! };
 //! let report = scenario.run();
 //! assert!(report.stats.is_loss_free());
 //! assert_eq!(report.stats.grants, 8 * 32);
+//! ```
+//!
+//! # Example: a declarative experiment
+//!
+//! Experiments are *data*: an [`spec::ExperimentSpec`] sweeps axes into a
+//! cartesian product of scenarios and a [`lab::LabRunner`] executes them on a
+//! thread pool, deterministically.
+//!
+//! ```
+//! use sim::lab::LabRunner;
+//! use sim::scenario::{DesignKind, Workload};
+//! use sim::spec::{ExperimentSpec, Sweep};
+//!
+//! let spec = ExperimentSpec::builder()
+//!     .name("doc-sweep")
+//!     .designs([DesignKind::Rads, DesignKind::Cfds])
+//!     .workloads([Workload::AdversarialRoundRobin])
+//!     .num_queues(Sweep::list([4, 8]))
+//!     .granularity(Sweep::fixed(2))
+//!     .rads_granularity(Sweep::fixed(8))
+//!     .num_banks(Sweep::fixed(16))
+//!     .preload_cells_per_queue(16)
+//!     .build()
+//!     .unwrap();
+//! let report = LabRunner::new().run(&spec).unwrap();
+//! assert_eq!(report.runs.len(), 4);
+//! assert!(report.aggregate.all_loss_free);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod engine;
+pub mod lab;
 pub mod report;
 pub mod scenario;
+pub mod spec;
 pub mod techeval;
 
 pub use engine::{SimulationEngine, SimulationReport};
+pub use lab::{ExperimentReport, LabRunner};
+pub use spec::{ExperimentSpec, Sweep};

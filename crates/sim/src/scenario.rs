@@ -1,16 +1,50 @@
 //! Ready-made experiment scenarios shared by tests, examples and benches.
 
 use crate::engine::{SimulationEngine, SimulationReport};
-use pktbuf::{CfdsBuffer, DramOnlyBuffer, PacketBuffer, RadsBuffer};
-use pktbuf_model::{CfdsConfig, DramTiming, LineRate, LogicalQueueId, RadsConfig};
-use serde::{Deserialize, Serialize};
+use pktbuf::{CfdsBuffer, CfdsBufferOptions, DramOnlyBuffer, PacketBuffer, RadsBuffer};
+use pktbuf_model::{
+    CfdsConfig, ConfigError, ConfigOverrides, DramTiming, LineRate, LogicalQueueId, RadsConfig,
+};
+use serde::{de, Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+use std::str::FromStr;
 use traffic::{
-    AdversarialRoundRobin, ArrivalGenerator, BurstyArrivals, GreedyQueueDrain, HotspotArrivals,
-    HotspotRequests, RequestGenerator, UniformArrivals, UniformRandomRequests,
+    stream_seed, AdversarialRoundRobin, ArrivalGenerator, BurstyArrivals, GreedyQueueDrain,
+    HotspotArrivals, HotspotRequests, RequestGenerator, UniformArrivals, UniformRandomRequests,
 };
 
+/// Error returned when a design or workload name cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNameError {
+    what: &'static str,
+    input: String,
+    expected: &'static str,
+}
+
+impl fmt::Display for ParseNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot parse {:?} as a {} (expected one of: {})",
+            self.input, self.what, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ParseNameError {}
+
+/// Lower-cases and strips `-`/`_` so that `"DRAM-only"`, `"dram_only"` and
+/// `"dramonly"` all compare equal.
+fn normalize_name(s: &str) -> String {
+    s.trim()
+        .chars()
+        .filter(|c| *c != '-' && *c != '_')
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
 /// Which packet-buffer design a scenario exercises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DesignKind {
     /// DRAM-only baseline (§1).
     DramOnly,
@@ -27,8 +61,39 @@ impl DesignKind {
     }
 }
 
+impl fmt::Display for DesignKind {
+    /// The canonical name, matching what the buffers report as
+    /// `design_name()` ("DRAM-only", "RADS", "CFDS").
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DesignKind::DramOnly => "DRAM-only",
+            DesignKind::Rads => "RADS",
+            DesignKind::Cfds => "CFDS",
+        })
+    }
+}
+
+impl FromStr for DesignKind {
+    type Err = ParseNameError;
+
+    /// Case-insensitive; `-` and `_` are ignored, so `dram-only`,
+    /// `DRAM_only` and the `Display` form all parse.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match normalize_name(s).as_str() {
+            "dramonly" | "dram" => Ok(DesignKind::DramOnly),
+            "rads" => Ok(DesignKind::Rads),
+            "cfds" => Ok(DesignKind::Cfds),
+            _ => Err(ParseNameError {
+                what: "design",
+                input: s.to_owned(),
+                expected: "dram-only, rads, cfds",
+            }),
+        }
+    }
+}
+
 /// Which workload a scenario applies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Workload {
     /// The ECQF worst case: round-robin drain over all queues.
     AdversarialRoundRobin,
@@ -55,13 +120,81 @@ impl Workload {
     }
 }
 
-/// A fully specified experiment scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+impl fmt::Display for Workload {
+    /// Kebab-case canonical name (`adversarial-round-robin`, …).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Workload::AdversarialRoundRobin => "adversarial-round-robin",
+            Workload::UniformRandom => "uniform-random",
+            Workload::Bursty => "bursty",
+            Workload::Hotspot => "hotspot",
+            Workload::GreedyDrain => "greedy-drain",
+        })
+    }
+}
+
+impl FromStr for Workload {
+    type Err = ParseNameError;
+
+    /// Case-insensitive; `-` and `_` are ignored, so the `Display` form, the
+    /// Rust variant name and obvious abbreviations all parse.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match normalize_name(s).as_str() {
+            "adversarialroundrobin" | "arr" => Ok(Workload::AdversarialRoundRobin),
+            "uniformrandom" | "uniform" => Ok(Workload::UniformRandom),
+            "bursty" => Ok(Workload::Bursty),
+            "hotspot" => Ok(Workload::Hotspot),
+            "greedydrain" | "greedy" => Ok(Workload::GreedyDrain),
+            _ => Err(ParseNameError {
+                what: "workload",
+                input: s.to_owned(),
+                expected: "adversarial-round-robin, uniform-random, bursty, hotspot, greedy-drain",
+            }),
+        }
+    }
+}
+
+/// Implements string-shaped serde for a type with `Display` + `FromStr`
+/// (the vendored derive cannot encode enums).
+macro_rules! serde_via_string {
+    ($ty:ty, $expecting:literal) => {
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_str(&self.to_string())
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> de::Visitor<'de> for V {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str($expecting)
+                    }
+                    fn visit_str<E: de::Error>(self, v: &str) -> Result<Self::Value, E> {
+                        v.parse().map_err(|e: ParseNameError| E::custom(e))
+                    }
+                }
+                deserializer.deserialize_any(V)
+            }
+        }
+    };
+}
+
+serde_via_string!(DesignKind, "a design name (dram-only, rads, cfds)");
+serde_via_string!(Workload, "a workload name");
+
+/// A fully specified experiment scenario: one expanded run of an
+/// [`crate::spec::ExperimentSpec`], or a hand-built one-off.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scenario {
     /// Design under test.
     pub design: DesignKind,
     /// Workload applied.
     pub workload: Workload,
+    /// Line rate of the interface (sets the slot duration).
+    pub line_rate: LineRate,
     /// Number of logical queues `Q`.
     pub num_queues: usize,
     /// CFDS granularity `b` (ignored by RADS and DRAM-only).
@@ -76,8 +209,11 @@ pub struct Scenario {
     /// Slots during which the arrival generator is active. Preload and live
     /// arrivals are mutually exclusive (sequence numbers would clash).
     pub arrival_slots: u64,
-    /// Seed for the random workloads.
+    /// Seed for the random workloads (arrivals use
+    /// [`traffic::stream_seed`]`(seed, 0)`, requests stream 1).
     pub seed: u64,
+    /// Optional configuration knobs applied on top of the parameters above.
+    pub overrides: ConfigOverrides,
 }
 
 impl Scenario {
@@ -86,6 +222,7 @@ impl Scenario {
         Scenario {
             design: DesignKind::Cfds,
             workload: Workload::AdversarialRoundRobin,
+            line_rate: LineRate::Oc3072,
             num_queues: 8,
             granularity: 2,
             rads_granularity: 8,
@@ -93,18 +230,40 @@ impl Scenario {
             preload_cells_per_queue: 32,
             arrival_slots: 0,
             seed: 1,
+            overrides: ConfigOverrides::none(),
         }
     }
 
     /// The RADS configuration implied by this scenario.
     pub fn rads_config(&self) -> RadsConfig {
-        RadsConfig {
-            line_rate: LineRate::Oc3072,
+        self.overrides.apply_rads(RadsConfig {
+            line_rate: self.line_rate,
             num_queues: self.num_queues,
             granularity: self.rads_granularity,
             lookahead: None,
             dram: DramTiming::paper_design_point(),
-        }
+        })
+    }
+
+    /// The CFDS configuration implied by this scenario, or the reason it is
+    /// invalid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the parameters violate the divisibility
+    /// or lookahead constraints (a sweep's cartesian product may contain such
+    /// combinations; the spec layer skips them).
+    pub fn try_cfds_config(&self) -> Result<CfdsConfig, ConfigError> {
+        self.overrides
+            .apply_cfds(
+                CfdsConfig::builder()
+                    .line_rate(self.line_rate)
+                    .num_queues(self.num_queues)
+                    .granularity(self.granularity)
+                    .rads_granularity(self.rads_granularity)
+                    .num_banks(self.num_banks),
+            )
+            .build()
     }
 
     /// The CFDS configuration implied by this scenario.
@@ -113,14 +272,21 @@ impl Scenario {
     ///
     /// Panics if the parameters do not form a valid CFDS configuration.
     pub fn cfds_config(&self) -> CfdsConfig {
-        CfdsConfig::builder()
-            .line_rate(LineRate::Oc3072)
-            .num_queues(self.num_queues)
-            .granularity(self.granularity)
-            .rads_granularity(self.rads_granularity)
-            .num_banks(self.num_banks)
-            .build()
+        self.try_cfds_config()
             .expect("scenario parameters form a valid CFDS configuration")
+    }
+
+    /// Checks that this scenario's parameters form a valid configuration for
+    /// its design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] exactly when building the buffer would panic.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self.design {
+            DesignKind::Cfds => self.try_cfds_config().map(drop),
+            DesignKind::DramOnly | DesignKind::Rads => self.rads_config().validate(),
+        }
     }
 
     /// Builds the buffer under test, preloaded as requested.
@@ -147,7 +313,14 @@ impl Scenario {
                 Box::new(buf)
             }
             DesignKind::Cfds => {
-                let mut buf = CfdsBuffer::new(self.cfds_config());
+                let options = CfdsBufferOptions {
+                    dram_capacity_cells: self
+                        .overrides
+                        .dram_capacity_cells
+                        .map(|c| usize::try_from(c).unwrap_or(usize::MAX)),
+                    ..CfdsBufferOptions::default()
+                };
+                let mut buf = CfdsBuffer::with_options(self.cfds_config(), options);
                 for (q, cells) in traffic::preload_cells(self.num_queues, preload) {
                     buf.preload_dram(q, cells);
                 }
@@ -158,28 +331,26 @@ impl Scenario {
 
     fn build_arrivals(&self) -> Box<dyn ArrivalGenerator + Send> {
         let q = self.num_queues;
+        let seed = stream_seed(self.seed, 0);
         match self.workload {
             Workload::AdversarialRoundRobin | Workload::GreedyDrain => {
-                Box::new(UniformArrivals::new(q, 0.9, self.seed))
+                Box::new(UniformArrivals::new(q, 0.9, seed))
             }
-            Workload::UniformRandom => Box::new(UniformArrivals::new(q, 0.8, self.seed)),
-            Workload::Bursty => Box::new(BurstyArrivals::new(q, 32.0, 8.0, self.seed)),
-            Workload::Hotspot => {
-                Box::new(HotspotArrivals::new(q, 0.9, q.div_ceil(8), 0.8, self.seed))
-            }
+            Workload::UniformRandom => Box::new(UniformArrivals::new(q, 0.8, seed)),
+            Workload::Bursty => Box::new(BurstyArrivals::new(q, 32.0, 8.0, seed)),
+            Workload::Hotspot => Box::new(HotspotArrivals::new(q, 0.9, q.div_ceil(8), 0.8, seed)),
         }
     }
 
     fn build_requests(&self) -> Box<dyn RequestGenerator + Send> {
         let q = self.num_queues;
+        let seed = stream_seed(self.seed, 1);
         match self.workload {
             Workload::AdversarialRoundRobin | Workload::Bursty => {
                 Box::new(AdversarialRoundRobin::new(q))
             }
-            Workload::UniformRandom => Box::new(UniformRandomRequests::new(q, 0.9, self.seed + 1)),
-            Workload::Hotspot => {
-                Box::new(HotspotRequests::new(q, q.div_ceil(8), 0.8, self.seed + 1))
-            }
+            Workload::UniformRandom => Box::new(UniformRandomRequests::new(q, 0.9, seed)),
+            Workload::Hotspot => Box::new(HotspotRequests::new(q, q.div_ceil(8), 0.8, seed)),
             Workload::GreedyDrain => Box::new(GreedyQueueDrain::new(q)),
         }
     }
@@ -220,6 +391,92 @@ impl Scenario {
                 .run(&mut no_arrivals, requests.as_mut(), 0)
         };
         report
+    }
+}
+
+// Hand-written serde (the vendored derive cannot encode data): a scenario is
+// a flat JSON object. When reading, `line_rate` (OC-3072), `overrides`
+// (none), `preload_cells_per_queue` (0), `arrival_slots` (0) and `seed` (1)
+// may be omitted and take those defaults; the design, workload and the four
+// dimensioning parameters are required.
+impl Serialize for Scenario {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("Scenario", 11)?;
+        st.serialize_field("design", &self.design)?;
+        st.serialize_field("workload", &self.workload)?;
+        st.serialize_field("line_rate", &self.line_rate)?;
+        st.serialize_field("num_queues", &self.num_queues)?;
+        st.serialize_field("granularity", &self.granularity)?;
+        st.serialize_field("rads_granularity", &self.rads_granularity)?;
+        st.serialize_field("num_banks", &self.num_banks)?;
+        st.serialize_field("preload_cells_per_queue", &self.preload_cells_per_queue)?;
+        st.serialize_field("arrival_slots", &self.arrival_slots)?;
+        st.serialize_field("seed", &self.seed)?;
+        st.serialize_field("overrides", &self.overrides)?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Scenario {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = Scenario;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a scenario object")
+            }
+            fn visit_map<A: de::MapAccess<'de>>(self, mut map: A) -> Result<Scenario, A::Error> {
+                let mut design = None;
+                let mut workload = None;
+                let mut line_rate = None;
+                let mut num_queues = None;
+                let mut granularity = None;
+                let mut rads_granularity = None;
+                let mut num_banks = None;
+                let mut preload = None;
+                let mut arrival_slots = None;
+                let mut seed = None;
+                let mut overrides = None;
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "design" => design = Some(map.next_value()?),
+                        "workload" => workload = Some(map.next_value()?),
+                        "line_rate" => line_rate = Some(map.next_value()?),
+                        "num_queues" => num_queues = Some(map.next_value()?),
+                        "granularity" => granularity = Some(map.next_value()?),
+                        "rads_granularity" => rads_granularity = Some(map.next_value()?),
+                        "num_banks" => num_banks = Some(map.next_value()?),
+                        "preload_cells_per_queue" => preload = Some(map.next_value()?),
+                        "arrival_slots" => arrival_slots = Some(map.next_value()?),
+                        "seed" => seed = Some(map.next_value()?),
+                        "overrides" => overrides = Some(map.next_value()?),
+                        other => {
+                            return Err(de::Error::custom(format_args!(
+                                "unknown scenario field {other:?}"
+                            )))
+                        }
+                    }
+                }
+                let require =
+                    |name: &str| de::Error::custom(format_args!("missing field {name:?}"));
+                Ok(Scenario {
+                    design: design.ok_or_else(|| require("design"))?,
+                    workload: workload.ok_or_else(|| require("workload"))?,
+                    line_rate: line_rate.unwrap_or_default(),
+                    num_queues: num_queues.ok_or_else(|| require("num_queues"))?,
+                    granularity: granularity.ok_or_else(|| require("granularity"))?,
+                    rads_granularity: rads_granularity
+                        .ok_or_else(|| require("rads_granularity"))?,
+                    num_banks: num_banks.ok_or_else(|| require("num_banks"))?,
+                    preload_cells_per_queue: preload.unwrap_or(0),
+                    arrival_slots: arrival_slots.unwrap_or(0),
+                    seed: seed.unwrap_or(1),
+                    overrides: overrides.unwrap_or_default(),
+                })
+            }
+        }
+        deserializer.deserialize_any(V)
     }
 }
 
@@ -299,6 +556,7 @@ mod tests {
             rads_granularity: 4,
             num_banks: 8,
             seed: 3,
+            ..Scenario::small_cfds()
         };
         let report = scenario.run();
         assert_eq!(report.design, "RADS");
@@ -340,6 +598,77 @@ mod tests {
         assert_eq!(DesignKind::all().len(), 3);
         assert_eq!(Workload::all().len(), 5);
         assert_eq!(all_queues(3).len(), 3);
+    }
+
+    #[test]
+    fn design_names_round_trip_exhaustively() {
+        for design in DesignKind::all() {
+            let text = design.to_string();
+            assert_eq!(text.parse::<DesignKind>().unwrap(), design, "{text}");
+            // Variant-name and mangled spellings parse too.
+            assert_eq!(format!("{design:?}").parse::<DesignKind>().unwrap(), design);
+            assert_eq!(
+                text.to_uppercase()
+                    .replace('-', "_")
+                    .parse::<DesignKind>()
+                    .unwrap(),
+                design
+            );
+        }
+        assert!("quantum".parse::<DesignKind>().is_err());
+    }
+
+    #[test]
+    fn workload_names_round_trip_exhaustively() {
+        for workload in Workload::all() {
+            let text = workload.to_string();
+            assert_eq!(text.parse::<Workload>().unwrap(), workload, "{text}");
+            assert_eq!(
+                format!("{workload:?}").parse::<Workload>().unwrap(),
+                workload
+            );
+        }
+        assert_eq!(
+            "ARR".parse::<Workload>().unwrap(),
+            Workload::AdversarialRoundRobin
+        );
+        assert_eq!("greedy".parse::<Workload>().unwrap(), Workload::GreedyDrain);
+        assert!("chaos".parse::<Workload>().is_err());
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let scenario = Scenario {
+            workload: Workload::Hotspot,
+            seed: 99,
+            overrides: pktbuf_model::ConfigOverrides {
+                lookahead: Some(64),
+                ..Default::default()
+            },
+            ..Scenario::small_cfds()
+        };
+        let json = serde_json::to_string_pretty(scenario).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scenario);
+        // Omitted optional fields take their defaults.
+        let minimal: Scenario = serde_json::from_str(
+            "{\"design\":\"cfds\",\"workload\":\"bursty\",\"num_queues\":8,\
+             \"granularity\":2,\"rads_granularity\":8,\"num_banks\":16}",
+        )
+        .unwrap();
+        assert_eq!(minimal.line_rate, pktbuf_model::LineRate::Oc3072);
+        assert_eq!(minimal.seed, 1);
+        assert!(minimal.overrides.is_none());
+    }
+
+    #[test]
+    fn scenario_validate_matches_buffer_construction() {
+        assert!(Scenario::small_cfds().validate().is_ok());
+        let bad = Scenario {
+            granularity: 3, // does not divide B = 8
+            ..Scenario::small_cfds()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! * [`cfds`] — requests register, DRAM scheduler, latency register, renaming.
 //! * [`buffers`] — the assembled `RadsBuffer`, `CfdsBuffer`, `DramOnlyBuffer`.
 //! * [`traffic`] — arrival and arbiter-request workload generators.
-//! * [`sim`] — slot-level engine, scenarios and the technology evaluation.
+//! * [`sim`] — slot-level engine, scenarios, the declarative experiment layer
+//!   (`sim::spec::ExperimentSpec` + `sim::lab::LabRunner`, the substrate of
+//!   the `pktbuf-lab` CLI) and the technology evaluation.
 //!
 //! See `README.md` for a tour of the workspace, the design notes, and how to
 //! run the tests, benches and experiment binaries.

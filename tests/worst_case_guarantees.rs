@@ -34,6 +34,7 @@ fn every_workload_is_loss_free_on_rads_and_cfds() {
                 preload_cells_per_queue: 0,
                 arrival_slots: 8_000,
                 seed: 23,
+                ..Scenario::small_cfds()
             };
             let report = scenario.run();
             assert!(
@@ -61,6 +62,7 @@ fn designs_deliver_identical_per_queue_grant_counts() {
         preload_cells_per_queue: 48,
         arrival_slots: 0,
         seed: 5,
+        ..Scenario::small_cfds()
     };
     let reports = run_design_comparison(&base);
     let rads = grants_per_queue(&reports[1], base.num_queues);

@@ -1,13 +1,25 @@
 //! Offline stand-in for the `serde` facade crate.
 //!
 //! The build container cannot reach crates.io, so this crate defines the
-//! subset of serde's trait vocabulary that the workspace compiles against:
-//! [`Serialize`] / [`Deserialize`] with their `Serializer` / `Deserializer`
-//! drivers, the [`ser::SerializeStruct`] compound builder used by the manual
-//! `Cell` impl, and [`de::Error::custom`]. No encoder/decoder back end is
-//! provided (there is no `serde_json` here either); the impls exist so that
-//! derive bounds and manual impls type-check. Swapping `[workspace.dependencies]`
-//! back to the real serde requires no source changes.
+//! subset of serde's trait vocabulary that the workspace compiles against.
+//! Unlike the first revision of this stand-in (which only type-checked), the
+//! data model is now *functional*: [`Serialize`] impls describe real values
+//! (booleans, integers, floats, strings, sequences, options and structs) and
+//! [`Deserialize`] impls drive a condensed [`de::Visitor`] — enough for the
+//! vendored `serde_json` back end to round-trip the workspace's experiment
+//! specs and reports.
+//!
+//! Deliberate condensations relative to real serde (documented so that the
+//! later switch to the registry crates stays a `[workspace.dependencies]`
+//! change plus mechanical edits):
+//!
+//! * [`de::Visitor`] provides a default `expecting` implementation (real
+//!   serde requires one).
+//! * `Deserializer` exposes only `deserialize_any` and `deserialize_option`;
+//!   manual impls written against them are valid against real serde's
+//!   self-describing formats (e.g. `serde_json`).
+//! * `MapAccess::next_key` / `next_value` mirror real serde's convenience
+//!   methods (the `*_seed` layer is omitted).
 
 #![warn(missing_docs)]
 
@@ -41,16 +53,162 @@ pub mod ser {
         /// Finishes the struct.
         fn end(self) -> Result<Self::Ok, Self::Error>;
     }
+
+    /// Returned by [`crate::Serializer::serialize_seq`]; receives one call per
+    /// element and a final [`SerializeSeq::end`].
+    pub trait SerializeSeq {
+        /// Value produced on success.
+        type Ok;
+        /// Error produced on failure.
+        type Error: Error;
+
+        /// Serialises one element of the sequence.
+        fn serialize_element<T: ?Sized + crate::Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+
+        /// Finishes the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
 }
 
 /// Deserialisation half of the serde data model (condensed).
 pub mod de {
-    use core::fmt::Display;
+    use core::fmt::{self, Display};
 
     /// Trait for deserialisation errors, as in real serde.
     pub trait Error: Sized + Display {
         /// Builds an error from an arbitrary message.
         fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Walks the entries of a map being deserialised.
+    pub trait MapAccess<'de> {
+        /// Error produced on failure.
+        type Error: Error;
+
+        /// Deserialises the next key, or `None` when the map is exhausted.
+        fn next_key<K: crate::Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error>;
+
+        /// Deserialises the value paired with the key just returned.
+        fn next_value<V: crate::Deserialize<'de>>(&mut self) -> Result<V, Self::Error>;
+    }
+
+    /// Walks the elements of a sequence being deserialised.
+    pub trait SeqAccess<'de> {
+        /// Error produced on failure.
+        type Error: Error;
+
+        /// Deserialises the next element, or `None` at the end.
+        fn next_element<T: crate::Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+
+        /// Number of remaining elements, when known.
+        fn size_hint(&self) -> Option<usize> {
+            None
+        }
+    }
+
+    /// Receives the value a [`crate::Deserializer`] found in its input.
+    ///
+    /// Every `visit_*` method defaults to an "unexpected type" error; numeric
+    /// visits fall through to [`Visitor::visit_f64`] so that a float-expecting
+    /// visitor also accepts integer input (JSON does not distinguish `1` from
+    /// `1.0`).
+    pub trait Visitor<'de>: Sized {
+        /// Value this visitor produces.
+        type Value;
+
+        /// Describes what the visitor expects, for error messages.
+        fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+            formatter.write_str("a value")
+        }
+
+        /// Visits a boolean.
+        fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+            Err(E::custom(format_args!(
+                "unexpected boolean {v}, expected {}",
+                Expected(&self)
+            )))
+        }
+
+        /// Visits a non-negative integer.
+        fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+            self.visit_f64(v as f64)
+        }
+
+        /// Visits a negative integer.
+        fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+            self.visit_f64(v as f64)
+        }
+
+        /// Visits a floating-point number.
+        fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+            Err(E::custom(format_args!(
+                "unexpected number {v}, expected {}",
+                Expected(&self)
+            )))
+        }
+
+        /// Visits a string.
+        fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+            Err(E::custom(format_args!(
+                "unexpected string {v:?}, expected {}",
+                Expected(&self)
+            )))
+        }
+
+        /// Visits a unit / null value.
+        fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+            Err(E::custom(format_args!(
+                "unexpected null, expected {}",
+                Expected(&self)
+            )))
+        }
+
+        /// Visits an absent optional value.
+        fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+            self.visit_unit()
+        }
+
+        /// Visits a present optional value.
+        fn visit_some<D: crate::Deserializer<'de>>(
+            self,
+            deserializer: D,
+        ) -> Result<Self::Value, D::Error> {
+            let _ = deserializer;
+            Err(Error::custom(format_args!(
+                "unexpected optional value, expected {}",
+                Expected(&self)
+            )))
+        }
+
+        /// Visits a sequence.
+        fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+            let _ = seq;
+            Err(Error::custom(format_args!(
+                "unexpected sequence, expected {}",
+                Expected(&self)
+            )))
+        }
+
+        /// Visits a map.
+        fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+            let _ = map;
+            Err(Error::custom(format_args!(
+                "unexpected map, expected {}",
+                Expected(&self)
+            )))
+        }
+    }
+
+    /// Adapter rendering a visitor's [`Visitor::expecting`] output.
+    struct Expected<'a, V>(&'a V);
+
+    impl<'de, V: Visitor<'de>> Display for Expected<'_, V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.expecting(f)
+        }
     }
 }
 
@@ -68,11 +226,27 @@ pub trait Serializer: Sized {
     type Error: ser::Error;
     /// Compound builder for structs.
     type SerializeStruct: ser::SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound builder for sequences.
+    type SerializeSeq: ser::SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
 
     /// Serialises a unit value (also what the derive stand-in emits).
     fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialises a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
     /// Serialises a `u64`.
     fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serialises an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serialises an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serialises a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serialises an absent optional value.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialises a present optional value.
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Begins serialising a sequence of `len` elements (when known).
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
     /// Begins serialising a struct with `len` fields.
     fn serialize_struct(
         self,
@@ -91,9 +265,15 @@ pub trait Deserialize<'de>: Sized {
 pub trait Deserializer<'de>: Sized {
     /// Error produced on failure.
     type Error: de::Error;
+
+    /// Feeds whatever value the input holds to `visitor`.
+    fn deserialize_any<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Feeds an optional value to `visitor` (`visit_none` / `visit_some`).
+    fn deserialize_option<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
 }
 
-macro_rules! stub_serialize_via_u64 {
+macro_rules! serialize_unsigned {
     ($($t:ty),* $(,)?) => {$(
         impl Serialize for $t {
             fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
@@ -103,29 +283,47 @@ macro_rules! stub_serialize_via_u64 {
     )*};
 }
 
-stub_serialize_via_u64!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
 
 impl Serialize for f64 {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_u64(self.to_bits())
+        serializer.serialize_f64(*self)
     }
 }
 
 impl Serialize for f32 {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_u64(f64::from(*self).to_bits())
+        serializer.serialize_f64(f64::from(*self))
     }
 }
 
 impl Serialize for str {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_unit()
+        serializer.serialize_str(self)
     }
 }
 
 impl Serialize for String {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_unit()
+        serializer.serialize_str(self)
     }
 }
 
@@ -138,20 +336,177 @@ impl<T: Serialize + ?Sized> Serialize for &T {
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         match self {
-            Some(v) => v.serialize(serializer),
-            None => serializer.serialize_unit(),
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
         }
     }
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_unit()
+        self.as_slice().serialize(serializer)
     }
 }
 
 impl<T: Serialize> Serialize for [T] {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_unit()
+        use ser::SerializeSeq as _;
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for element in self {
+            seq.serialize_element(element)?;
+        }
+        seq.end()
+    }
+}
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> de::Visitor<'de> for V {
+                    type Value = $t;
+                    fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                        write!(f, "an unsigned integer")
+                    }
+                    fn visit_u64<E: de::Error>(self, v: u64) -> Result<$t, E> {
+                        <$t>::try_from(v).map_err(|_| {
+                            E::custom(format_args!("integer {v} out of range"))
+                        })
+                    }
+                }
+                deserializer.deserialize_any(V)
+            }
+        }
+    )*};
+}
+
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_signed {
+    ($($t:ty),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> de::Visitor<'de> for V {
+                    type Value = $t;
+                    fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                        write!(f, "an integer")
+                    }
+                    fn visit_i64<E: de::Error>(self, v: i64) -> Result<$t, E> {
+                        <$t>::try_from(v).map_err(|_| {
+                            E::custom(format_args!("integer {v} out of range"))
+                        })
+                    }
+                    fn visit_u64<E: de::Error>(self, v: u64) -> Result<$t, E> {
+                        <$t>::try_from(v).map_err(|_| {
+                            E::custom(format_args!("integer {v} out of range"))
+                        })
+                    }
+                }
+                deserializer.deserialize_any(V)
+            }
+        }
+    )*};
+}
+
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = bool;
+            fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "a boolean")
+            }
+            fn visit_bool<E: de::Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = f64;
+            fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "a number")
+            }
+            fn visit_f64<E: de::Error>(self, v: f64) -> Result<f64, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "a string")
+            }
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(core::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> de::Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "an optional value")
+            }
+            fn visit_none<E: de::Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Self::Value, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(V(core::marker::PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(core::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> de::Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "a sequence")
+            }
+            fn visit_seq<A: de::SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+                while let Some(element) = seq.next_element()? {
+                    out.push(element);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_any(V(core::marker::PhantomData))
     }
 }

@@ -1,0 +1,222 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Unlike the other vendored crates, this one is *not* a thin shim: it is a
+//! small but real JSON implementation over the condensed data model of the
+//! vendored `serde` — a [`Value`] tree, a recursive-descent parser
+//! ([`from_str`]), a writer ([`to_string`] / [`to_string_pretty`]) and the
+//! [`serde::Serializer`] / [`serde::Deserializer`] drivers connecting them to
+//! `Serialize` / `Deserialize` impls. The workspace uses it to round-trip
+//! experiment specs and reports through JSON files and CLI pipes.
+//!
+//! Functional subset: objects, arrays, strings (with escapes, including
+//! `\uXXXX` and surrogate pairs), numbers (integers kept exact, floats via
+//! Rust's shortest round-trip formatting), booleans and null. Not provided:
+//! streaming readers/writers, borrowed (zero-copy) deserialisation, arbitrary
+//! precision numbers, the `json!` macro.
+
+#![warn(missing_docs)]
+
+mod parse;
+mod value;
+mod write;
+
+use serde::{de, ser, Deserialize, Serialize};
+use std::fmt;
+
+pub use value::{Map, Number, Value};
+
+/// Error produced by any serde_json operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn msg(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::msg(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::msg(msg.to_string())
+    }
+}
+
+/// Serialises `value` into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the value cannot be represented in JSON (for
+/// example a non-finite float).
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    value.serialize(value::ValueSerializer)
+}
+
+/// Reconstructs a `T` from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the tree does not match the shape `T` expects.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    T::deserialize(value::ValueDeserializer::new(value))
+}
+
+/// Serialises `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Propagates [`to_value`] failures.
+pub fn to_string<T: Serialize>(value: T) -> Result<String, Error> {
+    Ok(write::write(&to_value(value)?, None))
+}
+
+/// Serialises `value` as an indented (2-space) JSON string.
+///
+/// # Errors
+///
+/// Propagates [`to_value`] failures.
+pub fn to_string_pretty<T: Serialize>(value: T) -> Result<String, Error> {
+    Ok(write::write(&to_value(value)?, Some(0)))
+}
+
+/// Parses a JSON document into a `T` (use `T = Value` for the raw tree).
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON, trailing input, or a shape mismatch
+/// with `T`.
+pub fn from_str<T: for<'de> Deserialize<'de>>(input: &str) -> Result<T, Error> {
+    from_value(parse::parse(input)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(to_string(-7i64).unwrap(), "-7");
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(to_string(true).unwrap(), "true");
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(to_string(1.5f64).unwrap(), "1.5");
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn integers_parse_as_floats_when_asked() {
+        // JSON does not distinguish 3 from 3.0; a float-expecting visitor
+        // must accept integer input.
+        assert_eq!(from_str::<f64>("3").unwrap(), 3.0);
+    }
+
+    #[test]
+    fn vectors_and_options_round_trip() {
+        let v = vec![1u64, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u64>>(&s).unwrap(), v);
+        assert_eq!(to_string(Option::<u64>::None).unwrap(), "null");
+        assert_eq!(to_string(Some(5u64)).unwrap(), "5");
+        assert_eq!(from_str::<Option<u64>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u64>>("5").unwrap(), Some(5));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let tricky = "line\nbreak \"quoted\" back\\slash \t tab \u{1F600} unicode";
+        let s = to_string(tricky).unwrap();
+        assert_eq!(from_str::<String>(&s).unwrap(), tricky);
+        // Escaped input forms decode too, including surrogate pairs.
+        assert_eq!(
+            from_str::<String>("\"\\u0041\\u00e9\\ud83d\\ude00\"").unwrap(),
+            "Aé\u{1F600}"
+        );
+    }
+
+    #[test]
+    fn objects_preserve_insertion_order() {
+        let v: Value = from_str("{\"b\": 1, \"a\": [true, null]}").unwrap();
+        let Value::Object(map) = &v else {
+            panic!("expected object")
+        };
+        let keys: Vec<&str> = map.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["b", "a"]);
+        assert_eq!(write::write(&v, None), "{\"b\":1,\"a\":[true,null]}");
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v: Value = from_str("{\"a\": [1, 2]}").unwrap();
+        let pretty = write::write(&v, Some(0));
+        assert_eq!(pretty, "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+        // Pretty output parses back to the same tree.
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn numbers_compare_numerically_across_variants() {
+        // 160.0 prints as "160" and reparses as an integer; Value equality
+        // must not care.
+        let original = to_value(160.0f64).unwrap();
+        let reparsed: Value = from_str(&write::write(&original, None)).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\" 1}",
+            "nul",
+            "[1 2]",
+            "+5",
+            "01",
+            "1.e",
+            "\"\\q\"",
+        ] {
+            assert!(from_str::<Value>(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_cannot_serialize() {
+        assert!(to_string(f64::NAN).is_err());
+        assert!(to_string(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn deep_value_round_trip() {
+        let text = "{\"name\":\"sweep\",\"runs\":[{\"q\":64,\"ok\":true},{\"q\":128,\"ok\":false}],\"rate\":160.5,\"note\":null}";
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(from_str::<Value>(&write::write(&v, None)).unwrap(), v);
+        assert_eq!(from_str::<Value>(&write::write(&v, Some(0))).unwrap(), v);
+    }
+}

@@ -1,0 +1,461 @@
+//! The JSON value tree and its serde drivers.
+
+use crate::Error;
+use serde::{de, ser, Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+
+/// A JSON number: integers are kept exact, everything else is an `f64`.
+#[derive(Debug, Clone, Copy)]
+pub struct Number(N);
+
+#[derive(Debug, Clone, Copy)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// Wraps a non-negative integer.
+    pub fn from_u64(v: u64) -> Self {
+        Number(N::PosInt(v))
+    }
+
+    /// Wraps a signed integer (non-negative values normalise to `PosInt`).
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Number(N::PosInt(v as u64))
+        } else {
+            Number(N::NegInt(v))
+        }
+    }
+
+    /// Wraps a finite float.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on NaN or infinity — JSON cannot represent them.
+    pub fn from_f64(v: f64) -> Result<Self, Error> {
+        if v.is_finite() {
+            Ok(Number(N::Float(v)))
+        } else {
+            Err(Error::msg(format!(
+                "non-finite float {v} is not valid JSON"
+            )))
+        }
+    }
+
+    /// The number as an `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match self.0 {
+            N::PosInt(v) => v as f64,
+            N::NegInt(v) => v as f64,
+            N::Float(v) => v,
+        }
+    }
+
+    /// The number as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::PosInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::PosInt(v) => i64::try_from(v).ok(),
+            N::NegInt(v) => Some(v),
+            N::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    /// Numeric comparison across variants: `160` == `160.0` (floats print
+    /// without a decimal point when integral, so a write/parse round trip may
+    /// change the variant but must not change equality).
+    fn eq(&self, other: &Self) -> bool {
+        match (self.0, other.0) {
+            (N::PosInt(a), N::PosInt(b)) => a == b,
+            (N::NegInt(a), N::NegInt(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::PosInt(v) => write!(f, "{v}"),
+            N::NegInt(v) => write!(f, "{v}"),
+            // Rust's shortest-round-trip formatting; valid JSON for finite
+            // values (no exponent forms like `1e300` are produced below
+            // f64::MAX's magnitude printed in positional notation — `{}` uses
+            // positional or exponent as needed, both valid JSON).
+            N::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A JSON object that preserves insertion order (sufficient for specs and
+/// reports; no duplicate-key handling beyond last-wins lookup).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Appends `key: value` (keys are not deduplicated).
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        self.entries.push((key.into(), value));
+    }
+
+    /// The value of the first entry named `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Iterates the entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub(crate) fn into_entries(self) -> Vec<(String, Value)> {
+        self.entries
+    }
+}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+}
+
+impl Value {
+    /// Renders the value as compact JSON.
+    ///
+    /// (The condensed `Serializer` trait keys struct fields by `&'static
+    /// str`, so `Value` cannot implement `Serialize` for arbitrary drivers;
+    /// these inherent methods replace real serde_json's blanket impl.)
+    pub fn to_json_string(&self) -> String {
+        crate::write::write(self, None)
+    }
+
+    /// Renders the value as indented (2-space) JSON.
+    pub fn to_json_string_pretty(&self) -> String {
+        crate::write::write(self, Some(0))
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = Value;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("any JSON value")
+            }
+            fn visit_bool<E: de::Error>(self, v: bool) -> Result<Value, E> {
+                Ok(Value::Bool(v))
+            }
+            fn visit_u64<E: de::Error>(self, v: u64) -> Result<Value, E> {
+                Ok(Value::Number(Number::from_u64(v)))
+            }
+            fn visit_i64<E: de::Error>(self, v: i64) -> Result<Value, E> {
+                Ok(Value::Number(Number::from_i64(v)))
+            }
+            fn visit_f64<E: de::Error>(self, v: f64) -> Result<Value, E> {
+                Number::from_f64(v)
+                    .map(Value::Number)
+                    .map_err(|e| E::custom(e))
+            }
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<Value, E> {
+                Ok(Value::String(v.to_owned()))
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<Value, E> {
+                Ok(Value::Null)
+            }
+            fn visit_seq<A: de::SeqAccess<'de>>(self, mut seq: A) -> Result<Value, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+                while let Some(v) = seq.next_element()? {
+                    out.push(v);
+                }
+                Ok(Value::Array(out))
+            }
+            fn visit_map<A: de::MapAccess<'de>>(self, mut map: A) -> Result<Value, A::Error> {
+                let mut out = Map::new();
+                while let Some(k) = map.next_key::<String>()? {
+                    out.insert(k, map.next_value()?);
+                }
+                Ok(Value::Object(out))
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+/// [`Serializer`] that builds a [`Value`] tree.
+#[derive(Debug)]
+pub(crate) struct ValueSerializer;
+
+/// Struct builder for [`ValueSerializer`].
+#[derive(Debug)]
+pub(crate) struct ValueStructSerializer {
+    map: Map,
+}
+
+/// Sequence builder for [`ValueSerializer`].
+#[derive(Debug)]
+pub(crate) struct ValueSeqSerializer {
+    elements: Vec<Value>,
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeStruct = ValueStructSerializer;
+    type SerializeSeq = ValueSeqSerializer;
+
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::from_u64(v)))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::from_i64(v)))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Number::from_f64(v).map(Value::Number)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_owned()))
+    }
+
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(ValueSerializer)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<ValueSeqSerializer, Error> {
+        Ok(ValueSeqSerializer {
+            elements: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<ValueStructSerializer, Error> {
+        let mut map = Map::new();
+        map.entries.reserve(len);
+        Ok(ValueStructSerializer { map })
+    }
+}
+
+impl ser::SerializeStruct for ValueStructSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.map.insert(key, value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.map))
+    }
+}
+
+impl ser::SerializeSeq for ValueSeqSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.elements.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.elements))
+    }
+}
+
+/// [`Deserializer`] that walks an owned [`Value`] tree.
+#[derive(Debug)]
+pub(crate) struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    pub(crate) fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn deserialize_any<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.value {
+            Value::Null => visitor.visit_unit(),
+            Value::Bool(b) => visitor.visit_bool(b),
+            Value::Number(n) => match n.0 {
+                N::PosInt(v) => visitor.visit_u64(v),
+                N::NegInt(v) => visitor.visit_i64(v),
+                N::Float(v) => visitor.visit_f64(v),
+            },
+            Value::String(s) => visitor.visit_str(&s),
+            Value::Array(a) => visitor.visit_seq(SeqDeserializer {
+                iter: a.into_iter(),
+            }),
+            Value::Object(m) => visitor.visit_map(MapDeserializer {
+                iter: m.into_entries().into_iter(),
+                pending: None,
+            }),
+        }
+    }
+
+    fn deserialize_option<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.value {
+            Value::Null => visitor.visit_none(),
+            other => visitor.visit_some(ValueDeserializer::new(other)),
+        }
+    }
+}
+
+/// [`de::SeqAccess`] over an array's elements.
+#[derive(Debug)]
+struct SeqDeserializer {
+    iter: std::vec::IntoIter<Value>,
+}
+
+impl<'de> de::SeqAccess<'de> for SeqDeserializer {
+    type Error = Error;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Error> {
+        match self.iter.next() {
+            Some(v) => T::deserialize(ValueDeserializer::new(v)).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+/// [`de::MapAccess`] over an object's entries.
+#[derive(Debug)]
+struct MapDeserializer {
+    iter: std::vec::IntoIter<(String, Value)>,
+    pending: Option<Value>,
+}
+
+impl<'de> de::MapAccess<'de> for MapDeserializer {
+    type Error = Error;
+
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Error> {
+        match self.iter.next() {
+            Some((k, v)) => {
+                self.pending = Some(v);
+                K::deserialize(ValueDeserializer::new(Value::String(k))).map(Some)
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Error> {
+        let value = self
+            .pending
+            .take()
+            .ok_or_else(|| Error::msg("next_value called before next_key"))?;
+        V::deserialize(ValueDeserializer::new(value))
+    }
+}

@@ -1,0 +1,96 @@
+//! JSON writer: compact or 2-space-indented rendering of a [`Value`] tree.
+
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// Renders `value`; `indent` is `None` for compact output or `Some(level)`
+/// for pretty output starting at that nesting level.
+pub(crate) fn write(value: &Value, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, indent);
+    out
+}
+
+fn newline(out: &mut String, level: usize) {
+    out.push('\n');
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(elements) => {
+            if elements.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, element) in elements.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    newline(out, level + 1);
+                }
+                write_value(out, element, indent.map(|l| l + 1));
+            }
+            if let Some(level) = indent {
+                newline(out, level);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, entry)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    newline(out, level + 1);
+                }
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, entry, indent.map(|l| l + 1));
+            }
+            if let Some(level) = indent {
+                newline(out, level);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
