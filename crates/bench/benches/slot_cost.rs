@@ -1,10 +1,22 @@
 //! Criterion micro-benchmark: per-slot simulation cost of the three designs
 //! (E10). Useful to keep the simulator fast enough for the long validation
 //! runs.
+//!
+//! Two views per design:
+//!
+//! * `slot_cost/*` — preloaded adversarial drain (requests only), the
+//!   historical measurement;
+//! * `slot_cost_live/*` — live arrivals plus the round-robin drain, so the
+//!   tail path (arena, writebacks, DRAM scheduler submissions) is costed
+//!   alongside the head path.
+//!
+//! The end-to-end number (engine + generators, wall-clock slots/sec) lives in
+//! `pktbuf-lab bench` / `BENCH_hotpath.json`; this bench isolates per-design
+//! `step()` cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pktbuf::{CfdsBuffer, DramOnlyBuffer, PacketBuffer, RadsBuffer};
-use pktbuf_model::{CfdsConfig, LineRate, LogicalQueueId, RadsConfig};
+use pktbuf_model::{Cell, CfdsConfig, LineRate, LogicalQueueId, RadsConfig};
 use traffic::{preload_cells, AdversarialRoundRobin, RequestGenerator};
 
 fn rads_cfg(q: usize) -> RadsConfig {
@@ -33,6 +45,51 @@ fn drive(buf: &mut dyn PacketBuffer, requests: &mut AdversarialRoundRobin, slots
         let request = requests.next(t, &|q: LogicalQueueId| buf.requestable_cells(q));
         buf.step(None, request);
     }
+}
+
+/// Drives one cell arrival every other slot plus the round-robin drain.
+fn drive_live(buf: &mut dyn PacketBuffer, requests: &mut AdversarialRoundRobin, slots: u64) {
+    let q = buf.num_queues() as u64;
+    let mut seqs = vec![0u64; q as usize];
+    for t in 0..slots {
+        let arrival = if t % 2 == 0 {
+            let qi = ((t / 2) % q) as usize;
+            let cell = Cell::new(LogicalQueueId::new(qi as u32), seqs[qi], t);
+            seqs[qi] += 1;
+            Some(cell)
+        } else {
+            None
+        };
+        let request = requests.next(t, &|queue: LogicalQueueId| buf.requestable_cells(queue));
+        buf.step(arrival, request);
+    }
+}
+
+fn bench_slot_cost_live(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slot_cost_live");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for q in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("dram_only", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut buf = DramOnlyBuffer::new(rads_cfg(q));
+                drive_live(&mut buf, &mut AdversarialRoundRobin::new(q), 4_096);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rads", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut buf = RadsBuffer::new(rads_cfg(q));
+                drive_live(&mut buf, &mut AdversarialRoundRobin::new(q), 4_096);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cfds", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut buf = CfdsBuffer::new(cfds_cfg(q));
+                drive_live(&mut buf, &mut AdversarialRoundRobin::new(q), 4_096);
+            })
+        });
+    }
+    group.finish();
 }
 
 fn bench_slot_cost(c: &mut Criterion) {
@@ -71,5 +128,5 @@ fn bench_slot_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_slot_cost);
+criterion_group!(benches, bench_slot_cost, bench_slot_cost_live);
 criterion_main!(benches);

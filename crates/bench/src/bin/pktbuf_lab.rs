@@ -32,6 +32,7 @@ fn main() -> ExitCode {
     let result = match command {
         "run" => run_command(rest, false),
         "sweep" => run_command(rest, true),
+        "bench" => bench_command(rest),
         "paper" => paper_command(rest),
         "spec" => {
             println!("{}", template_spec().to_json());
@@ -59,8 +60,18 @@ fn print_usage() {
 USAGE:
     pktbuf-lab run   [SPEC FLAGS] [OUTPUT FLAGS]   execute a spec (file or inline flags)
     pktbuf-lab sweep [SPEC FLAGS] [OUTPUT FLAGS]   same, and print the per-run table
+    pktbuf-lab bench [BENCH FLAGS]                 run the hot-path benchmark suite
     pktbuf-lab paper <ARTEFACT>                    regenerate a paper artefact
     pktbuf-lab spec                                print a template spec JSON
+
+BENCH FLAGS (all designs x all workloads; writes a machine-readable artifact):
+    --smoke                  short runs for CI (default: >= 1M slots per run)
+    --out <FILE>             write the JSON artifact (default BENCH_hotpath.json)
+    --no-out                 measure and print only, write nothing
+    --repeat <N>             repeat the matrix N times, keep best-of-N per entry
+    --before <FILE>          embed FILE as the 'before' section and compute speedups
+    --compare <FILE>         fail on a slots/sec regression vs FILE
+    --max-regression <PCT>   regression tolerance for --compare (default 15)
 
 SPEC FLAGS (inline specs; every axis accepts 'v', 'v1,v2,…', 'a..b*factor', 'a..b+step'):
     --spec <FILE>            read the spec from a JSON file ('-' = stdin); other spec flags override it
@@ -103,6 +114,49 @@ fn template_spec() -> ExperimentSpec {
         .seeds([1, 101])
         .build()
         .expect("the template spec is valid")
+}
+
+fn bench_command(args: &[String]) -> Result<(), String> {
+    use bench::hotpath::{run_bench, BenchOptions, BENCH_DEFAULT_OUT};
+    let mut options = BenchOptions {
+        out: Some(BENCH_DEFAULT_OUT.to_owned()),
+        ..BenchOptions::default()
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--smoke" => options.smoke = true,
+            "--out" => options.out = Some(value("--out")?),
+            "--no-out" => options.out = None,
+            "--before" => options.before = Some(value("--before")?),
+            "--compare" => options.compare = Some(value("--compare")?),
+            "--repeat" => {
+                let v = value("--repeat")?;
+                options.repeat = Some(
+                    v.parse()
+                        .map_err(|_| format!("--repeat: {v:?} is not a count"))?,
+                );
+            }
+            "--max-regression" => {
+                let v = value("--max-regression")?;
+                options.max_regression_pct = Some(
+                    v.parse()
+                        .map_err(|_| format!("--max-regression: {v:?} is not a number"))?,
+                );
+            }
+            other => return Err(format!("unknown bench flag {other:?}")),
+        }
+    }
+    match run_bench(&options) {
+        Ok(true) => Ok(()),
+        Ok(false) => Err("bench regression check failed".to_owned()),
+        Err(message) => Err(message),
+    }
 }
 
 fn paper_command(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,393 @@
+//! The hot-path benchmark suite behind `pktbuf-lab bench`.
+//!
+//! Runs a fixed paper-scale workload matrix (every design × every workload)
+//! through the public [`Scenario`] API, measures wall-clock slots/sec and the
+//! process peak RSS, and writes a `BENCH_hotpath.json` artifact so that every
+//! future change has a recorded performance trajectory to compare against.
+//!
+//! Two auxiliary modes close the loop:
+//!
+//! * `--before FILE` embeds a previously recorded run as the `"before"`
+//!   section and computes per-entry speedups (used once per optimisation PR
+//!   to pin the before/after pair into the committed artifact);
+//! * `--compare FILE` checks the fresh run against a committed artifact and
+//!   fails when any entry regressed by more than `--max-regression` percent
+//!   (used by CI with `--smoke`).
+
+use serde_json::{Map, Number, Value};
+use sim::scenario::{DesignKind, Scenario, Workload};
+use std::time::Instant;
+
+/// Version tag of the JSON artifact layout.
+pub const BENCH_SCHEMA: u64 = 1;
+
+/// Default artifact path, relative to the invocation directory.
+pub const BENCH_DEFAULT_OUT: &str = "BENCH_hotpath.json";
+
+/// The headline entry the acceptance criteria gate on.
+pub const BENCH_HEADLINE: &str = "CFDS/adversarial-round-robin";
+
+/// Options of one `pktbuf-lab bench` invocation.
+#[derive(Debug, Clone, Default)]
+pub struct BenchOptions {
+    /// Short runs (CI): fewer slots per run, same matrix.
+    pub smoke: bool,
+    /// Where to write the JSON artifact (`None` = don't write).
+    pub out: Option<String>,
+    /// Previously recorded artifact to embed as the `"before"` section.
+    pub before: Option<String>,
+    /// Committed artifact to regression-check the fresh run against.
+    pub compare: Option<String>,
+    /// Maximum tolerated slots/sec regression, in percent (default 15).
+    pub max_regression_pct: Option<f64>,
+    /// Repeat the whole matrix this many times and keep each entry's best
+    /// (minimum-time) measurement — the standard throughput estimator under
+    /// scheduler noise. Defaults to 1; the committed artifact uses 3.
+    pub repeat: Option<usize>,
+}
+
+/// One measured run of the suite.
+#[derive(Debug, Clone)]
+struct BenchEntry {
+    design: DesignKind,
+    workload: Workload,
+    slots: u64,
+    seconds: f64,
+    grants: u64,
+}
+
+impl BenchEntry {
+    fn key(&self) -> String {
+        format!("{}/{}", self.design, self.workload)
+    }
+
+    fn slots_per_sec(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.slots as f64 / self.seconds
+        }
+    }
+}
+
+/// The fixed suite configuration: the §7 validation design point, scaled to
+/// 64 queues so a full run finishes in minutes while still exercising the
+/// renaming and scheduling layers at depth.
+fn suite_scenario(design: DesignKind, workload: Workload, slots: u64) -> Scenario {
+    Scenario {
+        design,
+        workload,
+        num_queues: 64,
+        granularity: 4,
+        rads_granularity: 16,
+        num_banks: 64,
+        preload_cells_per_queue: 0,
+        arrival_slots: slots,
+        seed: 1,
+        ..Scenario::small_cfds()
+    }
+}
+
+/// Active slots per run: ≥ 1M at full scale, a fast smoke subset for CI.
+/// Smoke runs still need tens of milliseconds per entry — much shorter and
+/// fixed setup cost plus scheduler jitter dominate the measurement.
+fn slots_for(smoke: bool) -> u64 {
+    if smoke {
+        250_000
+    } else {
+        1_000_000
+    }
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`), or 0 when
+/// the information is unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+fn run_suite(smoke: bool, repeat: usize) -> Vec<BenchEntry> {
+    let slots = slots_for(smoke);
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    for round in 0..repeat.max(1) {
+        for (i, (design, workload)) in DesignKind::all()
+            .into_iter()
+            .flat_map(|d| Workload::all().into_iter().map(move |w| (d, w)))
+            .enumerate()
+        {
+            let scenario = suite_scenario(design, workload, slots);
+            let start = Instant::now();
+            let report = scenario.run();
+            let seconds = start.elapsed().as_secs_f64();
+            let entry = BenchEntry {
+                design,
+                workload,
+                slots: report.slots,
+                seconds,
+                grants: report.stats.grants,
+            };
+            if round == 0 {
+                entries.push(entry);
+            } else {
+                // Simulation is deterministic: repeats must reproduce the
+                // run exactly, only the wall time may differ. Keep the best.
+                let best = &mut entries[i];
+                assert_eq!((best.slots, best.grants), (entry.slots, entry.grants));
+                if entry.seconds < best.seconds {
+                    best.seconds = entry.seconds;
+                }
+            }
+        }
+    }
+    for entry in &entries {
+        eprintln!(
+            "bench: {:<30} {:>9} slots in {:>7.3} s = {:>12.0} slots/s",
+            entry.key(),
+            entry.slots,
+            entry.seconds,
+            entry.slots_per_sec()
+        );
+    }
+    entries
+}
+
+fn number(v: f64) -> Value {
+    Value::Number(Number::from_f64(v).expect("bench numbers are finite"))
+}
+
+fn results_json(entries: &[BenchEntry]) -> Value {
+    let mut rows = Vec::new();
+    for e in entries {
+        let mut row = Map::new();
+        row.insert("design", Value::String(e.design.to_string()));
+        row.insert("workload", Value::String(e.workload.to_string()));
+        row.insert("slots", Value::Number(Number::from_u64(e.slots)));
+        row.insert("grants", Value::Number(Number::from_u64(e.grants)));
+        row.insert("seconds", number(e.seconds));
+        row.insert("slots_per_sec", number(e.slots_per_sec()));
+        rows.push(Value::Object(row));
+    }
+    Value::Array(rows)
+}
+
+/// Reads `<section>[*].slots_per_sec` keyed by `design/workload` from a bench
+/// artifact value (either the top level or its `"before"` section).
+fn slots_per_sec_section(value: &Value, section: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Some(results) = value.as_object().and_then(|o| o.get(section)) else {
+        return out;
+    };
+    let Some(rows) = results.as_array() else {
+        return out;
+    };
+    for row in rows {
+        let Some(obj) = row.as_object() else { continue };
+        let (Some(design), Some(workload)) = (
+            obj.get("design").and_then(Value::as_str),
+            obj.get("workload").and_then(Value::as_str),
+        ) else {
+            continue;
+        };
+        let Some(sps) = obj.get("slots_per_sec").and_then(Value::as_f64) else {
+            continue;
+        };
+        out.push((format!("{design}/{workload}"), sps));
+    }
+    out
+}
+
+fn load_artifact(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path:?}: {e}"))
+}
+
+/// Runs the suite and handles artifacts/comparisons per `options`.
+///
+/// Returns `Ok(true)` on success, `Ok(false)` when a `--compare` regression
+/// check failed, and `Err` for operational problems (unreadable files, …).
+///
+/// # Errors
+///
+/// Returns a message when the baseline files cannot be read or parsed, or the
+/// output artifact cannot be written.
+pub fn run_bench(options: &BenchOptions) -> Result<bool, String> {
+    let entries = run_suite(options.smoke, options.repeat.unwrap_or(1));
+    // A recorded full artifact also carries a smoke-mode section: the short
+    // CI runs amortise fixed per-run setup far less than the 1M-slot runs,
+    // so `--smoke --compare` must check against smoke-mode numbers.
+    let smoke_entries = if !options.smoke && options.out.is_some() {
+        eprintln!("bench: recording the smoke-mode baseline section");
+        Some(run_suite(true, options.repeat.unwrap_or(1)))
+    } else {
+        None
+    };
+    let rss = peak_rss_bytes();
+    eprintln!("bench: peak RSS {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+
+    let mut root = Map::new();
+    root.insert("schema", Value::Number(Number::from_u64(BENCH_SCHEMA)));
+    root.insert(
+        "mode",
+        Value::String(if options.smoke { "smoke" } else { "full" }.to_owned()),
+    );
+    let mut config = Map::new();
+    config.insert("num_queues", Value::Number(Number::from_u64(64)));
+    config.insert("granularity", Value::Number(Number::from_u64(4)));
+    config.insert("rads_granularity", Value::Number(Number::from_u64(16)));
+    config.insert("num_banks", Value::Number(Number::from_u64(64)));
+    config.insert(
+        "arrival_slots",
+        Value::Number(Number::from_u64(slots_for(options.smoke))),
+    );
+    root.insert("config", Value::Object(config));
+    root.insert("peak_rss_bytes", Value::Number(Number::from_u64(rss)));
+    root.insert(
+        "repeat",
+        Value::Number(Number::from_u64(options.repeat.unwrap_or(1) as u64)),
+    );
+    root.insert("results", results_json(&entries));
+    if let Some(smoke_entries) = &smoke_entries {
+        root.insert("smoke_results", results_json(smoke_entries));
+    }
+
+    if let Some(before_path) = &options.before {
+        let before = load_artifact(before_path)?;
+        let before_map = slots_per_sec_section(&before, "results");
+        let mut speedups = Map::new();
+        for entry in &entries {
+            let key = entry.key();
+            if let Some((_, before_sps)) = before_map.iter().find(|(k, _)| *k == key) {
+                if *before_sps > 0.0 {
+                    speedups.insert(key.clone(), number(entry.slots_per_sec() / before_sps));
+                }
+            }
+        }
+        if let Some(headline) = speedups.get(BENCH_HEADLINE).and_then(Value::as_f64) {
+            eprintln!("bench: headline speedup ({BENCH_HEADLINE}): {headline:.2}x");
+        }
+        root.insert("speedup_vs_before", Value::Object(speedups));
+        root.insert("before", before);
+    }
+
+    let mut ok = true;
+    if let Some(compare_path) = &options.compare {
+        let tolerance = options.max_regression_pct.unwrap_or(15.0);
+        let baseline = load_artifact(compare_path)?;
+        // Match measurement modes: a smoke run checks against the baseline's
+        // smoke section when one was recorded.
+        let mut baseline_map = if options.smoke {
+            slots_per_sec_section(&baseline, "smoke_results")
+        } else {
+            Vec::new()
+        };
+        if baseline_map.is_empty() {
+            baseline_map = slots_per_sec_section(&baseline, "results");
+        }
+        if baseline_map.is_empty() {
+            return Err(format!("{compare_path:?} contains no bench results"));
+        }
+        // Absolute slots/sec depend on the machine (and its frequency
+        // scaling), so the per-entry gate is *relative*: normalise each
+        // fresh/baseline ratio by the median ratio across the suite — a
+        // uniform machine-speed difference cancels out, while a real code
+        // regression shows up as one or more entries falling more than
+        // `tolerance` percent below the rest. A separate coarse floor on the
+        // median itself still catches a uniform pessimisation.
+        let mut ratios: Vec<(String, f64)> = Vec::new();
+        for entry in &entries {
+            let key = entry.key();
+            let Some((_, base_sps)) = baseline_map.iter().find(|(k, _)| *k == key) else {
+                continue;
+            };
+            if *base_sps > 0.0 {
+                ratios.push((key, entry.slots_per_sec() / base_sps));
+            }
+        }
+        if ratios.is_empty() {
+            return Err(format!(
+                "{compare_path:?} shares no entries with this suite"
+            ));
+        }
+        let mut sorted: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+        let median = sorted[sorted.len() / 2];
+        const GLOBAL_FLOOR: f64 = 0.5;
+        if median < GLOBAL_FLOOR {
+            eprintln!(
+                "bench: REGRESSION: median throughput ratio {median:.2} vs {compare_path} \
+                 is below the global floor {GLOBAL_FLOOR} — uniform slowdown"
+            );
+            ok = false;
+        }
+        for (key, ratio) in &ratios {
+            let floor = median * (1.0 - tolerance / 100.0);
+            if *ratio < floor {
+                eprintln!(
+                    "bench: REGRESSION {key}: ratio {ratio:.3} vs baseline is more than \
+                     {tolerance}% below the suite median {median:.3}"
+                );
+                ok = false;
+            }
+        }
+        if ok {
+            eprintln!(
+                "bench: no entry regressed more than {tolerance}% vs {compare_path} \
+                 (median ratio {median:.2})"
+            );
+        }
+    }
+
+    if let Some(out) = &options.out {
+        let text = Value::Object(root).to_json_string_pretty();
+        std::fs::write(out, text + "\n")
+            .map_err(|e| format!("cannot write bench artifact to {out:?}: {e}"))?;
+        eprintln!("wrote bench artifact to {out}");
+    }
+    Ok(ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_maps_round_trip() {
+        let entries = vec![BenchEntry {
+            design: DesignKind::Cfds,
+            workload: Workload::AdversarialRoundRobin,
+            slots: 1000,
+            seconds: 0.5,
+            grants: 900,
+        }];
+        assert_eq!(entries[0].key(), BENCH_HEADLINE);
+        assert_eq!(entries[0].slots_per_sec(), 2000.0);
+        let mut root = Map::new();
+        root.insert("results", results_json(&entries));
+        let value = Value::Object(root);
+        let text = value.to_json_string_pretty();
+        let parsed: Value = serde_json::from_str(&text).unwrap();
+        let map = slots_per_sec_section(&parsed, "results");
+        assert_eq!(map.len(), 1);
+        assert_eq!(map[0].0, BENCH_HEADLINE);
+        assert!((map[0].1 - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rss_probe_does_not_panic() {
+        // On Linux this returns a positive number; elsewhere it degrades to 0.
+        let _ = peak_rss_bytes();
+    }
+}

@@ -14,6 +14,7 @@
 
 use pktbuf_model::{CfdsConfig, LineRate};
 
+pub mod hotpath;
 pub mod paper;
 
 /// The OC-768 evaluation point of §7 (Q = 128, B = 8).

@@ -366,7 +366,7 @@ fn validate_row(run: &sim::lab::RunRecord, preloaded: bool) -> Vec<String> {
     let design = if preloaded {
         format!("{} (preloaded)", r.design)
     } else {
-        r.design.clone()
+        r.design.to_owned()
     };
     vec![
         design,

@@ -102,17 +102,19 @@ impl RandomEligibleDsa {
 
 impl DramSchedulerAlgorithm for RandomEligibleDsa {
     fn choose(&mut self, rr: &RequestsRegister, orr: &OngoingRequestsRegister) -> Option<usize> {
-        let eligible: Vec<usize> = rr
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| !orr.is_locked(e.bank))
-            .map(|(i, _)| i)
-            .collect();
-        if eligible.is_empty() {
+        // Two passes instead of materialising the eligible set: count, then
+        // walk to the chosen one. Same pick as indexing the collected list
+        // (the RNG is only advanced when at least one entry is eligible).
+        let eligible = rr.iter().filter(|e| !orr.is_locked(e.bank)).count();
+        if eligible == 0 {
             return None;
         }
-        let pick = (self.next_u64() % eligible.len() as u64) as usize;
-        Some(eligible[pick])
+        let pick = (self.next_u64() % eligible as u64) as usize;
+        rr.iter()
+            .enumerate()
+            .filter(|(_, e)| !orr.is_locked(e.bank))
+            .nth(pick)
+            .map(|(i, _)| i)
     }
 
     fn name(&self) -> &'static str {

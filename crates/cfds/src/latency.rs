@@ -1,7 +1,6 @@
 //! The latency shift register (§5.4).
 
 use pktbuf_model::LogicalQueueId;
-use std::collections::VecDeque;
 
 /// A fixed-delay line inserted between the MMA lookahead and the SRAM read.
 ///
@@ -12,7 +11,11 @@ use std::collections::VecDeque;
 /// additional latency and a slightly larger SRAM.
 #[derive(Debug, Clone)]
 pub struct LatencyRegister {
-    slots: VecDeque<Option<LogicalQueueId>>,
+    /// Fixed ring: the delay line fills once and then every push overwrites
+    /// the head slot in place (no deque push/pop pair on the slot path).
+    slots: Box<[Option<LogicalQueueId>]>,
+    head: usize,
+    len: usize,
     capacity: usize,
 }
 
@@ -21,7 +24,9 @@ impl LatencyRegister {
     /// requests immediately (the RADS degenerate case).
     pub fn new(capacity: usize) -> Self {
         LatencyRegister {
-            slots: VecDeque::with_capacity(capacity),
+            slots: vec![None; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
             capacity,
         }
     }
@@ -42,11 +47,21 @@ impl LatencyRegister {
         if self.capacity == 0 {
             return request;
         }
-        self.slots.push_back(request);
-        if self.slots.len() > self.capacity {
-            self.slots.pop_front().flatten()
-        } else {
+        if self.len < self.capacity {
+            let mut at = self.head + self.len;
+            if at >= self.capacity {
+                at -= self.capacity;
+            }
+            self.slots[at] = request;
+            self.len += 1;
             None
+        } else {
+            let out = std::mem::replace(&mut self.slots[self.head], request);
+            self.head += 1;
+            if self.head >= self.capacity {
+                self.head = 0;
+            }
+            out
         }
     }
 }

@@ -11,11 +11,26 @@ use std::collections::VecDeque;
 /// the register shifts by one position at *every* opportunity — recording the
 /// issued bank, or an empty slot when nothing was issued — and a bank is
 /// locked while its identifier is anywhere in the register.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OngoingRequestsRegister {
     slots: VecDeque<Option<BankId>>,
     capacity: usize,
+    /// In-window issue count per bank index (lazily grown), so `is_locked` —
+    /// called once per pending request per issue opportunity by the DSA — is
+    /// an O(1) lookup instead of a scan over the shift register.
+    lock_counts: Vec<u8>,
 }
+
+// The lock-count cache is derived state and grows lazily, so two registers
+// with identical shift-register contents must compare equal regardless of
+// how far their caches have grown.
+impl PartialEq for OngoingRequestsRegister {
+    fn eq(&self, other: &Self) -> bool {
+        self.slots == other.slots && self.capacity == other.capacity
+    }
+}
+
+impl Eq for OngoingRequestsRegister {}
 
 impl OngoingRequestsRegister {
     /// Creates a register that remembers the last `capacity` issue
@@ -26,6 +41,7 @@ impl OngoingRequestsRegister {
         OngoingRequestsRegister {
             slots: VecDeque::with_capacity(capacity + 1),
             capacity,
+            lock_counts: Vec::new(),
         }
     }
 
@@ -36,16 +52,27 @@ impl OngoingRequestsRegister {
 
     /// Whether `bank` is currently locked.
     pub fn is_locked(&self, bank: BankId) -> bool {
-        self.slots.contains(&Some(bank))
+        self.lock_counts
+            .get(bank.index())
+            .is_some_and(|count| *count > 0)
     }
 
     fn shift(&mut self, entry: Option<BankId>) {
         if self.capacity == 0 {
             return;
         }
+        if let Some(bank) = entry {
+            let idx = bank.index();
+            if idx >= self.lock_counts.len() {
+                self.lock_counts.resize(idx + 1, 0);
+            }
+            self.lock_counts[idx] += 1;
+        }
         self.slots.push_back(entry);
         if self.slots.len() > self.capacity {
-            self.slots.pop_front();
+            if let Some(Some(expired)) = self.slots.pop_front() {
+                self.lock_counts[expired.index()] -= 1;
+            }
         }
     }
 

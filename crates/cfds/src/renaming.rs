@@ -161,37 +161,117 @@ impl RenamingTable {
                 return Ok(tail.physical);
             }
         }
-        // Allocate a new physical queue in a group with room, avoided group
-        // last.
-        let mut candidates: Vec<GroupId> = preferred_groups
-            .iter()
-            .copied()
-            .filter(|g| group_has_room(*g) && Some(*g) != avoid_group)
-            .collect();
-        if let Some(avoid) = avoid_group {
-            // Fall back to the current tail (even in the avoided group) before
-            // burning a fresh name on it.
-            if candidates.is_empty() {
+        // Allocate a new physical queue in a group with room (in the caller's
+        // preference order), avoided group last. The candidates are consumed
+        // directly from `preferred_groups` — this runs every granularity
+        // period and must not build an intermediate list.
+        let mut allocated = None;
+        let mut any_candidate = false;
+        for group in preferred_groups.iter().copied() {
+            if !group_has_room(group) || Some(group) == avoid_group {
+                continue;
+            }
+            any_candidate = true;
+            if let Some(name) = self.allocate_in(group) {
+                allocated = Some(name);
+                break;
+            }
+        }
+        if allocated.is_none() && !any_candidate {
+            if let Some(avoid) = avoid_group {
+                // Fall back to the current tail (even in the avoided group)
+                // before burning a fresh name on it.
                 if let Some(tail) = self.registers[idx].back() {
                     if group_has_room(self.group_of(tail.physical)) {
                         return Ok(tail.physical);
                     }
                 }
                 if group_has_room(avoid) {
-                    candidates.push(avoid);
+                    allocated = self.allocate_in(avoid);
                 }
             }
         }
-        for group in candidates {
-            if let Some(name) = self.allocate_in(group) {
+        match allocated {
+            Some(name) => {
                 self.registers[idx].push_back(RenameEntry {
                     physical: name,
                     blocks: 0,
                 });
-                return Ok(name);
+                Ok(name)
+            }
+            None => Err(RenamingError::NoUsablePhysicalQueue),
+        }
+    }
+
+    /// Like [`RenamingTable::physical_for_write_avoiding`] with the preferred
+    /// groups given *implicitly*: every group satisfying `group_has_room`,
+    /// ordered by ascending `(rank, group index)`.
+    ///
+    /// Trying groups in that order and allocating from the first one with a
+    /// free name is the same as allocating from the minimum-ranked group with
+    /// room and a free name — which this computes in one pass, so the
+    /// per-period writeback path neither sorts nor materialises a group list.
+    ///
+    /// # Errors
+    ///
+    /// [`RenamingError::NoUsablePhysicalQueue`] when no group with room has a
+    /// free physical name.
+    pub fn physical_for_write_ranked(
+        &mut self,
+        logical: LogicalQueueId,
+        avoid_group: Option<GroupId>,
+        group_has_room: impl Fn(GroupId) -> bool,
+        rank: impl Fn(GroupId) -> usize,
+    ) -> Result<PhysicalQueueId, RenamingError> {
+        let idx = self.check(logical)?;
+        // Fast path: identical to `physical_for_write_avoiding`.
+        if let Some(tail) = self.registers[idx].back() {
+            let group = self.group_of(tail.physical);
+            if group_has_room(group) && Some(group) != avoid_group {
+                return Ok(tail.physical);
             }
         }
-        Err(RenamingError::NoUsablePhysicalQueue)
+        let mut best: Option<(usize, usize)> = None;
+        let mut any_candidate = false;
+        for g in 0..self.num_groups {
+            let group = GroupId::new(g as u32);
+            if !group_has_room(group) || Some(group) == avoid_group {
+                continue;
+            }
+            any_candidate = true;
+            if self.free[g].is_empty() {
+                continue;
+            }
+            let r = rank(group);
+            if best.is_none_or(|(br, bg)| (r, g) < (br, bg)) {
+                best = Some((r, g));
+            }
+        }
+        let mut allocated = best.and_then(|(_, g)| self.allocate_in(GroupId::new(g as u32)));
+        if allocated.is_none() && !any_candidate {
+            if let Some(avoid) = avoid_group {
+                // Fall back to the current tail (even in the avoided group)
+                // before burning a fresh name on it.
+                if let Some(tail) = self.registers[idx].back() {
+                    if group_has_room(self.group_of(tail.physical)) {
+                        return Ok(tail.physical);
+                    }
+                }
+                if group_has_room(avoid) {
+                    allocated = self.allocate_in(avoid);
+                }
+            }
+        }
+        match allocated {
+            Some(name) => {
+                self.registers[idx].push_back(RenameEntry {
+                    physical: name,
+                    blocks: 0,
+                });
+                Ok(name)
+            }
+            None => Err(RenamingError::NoUsablePhysicalQueue),
+        }
     }
 
     /// Records that one block was written to DRAM under the current tail name
@@ -215,6 +295,18 @@ impl RenamingTable {
         self.registers[logical.as_usize()]
             .front()
             .filter(|e| e.blocks > 0)
+            .map(|e| e.physical)
+    }
+
+    /// Physical queue at the *write tail* of `logical`'s chain, if any.
+    ///
+    /// This is the name [`RenamingTable::physical_for_write_avoiding`] will
+    /// return on its fast path (tail group has room and is not avoided);
+    /// callers can probe it first and skip preparing the preferred-group
+    /// list — an allocation-order-preserving shortcut for the hot path.
+    pub fn write_tail(&self, logical: LogicalQueueId) -> Option<PhysicalQueueId> {
+        self.registers[logical.as_usize()]
+            .back()
             .map(|e| e.physical)
     }
 

@@ -1,6 +1,7 @@
 //! The CFDS (Conflict-Free DRAM System) buffer front end — the paper's
 //! contribution (§5, §6) assembled into a complete packet buffer.
 
+use crate::hotpath::{BlockPool, PendingTable, TailCellArena};
 use crate::hsram::HeadSramKind;
 use crate::stats::BufferStats;
 use crate::traits::{PacketBuffer, SlotOutcome};
@@ -9,10 +10,10 @@ use cfds::{
     sizing as cfds_sizing, DramSchedulerSubsystem, DsaPolicy, LatencyRegister, RenamingTable,
 };
 use dram_sim::{AccessKind, AddressMapper, BankArray, DramStore, GroupId, InterleavingConfig};
-use mma::{HeadMmaPolicy, HeadMmaSubsystem, TailMma, ThresholdTailMma};
+use mma::{HeadMmaPolicy, HeadMmaSubsystem, ThresholdTailMma};
 use pktbuf_model::{Cell, CfdsConfig, LogicalQueueId, PhysicalQueueId};
 use sram_buf::SharedBuffer;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A block in flight from the DRAM to the head SRAM.
 #[derive(Debug, Clone)]
@@ -53,24 +54,30 @@ impl Default for CfdsBufferOptions {
 pub struct CfdsBuffer {
     cfg: CfdsConfig,
     slot: u64,
-    // Tail side.
-    tail_queues: Vec<VecDeque<Cell>>,
-    tail_occupancy: usize,
+    /// Slots until the next granularity period (avoids a division per slot;
+    /// hits zero exactly when `slot % b == 0`).
+    until_period: u64,
+    // Tail side: an SoA cell arena with per-queue FIFO chains and an
+    // incrementally maintained occupancy array (see [`crate::hotpath`]).
+    tail: TailCellArena,
     tail_capacity: usize,
     tail_mma: ThresholdTailMma,
+    /// Recycles the block buffers that cycle tail → DRAM → head SRAM.
+    pool: BlockPool,
     // DRAM and its scheduler.
     banks: BankArray,
     store: DramStore,
     dss: DramSchedulerSubsystem,
     renaming: RenamingTable,
-    /// Blocks whose write request has been submitted but not issued yet.
-    pending_writes: HashMap<(u32, u64), Vec<Cell>>,
+    /// Blocks whose write request has been submitted but not issued yet,
+    /// indexed by (physical queue, block ordinal).
+    pending_writes: PendingTable<Vec<Cell>>,
     /// Pending (submitted, un-issued) write blocks per group, for capacity
     /// accounting.
     group_pending: Vec<usize>,
     /// (physical queue, ordinal) → (logical queue, logical block index) for
     /// submitted reads.
-    read_tags: HashMap<(u32, u64), (LogicalQueueId, u64)>,
+    read_tags: PendingTable<(LogicalQueueId, u64)>,
     /// Per-logical-queue count of read blocks submitted so far.
     read_blocks_submitted: Vec<u64>,
     // Head side.
@@ -136,17 +143,18 @@ impl CfdsBuffer {
         let dss = DramSchedulerSubsystem::new(mapper, 2 * cfg.banks_per_group(), options.dsa);
         CfdsBuffer {
             slot: 0,
-            tail_queues: vec![VecDeque::new(); q],
-            tail_occupancy: 0,
+            until_period: 0,
+            tail: TailCellArena::new(q, tail_capacity, b),
             tail_capacity,
             tail_mma: ThresholdTailMma::new(b),
+            pool: BlockPool::new(),
             banks: BankArray::new(cfg.num_banks, big_b as u64),
             store,
             dss,
             renaming: RenamingTable::new(q, cfg.num_physical_queues(), cfg.num_groups()),
-            pending_writes: HashMap::new(),
+            pending_writes: PendingTable::new(cfg.num_physical_queues()),
             group_pending: vec![0; cfg.num_groups()],
-            read_tags: HashMap::new(),
+            read_tags: PendingTable::new(cfg.num_physical_queues()),
             read_blocks_submitted: vec![0; q],
             head_mma: HeadMmaSubsystem::new(HeadMmaPolicy::Ecqf, b, lookahead, q),
             latency: LatencyRegister::new(latency_slots),
@@ -245,8 +253,9 @@ impl CfdsBuffer {
             }
             let d = self.pending_deliveries.pop_front().expect("front exists");
             self.head_sram
-                .insert_block(d.queue, d.block_index, d.cells)
+                .insert_block_cells(d.queue, d.block_index, &d.cells)
                 .expect("head SRAM is functionally unbounded");
+            self.pool.put(d.cells);
             self.stats.peak_head_sram_cells = self
                 .stats
                 .peak_head_sram_cells
@@ -256,11 +265,17 @@ impl CfdsBuffer {
 
     fn submit_writeback(&mut self, now: u64) {
         let b = self.cfg.granularity;
-        let occupancies: Vec<usize> = self.tail_queues.iter().map(VecDeque::len).collect();
-        let Some(queue) = self.tail_mma.select(&occupancies) else {
+        // The arena tracks threshold crossings: when no queue holds a full
+        // batch the MMA cannot select anything — skip the scan outright.
+        if !self.tail.any_eligible() {
+            return;
+        }
+        let Some(queue) = self
+            .tail_mma
+            .select_masked(self.tail.occupancies(), self.tail.eligible_words())
+        else {
             return;
         };
-        let preferred = self.store.groups_with_room();
         // Keep the write stream of this queue out of the group its read
         // stream is draining: one group sustains only one access per b slots,
         // which a backlogged queue needs for each direction.
@@ -270,29 +285,45 @@ impl CfdsBuffer {
             .map(|p| self.store.mapper().group_of_queue(p));
         let store = &self.store;
         let group_pending = &self.group_pending;
-        let physical = match self.renaming.physical_for_write_avoiding(
-            queue,
-            avoid,
-            |g: GroupId| {
-                store.group_occupancy(g) + group_pending[g.index()] < store.group_capacity_blocks()
-            },
-            &preferred,
-        ) {
-            Ok(p) => p,
-            Err(_) => {
-                self.stats.blocked_writebacks += 1;
-                return;
+        let has_room = |g: GroupId| {
+            store.group_occupancy(g) + group_pending[g.index()] < store.group_capacity_blocks()
+        };
+        // Fast path: the chain tail's group has room and is not avoided —
+        // exactly the first check of `physical_for_write_avoiding` — so the
+        // sorted preferred-group list is never needed.
+        let fast = self.renaming.write_tail(queue).filter(|p| {
+            let group = self.renaming.group_of(*p);
+            has_room(group) && Some(group) != avoid
+        });
+        let physical = match fast {
+            Some(p) => p,
+            None => {
+                // Slow path: pick the emptiest group with room and a free
+                // name in one pass (equivalent to sorting the groups by
+                // occupancy and trying them in order).
+                match self.renaming.physical_for_write_ranked(
+                    queue,
+                    avoid,
+                    has_room,
+                    |g: GroupId| store.group_occupancy(g),
+                ) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        self.stats.blocked_writebacks += 1;
+                        return;
+                    }
+                }
             }
         };
         self.renaming.note_block_written(queue);
         let qi = queue.as_usize();
-        let cells: Vec<Cell> = self.tail_queues[qi].drain(..b).collect();
-        self.tail_occupancy -= b;
+        let mut cells = self.pool.take(b);
+        self.tail.pop_block_into(queue, b, &mut cells);
         let request = self.dss.submit_write(physical, now);
         let group = self.store.mapper().group_of_queue(physical);
         self.group_pending[group.index()] += 1;
         self.pending_writes
-            .insert((physical.index(), request.block_ordinal), cells);
+            .insert(physical.index(), request.block_ordinal, cells);
         self.available[qi] += b as u64;
     }
 
@@ -313,7 +344,8 @@ impl CfdsBuffer {
         let block_index = self.read_blocks_submitted[qi];
         self.read_blocks_submitted[qi] += 1;
         self.read_tags.insert(
-            (physical.index(), request.block_ordinal),
+            physical.index(),
+            request.block_ordinal,
             (queue, block_index),
         );
     }
@@ -325,7 +357,7 @@ impl CfdsBuffer {
                 continue;
             };
             let physical = PhysicalQueueId::new(issued.request.queue.index());
-            let key = (physical.index(), issued.request.block_ordinal);
+            let ordinal = issued.request.block_ordinal;
             if self.banks.start_access(issued.bank, now).is_err() {
                 self.stats.bank_conflicts += 1;
             }
@@ -336,7 +368,7 @@ impl CfdsBuffer {
                     let group = self.store.mapper().group_of_queue(physical);
                     self.group_pending[group.index()] =
                         self.group_pending[group.index()].saturating_sub(1);
-                    if let Some(cells) = self.pending_writes.remove(&key) {
+                    if let Some(cells) = self.pending_writes.remove(physical.index(), ordinal) {
                         match self.store.write_block_at(
                             physical,
                             issued.request.block_ordinal,
@@ -353,21 +385,24 @@ impl CfdsBuffer {
                 AccessKind::Read => {
                     let (queue, block_index) = self
                         .read_tags
-                        .remove(&key)
+                        .remove(physical.index(), ordinal)
                         .expect("every issued read was tagged at submit time");
-                    let cells = match self
-                        .store
-                        .read_block_at(physical, issued.request.block_ordinal)
-                    {
+                    let cells = match self.store.read_block_at(physical, ordinal) {
                         Ok(cells) => cells,
                         Err(_) => {
                             // Read overtook its producing write (ablation
-                            // policies only): forward the data directly.
+                            // policies only): forward the data directly and
+                            // tell the store the ordinal will never be
+                            // resident, so its ring does not keep a
+                            // permanently vacant hole at the front.
                             let group = self.store.mapper().group_of_queue(physical);
                             self.group_pending[group.index()] =
                                 self.group_pending[group.index()].saturating_sub(1);
+                            self.store
+                                .note_forwarded(physical, ordinal)
+                                .expect("issued reads target known queues");
                             self.pending_writes
-                                .remove(&key)
+                                .remove(physical.index(), ordinal)
                                 .expect("forwarded block exists among pending writes")
                         }
                     };
@@ -401,13 +436,10 @@ impl PacketBuffer for CfdsBuffer {
 
         // 2. Arrival into the tail SRAM.
         if let Some(cell) = arrival {
-            if self.tail_occupancy < self.tail_capacity {
-                self.tail_occupancy += 1;
-                self.stats.peak_tail_sram_cells = self
-                    .stats
-                    .peak_tail_sram_cells
-                    .max(self.tail_occupancy as u64);
-                self.tail_queues[cell.queue().as_usize()].push_back(cell);
+            if self.tail.len() < self.tail_capacity {
+                self.tail.push(cell);
+                self.stats.peak_tail_sram_cells =
+                    self.stats.peak_tail_sram_cells.max(self.tail.len() as u64);
                 self.stats.arrivals += 1;
             } else {
                 self.stats.drops += 1;
@@ -427,11 +459,13 @@ impl PacketBuffer for CfdsBuffer {
         let emerged = self.latency.push(due);
 
         // 4. Every b slots: MMA decisions and DSS issue opportunities.
-        if now.is_multiple_of(self.cfg.granularity as u64) {
+        if self.until_period == 0 {
+            self.until_period = self.cfg.granularity as u64;
             self.submit_writeback(now);
             self.submit_replenishment(now);
             self.issue_opportunities(now);
         }
+        self.until_period -= 1;
 
         // 5. Serve the request that completed both the lookahead and the
         //    latency register.

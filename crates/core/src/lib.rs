@@ -21,6 +21,12 @@
 //! zero drop, FIFO order, zero bank conflicts) through [`BufferStats`] and the
 //! built-in [`DeliveryVerifier`].
 //!
+//! The slot loop of every buffer is allocation-free in steady state: the tail
+//! SRAM is a structure-of-arrays cell arena, in-flight DRAM requests live in
+//! dense index-addressed tables, and block buffers are recycled through a
+//! pool — see the [`hotpath`] module for the building blocks and the layout
+//! rationale.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -64,6 +70,7 @@
 
 mod cfds_buffer;
 mod dram_only;
+pub mod hotpath;
 mod hsram;
 mod rads;
 mod stats;

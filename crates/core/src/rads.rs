@@ -1,13 +1,14 @@
 //! The RADS (Random Access DRAM System) buffer front end — the baseline of
 //! §3, i.e. the hybrid SRAM/DRAM design of Iyer, Kompella and McKeown.
 
+use crate::hotpath::{BlockPool, TailCellArena};
 use crate::hsram::HeadSramKind;
 use crate::stats::BufferStats;
 use crate::traits::{PacketBuffer, SlotOutcome};
 use crate::verify::DeliveryVerifier;
 use dram_sim::{AddressMapper, DramStore, InterleavingConfig};
 use mma::sizing::rads_sram_size_cells;
-use mma::{HeadMmaPolicy, HeadMmaSubsystem, TailMma, ThresholdTailMma};
+use mma::{HeadMmaPolicy, HeadMmaSubsystem, ThresholdTailMma};
 use pktbuf_model::{Cell, LogicalQueueId, PhysicalQueueId, RadsConfig};
 use sram_buf::SharedBuffer;
 use std::collections::VecDeque;
@@ -26,11 +27,16 @@ struct PendingDelivery {
 pub struct RadsBuffer {
     cfg: RadsConfig,
     slot: u64,
-    // Tail side.
-    tail_queues: Vec<VecDeque<Cell>>,
-    tail_occupancy: usize,
+    /// Slots until the next granularity period (avoids a division per slot;
+    /// hits zero exactly when `slot % B == 0`).
+    until_period: u64,
+    // Tail side: an SoA cell arena with per-queue FIFO chains and an
+    // incrementally maintained occupancy array (see [`crate::hotpath`]).
+    tail: TailCellArena,
     tail_capacity: usize,
     tail_mma: ThresholdTailMma,
+    /// Recycles the block buffers that cycle tail → DRAM → head SRAM.
+    pool: BlockPool,
     // DRAM.
     dram: DramStore,
     // Head side.
@@ -88,10 +94,11 @@ impl RadsBuffer {
         let dram = DramStore::new(mapper, usize::MAX / 4);
         RadsBuffer {
             slot: 0,
-            tail_queues: vec![VecDeque::new(); q],
-            tail_occupancy: 0,
+            until_period: 0,
+            tail: TailCellArena::new(q, tail_capacity, b),
             tail_capacity,
             tail_mma: ThresholdTailMma::new(b),
+            pool: BlockPool::new(),
             dram,
             head_mma: HeadMmaSubsystem::new(HeadMmaPolicy::Ecqf, b, lookahead, q),
             head_sram: kind.build(q, head_capacity, 1, b),
@@ -152,8 +159,9 @@ impl RadsBuffer {
             }
             let d = self.pending_deliveries.pop_front().expect("front exists");
             self.head_sram
-                .insert_block(d.queue, d.block_index, d.cells)
+                .insert_block_cells(d.queue, d.block_index, &d.cells)
                 .expect("head SRAM is functionally unbounded");
+            self.pool.put(d.cells);
             self.stats.peak_head_sram_cells = self
                 .stats
                 .peak_head_sram_cells
@@ -163,12 +171,19 @@ impl RadsBuffer {
 
     fn dram_period_ops(&mut self, now: u64) {
         let b = self.cfg.granularity;
-        // Writeback: tail SRAM → DRAM.
-        let occupancies: Vec<usize> = self.tail_queues.iter().map(VecDeque::len).collect();
-        if let Some(queue) = self.tail_mma.select(&occupancies) {
+        // Writeback: tail SRAM → DRAM (occupancies are maintained by the
+        // arena — nothing to collect). The arena tracks threshold crossings,
+        // so the scan is skipped whenever no queue holds a full batch.
+        let writeback = if self.tail.any_eligible() {
+            self.tail_mma
+                .select_masked(self.tail.occupancies(), self.tail.eligible_words())
+        } else {
+            None
+        };
+        if let Some(queue) = writeback {
             let qi = queue.as_usize();
-            let cells: Vec<Cell> = self.tail_queues[qi].drain(..b).collect();
-            self.tail_occupancy -= b;
+            let mut cells = self.pool.take(b);
+            self.tail.pop_block_into(queue, b, &mut cells);
             let physical = PhysicalQueueId::new(queue.index());
             self.dram
                 .write_block(physical, cells)
@@ -216,13 +231,10 @@ impl PacketBuffer for RadsBuffer {
 
         // 2. One cell may arrive from the line into the tail SRAM.
         if let Some(cell) = arrival {
-            if self.tail_occupancy < self.tail_capacity {
-                self.tail_occupancy += 1;
-                self.stats.peak_tail_sram_cells = self
-                    .stats
-                    .peak_tail_sram_cells
-                    .max(self.tail_occupancy as u64);
-                self.tail_queues[cell.queue().as_usize()].push_back(cell);
+            if self.tail.len() < self.tail_capacity {
+                self.tail.push(cell);
+                self.stats.peak_tail_sram_cells =
+                    self.stats.peak_tail_sram_cells.max(self.tail.len() as u64);
                 self.stats.arrivals += 1;
             } else {
                 self.stats.drops += 1;
@@ -244,9 +256,11 @@ impl PacketBuffer for RadsBuffer {
         }
 
         // 4. Every B slots the DRAM performs one write and one read access.
-        if now.is_multiple_of(self.cfg.granularity as u64) {
+        if self.until_period == 0 {
+            self.until_period = self.cfg.granularity as u64;
             self.dram_period_ops(now);
         }
+        self.until_period -= 1;
 
         // 5. Serve the due request from the head SRAM.
         if let Some(queue) = due {

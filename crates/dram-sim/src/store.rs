@@ -8,7 +8,7 @@
 use crate::mapping::AddressMapper;
 use crate::request::GroupId;
 use pktbuf_model::{Cell, PhysicalQueueId};
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
@@ -73,15 +73,85 @@ impl fmt::Display for StoreError {
 
 impl Error for StoreError {}
 
+/// State of one ordinal position in a queue's block ring.
+#[derive(Debug, Clone)]
+enum BlockSlot {
+    /// Never written at this ordinal (a scheduler hole awaiting its write).
+    Vacant,
+    /// Resident block.
+    Present(Vec<Cell>),
+    /// Written and later read; kept only while trapped behind a vacant hole.
+    Consumed,
+}
+
+impl BlockSlot {
+    fn is_present(&self) -> bool {
+        matches!(self, BlockSlot::Present(_))
+    }
+}
+
+/// Block storage of one physical queue: a dense ring indexed by
+/// `ordinal - base` instead of a `BTreeMap<u64, Vec<Cell>>`.
+///
+/// The CFDS scheduler may commit and fetch blocks out of ordinal order, but
+/// the live ordinals of a FIFO queue always form a narrow moving window, so a
+/// ring with a base offset gives O(1) index-addressed access with no per-block
+/// tree nodes to allocate or free on the simulation hot path.
+#[derive(Debug, Clone, Default)]
+struct QueueBlocks {
+    /// Ordinal of ring position 0.
+    base: u64,
+    ring: VecDeque<BlockSlot>,
+    resident_blocks: usize,
+    resident_cells: usize,
+}
+
+impl QueueBlocks {
+    fn slot(&self, ordinal: u64) -> Option<&BlockSlot> {
+        if ordinal < self.base {
+            return None;
+        }
+        self.ring.get((ordinal - self.base) as usize)
+    }
+
+    /// Grows the ring (front or back) so `ordinal` has a slot, and returns its
+    /// index. Growth is a warm-up cost: once the window covers the queue's
+    /// steady-state span no further allocation happens.
+    fn slot_index_for_write(&mut self, ordinal: u64) -> usize {
+        if self.ring.is_empty() {
+            self.base = ordinal;
+        }
+        if ordinal < self.base {
+            for _ in 0..(self.base - ordinal) {
+                self.ring.push_front(BlockSlot::Vacant);
+            }
+            self.base = ordinal;
+        }
+        let idx = (ordinal - self.base) as usize;
+        while self.ring.len() <= idx {
+            self.ring.push_back(BlockSlot::Vacant);
+        }
+        idx
+    }
+
+    /// Drops consumed slots from the front so the ring tracks the live window.
+    fn trim_front(&mut self) {
+        while matches!(self.ring.front(), Some(BlockSlot::Consumed)) {
+            self.ring.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
 /// FIFO block storage for every physical queue, constrained by per-group
 /// capacity.
 #[derive(Debug, Clone)]
 pub struct DramStore {
     mapper: AddressMapper,
-    /// Per-queue blocks keyed by block ordinal (each block is a `Vec<Cell>` of
-    /// up to `b` cells). A map is used instead of a plain FIFO because the
-    /// CFDS scheduler may commit blocks to the DRAM out of ordinal order.
-    queues: Vec<BTreeMap<u64, Vec<Cell>>>,
+    /// Per-queue block rings (see [`QueueBlocks`]). The CFDS scheduler may
+    /// commit blocks to the DRAM out of ordinal order, which the ring absorbs
+    /// as transient vacant holes.
+    queues: Vec<QueueBlocks>,
     /// Next block ordinal to be written, per queue (monotonically increasing).
     tail_ordinal: Vec<u64>,
     /// Ordinal of the block currently at the head, per queue.
@@ -100,7 +170,7 @@ impl DramStore {
         let ng = mapper.config().num_groups();
         DramStore {
             mapper,
-            queues: vec![BTreeMap::new(); nq],
+            queues: vec![QueueBlocks::default(); nq],
             tail_ordinal: vec![0; nq],
             head_ordinal: vec![0; nq],
             group_occupancy: vec![0; ng],
@@ -172,10 +242,14 @@ impl DramStore {
                 capacity_blocks: self.group_capacity_blocks,
             });
         }
-        if self.queues[idx].contains_key(&ordinal) {
+        let q = &mut self.queues[idx];
+        if q.slot(ordinal).is_some_and(BlockSlot::is_present) {
             return Err(StoreError::BlockAlreadyPresent { queue, ordinal });
         }
-        self.queues[idx].insert(ordinal, cells);
+        let pos = q.slot_index_for_write(ordinal);
+        q.resident_blocks += 1;
+        q.resident_cells += cells.len();
+        q.ring[pos] = BlockSlot::Present(cells);
         if ordinal >= self.tail_ordinal[idx] {
             self.tail_ordinal[idx] = ordinal + 1;
         }
@@ -192,9 +266,12 @@ impl DramStore {
     /// [`StoreError::QueueOutOfRange`] for an unknown queue.
     pub fn read_block(&mut self, queue: PhysicalQueueId) -> Result<(u64, Vec<Cell>), StoreError> {
         let idx = self.check_queue(queue)?;
-        let ordinal = *self.queues[idx]
-            .keys()
-            .next()
+        let q = &self.queues[idx];
+        let ordinal = q
+            .ring
+            .iter()
+            .position(BlockSlot::is_present)
+            .map(|pos| q.base + pos as u64)
             .ok_or(StoreError::QueueEmpty { queue })?;
         let block = self.read_block_at(queue, ordinal)?;
         Ok((ordinal, block))
@@ -211,9 +288,18 @@ impl DramStore {
         ordinal: u64,
     ) -> Result<Vec<Cell>, StoreError> {
         let idx = self.check_queue(queue)?;
-        let block = self.queues[idx]
-            .remove(&ordinal)
-            .ok_or(StoreError::BlockMissing { queue, ordinal })?;
+        let q = &mut self.queues[idx];
+        if !q.slot(ordinal).is_some_and(BlockSlot::is_present) {
+            return Err(StoreError::BlockMissing { queue, ordinal });
+        }
+        let pos = (ordinal - q.base) as usize;
+        let BlockSlot::Present(block) = std::mem::replace(&mut q.ring[pos], BlockSlot::Consumed)
+        else {
+            unreachable!("slot was checked to be present");
+        };
+        q.resident_blocks -= 1;
+        q.resident_cells -= block.len();
+        q.trim_front();
         if ordinal >= self.head_ordinal[idx] {
             self.head_ordinal[idx] = ordinal + 1;
         }
@@ -222,12 +308,43 @@ impl DramStore {
         Ok(block)
     }
 
+    /// Records that the block at `ordinal` of `queue` was *forwarded* around
+    /// the DRAM (its read was issued before its producing write — possible
+    /// only under the ablation scheduler policies) and will therefore never
+    /// become resident. Without this the ordinal would stay a vacant hole at
+    /// the front of the queue's ring forever, pinning the ring's base and
+    /// growing it by one retained slot per later block.
+    ///
+    /// No observable state changes: the block was never resident, so group
+    /// occupancy and the per-queue block/cell counts are untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::QueueOutOfRange`] for an unknown queue.
+    pub fn note_forwarded(
+        &mut self,
+        queue: PhysicalQueueId,
+        ordinal: u64,
+    ) -> Result<(), StoreError> {
+        let idx = self.check_queue(queue)?;
+        let q = &mut self.queues[idx];
+        if ordinal < q.base {
+            return Ok(());
+        }
+        let pos = q.slot_index_for_write(ordinal);
+        if matches!(q.ring[pos], BlockSlot::Vacant) {
+            q.ring[pos] = BlockSlot::Consumed;
+            q.trim_front();
+        }
+        Ok(())
+    }
+
     /// Whether a block is resident at `ordinal` for `queue`.
     pub fn has_block(&self, queue: PhysicalQueueId, ordinal: u64) -> bool {
         self.queues
             .get(queue.as_usize())
-            .map(|q| q.contains_key(&ordinal))
-            .unwrap_or(false)
+            .and_then(|q| q.slot(ordinal))
+            .is_some_and(BlockSlot::is_present)
     }
 
     /// Ordinal that the *next* written block of `queue` will receive.
@@ -242,12 +359,12 @@ impl DramStore {
 
     /// Number of blocks currently stored for `queue`.
     pub fn blocks_in_queue(&self, queue: PhysicalQueueId) -> usize {
-        self.queues[queue.as_usize()].len()
+        self.queues[queue.as_usize()].resident_blocks
     }
 
     /// Number of cells currently stored for `queue`.
     pub fn cells_in_queue(&self, queue: PhysicalQueueId) -> usize {
-        self.queues[queue.as_usize()].values().map(Vec::len).sum()
+        self.queues[queue.as_usize()].resident_cells
     }
 
     /// Blocks currently resident in `group`.
@@ -295,17 +412,23 @@ impl DramStore {
         GroupId::new(idx as u32)
     }
 
-    /// Groups that currently have free space, ordered by ascending occupancy.
+    /// Groups that currently have free space, ordered by ascending occupancy
+    /// (ties resolve to the lower group index). Allocates — used on cold
+    /// paths only; the per-period writeback path ranks groups in one pass
+    /// without materialising a list (the renaming layer's ranked allocation
+    /// over [`DramStore::group_occupancy`]).
     pub fn groups_with_room(&self) -> Vec<GroupId> {
-        let mut v: Vec<(usize, usize)> = self
+        let mut out: Vec<GroupId> = self
             .group_occupancy
             .iter()
-            .copied()
             .enumerate()
-            .filter(|(_, occ)| *occ < self.group_capacity_blocks)
+            .filter(|(_, occ)| **occ < self.group_capacity_blocks)
+            .map(|(i, _)| GroupId::new(i as u32))
             .collect();
-        v.sort_by_key(|(_, occ)| *occ);
-        v.into_iter().map(|(i, _)| GroupId::new(i as u32)).collect()
+        // (occupancy, index) keys are distinct, so the unstable in-place sort
+        // produces exactly the stable by-occupancy order.
+        out.sort_unstable_by_key(|g| (self.group_occupancy[g.index()], g.index()));
+        out
     }
 }
 
@@ -452,6 +575,35 @@ mod tests {
         assert!(matches!(
             s.write_block_at(q, 5, mk_cells(3, 20, 4)),
             Err(StoreError::BlockAlreadyPresent { .. })
+        ));
+    }
+
+    #[test]
+    fn forwarded_ordinals_do_not_pin_the_ring() {
+        let mut s = store(8);
+        let q = PhysicalQueueId::new(1);
+        // Ordinal 0 is forwarded around the DRAM (never written); ordinal 1
+        // commits out of order, leaving a vacant hole in front of it.
+        s.write_block_at(q, 1, mk_cells(1, 4, 4)).unwrap();
+        s.note_forwarded(q, 0).unwrap();
+        assert!(!s.has_block(q, 0));
+        assert_eq!(s.blocks_in_queue(q), 1);
+        // The hole is tombstoned: the FIFO read finds ordinal 1 and, once it
+        // is consumed, the queue is fully drained (nothing retained).
+        let (ordinal, block) = s.read_block(q).unwrap();
+        assert_eq!(ordinal, 1);
+        assert_eq!(block[0].seq(), 4);
+        assert_eq!(s.blocks_in_queue(q), 0);
+        assert!(matches!(
+            s.read_block(q),
+            Err(StoreError::QueueEmpty { .. })
+        ));
+        // Forwarding an already-trimmed ordinal is a no-op, and out-of-range
+        // queues are rejected.
+        s.note_forwarded(q, 0).unwrap();
+        assert!(matches!(
+            s.note_forwarded(PhysicalQueueId::new(999), 0),
+            Err(StoreError::QueueOutOfRange { .. })
         ));
     }
 

@@ -47,6 +47,15 @@ impl OccupancyCounters {
         self.counters[queue.as_usize()] -= 1;
     }
 
+    /// Direct read-only view of all counters (index = queue index).
+    ///
+    /// This is the hot-path accessor: the selection policies copy it into a
+    /// preallocated scratch buffer instead of cloning a fresh `Vec` per
+    /// granularity period.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.counters
+    }
+
     /// Snapshot of all counters (index = queue index).
     pub fn snapshot(&self) -> Vec<i64> {
         self.counters.clone()

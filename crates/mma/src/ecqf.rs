@@ -5,27 +5,140 @@ use crate::lookahead::LookaheadRegister;
 use crate::traits::HeadMma;
 use pktbuf_model::LogicalQueueId;
 
-/// The ECQF policy (§3): walk the lookahead from head to tail, decrementing a
-/// copy of the occupancy counters; the first queue whose copied counter drops
-/// below zero is the *earliest critical* queue and is replenished.
+/// The ECQF policy (§3): the queue whose occupancy counter is exhausted
+/// *earliest* by the requests in the lookahead is replenished.
+///
+/// Definitionally this is a head-to-tail walk decrementing a copy of the
+/// occupancy counters until one drops below zero. Implementation-wise the
+/// same answer falls out of the lookahead's per-queue position index: queue
+/// `q` with counter `c` goes critical exactly at its `(max(c, 0) + 1)`-th
+/// pending request, so the earliest critical queue is the one whose
+/// `(max(c, 0))`-th indexed position is smallest. That turns an O(L) walk
+/// (plus an O(Q) counter snapshot) per granularity period into a single O(Q)
+/// scan with no copying — the selected queue is identical.
 ///
 /// With a lookahead of `Q·(B−1)+1` slots there is always at least one critical
 /// queue whenever the system is busy, and the SRAM never needs to hold more
 /// than `Q·(B−1) + B` cells.
+///
+/// # Incremental selection
+///
+/// When driven through [`crate::HeadMmaSubsystem`] (which reports every
+/// counter/lookahead mutation via [`HeadMma::note_queue_changed`]), the policy
+/// maintains a min tournament tree over the per-queue critical positions:
+/// each mutation updates one leaf in O(log Q) and selection reads the root in
+/// O(1). Used standalone — without change notifications — it falls back to a
+/// per-call scan. Both paths compute the identical selection (the tree path
+/// `debug_assert`s itself against the scan).
 #[derive(Debug, Clone)]
 pub struct EcqfMma {
     granularity: usize,
-    /// Scratch copy of the counters, kept allocated across calls.
-    scratch: Vec<i64>,
+    /// 1-indexed implicit min tree of length `2·leaves`; empty until the
+    /// first change notification arrives.
+    tree: Vec<u64>,
+    leaves: usize,
+    /// Queues whose critical position may have moved since the last select.
+    /// Change notifications only append here (a few entries per granularity
+    /// period); the leaves are refreshed lazily at selection time.
+    dirty: Vec<u32>,
 }
+
+/// Sentinel for "this queue has no critical request in the lookahead".
+const NO_CRITICAL: u64 = u64::MAX;
 
 impl EcqfMma {
     /// Creates an ECQF policy replenishing `granularity` cells at a time.
     pub fn new(granularity: usize) -> Self {
         EcqfMma {
             granularity: granularity.max(1),
-            scratch: Vec::new(),
+            tree: Vec::new(),
+            leaves: 0,
+            dirty: Vec::new(),
         }
+    }
+
+    /// Stream position at which `queue_index` goes critical, or
+    /// [`NO_CRITICAL`]: with counter `c`, the queue runs dry exactly at its
+    /// `(max(c, 0) + 1)`-th pending request.
+    fn critical_position(
+        counters: &OccupancyCounters,
+        lookahead: &LookaheadRegister,
+        queue_index: usize,
+    ) -> u64 {
+        let k = counters.as_slice()[queue_index].max(0) as usize;
+        lookahead
+            .kth_pending_position(queue_index, k)
+            .unwrap_or(NO_CRITICAL)
+    }
+
+    fn ensure_leaves(&mut self, num_queues: usize) {
+        if self.leaves >= num_queues.max(1) {
+            return;
+        }
+        let new_leaves = num_queues.max(1).next_power_of_two();
+        let mut tree = vec![NO_CRITICAL; 2 * new_leaves];
+        for i in 0..self.leaves {
+            tree[new_leaves + i] = self.tree[self.leaves + i];
+        }
+        for i in (1..new_leaves).rev() {
+            tree[i] = tree[2 * i].min(tree[2 * i + 1]);
+        }
+        self.tree = tree;
+        self.leaves = new_leaves;
+    }
+
+    fn set_leaf(&mut self, queue_index: usize, value: u64) {
+        let mut i = self.leaves + queue_index;
+        if self.tree[i] == value {
+            return;
+        }
+        self.tree[i] = value;
+        while i > 1 {
+            i /= 2;
+            let merged = self.tree[2 * i].min(self.tree[2 * i + 1]);
+            if self.tree[i] == merged {
+                break;
+            }
+            self.tree[i] = merged;
+        }
+    }
+
+    fn tree_select(&self) -> Option<LogicalQueueId> {
+        if self.tree[1] == NO_CRITICAL {
+            return None;
+        }
+        let mut i = 1;
+        while i < self.leaves {
+            i = if self.tree[2 * i] <= self.tree[2 * i + 1] {
+                2 * i
+            } else {
+                2 * i + 1
+            };
+        }
+        Some(LogicalQueueId::new((i - self.leaves) as u32))
+    }
+
+    /// Reference selection: probe every queue's critical position. Used when
+    /// the policy runs standalone (no change notifications) and to
+    /// cross-check the tree in debug builds.
+    fn scan_select(
+        counters: &OccupancyCounters,
+        lookahead: &LookaheadRegister,
+    ) -> Option<LogicalQueueId> {
+        if lookahead.pending_len() == 0 {
+            return None;
+        }
+        let mut best: Option<(u64, usize)> = None;
+        for qi in 0..counters.num_queues() {
+            let position = Self::critical_position(counters, lookahead, qi);
+            if position == NO_CRITICAL {
+                continue;
+            }
+            if best.is_none_or(|(bp, _)| position < bp) {
+                best = Some((position, qi));
+            }
+        }
+        best.map(|(_, qi)| LogicalQueueId::new(qi as u32))
     }
 }
 
@@ -35,17 +148,22 @@ impl HeadMma for EcqfMma {
         counters: &OccupancyCounters,
         lookahead: &LookaheadRegister,
     ) -> Option<LogicalQueueId> {
-        self.scratch.clear();
-        self.scratch.extend_from_slice(&counters.snapshot());
-        for request in lookahead.iter() {
-            let Some(queue) = request else { continue };
-            let c = &mut self.scratch[queue.as_usize()];
-            *c -= 1;
-            if *c < 0 {
-                return Some(queue);
-            }
+        if self.dirty.is_empty() && self.tree.len() <= 1 {
+            // Standalone use without change notifications.
+            return Self::scan_select(counters, lookahead);
         }
-        None
+        self.ensure_leaves(counters.num_queues());
+        while let Some(qi) = self.dirty.pop() {
+            let qi = qi as usize;
+            self.set_leaf(qi, Self::critical_position(counters, lookahead, qi));
+        }
+        let picked = self.tree_select();
+        debug_assert_eq!(
+            picked,
+            Self::scan_select(counters, lookahead),
+            "ECQF tree diverged from the reference scan"
+        );
+        picked
     }
 
     fn granularity(&self) -> usize {
@@ -54,6 +172,17 @@ impl HeadMma for EcqfMma {
 
     fn name(&self) -> &'static str {
         "ECQF"
+    }
+
+    fn note_queue_changed(
+        &mut self,
+        queue: LogicalQueueId,
+        _counters: &OccupancyCounters,
+        _lookahead: &LookaheadRegister,
+    ) {
+        // Defer the leaf refresh to selection time: notifications arrive every
+        // slot, selections once per granularity period.
+        self.dirty.push(queue.index());
     }
 }
 

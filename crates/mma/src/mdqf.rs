@@ -36,7 +36,7 @@ impl HeadMma for MdqfMma {
     ) -> Option<LogicalQueueId> {
         // deficit[q] = pending requests − counter.
         self.scratch.clear();
-        self.scratch.extend(counters.snapshot().iter().map(|c| -c));
+        self.scratch.extend(counters.as_slice().iter().map(|c| -c));
         for request in lookahead.iter().flatten() {
             self.scratch[request.as_usize()] += 1;
         }

@@ -59,13 +59,27 @@ impl HeadMmaSubsystem {
     /// event; its occupancy counter is decremented.
     pub fn on_request(&mut self, request: Option<LogicalQueueId>) -> MmaEvent {
         let shifted = self.lookahead.push(request);
-        match shifted {
+        let event = match shifted {
             Some(Some(due)) => {
                 self.counters.take_one(due);
                 MmaEvent { due: Some(due) }
             }
             _ => MmaEvent::default(),
+        };
+        // Report every touched queue so incremental policies stay in sync
+        // (the due queue lost a pending request and a counter unit, the
+        // pushed queue gained a pending request).
+        if let Some(due) = event.due {
+            self.policy
+                .note_queue_changed(due, &self.counters, &self.lookahead);
         }
+        if let Some(queue) = request {
+            if event.due != Some(queue) {
+                self.policy
+                    .note_queue_changed(queue, &self.counters, &self.lookahead);
+            }
+        }
+        event
     }
 
     /// Granularity-period operation: ask the policy which queue to replenish.
@@ -74,6 +88,8 @@ impl HeadMmaSubsystem {
     pub fn select_replenishment(&mut self) -> Option<LogicalQueueId> {
         let choice = self.policy.select(&self.counters, &self.lookahead)?;
         self.counters.add(choice, self.policy.granularity() as i64);
+        self.policy
+            .note_queue_changed(choice, &self.counters, &self.lookahead);
         Some(choice)
     }
 
@@ -81,6 +97,8 @@ impl HeadMmaSubsystem {
     /// initialise a warm buffer).
     pub fn preload(&mut self, queue: LogicalQueueId, cells: i64) {
         self.counters.add(queue, cells);
+        self.policy
+            .note_queue_changed(queue, &self.counters, &self.lookahead);
     }
 
     /// Read access to the occupancy counters (for verification).

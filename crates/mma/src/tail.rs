@@ -36,17 +36,46 @@ impl ThresholdTailMma {
     pub fn required_sram_cells(num_queues: usize, granularity: usize) -> usize {
         num_queues * (granularity - 1) + granularity
     }
+
+    /// Like [`TailMma::select`], but visits only the queues whose bit is set
+    /// in `eligible` (bit `q % 64` of word `q / 64`).
+    ///
+    /// When the mask marks exactly the queues at or above the threshold —
+    /// the invariant the caller's occupancy tracker maintains — the result
+    /// is identical to scanning every queue, at O(eligible) instead of O(Q).
+    pub fn select_masked(&self, occupancies: &[usize], eligible: &[u64]) -> Option<LogicalQueueId> {
+        let mut best: Option<(usize, usize)> = None;
+        for (w, word) in eligible.iter().copied().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let occ = occupancies[i];
+                debug_assert!(occ >= self.granularity, "mask out of sync");
+                if best.is_none_or(|(best_occ, _)| occ > best_occ) {
+                    best = Some((occ, i));
+                }
+            }
+        }
+        best.map(|(_, i)| LogicalQueueId::new(i as u32))
+    }
 }
 
 impl TailMma for ThresholdTailMma {
     fn select(&mut self, occupancies: &[usize]) -> Option<LogicalQueueId> {
-        occupancies
-            .iter()
-            .copied()
-            .enumerate()
-            .filter(|(_, occ)| *occ >= self.granularity)
-            .max_by_key(|(i, occ)| (*occ, std::cmp::Reverse(*i)))
-            .map(|(i, _)| LogicalQueueId::new(i as u32))
+        // Tight manual scan (this runs every granularity period): highest
+        // occupancy wins, ties break towards the lower index — the same
+        // ordering as maximising (occupancy, Reverse(index)).
+        let mut best: Option<(usize, usize)> = None;
+        for (i, occ) in occupancies.iter().copied().enumerate() {
+            if occ < self.granularity {
+                continue;
+            }
+            if best.is_none_or(|(best_occ, _)| occ > best_occ) {
+                best = Some((occ, i));
+            }
+        }
+        best.map(|(_, i)| LogicalQueueId::new(i as u32))
     }
 
     fn granularity(&self) -> usize {

@@ -22,6 +22,20 @@ pub trait HeadMma {
 
     /// Human-readable policy name (for reports and ablations).
     fn name(&self) -> &'static str;
+
+    /// Notifies the policy that `queue`'s counter or pending-request set just
+    /// changed. [`crate::HeadMmaSubsystem`] calls this after every mutation so
+    /// that incremental policies (ECQF's critical-position tree) can update
+    /// their state; the default is a no-op and stateless policies may ignore
+    /// it.
+    fn note_queue_changed(
+        &mut self,
+        queue: LogicalQueueId,
+        counters: &OccupancyCounters,
+        lookahead: &LookaheadRegister,
+    ) {
+        let _ = (queue, counters, lookahead);
+    }
 }
 
 /// Enumerates the available head-MMA policies (for configuration files and

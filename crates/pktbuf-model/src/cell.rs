@@ -111,6 +111,15 @@ impl Cell {
         &self.payload
     }
 
+    /// Decomposes the cell into `(queue, seq, arrival_slot, payload)`.
+    ///
+    /// Structure-of-arrays stores (e.g. the tail-SRAM arena in `pktbuf`) use
+    /// this to scatter a cell into parallel columns without cloning the
+    /// payload.
+    pub fn into_parts(self) -> (LogicalQueueId, u64, u64, CellPayload) {
+        (self.queue, self.seq, self.arrival_slot, self.payload)
+    }
+
     /// Size of the cell on the wire, in bits.
     pub fn size_bits() -> u64 {
         (CELL_BYTES as u64) * 8

@@ -8,8 +8,10 @@ use traffic::{ArrivalGenerator, RequestGenerator};
 /// Result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulationReport {
-    /// Design under test ("RADS", "CFDS", "DRAM-only").
-    pub design: String,
+    /// Design under test ("RADS", "CFDS", "DRAM-only"). Backed by the
+    /// buffer's static name — reports are built once per run and must not
+    /// allocate a fresh `String` each time.
+    pub design: &'static str,
     /// Workload names ("uniform" arrivals / "adversarial-round-robin"
     /// requests…).
     pub workload: String,
@@ -50,12 +52,22 @@ impl SimulationReport {
 }
 
 /// Drives a packet buffer with workload generators.
-pub struct SimulationEngine<'a> {
-    buffer: &'a mut dyn PacketBuffer,
+///
+/// The engine is generic over the buffer type. The default parameter keeps
+/// the type-erased entry point (`SimulationEngine::new` over
+/// `&mut dyn PacketBuffer`) that the CLI uses, while
+/// [`SimulationEngine::new_mono`] monomorphises the whole slot loop for a
+/// concrete buffer type — no per-slot virtual dispatch — which is what
+/// [`crate::scenario::Scenario`] and the benchmarks run. Both paths execute
+/// the same `run` body, so their reports are bit-identical (pinned by the
+/// `mono_dyn_equivalence` test suite).
+pub struct SimulationEngine<'a, B: PacketBuffer + ?Sized = dyn PacketBuffer + 'a> {
+    buffer: &'a mut B,
     record_grants: bool,
+    workload_label: Option<&'static str>,
 }
 
-impl<'a> std::fmt::Debug for SimulationEngine<'a> {
+impl<'a, B: PacketBuffer + ?Sized> std::fmt::Debug for SimulationEngine<'a, B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimulationEngine")
             .field("design", &self.buffer.design_name())
@@ -65,11 +77,24 @@ impl<'a> std::fmt::Debug for SimulationEngine<'a> {
 }
 
 impl<'a> SimulationEngine<'a> {
-    /// Creates an engine around `buffer`.
-    pub fn new(buffer: &'a mut dyn PacketBuffer) -> Self {
+    /// Creates a type-erased engine around `buffer` (the CLI entry point).
+    pub fn new(buffer: &'a mut (dyn PacketBuffer + 'a)) -> Self {
         SimulationEngine {
             buffer,
             record_grants: false,
+            workload_label: None,
+        }
+    }
+}
+
+impl<'a, B: PacketBuffer + ?Sized> SimulationEngine<'a, B> {
+    /// Creates a monomorphized engine around a concrete buffer type: the
+    /// fast path used by the lab runner and the benchmarks.
+    pub fn new_mono(buffer: &'a mut B) -> Self {
+        SimulationEngine {
+            buffer,
+            record_grants: false,
+            workload_label: None,
         }
     }
 
@@ -80,23 +105,46 @@ impl<'a> SimulationEngine<'a> {
         self
     }
 
+    /// Supplies the report's workload label up front (callers that know the
+    /// workload statically hoist the `"{arrivals}+{requests}"` naming out of
+    /// `run`). Must match what `run` would derive from the generator names —
+    /// the mono/dyn differential tests pin this.
+    pub fn with_workload_label(mut self, label: &'static str) -> Self {
+        self.workload_label = Some(label);
+        self
+    }
+
     /// Runs the workload: `active_slots` slots with both generators running,
     /// followed by a drain phase (arrivals stop, requests continue while any
     /// queue still has requestable cells, then the pipeline empties).
-    pub fn run(
+    ///
+    /// Generic over the generator types for the same reason the engine is
+    /// generic over the buffer: concrete generators compile to a slot loop
+    /// with no virtual dispatch, while `&mut dyn` generators still work for
+    /// runtime composition.
+    pub fn run<A: ArrivalGenerator + ?Sized, R: RequestGenerator + ?Sized>(
         self,
-        arrivals: &mut dyn ArrivalGenerator,
-        requests: &mut dyn RequestGenerator,
+        arrivals: &mut A,
+        requests: &mut R,
         active_slots: u64,
     ) -> SimulationReport {
         let mut grant_log = self.record_grants.then(Vec::new);
-        let workload = format!("{}+{}", arrivals.name(), requests.name());
+        let workload = match self.workload_label {
+            Some(label) => label.to_owned(),
+            None => format!("{}+{}", arrivals.name(), requests.name()),
+        };
+        let buffer = self.buffer;
+        // The drain flush horizon is a fixed property of the pipeline; query
+        // it once instead of once per drain decision.
+        let flush = buffer.pipeline_delay_slots() as u64 + 4;
 
         for t in 0..active_slots {
             let arrival = arrivals.next(t);
-            let buffer = &self.buffer;
-            let request = requests.next(t, &|q: LogicalQueueId| buffer.requestable_cells(q));
-            let outcome = self.buffer.step(arrival, request);
+            let request = {
+                let probe = &*buffer;
+                requests.next(t, &|q: LogicalQueueId| probe.requestable_cells(q))
+            };
+            let outcome = buffer.step(arrival, request);
             if let (Some(log), Some(cell)) = (grant_log.as_mut(), &outcome.granted) {
                 log.push(cell.queue().index());
             }
@@ -106,16 +154,17 @@ impl<'a> SimulationEngine<'a> {
         // pipeline.
         let mut t = active_slots;
         let mut idle_streak = 0u64;
-        let flush = self.buffer.pipeline_delay_slots() as u64 + 4;
         while idle_streak <= flush {
-            let buffer = &self.buffer;
-            let request = requests.next(t, &|q: LogicalQueueId| buffer.requestable_cells(q));
+            let request = {
+                let probe = &*buffer;
+                requests.next(t, &|q: LogicalQueueId| probe.requestable_cells(q))
+            };
             if request.is_none() {
                 idle_streak += 1;
             } else {
                 idle_streak = 0;
             }
-            let outcome = self.buffer.step(None, request);
+            let outcome = buffer.step(None, request);
             if let (Some(log), Some(cell)) = (grant_log.as_mut(), &outcome.granted) {
                 log.push(cell.queue().index());
             }
@@ -123,10 +172,10 @@ impl<'a> SimulationEngine<'a> {
         }
 
         SimulationReport {
-            design: self.buffer.design_name().to_string(),
+            design: buffer.design_name(),
             workload,
-            slots: self.buffer.current_slot(),
-            stats: *self.buffer.stats(),
+            slots: buffer.current_slot(),
+            stats: *buffer.stats(),
             grant_log,
         }
     }

@@ -118,6 +118,25 @@ impl Workload {
             Workload::GreedyDrain,
         ]
     }
+
+    /// The engine's `"{arrivals}+{requests}"` report label for this workload,
+    /// precomputed so per-run report construction does not format it afresh.
+    /// `live_arrivals` selects between the live arrival generator and the
+    /// preload-only stub.
+    pub fn engine_label(self, live_arrivals: bool) -> &'static str {
+        match (self, live_arrivals) {
+            (Workload::AdversarialRoundRobin, true) => "uniform+adversarial-round-robin",
+            (Workload::AdversarialRoundRobin, false) => "preload-only+adversarial-round-robin",
+            (Workload::UniformRandom, true) => "uniform+uniform-random",
+            (Workload::UniformRandom, false) => "preload-only+uniform-random",
+            (Workload::Bursty, true) => "bursty+adversarial-round-robin",
+            (Workload::Bursty, false) => "preload-only+adversarial-round-robin",
+            (Workload::Hotspot, true) => "hotspot+hotspot",
+            (Workload::Hotspot, false) => "preload-only+hotspot",
+            (Workload::GreedyDrain, true) => "uniform+greedy-queue-drain",
+            (Workload::GreedyDrain, false) => "preload-only+greedy-queue-drain",
+        }
+    }
 }
 
 impl fmt::Display for Workload {
@@ -216,6 +235,26 @@ pub struct Scenario {
     pub overrides: ConfigOverrides,
 }
 
+/// Workload parameters shared by the type-erased generator builders and the
+/// monomorphized dispatch — one source of truth, so the two run paths cannot
+/// drift apart (the `mono_dyn_equivalence` tests additionally pin this).
+const DRAIN_ARRIVAL_LOAD: f64 = 0.9;
+/// Arrival load of the uniform-random workload.
+const UNIFORM_ARRIVAL_LOAD: f64 = 0.8;
+/// Request load of the uniform-random workload.
+const REQUEST_LOAD: f64 = 0.9;
+/// Mean on-burst length (slots) of the bursty workload.
+const BURST_ON_SLOTS: f64 = 32.0;
+/// Mean off-gap length (slots) of the bursty workload.
+const BURST_OFF_SLOTS: f64 = 8.0;
+/// Fraction of hotspot traffic aimed at the hot queues.
+const HOT_FRACTION: f64 = 0.8;
+
+/// Number of hot queues in the hotspot workload.
+fn hot_queue_count(num_queues: usize) -> usize {
+    num_queues.div_ceil(8)
+}
+
 impl Scenario {
     /// A small CFDS scenario useful as a smoke test.
     pub fn small_cfds() -> Self {
@@ -289,43 +328,59 @@ impl Scenario {
         }
     }
 
-    /// Builds the buffer under test, preloaded as requested.
-    pub fn build_buffer(&self) -> Box<dyn PacketBuffer + Send> {
+    /// Cells preloaded per queue, rounded down to the design's transfer
+    /// granularity.
+    fn preload_amount(&self) -> u64 {
         let granularity = match self.design {
             DesignKind::Cfds => self.granularity,
             _ => self.rads_granularity,
         };
-        let preload =
-            self.preload_cells_per_queue - self.preload_cells_per_queue % granularity as u64;
+        self.preload_cells_per_queue - self.preload_cells_per_queue % granularity as u64
+    }
+
+    /// Builds the DRAM-only baseline for this scenario, preloaded as
+    /// requested.
+    pub fn build_dram_only(&self) -> DramOnlyBuffer {
+        let mut buf = DramOnlyBuffer::new(self.rads_config());
+        for (q, cells) in traffic::preload_cells(self.num_queues, self.preload_amount()) {
+            buf.preload(q, cells);
+        }
+        buf
+    }
+
+    /// Builds the RADS buffer for this scenario, preloaded as requested.
+    pub fn build_rads(&self) -> RadsBuffer {
+        let mut buf = RadsBuffer::new(self.rads_config());
+        for (q, cells) in traffic::preload_cells(self.num_queues, self.preload_amount()) {
+            buf.preload_dram(q, cells);
+        }
+        buf
+    }
+
+    /// Builds the CFDS buffer for this scenario, preloaded as requested.
+    pub fn build_cfds(&self) -> CfdsBuffer {
+        let options = CfdsBufferOptions {
+            dram_capacity_cells: self
+                .overrides
+                .dram_capacity_cells
+                .map(|c| usize::try_from(c).unwrap_or(usize::MAX)),
+            ..CfdsBufferOptions::default()
+        };
+        let mut buf = CfdsBuffer::with_options(self.cfds_config(), options);
+        for (q, cells) in traffic::preload_cells(self.num_queues, self.preload_amount()) {
+            buf.preload_dram(q, cells);
+        }
+        buf
+    }
+
+    /// Builds the buffer under test behind the type-erased trait (the CLI
+    /// composition path; the scenario runners below use the concrete
+    /// builders and the monomorphized engine instead).
+    pub fn build_buffer(&self) -> Box<dyn PacketBuffer + Send> {
         match self.design {
-            DesignKind::DramOnly => {
-                let mut buf = DramOnlyBuffer::new(self.rads_config());
-                for (q, cells) in traffic::preload_cells(self.num_queues, preload) {
-                    buf.preload(q, cells);
-                }
-                Box::new(buf)
-            }
-            DesignKind::Rads => {
-                let mut buf = RadsBuffer::new(self.rads_config());
-                for (q, cells) in traffic::preload_cells(self.num_queues, preload) {
-                    buf.preload_dram(q, cells);
-                }
-                Box::new(buf)
-            }
-            DesignKind::Cfds => {
-                let options = CfdsBufferOptions {
-                    dram_capacity_cells: self
-                        .overrides
-                        .dram_capacity_cells
-                        .map(|c| usize::try_from(c).unwrap_or(usize::MAX)),
-                    ..CfdsBufferOptions::default()
-                };
-                let mut buf = CfdsBuffer::with_options(self.cfds_config(), options);
-                for (q, cells) in traffic::preload_cells(self.num_queues, preload) {
-                    buf.preload_dram(q, cells);
-                }
-                Box::new(buf)
-            }
+            DesignKind::DramOnly => Box::new(self.build_dram_only()),
+            DesignKind::Rads => Box::new(self.build_rads()),
+            DesignKind::Cfds => Box::new(self.build_cfds()),
         }
     }
 
@@ -334,11 +389,24 @@ impl Scenario {
         let seed = stream_seed(self.seed, 0);
         match self.workload {
             Workload::AdversarialRoundRobin | Workload::GreedyDrain => {
-                Box::new(UniformArrivals::new(q, 0.9, seed))
+                Box::new(UniformArrivals::new(q, DRAIN_ARRIVAL_LOAD, seed))
             }
-            Workload::UniformRandom => Box::new(UniformArrivals::new(q, 0.8, seed)),
-            Workload::Bursty => Box::new(BurstyArrivals::new(q, 32.0, 8.0, seed)),
-            Workload::Hotspot => Box::new(HotspotArrivals::new(q, 0.9, q.div_ceil(8), 0.8, seed)),
+            Workload::UniformRandom => {
+                Box::new(UniformArrivals::new(q, UNIFORM_ARRIVAL_LOAD, seed))
+            }
+            Workload::Bursty => Box::new(BurstyArrivals::new(
+                q,
+                BURST_ON_SLOTS,
+                BURST_OFF_SLOTS,
+                seed,
+            )),
+            Workload::Hotspot => Box::new(HotspotArrivals::new(
+                q,
+                DRAIN_ARRIVAL_LOAD,
+                hot_queue_count(q),
+                HOT_FRACTION,
+                seed,
+            )),
         }
     }
 
@@ -349,8 +417,13 @@ impl Scenario {
             Workload::AdversarialRoundRobin | Workload::Bursty => {
                 Box::new(AdversarialRoundRobin::new(q))
             }
-            Workload::UniformRandom => Box::new(UniformRandomRequests::new(q, 0.9, seed)),
-            Workload::Hotspot => Box::new(HotspotRequests::new(q, q.div_ceil(8), 0.8, seed)),
+            Workload::UniformRandom => Box::new(UniformRandomRequests::new(q, REQUEST_LOAD, seed)),
+            Workload::Hotspot => Box::new(HotspotRequests::new(
+                q,
+                hot_queue_count(q),
+                HOT_FRACTION,
+                seed,
+            )),
             Workload::GreedyDrain => Box::new(GreedyQueueDrain::new(q)),
         }
     }
@@ -365,19 +438,117 @@ impl Scenario {
         self.run_with_grant_log(false)
     }
 
+    fn assert_exclusive(&self) {
+        assert!(
+            self.preload_cells_per_queue == 0 || self.arrival_slots == 0,
+            "preload and live arrivals are mutually exclusive in a scenario"
+        );
+    }
+
+    /// Drives one concrete buffer through the monomorphized engine,
+    /// dispatching once per run to concrete generator types (the same
+    /// constructions as [`Scenario::build_arrivals`] /
+    /// [`Scenario::build_requests`], minus the per-slot virtual dispatch).
+    fn run_engine<B: PacketBuffer>(&self, buffer: &mut B, record: bool) -> SimulationReport {
+        let q = self.num_queues;
+        let seed = stream_seed(self.seed, 1);
+        match self.workload {
+            Workload::AdversarialRoundRobin | Workload::Bursty => {
+                self.run_with_requests(buffer, AdversarialRoundRobin::new(q), record)
+            }
+            Workload::UniformRandom => self.run_with_requests(
+                buffer,
+                UniformRandomRequests::new(q, REQUEST_LOAD, seed),
+                record,
+            ),
+            Workload::Hotspot => self.run_with_requests(
+                buffer,
+                HotspotRequests::new(q, hot_queue_count(q), HOT_FRACTION, seed),
+                record,
+            ),
+            Workload::GreedyDrain => {
+                self.run_with_requests(buffer, GreedyQueueDrain::new(q), record)
+            }
+        }
+    }
+
+    fn run_with_requests<B: PacketBuffer, R: RequestGenerator>(
+        &self,
+        buffer: &mut B,
+        mut requests: R,
+        record: bool,
+    ) -> SimulationReport {
+        let q = self.num_queues;
+        let engine = SimulationEngine::new_mono(buffer)
+            .record_grants(record)
+            .with_workload_label(self.workload.engine_label(self.arrival_slots > 0));
+        if self.arrival_slots == 0 {
+            let mut no_arrivals = NoArrivals { num_queues: q };
+            return engine.run(&mut no_arrivals, &mut requests, 0);
+        }
+        let seed = stream_seed(self.seed, 0);
+        match self.workload {
+            Workload::AdversarialRoundRobin | Workload::GreedyDrain => engine.run(
+                &mut UniformArrivals::new(q, DRAIN_ARRIVAL_LOAD, seed),
+                &mut requests,
+                self.arrival_slots,
+            ),
+            Workload::UniformRandom => engine.run(
+                &mut UniformArrivals::new(q, UNIFORM_ARRIVAL_LOAD, seed),
+                &mut requests,
+                self.arrival_slots,
+            ),
+            Workload::Bursty => engine.run(
+                &mut BurstyArrivals::new(q, BURST_ON_SLOTS, BURST_OFF_SLOTS, seed),
+                &mut requests,
+                self.arrival_slots,
+            ),
+            Workload::Hotspot => engine.run(
+                &mut HotspotArrivals::new(
+                    q,
+                    DRAIN_ARRIVAL_LOAD,
+                    hot_queue_count(q),
+                    HOT_FRACTION,
+                    seed,
+                ),
+                &mut requests,
+                self.arrival_slots,
+            ),
+        }
+    }
+
     /// Runs the scenario, optionally recording the per-grant queue log.
+    ///
+    /// Dispatches once on the design and then runs the monomorphized engine
+    /// for the concrete buffer type, so the slot loop pays no virtual
+    /// dispatch. [`Scenario::run_dyn_with_grant_log`] keeps the type-erased
+    /// path; the two produce bit-identical reports.
     ///
     /// # Panics
     ///
     /// Panics if both a preload and live arrivals are requested.
     pub fn run_with_grant_log(&self, record: bool) -> SimulationReport {
-        assert!(
-            self.preload_cells_per_queue == 0 || self.arrival_slots == 0,
-            "preload and live arrivals are mutually exclusive in a scenario"
-        );
+        self.assert_exclusive();
+        match self.design {
+            DesignKind::DramOnly => self.run_engine(&mut self.build_dram_only(), record),
+            DesignKind::Rads => self.run_engine(&mut self.build_rads(), record),
+            DesignKind::Cfds => self.run_engine(&mut self.build_cfds(), record),
+        }
+    }
+
+    /// Runs the scenario through the type-erased engine (`&mut dyn
+    /// PacketBuffer`), exactly as an embedder composing buffers at runtime
+    /// would. Exists so the differential tests can pin the monomorphized
+    /// fast path to this reference behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both a preload and live arrivals are requested.
+    pub fn run_dyn_with_grant_log(&self, record: bool) -> SimulationReport {
+        self.assert_exclusive();
         let mut buffer = self.build_buffer();
         let mut requests = self.build_requests();
-        let report = if self.arrival_slots > 0 {
+        if self.arrival_slots > 0 {
             let mut arrivals = self.build_arrivals();
             SimulationEngine::new(buffer.as_mut())
                 .record_grants(record)
@@ -389,8 +560,7 @@ impl Scenario {
             SimulationEngine::new(buffer.as_mut())
                 .record_grants(record)
                 .run(&mut no_arrivals, requests.as_mut(), 0)
-        };
-        report
+        }
     }
 }
 

@@ -1,0 +1,91 @@
+//! The monomorphized fast path must be observationally identical to the
+//! type-erased reference path: bit-identical `SimulationReport`s — including
+//! grant logs — for every design × workload, with live arrivals and with
+//! preloaded drains.
+
+use sim::scenario::{DesignKind, Scenario, Workload};
+use sim::SimulationReport;
+
+fn base() -> Scenario {
+    Scenario {
+        num_queues: 16,
+        granularity: 2,
+        rads_granularity: 8,
+        num_banks: 16,
+        seed: 11,
+        ..Scenario::small_cfds()
+    }
+}
+
+fn assert_identical(scenario: &Scenario) {
+    let mono: SimulationReport = scenario.run_with_grant_log(true);
+    let dyn_ref: SimulationReport = scenario.run_dyn_with_grant_log(true);
+    assert_eq!(
+        mono, dyn_ref,
+        "mono vs dyn mismatch for {:?}/{:?}",
+        scenario.design, scenario.workload
+    );
+    // Bit-identical serialized artifacts, not just PartialEq: the JSON is
+    // what downstream tooling diffs.
+    let mono_json = serde_json::to_string_pretty(&mono).unwrap();
+    let dyn_json = serde_json::to_string_pretty(&dyn_ref).unwrap();
+    assert_eq!(mono_json, dyn_json);
+    assert!(mono.grant_log.is_some(), "grant log must be recorded");
+}
+
+#[test]
+fn live_arrivals_reports_are_bit_identical() {
+    for design in DesignKind::all() {
+        for workload in Workload::all() {
+            let scenario = Scenario {
+                design,
+                workload,
+                preload_cells_per_queue: 0,
+                arrival_slots: 2_000,
+                ..base()
+            };
+            assert_identical(&scenario);
+        }
+    }
+}
+
+#[test]
+fn preloaded_drain_reports_are_bit_identical() {
+    for design in DesignKind::all() {
+        for workload in Workload::all() {
+            let scenario = Scenario {
+                design,
+                workload,
+                preload_cells_per_queue: 32,
+                arrival_slots: 0,
+                ..base()
+            };
+            assert_identical(&scenario);
+        }
+    }
+}
+
+#[test]
+fn engine_labels_match_generator_names() {
+    // The mono path uses the precomputed `Workload::engine_label` table; the
+    // dyn path formats the label from the actual generator `name()`s at run
+    // time. Compare the table against the dyn-derived string so a stale
+    // table entry fails here (and not only through full-report inequality).
+    for workload in Workload::all() {
+        for (live, slots, preload) in [(true, 500u64, 0u64), (false, 0, 16)] {
+            let scenario = Scenario {
+                design: DesignKind::Cfds,
+                workload,
+                preload_cells_per_queue: preload,
+                arrival_slots: slots,
+                ..base()
+            };
+            let dyn_report = scenario.run_dyn_with_grant_log(false);
+            assert_eq!(
+                workload.engine_label(live),
+                dyn_report.workload,
+                "label table out of sync for {workload:?} (live={live})"
+            );
+        }
+    }
+}

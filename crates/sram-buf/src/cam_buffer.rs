@@ -2,22 +2,67 @@
 
 use crate::traits::{BufferError, SharedBuffer};
 use pktbuf_model::{Cell, LogicalQueueId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-queue cell storage: a dense ring indexed by `order - head_order`.
+///
+/// The `(queue, order)` tag space of the CAM maps onto one ring per queue:
+/// position 0 is the next cell the arbiter will be granted, holes are cells
+/// whose block has not been delivered yet. The window between the head and
+/// the youngest resident cell is bounded by the SRAM sizing, so after warm-up
+/// the ring never reallocates — the slot path is heap-free, unlike the
+/// tree-node churn of a `BTreeMap<(u32, u64), Cell>`.
+#[derive(Debug, Clone, Default)]
+struct QueueRing {
+    /// Cell order of ring position 0 (== next order expected at the head).
+    base: u64,
+    ring: VecDeque<Option<Cell>>,
+}
+
+impl QueueRing {
+    /// Inserts `cell` at `order`, mirroring `BTreeMap::insert` semantics
+    /// (silent overwrite). Returns whether the slot was previously empty.
+    fn put(&mut self, order: u64, cell: Cell) -> bool {
+        debug_assert!(order >= self.base, "stale orders are routed to `stale`");
+        let pos = (order - self.base) as usize;
+        // Fast path: in-order delivery appends directly at the window's end.
+        if pos == self.ring.len() {
+            self.ring.push_back(Some(cell));
+            return true;
+        }
+        while self.ring.len() <= pos {
+            self.ring.push_back(None);
+        }
+        self.ring[pos].replace(cell).is_none()
+    }
+
+    fn get(&self, order: u64) -> Option<&Cell> {
+        if order < self.base {
+            return None;
+        }
+        self.ring.get((order - self.base) as usize)?.as_ref()
+    }
+}
 
 /// Fully associative shared buffer.
 ///
 /// Every resident cell is indexed by its `(queue, cell order)` tag, so blocks
 /// can be written in any order and the head of each queue is found with a
 /// single associative search — the functional counterpart of the paper's
-/// "global CAM" organisation.
+/// "global CAM" organisation. Functionally the tag match is resolved through
+/// per-queue order-indexed rings (`QueueRing`); the observable contract is
+/// identical to the earlier tag-map implementation.
 #[derive(Debug, Clone)]
 pub struct GlobalCamBuffer {
-    /// Tag → cell store. A BTreeMap keyed by (queue, order) keeps per-queue
-    /// cells sorted by order, mirroring what the priority encoder of a real
-    /// CAM would resolve.
-    store: BTreeMap<(u32, u64), Cell>,
-    /// Next cell order expected at the head of each queue.
-    head_order: Vec<u64>,
+    /// One order-indexed ring per queue.
+    rings: Vec<QueueRing>,
+    /// Cells inserted at an order below a queue's head. Such cells can never
+    /// be granted (the head only moves forward) but still occupy SRAM space;
+    /// keeping them in a side map preserves the occupancy accounting of the
+    /// tag-map implementation. Empty in any well-formed run.
+    stale: BTreeMap<(u32, u64), Cell>,
+    /// Resident cells inside the rings (excluding `stale`).
+    ring_cells: usize,
     /// Next cell order to assign at the tail of each queue (for `push_cell`
     /// and for mapping block ordinals to cell orders).
     tail_order: Vec<u64>,
@@ -38,8 +83,9 @@ impl GlobalCamBuffer {
     /// Creates a buffer whose blocks contain `cells_per_block` cells.
     pub fn with_block_size(num_queues: usize, capacity: usize, cells_per_block: usize) -> Self {
         GlobalCamBuffer {
-            store: BTreeMap::new(),
-            head_order: vec![0; num_queues],
+            rings: vec![QueueRing::default(); num_queues],
+            stale: BTreeMap::new(),
+            ring_cells: 0,
             tail_order: vec![0; num_queues],
             cells_per_block: cells_per_block.max(1),
             capacity,
@@ -49,17 +95,61 @@ impl GlobalCamBuffer {
 
     fn check_queue(&self, queue: LogicalQueueId) -> Result<usize, BufferError> {
         let idx = queue.as_usize();
-        if idx >= self.head_order.len() {
+        if idx >= self.rings.len() {
             return Err(BufferError::QueueOutOfRange {
                 queue,
-                num_queues: self.head_order.len(),
+                num_queues: self.rings.len(),
             });
         }
         Ok(idx)
     }
 
+    /// Stores one tagged cell, routing orders below the head to `stale`.
+    fn put(&mut self, idx: usize, queue: LogicalQueueId, order: u64, cell: Cell) {
+        let ring = &mut self.rings[idx];
+        if order < ring.base {
+            self.stale.insert((queue.index(), order), cell);
+        } else if ring.put(order, cell) {
+            self.ring_cells += 1;
+        }
+    }
+
+    fn contains(&self, idx: usize, queue: LogicalQueueId, order: u64) -> bool {
+        self.rings[idx].get(order).is_some() || self.stale.contains_key(&(queue.index(), order))
+    }
+
     fn note_peak(&mut self) {
-        self.peak = self.peak.max(self.store.len());
+        self.peak = self.peak.max(self.occupancy());
+    }
+
+    /// Shared implementation of block insertion over any cell source.
+    fn insert_block_inner(
+        &mut self,
+        queue: LogicalQueueId,
+        ordinal: u64,
+        len: usize,
+        cells: impl Iterator<Item = Cell>,
+    ) -> Result<(), BufferError> {
+        let idx = self.check_queue(queue)?;
+        if self.occupancy() + len > self.capacity {
+            return Err(BufferError::Full {
+                capacity: self.capacity,
+            });
+        }
+        let base = ordinal * self.cells_per_block as u64;
+        if self.contains(idx, queue, base) {
+            return Err(BufferError::DuplicateBlock { queue, ordinal });
+        }
+        for (i, cell) in cells.enumerate() {
+            self.put(idx, queue, base + i as u64, cell);
+        }
+        // Keep the tail order monotone so push_cell after block inserts works.
+        let end = base + self.cells_per_block as u64;
+        if end > self.tail_order[idx] {
+            self.tail_order[idx] = end;
+        }
+        self.note_peak();
+        Ok(())
     }
 }
 
@@ -70,47 +160,41 @@ impl SharedBuffer for GlobalCamBuffer {
         ordinal: u64,
         cells: Vec<Cell>,
     ) -> Result<(), BufferError> {
-        let idx = self.check_queue(queue)?;
-        if self.store.len() + cells.len() > self.capacity {
-            return Err(BufferError::Full {
-                capacity: self.capacity,
-            });
-        }
-        let base = ordinal * self.cells_per_block as u64;
-        if self.store.contains_key(&(queue.index(), base)) {
-            return Err(BufferError::DuplicateBlock { queue, ordinal });
-        }
-        for (i, cell) in cells.into_iter().enumerate() {
-            self.store.insert((queue.index(), base + i as u64), cell);
-        }
-        // Keep the tail order monotone so push_cell after block inserts works.
-        let end = base + self.cells_per_block as u64;
-        if end > self.tail_order[idx] {
-            self.tail_order[idx] = end;
-        }
-        self.note_peak();
-        Ok(())
+        let len = cells.len();
+        self.insert_block_inner(queue, ordinal, len, cells.into_iter())
+    }
+
+    fn insert_block_cells(
+        &mut self,
+        queue: LogicalQueueId,
+        ordinal: u64,
+        cells: &[Cell],
+    ) -> Result<(), BufferError> {
+        self.insert_block_inner(queue, ordinal, cells.len(), cells.iter().cloned())
     }
 
     fn push_cell(&mut self, queue: LogicalQueueId, cell: Cell) -> Result<(), BufferError> {
         let idx = self.check_queue(queue)?;
-        if self.store.len() + 1 > self.capacity {
+        if self.occupancy() + 1 > self.capacity {
             return Err(BufferError::Full {
                 capacity: self.capacity,
             });
         }
         let order = self.tail_order[idx];
         self.tail_order[idx] += 1;
-        self.store.insert((queue.index(), order), cell);
+        self.put(idx, queue, order, cell);
         self.note_peak();
         Ok(())
     }
 
     fn pop_front(&mut self, queue: LogicalQueueId) -> Option<Cell> {
         let idx = self.check_queue(queue).ok()?;
-        let key = (queue.index(), self.head_order[idx]);
-        let cell = self.store.remove(&key)?;
-        self.head_order[idx] += 1;
+        let ring = &mut self.rings[idx];
+        // The head cell is resident exactly when ring position 0 is occupied.
+        let cell = ring.ring.front_mut()?.take()?;
+        ring.ring.pop_front();
+        ring.base += 1;
+        self.ring_cells -= 1;
         Some(cell)
     }
 
@@ -119,17 +203,15 @@ impl SharedBuffer for GlobalCamBuffer {
             Ok(i) => i,
             Err(_) => return 0,
         };
-        let mut order = self.head_order[idx];
-        let mut n = 0;
-        while self.store.contains_key(&(queue.index(), order)) {
-            n += 1;
-            order += 1;
-        }
-        n
+        self.rings[idx]
+            .ring
+            .iter()
+            .take_while(|slot| slot.is_some())
+            .count()
     }
 
     fn occupancy(&self) -> usize {
-        self.store.len()
+        self.ring_cells + self.stale.len()
     }
 
     fn capacity(&self) -> usize {
@@ -141,7 +223,7 @@ impl SharedBuffer for GlobalCamBuffer {
     }
 
     fn num_queues(&self) -> usize {
-        self.head_order.len()
+        self.rings.len()
     }
 }
 
@@ -227,6 +309,30 @@ mod tests {
         ));
         assert_eq!(b.available(bad), 0);
         assert!(b.pop_front(bad).is_none());
+    }
+
+    #[test]
+    fn insert_block_cells_matches_insert_block() {
+        let q = LogicalQueueId::new(0);
+        let mut by_vec = GlobalCamBuffer::with_block_size(1, 64, 4);
+        let mut by_slice = GlobalCamBuffer::with_block_size(1, 64, 4);
+        for ordinal in [2u64, 0, 1] {
+            let block = cells(0, ordinal * 4, 4);
+            by_slice.insert_block_cells(q, ordinal, &block).unwrap();
+            by_vec.insert_block(q, ordinal, block).unwrap();
+        }
+        assert_eq!(by_vec.occupancy(), by_slice.occupancy());
+        assert_eq!(by_vec.available(q), by_slice.available(q));
+        for _ in 0..12 {
+            assert_eq!(by_vec.pop_front(q), by_slice.pop_front(q));
+        }
+        // Duplicate detection works through the slice path too.
+        let block = cells(0, 0, 4);
+        by_slice.insert_block_cells(q, 9, &block).unwrap();
+        assert!(matches!(
+            by_slice.insert_block_cells(q, 9, &block),
+            Err(BufferError::DuplicateBlock { .. })
+        ));
     }
 
     #[test]

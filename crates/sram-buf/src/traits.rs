@@ -70,6 +70,27 @@ pub trait SharedBuffer {
         cells: Vec<Cell>,
     ) -> Result<(), BufferError>;
 
+    /// Slice-borrowing variant of [`SharedBuffer::insert_block`] for the
+    /// allocation-free hot path: the caller keeps ownership of its block
+    /// buffer (typically a pooled `Vec<Cell>`) and the implementation copies
+    /// the cells into its own storage.
+    ///
+    /// The default implementation clones the slice into a fresh `Vec` and
+    /// delegates; hot-path implementations override it to avoid the
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SharedBuffer::insert_block`].
+    fn insert_block_cells(
+        &mut self,
+        queue: LogicalQueueId,
+        ordinal: u64,
+        cells: &[Cell],
+    ) -> Result<(), BufferError> {
+        self.insert_block(queue, ordinal, cells.to_vec())
+    }
+
     /// Appends one cell at the tail of `queue` (in-order path).
     ///
     /// # Errors

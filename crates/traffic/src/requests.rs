@@ -47,11 +47,18 @@ impl RequestGenerator for AdversarialRoundRobin {
         requestable: &dyn Fn(LogicalQueueId) -> u64,
     ) -> Option<LogicalQueueId> {
         // Try each queue once, starting from the round-robin pointer, and
-        // request the first one that still has cells to give.
-        for i in 0..self.num_queues {
-            let q = LogicalQueueId::new(((self.next as usize + i) % self.num_queues) as u32);
+        // request the first one that still has cells to give. The cursor
+        // wraps by comparison — this runs once per slot and a division by
+        // the (runtime) queue count would dominate the generator.
+        let mut qi = self.next as usize;
+        for _ in 0..self.num_queues {
+            let q = LogicalQueueId::new(qi as u32);
+            qi += 1;
+            if qi == self.num_queues {
+                qi = 0;
+            }
             if requestable(q) > 0 {
-                self.next = ((q.index() as usize + 1) % self.num_queues) as u32;
+                self.next = qi as u32;
                 return Some(q);
             }
         }
@@ -94,9 +101,13 @@ impl RequestGenerator for UniformRandomRequests {
         // Sample a starting point and walk forward to the first queue with
         // available cells — unbiased enough for workload purposes and O(Q)
         // worst case.
-        let start = self.rng.gen_range(0..self.num_queues);
-        for i in 0..self.num_queues {
-            let q = LogicalQueueId::new(((start + i) % self.num_queues) as u32);
+        let mut qi = self.rng.gen_range(0..self.num_queues);
+        for _ in 0..self.num_queues {
+            let q = LogicalQueueId::new(qi as u32);
+            qi += 1;
+            if qi == self.num_queues {
+                qi = 0;
+            }
             if requestable(q) > 0 {
                 return Some(q);
             }
@@ -134,8 +145,13 @@ impl RequestGenerator for GreedyQueueDrain {
         _slot: u64,
         requestable: &dyn Fn(LogicalQueueId) -> u64,
     ) -> Option<LogicalQueueId> {
-        for i in 0..self.num_queues {
-            let q = LogicalQueueId::new(((self.current as usize + i) % self.num_queues) as u32);
+        let mut qi = self.current as usize;
+        for _ in 0..self.num_queues {
+            let q = LogicalQueueId::new(qi as u32);
+            qi += 1;
+            if qi == self.num_queues {
+                qi = 0;
+            }
             if requestable(q) > 0 {
                 self.current = q.index();
                 return Some(q);
@@ -183,8 +199,14 @@ impl RequestGenerator for HotspotRequests {
         } else {
             (self.rng.gen_range(0..self.num_queues), self.num_queues)
         };
-        for i in 0..self.num_queues {
-            let q = LogicalQueueId::new(((start + i) % span.max(1)) as u32);
+        let span = span.max(1);
+        let mut qi = start % span;
+        for _ in 0..self.num_queues {
+            let q = LogicalQueueId::new(qi as u32);
+            qi += 1;
+            if qi == span {
+                qi = 0;
+            }
             if requestable(q) > 0 {
                 return Some(q);
             }

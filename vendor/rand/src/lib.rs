@@ -73,6 +73,15 @@ macro_rules! impl_sample_range_int {
             fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as u128).wrapping_sub(self.start as u128);
+                // Same value as the u128 modulo below, without 128-bit
+                // division on the (hot) narrow-range path; a power-of-two
+                // span further reduces to a mask.
+                if let Ok(span64) = u64::try_from(span) {
+                    if span64.is_power_of_two() {
+                        return self.start + (rng.next_u64() & (span64 - 1)) as $t;
+                    }
+                    return self.start + (rng.next_u64() % span64) as $t;
+                }
                 self.start + (rng.next_u64() as u128 % span) as $t
             }
         }
