@@ -2,21 +2,25 @@
 //! (E10). Useful to keep the simulator fast enough for the long validation
 //! runs.
 //!
-//! Two views per design:
+//! Three views per design:
 //!
 //! * `slot_cost/*` — preloaded adversarial drain (requests only), the
 //!   historical measurement;
 //! * `slot_cost_live/*` — live arrivals plus the round-robin drain, so the
 //!   tail path (arena, writebacks, DRAM scheduler submissions) is costed
-//!   alongside the head path.
+//!   alongside the head path;
+//! * `slot_cost_batch/*` — the same live workload through the fused
+//!   `step_batch` loops in 256-slot chunks, isolating what batching buys
+//!   over the per-slot `step` calls of `slot_cost_live`.
 //!
 //! The end-to-end number (engine + generators, wall-clock slots/sec) lives in
 //! `pktbuf-lab bench` / `BENCH_hotpath.json`; this bench isolates per-design
 //! `step()` cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pktbuf::{CfdsBuffer, DramOnlyBuffer, PacketBuffer, RadsBuffer};
+use pktbuf::{CfdsBuffer, DramOnlyBuffer, GrantSink, PacketBuffer, RadsBuffer};
 use pktbuf_model::{Cell, CfdsConfig, LineRate, LogicalQueueId, RadsConfig};
+use sim::GeneratorSource;
 use traffic::{preload_cells, AdversarialRoundRobin, RequestGenerator};
 
 fn rads_cfg(q: usize) -> RadsConfig {
@@ -92,6 +96,64 @@ fn bench_slot_cost_live(c: &mut Criterion) {
     group.finish();
 }
 
+/// Drives the same live workload as `drive_live` through `step_batch` in
+/// 256-slot chunks: the per-design cost of the fused batch loop, to compare
+/// against the per-slot `slot_cost_live` numbers.
+fn drive_live_batch<B: PacketBuffer>(buf: &mut B, mut requests: AdversarialRoundRobin, slots: u64) {
+    let q = buf.num_queues() as u64;
+    let mut seqs = vec![0u64; q as usize];
+    // The exact engine-side adapter, so the bench measures the production
+    // probe chain.
+    let mut source = GeneratorSource(&mut requests);
+    let mut sink = GrantSink::new(false);
+    let mut ring: Vec<Option<Cell>> = vec![None; 256];
+    let mut t = 0u64;
+    while t < slots {
+        let len = 256.min((slots - t) as usize);
+        let chunk = &mut ring[..len];
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            let at = t + i as u64;
+            *slot = if at.is_multiple_of(2) {
+                let qi = ((at / 2) % q) as usize;
+                let cell = Cell::new(LogicalQueueId::new(qi as u32), seqs[qi], at);
+                seqs[qi] += 1;
+                Some(cell)
+            } else {
+                None
+            };
+        }
+        buf.step_batch(chunk, &mut source, &mut sink);
+        t += len as u64;
+    }
+}
+
+fn bench_slot_cost_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slot_cost_batch");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for q in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("dram_only", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut buf = DramOnlyBuffer::new(rads_cfg(q));
+                drive_live_batch(&mut buf, AdversarialRoundRobin::new(q), 4_096);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rads", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut buf = RadsBuffer::new(rads_cfg(q));
+                drive_live_batch(&mut buf, AdversarialRoundRobin::new(q), 4_096);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cfds", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut buf = CfdsBuffer::new(cfds_cfg(q));
+                drive_live_batch(&mut buf, AdversarialRoundRobin::new(q), 4_096);
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_slot_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("slot_cost");
     group.sample_size(10);
@@ -128,5 +190,10 @@ fn bench_slot_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_slot_cost, bench_slot_cost_live);
+criterion_group!(
+    benches,
+    bench_slot_cost,
+    bench_slot_cost_live,
+    bench_slot_cost_batch
+);
 criterion_main!(benches);

@@ -64,14 +64,18 @@ USAGE:
     pktbuf-lab paper <ARTEFACT>                    regenerate a paper artefact
     pktbuf-lab spec                                print a template spec JSON
 
-BENCH FLAGS (all designs x all workloads; writes a machine-readable artifact):
+BENCH FLAGS (all designs x all workloads + drain/idle showcase points, both
+engines — chunked and per-slot — per point; fails if the chunked engine is
+slower than per-slot anywhere, beyond a fixed 10% same-run noise floor):
     --smoke                  short runs for CI (default: >= 1M slots per run)
     --out <FILE>             write the JSON artifact (default BENCH_hotpath.json)
     --no-out                 measure and print only, write nothing
     --repeat <N>             repeat the matrix N times, keep best-of-N per entry
     --before <FILE>          embed FILE as the 'before' section and compute speedups
     --compare <FILE>         fail on a slots/sec regression vs FILE
-    --max-regression <PCT>   regression tolerance for --compare (default 15)
+    --max-regression <PCT>   regression tolerance (default 15)
+    --tag <TAG>              append a trajectory entry (e.g. PR-4) carrying the
+                             previous artifact's history forward
 
 SPEC FLAGS (inline specs; every axis accepts 'v', 'v1,v2,…', 'a..b*factor', 'a..b+step'):
     --spec <FILE>            read the spec from a JSON file ('-' = stdin); other spec flags override it
@@ -135,6 +139,7 @@ fn bench_command(args: &[String]) -> Result<(), String> {
             "--no-out" => options.out = None,
             "--before" => options.before = Some(value("--before")?),
             "--compare" => options.compare = Some(value("--compare")?),
+            "--tag" => options.tag = Some(value("--tag")?),
             "--repeat" => {
                 let v = value("--repeat")?;
                 options.repeat = Some(

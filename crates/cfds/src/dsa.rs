@@ -34,12 +34,56 @@ pub enum DsaPolicy {
 }
 
 impl DsaPolicy {
-    /// Instantiates the policy.
+    /// Instantiates the policy behind a box (legacy form; the DSS itself
+    /// dispatches through [`DsaPolicy::instantiate_dispatch`]).
     pub fn instantiate(self) -> Box<dyn DramSchedulerAlgorithm + Send> {
         match self {
             DsaPolicy::OldestFirst => Box::new(OldestFirstDsa),
             DsaPolicy::FifoOnly => Box::new(FifoOnlyDsa),
             DsaPolicy::RandomEligible { seed } => Box::new(RandomEligibleDsa::new(seed)),
+        }
+    }
+
+    /// Instantiates the enum-dispatched form used on the DSS issue path.
+    pub fn instantiate_dispatch(self) -> DsaDispatch {
+        match self {
+            DsaPolicy::OldestFirst => DsaDispatch::OldestFirst(OldestFirstDsa),
+            DsaPolicy::FifoOnly => DsaDispatch::FifoOnly(FifoOnlyDsa),
+            DsaPolicy::RandomEligible { seed } => {
+                DsaDispatch::RandomEligible(RandomEligibleDsa::new(seed))
+            }
+        }
+    }
+}
+
+/// The DSA policies as a closed enum: `choose` runs twice per granularity
+/// period on the DSS issue path, where a three-way predicted branch beats a
+/// `Box<dyn>` vtable call.
+#[derive(Debug, Clone)]
+pub enum DsaDispatch {
+    /// See [`OldestFirstDsa`].
+    OldestFirst(OldestFirstDsa),
+    /// See [`FifoOnlyDsa`].
+    FifoOnly(FifoOnlyDsa),
+    /// See [`RandomEligibleDsa`].
+    RandomEligible(RandomEligibleDsa),
+}
+
+impl DramSchedulerAlgorithm for DsaDispatch {
+    #[inline]
+    fn choose(&mut self, rr: &RequestsRegister, orr: &OngoingRequestsRegister) -> Option<usize> {
+        match self {
+            DsaDispatch::OldestFirst(d) => d.choose(rr, orr),
+            DsaDispatch::FifoOnly(d) => d.choose(rr, orr),
+            DsaDispatch::RandomEligible(d) => d.choose(rr, orr),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            DsaDispatch::OldestFirst(d) => d.name(),
+            DsaDispatch::FifoOnly(d) => d.name(),
+            DsaDispatch::RandomEligible(d) => d.name(),
         }
     }
 }

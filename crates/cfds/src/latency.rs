@@ -41,6 +41,30 @@ impl LatencyRegister {
         self.slots.iter().filter(|r| r.is_some()).count()
     }
 
+    /// Fast-forwards the delay line by `slots` idle pushes at once: exactly
+    /// equivalent to calling [`LatencyRegister::push`]`(None)` `slots` times
+    /// while **no request is in flight**, but O(1). With an all-idle line,
+    /// pushes only rotate the ring cursor (and grow the fill length before
+    /// the line first fills); every stored entry is already `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if any request is in flight.
+    pub fn advance_idle(&mut self, slots: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        debug_assert_eq!(
+            self.in_flight(),
+            0,
+            "advance_idle on a latency register with requests in flight"
+        );
+        let fill = ((self.capacity - self.len) as u64).min(slots) as usize;
+        self.len += fill;
+        let remaining = slots - fill as u64;
+        self.head = (self.head + (remaining % self.capacity as u64) as usize) % self.capacity;
+    }
+
     /// Pushes the request leaving the lookahead this slot and returns the one
     /// that completed its extra delay (if the register is full).
     pub fn push(&mut self, request: Option<LogicalQueueId>) -> Option<LogicalQueueId> {

@@ -49,7 +49,9 @@ mod rr;
 mod scheduler;
 pub mod sizing;
 
-pub use dsa::{DramSchedulerAlgorithm, DsaPolicy, FifoOnlyDsa, OldestFirstDsa, RandomEligibleDsa};
+pub use dsa::{
+    DramSchedulerAlgorithm, DsaDispatch, DsaPolicy, FifoOnlyDsa, OldestFirstDsa, RandomEligibleDsa,
+};
 pub use latency::LatencyRegister;
 pub use orr::OngoingRequestsRegister;
 pub use renaming::{RenamingError, RenamingTable};

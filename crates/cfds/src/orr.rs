@@ -87,6 +87,17 @@ impl OngoingRequestsRegister {
         self.shift(None);
     }
 
+    /// Records `opportunities` consecutive idle issue opportunities at once:
+    /// exactly equivalent to that many [`OngoingRequestsRegister::record_idle`]
+    /// calls. After `capacity` idle opportunities the register is a fixed
+    /// point (all positions empty), so at most `capacity` shifts are applied
+    /// — O(window), independent of `opportunities`.
+    pub fn advance_idle(&mut self, opportunities: u64) {
+        for _ in 0..opportunities.min(self.capacity as u64) {
+            self.record_idle();
+        }
+    }
+
     /// Banks currently locked, oldest first.
     pub fn locked_banks(&self) -> Vec<BankId> {
         self.slots.iter().copied().flatten().collect()

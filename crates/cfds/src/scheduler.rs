@@ -1,6 +1,6 @@
 //! The DRAM Scheduler Subsystem (DSS).
 
-use crate::dsa::{DramSchedulerAlgorithm, DsaPolicy};
+use crate::dsa::{DramSchedulerAlgorithm, DsaDispatch, DsaPolicy};
 use crate::orr::OngoingRequestsRegister;
 use crate::rr::{RequestsRegister, RrEntry};
 use dram_sim::{AccessKind, AddressMapper, BankId, DramRequest};
@@ -63,7 +63,7 @@ impl DssStats {
 pub struct DramSchedulerSubsystem {
     rr: RequestsRegister,
     orr: OngoingRequestsRegister,
-    dsa: Box<dyn DramSchedulerAlgorithm + Send>,
+    dsa: DsaDispatch,
     mapper: AddressMapper,
     /// Next block ordinal a *read* of each physical queue will fetch.
     next_read_ordinal: Vec<u64>,
@@ -93,7 +93,7 @@ impl DramSchedulerSubsystem {
         DramSchedulerSubsystem {
             rr: RequestsRegister::new(),
             orr: OngoingRequestsRegister::new(banks_per_group.saturating_sub(1)),
-            dsa: policy.instantiate(),
+            dsa: policy.instantiate_dispatch(),
             mapper,
             next_read_ordinal: vec![0; nq],
             next_write_ordinal: vec![0; nq],
@@ -172,6 +172,22 @@ impl DramSchedulerSubsystem {
     /// Number of requests currently waiting in the RR.
     pub fn pending(&self) -> usize {
         self.rr.len()
+    }
+
+    /// Fast-forwards `opportunities` issue opportunities in which the RR is
+    /// empty: exactly equivalent to that many [`DramSchedulerSubsystem::issue`]
+    /// calls returning `None` (each of which only ages the ORR lock window —
+    /// an empty RR never counts a stall), but bounded O(lock window) work.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the RR is not empty.
+    pub fn advance_idle(&mut self, opportunities: u64) {
+        debug_assert!(
+            self.rr.is_empty(),
+            "advance_idle on a DSS with pending requests"
+        );
+        self.orr.advance_idle(opportunities);
     }
 
     /// Largest RR occupancy observed (to check equation (1) empirically).

@@ -1,16 +1,16 @@
 //! The CFDS (Conflict-Free DRAM System) buffer front end — the paper's
 //! contribution (§5, §6) assembled into a complete packet buffer.
 
-use crate::hotpath::{BlockPool, PendingTable, TailCellArena};
-use crate::hsram::HeadSramKind;
+use crate::hotpath::{countdown_after, periods_crossed, BlockPool, PendingTable, TailCellArena};
+use crate::hsram::{HeadSram, HeadSramKind};
 use crate::stats::BufferStats;
-use crate::traits::{PacketBuffer, SlotOutcome};
+use crate::traits::{BatchReport, GrantSink, PacketBuffer, RequestSource, SlotOutcome};
 use crate::verify::DeliveryVerifier;
 use cfds::{
     sizing as cfds_sizing, DramSchedulerSubsystem, DsaPolicy, LatencyRegister, RenamingTable,
 };
 use dram_sim::{AccessKind, AddressMapper, BankArray, DramStore, GroupId, InterleavingConfig};
-use mma::{HeadMmaPolicy, HeadMmaSubsystem, ThresholdTailMma};
+use mma::{EcqfMma, HeadMmaSubsystem, ThresholdTailMma};
 use pktbuf_model::{Cell, CfdsConfig, LogicalQueueId, PhysicalQueueId};
 use sram_buf::SharedBuffer;
 use std::collections::VecDeque;
@@ -57,7 +57,7 @@ pub struct CfdsBuffer {
     /// Slots until the next granularity period (avoids a division per slot;
     /// hits zero exactly when `slot % b == 0`).
     until_period: u64,
-    // Tail side: an SoA cell arena with per-queue FIFO chains and an
+    // Tail side: an intrusive cell arena with per-queue FIFO chains and an
     // incrementally maintained occupancy array (see [`crate::hotpath`]).
     tail: TailCellArena,
     tail_capacity: usize,
@@ -80,13 +80,18 @@ pub struct CfdsBuffer {
     read_tags: PendingTable<(LogicalQueueId, u64)>,
     /// Per-logical-queue count of read blocks submitted so far.
     read_blocks_submitted: Vec<u64>,
-    // Head side.
-    head_mma: HeadMmaSubsystem,
+    // Head side. The MMA policy and the SRAM organisation are concrete types
+    // (ECQF, a two-variant enum) so the per-slot notifications and the
+    // per-grant pop never cross a vtable.
+    head_mma: HeadMmaSubsystem<EcqfMma>,
     latency: LatencyRegister,
-    head_sram: Box<dyn SharedBuffer + Send>,
+    head_sram: HeadSram,
     pending_deliveries: VecDeque<PendingDelivery>,
     /// Cells written to DRAM minus requests accepted, per logical queue.
     available: Vec<u64>,
+    /// Σ `available` — O(1) emptiness probe for the batch loop and the
+    /// chunked engine's fast-forward check.
+    available_total: u64,
     verifier: DeliveryVerifier,
     stats: BufferStats,
 }
@@ -156,13 +161,14 @@ impl CfdsBuffer {
             group_pending: vec![0; cfg.num_groups()],
             read_tags: PendingTable::new(cfg.num_physical_queues()),
             read_blocks_submitted: vec![0; q],
-            head_mma: HeadMmaSubsystem::new(HeadMmaPolicy::Ecqf, b, lookahead, q),
+            head_mma: HeadMmaSubsystem::with_policy(EcqfMma::new(b), lookahead, q),
             latency: LatencyRegister::new(latency_slots),
             head_sram: options
                 .head_sram
-                .build(q, head_capacity, cfg.banks_per_group(), b),
+                .build_enum(q, head_capacity, cfg.banks_per_group(), b),
             pending_deliveries: VecDeque::new(),
             available: vec![0; q],
+            available_total: 0,
             verifier: DeliveryVerifier::new(q),
             stats: BufferStats::default(),
             cfg,
@@ -219,6 +225,7 @@ impl CfdsBuffer {
             "preload length must be a multiple of the granularity"
         );
         self.available[queue.as_usize()] += cells.len() as u64;
+        self.available_total += cells.len() as u64;
         for chunk in cells.chunks(b) {
             let preferred = self.store.groups_with_room();
             let store = &self.store;
@@ -246,6 +253,7 @@ impl CfdsBuffer {
         }
     }
 
+    #[inline]
     fn deliver_due(&mut self, now: u64) {
         while let Some(front) = self.pending_deliveries.front() {
             if front.deliver_slot > now {
@@ -263,6 +271,7 @@ impl CfdsBuffer {
         }
     }
 
+    #[inline]
     fn submit_writeback(&mut self, now: u64) {
         let b = self.cfg.granularity;
         // The arena tracks threshold crossings: when no queue holds a full
@@ -325,8 +334,10 @@ impl CfdsBuffer {
         self.pending_writes
             .insert(physical.index(), request.block_ordinal, cells);
         self.available[qi] += b as u64;
+        self.available_total += b as u64;
     }
 
+    #[inline]
     fn submit_replenishment(&mut self, now: u64) {
         let b = self.cfg.granularity;
         let Some(queue) = self.head_mma.select_replenishment() else {
@@ -350,6 +361,7 @@ impl CfdsBuffer {
         );
     }
 
+    #[inline]
     fn issue_opportunities(&mut self, now: u64) {
         let big_b = self.cfg.rads_granularity as u64;
         for _ in 0..2 {
@@ -451,7 +463,10 @@ impl PacketBuffer for CfdsBuffer {
         let due = if let Some(queue) = request {
             self.stats.requests += 1;
             let qi = queue.as_usize();
-            self.available[qi] = self.available[qi].saturating_sub(1);
+            if self.available[qi] > 0 {
+                self.available[qi] -= 1;
+                self.available_total -= 1;
+            }
             self.head_mma.on_request(Some(queue)).due
         } else {
             self.head_mma.on_request(None).due
@@ -509,6 +524,151 @@ impl PacketBuffer for CfdsBuffer {
 
     fn design_name(&self) -> &'static str {
         "CFDS"
+    }
+
+    /// Fused batch loop: same slot sequence as [`CfdsBuffer::step`], with the
+    /// per-slot invariants (granularity, the availability slice backing the
+    /// request oracle) hoisted out of the loop and no `SlotOutcome`
+    /// materialised per slot.
+    fn step_batch<R: RequestSource>(
+        &mut self,
+        arrivals: &mut [Option<Cell>],
+        requests: &mut R,
+        grants: &mut GrantSink,
+    ) -> BatchReport {
+        let b = self.cfg.granularity as u64;
+        let skippable = requests.idle_skippable();
+        let mut report = BatchReport::default();
+        // Slot-grained counters live in locals for the whole batch: the calls
+        // into the delivery/period machinery take `&mut self`, which would
+        // otherwise force every per-slot counter through memory each
+        // iteration. Flushed once after the loop.
+        let mut now = self.slot;
+        let mut until_period = self.until_period;
+        let mut delta = BufferStats::default();
+        let mut peak_tail = self.stats.peak_tail_sram_cells;
+        for arrival in arrivals.iter_mut() {
+            // The closed-loop request probe comes first, exactly as in the
+            // per-slot engine (the oracle observes the availability as of the
+            // end of the previous slot); it is the availability array itself,
+            // so the generator's scan is direct loads.
+            // When nothing is requestable anywhere, a skippable generator's
+            // Q-probe scan is provably fruitless and side-effect-free — skip
+            // it on the O(1) total instead.
+            let request = if skippable && self.available_total == 0 {
+                None
+            } else {
+                let available = &self.available;
+                requests.next_request(now, &|q: LogicalQueueId| available[q.as_usize()])
+            };
+            report.note(request.is_some());
+
+            // 1. Due deliveries reach the head SRAM.
+            if !self.pending_deliveries.is_empty() {
+                self.deliver_due(now);
+            }
+
+            // 2. Arrival into the tail SRAM.
+            if let Some(cell) = arrival.take() {
+                if self.tail.len() < self.tail_capacity {
+                    self.tail.push(cell);
+                    peak_tail = peak_tail.max(self.tail.len() as u64);
+                    delta.arrivals += 1;
+                } else {
+                    delta.drops += 1;
+                }
+            }
+
+            // 3. The request enters the head MMA.
+            let due = if let Some(queue) = request {
+                delta.requests += 1;
+                let qi = queue.as_usize();
+                if self.available[qi] > 0 {
+                    self.available[qi] -= 1;
+                    self.available_total -= 1;
+                }
+                self.head_mma.on_request(Some(queue)).due
+            } else {
+                self.head_mma.on_request(None).due
+            };
+            let emerged = self.latency.push(due);
+
+            // 4. MMA decisions and DSS issue opportunities every b slots.
+            if until_period == 0 {
+                until_period = b;
+                self.submit_writeback(now);
+                self.submit_replenishment(now);
+                self.issue_opportunities(now);
+            }
+            until_period -= 1;
+
+            // 5. Serve the request that completed the whole delay pipeline.
+            if let Some(queue) = emerged {
+                match self.head_sram.pop_front(queue) {
+                    Some(cell) => {
+                        if !self.verifier.check(queue, &cell) {
+                            delta.order_violations += 1;
+                        }
+                        delta.grants += 1;
+                        grants.push(queue.index());
+                    }
+                    None => {
+                        delta.misses += 1;
+                    }
+                }
+            }
+            now += 1;
+        }
+        self.slot = now;
+        self.until_period = until_period;
+        self.stats.slots += arrivals.len() as u64;
+        self.stats.peak_tail_sram_cells = peak_tail;
+        self.stats.arrivals += delta.arrivals;
+        self.stats.drops += delta.drops;
+        self.stats.requests += delta.requests;
+        self.stats.grants += delta.grants;
+        self.stats.misses += delta.misses;
+        self.stats.order_violations += delta.order_violations;
+        report
+    }
+
+    fn advance_idle(&mut self, slots: u64) {
+        if slots == 0 {
+            return;
+        }
+        if !self.is_quiescent() {
+            for _ in 0..slots {
+                self.step(None, None);
+            }
+            return;
+        }
+        // Quiescent: a skipped slot rotates the (all-idle) lookahead and
+        // latency registers, counts down the period and — at boundaries —
+        // finds nothing to write back (no eligible tail batch), nothing to
+        // replenish (ECQF with an empty pending set selects `None`) and an
+        // empty RR whose two issue opportunities only age the ORR lock
+        // window. All pure counter/cursor motion, applied arithmetically.
+        let b = self.cfg.granularity as u64;
+        debug_assert!(self.pending_writes.is_empty() && self.read_tags.is_empty());
+        self.slot += slots;
+        self.stats.slots += slots;
+        self.head_mma.advance_idle(slots);
+        self.latency.advance_idle(slots);
+        let periods = periods_crossed(self.until_period, slots, b);
+        self.dss.advance_idle(2 * periods);
+        self.until_period = countdown_after(self.until_period, slots, b);
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.pending_deliveries.is_empty()
+            && !self.tail.any_eligible()
+            && self.head_mma.lookahead().pending_len() == 0
+            && self.dss.pending() == 0
+            && self.latency.in_flight() == 0
+    }
+
+    fn requestable_total(&self) -> u64 {
+        self.available_total
     }
 }
 

@@ -5,11 +5,12 @@
 //! sat on the per-slot (or per-granularity-period) path of the buffer front
 //! ends:
 //!
-//! * [`TailCellArena`] — the tail SRAM as a structure-of-arrays slab
-//!   (queue id, sequence number, arrival slot and payload in parallel
-//!   columns) with intrusive per-queue FIFO chains and an incrementally
-//!   maintained occupancy array, replacing `Vec<VecDeque<Cell>>` plus the
-//!   per-period occupancy `collect()`.
+//! * [`TailCellArena`] — the tail SRAM as a fixed slab of cell records with
+//!   intrusive per-queue FIFO chains and an incrementally maintained
+//!   occupancy array, replacing `Vec<VecDeque<Cell>>` plus the per-period
+//!   occupancy `collect()`. Slots are stored record-contiguous: every access
+//!   is full-record, so one cache line per cell beats the
+//!   one-line-per-column cost of a columnar split.
 //! * [`BlockPool`] — a free list of `b`-cell block buffers so the
 //!   tail → DRAM → head-SRAM block cycle recycles the same allocations
 //!   forever instead of allocating and dropping a `Vec<Cell>` per transfer.
@@ -28,21 +29,51 @@ use pktbuf_model::{Cell, CellPayload, LogicalQueueId};
 
 const NIL: u32 = u32::MAX;
 
-/// The tail SRAM as a fixed-capacity structure-of-arrays slab.
+/// Fast-forwards a period countdown by `slots` steps. The per-slot update is
+/// `if u == 0 { u = period; /* period ops */ } u -= 1`, i.e. a cyclic
+/// decrement over `[0, period)`; `slots` such steps land on
+/// `(u - slots) mod period`.
+pub(crate) fn countdown_after(until_period: u64, slots: u64, period: u64) -> u64 {
+    debug_assert!(until_period < period);
+    (until_period + period - (slots % period)) % period
+}
+
+/// How many of the next `slots` steps of the countdown above start with
+/// `u == 0` — i.e. how many granularity-period boundaries the fast-forward
+/// crosses. The first boundary is `until_period` steps away, then one every
+/// `period`.
+pub(crate) fn periods_crossed(until_period: u64, slots: u64, period: u64) -> u64 {
+    debug_assert!(until_period < period);
+    if slots > until_period {
+        (slots - until_period - 1) / period + 1
+    } else {
+        0
+    }
+}
+
+/// One arena slot: a cell's fields plus its intrusive chain link, stored
+/// contiguously so a push or pop touches one cache line of cell state
+/// instead of one line per column. (The arena is accessed exclusively
+/// full-record — there is no columnar scan that would favour a
+/// structure-of-arrays split.)
+#[derive(Debug)]
+struct ArenaSlot {
+    /// Next slot in the same queue's FIFO chain (or the free list).
+    next: u32,
+    queue: u32,
+    seq: u64,
+    arrival: u64,
+    payload: CellPayload,
+}
+
+/// The tail SRAM as a fixed-capacity slab of cell records.
 ///
-/// Cells live in parallel columns (`queue`, `seq`, `arrival`, `payload`) and
-/// are chained into per-queue FIFOs through the `next` column; free slots
-/// form an intrusive free list. Capacity equals the tail-SRAM capacity in
-/// cells, so the arena never grows after construction.
+/// Cells are chained into per-queue FIFOs through the intrusive `next` link;
+/// free slots form an intrusive free list. Capacity equals the tail-SRAM
+/// capacity in cells, so the arena never grows after construction.
 #[derive(Debug)]
 pub struct TailCellArena {
-    // SoA columns, one entry per SRAM cell slot.
-    queue: Vec<u32>,
-    seq: Vec<u64>,
-    arrival: Vec<u64>,
-    payload: Vec<CellPayload>,
-    /// Next slot in the same queue's FIFO chain (or the free list).
-    next: Vec<u32>,
+    slots: Vec<ArenaSlot>,
     /// Per-queue FIFO head slot.
     head: Vec<u32>,
     /// Per-queue FIFO tail slot.
@@ -71,16 +102,17 @@ impl TailCellArena {
     /// count.
     pub fn new(num_queues: usize, capacity: usize, threshold: usize) -> Self {
         let capacity = capacity.min(NIL as usize - 1);
-        let mut next = Vec::with_capacity(capacity);
-        for i in 0..capacity {
-            next.push(if i + 1 < capacity { i as u32 + 1 } else { NIL });
-        }
+        let slots = (0..capacity)
+            .map(|i| ArenaSlot {
+                next: if i + 1 < capacity { i as u32 + 1 } else { NIL },
+                queue: 0,
+                seq: 0,
+                arrival: 0,
+                payload: CellPayload::empty(),
+            })
+            .collect();
         TailCellArena {
-            queue: vec![0; capacity],
-            seq: vec![0; capacity],
-            arrival: vec![0; capacity],
-            payload: (0..capacity).map(|_| CellPayload::empty()).collect(),
-            next,
+            slots,
             head: vec![NIL; num_queues],
             tail: vec![NIL; num_queues],
             occupancy: vec![0; num_queues],
@@ -135,19 +167,19 @@ impl TailCellArena {
     pub fn push(&mut self, cell: Cell) {
         let slot = self.free_head;
         assert!(slot != NIL, "tail arena overflow");
-        self.free_head = self.next[slot as usize];
         let (queue, seq, arrival, payload) = cell.into_parts();
         let qi = queue.as_usize();
-        let s = slot as usize;
-        self.queue[s] = queue.index();
-        self.seq[s] = seq;
-        self.arrival[s] = arrival;
-        self.payload[s] = payload;
-        self.next[s] = NIL;
+        let entry = &mut self.slots[slot as usize];
+        self.free_head = entry.next;
+        entry.queue = queue.index();
+        entry.seq = seq;
+        entry.arrival = arrival;
+        entry.payload = payload;
+        entry.next = NIL;
         if self.tail[qi] == NIL {
             self.head[qi] = slot;
         } else {
-            self.next[self.tail[qi] as usize] = slot;
+            self.slots[self.tail[qi] as usize].next = slot;
         }
         self.tail[qi] = slot;
         self.occupancy[qi] += 1;
@@ -165,19 +197,19 @@ impl TailCellArena {
         if slot == NIL {
             return None;
         }
-        let s = slot as usize;
-        self.head[qi] = self.next[s];
+        let entry = &mut self.slots[slot as usize];
+        self.head[qi] = entry.next;
         if self.head[qi] == NIL {
             self.tail[qi] = NIL;
         }
-        let payload = std::mem::take(&mut self.payload[s]);
+        let payload = std::mem::take(&mut entry.payload);
         let cell = Cell::with_payload(
-            LogicalQueueId::new(self.queue[s]),
-            self.seq[s],
-            self.arrival[s],
+            LogicalQueueId::new(entry.queue),
+            entry.seq,
+            entry.arrival,
             payload,
         );
-        self.next[s] = self.free_head;
+        entry.next = self.free_head;
         self.free_head = slot;
         if self.occupancy[qi] == self.threshold {
             self.eligible -= 1;
@@ -379,6 +411,33 @@ mod tests {
 
     fn lq(i: u32) -> LogicalQueueId {
         LogicalQueueId::new(i)
+    }
+
+    #[test]
+    fn countdown_helpers_match_the_stepped_loop() {
+        for period in [1u64, 2, 4, 7] {
+            for start in 0..period {
+                let mut u = start;
+                let mut crossings = 0;
+                for n in 0..=3 * period + 2 {
+                    assert_eq!(
+                        countdown_after(start, n, period),
+                        u,
+                        "countdown start={start} n={n} period={period}"
+                    );
+                    assert_eq!(
+                        periods_crossed(start, n, period),
+                        crossings,
+                        "crossings start={start} n={n} period={period}"
+                    );
+                    if u == 0 {
+                        u = period;
+                        crossings += 1;
+                    }
+                    u -= 1;
+                }
+            }
+        }
     }
 
     #[test]

@@ -30,22 +30,114 @@ impl HeadSramKind {
         lanes: usize,
         cells_per_block: usize,
     ) -> Box<dyn SharedBuffer + Send> {
+        match self.build_enum(num_queues, capacity_cells, lanes, cells_per_block) {
+            HeadSram::Cam(buffer) => Box::new(buffer),
+            HeadSram::LinkedList(buffer) => Box::new(buffer),
+        }
+    }
+
+    /// Builds the enum-dispatched form used inside the buffer front ends.
+    pub(crate) fn build_enum(
+        self,
+        num_queues: usize,
+        capacity_cells: usize,
+        lanes: usize,
+        cells_per_block: usize,
+    ) -> HeadSram {
         match self {
-            HeadSramKind::GlobalCam => Box::new(GlobalCamBuffer::with_block_size(
+            HeadSramKind::GlobalCam => HeadSram::Cam(GlobalCamBuffer::with_block_size(
                 num_queues,
                 capacity_cells,
                 cells_per_block,
             )),
-            HeadSramKind::UnifiedLinkedList => Box::new(UnifiedLinkedListBuffer::with_lanes(
-                num_queues,
-                // The linked list is a direct-mapped array and must be
-                // allocated up front; cap the functional capacity at 2^20
-                // cells (far above any analytical bound used in practice).
-                capacity_cells.min(1 << 20),
-                lanes,
-                cells_per_block,
-            )),
+            HeadSramKind::UnifiedLinkedList => {
+                HeadSram::LinkedList(UnifiedLinkedListBuffer::with_lanes(
+                    num_queues,
+                    // The linked list is a direct-mapped array and must be
+                    // allocated up front; cap the functional capacity at 2^20
+                    // cells (far above any analytical bound used in practice).
+                    capacity_cells.min(1 << 20),
+                    lanes,
+                    cells_per_block,
+                ))
+            }
         }
+    }
+}
+
+/// The head SRAM of a buffer front end, dispatched by enum instead of through
+/// a `Box<dyn SharedBuffer>`: `pop_front` sits on the per-grant hot path and
+/// `insert_block_cells` on the per-delivery path, and a two-variant match is
+/// a perfectly predicted branch where a vtable call is an optimization
+/// barrier inside the fused batch loops.
+#[derive(Debug)]
+pub(crate) enum HeadSram {
+    /// Fully associative (queue, order)-tagged store.
+    Cam(sram_buf::GlobalCamBuffer),
+    /// Direct-mapped linked lists, one lane per bank of a group.
+    LinkedList(sram_buf::UnifiedLinkedListBuffer),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $buffer:ident => $body:expr) => {
+        match $self {
+            HeadSram::Cam($buffer) => $body,
+            HeadSram::LinkedList($buffer) => $body,
+        }
+    };
+}
+
+impl SharedBuffer for HeadSram {
+    fn insert_block(
+        &mut self,
+        queue: pktbuf_model::LogicalQueueId,
+        ordinal: u64,
+        cells: Vec<pktbuf_model::Cell>,
+    ) -> Result<(), sram_buf::BufferError> {
+        dispatch!(self, b => b.insert_block(queue, ordinal, cells))
+    }
+
+    fn insert_block_cells(
+        &mut self,
+        queue: pktbuf_model::LogicalQueueId,
+        ordinal: u64,
+        cells: &[pktbuf_model::Cell],
+    ) -> Result<(), sram_buf::BufferError> {
+        dispatch!(self, b => b.insert_block_cells(queue, ordinal, cells))
+    }
+
+    fn push_cell(
+        &mut self,
+        queue: pktbuf_model::LogicalQueueId,
+        cell: pktbuf_model::Cell,
+    ) -> Result<(), sram_buf::BufferError> {
+        dispatch!(self, b => b.push_cell(queue, cell))
+    }
+
+    #[inline]
+    fn pop_front(&mut self, queue: pktbuf_model::LogicalQueueId) -> Option<pktbuf_model::Cell> {
+        dispatch!(self, b => b.pop_front(queue))
+    }
+
+    #[inline]
+    fn available(&self, queue: pktbuf_model::LogicalQueueId) -> usize {
+        dispatch!(self, b => b.available(queue))
+    }
+
+    fn occupancy(&self) -> usize {
+        dispatch!(self, b => b.occupancy())
+    }
+
+    fn capacity(&self) -> usize {
+        dispatch!(self, b => b.capacity())
+    }
+
+    fn peak_occupancy(&self) -> usize {
+        dispatch!(self, b => b.peak_occupancy())
+    }
+
+    fn num_queues(&self) -> usize {
+        dispatch!(self, b => b.num_queues())
     }
 }
 

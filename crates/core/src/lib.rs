@@ -22,7 +22,7 @@
 //! built-in [`DeliveryVerifier`].
 //!
 //! The slot loop of every buffer is allocation-free in steady state: the tail
-//! SRAM is a structure-of-arrays cell arena, in-flight DRAM requests live in
+//! SRAM is an intrusive fixed-slab cell arena, in-flight DRAM requests live in
 //! dense index-addressed tables, and block buffers are recycled through a
 //! pool — see the [`hotpath`] module for the building blocks and the layout
 //! rationale.
@@ -82,5 +82,5 @@ pub use dram_only::DramOnlyBuffer;
 pub use hsram::HeadSramKind;
 pub use rads::RadsBuffer;
 pub use stats::BufferStats;
-pub use traits::{PacketBuffer, SlotOutcome};
+pub use traits::{BatchReport, GrantSink, PacketBuffer, RequestSource, SlotOutcome};
 pub use verify::DeliveryVerifier;

@@ -1,14 +1,14 @@
 //! The RADS (Random Access DRAM System) buffer front end — the baseline of
 //! §3, i.e. the hybrid SRAM/DRAM design of Iyer, Kompella and McKeown.
 
-use crate::hotpath::{BlockPool, TailCellArena};
-use crate::hsram::HeadSramKind;
+use crate::hotpath::{countdown_after, BlockPool, TailCellArena};
+use crate::hsram::{HeadSram, HeadSramKind};
 use crate::stats::BufferStats;
-use crate::traits::{PacketBuffer, SlotOutcome};
+use crate::traits::{BatchReport, GrantSink, PacketBuffer, RequestSource, SlotOutcome};
 use crate::verify::DeliveryVerifier;
 use dram_sim::{AddressMapper, DramStore, InterleavingConfig};
 use mma::sizing::rads_sram_size_cells;
-use mma::{HeadMmaPolicy, HeadMmaSubsystem, ThresholdTailMma};
+use mma::{EcqfMma, HeadMmaSubsystem, ThresholdTailMma};
 use pktbuf_model::{Cell, LogicalQueueId, PhysicalQueueId, RadsConfig};
 use sram_buf::SharedBuffer;
 use std::collections::VecDeque;
@@ -30,7 +30,7 @@ pub struct RadsBuffer {
     /// Slots until the next granularity period (avoids a division per slot;
     /// hits zero exactly when `slot % B == 0`).
     until_period: u64,
-    // Tail side: an SoA cell arena with per-queue FIFO chains and an
+    // Tail side: an intrusive cell arena with per-queue FIFO chains and an
     // incrementally maintained occupancy array (see [`crate::hotpath`]).
     tail: TailCellArena,
     tail_capacity: usize,
@@ -39,14 +39,19 @@ pub struct RadsBuffer {
     pool: BlockPool,
     // DRAM.
     dram: DramStore,
-    // Head side.
-    head_mma: HeadMmaSubsystem,
-    head_sram: Box<dyn SharedBuffer + Send>,
+    // Head side. The MMA policy and the SRAM organisation are concrete types
+    // (ECQF, a two-variant enum) so the per-slot notifications and the
+    // per-grant pop never cross a vtable.
+    head_mma: HeadMmaSubsystem<EcqfMma>,
+    head_sram: HeadSram,
     pending_deliveries: VecDeque<PendingDelivery>,
     /// Per-queue index of the next block read from DRAM toward the head SRAM.
     head_block_seq: Vec<u64>,
     /// Cells written to DRAM minus requests accepted, per queue.
     available: Vec<u64>,
+    /// Σ `available` — O(1) emptiness probe for the batch loop and the
+    /// chunked engine's fast-forward check.
+    available_total: u64,
     verifier: DeliveryVerifier,
     stats: BufferStats,
 }
@@ -100,11 +105,12 @@ impl RadsBuffer {
             tail_mma: ThresholdTailMma::new(b),
             pool: BlockPool::new(),
             dram,
-            head_mma: HeadMmaSubsystem::new(HeadMmaPolicy::Ecqf, b, lookahead, q),
-            head_sram: kind.build(q, head_capacity, 1, b),
+            head_mma: HeadMmaSubsystem::with_policy(EcqfMma::new(b), lookahead, q),
+            head_sram: kind.build_enum(q, head_capacity, 1, b),
             pending_deliveries: VecDeque::new(),
             head_block_seq: vec![0; q],
             available: vec![0; q],
+            available_total: 0,
             verifier: DeliveryVerifier::new(q),
             stats: BufferStats::default(),
             cfg,
@@ -130,6 +136,7 @@ impl RadsBuffer {
             "preload length must be a multiple of the granularity"
         );
         self.available[queue.as_usize()] += cells.len() as u64;
+        self.available_total += cells.len() as u64;
         let physical = PhysicalQueueId::new(queue.index());
         for chunk in cells.chunks(b) {
             self.dram
@@ -152,6 +159,7 @@ impl RadsBuffer {
         )
     }
 
+    #[inline]
     fn deliver_due(&mut self, now: u64) {
         while let Some(front) = self.pending_deliveries.front() {
             if front.deliver_slot > now {
@@ -169,6 +177,7 @@ impl RadsBuffer {
         }
     }
 
+    #[inline]
     fn dram_period_ops(&mut self, now: u64) {
         let b = self.cfg.granularity;
         // Writeback: tail SRAM → DRAM (occupancies are maintained by the
@@ -189,6 +198,7 @@ impl RadsBuffer {
                 .write_block(physical, cells)
                 .expect("unbounded RADS DRAM accepts writebacks");
             self.available[qi] += b as u64;
+            self.available_total += b as u64;
             self.stats.dram_writes += 1;
         }
         // Replenishment: DRAM → head SRAM, delivered one random access time
@@ -249,7 +259,10 @@ impl PacketBuffer for RadsBuffer {
         if let Some(queue) = request {
             self.stats.requests += 1;
             let qi = queue.as_usize();
-            self.available[qi] = self.available[qi].saturating_sub(1);
+            if self.available[qi] > 0 {
+                self.available[qi] -= 1;
+                self.available_total -= 1;
+            }
             due = self.head_mma.on_request(Some(queue)).due;
         } else {
             due = self.head_mma.on_request(None).due.or(due);
@@ -303,6 +316,141 @@ impl PacketBuffer for RadsBuffer {
 
     fn design_name(&self) -> &'static str {
         "RADS"
+    }
+
+    /// Fused batch loop: same slot sequence as [`RadsBuffer::step`], with the
+    /// per-slot invariants (granularity, the availability slice backing the
+    /// request oracle) hoisted out of the loop and no `SlotOutcome`
+    /// materialised per slot.
+    fn step_batch<R: RequestSource>(
+        &mut self,
+        arrivals: &mut [Option<Cell>],
+        requests: &mut R,
+        grants: &mut GrantSink,
+    ) -> BatchReport {
+        let b = self.cfg.granularity as u64;
+        let skippable = requests.idle_skippable();
+        let mut report = BatchReport::default();
+        // Slot-grained counters live in locals for the whole batch: the calls
+        // into the delivery/period machinery take `&mut self`, which would
+        // otherwise force every per-slot counter through memory each
+        // iteration. Flushed once after the loop.
+        let mut now = self.slot;
+        let mut until_period = self.until_period;
+        let mut delta = BufferStats::default();
+        let mut peak_tail = self.stats.peak_tail_sram_cells;
+        for arrival in arrivals.iter_mut() {
+            // The closed-loop request probe comes first, exactly as in the
+            // per-slot engine (the oracle observes the availability as of the
+            // end of the previous slot); it is the availability array itself,
+            // so the generator's scan is direct loads.
+            // When nothing is requestable anywhere, a skippable generator's
+            // Q-probe scan is provably fruitless and side-effect-free — skip
+            // it on the O(1) total instead.
+            let request = if skippable && self.available_total == 0 {
+                None
+            } else {
+                let available = &self.available;
+                requests.next_request(now, &|q: LogicalQueueId| available[q.as_usize()])
+            };
+            report.note(request.is_some());
+
+            // 1. Due deliveries reach the head SRAM.
+            if !self.pending_deliveries.is_empty() {
+                self.deliver_due(now);
+            }
+
+            // 2. Arrival into the tail SRAM.
+            if let Some(cell) = arrival.take() {
+                if self.tail.len() < self.tail_capacity {
+                    self.tail.push(cell);
+                    peak_tail = peak_tail.max(self.tail.len() as u64);
+                    delta.arrivals += 1;
+                } else {
+                    delta.drops += 1;
+                }
+            }
+
+            // 3. The request enters the head MMA.
+            let due = if let Some(queue) = request {
+                delta.requests += 1;
+                let qi = queue.as_usize();
+                if self.available[qi] > 0 {
+                    self.available[qi] -= 1;
+                    self.available_total -= 1;
+                }
+                self.head_mma.on_request(Some(queue)).due
+            } else {
+                self.head_mma.on_request(None).due
+            };
+
+            // 4. DRAM period ops every B slots.
+            if until_period == 0 {
+                until_period = b;
+                self.dram_period_ops(now);
+            }
+            until_period -= 1;
+
+            // 5. Serve the due request.
+            if let Some(queue) = due {
+                match self.head_sram.pop_front(queue) {
+                    Some(cell) => {
+                        if !self.verifier.check(queue, &cell) {
+                            delta.order_violations += 1;
+                        }
+                        delta.grants += 1;
+                        grants.push(queue.index());
+                    }
+                    None => {
+                        delta.misses += 1;
+                    }
+                }
+            }
+            now += 1;
+        }
+        self.slot = now;
+        self.until_period = until_period;
+        self.stats.slots += arrivals.len() as u64;
+        self.stats.peak_tail_sram_cells = peak_tail;
+        self.stats.arrivals += delta.arrivals;
+        self.stats.drops += delta.drops;
+        self.stats.requests += delta.requests;
+        self.stats.grants += delta.grants;
+        self.stats.misses += delta.misses;
+        self.stats.order_violations += delta.order_violations;
+        report
+    }
+
+    fn advance_idle(&mut self, slots: u64) {
+        if slots == 0 {
+            return;
+        }
+        if !self.is_quiescent() {
+            for _ in 0..slots {
+                self.step(None, None);
+            }
+            return;
+        }
+        // Quiescent: every skipped slot would only rotate the (all-idle)
+        // lookahead, count down the period, and — at period boundaries — run
+        // `dram_period_ops` with nothing eligible to write back and nothing
+        // critical to replenish (ECQF selects `None` with an empty pending
+        // set). All of that is pure counter/cursor motion, applied here
+        // arithmetically.
+        self.slot += slots;
+        self.stats.slots += slots;
+        self.head_mma.advance_idle(slots);
+        self.until_period = countdown_after(self.until_period, slots, self.cfg.granularity as u64);
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.pending_deliveries.is_empty()
+            && !self.tail.any_eligible()
+            && self.head_mma.lookahead().pending_len() == 0
+    }
+
+    fn requestable_total(&self) -> u64 {
+        self.available_total
     }
 }
 

@@ -22,6 +22,99 @@ impl SlotOutcome {
     }
 }
 
+/// A closed-loop source of arbiter requests driven by the buffer's own
+/// availability, consumed by [`PacketBuffer::step_batch`].
+///
+/// This mirrors the request-generator interface of the `traffic` crate with a
+/// *generic* oracle: inside a fused batch loop the oracle is the buffer's own
+/// availability array, so the whole probe sequence monomorphizes to direct
+/// array reads. (`sim` adapts `traffic::RequestGenerator` to this trait; the
+/// indirection keeps `pktbuf` independent of the workload crate.)
+pub trait RequestSource {
+    /// Returns the queue requested at `slot`, if any. `requestable` reports
+    /// how many further cells of a queue the arbiter may request; sources
+    /// must not request a queue whose count is zero.
+    fn next_request<F>(&mut self, slot: u64, requestable: &F) -> Option<LogicalQueueId>
+    where
+        F: Fn(LogicalQueueId) -> u64 + ?Sized;
+
+    /// Whether a call that returns `None` because no queue is requestable
+    /// leaves the source bit-identical (see
+    /// `traffic::RequestGenerator::idle_skippable`).
+    fn idle_skippable(&self) -> bool {
+        false
+    }
+}
+
+/// Collects the grants of a batch of slots (the queue index of every granted
+/// cell, in grant order) for [`PacketBuffer::step_batch`].
+///
+/// Recording is optional: a disabled sink makes `push` a no-op so the fused
+/// batch loops pay a single predictable branch per grant.
+#[derive(Debug, Default)]
+pub struct GrantSink {
+    log: Option<Vec<u32>>,
+}
+
+impl GrantSink {
+    /// Creates a sink; `record` enables grant logging.
+    pub fn new(record: bool) -> Self {
+        GrantSink {
+            log: record.then(Vec::new),
+        }
+    }
+
+    /// Records one granted cell's queue index (no-op when not recording).
+    #[inline]
+    pub fn push(&mut self, queue_index: u32) {
+        if let Some(log) = &mut self.log {
+            log.push(queue_index);
+        }
+    }
+
+    /// Number of grants recorded so far (0 when not recording).
+    pub fn recorded(&self) -> usize {
+        self.log.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Whether this sink records grants.
+    pub fn is_recording(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// Consumes the sink, returning the recorded log (`None` when recording
+    /// was disabled).
+    pub fn into_log(self) -> Option<Vec<u32>> {
+        self.log
+    }
+}
+
+/// What a batch of slots observed, as far as the *request* stream is
+/// concerned. The chunked engine uses this to reproduce the per-slot drain
+/// termination rule ("stop after `flush + 1` consecutive request-less slots")
+/// without observing each slot individually.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Slots in the batch whose request source produced a request.
+    pub requests: u64,
+    /// Consecutive request-less slots at the *end* of the batch (equals the
+    /// batch length when `requests == 0`).
+    pub trailing_requestless: u64,
+}
+
+impl BatchReport {
+    /// Accounts one slot's request outcome.
+    #[inline]
+    pub fn note(&mut self, requested: bool) {
+        if requested {
+            self.requests += 1;
+            self.trailing_requestless = 0;
+        } else {
+            self.trailing_requestless += 1;
+        }
+    }
+}
+
 /// A slot-synchronous packet-buffer memory system.
 ///
 /// One call to [`PacketBuffer::step`] advances the buffer by one time slot: at
@@ -58,6 +151,76 @@ pub trait PacketBuffer {
 
     /// Human-readable name of the design ("RADS", "CFDS", …).
     fn design_name(&self) -> &'static str;
+
+    /// Advances the buffer by a whole batch of slots in one call.
+    ///
+    /// Entry `i` of `arrivals` is the arrival of the `i`-th slot (taken out of
+    /// the slice, so the caller's ring can be refilled); `requests` is probed
+    /// once per slot exactly as the per-slot engine would; every granted
+    /// cell's queue is pushed into `grants`.
+    ///
+    /// The default implementation is the per-slot reference: it loops over
+    /// [`PacketBuffer::step`]. The buffer designs override it with fused
+    /// loops that hoist per-slot invariant loads (configuration, ring bases,
+    /// the availability array backing the request oracle) out of the loop —
+    /// with **identical observable behaviour**, which the differential suite
+    /// in `sim` pins down.
+    fn step_batch<R: RequestSource>(
+        &mut self,
+        arrivals: &mut [Option<Cell>],
+        requests: &mut R,
+        grants: &mut GrantSink,
+    ) -> BatchReport
+    where
+        Self: Sized,
+    {
+        let mut report = BatchReport::default();
+        for arrival in arrivals.iter_mut() {
+            let slot = self.current_slot();
+            let request =
+                requests.next_request(slot, &|q: LogicalQueueId| self.requestable_cells(q));
+            report.note(request.is_some());
+            let outcome = self.step(arrival.take(), request);
+            if let Some(cell) = &outcome.granted {
+                grants.push(cell.queue().index());
+            }
+        }
+        report
+    }
+
+    /// Advances the buffer by `slots` slots in which neither an arrival nor a
+    /// request occurs: exactly equivalent to `slots` calls of
+    /// [`PacketBuffer::step`]`(None, None)`.
+    ///
+    /// The default implementation is that loop. Designs override it with an
+    /// O(1) arithmetic fast-forward that is taken when the buffer
+    /// [`PacketBuffer::is_quiescent`] — the chunked engine uses this to
+    /// collapse drain tails and idle stretches.
+    fn advance_idle(&mut self, slots: u64) {
+        for _ in 0..slots {
+            self.step(None, None);
+        }
+    }
+
+    /// Whether an idle slot (`step(None, None)`) provably changes nothing
+    /// except the slot counters: no block in flight to the head SRAM, no
+    /// writeback-eligible tail batch, no request pending anywhere in the
+    /// head pipeline, no DRAM access outstanding. In this state the set of
+    /// requestable cells is frozen, so a contract-abiding request generator
+    /// returns `None` forever until the next arrival.
+    ///
+    /// `false` is always a safe answer; the default returns `false`.
+    fn is_quiescent(&self) -> bool {
+        false
+    }
+
+    /// Total requestable cells over all queues
+    /// (Σ [`PacketBuffer::requestable_cells`]).
+    fn requestable_total(&self) -> u64 {
+        (0..self.num_queues() as u32)
+            .map(|q| self.requestable_cells(LogicalQueueId::new(q)))
+            .sum()
+    }
 }
 
 #[cfg(test)]

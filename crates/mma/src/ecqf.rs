@@ -41,6 +41,12 @@ pub struct EcqfMma {
     /// Change notifications only append here (a few entries per granularity
     /// period); the leaves are refreshed lazily at selection time.
     dirty: Vec<u32>,
+    /// Bitmask mirror of `dirty` (bit `q % 64` of word `q / 64`): the same
+    /// queue is typically touched several times per granularity period (a
+    /// request pushed, one due, a replenishment credited), and deduplicating
+    /// at notification time keeps the per-select leaf refresh at one
+    /// `critical_position` probe per *distinct* queue.
+    dirty_mask: Vec<u64>,
 }
 
 /// Sentinel for "this queue has no critical request in the lookahead".
@@ -54,6 +60,7 @@ impl EcqfMma {
             tree: Vec::new(),
             leaves: 0,
             dirty: Vec::new(),
+            dirty_mask: Vec::new(),
         }
     }
 
@@ -154,6 +161,7 @@ impl HeadMma for EcqfMma {
         }
         self.ensure_leaves(counters.num_queues());
         while let Some(qi) = self.dirty.pop() {
+            self.dirty_mask[qi as usize / 64] &= !(1 << (qi % 64));
             let qi = qi as usize;
             self.set_leaf(qi, Self::critical_position(counters, lookahead, qi));
         }
@@ -181,8 +189,18 @@ impl HeadMma for EcqfMma {
         _lookahead: &LookaheadRegister,
     ) {
         // Defer the leaf refresh to selection time: notifications arrive every
-        // slot, selections once per granularity period.
-        self.dirty.push(queue.index());
+        // slot, selections once per granularity period. A queue already
+        // marked dirty needs no second entry.
+        let qi = queue.index();
+        let word = qi as usize / 64;
+        if word >= self.dirty_mask.len() {
+            self.dirty_mask.resize(word + 1, 0);
+        }
+        let bit = 1u64 << (qi % 64);
+        if self.dirty_mask[word] & bit == 0 {
+            self.dirty_mask[word] |= bit;
+            self.dirty.push(qi);
+        }
     }
 }
 

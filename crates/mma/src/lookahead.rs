@@ -202,6 +202,31 @@ impl LookaheadRegister {
         shifted
     }
 
+    /// Fast-forwards the register by `slots` idle pushes at once: exactly
+    /// equivalent to calling [`LookaheadRegister::push`]`(None)` `slots`
+    /// times, but O(1).
+    ///
+    /// Only legal while the register holds **no pending requests** — then
+    /// every stored entry is an idle slot, so pushing more idle slots only
+    /// moves the ring cursor (and, before the register first fills, its
+    /// length); the untouched storage is already all-`None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if any request is pending.
+    pub fn advance_idle(&mut self, slots: u64) {
+        debug_assert_eq!(
+            self.pending, 0,
+            "advance_idle on a lookahead with pending requests"
+        );
+        self.pushed = self.pushed.wrapping_add(slots);
+        let capacity = self.slots.slots.len();
+        let fill = ((capacity - self.slots.len) as u64).min(slots) as usize;
+        self.slots.len += fill;
+        let remaining = slots - fill as u64;
+        self.slots.head = (self.slots.head + (remaining % capacity as u64) as usize) % capacity;
+    }
+
     /// The request at the head (the next to be granted), if the register is
     /// non-empty.
     pub fn head(&self) -> Option<Option<LogicalQueueId>> {

@@ -20,13 +20,20 @@ pub struct MmaEvent {
 /// The owner drives it with one [`HeadMmaSubsystem::on_request`] call per slot
 /// and one [`HeadMmaSubsystem::select_replenishment`] call every granularity
 /// period.
-pub struct HeadMmaSubsystem {
+///
+/// The subsystem is generic over the policy type: the default parameter keeps
+/// the type-erased `Box<dyn HeadMma>` form that [`HeadMmaSubsystem::new`]
+/// constructs from the [`HeadMmaPolicy`] enum, while
+/// [`HeadMmaSubsystem::with_policy`] takes a concrete policy so the buffer
+/// front ends monomorphize the per-slot `note_queue_changed` notifications
+/// (called once or twice every slot) instead of paying virtual dispatch.
+pub struct HeadMmaSubsystem<P: HeadMma + Send = Box<dyn HeadMma + Send>> {
     lookahead: LookaheadRegister,
     counters: OccupancyCounters,
-    policy: Box<dyn HeadMma + Send>,
+    policy: P,
 }
 
-impl std::fmt::Debug for HeadMmaSubsystem {
+impl<P: HeadMma + Send> std::fmt::Debug for HeadMmaSubsystem<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HeadMmaSubsystem")
             .field("policy", &self.policy.name())
@@ -46,10 +53,18 @@ impl HeadMmaSubsystem {
         lookahead: usize,
         num_queues: usize,
     ) -> Self {
+        HeadMmaSubsystem::with_policy(policy.instantiate(granularity), lookahead, num_queues)
+    }
+}
+
+impl<P: HeadMma + Send> HeadMmaSubsystem<P> {
+    /// Creates a subsystem around a concrete policy instance (the
+    /// monomorphized form used by the buffer front ends).
+    pub fn with_policy(policy: P, lookahead: usize, num_queues: usize) -> Self {
         HeadMmaSubsystem {
             lookahead: LookaheadRegister::new(lookahead),
             counters: OccupancyCounters::new(num_queues),
-            policy: policy.instantiate(granularity),
+            policy,
         }
     }
 
@@ -91,6 +106,31 @@ impl HeadMmaSubsystem {
         self.policy
             .note_queue_changed(choice, &self.counters, &self.lookahead);
         Some(choice)
+    }
+
+    /// Fast-forwards the subsystem by `slots` idle slots at once: exactly
+    /// equivalent to `slots` calls of
+    /// [`HeadMmaSubsystem::on_request`]`(None)` **while no request is
+    /// pending in the lookahead**, but O(1). With an all-idle lookahead, each
+    /// such call only rotates the shift register and can never produce a due
+    /// request, touch a counter, or notify the policy.
+    ///
+    /// The caller is responsible for the pending-driven selection property:
+    /// ECQF selects `None` whenever the lookahead holds no pending request,
+    /// so skipped `select_replenishment` periods are unobservable for it.
+    /// MDQF does *not* have this property (it can select on counter deficit
+    /// alone) — owners driving MDQF must not skip its selection periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if a request is pending in the lookahead.
+    pub fn advance_idle(&mut self, slots: u64) {
+        debug_assert_eq!(
+            self.lookahead.pending_len(),
+            0,
+            "advance_idle with pending requests in the lookahead"
+        );
+        self.lookahead.advance_idle(slots);
     }
 
     /// Credits `queue` with `cells` already present in the SRAM (used to

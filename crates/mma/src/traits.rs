@@ -38,6 +38,36 @@ pub trait HeadMma {
     }
 }
 
+// A boxed policy is itself a policy, so [`crate::HeadMmaSubsystem`] can stay
+// generic over the policy type (monomorphized hot paths) while the
+// enum-driven constructor keeps handing out type-erased boxes.
+impl HeadMma for Box<dyn HeadMma + Send> {
+    fn select(
+        &mut self,
+        counters: &OccupancyCounters,
+        lookahead: &LookaheadRegister,
+    ) -> Option<LogicalQueueId> {
+        (**self).select(counters, lookahead)
+    }
+
+    fn granularity(&self) -> usize {
+        (**self).granularity()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn note_queue_changed(
+        &mut self,
+        queue: LogicalQueueId,
+        counters: &OccupancyCounters,
+        lookahead: &LookaheadRegister,
+    ) {
+        (**self).note_queue_changed(queue, counters, lookahead)
+    }
+}
+
 /// Enumerates the available head-MMA policies (for configuration files and
 /// ablation benchmarks).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

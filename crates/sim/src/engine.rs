@@ -1,8 +1,9 @@
 //! The slot-level simulation engine.
 
-use pktbuf::{BufferStats, PacketBuffer};
-use pktbuf_model::LogicalQueueId;
+use pktbuf::{BufferStats, GrantSink, PacketBuffer, RequestSource};
+use pktbuf_model::{Cell, LogicalQueueId};
 use serde::{Serialize, Serializer};
+use std::sync::Mutex;
 use traffic::{ArrivalGenerator, RequestGenerator};
 
 /// Result of one simulation run.
@@ -12,9 +13,10 @@ pub struct SimulationReport {
     /// buffer's static name — reports are built once per run and must not
     /// allocate a fresh `String` each time.
     pub design: &'static str,
-    /// Workload names ("uniform" arrivals / "adversarial-round-robin"
-    /// requests…).
-    pub workload: String,
+    /// Workload name (`"{arrivals}+{requests}"`). Interned: the known
+    /// generator combinations resolve to static labels so building a report
+    /// allocates nothing (see [`workload_label`]).
+    pub workload: &'static str,
     /// Slots simulated, including the drain phase.
     pub slots: u64,
     /// Buffer statistics at the end of the run.
@@ -22,6 +24,74 @@ pub struct SimulationReport {
     /// Queue indices of granted cells, in grant order (recorded only when
     /// requested; used to compare designs cell by cell).
     pub grant_log: Option<Vec<u32>>,
+}
+
+/// Builds one `"{arrivals}+{requests}"` label table row per known generator
+/// pair, with the combined label computed at compile time.
+macro_rules! label_table {
+    ($(($arrivals:literal, $requests:literal)),* $(,)?) => {
+        &[$(($arrivals, $requests, concat!($arrivals, "+", $requests))),*]
+    };
+}
+
+/// Every generator pairing reachable through the `traffic` crate's shipped
+/// generators: 5 arrival sources × 4 request sources. Scenario-built
+/// workloads use 10 of these (see `Workload::engine_label`); the rest cover
+/// hand-composed engines.
+static KNOWN_LABELS: &[(&str, &str, &str)] = label_table![
+    ("uniform", "adversarial-round-robin"),
+    ("uniform", "uniform-random"),
+    ("uniform", "greedy-queue-drain"),
+    ("uniform", "hotspot"),
+    ("bursty", "adversarial-round-robin"),
+    ("bursty", "uniform-random"),
+    ("bursty", "greedy-queue-drain"),
+    ("bursty", "hotspot"),
+    ("hotspot", "adversarial-round-robin"),
+    ("hotspot", "uniform-random"),
+    ("hotspot", "greedy-queue-drain"),
+    ("hotspot", "hotspot"),
+    ("round-robin", "adversarial-round-robin"),
+    ("round-robin", "uniform-random"),
+    ("round-robin", "greedy-queue-drain"),
+    ("round-robin", "hotspot"),
+    ("preload-only", "adversarial-round-robin"),
+    ("preload-only", "uniform-random"),
+    ("preload-only", "greedy-queue-drain"),
+    ("preload-only", "hotspot"),
+];
+
+/// Labels interned at run time for generator names outside [`KNOWN_LABELS`]
+/// (custom generators, trace replay). Bounded by the number of *distinct*
+/// pairings ever simulated in the process.
+static DYNAMIC_LABELS: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+/// The report label for an `"{arrivals}+{requests}"` workload, as a static
+/// string: known pairings come from a compile-time table (no allocation —
+/// report construction stays on the allocation-free slot path), unknown ones
+/// are interned once per distinct pairing and leaked.
+pub fn workload_label(arrivals: &str, requests: &str) -> &'static str {
+    for (a, r, label) in KNOWN_LABELS {
+        if *a == arrivals && *r == requests {
+            return label;
+        }
+    }
+    let mut dynamic = DYNAMIC_LABELS.lock().expect("label intern table poisoned");
+    if let Some(label) = dynamic
+        .iter()
+        .find(|l| {
+            l.len() == arrivals.len() + 1 + requests.len()
+                && l.starts_with(arrivals)
+                && l.ends_with(requests)
+                && l.as_bytes()[arrivals.len()] == b'+'
+        })
+        .copied()
+    {
+        return label;
+    }
+    let label: &'static str = Box::leak(format!("{arrivals}+{requests}").into_boxed_str());
+    dynamic.push(label);
+    label
 }
 
 // Hand-written so that reports really encode (the vendored derive only
@@ -58,9 +128,14 @@ impl SimulationReport {
 /// `&mut dyn PacketBuffer`) that the CLI uses, while
 /// [`SimulationEngine::new_mono`] monomorphises the whole slot loop for a
 /// concrete buffer type — no per-slot virtual dispatch — which is what
-/// [`crate::scenario::Scenario`] and the benchmarks run. Both paths execute
-/// the same `run` body, so their reports are bit-identical (pinned by the
-/// `mono_dyn_equivalence` test suite).
+/// [`crate::scenario::Scenario`] and the benchmarks run.
+///
+/// Two loop shapes exist: [`SimulationEngine::run`] is the slot-by-slot
+/// reference (available on both entry points) and
+/// [`SimulationEngine::run_chunked`] is the production batch engine (chunked
+/// arrival generation, fused `step_batch` loops, idle fast-forward; concrete
+/// buffers only). All paths produce bit-identical reports, pinned by the
+/// `mono_dyn_equivalence` and `chunked_equivalence` test suites.
 pub struct SimulationEngine<'a, B: PacketBuffer + ?Sized = dyn PacketBuffer + 'a> {
     buffer: &'a mut B,
     record_grants: bool,
@@ -114,14 +189,26 @@ impl<'a, B: PacketBuffer + ?Sized> SimulationEngine<'a, B> {
         self
     }
 
-    /// Runs the workload: `active_slots` slots with both generators running,
-    /// followed by a drain phase (arrivals stop, requests continue while any
-    /// queue still has requestable cells, then the pipeline empties).
+    /// Runs the workload **slot by slot**: `active_slots` slots with both
+    /// generators running, followed by a drain phase (arrivals stop, requests
+    /// continue while any queue still has requestable cells, then the
+    /// pipeline empties).
+    ///
+    /// This is the reference engine. [`SimulationEngine::run_chunked`]
+    /// produces bit-identical reports by processing slots in batches; the
+    /// differential suites pin the two (and the type-erased path) together.
     ///
     /// Generic over the generator types for the same reason the engine is
     /// generic over the buffer: concrete generators compile to a slot loop
     /// with no virtual dispatch, while `&mut dyn` generators still work for
     /// runtime composition.
+    ///
+    /// Generators observe the **buffer clock**: the slot number passed to
+    /// `arrivals.next` / `requests.next` is `buffer.current_slot()` at that
+    /// slot, so driving a warm (already-stepped) buffer continues the slot
+    /// numbering instead of restarting it — the same convention the chunked
+    /// engine's fused batch loops follow, which is what keeps the two
+    /// engines bit-identical for slot-sensitive generators.
     pub fn run<A: ArrivalGenerator + ?Sized, R: RequestGenerator + ?Sized>(
         self,
         arrivals: &mut A,
@@ -130,15 +217,16 @@ impl<'a, B: PacketBuffer + ?Sized> SimulationEngine<'a, B> {
     ) -> SimulationReport {
         let mut grant_log = self.record_grants.then(Vec::new);
         let workload = match self.workload_label {
-            Some(label) => label.to_owned(),
-            None => format!("{}+{}", arrivals.name(), requests.name()),
+            Some(label) => label,
+            None => workload_label(arrivals.name(), requests.name()),
         };
         let buffer = self.buffer;
         // The drain flush horizon is a fixed property of the pipeline; query
         // it once instead of once per drain decision.
         let flush = buffer.pipeline_delay_slots() as u64 + 4;
+        let start = buffer.current_slot();
 
-        for t in 0..active_slots {
+        for t in start..start + active_slots {
             let arrival = arrivals.next(t);
             let request = {
                 let probe = &*buffer;
@@ -152,7 +240,7 @@ impl<'a, B: PacketBuffer + ?Sized> SimulationEngine<'a, B> {
 
         // Drain: request whatever is still requestable, then flush the
         // pipeline.
-        let mut t = active_slots;
+        let mut t = start + active_slots;
         let mut idle_streak = 0u64;
         while idle_streak <= flush {
             let request = {
@@ -177,6 +265,192 @@ impl<'a, B: PacketBuffer + ?Sized> SimulationEngine<'a, B> {
             slots: buffer.current_slot(),
             stats: *buffer.stats(),
             grant_log,
+        }
+    }
+}
+
+/// Slots per chunk of the chunked engine. Sized so a chunk's arrival ring
+/// (256 × `Option<Cell>`) lives comfortably in L1/L2 and on the stack, while
+/// the per-chunk bookkeeping (fast-forward probe, debug cross-check) is
+/// amortised over enough slots to vanish.
+pub const CHUNK_SLOTS: usize = 256;
+
+/// Adapts a `traffic::RequestGenerator` to the buffer-side
+/// [`pktbuf::RequestSource`] contract. A wrapper type (rather than a
+/// blanket impl) keeps `pktbuf` independent of the workload crate while the
+/// whole probe chain — generator scan and availability oracle — stays
+/// monomorphized. Public so benchmarks driving
+/// [`pktbuf::PacketBuffer::step_batch`] directly use the exact adapter the
+/// engine uses.
+#[derive(Debug)]
+pub struct GeneratorSource<'r, R>(pub &'r mut R);
+
+impl<R: RequestGenerator> RequestSource for GeneratorSource<'_, R> {
+    #[inline]
+    fn next_request<F>(&mut self, slot: u64, requestable: &F) -> Option<LogicalQueueId>
+    where
+        F: Fn(LogicalQueueId) -> u64 + ?Sized,
+    {
+        self.0.next_inline(slot, requestable)
+    }
+
+    fn idle_skippable(&self) -> bool {
+        self.0.idle_skippable()
+    }
+}
+
+/// Debug-build differential hook: captures buffer/sink counters at a chunk
+/// boundary and cross-checks the chunked path's accounting after the chunk —
+/// every slot must be stepped (or arithmetically skipped) exactly once, and
+/// every grant the buffer counted must have reached the sink when recording.
+struct ChunkCheck {
+    #[cfg(debug_assertions)]
+    slot: u64,
+    #[cfg(debug_assertions)]
+    grants: u64,
+    #[cfg(debug_assertions)]
+    recorded: usize,
+}
+
+impl ChunkCheck {
+    #[cfg(debug_assertions)]
+    fn before<B: PacketBuffer + ?Sized>(buffer: &B, sink: &GrantSink) -> Self {
+        ChunkCheck {
+            slot: buffer.current_slot(),
+            grants: buffer.stats().grants,
+            recorded: sink.recorded(),
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    fn before<B: PacketBuffer + ?Sized>(_buffer: &B, _sink: &GrantSink) -> Self {
+        ChunkCheck {}
+    }
+
+    #[cfg(debug_assertions)]
+    fn after<B: PacketBuffer + ?Sized>(self, buffer: &B, sink: &GrantSink, slots: u64) {
+        debug_assert_eq!(
+            buffer.current_slot(),
+            self.slot + slots,
+            "chunked engine lost or duplicated slots"
+        );
+        debug_assert_eq!(
+            buffer.stats().slots,
+            buffer.current_slot(),
+            "buffer slot statistics diverged from the clock"
+        );
+        if sink.is_recording() {
+            debug_assert_eq!(
+                (sink.recorded() - self.recorded) as u64,
+                buffer.stats().grants - self.grants,
+                "chunked engine dropped grants from the log"
+            );
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    fn after<B: PacketBuffer + ?Sized>(self, _buffer: &B, _sink: &GrantSink, _slots: u64) {}
+}
+
+impl<'a, B: PacketBuffer> SimulationEngine<'a, B> {
+    /// Runs the workload through the **chunked** engine: arrivals are
+    /// generated a whole chunk at a time into a stack ring
+    /// ([`traffic::ArrivalGenerator::fill_arrivals`]), each chunk is executed
+    /// by one [`pktbuf::PacketBuffer::step_batch`] call (the designs' fused
+    /// batch loops), and chunks in which provably nothing can happen — no
+    /// arrivals, nothing requestable, quiescent pipeline — are skipped in
+    /// O(1) via [`pktbuf::PacketBuffer::advance_idle`]. The drain phase is
+    /// chunked the same way and its tail (the fixed pipeline flush after the
+    /// last request) collapses to a single fast-forward.
+    ///
+    /// The report is bit-identical to [`SimulationEngine::run`] on the same
+    /// inputs: batch loops replay the exact slot sequence — generators
+    /// observe the buffer clock in both engines — and a fast-forward is
+    /// taken only when the skipped calls are unobservable (the request
+    /// generator contract — never request an empty queue — plus, during the
+    /// active phase, [`traffic::RequestGenerator::idle_skippable`]). Debug
+    /// builds cross-check the accounting at every chunk boundary.
+    pub fn run_chunked<A: ArrivalGenerator + ?Sized, R: RequestGenerator>(
+        self,
+        arrivals: &mut A,
+        requests: &mut R,
+        active_slots: u64,
+    ) -> SimulationReport {
+        let workload = match self.workload_label {
+            Some(label) => label,
+            None => workload_label(arrivals.name(), requests.name()),
+        };
+        let mut sink = GrantSink::new(self.record_grants);
+        let buffer = self.buffer;
+        // The drain flush horizon is a fixed property of the pipeline; query
+        // it once instead of once per drain decision.
+        let flush = buffer.pipeline_delay_slots() as u64 + 4;
+        let start = buffer.current_slot();
+        let mut ring: [Option<Cell>; CHUNK_SLOTS] = std::array::from_fn(|_| None);
+        let mut source = GeneratorSource(requests);
+
+        // Active phase.
+        let mut done = 0u64;
+        while done < active_slots {
+            let len = CHUNK_SLOTS.min((active_slots - done) as usize);
+            let chunk = &mut ring[..len];
+            // Arrivals, like requests, observe the buffer clock.
+            let produced = arrivals.fill_arrivals(start + done, chunk);
+            let check = ChunkCheck::before(buffer, &sink);
+            if produced == 0
+                && source.idle_skippable()
+                && buffer.is_quiescent()
+                && buffer.requestable_total() == 0
+            {
+                // Nothing can happen in this chunk: no arrival, a frozen
+                // (empty) requestable set — so a skippable generator returns
+                // `None` throughout — and a pipeline with nothing in flight.
+                buffer.advance_idle(len as u64);
+            } else {
+                buffer.step_batch(chunk, &mut source, &mut sink);
+            }
+            check.after(buffer, &sink, len as u64);
+            done += len as u64;
+        }
+
+        // Drain: request whatever is still requestable, then flush the
+        // pipeline. Chunks never outrun the reference termination rule
+        // ("stop after `flush + 1` consecutive request-less slots"): each is
+        // capped at the remaining request-less budget, so the rule can only
+        // trip exactly at a chunk boundary.
+        let mut idle_streak = 0u64;
+        while idle_streak <= flush {
+            if buffer.is_quiescent() && buffer.requestable_total() == 0 {
+                // The requestable set is frozen at zero, so *any*
+                // contract-abiding generator returns `None` for every
+                // remaining slot (and the run ends, so skipped RNG draws are
+                // unobservable): fast-forward the rest of the flush.
+                let check = ChunkCheck::before(buffer, &sink);
+                let remaining = flush + 1 - idle_streak;
+                buffer.advance_idle(remaining);
+                check.after(buffer, &sink, remaining);
+                break;
+            }
+            let len = CHUNK_SLOTS.min((flush + 1 - idle_streak) as usize);
+            let chunk = &mut ring[..len];
+            let check = ChunkCheck::before(buffer, &sink);
+            let batch = buffer.step_batch(chunk, &mut source, &mut sink);
+            check.after(buffer, &sink, len as u64);
+            idle_streak = if batch.requests > 0 {
+                batch.trailing_requestless
+            } else {
+                idle_streak + len as u64
+            };
+        }
+
+        SimulationReport {
+            design: buffer.design_name(),
+            workload,
+            slots: buffer.current_slot(),
+            stats: *buffer.stats(),
+            grant_log: sink.into_log(),
         }
     }
 }

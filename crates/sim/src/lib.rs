@@ -74,6 +74,8 @@ pub mod scenario;
 pub mod spec;
 pub mod techeval;
 
-pub use engine::{SimulationEngine, SimulationReport};
+pub use engine::{
+    workload_label, GeneratorSource, SimulationEngine, SimulationReport, CHUNK_SLOTS,
+};
 pub use lab::{ExperimentReport, LabRunner};
 pub use spec::{ExperimentSpec, Sweep};

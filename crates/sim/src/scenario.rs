@@ -449,25 +449,32 @@ impl Scenario {
     /// dispatching once per run to concrete generator types (the same
     /// constructions as [`Scenario::build_arrivals`] /
     /// [`Scenario::build_requests`], minus the per-slot virtual dispatch).
-    fn run_engine<B: PacketBuffer>(&self, buffer: &mut B, record: bool) -> SimulationReport {
+    fn run_engine<B: PacketBuffer>(
+        &self,
+        buffer: &mut B,
+        record: bool,
+        mode: EngineMode,
+    ) -> SimulationReport {
         let q = self.num_queues;
         let seed = stream_seed(self.seed, 1);
         match self.workload {
             Workload::AdversarialRoundRobin | Workload::Bursty => {
-                self.run_with_requests(buffer, AdversarialRoundRobin::new(q), record)
+                self.run_with_requests(buffer, AdversarialRoundRobin::new(q), record, mode)
             }
             Workload::UniformRandom => self.run_with_requests(
                 buffer,
                 UniformRandomRequests::new(q, REQUEST_LOAD, seed),
                 record,
+                mode,
             ),
             Workload::Hotspot => self.run_with_requests(
                 buffer,
                 HotspotRequests::new(q, hot_queue_count(q), HOT_FRACTION, seed),
                 record,
+                mode,
             ),
             Workload::GreedyDrain => {
-                self.run_with_requests(buffer, GreedyQueueDrain::new(q), record)
+                self.run_with_requests(buffer, GreedyQueueDrain::new(q), record, mode)
             }
         }
     }
@@ -477,6 +484,7 @@ impl Scenario {
         buffer: &mut B,
         mut requests: R,
         record: bool,
+        mode: EngineMode,
     ) -> SimulationReport {
         let q = self.num_queues;
         let engine = SimulationEngine::new_mono(buffer)
@@ -484,26 +492,34 @@ impl Scenario {
             .with_workload_label(self.workload.engine_label(self.arrival_slots > 0));
         if self.arrival_slots == 0 {
             let mut no_arrivals = NoArrivals { num_queues: q };
-            return engine.run(&mut no_arrivals, &mut requests, 0);
+            return dispatch_engine(mode, engine, &mut no_arrivals, &mut requests, 0);
         }
         let seed = stream_seed(self.seed, 0);
         match self.workload {
-            Workload::AdversarialRoundRobin | Workload::GreedyDrain => engine.run(
+            Workload::AdversarialRoundRobin | Workload::GreedyDrain => dispatch_engine(
+                mode,
+                engine,
                 &mut UniformArrivals::new(q, DRAIN_ARRIVAL_LOAD, seed),
                 &mut requests,
                 self.arrival_slots,
             ),
-            Workload::UniformRandom => engine.run(
+            Workload::UniformRandom => dispatch_engine(
+                mode,
+                engine,
                 &mut UniformArrivals::new(q, UNIFORM_ARRIVAL_LOAD, seed),
                 &mut requests,
                 self.arrival_slots,
             ),
-            Workload::Bursty => engine.run(
+            Workload::Bursty => dispatch_engine(
+                mode,
+                engine,
                 &mut BurstyArrivals::new(q, BURST_ON_SLOTS, BURST_OFF_SLOTS, seed),
                 &mut requests,
                 self.arrival_slots,
             ),
-            Workload::Hotspot => engine.run(
+            Workload::Hotspot => dispatch_engine(
+                mode,
+                engine,
                 &mut HotspotArrivals::new(
                     q,
                     DRAIN_ARRIVAL_LOAD,
@@ -519,20 +535,38 @@ impl Scenario {
 
     /// Runs the scenario, optionally recording the per-grant queue log.
     ///
-    /// Dispatches once on the design and then runs the monomorphized engine
-    /// for the concrete buffer type, so the slot loop pays no virtual
-    /// dispatch. [`Scenario::run_dyn_with_grant_log`] keeps the type-erased
-    /// path; the two produce bit-identical reports.
+    /// Dispatches once on the design and then runs the monomorphized
+    /// **chunked** engine ([`SimulationEngine::run_chunked`]) for the
+    /// concrete buffer type: batch arrival generation, fused slot batches,
+    /// idle fast-forward. [`Scenario::run_per_slot_with_grant_log`] keeps the
+    /// monomorphized per-slot engine and
+    /// [`Scenario::run_dyn_with_grant_log`] the type-erased one; all three
+    /// produce bit-identical reports (pinned by the differential suites).
     ///
     /// # Panics
     ///
     /// Panics if both a preload and live arrivals are requested.
     pub fn run_with_grant_log(&self, record: bool) -> SimulationReport {
+        self.run_mono(record, EngineMode::Chunked)
+    }
+
+    /// Runs the scenario through the monomorphized **per-slot** engine — the
+    /// reference the chunked engine is differentially tested (and
+    /// benchmarked) against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both a preload and live arrivals are requested.
+    pub fn run_per_slot_with_grant_log(&self, record: bool) -> SimulationReport {
+        self.run_mono(record, EngineMode::PerSlot)
+    }
+
+    fn run_mono(&self, record: bool, mode: EngineMode) -> SimulationReport {
         self.assert_exclusive();
         match self.design {
-            DesignKind::DramOnly => self.run_engine(&mut self.build_dram_only(), record),
-            DesignKind::Rads => self.run_engine(&mut self.build_rads(), record),
-            DesignKind::Cfds => self.run_engine(&mut self.build_cfds(), record),
+            DesignKind::DramOnly => self.run_engine(&mut self.build_dram_only(), record, mode),
+            DesignKind::Rads => self.run_engine(&mut self.build_rads(), record, mode),
+            DesignKind::Cfds => self.run_engine(&mut self.build_cfds(), record, mode),
         }
     }
 
@@ -647,6 +681,35 @@ impl<'de> Deserialize<'de> for Scenario {
             }
         }
         deserializer.deserialize_any(V)
+    }
+}
+
+/// Which monomorphized engine loop a scenario run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineMode {
+    /// Chunked batch loop with idle fast-forward (the default).
+    Chunked,
+    /// Slot-by-slot reference loop.
+    PerSlot,
+}
+
+/// Monomorphizes the engine-mode choice: one branch per run, then a fully
+/// concrete engine/generator/buffer loop either way.
+fn dispatch_engine<B, A, R>(
+    mode: EngineMode,
+    engine: SimulationEngine<'_, B>,
+    arrivals: &mut A,
+    requests: &mut R,
+    slots: u64,
+) -> SimulationReport
+where
+    B: PacketBuffer,
+    A: ArrivalGenerator + ?Sized,
+    R: RequestGenerator,
+{
+    match mode {
+        EngineMode::Chunked => engine.run_chunked(arrivals, requests, slots),
+        EngineMode::PerSlot => engine.run(arrivals, requests, slots),
     }
 }
 

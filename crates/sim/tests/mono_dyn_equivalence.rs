@@ -1,7 +1,9 @@
-//! The monomorphized fast path must be observationally identical to the
-//! type-erased reference path: bit-identical `SimulationReport`s — including
-//! grant logs — for every design × workload, with live arrivals and with
-//! preloaded drains.
+//! The monomorphized fast path (since PR 4: the *chunked* engine) must be
+//! observationally identical to the type-erased per-slot reference path:
+//! bit-identical `SimulationReport`s — including grant logs — for every
+//! design × workload, with live arrivals and with preloaded drains.
+//! (`chunked_equivalence` additionally pins chunked vs per-slot on the same
+//! monomorphized buffer.)
 
 use sim::scenario::{DesignKind, Scenario, Workload};
 use sim::SimulationReport;

@@ -140,8 +140,19 @@ impl GlobalCamBuffer {
         if self.contains(idx, queue, base) {
             return Err(BufferError::DuplicateBlock { queue, ordinal });
         }
-        for (i, cell) in cells.enumerate() {
-            self.put(idx, queue, base + i as u64, cell);
+        let ring = &mut self.rings[idx];
+        if base >= ring.base && (base - ring.base) as usize == ring.ring.len() {
+            // In-order delivery (the overwhelmingly common case): the block
+            // extends the window's end, so append the cells in one pass
+            // without per-cell position bookkeeping.
+            for cell in cells {
+                ring.ring.push_back(Some(cell));
+                self.ring_cells += 1;
+            }
+        } else {
+            for (i, cell) in cells.enumerate() {
+                self.put(idx, queue, base + i as u64, cell);
+            }
         }
         // Keep the tail order monotone so push_cell after block inserts works.
         let end = base + self.cells_per_block as u64;
@@ -190,9 +201,13 @@ impl SharedBuffer for GlobalCamBuffer {
     fn pop_front(&mut self, queue: LogicalQueueId) -> Option<Cell> {
         let idx = self.check_queue(queue).ok()?;
         let ring = &mut self.rings[idx];
-        // The head cell is resident exactly when ring position 0 is occupied.
-        let cell = ring.ring.front_mut()?.take()?;
-        ring.ring.pop_front();
+        // The head cell is resident exactly when ring position 0 is occupied;
+        // pop it in one move (no take-then-pop, which would write a dead
+        // `None` into the slot being discarded).
+        if !matches!(ring.ring.front(), Some(Some(_))) {
+            return None;
+        }
+        let cell = ring.ring.pop_front().flatten().expect("front was resident");
         ring.base += 1;
         self.ring_cells -= 1;
         Some(cell)

@@ -11,6 +11,26 @@ pub trait ArrivalGenerator {
     /// Returns the cell arriving at `slot`, if any.
     fn next(&mut self, slot: u64) -> Option<Cell>;
 
+    /// Fills `out` with the arrivals of `out.len()` consecutive slots starting
+    /// at `base_slot` (entry `i` is the arrival of slot `base_slot + i`) and
+    /// returns how many cells were produced.
+    ///
+    /// This is the batch entry point of the chunked simulation engine: one
+    /// call produces a whole chunk of arrivals into a preallocated ring, so
+    /// the generator's inner state stays in registers across the chunk
+    /// instead of being reloaded once per slot. The default implementation is
+    /// the per-slot reference — it delegates to [`ArrivalGenerator::next`]
+    /// slot by slot, so batch and per-slot streams are identical by
+    /// construction.
+    fn fill_arrivals(&mut self, base_slot: u64, out: &mut [Option<Cell>]) -> usize {
+        let mut produced = 0;
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.next(base_slot + i as u64);
+            produced += usize::from(slot.is_some());
+        }
+        produced
+    }
+
     /// Number of queues this generator targets.
     fn num_queues(&self) -> usize;
 
@@ -52,6 +72,27 @@ impl ArrivalGenerator for UniformArrivals {
         }
         let q = LogicalQueueId::new(self.rng.gen_range(0..self.seq.num_queues()) as u32);
         Some(self.seq.mint(q, slot))
+    }
+
+    fn fill_arrivals(&mut self, base_slot: u64, out: &mut [Option<Cell>]) -> usize {
+        // Batch override: the RNG state stays in registers for the whole
+        // chunk instead of round-tripping through `self` once per slot. The
+        // draw sequence is identical to per-slot `next` by construction.
+        let mut rng = self.rng.clone();
+        let num_queues = self.seq.num_queues();
+        let load = self.load;
+        let mut produced = 0;
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = if rng.gen::<f64>() >= load {
+                None
+            } else {
+                let q = LogicalQueueId::new(rng.gen_range(0..num_queues) as u32);
+                produced += 1;
+                Some(self.seq.mint(q, base_slot + i as u64))
+            };
+        }
+        self.rng = rng;
+        produced
     }
 
     fn num_queues(&self) -> usize {

@@ -142,6 +142,48 @@ mod tests {
         }
     }
 
+    /// The batch arrival API must replay the per-slot stream exactly — for
+    /// the default `fill_arrivals` and for the RNG-batching override of
+    /// `UniformArrivals` alike — regardless of chunk size or phase.
+    #[test]
+    fn fill_arrivals_matches_per_slot_stream() {
+        type Maker = fn(u64) -> Box<dyn ArrivalGenerator>;
+        let makers: [(&str, Maker); 4] = [
+            ("uniform", |s| Box::new(UniformArrivals::new(16, 0.7, s))),
+            ("bursty", |s| {
+                Box::new(BurstyArrivals::new(16, 24.0, 6.0, s))
+            }),
+            ("hotspot", |s| {
+                Box::new(HotspotArrivals::new(16, 0.8, 2, 0.8, s))
+            }),
+            ("round-robin", |_| Box::new(RoundRobinArrivals::new(16))),
+        ];
+        for (name, make) in makers {
+            for chunk in [1usize, 7, 97, 256] {
+                let mut per_slot = make(42);
+                let mut batched = make(42);
+                let mut ring = vec![None; chunk];
+                let mut base = 0u64;
+                while base < 1_000 {
+                    let produced = batched.fill_arrivals(base, &mut ring);
+                    let mut seen = 0;
+                    for (i, got) in ring.iter_mut().enumerate() {
+                        let want = per_slot.next(base + i as u64);
+                        seen += usize::from(got.is_some());
+                        assert_eq!(
+                            got.take(),
+                            want,
+                            "{name}: chunk {chunk}, slot {}",
+                            base + i as u64
+                        );
+                    }
+                    assert_eq!(produced, seen, "{name}: produced count");
+                    base += chunk as u64;
+                }
+            }
+        }
+    }
+
     /// Same for the stochastic request generators (driven by a fully
     /// available oracle so the RNG is the only source of variation).
     #[test]

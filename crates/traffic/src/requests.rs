@@ -18,6 +18,33 @@ pub trait RequestGenerator {
         requestable: &dyn Fn(LogicalQueueId) -> u64,
     ) -> Option<LogicalQueueId>;
 
+    /// Monomorphizable variant of [`RequestGenerator::next`]: the oracle is a
+    /// generic `Fn` instead of `&dyn Fn`, so when both the generator and the
+    /// oracle are concrete (the chunked engine's fused slot loop) the whole
+    /// probe sequence inlines down to direct array reads — no per-probe
+    /// virtual dispatch.
+    ///
+    /// The default forwards to [`RequestGenerator::next`]; the hot generators
+    /// in this crate implement the real logic here and make `next` the
+    /// forwarding direction, so the two entry points cannot drift apart.
+    fn next_inline<F>(&mut self, slot: u64, requestable: &F) -> Option<LogicalQueueId>
+    where
+        F: Fn(LogicalQueueId) -> u64 + ?Sized,
+        Self: Sized,
+    {
+        self.next(slot, &|q| requestable(q))
+    }
+
+    /// Whether a call that returns `None` because *no queue has requestable
+    /// cells* leaves the generator bit-identical (no RNG draw, no cursor
+    /// move). The chunked engine may then skip such calls entirely during an
+    /// idle fast-forward without changing any subsequent request. Stochastic
+    /// generators that consume randomness on every call must return `false`
+    /// (the default).
+    fn idle_skippable(&self) -> bool {
+        false
+    }
+
     /// Generator name for reports.
     fn name(&self) -> &'static str;
 }
@@ -43,9 +70,16 @@ impl AdversarialRoundRobin {
 impl RequestGenerator for AdversarialRoundRobin {
     fn next(
         &mut self,
-        _slot: u64,
+        slot: u64,
         requestable: &dyn Fn(LogicalQueueId) -> u64,
     ) -> Option<LogicalQueueId> {
+        self.next_inline(slot, requestable)
+    }
+
+    fn next_inline<F>(&mut self, _slot: u64, requestable: &F) -> Option<LogicalQueueId>
+    where
+        F: Fn(LogicalQueueId) -> u64 + ?Sized,
+    {
         // Try each queue once, starting from the round-robin pointer, and
         // request the first one that still has cells to give. The cursor
         // wraps by comparison — this runs once per slot and a division by
@@ -63,6 +97,11 @@ impl RequestGenerator for AdversarialRoundRobin {
             }
         }
         None
+    }
+
+    fn idle_skippable(&self) -> bool {
+        // A fruitless scan leaves the cursor untouched and draws no RNG.
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -92,9 +131,16 @@ impl UniformRandomRequests {
 impl RequestGenerator for UniformRandomRequests {
     fn next(
         &mut self,
-        _slot: u64,
+        slot: u64,
         requestable: &dyn Fn(LogicalQueueId) -> u64,
     ) -> Option<LogicalQueueId> {
+        self.next_inline(slot, requestable)
+    }
+
+    fn next_inline<F>(&mut self, _slot: u64, requestable: &F) -> Option<LogicalQueueId>
+    where
+        F: Fn(LogicalQueueId) -> u64 + ?Sized,
+    {
         if self.rng.gen::<f64>() >= self.load {
             return None;
         }
@@ -142,9 +188,16 @@ impl GreedyQueueDrain {
 impl RequestGenerator for GreedyQueueDrain {
     fn next(
         &mut self,
-        _slot: u64,
+        slot: u64,
         requestable: &dyn Fn(LogicalQueueId) -> u64,
     ) -> Option<LogicalQueueId> {
+        self.next_inline(slot, requestable)
+    }
+
+    fn next_inline<F>(&mut self, _slot: u64, requestable: &F) -> Option<LogicalQueueId>
+    where
+        F: Fn(LogicalQueueId) -> u64 + ?Sized,
+    {
         let mut qi = self.current as usize;
         for _ in 0..self.num_queues {
             let q = LogicalQueueId::new(qi as u32);
@@ -158,6 +211,11 @@ impl RequestGenerator for GreedyQueueDrain {
             }
         }
         None
+    }
+
+    fn idle_skippable(&self) -> bool {
+        // A fruitless scan leaves the cursor untouched and draws no RNG.
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -191,9 +249,16 @@ impl HotspotRequests {
 impl RequestGenerator for HotspotRequests {
     fn next(
         &mut self,
-        _slot: u64,
+        slot: u64,
         requestable: &dyn Fn(LogicalQueueId) -> u64,
     ) -> Option<LogicalQueueId> {
+        self.next_inline(slot, requestable)
+    }
+
+    fn next_inline<F>(&mut self, _slot: u64, requestable: &F) -> Option<LogicalQueueId>
+    where
+        F: Fn(LogicalQueueId) -> u64 + ?Sized,
+    {
         let (start, span) = if self.rng.gen::<f64>() < self.hot_fraction {
             (self.rng.gen_range(0..self.hot_queues), self.hot_queues)
         } else {

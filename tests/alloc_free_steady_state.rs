@@ -14,8 +14,10 @@
 
 use pktbuf::{CfdsBuffer, DramOnlyBuffer, PacketBuffer, RadsBuffer};
 use pktbuf_model::{Cell, CfdsConfig, DramTiming, LineRate, LogicalQueueId, RadsConfig};
+use sim::SimulationEngine;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use traffic::{AdversarialRoundRobin, RoundRobinArrivals};
 
 /// Counts every allocation and reallocation passed to the system allocator.
 struct CountingAllocator;
@@ -150,4 +152,43 @@ fn steady_state_slot_loop_is_allocation_free() {
     // bug), so pace arrivals below 1/B and tolerate its read-port misses.
     let mut dram_only = DramOnlyBuffer::new(rads_cfg);
     assert_steady_state_alloc_free(&mut dram_only, "DRAM-only", 10, false);
+
+    // And the whole *engine* path on a warm buffer: chunked arrival
+    // generation, fused slot batches, the drain with its idle fast-forward,
+    // and — the point of the interned workload labels — the construction of
+    // the `SimulationReport` itself. The first run is the warm-up (rings and
+    // pools grow to their high-water marks); the second, identical run must
+    // not allocate at all.
+    let q = 16usize;
+    let warmup_slots = 60_000u64; // multiple of q: seq offsets line up below
+    let mut rads = RadsBuffer::new(rads_cfg);
+    {
+        let mut arrivals = RoundRobinArrivals::new(q);
+        let mut requests = AdversarialRoundRobin::new(q);
+        let warm = SimulationEngine::new_mono(&mut rads).run_chunked(
+            &mut arrivals,
+            &mut requests,
+            warmup_slots,
+        );
+        assert!(warm.stats.grants > 0);
+    }
+    let mut arrivals = RoundRobinArrivals::new(q).with_seq_offset(warmup_slots / q as u64);
+    let mut requests = AdversarialRoundRobin::new(q);
+    let engine = SimulationEngine::new_mono(&mut rads);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let report = engine.run_chunked(&mut arrivals, &mut requests, MEASURED_SLOTS);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "engine run incl. report construction allocated {} times over {MEASURED_SLOTS} slots",
+        after - before
+    );
+    assert!(report.stats.grants > 0, "engine run did no work");
+    // The label came out of the static intern table, not a fresh `String`.
+    assert_eq!(report.workload, "round-robin+adversarial-round-robin");
+    assert_eq!(report.design, "RADS");
+    assert!(report.grant_log.is_none());
 }

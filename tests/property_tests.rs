@@ -1,10 +1,12 @@
 //! Property-based tests (proptest) on the core data structures and the
 //! end-to-end FIFO/zero-miss invariants.
 
-use future_packet_buffers::buffers::{CfdsBuffer, PacketBuffer};
+use future_packet_buffers::buffers::{CfdsBuffer, DramOnlyBuffer, PacketBuffer, RadsBuffer};
 use future_packet_buffers::cfds::{DramSchedulerSubsystem, DsaPolicy, RenamingTable};
 use future_packet_buffers::dram::{AddressMapper, GroupId, InterleavingConfig};
-use future_packet_buffers::model::{Cell, CfdsConfig, LineRate, LogicalQueueId, PhysicalQueueId};
+use future_packet_buffers::model::{
+    Cell, CfdsConfig, DramTiming, LineRate, LogicalQueueId, PhysicalQueueId, RadsConfig,
+};
 use future_packet_buffers::srambuf::{GlobalCamBuffer, SharedBuffer, UnifiedLinkedListBuffer};
 use proptest::prelude::*;
 
@@ -159,6 +161,138 @@ proptest! {
         }
         prop_assert_eq!(reads, writes);
         prop_assert_eq!(table.blocks_in_dram(q), 0);
+    }
+}
+
+/// Drives `buffer` for `slots` slots with a deterministic workload derived
+/// from `state`: a paced arrival stream and an admissible round-robin
+/// request stream. Returns the sequence of granted `(queue, seq)` pairs so
+/// two replicas can be compared grant by grant.
+fn drive_deterministic(
+    buffer: &mut dyn PacketBuffer,
+    slots: u64,
+    arrival_period: u64,
+    seqs: &mut [u64],
+    next_req: &mut u32,
+) -> Vec<(u32, u64)> {
+    let q = buffer.num_queues() as u64;
+    let start = buffer.current_slot();
+    let mut grants = Vec::new();
+    for t in start..start + slots {
+        let arrival = if t % arrival_period == 0 {
+            let qi = ((t / arrival_period) % q) as usize;
+            let cell = Cell::new(LogicalQueueId::new(qi as u32), seqs[qi], t);
+            seqs[qi] += 1;
+            Some(cell)
+        } else {
+            None
+        };
+        let mut request = None;
+        for i in 0..q as u32 {
+            let candidate = LogicalQueueId::new((*next_req + i) % q as u32);
+            if buffer.requestable_cells(candidate) > 0 {
+                *next_req = (candidate.index() + 1) % q as u32;
+                request = Some(candidate);
+                break;
+            }
+        }
+        let out = buffer.step(arrival, request);
+        if let Some(cell) = out.granted {
+            grants.push((cell.queue().index(), cell.seq()));
+        }
+    }
+    grants
+}
+
+/// `advance_idle(n)` must be exactly equivalent to `n` empty `step` calls
+/// from an *arbitrary mid-run state* — both immediately (slot/stats) and for
+/// all future behaviour (a continued identical workload produces identical
+/// grants, stats and per-queue requestability). One replica fast-forwards,
+/// the other steps; any state divergence the fast-forward smuggled in would
+/// surface in the postfix.
+fn check_advance_idle_equivalence<B: PacketBuffer>(
+    mut fast: B,
+    mut stepped: B,
+    prefix: u64,
+    idle: u64,
+    postfix: u64,
+) {
+    let q = fast.num_queues();
+    let (mut seqs_a, mut seqs_b) = (vec![0u64; q], vec![0u64; q]);
+    let (mut req_a, mut req_b) = (0u32, 0u32);
+    let ga = drive_deterministic(&mut fast, prefix, 2, &mut seqs_a, &mut req_a);
+    let gb = drive_deterministic(&mut stepped, prefix, 2, &mut seqs_b, &mut req_b);
+    assert_eq!(ga, gb, "replicas diverged during the prefix");
+
+    fast.advance_idle(idle);
+    for _ in 0..idle {
+        stepped.step(None, None);
+    }
+    assert_eq!(fast.current_slot(), stepped.current_slot());
+    assert_eq!(fast.stats(), stepped.stats(), "stats diverged after idle");
+    for qi in 0..q as u32 {
+        let queue = LogicalQueueId::new(qi);
+        assert_eq!(
+            fast.requestable_cells(queue),
+            stepped.requestable_cells(queue)
+        );
+    }
+
+    let ga = drive_deterministic(&mut fast, postfix, 2, &mut seqs_a, &mut req_a);
+    let gb = drive_deterministic(&mut stepped, postfix, 2, &mut seqs_b, &mut req_b);
+    assert_eq!(ga, gb, "grants diverged after advance_idle");
+    assert_eq!(fast.stats(), stepped.stats(), "stats diverged in postfix");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `advance_idle(n)` ≡ `n` empty steps for arbitrary mid-run states of
+    /// all three designs (both the arithmetic fast-forward in quiescent
+    /// states and the step-replay fallback in busy ones are exercised: short
+    /// prefixes leave pipelines busy, long idles reach quiescence mid-way).
+    #[test]
+    fn advance_idle_equals_n_empty_steps(
+        prefix in 0u64..2_000,
+        idle in 0u64..3_000,
+        postfix in 1u64..1_200,
+    ) {
+        let rads_cfg = RadsConfig {
+            line_rate: LineRate::Oc3072,
+            num_queues: 8,
+            granularity: 4,
+            lookahead: None,
+            dram: DramTiming::paper_design_point(),
+        };
+        check_advance_idle_equivalence(
+            RadsBuffer::new(rads_cfg),
+            RadsBuffer::new(rads_cfg),
+            prefix,
+            idle,
+            postfix,
+        );
+        check_advance_idle_equivalence(
+            DramOnlyBuffer::new(rads_cfg),
+            DramOnlyBuffer::new(rads_cfg),
+            prefix,
+            idle,
+            postfix,
+        );
+        let cfds_cfg = CfdsConfig::builder()
+            .line_rate(LineRate::Oc3072)
+            .num_queues(8)
+            .granularity(2)
+            .rads_granularity(8)
+            .num_banks(16)
+            .build()
+            .unwrap();
+        check_advance_idle_equivalence(
+            CfdsBuffer::new(cfds_cfg),
+            CfdsBuffer::new(cfds_cfg),
+            prefix,
+            idle,
+            postfix,
+        );
     }
 }
 
