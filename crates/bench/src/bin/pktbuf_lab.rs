@@ -14,6 +14,7 @@
 //! pktbuf-lab spec  # print a template spec to adapt
 //! ```
 
+use sim::fabric::{ArbiterChoice, FabricDesign, FabricLabReport, FabricSpec, FabricWorkload};
 use sim::lab::{ExperimentReport, LabRunner};
 use sim::report::TextTable;
 use sim::scenario::{DesignKind, Workload};
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
         "run" => run_command(rest, false),
         "sweep" => run_command(rest, true),
         "bench" => bench_command(rest),
+        "fabric" => fabric_command(rest),
         "paper" => paper_command(rest),
         "spec" => {
             println!("{}", template_spec().to_json());
@@ -58,11 +60,30 @@ fn print_usage() {
         "pktbuf-lab — declarative packet-buffer experiments
 
 USAGE:
-    pktbuf-lab run   [SPEC FLAGS] [OUTPUT FLAGS]   execute a spec (file or inline flags)
-    pktbuf-lab sweep [SPEC FLAGS] [OUTPUT FLAGS]   same, and print the per-run table
-    pktbuf-lab bench [BENCH FLAGS]                 run the hot-path benchmark suite
-    pktbuf-lab paper <ARTEFACT>                    regenerate a paper artefact
+    pktbuf-lab run    [SPEC FLAGS] [OUTPUT FLAGS]  execute a spec (file or inline flags)
+    pktbuf-lab sweep  [SPEC FLAGS] [OUTPUT FLAGS]  same, and print the per-run table
+    pktbuf-lab fabric [FABRIC FLAGS]               run N×N VOQ switch-fabric experiments
+    pktbuf-lab bench  [BENCH FLAGS]                run the hot-path benchmark suite
+    pktbuf-lab paper  <ARTEFACT>                   regenerate a paper artefact
     pktbuf-lab spec                                print a template spec JSON
+
+FABRIC FLAGS (whole-router runs: per-port packet buffers + crossbar arbiter +
+rate-limited egress; sweepable axes accept the same sweep syntax as below):
+    --spec <FILE>            read a fabric spec from JSON ('-' = stdin); flags override it
+    --print-spec             print the resulting spec as JSON and exit (save to adapt)
+    --smoke                  run the acceptance gate suite (16×16 CFDS incast +
+                             uniform at 95% load, both arbiters): fails unless every
+                             run is zero-loss and iSLIP sustains >= 90% crossbar
+                             utilisation under the admissible uniform load
+    --ports <SWEEP>          fabric port count N                 (default 8)
+    --designs <LIST|all>     dram-only, rads, cfds, mixed        (default cfds)
+    --workloads <LIST|all>   uniform, hotspot, incast, bursty    (default uniform)
+    --arbiters <LIST|all>    islip, maximal                      (default islip)
+    --iters <N>              iSLIP iterations per slot, 0 = auto (default 0)
+    --load <SWEEP>           offered load per port, percent      (default 90)
+    --egress-period <N>      slots per egress cell, 1 = line rate (default 1)
+    -b/-B/--banks, --rate, --slots, --seeds, --name, --threads, --json, --csv
+                             as for `run`/`sweep`
 
 BENCH FLAGS (all designs x all workloads + drain/idle showcase points, both
 engines — chunked and per-slot — per point; fails if the chunked engine is
@@ -75,7 +96,9 @@ slower than per-slot anywhere, beyond a fixed 10% same-run noise floor):
     --compare <FILE>         fail on a slots/sec regression vs FILE
     --max-regression <PCT>   regression tolerance (default 15)
     --tag <TAG>              append a trajectory entry (e.g. PR-4) carrying the
-                             previous artifact's history forward
+                             previous artifact's history forward; refuses a tag
+                             that is already recorded
+    --force                  allow --tag to append under an already-recorded tag
 
 SPEC FLAGS (inline specs; every axis accepts 'v', 'v1,v2,…', 'a..b*factor', 'a..b+step'):
     --spec <FILE>            read the spec from a JSON file ('-' = stdin); other spec flags override it
@@ -140,6 +163,7 @@ fn bench_command(args: &[String]) -> Result<(), String> {
             "--before" => options.before = Some(value("--before")?),
             "--compare" => options.compare = Some(value("--compare")?),
             "--tag" => options.tag = Some(value("--tag")?),
+            "--force" => options.force = true,
             "--repeat" => {
                 let v = value("--repeat")?;
                 options.repeat = Some(
@@ -164,6 +188,324 @@ fn bench_command(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Crossbar utilisation the `--smoke` gate requires under the admissible
+/// uniform load (the acceptance criterion of the fabric layer).
+const SMOKE_MIN_UTILIZATION: f64 = 0.90;
+
+/// Offered loads the `--smoke` gate crosses with its workloads. 95% is the
+/// near-saturation point the utilisation gate runs at; 25% matters for the
+/// *incast* runs: at 16 ports and 95% load the admissible incast fraction is
+/// clamped to the uniform share (the matrix degenerates to uniform), while
+/// at 25% the target output absorbs ~3.8× its uniform share — genuine
+/// many-to-one convergence with the target still at 95% of its line rate.
+const SMOKE_LOADS: [u64; 2] = [25, 95];
+
+/// The `fabric --smoke` gate suite: the 16×16 per-port-CFDS fabric under the
+/// incast and the admissible-uniform workload, both arbiters, at a
+/// convergent and a near-saturation load.
+fn fabric_smoke_spec() -> FabricSpec {
+    FabricSpec::builder()
+        .name("fabric-smoke")
+        .designs([FabricDesign::Fixed(DesignKind::Cfds)])
+        .workloads([FabricWorkload::Incast, FabricWorkload::Uniform])
+        .arbiters(ArbiterChoice::all())
+        .ports(Sweep::fixed(16))
+        .load_percent(Sweep::list(SMOKE_LOADS))
+        .arrival_slots(20_000)
+        .build()
+        .expect("the fabric smoke spec is valid")
+}
+
+fn fabric_command(args: &[String]) -> Result<(), String> {
+    let mut base: Option<FabricSpec> = None;
+    let mut output = OutputOptions {
+        threads: None,
+        json: None,
+        csv: None,
+    };
+    let mut smoke = false;
+    let mut print_spec = false;
+    type FabricEdit = Box<dyn FnOnce(&mut FabricSpec) -> Result<(), String>>;
+    let mut edits: Vec<FabricEdit> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--print-spec" => print_spec = true,
+            "--spec" => {
+                let text = read_spec_text(&value("--spec")?)?;
+                base = Some(FabricSpec::from_json(&text).map_err(|e| e.to_string())?);
+            }
+            "--name" => {
+                let v = value("--name")?;
+                edits.push(Box::new(move |s| {
+                    s.name = v;
+                    Ok(())
+                }));
+            }
+            "--ports" => {
+                let v = value("--ports")?;
+                edits.push(Box::new(move |s| {
+                    s.ports = parse_sweep(&v, "--ports")?;
+                    Ok(())
+                }));
+            }
+            "--designs" => {
+                let v = value("--designs")?;
+                edits.push(Box::new(move |s| {
+                    s.designs = if v.eq_ignore_ascii_case("all") {
+                        FabricDesign::all().to_vec()
+                    } else {
+                        parse_list(&v, "fabric design")?
+                    };
+                    Ok(())
+                }));
+            }
+            "--workloads" => {
+                let v = value("--workloads")?;
+                edits.push(Box::new(move |s| {
+                    s.workloads = if v.eq_ignore_ascii_case("all") {
+                        FabricWorkload::all().to_vec()
+                    } else {
+                        parse_list(&v, "fabric workload")?
+                    };
+                    Ok(())
+                }));
+            }
+            "--arbiters" => {
+                let v = value("--arbiters")?;
+                edits.push(Box::new(move |s| {
+                    s.arbiters = if v.eq_ignore_ascii_case("all") {
+                        ArbiterChoice::all().to_vec()
+                    } else {
+                        parse_list(&v, "arbiter")?
+                    };
+                    Ok(())
+                }));
+            }
+            "--iters" => {
+                let v = value("--iters")?;
+                edits.push(Box::new(move |s| {
+                    s.islip_iterations = parse_int(&v, "--iters")?;
+                    Ok(())
+                }));
+            }
+            "--load" => {
+                let v = value("--load")?;
+                edits.push(Box::new(move |s| {
+                    s.load_percent = parse_sweep(&v, "--load")?;
+                    Ok(())
+                }));
+            }
+            "--egress-period" => {
+                let v = value("--egress-period")?;
+                edits.push(Box::new(move |s| {
+                    s.egress_period = parse_int(&v, "--egress-period")?;
+                    Ok(())
+                }));
+            }
+            "--rate" => {
+                let v = value("--rate")?;
+                edits.push(Box::new(move |s| {
+                    s.line_rate = v.parse().map_err(|e| format!("--rate: {e}"))?;
+                    Ok(())
+                }));
+            }
+            "-b" | "--granularity" => {
+                let v = value("--granularity")?;
+                edits.push(Box::new(move |s| {
+                    s.granularity = parse_sweep(&v, "--granularity")?;
+                    Ok(())
+                }));
+            }
+            "-B" | "--rads-granularity" => {
+                let v = value("--rads-granularity")?;
+                edits.push(Box::new(move |s| {
+                    s.rads_granularity = parse_sweep(&v, "--rads-granularity")?;
+                    Ok(())
+                }));
+            }
+            "--banks" => {
+                let v = value("--banks")?;
+                edits.push(Box::new(move |s| {
+                    s.num_banks = parse_sweep(&v, "--banks")?;
+                    Ok(())
+                }));
+            }
+            "--slots" => {
+                let v = value("--slots")?;
+                edits.push(Box::new(move |s| {
+                    s.arrival_slots = parse_int(&v, "--slots")?;
+                    Ok(())
+                }));
+            }
+            "--seeds" => {
+                let v = value("--seeds")?;
+                edits.push(Box::new(move |s| {
+                    s.seeds = v
+                        .split(',')
+                        .map(|part| parse_int(part, "--seeds"))
+                        .collect::<Result<Vec<u64>, String>>()?;
+                    Ok(())
+                }));
+            }
+            "--threads" => {
+                output.threads = Some(parse_int(&value("--threads")?, "--threads")? as usize)
+            }
+            "--json" => output.json = Some(value("--json")?),
+            "--csv" => output.csv = Some(value("--csv")?),
+            other => return Err(format!("unknown fabric flag {other:?}")),
+        }
+    }
+    let mut spec = if smoke {
+        // The smoke suite is a *fixed* acceptance gate: letting spec flags
+        // through would let a typo (or a well-meaning CI edit) weaken the
+        // gated scenario while still reporting "gate held".
+        if base.is_some() || !edits.is_empty() {
+            return Err(
+                "--smoke runs the fixed gate suite; drop --spec and the spec flags \
+                 (--threads/--json/--csv remain available)"
+                    .to_owned(),
+            );
+        }
+        fabric_smoke_spec()
+    } else {
+        base.unwrap_or_else(|| {
+            FabricSpec::builder()
+                .build()
+                .expect("the default fabric spec is valid")
+        })
+    };
+    for edit in edits {
+        edit(&mut spec)?;
+    }
+    spec.expand().map_err(|e| e.to_string())?;
+    if print_spec {
+        println!("{}", spec.to_json());
+        return Ok(());
+    }
+    let machine_stdout = output.machine_stdout()?;
+    let mut runner = LabRunner::new();
+    if let Some(threads) = output.threads {
+        runner = runner.with_threads(threads);
+    }
+    let report = runner.run_fabric(&spec).map_err(|e| e.to_string())?;
+    print_fabric_summary(&report, machine_stdout);
+    output.write_reports("fabric ", || report.to_json(), || report.to_csv())?;
+    if smoke {
+        gate_fabric_smoke(&report)?;
+    }
+    Ok(())
+}
+
+/// The `fabric --smoke` acceptance gates: zero lost cells everywhere, and
+/// crossbar utilisation at least [`SMOKE_MIN_UTILIZATION`] on the iSLIP run
+/// under the admissible uniform load.
+fn gate_fabric_smoke(report: &FabricLabReport) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for run in &report.runs {
+        if !run.report.zero_loss {
+            failures.push(format!(
+                "run {} ({}x{} {}/{}) lost {} cells",
+                run.index,
+                run.scenario.ports,
+                run.scenario.ports,
+                run.scenario.workload,
+                run.scenario.arbiter,
+                run.report.lost_cells,
+            ));
+        }
+        let is_gated_utilization = run.scenario.workload == FabricWorkload::Uniform
+            && run.scenario.arbiter == ArbiterChoice::Islip
+            && run.scenario.load_percent >= 90;
+        if is_gated_utilization && run.report.crossbar_utilization < SMOKE_MIN_UTILIZATION {
+            failures.push(format!(
+                "run {}: crossbar utilisation {:.3} under admissible uniform load is \
+                 below the {SMOKE_MIN_UTILIZATION} gate",
+                run.index, run.report.crossbar_utilization,
+            ));
+        }
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "fabric smoke: all {} runs zero-loss; iSLIP utilisation gate ({}+) held",
+            report.runs.len(),
+            SMOKE_MIN_UTILIZATION,
+        );
+        Ok(())
+    } else {
+        Err(format!("fabric smoke gate failed: {}", failures.join("; ")))
+    }
+}
+
+fn print_fabric_summary(report: &FabricLabReport, to_stderr: bool) {
+    let emit = |line: &str| {
+        if to_stderr {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    let mut table = TextTable::new(vec![
+        "run",
+        "ports",
+        "design",
+        "workload",
+        "arbiter",
+        "load%",
+        "seed",
+        "arrivals",
+        "delivered",
+        "lost",
+        "resident",
+        "util",
+        "latency",
+        "zero-loss",
+    ]);
+    for run in &report.runs {
+        let s = &run.scenario;
+        let r = &run.report;
+        table.push_row(vec![
+            run.index.to_string(),
+            s.ports.to_string(),
+            s.design.to_string(),
+            s.workload.to_string(),
+            s.arbiter.to_string(),
+            s.load_percent.to_string(),
+            s.seed.to_string(),
+            r.arrivals.to_string(),
+            r.transmitted.to_string(),
+            r.lost_cells.to_string(),
+            r.resident_cells.to_string(),
+            format!("{:.3}", r.crossbar_utilization),
+            format!("{:.1}", r.mean_latency_slots),
+            r.zero_loss.to_string(),
+        ]);
+    }
+    emit(&table.render());
+    let agg = &report.aggregate;
+    emit(&format!(
+        "{}: {} runs ({} skipped invalid), {} zero-loss, {} arrivals, {} delivered, \
+         {} lost, {} resident, mean util {:.3}, min util {:.3}, max latency {} slots",
+        report.spec.name,
+        agg.runs,
+        report.skipped_invalid,
+        agg.zero_loss_runs,
+        agg.total_arrivals,
+        agg.total_transmitted,
+        agg.total_lost_cells,
+        agg.total_resident_cells,
+        agg.mean_crossbar_utilization,
+        agg.min_crossbar_utilization,
+        agg.max_latency_slots,
+    ));
+}
+
 fn paper_command(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or_else(|| {
         format!(
@@ -184,35 +526,73 @@ fn paper_command(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Parsed output options shared by `run` and `sweep`.
+/// Parsed output options shared by `run`, `sweep` and `fabric`.
 struct OutputOptions {
     threads: Option<usize>,
     json: Option<String>,
     csv: Option<String>,
 }
 
+impl OutputOptions {
+    /// Whether a machine-readable artifact targets stdout (`'-'`) — the
+    /// human summary then moves to stderr so the stream stays valid
+    /// JSON/CSV. Checked *before* a run starts: two artifacts cannot share
+    /// stdout (the concatenation would be neither), and discovering that
+    /// only after a long sweep would discard it.
+    ///
+    /// # Errors
+    ///
+    /// Errors when both `--json -` and `--csv -` were requested.
+    fn machine_stdout(&self) -> Result<bool, String> {
+        if self.json.as_deref() == Some("-") && self.csv.as_deref() == Some("-") {
+            return Err("--json - and --csv - cannot both write to stdout".to_owned());
+        }
+        Ok(self.json.as_deref() == Some("-") || self.csv.as_deref() == Some("-"))
+    }
+
+    /// Writes the JSON/CSV artifacts that were requested; the renderers run
+    /// lazily so an unrequested format costs nothing.
+    fn write_reports(
+        &self,
+        what: &str,
+        json: impl FnOnce() -> String,
+        csv: impl FnOnce() -> String,
+    ) -> Result<(), String> {
+        if let Some(path) = &self.json {
+            write_artifact(path, &json(), &format!("{what}JSON report"))?;
+        }
+        if let Some(path) = &self.csv {
+            write_artifact(path, &csv(), &format!("{what}CSV report"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Reads a spec's JSON text from a file path, or from stdin for `'-'`
+/// (shared by the `run`/`sweep` and `fabric` `--spec` flags).
+fn read_spec_text(path: &str) -> Result<String, String> {
+    if path == "-" {
+        use std::io::Read as _;
+        let mut buffer = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buffer)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        Ok(buffer)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))
+    }
+}
+
 fn run_command(args: &[String], print_runs: bool) -> Result<(), String> {
     let (spec, output) = parse_spec_args(args)?;
+    let machine_stdout = output.machine_stdout()?;
     let mut runner = LabRunner::new();
     if let Some(threads) = output.threads {
         runner = runner.with_threads(threads);
     }
     let report = runner.run(&spec).map_err(|e| e.to_string())?;
-    // When a machine-readable artifact targets stdout ('-'), the human
-    // summary moves to stderr so the stream stays valid JSON/CSV. Two
-    // artifacts cannot share stdout — the concatenation would be neither.
-    if output.json.as_deref() == Some("-") && output.csv.as_deref() == Some("-") {
-        return Err("--json - and --csv - cannot both write to stdout".to_owned());
-    }
-    let machine_stdout = output.json.as_deref() == Some("-") || output.csv.as_deref() == Some("-");
     print_summary(&report, print_runs, machine_stdout);
-    if let Some(path) = &output.json {
-        write_artifact(path, &report.to_json(), "JSON report")?;
-    }
-    if let Some(path) = &output.csv {
-        write_artifact(path, &report.to_csv(), "CSV report")?;
-    }
-    Ok(())
+    output.write_reports("", || report.to_json(), || report.to_csv())
 }
 
 fn write_artifact(path: &str, content: &str, what: &str) -> Result<(), String> {
@@ -249,18 +629,7 @@ fn parse_spec_args(args: &[String]) -> Result<(ExperimentSpec, OutputOptions), S
         };
         match flag.as_str() {
             "--spec" => {
-                let path = value("--spec")?;
-                let text = if path == "-" {
-                    use std::io::Read as _;
-                    let mut buffer = String::new();
-                    std::io::stdin()
-                        .read_to_string(&mut buffer)
-                        .map_err(|e| format!("cannot read stdin: {e}"))?;
-                    buffer
-                } else {
-                    std::fs::read_to_string(&path)
-                        .map_err(|e| format!("cannot read {path:?}: {e}"))?
-                };
+                let text = read_spec_text(&value("--spec")?)?;
                 base = Some(ExperimentSpec::from_json(&text).map_err(|e| e.to_string())?);
             }
             "--name" => {

@@ -1,0 +1,166 @@
+//! Structured results of one fabric run: per-port, per-output and
+//! matrix-level accounting.
+
+use pktbuf::BufferStats;
+use serde::{Serialize, Serializer};
+
+/// One ingress port's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortReport {
+    /// Design of the port's buffer ("RADS", "CFDS", "DRAM-only").
+    pub design: &'static str,
+    /// Cells offered on this port's line (the buffer accepts these minus
+    /// its tail drops).
+    pub arrivals: u64,
+    /// Cells granted out of this port's buffer (departed the ingress side).
+    pub grants: u64,
+    /// Cells still inside the buffer when the run ended (a residual partial
+    /// tail batch, never lost — see cell conservation).
+    pub resident_cells: u64,
+    /// The buffer's own statistics.
+    pub stats: BufferStats,
+}
+
+impl Serialize for PortReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("PortReport", 5)?;
+        st.serialize_field("design", &self.design)?;
+        st.serialize_field("arrivals", &self.arrivals)?;
+        st.serialize_field("grants", &self.grants)?;
+        st.serialize_field("resident_cells", &self.resident_cells)?;
+        st.serialize_field("stats", &self.stats)?;
+        st.end()
+    }
+}
+
+/// One egress port's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EgressReport {
+    /// Cells transmitted onto the output line.
+    pub transmitted: u64,
+    /// Deepest the transmit FIFO has been.
+    pub peak_queue_depth: u64,
+    /// Largest end-to-end latency (arrival to transmission) observed, slots.
+    pub max_latency_slots: u64,
+    /// Mean end-to-end latency over transmitted cells, slots.
+    pub mean_latency_slots: f64,
+}
+
+impl Serialize for EgressReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("EgressReport", 4)?;
+        st.serialize_field("transmitted", &self.transmitted)?;
+        st.serialize_field("peak_queue_depth", &self.peak_queue_depth)?;
+        st.serialize_field("max_latency_slots", &self.max_latency_slots)?;
+        st.serialize_field("mean_latency_slots", &self.mean_latency_slots)?;
+        st.end()
+    }
+}
+
+/// The result of one whole fabric run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricRunReport {
+    /// Number of ports.
+    pub ports: usize,
+    /// Arbiter label ("islip" / "maximal").
+    pub arbiter: &'static str,
+    /// Slots simulated, including the drain phase.
+    pub slots: u64,
+    /// Slots of the live-arrival phase.
+    pub active_slots: u64,
+    /// Cells offered across all ingress lines (includes cells a dropping
+    /// design refused at its tail SRAM).
+    pub arrivals: u64,
+    /// Crossbar matches made (= requests issued to ingress buffers).
+    pub matches: u64,
+    /// Cells granted out of the ingress buffers.
+    pub grants: u64,
+    /// Cells transmitted on the output lines.
+    pub transmitted: u64,
+    /// Cells lost (drops + misses + order violations over every port); the
+    /// smoke gates require 0.
+    pub lost_cells: u64,
+    /// Cells still resident in ingress buffers when the run ended.
+    pub resident_cells: u64,
+    /// Matches made *during the active phase* per port-slot of the active
+    /// phase — how much of the crossbar's capacity the scheduler actually
+    /// sustained while traffic was offered (an admissible load `ρ` sustains
+    /// utilisation `≈ ρ`; drain-phase matches are excluded, so a saturated
+    /// scheduler that only catches up during the drain scores low).
+    pub crossbar_utilization: f64,
+    /// Mean end-to-end latency over all transmitted cells, slots.
+    pub mean_latency_slots: f64,
+    /// Largest end-to-end latency observed on any output, slots.
+    pub max_latency_slots: u64,
+    /// Whether every worst-case guarantee held on every port.
+    pub zero_loss: bool,
+    /// Per-ingress-port outcomes.
+    pub per_port: Vec<PortReport>,
+    /// Per-egress-port outcomes.
+    pub per_output: Vec<EgressReport>,
+    /// Row-major `ports × ports` traffic matrix: arrivals at input `i`
+    /// destined to output `j`.
+    pub arrivals_matrix: Vec<u64>,
+    /// Row-major `ports × ports`: departures from input `i`'s VOQ `j`.
+    pub departures_matrix: Vec<u64>,
+}
+
+impl FabricRunReport {
+    /// Checks cell conservation end to end: per flow `(i, j)`, departures
+    /// never exceed arrivals; per port, offered arrivals = departures +
+    /// residents + tail drops; per output, transmissions equal the
+    /// departures aimed at it (egress FIFOs are flushed before a report is
+    /// built); and fabric-wide, arrivals = transmitted + resident + dropped.
+    pub fn conservation_holds(&self) -> bool {
+        let p = self.ports;
+        let flows_ok = self
+            .arrivals_matrix
+            .iter()
+            .zip(&self.departures_matrix)
+            .all(|(a, d)| d <= a);
+        let ports_ok = self.per_port.iter().enumerate().all(|(i, port)| {
+            let arrivals: u64 = self.arrivals_matrix[i * p..(i + 1) * p].iter().sum();
+            let departures: u64 = self.departures_matrix[i * p..(i + 1) * p].iter().sum();
+            arrivals == port.arrivals
+                && departures == port.grants
+                && port.arrivals == port.grants + port.resident_cells + port.stats.drops
+        });
+        let outputs_ok = self.per_output.iter().enumerate().all(|(j, output)| {
+            let aimed: u64 = (0..p).map(|i| self.departures_matrix[i * p + j]).sum();
+            output.transmitted == aimed
+        });
+        let dropped: u64 = self.per_port.iter().map(|port| port.stats.drops).sum();
+        flows_ok
+            && ports_ok
+            && outputs_ok
+            && self.arrivals == self.transmitted + self.resident_cells + dropped
+    }
+}
+
+impl Serialize for FabricRunReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("FabricRunReport", 18)?;
+        st.serialize_field("ports", &self.ports)?;
+        st.serialize_field("arbiter", &self.arbiter)?;
+        st.serialize_field("slots", &self.slots)?;
+        st.serialize_field("active_slots", &self.active_slots)?;
+        st.serialize_field("arrivals", &self.arrivals)?;
+        st.serialize_field("matches", &self.matches)?;
+        st.serialize_field("grants", &self.grants)?;
+        st.serialize_field("transmitted", &self.transmitted)?;
+        st.serialize_field("lost_cells", &self.lost_cells)?;
+        st.serialize_field("resident_cells", &self.resident_cells)?;
+        st.serialize_field("crossbar_utilization", &self.crossbar_utilization)?;
+        st.serialize_field("mean_latency_slots", &self.mean_latency_slots)?;
+        st.serialize_field("max_latency_slots", &self.max_latency_slots)?;
+        st.serialize_field("zero_loss", &self.zero_loss)?;
+        st.serialize_field("per_port", &self.per_port)?;
+        st.serialize_field("per_output", &self.per_output)?;
+        st.serialize_field("arrivals_matrix", &self.arrivals_matrix)?;
+        st.serialize_field("departures_matrix", &self.departures_matrix)?;
+        st.end()
+    }
+}

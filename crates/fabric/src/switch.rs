@@ -1,0 +1,516 @@
+//! The virtual-output-queued switch: N ingress packet buffers, a crossbar
+//! arbiter and N rate-limited egress ports, advanced slot-synchronously.
+//!
+//! # Slot anatomy
+//!
+//! Every slot the fabric (in this order): accrues egress credits, computes a
+//! crossbar matching over the VOQ occupancy ([`crate::CrossbarArbiter`]),
+//! steps every ingress buffer once — the matched ports with a request for
+//! their matched VOQ, all ports with their line-side arrival — hands granted
+//! cells to their egress FIFO, and transmits at the egress cadence.
+//!
+//! # Batch hot path
+//!
+//! Arbitration couples the ports: a slot's matching depends on every
+//! buffer's state *at that slot*, so — unlike the single-buffer engine —
+//! multi-slot `step_batch` fusion cannot cross an arbitration boundary.
+//! What the fabric does inherit from the chunked engine:
+//!
+//! * arrivals are generated a whole chunk at a time per port
+//!   ([`traffic::ArrivalGenerator::fill_arrivals`], register-resident RNG);
+//! * chunks in which provably nothing can happen — no arrival anywhere, all
+//!   buffers quiescent with nothing requestable, all egress FIFOs empty —
+//!   collapse to one [`pktbuf::PacketBuffer::advance_idle`] fast-forward per
+//!   port (the arbiter is unobservable on matchless slots by construction);
+//! * the drain tail terminates through the same quiescence probes.
+//!
+//! [`VoqSwitch::run_reference`] is the skip-free per-slot reference; the
+//! differential tests pin the two paths bit-identical.
+
+use crate::arbiter::{ArbiterKind, CrossbarArbiter};
+use crate::egress::EgressPort;
+use crate::report::{EgressReport, FabricRunReport, PortReport};
+use pktbuf::PacketBuffer;
+use pktbuf_model::{Cell, LogicalQueueId};
+use traffic::ArrivalGenerator;
+
+/// Slots per arrival-generation chunk (mirrors the single-buffer engine's
+/// chunk size; one ring of this length exists per ingress port).
+pub const FABRIC_CHUNK_SLOTS: usize = 256;
+
+/// Static configuration of a fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricConfig {
+    /// Number of ingress (= egress) ports.
+    pub ports: usize,
+    /// Slots per transmitted cell at each egress port (1 = full line rate).
+    pub egress_period: u64,
+    /// Crossbar scheduling algorithm.
+    pub arbiter: ArbiterKind,
+}
+
+impl FabricConfig {
+    /// A full-line-rate iSLIP fabric of `ports` ports.
+    pub fn new(ports: usize) -> Self {
+        FabricConfig {
+            ports,
+            egress_period: 1,
+            arbiter: ArbiterKind::Islip { iterations: 0 },
+        }
+    }
+}
+
+/// An `N×N` virtual-output-queued switch over any [`PacketBuffer`] design.
+///
+/// Ingress port `i`'s buffer holds `N` logical queues; queue `j` is the VOQ
+/// of egress port `j`. Homogeneous fabrics monomorphize over the concrete
+/// buffer type; mixed-design fabrics use [`crate::PortBuffer`].
+#[derive(Debug)]
+pub struct VoqSwitch<B: PacketBuffer> {
+    ports: usize,
+    buffers: Vec<B>,
+    arbiter: CrossbarArbiter,
+    egress: Vec<EgressPort>,
+    clock: u64,
+    matches: u64,
+    arrivals_total: u64,
+    grants_total: u64,
+    /// Row-major `ports × ports`: cells arrived at input `i` for output `j`.
+    arrivals_matrix: Vec<u64>,
+    /// Row-major `ports × ports`: cells granted out of input `i`'s VOQ `j`.
+    departures_matrix: Vec<u64>,
+    // Per-slot scratch, sized once.
+    match_in: Vec<Option<u32>>,
+    match_out: Vec<Option<u32>>,
+    output_ready: Vec<bool>,
+}
+
+impl<B: PacketBuffer> VoqSwitch<B> {
+    /// Builds a fabric from one ingress buffer per port.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the port count does not match the configuration or any
+    /// buffer's queue count differs from the port count (VOQ shape).
+    pub fn new(config: FabricConfig, buffers: Vec<B>) -> Self {
+        let ports = config.ports;
+        assert!(ports >= 2, "a fabric needs at least 2 ports");
+        assert_eq!(buffers.len(), ports, "one ingress buffer per port");
+        for (i, buffer) in buffers.iter().enumerate() {
+            assert_eq!(
+                buffer.num_queues(),
+                ports,
+                "ingress buffer {i} must hold one VOQ per egress port"
+            );
+        }
+        VoqSwitch {
+            ports,
+            arbiter: CrossbarArbiter::new(config.arbiter, ports),
+            egress: (0..ports)
+                .map(|_| EgressPort::new(config.egress_period))
+                .collect(),
+            buffers,
+            clock: 0,
+            matches: 0,
+            arrivals_total: 0,
+            grants_total: 0,
+            arrivals_matrix: vec![0; ports * ports],
+            departures_matrix: vec![0; ports * ports],
+            match_in: vec![None; ports],
+            match_out: vec![None; ports],
+            output_ready: vec![false; ports],
+        }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// The fabric clock (slots advanced so far).
+    pub fn current_slot(&self) -> u64 {
+        self.clock
+    }
+
+    /// Runs the fabric: `active_slots` slots with live arrivals (generator
+    /// `p` feeds ingress port `p`; its queue ids are egress ports), then a
+    /// drain phase until every deliverable cell has left on an output line.
+    ///
+    /// This is the production path: chunked arrival generation plus the idle
+    /// fast-forward described in the module docs. Bit-identical to
+    /// [`VoqSwitch::run_reference`] on the same inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the generator count or any generator's queue count does
+    /// not match the port count.
+    pub fn run<A: ArrivalGenerator>(
+        &mut self,
+        arrivals: &mut [A],
+        active_slots: u64,
+    ) -> FabricRunReport {
+        self.check_generators(arrivals);
+        let mut rings: Vec<Vec<Option<Cell>>> = vec![vec![None; FABRIC_CHUNK_SLOTS]; self.ports];
+        let mut slot_arrivals: Vec<Option<Cell>> = vec![None; self.ports];
+        let mut done = 0u64;
+        while done < active_slots {
+            let len = FABRIC_CHUNK_SLOTS.min((active_slots - done) as usize);
+            let base = self.clock;
+            let mut produced = 0usize;
+            for (generator, ring) in arrivals.iter_mut().zip(rings.iter_mut()) {
+                produced += generator.fill_arrivals(base, &mut ring[..len]);
+            }
+            if produced == 0 && self.is_idle() {
+                // No arrival in the whole chunk, nothing requestable, all
+                // pipelines quiescent, all egress FIFOs empty: the arbiter
+                // cannot match (all-false eligibility) and a matchless
+                // schedule is unobservable, so the chunk is pure idle.
+                self.advance_idle(len as u64);
+            } else {
+                for s in 0..len {
+                    for (slot_arrival, ring) in slot_arrivals.iter_mut().zip(rings.iter_mut()) {
+                        *slot_arrival = ring[s].take();
+                    }
+                    self.step_slot(&mut slot_arrivals);
+                }
+            }
+            done += len as u64;
+        }
+        let active_matches = self.matches;
+        self.drain();
+        self.build_report(active_slots, active_matches)
+    }
+
+    /// Runs the fabric slot by slot with no batching and no fast-forward:
+    /// the reference the chunked path is differentially tested against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the generator count or any generator's queue count does
+    /// not match the port count.
+    pub fn run_reference<A: ArrivalGenerator>(
+        &mut self,
+        arrivals: &mut [A],
+        active_slots: u64,
+    ) -> FabricRunReport {
+        self.check_generators(arrivals);
+        let mut slot_arrivals: Vec<Option<Cell>> = vec![None; self.ports];
+        for _ in 0..active_slots {
+            let t = self.clock;
+            for (slot_arrival, generator) in slot_arrivals.iter_mut().zip(arrivals.iter_mut()) {
+                *slot_arrival = generator.next(t);
+            }
+            self.step_slot(&mut slot_arrivals);
+        }
+        let active_matches = self.matches;
+        self.drain();
+        self.build_report(active_slots, active_matches)
+    }
+
+    fn check_generators<A: ArrivalGenerator>(&self, arrivals: &[A]) {
+        assert_eq!(arrivals.len(), self.ports, "one arrival generator per port");
+        for (p, generator) in arrivals.iter().enumerate() {
+            assert_eq!(
+                generator.num_queues(),
+                self.ports,
+                "generator {p} must target one destination per egress port"
+            );
+        }
+    }
+
+    /// Advances the fabric by one slot; `arrivals[p]` is port `p`'s line-side
+    /// arrival. Returns the number of crossbar matches made.
+    fn step_slot(&mut self, arrivals: &mut [Option<Cell>]) -> u64 {
+        let clock = self.clock;
+        let ports = self.ports;
+        for (ready, egress) in self.output_ready.iter_mut().zip(self.egress.iter_mut()) {
+            egress.begin_slot(clock);
+            *ready = egress.ready();
+        }
+        let matched = {
+            let Self {
+                buffers,
+                arbiter,
+                match_in,
+                match_out,
+                output_ready,
+                ..
+            } = self;
+            arbiter.schedule(
+                clock,
+                |i, j| buffers[i].requestable_cells(LogicalQueueId::new(j as u32)) > 0,
+                output_ready,
+                match_in,
+                match_out,
+            )
+        };
+        self.matches += matched;
+        for (i, arrival_slot) in arrivals.iter_mut().enumerate() {
+            let request = self.match_in[i].map(LogicalQueueId::new);
+            if let Some(j) = self.match_in[i] {
+                self.egress[j as usize].consume_credit();
+            }
+            let arrival = arrival_slot.take();
+            if let Some(cell) = &arrival {
+                self.arrivals_matrix[i * ports + cell.queue().as_usize()] += 1;
+                self.arrivals_total += 1;
+            }
+            let outcome = self.buffers[i].step(arrival, request);
+            if let Some(cell) = outcome.granted {
+                let dst = cell.queue().as_usize();
+                self.departures_matrix[i * ports + dst] += 1;
+                self.grants_total += 1;
+                self.egress[dst].push(cell);
+            }
+        }
+        for egress in &mut self.egress {
+            egress.end_slot(clock);
+        }
+        self.clock += 1;
+        matched
+    }
+
+    /// Whether an idle slot provably changes nothing observable: every
+    /// ingress pipeline quiescent with an empty requestable set (so the
+    /// eligibility matrix is all-false and frozen) and every egress FIFO
+    /// empty.
+    fn is_idle(&self) -> bool {
+        self.egress.iter().all(EgressPort::is_empty)
+            && self
+                .buffers
+                .iter()
+                .all(|b| b.is_quiescent() && b.requestable_total() == 0)
+    }
+
+    /// Fast-forwards `slots` provably idle slots: O(1) per buffer (their own
+    /// quiescent fast-forward) plus an arithmetic egress-credit update.
+    fn advance_idle(&mut self, slots: u64) {
+        for buffer in &mut self.buffers {
+            buffer.advance_idle(slots);
+        }
+        let clock = self.clock;
+        for egress in &mut self.egress {
+            egress.advance_idle(clock, slots);
+        }
+        self.clock += slots;
+    }
+
+    /// Drains the fabric after the active phase: keeps matching while any
+    /// VOQ is requestable (tail-SRAM cells become requestable as their
+    /// writebacks land), flushes the head pipelines, and empties the egress
+    /// FIFOs at the line-rate cadence.
+    ///
+    /// Cells that can never become requestable again — a residual partial
+    /// tail batch below the writeback threshold — are *residents*, not
+    /// losses; the flush horizon (max pipeline delay + 4 requestless slots)
+    /// bounds how long the fabric waits for stragglers, exactly like the
+    /// single-buffer engine's drain rule.
+    fn drain(&mut self) {
+        let flush = self
+            .buffers
+            .iter()
+            .map(|b| b.pipeline_delay_slots())
+            .max()
+            .unwrap_or(0) as u64
+            + 4;
+        let mut slot_arrivals: Vec<Option<Cell>> = vec![None; self.ports];
+        let mut idle_streak = 0u64;
+        loop {
+            let requestable = self.buffers.iter().any(|b| b.requestable_total() > 0);
+            if requestable {
+                idle_streak = 0;
+            } else {
+                let quiescent = self.buffers.iter().all(PacketBuffer::is_quiescent);
+                if (quiescent || idle_streak > flush)
+                    && self.egress.iter().all(EgressPort::is_empty)
+                {
+                    break;
+                }
+                idle_streak += 1;
+            }
+            self.step_slot(&mut slot_arrivals);
+        }
+    }
+
+    fn build_report(&self, active_slots: u64, active_matches: u64) -> FabricRunReport {
+        let ports = self.ports;
+        let per_port: Vec<PortReport> = self
+            .buffers
+            .iter()
+            .enumerate()
+            .map(|(i, buffer)| {
+                let row = &self.arrivals_matrix[i * ports..(i + 1) * ports];
+                let arrivals: u64 = row.iter().sum();
+                let grants: u64 = self.departures_matrix[i * ports..(i + 1) * ports]
+                    .iter()
+                    .sum();
+                // The matrix counts *offered* cells; the buffer accepts
+                // offered minus tail drops (zero for the worst-case designs).
+                debug_assert_eq!(
+                    arrivals,
+                    buffer.stats().arrivals + buffer.stats().drops,
+                    "port {i}: matrix row diverged from the buffer's own count"
+                );
+                PortReport {
+                    design: buffer.design_name(),
+                    arrivals,
+                    grants,
+                    resident_cells: buffer.stats().arrivals - grants,
+                    stats: *buffer.stats(),
+                }
+            })
+            .collect();
+        let per_output: Vec<EgressReport> = self
+            .egress
+            .iter()
+            .map(|egress| EgressReport {
+                transmitted: egress.transmitted(),
+                peak_queue_depth: egress.peak_depth() as u64,
+                max_latency_slots: egress.max_latency(),
+                mean_latency_slots: egress.mean_latency(),
+            })
+            .collect();
+        let transmitted: u64 = per_output.iter().map(|o| o.transmitted).sum();
+        let lost_cells: u64 = per_port
+            .iter()
+            .map(|p| p.stats.drops + p.stats.misses + p.stats.order_violations)
+            .sum();
+        let resident_cells: u64 = per_port.iter().map(|p| p.resident_cells).sum();
+        let weighted_latency: f64 = per_output
+            .iter()
+            .map(|o| o.mean_latency_slots * o.transmitted as f64)
+            .sum();
+        FabricRunReport {
+            ports,
+            arbiter: self.arbiter.kind().label(),
+            slots: self.clock,
+            active_slots,
+            arrivals: self.arrivals_total,
+            matches: self.matches,
+            grants: self.grants_total,
+            transmitted,
+            lost_cells,
+            resident_cells,
+            // Active-phase matches only: counting the drain's matches against
+            // an active-slot denominator would collapse the metric to the
+            // offered load for any conserving run (a saturated scheduler
+            // that delivers everything late would still score high).
+            crossbar_utilization: if active_slots == 0 {
+                0.0
+            } else {
+                active_matches as f64 / (ports as u64 * active_slots) as f64
+            },
+            mean_latency_slots: if transmitted == 0 {
+                0.0
+            } else {
+                weighted_latency / transmitted as f64
+            },
+            max_latency_slots: per_output
+                .iter()
+                .map(|o| o.max_latency_slots)
+                .max()
+                .unwrap_or(0),
+            zero_loss: lost_cells == 0 && per_port.iter().all(|p| p.stats.is_loss_free()),
+            per_port,
+            per_output,
+            arrivals_matrix: self.arrivals_matrix.clone(),
+            departures_matrix: self.departures_matrix.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pktbuf::RadsBuffer;
+    use pktbuf_model::{LineRate, RadsConfig};
+    use traffic::{stream_seed, BurstyArrivals, UniformArrivals};
+
+    fn rads_ports(ports: usize) -> Vec<RadsBuffer> {
+        (0..ports)
+            .map(|_| {
+                RadsBuffer::new(RadsConfig {
+                    line_rate: LineRate::Oc3072,
+                    num_queues: ports,
+                    granularity: 4,
+                    lookahead: None,
+                    dram: Default::default(),
+                })
+            })
+            .collect()
+    }
+
+    fn uniform_generators(ports: usize, load: f64, seed: u64) -> Vec<UniformArrivals> {
+        (0..ports)
+            .map(|p| UniformArrivals::new(ports, load, stream_seed(seed, p as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn uniform_fabric_delivers_every_cell() {
+        let ports = 4;
+        let mut switch = VoqSwitch::new(FabricConfig::new(ports), rads_ports(ports));
+        let mut arrivals = uniform_generators(ports, 0.7, 11);
+        let report = switch.run(&mut arrivals, 3_000);
+        assert!(report.zero_loss, "{report:?}");
+        assert!(report.arrivals > 1_000);
+        assert_eq!(report.grants, report.arrivals - report.resident_cells);
+        assert_eq!(report.transmitted, report.grants);
+        assert!(report.conservation_holds());
+        assert!(report.crossbar_utilization > 0.5);
+        assert!(report.mean_latency_slots > 0.0);
+    }
+
+    #[test]
+    fn chunked_run_matches_the_reference_engine() {
+        // Long idle gaps make most chunks pure-idle, exercising the
+        // fast-forward against the skip-free reference.
+        for arbiter in [ArbiterKind::Islip { iterations: 0 }, ArbiterKind::Maximal] {
+            let ports = 3;
+            let config = FabricConfig {
+                ports,
+                egress_period: 2,
+                arbiter,
+            };
+            let generators = |_| -> Vec<BurstyArrivals> {
+                (0..ports)
+                    .map(|p| BurstyArrivals::new(ports, 12.0, 700.0, stream_seed(5, p as u64)))
+                    .collect()
+            };
+            let mut fast = VoqSwitch::new(config, rads_ports(ports));
+            let fast_report = fast.run(&mut generators(()), 6_000);
+            let mut reference = VoqSwitch::new(config, rads_ports(ports));
+            let reference_report = reference.run_reference(&mut generators(()), 6_000);
+            assert_eq!(fast_report, reference_report, "{arbiter:?}");
+            assert!(fast_report.zero_loss);
+        }
+    }
+
+    #[test]
+    fn egress_rate_throttles_the_crossbar() {
+        let ports = 4;
+        let config = FabricConfig {
+            ports,
+            egress_period: 2, // half line rate per output
+            arbiter: ArbiterKind::Islip { iterations: 0 },
+        };
+        let mut switch = VoqSwitch::new(config, rads_ports(ports));
+        // Offered load 0.4 per port is admissible at half-rate outputs.
+        let mut arrivals = uniform_generators(ports, 0.4, 3);
+        let report = switch.run(&mut arrivals, 4_000);
+        assert!(report.zero_loss);
+        assert!(
+            report.crossbar_utilization <= 0.5 + 1e-9,
+            "matches cannot outrun the egress line rate: {}",
+            report.crossbar_utilization
+        );
+        assert!(report.conservation_holds());
+    }
+
+    #[test]
+    #[should_panic(expected = "one VOQ per egress port")]
+    fn mismatched_voq_shape_is_rejected() {
+        let buffers = rads_ports(4);
+        let _ = VoqSwitch::new(FabricConfig::new(3), buffers.into_iter().take(3).collect());
+    }
+}

@@ -1,0 +1,1417 @@
+//! Declarative fabric experiments: whole-router scenarios, sweepable specs
+//! and the lab integration.
+//!
+//! This module is the fabric-level mirror of [`crate::scenario`] /
+//! [`crate::spec`]: a [`FabricScenario`] fully describes one `N×N`
+//! VOQ-switch run (a `fabric::VoqSwitch`) — port count, per-port buffer
+//! design (mixed allowed), traffic pattern, arbiter, egress line rate — and
+//! a [`FabricSpec`] sweeps those axes into a cartesian product that
+//! [`LabRunner::run_fabric`] executes deterministically across worker
+//! threads.
+//!
+//! The four fabric workloads:
+//!
+//! * [`FabricWorkload::Uniform`] — every ingress port offers Bernoulli
+//!   traffic spread uniformly over the outputs; admissible up to load 1.
+//! * [`FabricWorkload::Hotspot`] — a fraction of every port's traffic
+//!   converges on a few hot outputs (inadmissible at high load: backlog
+//!   grows, the fabric must stay loss-free anyway).
+//! * [`FabricWorkload::Incast`] — sustained many-to-one pressure on one
+//!   output, auto-scaled to the admissibility edge
+//!   ([`traffic::IncastArrivals::admissible_fraction`]).
+//! * [`FabricWorkload::Bursty`] — per-port on/off trains with independent
+//!   per-port phases (each port seeds its own generator), mean burst
+//!   32 cells, gap length derived from the offered load.
+//!
+//! # The zero-loss envelope
+//!
+//! Within the *admissible* region — offered load at or below 95% of the
+//! line rate per port, fabrics of 8 ports or more — every workload above
+//! runs with **zero lost cells** on the worst-case designs (RADS, CFDS,
+//! mixed), which is what the `pktbuf-lab fabric --smoke` gate checks. Two
+//! boundaries are provisioning limits, not bugs, and are deliberate:
+//!
+//! * At exactly 100% stochastic load the fabric is critically loaded (no
+//!   arbiter sustains unit throughput on a random matrix), backlog grows
+//!   without bound and eventually fragments CFDS renaming — the §6
+//!   phenomenon — until tail drops appear. Use a deterministic matrix or
+//!   back off the load.
+//! * A 4-port CFDS fabric under the bursty workload at ≥ 85% load sees
+//!   mean bursts (32 cells) that are 8× its VOQ count; the resulting DRAM
+//!   scheduler delay spikes exceed the latency register's compensation and
+//!   occasional misses surface. Larger fabrics dilute a burst across more
+//!   groups and do not exhibit this (see ROADMAP: fabric-aware latency
+//!   register sizing).
+
+use crate::lab::{run_sharded, LabRunner};
+use crate::scenario::{normalize_name, serde_via_string, DesignKind, ParseNameError};
+use crate::spec::{SpecError, Sweep};
+pub use ::fabric::FabricRunReport;
+use ::fabric::{ArbiterKind, FabricConfig, PortBuffer, VoqSwitch};
+use pktbuf::PacketBuffer;
+use pktbuf_model::{CfdsConfig, ConfigError, ConfigOverrides, DramTiming, LineRate, RadsConfig};
+use serde::{de, Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+use std::str::FromStr;
+use traffic::{stream_seed, BurstyArrivals, HotspotArrivals, IncastArrivals, UniformArrivals};
+
+/// Which traffic matrix a fabric scenario applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FabricWorkload {
+    /// Uniform Bernoulli arrivals over all outputs.
+    Uniform,
+    /// A few hot outputs absorb most of every port's traffic.
+    Hotspot,
+    /// Many-to-one convergence on one output at the admissibility edge.
+    Incast,
+    /// On/off trains with independent per-port phase.
+    Bursty,
+}
+
+impl FabricWorkload {
+    /// All fabric workloads.
+    pub fn all() -> [FabricWorkload; 4] {
+        [
+            FabricWorkload::Uniform,
+            FabricWorkload::Hotspot,
+            FabricWorkload::Incast,
+            FabricWorkload::Bursty,
+        ]
+    }
+
+    /// Kebab-case canonical name.
+    pub fn label(self) -> &'static str {
+        match self {
+            FabricWorkload::Uniform => "uniform",
+            FabricWorkload::Hotspot => "hotspot",
+            FabricWorkload::Incast => "incast",
+            FabricWorkload::Bursty => "bursty",
+        }
+    }
+}
+
+impl fmt::Display for FabricWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for FabricWorkload {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match normalize_name(s).as_str() {
+            "uniform" => Ok(FabricWorkload::Uniform),
+            "hotspot" => Ok(FabricWorkload::Hotspot),
+            "incast" => Ok(FabricWorkload::Incast),
+            "bursty" => Ok(FabricWorkload::Bursty),
+            _ => Err(ParseNameError::new(
+                "fabric workload",
+                s,
+                "uniform, hotspot, incast, bursty",
+            )),
+        }
+    }
+}
+
+/// How a fabric's ingress buffers are designed, port by port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FabricDesign {
+    /// Every port runs the same design.
+    Fixed(DesignKind),
+    /// Ports alternate CFDS and RADS (port `i` runs CFDS when `i` is even):
+    /// the mixed-design case where per-port pipeline delays differ.
+    Mixed,
+}
+
+impl FabricDesign {
+    /// All fabric design choices, baselines first.
+    pub fn all() -> [FabricDesign; 4] {
+        [
+            FabricDesign::Fixed(DesignKind::DramOnly),
+            FabricDesign::Fixed(DesignKind::Rads),
+            FabricDesign::Fixed(DesignKind::Cfds),
+            FabricDesign::Mixed,
+        ]
+    }
+
+    /// The design of port `port` under this choice.
+    pub fn design_for_port(self, port: usize) -> DesignKind {
+        match self {
+            FabricDesign::Fixed(kind) => kind,
+            FabricDesign::Mixed => {
+                if port.is_multiple_of(2) {
+                    DesignKind::Cfds
+                } else {
+                    DesignKind::Rads
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for FabricDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricDesign::Fixed(kind) => kind.fmt(f),
+            FabricDesign::Mixed => f.write_str("mixed"),
+        }
+    }
+}
+
+impl FromStr for FabricDesign {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if normalize_name(s) == "mixed" {
+            return Ok(FabricDesign::Mixed);
+        }
+        s.parse::<DesignKind>()
+            .map(FabricDesign::Fixed)
+            .map_err(|_| ParseNameError::new("fabric design", s, "dram-only, rads, cfds, mixed"))
+    }
+}
+
+/// Which crossbar arbiter a fabric scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArbiterChoice {
+    /// iSLIP-style iterative matching.
+    Islip,
+    /// Greedy maximal-matching baseline.
+    Maximal,
+}
+
+impl ArbiterChoice {
+    /// Both arbiters, iSLIP first.
+    pub fn all() -> [ArbiterChoice; 2] {
+        [ArbiterChoice::Islip, ArbiterChoice::Maximal]
+    }
+
+    /// The fabric-crate arbiter kind, with `iterations` iSLIP iterations
+    /// (`0` = auto).
+    pub fn to_kind(self, iterations: usize) -> ArbiterKind {
+        match self {
+            ArbiterChoice::Islip => ArbiterKind::Islip { iterations },
+            ArbiterChoice::Maximal => ArbiterKind::Maximal,
+        }
+    }
+}
+
+impl fmt::Display for ArbiterChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArbiterChoice::Islip => "islip",
+            ArbiterChoice::Maximal => "maximal",
+        })
+    }
+}
+
+impl FromStr for ArbiterChoice {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match normalize_name(s).as_str() {
+            "islip" => Ok(ArbiterChoice::Islip),
+            "maximal" | "maximalmatching" => Ok(ArbiterChoice::Maximal),
+            _ => Err(ParseNameError::new("arbiter", s, "islip, maximal")),
+        }
+    }
+}
+
+serde_via_string!(FabricWorkload, "a fabric workload name");
+serde_via_string!(
+    FabricDesign,
+    "a fabric design name (dram-only, rads, cfds, mixed)"
+);
+serde_via_string!(ArbiterChoice, "an arbiter name (islip, maximal)");
+
+/// Why a fabric scenario is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricScenarioError {
+    /// A fabric needs at least two ports.
+    TooFewPorts(usize),
+    /// Offered load must stay in (0, 100] percent.
+    BadLoad(u64),
+    /// A per-port buffer configuration is invalid.
+    Config(ConfigError),
+}
+
+impl fmt::Display for FabricScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricScenarioError::TooFewPorts(p) => {
+                write!(f, "a fabric needs at least 2 ports, got {p}")
+            }
+            FabricScenarioError::BadLoad(pct) => {
+                write!(f, "offered load must be in (0, 100] percent, got {pct}")
+            }
+            FabricScenarioError::Config(e) => write!(f, "port buffer configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricScenarioError {}
+
+/// Mean on-burst length (cells) of the bursty fabric workload.
+const FABRIC_BURST_CELLS: f64 = 32.0;
+/// Fraction of hotspot traffic aimed at the hot outputs.
+const FABRIC_HOT_FRACTION: f64 = 0.75;
+
+/// Number of hot outputs in the hotspot fabric workload.
+fn hot_output_count(ports: usize) -> usize {
+    ports.div_ceil(8)
+}
+
+/// A fully specified fabric run: one expanded point of a [`FabricSpec`], or
+/// a hand-built one-off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricScenario {
+    /// Number of ingress (= egress) ports; each ingress buffer holds one VOQ
+    /// per egress port.
+    pub ports: usize,
+    /// Per-port buffer design.
+    pub design: FabricDesign,
+    /// Traffic matrix.
+    pub workload: FabricWorkload,
+    /// Crossbar arbiter.
+    pub arbiter: ArbiterChoice,
+    /// iSLIP iterations per slot (`0` = auto: `⌈log₂ ports⌉`).
+    pub islip_iterations: u64,
+    /// Line rate of every port.
+    pub line_rate: LineRate,
+    /// CFDS granularity `b` of CFDS ports.
+    pub granularity: usize,
+    /// RADS granularity `B` (all designs).
+    pub rads_granularity: usize,
+    /// DRAM banks `M` of CFDS ports.
+    pub num_banks: usize,
+    /// Offered load per ingress port, in percent of the line rate.
+    pub load_percent: u64,
+    /// Slots per transmitted cell at each egress port (1 = full line rate).
+    pub egress_period: u64,
+    /// Slots of the live-arrival phase (the drain runs until delivery).
+    pub arrival_slots: u64,
+    /// Base RNG seed; ingress port `p` seeds its generator with
+    /// [`traffic::stream_seed`]`(seed, p)` (space multi-seed sweeps by more
+    /// than the port count).
+    pub seed: u64,
+    /// Configuration knobs applied to every port buffer.
+    pub overrides: ConfigOverrides,
+}
+
+impl FabricScenario {
+    /// A small CFDS fabric useful as a smoke test: 4 ports, uniform traffic
+    /// at 80% load, 4 000 active slots.
+    pub fn small() -> Self {
+        FabricScenario {
+            ports: 4,
+            design: FabricDesign::Fixed(DesignKind::Cfds),
+            workload: FabricWorkload::Uniform,
+            arbiter: ArbiterChoice::Islip,
+            islip_iterations: 0,
+            line_rate: LineRate::Oc3072,
+            granularity: 2,
+            rads_granularity: 8,
+            num_banks: 16,
+            load_percent: 80,
+            egress_period: 1,
+            arrival_slots: 4_000,
+            seed: 1,
+            overrides: ConfigOverrides::none(),
+        }
+    }
+
+    /// Offered load per port as a fraction.
+    pub fn load(&self) -> f64 {
+        (self.load_percent as f64 / 100.0).clamp(0.0, 1.0)
+    }
+
+    /// The RADS configuration of this scenario's RADS/DRAM-only ports.
+    ///
+    /// Fabric ports provision `B` slots of lookahead on top of the ECQF
+    /// minimum `Q(B−1)+1` (overridable through
+    /// [`ConfigOverrides::lookahead`]). The minimum assumes the block chosen
+    /// at a replenishment decision is usable immediately; in this workspace
+    /// the DRAM read is in flight for `B` further slots, and a crossbar
+    /// arbiter — unlike the single-buffer request generators — can produce
+    /// a *jittered* lock-step drain (a port loses the odd matching round)
+    /// that lands a due request exactly inside that in-flight window. One
+    /// extra access time of notice restores the margin; a by-definition
+    /// ECQF replay of such a trace misses without it, so this is a property
+    /// of the model, not of this implementation.
+    pub fn rads_config(&self) -> RadsConfig {
+        let ecqf_minimum = self.ports * (self.rads_granularity - 1) + 1;
+        self.overrides.apply_rads(RadsConfig {
+            line_rate: self.line_rate,
+            num_queues: self.ports,
+            granularity: self.rads_granularity,
+            lookahead: Some(ecqf_minimum + self.rads_granularity),
+            dram: DramTiming::paper_design_point(),
+        })
+    }
+
+    /// The CFDS configuration of this scenario's CFDS ports, or the reason
+    /// it is invalid.
+    ///
+    /// Fabric ports default to a physical-queue oversubscription factor of
+    /// `k = 2` (overridable through
+    /// [`ConfigOverrides::physical_queue_factor`]): a fabric buffer has only
+    /// `N` VOQs, and with `k = 1` a long single-destination burst starves
+    /// the renaming table of free names (its read and write chains must live
+    /// in different groups) — exactly the fragmentation §6's
+    /// oversubscription exists to absorb.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the parameters violate the CFDS
+    /// constraints (sweeps may produce such combinations; the spec layer
+    /// skips them).
+    pub fn try_cfds_config(&self) -> Result<CfdsConfig, ConfigError> {
+        // Same in-flight margin as `rads_config`, at the CFDS granularity:
+        // the ECQF minimum `Q(b−1)+1` assumes a replenishment decision is
+        // usable immediately, while the selected b-block is in the DRAM for
+        // one random access time (`B` slots); an arbiter-jittered lock-step
+        // drain can land a due request inside that window.
+        let ecqf_minimum = self.ports * (self.granularity - 1) + 1;
+        self.overrides
+            .apply_cfds(
+                CfdsConfig::builder()
+                    .line_rate(self.line_rate)
+                    .num_queues(self.ports)
+                    .physical_queue_factor(2)
+                    .granularity(self.granularity)
+                    .rads_granularity(self.rads_granularity)
+                    .num_banks(self.num_banks)
+                    .lookahead(ecqf_minimum + self.rads_granularity),
+            )
+            .build()
+    }
+
+    /// Checks that the scenario can be built and run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricScenarioError`] when the port count, load or any
+    /// per-port buffer configuration is invalid.
+    pub fn validate(&self) -> Result<(), FabricScenarioError> {
+        if self.ports < 2 {
+            return Err(FabricScenarioError::TooFewPorts(self.ports));
+        }
+        if self.load_percent == 0 || self.load_percent > 100 {
+            return Err(FabricScenarioError::BadLoad(self.load_percent));
+        }
+        let needs = |kind: DesignKind| -> Result<(), FabricScenarioError> {
+            match kind {
+                DesignKind::Cfds => self
+                    .try_cfds_config()
+                    .map(drop)
+                    .map_err(FabricScenarioError::Config),
+                DesignKind::DramOnly | DesignKind::Rads => self
+                    .rads_config()
+                    .validate()
+                    .map_err(FabricScenarioError::Config),
+            }
+        };
+        match self.design {
+            FabricDesign::Fixed(kind) => needs(kind),
+            FabricDesign::Mixed => {
+                needs(DesignKind::Cfds)?;
+                needs(DesignKind::Rads)
+            }
+        }
+    }
+
+    /// The fabric configuration (ports, egress rate, arbiter).
+    pub fn fabric_config(&self) -> FabricConfig {
+        FabricConfig {
+            ports: self.ports,
+            egress_period: self.egress_period.max(1),
+            arbiter: self.arbiter.to_kind(self.islip_iterations as usize),
+        }
+    }
+
+    fn build_port(&self, kind: DesignKind) -> PortBuffer {
+        match kind {
+            DesignKind::DramOnly => pktbuf::DramOnlyBuffer::new(self.rads_config()).into(),
+            DesignKind::Rads => pktbuf::RadsBuffer::new(self.rads_config()).into(),
+            DesignKind::Cfds => pktbuf::CfdsBuffer::new(
+                self.try_cfds_config()
+                    .expect("validated CFDS configuration"),
+            )
+            .into(),
+        }
+    }
+
+    /// Runs the scenario to completion.
+    ///
+    /// Homogeneous fabrics monomorphize the switch over the concrete buffer
+    /// type; mixed fabrics run over the `fabric::PortBuffer` enum.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`FabricScenario::validate`] would return an error.
+    pub fn run(&self) -> FabricRunReport {
+        match self.design {
+            FabricDesign::Fixed(DesignKind::DramOnly) => {
+                self.run_switch(|scenario, _| pktbuf::DramOnlyBuffer::new(scenario.rads_config()))
+            }
+            FabricDesign::Fixed(DesignKind::Rads) => {
+                self.run_switch(|scenario, _| pktbuf::RadsBuffer::new(scenario.rads_config()))
+            }
+            FabricDesign::Fixed(DesignKind::Cfds) => self.run_switch(|scenario, _| {
+                pktbuf::CfdsBuffer::new(
+                    scenario
+                        .try_cfds_config()
+                        .expect("validated CFDS configuration"),
+                )
+            }),
+            FabricDesign::Mixed => self.run_switch(|scenario, port| {
+                scenario.build_port(FabricDesign::Mixed.design_for_port(port))
+            }),
+        }
+    }
+
+    fn run_switch<B, F>(&self, build: F) -> FabricRunReport
+    where
+        B: PacketBuffer,
+        F: Fn(&FabricScenario, usize) -> B,
+    {
+        let buffers: Vec<B> = (0..self.ports).map(|p| build(self, p)).collect();
+        let mut switch = VoqSwitch::new(self.fabric_config(), buffers);
+        let ports = self.ports;
+        let load = self.load();
+        match self.workload {
+            FabricWorkload::Uniform => {
+                let mut arrivals: Vec<UniformArrivals> = (0..ports)
+                    .map(|p| UniformArrivals::new(ports, load, stream_seed(self.seed, p as u64)))
+                    .collect();
+                switch.run(&mut arrivals, self.arrival_slots)
+            }
+            FabricWorkload::Hotspot => {
+                let mut arrivals: Vec<HotspotArrivals> = (0..ports)
+                    .map(|p| {
+                        HotspotArrivals::new(
+                            ports,
+                            load,
+                            hot_output_count(ports),
+                            FABRIC_HOT_FRACTION,
+                            stream_seed(self.seed, p as u64),
+                        )
+                    })
+                    .collect();
+                switch.run(&mut arrivals, self.arrival_slots)
+            }
+            FabricWorkload::Incast => {
+                let fraction = IncastArrivals::admissible_fraction(ports, load);
+                let mut arrivals: Vec<IncastArrivals> = (0..ports)
+                    .map(|p| {
+                        IncastArrivals::new(
+                            ports,
+                            load,
+                            0,
+                            fraction,
+                            stream_seed(self.seed, p as u64),
+                        )
+                    })
+                    .collect();
+                switch.run(&mut arrivals, self.arrival_slots)
+            }
+            FabricWorkload::Bursty => {
+                // Mean gap chosen so the long-run on-fraction equals the
+                // offered load; per-port seeds give independent phases.
+                let gap = FABRIC_BURST_CELLS * (1.0 - load) / load.max(f64::MIN_POSITIVE);
+                let mut arrivals: Vec<BurstyArrivals> = (0..ports)
+                    .map(|p| {
+                        BurstyArrivals::new(
+                            ports,
+                            FABRIC_BURST_CELLS,
+                            gap,
+                            stream_seed(self.seed, p as u64),
+                        )
+                    })
+                    .collect();
+                switch.run(&mut arrivals, self.arrival_slots)
+            }
+        }
+    }
+}
+
+// Hand-written serde: a scenario is a flat JSON object; only `ports` is
+// required, everything else takes the `small()` defaults (with design,
+// workload and sizing defaults documented there).
+impl Serialize for FabricScenario {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("FabricScenario", 14)?;
+        st.serialize_field("ports", &self.ports)?;
+        st.serialize_field("design", &self.design)?;
+        st.serialize_field("workload", &self.workload)?;
+        st.serialize_field("arbiter", &self.arbiter)?;
+        st.serialize_field("islip_iterations", &self.islip_iterations)?;
+        st.serialize_field("line_rate", &self.line_rate)?;
+        st.serialize_field("granularity", &self.granularity)?;
+        st.serialize_field("rads_granularity", &self.rads_granularity)?;
+        st.serialize_field("num_banks", &self.num_banks)?;
+        st.serialize_field("load_percent", &self.load_percent)?;
+        st.serialize_field("egress_period", &self.egress_period)?;
+        st.serialize_field("arrival_slots", &self.arrival_slots)?;
+        st.serialize_field("seed", &self.seed)?;
+        st.serialize_field("overrides", &self.overrides)?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for FabricScenario {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = FabricScenario;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a fabric scenario object")
+            }
+            fn visit_map<A: de::MapAccess<'de>>(
+                self,
+                mut map: A,
+            ) -> Result<FabricScenario, A::Error> {
+                let mut scenario = FabricScenario::small();
+                let mut saw_ports = false;
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "ports" => {
+                            scenario.ports = map.next_value()?;
+                            saw_ports = true;
+                        }
+                        "design" => scenario.design = map.next_value()?,
+                        "workload" => scenario.workload = map.next_value()?,
+                        "arbiter" => scenario.arbiter = map.next_value()?,
+                        "islip_iterations" => scenario.islip_iterations = map.next_value()?,
+                        "line_rate" => scenario.line_rate = map.next_value()?,
+                        "granularity" => scenario.granularity = map.next_value()?,
+                        "rads_granularity" => scenario.rads_granularity = map.next_value()?,
+                        "num_banks" => scenario.num_banks = map.next_value()?,
+                        "load_percent" => scenario.load_percent = map.next_value()?,
+                        "egress_period" => scenario.egress_period = map.next_value()?,
+                        "arrival_slots" => scenario.arrival_slots = map.next_value()?,
+                        "seed" => scenario.seed = map.next_value()?,
+                        "overrides" => scenario.overrides = map.next_value()?,
+                        other => {
+                            return Err(de::Error::custom(format_args!(
+                                "unknown fabric scenario field {other:?}"
+                            )))
+                        }
+                    }
+                }
+                if !saw_ports {
+                    return Err(de::Error::custom("missing field \"ports\""));
+                }
+                Ok(scenario)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+/// A declarative, serializable fabric experiment: designs × workloads ×
+/// arbiters × swept parameters × seeds, expanded into [`FabricScenario`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricSpec {
+    /// Experiment name (used in reports and file names).
+    pub name: String,
+    /// Per-port design choices to cross (outermost axis).
+    pub designs: Vec<FabricDesign>,
+    /// Traffic matrices to cross.
+    pub workloads: Vec<FabricWorkload>,
+    /// Arbiters to cross.
+    pub arbiters: Vec<ArbiterChoice>,
+    /// Line rate shared by every run.
+    pub line_rate: LineRate,
+    /// Sweep of the port count `N`.
+    pub ports: Sweep,
+    /// Sweep of the per-port offered load, percent.
+    pub load_percent: Sweep,
+    /// Sweep of the CFDS granularity `b`.
+    pub granularity: Sweep,
+    /// Sweep of the RADS granularity `B`.
+    pub rads_granularity: Sweep,
+    /// Sweep of the DRAM banks `M`.
+    pub num_banks: Sweep,
+    /// iSLIP iterations per slot (`0` = auto).
+    pub islip_iterations: u64,
+    /// Slots per transmitted cell at each egress port.
+    pub egress_period: u64,
+    /// Live-arrival slots per run.
+    pub arrival_slots: u64,
+    /// Seeds to cross (innermost axis).
+    pub seeds: Vec<u64>,
+    /// Configuration knobs applied to every port buffer.
+    pub overrides: ConfigOverrides,
+}
+
+impl FabricSpec {
+    /// Starts a builder with smoke-test defaults (8-port CFDS fabric,
+    /// uniform traffic at 90% load under iSLIP, 10 000 live slots, seed 1).
+    pub fn builder() -> FabricSpecBuilder {
+        FabricSpecBuilder::default()
+    }
+
+    /// Expands the spec into the cartesian product of its axes, in a fixed
+    /// documented order: designs ▸ workloads ▸ arbiters ▸ ports ▸ load ▸
+    /// granularity ▸ RADS granularity ▸ banks ▸ seeds (left outermost).
+    /// Invalid combinations are skipped and counted; the CFDS-only axes
+    /// (`granularity`, `num_banks`) collapse to their first value for
+    /// fabrics without CFDS ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when an axis is empty or malformed, or when
+    /// every combination is invalid.
+    pub fn expand(&self) -> Result<FabricExpansion, SpecError> {
+        if self.designs.is_empty() {
+            return Err(SpecError::EmptyAxis("designs"));
+        }
+        if self.workloads.is_empty() {
+            return Err(SpecError::EmptyAxis("workloads"));
+        }
+        if self.arbiters.is_empty() {
+            return Err(SpecError::EmptyAxis("arbiters"));
+        }
+        if self.seeds.is_empty() {
+            return Err(SpecError::EmptyAxis("seeds"));
+        }
+        let ports = self.ports.values()?;
+        let loads = self.load_percent.values()?;
+        let granularities = self.granularity.values()?;
+        let rads_granularities = self.rads_granularity.values()?;
+        let banks = self.num_banks.values()?;
+        let mut runs = Vec::new();
+        let mut skipped_invalid = 0usize;
+        for design in &self.designs {
+            // `b` and `M` only matter where CFDS ports exist; crossing the
+            // pure-RADS/DRAM-only fabrics with them would repeat identical
+            // runs and over-weight those designs in the aggregate.
+            let (granularities, banks): (&[u64], &[u64]) = match design {
+                FabricDesign::Fixed(DesignKind::DramOnly)
+                | FabricDesign::Fixed(DesignKind::Rads) => (&granularities[..1], &banks[..1]),
+                FabricDesign::Fixed(DesignKind::Cfds) | FabricDesign::Mixed => {
+                    (&granularities, &banks)
+                }
+            };
+            for workload in &self.workloads {
+                for arbiter in &self.arbiters {
+                    for n in &ports {
+                        for load in &loads {
+                            for b in granularities {
+                                for big_b in &rads_granularities {
+                                    for m in banks {
+                                        for seed in &self.seeds {
+                                            let scenario = FabricScenario {
+                                                ports: *n as usize,
+                                                design: *design,
+                                                workload: *workload,
+                                                arbiter: *arbiter,
+                                                islip_iterations: self.islip_iterations,
+                                                line_rate: self.line_rate,
+                                                granularity: *b as usize,
+                                                rads_granularity: *big_b as usize,
+                                                num_banks: *m as usize,
+                                                load_percent: *load,
+                                                egress_period: self.egress_period,
+                                                arrival_slots: self.arrival_slots,
+                                                seed: *seed,
+                                                overrides: self.overrides,
+                                            };
+                                            if scenario.validate().is_ok() {
+                                                runs.push(scenario);
+                                            } else {
+                                                skipped_invalid += 1;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if runs.is_empty() {
+            return Err(SpecError::NoValidRuns);
+        }
+        Ok(FabricExpansion {
+            runs,
+            skipped_invalid,
+        })
+    }
+
+    /// Renders the spec as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("a fabric spec always serializes")
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Json`] on malformed JSON or unknown/ill-typed
+    /// fields.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        serde_json::from_str(text).map_err(|e| SpecError::Json(e.to_string()))
+    }
+}
+
+/// The result of expanding a fabric spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricExpansion {
+    /// The valid runs, in expansion order.
+    pub runs: Vec<FabricScenario>,
+    /// Combinations skipped because they were invalid.
+    pub skipped_invalid: usize,
+}
+
+/// Builder for [`FabricSpec`].
+#[derive(Debug, Clone)]
+pub struct FabricSpecBuilder {
+    spec: FabricSpec,
+}
+
+impl Default for FabricSpecBuilder {
+    fn default() -> Self {
+        FabricSpecBuilder {
+            spec: FabricSpec {
+                name: "fabric".to_owned(),
+                designs: vec![FabricDesign::Fixed(DesignKind::Cfds)],
+                workloads: vec![FabricWorkload::Uniform],
+                arbiters: vec![ArbiterChoice::Islip],
+                line_rate: LineRate::Oc3072,
+                ports: Sweep::Fixed(8),
+                load_percent: Sweep::Fixed(90),
+                granularity: Sweep::Fixed(4),
+                rads_granularity: Sweep::Fixed(16),
+                num_banks: Sweep::Fixed(64),
+                islip_iterations: 0,
+                egress_period: 1,
+                arrival_slots: 10_000,
+                seeds: vec![1],
+                overrides: ConfigOverrides::none(),
+            },
+        }
+    }
+}
+
+impl FabricSpecBuilder {
+    /// Sets the experiment name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.spec.name = name.into();
+        self
+    }
+
+    /// Sets the designs axis.
+    pub fn designs(mut self, designs: impl IntoIterator<Item = FabricDesign>) -> Self {
+        self.spec.designs = designs.into_iter().collect();
+        self
+    }
+
+    /// Sets the workloads axis.
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = FabricWorkload>) -> Self {
+        self.spec.workloads = workloads.into_iter().collect();
+        self
+    }
+
+    /// Sets the arbiters axis.
+    pub fn arbiters(mut self, arbiters: impl IntoIterator<Item = ArbiterChoice>) -> Self {
+        self.spec.arbiters = arbiters.into_iter().collect();
+        self
+    }
+
+    /// Sets the line rate.
+    pub fn line_rate(mut self, rate: LineRate) -> Self {
+        self.spec.line_rate = rate;
+        self
+    }
+
+    /// Sets the port-count axis.
+    pub fn ports(mut self, sweep: Sweep) -> Self {
+        self.spec.ports = sweep;
+        self
+    }
+
+    /// Sets the offered-load axis (percent).
+    pub fn load_percent(mut self, sweep: Sweep) -> Self {
+        self.spec.load_percent = sweep;
+        self
+    }
+
+    /// Sets the CFDS granularity axis.
+    pub fn granularity(mut self, sweep: Sweep) -> Self {
+        self.spec.granularity = sweep;
+        self
+    }
+
+    /// Sets the RADS granularity axis.
+    pub fn rads_granularity(mut self, sweep: Sweep) -> Self {
+        self.spec.rads_granularity = sweep;
+        self
+    }
+
+    /// Sets the DRAM banks axis.
+    pub fn num_banks(mut self, sweep: Sweep) -> Self {
+        self.spec.num_banks = sweep;
+        self
+    }
+
+    /// Sets the iSLIP iteration count (`0` = auto).
+    pub fn islip_iterations(mut self, iterations: u64) -> Self {
+        self.spec.islip_iterations = iterations;
+        self
+    }
+
+    /// Sets the egress period (slots per transmitted cell).
+    pub fn egress_period(mut self, period: u64) -> Self {
+        self.spec.egress_period = period;
+        self
+    }
+
+    /// Sets the number of live-arrival slots.
+    pub fn arrival_slots(mut self, slots: u64) -> Self {
+        self.spec.arrival_slots = slots;
+        self
+    }
+
+    /// Sets the seeds axis.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.spec.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the configuration overrides applied to every port buffer.
+    pub fn overrides(mut self, overrides: ConfigOverrides) -> Self {
+        self.spec.overrides = overrides;
+        self
+    }
+
+    /// Finalises the spec, checking that it expands to at least one run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SpecError`] from [`FabricSpec::expand`].
+    pub fn build(self) -> Result<FabricSpec, SpecError> {
+        self.spec.expand()?;
+        Ok(self.spec)
+    }
+}
+
+impl Serialize for FabricSpec {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("FabricSpec", 16)?;
+        st.serialize_field("name", &self.name)?;
+        st.serialize_field("designs", &self.designs)?;
+        st.serialize_field("workloads", &self.workloads)?;
+        st.serialize_field("arbiters", &self.arbiters)?;
+        st.serialize_field("line_rate", &self.line_rate)?;
+        st.serialize_field("ports", &self.ports)?;
+        st.serialize_field("load_percent", &self.load_percent)?;
+        st.serialize_field("granularity", &self.granularity)?;
+        st.serialize_field("rads_granularity", &self.rads_granularity)?;
+        st.serialize_field("num_banks", &self.num_banks)?;
+        st.serialize_field("islip_iterations", &self.islip_iterations)?;
+        st.serialize_field("egress_period", &self.egress_period)?;
+        st.serialize_field("arrival_slots", &self.arrival_slots)?;
+        st.serialize_field("seeds", &self.seeds)?;
+        st.serialize_field("overrides", &self.overrides)?;
+        st.serialize_field("kind", &"fabric")?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for FabricSpec {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = FabricSpec;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a fabric-spec object")
+            }
+            fn visit_map<A: de::MapAccess<'de>>(self, mut map: A) -> Result<FabricSpec, A::Error> {
+                // Unknown fields are rejected; omitted fields keep the
+                // builder defaults, so a minimal spec file stays minimal.
+                let mut spec = FabricSpecBuilder::default().spec;
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "name" => spec.name = map.next_value()?,
+                        "designs" => spec.designs = map.next_value()?,
+                        "workloads" => spec.workloads = map.next_value()?,
+                        "arbiters" => spec.arbiters = map.next_value()?,
+                        "line_rate" => spec.line_rate = map.next_value()?,
+                        "ports" => spec.ports = map.next_value()?,
+                        "load_percent" => spec.load_percent = map.next_value()?,
+                        "granularity" => spec.granularity = map.next_value()?,
+                        "rads_granularity" => spec.rads_granularity = map.next_value()?,
+                        "num_banks" => spec.num_banks = map.next_value()?,
+                        "islip_iterations" => spec.islip_iterations = map.next_value()?,
+                        "egress_period" => spec.egress_period = map.next_value()?,
+                        "arrival_slots" => spec.arrival_slots = map.next_value()?,
+                        "seeds" => spec.seeds = map.next_value()?,
+                        "overrides" => spec.overrides = map.next_value()?,
+                        "kind" => {
+                            let kind: String = map.next_value()?;
+                            if kind != "fabric" {
+                                return Err(de::Error::custom(format_args!(
+                                    "not a fabric spec (kind {kind:?})"
+                                )));
+                            }
+                        }
+                        other => {
+                            return Err(de::Error::custom(format_args!(
+                                "unknown fabric spec field {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(spec)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+/// One executed fabric run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricRunRecord {
+    /// Index of this run in the spec's expansion order.
+    pub index: usize,
+    /// The exact parameters of the run.
+    pub scenario: FabricScenario,
+    /// The fabric outcome.
+    pub report: FabricRunReport,
+}
+
+impl Serialize for FabricRunRecord {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("FabricRunRecord", 3)?;
+        st.serialize_field("index", &self.index)?;
+        st.serialize_field("scenario", &self.scenario)?;
+        st.serialize_field("report", &self.report)?;
+        st.end()
+    }
+}
+
+/// Aggregate statistics over every run of a fabric experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FabricAggregate {
+    /// Number of runs executed.
+    pub runs: u64,
+    /// Runs that lost no cell (and upheld every per-port guarantee).
+    pub zero_loss_runs: u64,
+    /// Whether every run was zero-loss.
+    pub all_zero_loss: bool,
+    /// Total cells arrived across runs.
+    pub total_arrivals: u64,
+    /// Total cells transmitted across runs.
+    pub total_transmitted: u64,
+    /// Total cells lost across runs (must stay 0).
+    pub total_lost_cells: u64,
+    /// Total cells resident in ingress buffers at run end.
+    pub total_resident_cells: u64,
+    /// Mean crossbar utilisation over runs (unweighted).
+    pub mean_crossbar_utilization: f64,
+    /// Smallest crossbar utilisation any run saw.
+    pub min_crossbar_utilization: f64,
+    /// Largest end-to-end latency any run saw (slots).
+    pub max_latency_slots: u64,
+    /// Deepest egress FIFO any run saw (cells).
+    pub peak_egress_depth: u64,
+}
+
+impl Serialize for FabricAggregate {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("FabricAggregate", 11)?;
+        st.serialize_field("runs", &self.runs)?;
+        st.serialize_field("zero_loss_runs", &self.zero_loss_runs)?;
+        st.serialize_field("all_zero_loss", &self.all_zero_loss)?;
+        st.serialize_field("total_arrivals", &self.total_arrivals)?;
+        st.serialize_field("total_transmitted", &self.total_transmitted)?;
+        st.serialize_field("total_lost_cells", &self.total_lost_cells)?;
+        st.serialize_field("total_resident_cells", &self.total_resident_cells)?;
+        st.serialize_field("mean_crossbar_utilization", &self.mean_crossbar_utilization)?;
+        st.serialize_field("min_crossbar_utilization", &self.min_crossbar_utilization)?;
+        st.serialize_field("max_latency_slots", &self.max_latency_slots)?;
+        st.serialize_field("peak_egress_depth", &self.peak_egress_depth)?;
+        st.end()
+    }
+}
+
+/// The structured result of executing a whole [`FabricSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricLabReport {
+    /// The spec that was executed.
+    pub spec: FabricSpec,
+    /// Combinations skipped during expansion.
+    pub skipped_invalid: usize,
+    /// Per-run results, in expansion order.
+    pub runs: Vec<FabricRunRecord>,
+    /// Aggregates over `runs`.
+    pub aggregate: FabricAggregate,
+}
+
+impl Serialize for FabricLabReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("FabricLabReport", 4)?;
+        st.serialize_field("spec", &self.spec)?;
+        st.serialize_field("skipped_invalid", &self.skipped_invalid)?;
+        st.serialize_field("aggregate", &self.aggregate)?;
+        st.serialize_field("runs", &self.runs)?;
+        st.end()
+    }
+}
+
+impl FabricLabReport {
+    /// Renders the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("a fabric report always serializes")
+    }
+
+    /// Renders one CSV row per run (with a header).
+    pub fn to_csv(&self) -> String {
+        let mut table = crate::report::TextTable::new(vec![
+            "index",
+            "ports",
+            "design",
+            "workload",
+            "arbiter",
+            "load_percent",
+            "egress_period",
+            "seed",
+            "slots",
+            "arrivals",
+            "transmitted",
+            "lost_cells",
+            "resident_cells",
+            "matches",
+            "crossbar_utilization",
+            "mean_latency_slots",
+            "max_latency_slots",
+            "zero_loss",
+        ]);
+        for run in &self.runs {
+            let s = &run.scenario;
+            let r = &run.report;
+            table.push_row(vec![
+                run.index.to_string(),
+                s.ports.to_string(),
+                s.design.to_string(),
+                s.workload.to_string(),
+                s.arbiter.to_string(),
+                s.load_percent.to_string(),
+                s.egress_period.to_string(),
+                s.seed.to_string(),
+                r.slots.to_string(),
+                r.arrivals.to_string(),
+                r.transmitted.to_string(),
+                r.lost_cells.to_string(),
+                r.resident_cells.to_string(),
+                r.matches.to_string(),
+                format!("{:.6}", r.crossbar_utilization),
+                format!("{:.3}", r.mean_latency_slots),
+                r.max_latency_slots.to_string(),
+                r.zero_loss.to_string(),
+            ]);
+        }
+        table.to_csv()
+    }
+}
+
+impl LabRunner {
+    /// Expands `spec` and executes every fabric run, exactly like
+    /// [`LabRunner::run`] does for single-buffer experiments: runs shard
+    /// over the worker threads through an atomic cursor and results are
+    /// stored by index, so the report is identical whatever the worker
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when the spec does not expand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn run_fabric(&self, spec: &FabricSpec) -> Result<FabricLabReport, SpecError> {
+        let expansion = spec.expand()?;
+        let runs = run_sharded(self.threads(), expansion.runs.len(), |index| {
+            let scenario = expansion.runs[index];
+            let report = scenario.run();
+            FabricRunRecord {
+                index,
+                scenario,
+                report,
+            }
+        });
+        let aggregate = aggregate_fabric(&runs);
+        Ok(FabricLabReport {
+            spec: spec.clone(),
+            skipped_invalid: expansion.skipped_invalid,
+            runs,
+            aggregate,
+        })
+    }
+}
+
+fn aggregate_fabric(runs: &[FabricRunRecord]) -> FabricAggregate {
+    let mut agg = FabricAggregate {
+        all_zero_loss: true,
+        min_crossbar_utilization: f64::INFINITY,
+        ..FabricAggregate::default()
+    };
+    let mut utilization_sum = 0.0f64;
+    for run in runs {
+        let r = &run.report;
+        agg.runs += 1;
+        if r.zero_loss {
+            agg.zero_loss_runs += 1;
+        } else {
+            agg.all_zero_loss = false;
+        }
+        agg.total_arrivals += r.arrivals;
+        agg.total_transmitted += r.transmitted;
+        agg.total_lost_cells += r.lost_cells;
+        agg.total_resident_cells += r.resident_cells;
+        utilization_sum += r.crossbar_utilization;
+        agg.min_crossbar_utilization = agg.min_crossbar_utilization.min(r.crossbar_utilization);
+        agg.max_latency_slots = agg.max_latency_slots.max(r.max_latency_slots);
+        agg.peak_egress_depth = agg.peak_egress_depth.max(
+            r.per_output
+                .iter()
+                .map(|o| o.peak_queue_depth)
+                .max()
+                .unwrap_or(0),
+        );
+    }
+    if agg.runs > 0 {
+        agg.mean_crossbar_utilization = utilization_sum / agg.runs as f64;
+    } else {
+        agg.min_crossbar_utilization = 0.0;
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fabric_scenario_is_zero_loss_and_conserving() {
+        let report = FabricScenario::small().run();
+        assert!(report.zero_loss, "{report:?}");
+        assert!(report.conservation_holds());
+        assert_eq!(report.ports, 4);
+        assert!(report.arrivals > 2_000);
+        assert!(report.crossbar_utilization > 0.5);
+    }
+
+    #[test]
+    fn every_workload_runs_zero_loss_on_every_design() {
+        for design in FabricDesign::all() {
+            for workload in FabricWorkload::all() {
+                let scenario = FabricScenario {
+                    design,
+                    workload,
+                    arrival_slots: 1_200,
+                    load_percent: 70,
+                    ..FabricScenario::small()
+                };
+                let report = scenario.run();
+                // The DRAM-only baseline misses under back-to-back requests
+                // — that is its point; every worst-case design must not.
+                if design == FabricDesign::Fixed(DesignKind::DramOnly) {
+                    assert!(report.conservation_holds(), "{design}/{workload}");
+                } else {
+                    assert!(
+                        report.zero_loss && report.conservation_holds(),
+                        "{design}/{workload}: {report:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_arbiters_and_slow_egress_stay_zero_loss() {
+        for arbiter in ArbiterChoice::all() {
+            let scenario = FabricScenario {
+                arbiter,
+                egress_period: 3,
+                load_percent: 30,
+                arrival_slots: 2_000,
+                ..FabricScenario::small()
+            };
+            let report = scenario.run();
+            assert!(report.zero_loss, "{arbiter}: {report:?}");
+            assert_eq!(report.arbiter, arbiter.to_string());
+            assert!(report.crossbar_utilization <= 1.0 / 3.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fabric_names_round_trip() {
+        for workload in FabricWorkload::all() {
+            let text = workload.to_string();
+            assert_eq!(text.parse::<FabricWorkload>().unwrap(), workload, "{text}");
+        }
+        for design in FabricDesign::all() {
+            let text = design.to_string();
+            assert_eq!(text.parse::<FabricDesign>().unwrap(), design, "{text}");
+        }
+        for arbiter in ArbiterChoice::all() {
+            let text = arbiter.to_string();
+            assert_eq!(text.parse::<ArbiterChoice>().unwrap(), arbiter, "{text}");
+        }
+        assert!("warp".parse::<FabricDesign>().is_err());
+        assert!("chaos".parse::<FabricWorkload>().is_err());
+        assert!("random".parse::<ArbiterChoice>().is_err());
+    }
+
+    #[test]
+    fn mixed_design_alternates_cfds_and_rads() {
+        assert_eq!(FabricDesign::Mixed.design_for_port(0), DesignKind::Cfds);
+        assert_eq!(FabricDesign::Mixed.design_for_port(1), DesignKind::Rads);
+        let report = FabricScenario {
+            design: FabricDesign::Mixed,
+            arrival_slots: 800,
+            ..FabricScenario::small()
+        }
+        .run();
+        assert_eq!(report.per_port[0].design, "CFDS");
+        assert_eq!(report.per_port[1].design, "RADS");
+        assert!(report.zero_loss);
+    }
+
+    #[test]
+    fn scenario_validation_catches_bad_parameters() {
+        assert!(FabricScenario::small().validate().is_ok());
+        let too_small = FabricScenario {
+            ports: 1,
+            ..FabricScenario::small()
+        };
+        assert_eq!(
+            too_small.validate(),
+            Err(FabricScenarioError::TooFewPorts(1))
+        );
+        let silly_load = FabricScenario {
+            load_percent: 150,
+            ..FabricScenario::small()
+        };
+        assert_eq!(
+            silly_load.validate(),
+            Err(FabricScenarioError::BadLoad(150))
+        );
+        let bad_cfds = FabricScenario {
+            granularity: 3, // does not divide B = 8
+            ..FabricScenario::small()
+        };
+        assert!(bad_cfds.validate().is_err());
+    }
+
+    #[test]
+    fn spec_expands_and_collapses_cfds_axes() {
+        let spec = FabricSpec::builder()
+            .designs([
+                FabricDesign::Fixed(DesignKind::Rads),
+                FabricDesign::Fixed(DesignKind::Cfds),
+            ])
+            .workloads([FabricWorkload::Uniform, FabricWorkload::Incast])
+            .ports(Sweep::list([4, 8]))
+            .granularity(Sweep::list([2, 4]))
+            .rads_granularity(Sweep::fixed(8))
+            .num_banks(Sweep::fixed(16))
+            .arrival_slots(500)
+            .build()
+            .unwrap();
+        let expansion = spec.expand().unwrap();
+        let rads_runs = expansion
+            .runs
+            .iter()
+            .filter(|r| r.design == FabricDesign::Fixed(DesignKind::Rads))
+            .count();
+        let cfds_runs = expansion
+            .runs
+            .iter()
+            .filter(|r| r.design == FabricDesign::Fixed(DesignKind::Cfds))
+            .count();
+        assert_eq!(rads_runs, 2 * 2, "granularity axis collapses for RADS");
+        assert_eq!(cfds_runs, 2 * 2 * 2, "CFDS keeps the granularity axis");
+        assert_eq!(expansion.skipped_invalid, 0);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = FabricSpec::builder()
+            .name("fabric-sweep")
+            .designs(FabricDesign::all())
+            .workloads(FabricWorkload::all())
+            .arbiters(ArbiterChoice::all())
+            .ports(Sweep::doubling(4, 16))
+            .load_percent(Sweep::list([60, 90]))
+            .arrival_slots(2_000)
+            .seeds([1, 101])
+            .build()
+            .unwrap();
+        let json = spec.to_json();
+        let back = FabricSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), json);
+        // A minimal spec takes the builder defaults.
+        let minimal = FabricSpec::from_json("{\"name\": \"tiny\"}").unwrap();
+        assert_eq!(minimal.name, "tiny");
+        assert_eq!(minimal.ports, Sweep::Fixed(8));
+        // Unknown fields and foreign kinds are rejected.
+        assert!(FabricSpec::from_json("{\"mystery\": 1}").is_err());
+        assert!(FabricSpec::from_json("{\"kind\": \"experiment\"}").is_err());
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let scenario = FabricScenario {
+            design: FabricDesign::Mixed,
+            workload: FabricWorkload::Incast,
+            arbiter: ArbiterChoice::Maximal,
+            seed: 99,
+            ..FabricScenario::small()
+        };
+        let json = serde_json::to_string_pretty(scenario).unwrap();
+        let back: FabricScenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scenario);
+        let minimal: FabricScenario = serde_json::from_str("{\"ports\": 8}").unwrap();
+        assert_eq!(minimal.ports, 8);
+        assert_eq!(minimal.workload, FabricWorkload::Uniform);
+        assert!(serde_json::from_str::<FabricScenario>("{}").is_err());
+    }
+
+    #[test]
+    fn lab_runner_report_is_thread_count_invariant() {
+        let spec = FabricSpec::builder()
+            .designs([FabricDesign::Fixed(DesignKind::Rads), FabricDesign::Mixed])
+            .workloads([FabricWorkload::Uniform, FabricWorkload::Bursty])
+            .ports(Sweep::fixed(4))
+            .load_percent(Sweep::fixed(75))
+            .granularity(Sweep::fixed(2))
+            .rads_granularity(Sweep::fixed(8))
+            .num_banks(Sweep::fixed(16))
+            .arrival_slots(600)
+            .build()
+            .unwrap();
+        let single = LabRunner::new().with_threads(1).run_fabric(&spec).unwrap();
+        let multi = LabRunner::new().with_threads(4).run_fabric(&spec).unwrap();
+        assert_eq!(single, multi);
+        assert_eq!(single.to_json(), multi.to_json());
+        assert_eq!(single.to_csv(), multi.to_csv());
+        assert_eq!(single.runs.len(), 4);
+        assert!(single.aggregate.all_zero_loss);
+        assert!(single.aggregate.mean_crossbar_utilization > 0.0);
+        let csv = single.to_csv();
+        assert_eq!(csv.lines().count(), 1 + single.runs.len());
+        assert!(csv.starts_with("index,ports,design"));
+    }
+}

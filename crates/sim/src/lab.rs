@@ -224,39 +224,15 @@ impl LabRunner {
     pub fn run(&self, spec: &ExperimentSpec) -> Result<ExperimentReport, SpecError> {
         let expansion = spec.expand()?;
         let record = self.record_grants.unwrap_or(spec.record_grants);
-        let total = expansion.runs.len();
-        let workers = self.threads.get().min(total);
-        let cursor = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; total]);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                handles.push(scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= total {
-                        break;
-                    }
-                    let scenario = expansion.runs[index];
-                    let report = scenario.run_with_grant_log(record);
-                    let record = RunRecord {
-                        index,
-                        scenario,
-                        report,
-                    };
-                    results.lock().expect("no worker panicked holding the lock")[index] =
-                        Some(record);
-                }));
-            }
-            for handle in handles {
-                handle.join().expect("experiment worker panicked");
+        let runs = run_sharded(self.threads.get(), expansion.runs.len(), |index| {
+            let scenario = expansion.runs[index];
+            let report = scenario.run_with_grant_log(record);
+            RunRecord {
+                index,
+                scenario,
+                report,
             }
         });
-        let runs: Vec<RunRecord> = results
-            .into_inner()
-            .expect("all workers joined")
-            .into_iter()
-            .map(|slot| slot.expect("every run index was executed"))
-            .collect();
         let aggregate = aggregate(&runs);
         // Echo the *effective* spec: if the runner overrode record_grants,
         // the self-describing report must say so, or re-running the echoed
@@ -270,6 +246,50 @@ impl LabRunner {
             aggregate,
         })
     }
+}
+
+/// Executes `total` independent runs across up to `workers` threads.
+///
+/// Workers pull indices from a shared atomic cursor and results are stored
+/// by index, so the output is **identical whatever the worker count or
+/// scheduling order** — the shared substrate of [`LabRunner::run`] and
+/// [`LabRunner::run_fabric`](crate::fabric), and the property the
+/// determinism tests pin down.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a run panicking is a bug in the system
+/// under test, and hiding it would taint the whole report).
+pub(crate) fn run_sharded<T, F>(workers: usize, total: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.min(total).max(1);
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..total).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= total {
+                    break;
+                }
+                let result = run(index);
+                results.lock().expect("no worker panicked holding the lock")[index] = Some(result);
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("experiment worker panicked");
+        }
+    });
+    results
+        .into_inner()
+        .expect("all workers joined")
+        .into_iter()
+        .map(|slot| slot.expect("every run index was executed"))
+        .collect()
 }
 
 fn aggregate(runs: &[RunRecord]) -> LabAggregate {

@@ -68,12 +68,14 @@
 #![warn(missing_debug_implementations)]
 
 mod engine;
+pub mod fabric;
 pub mod lab;
 pub mod report;
 pub mod scenario;
 pub mod spec;
 pub mod techeval;
 
+pub use crate::fabric::{FabricScenario, FabricSpec};
 pub use engine::{
     workload_label, GeneratorSource, SimulationEngine, SimulationReport, CHUNK_SLOTS,
 };

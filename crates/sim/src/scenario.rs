@@ -21,6 +21,17 @@ pub struct ParseNameError {
     expected: &'static str,
 }
 
+impl ParseNameError {
+    /// Creates a parse error (shared with the fabric layer's name enums).
+    pub(crate) fn new(what: &'static str, input: &str, expected: &'static str) -> Self {
+        ParseNameError {
+            what,
+            input: input.to_owned(),
+            expected,
+        }
+    }
+}
+
 impl fmt::Display for ParseNameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -35,7 +46,7 @@ impl std::error::Error for ParseNameError {}
 
 /// Lower-cases and strips `-`/`_` so that `"DRAM-only"`, `"dram_only"` and
 /// `"dramonly"` all compare equal.
-fn normalize_name(s: &str) -> String {
+pub(crate) fn normalize_name(s: &str) -> String {
     s.trim()
         .chars()
         .filter(|c| *c != '-' && *c != '_')
@@ -203,6 +214,8 @@ macro_rules! serde_via_string {
 
 serde_via_string!(DesignKind, "a design name (dram-only, rads, cfds)");
 serde_via_string!(Workload, "a workload name");
+
+pub(crate) use serde_via_string;
 
 /// A fully specified experiment scenario: one expanded run of an
 /// [`crate::spec::ExperimentSpec`], or a hand-built one-off.

@@ -274,6 +274,83 @@ impl ArrivalGenerator for HotspotArrivals {
     }
 }
 
+/// Incast arrivals: sustained many-to-one pressure. A fraction of the
+/// traffic converges on one *target* queue (in a fabric: the egress port
+/// every ingress port is hammering), the rest spreads uniformly over the
+/// remaining queues.
+///
+/// With `num_sources` generators at load `ρ` and incast fraction `f`, the
+/// target absorbs an aggregate `num_sources · ρ · f` of its service rate —
+/// [`IncastArrivals::admissible_fraction`] picks the largest `f` that keeps
+/// that aggregate just under 1 (a single egress line), which is the
+/// interesting regime: maximal contention without unbounded backlog.
+#[derive(Debug)]
+pub struct IncastArrivals {
+    seq: SeqTracker,
+    rng: StdRng,
+    load: f64,
+    target: u32,
+    incast_fraction: f64,
+}
+
+impl IncastArrivals {
+    /// Creates an incast generator: `incast_fraction` of arrivals go to
+    /// `target`, the rest uniformly to the other queues.
+    pub fn new(num_queues: usize, load: f64, target: u32, incast_fraction: f64, seed: u64) -> Self {
+        assert!(
+            (target as usize) < num_queues,
+            "incast target must be a valid queue"
+        );
+        IncastArrivals {
+            seq: SeqTracker::new(num_queues),
+            rng: StdRng::seed_from_u64(seed),
+            load: load.clamp(0.0, 1.0),
+            target,
+            incast_fraction: incast_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The largest incast fraction that keeps the target's aggregate load
+    /// from `num_sources` synchronized senders at `load` each just below one
+    /// service unit (here: `0.95`), floored at the uniform share — an
+    /// admissible but maximally contended many-to-one pattern.
+    pub fn admissible_fraction(num_sources: usize, load: f64) -> f64 {
+        let aggregate = num_sources as f64 * load.max(f64::MIN_POSITIVE);
+        let uniform_share = 1.0 / num_sources.max(1) as f64;
+        (0.95 / aggregate).clamp(uniform_share.min(1.0), 1.0)
+    }
+}
+
+impl ArrivalGenerator for IncastArrivals {
+    fn next(&mut self, slot: u64) -> Option<Cell> {
+        if self.rng.gen::<f64>() >= self.load {
+            return None;
+        }
+        let n = self.seq.num_queues();
+        let q = if n == 1 || self.rng.gen::<f64>() < self.incast_fraction {
+            self.target
+        } else {
+            // Uniform over the non-target queues: draw from n-1 and skip the
+            // target by shifting the tail up one.
+            let draw = self.rng.gen_range(0..n - 1) as u32;
+            if draw >= self.target {
+                draw + 1
+            } else {
+                draw
+            }
+        };
+        Some(self.seq.mint(LogicalQueueId::new(q), slot))
+    }
+
+    fn num_queues(&self) -> usize {
+        self.seq.num_queues()
+    }
+
+    fn name(&self) -> &'static str {
+        "incast"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +416,43 @@ mod tests {
         assert!(mean > 4.0, "bursts should be long on average, got {mean}");
         assert_eq!(g.name(), "bursty");
         assert_eq!(g.num_queues(), 8);
+    }
+
+    #[test]
+    fn incast_converges_on_the_target() {
+        let mut g = IncastArrivals::new(16, 1.0, 5, 0.6, 9);
+        let mut on_target = 0u64;
+        let mut off_target = [0u64; 16];
+        let mut total = 0u64;
+        for t in 0..20_000 {
+            if let Some(c) = g.next(t) {
+                total += 1;
+                if c.queue().index() == 5 {
+                    on_target += 1;
+                } else {
+                    off_target[c.queue().as_usize()] += 1;
+                }
+            }
+        }
+        let frac = on_target as f64 / total as f64;
+        assert!((0.55..0.65).contains(&frac), "target fraction {frac}");
+        assert_eq!(off_target[5], 0);
+        assert!(
+            off_target.iter().filter(|&&c| c > 0).count() == 15,
+            "the rest spreads over every other queue"
+        );
+        assert_eq!(g.name(), "incast");
+        assert_eq!(g.num_queues(), 16);
+    }
+
+    #[test]
+    fn admissible_incast_fraction_keeps_the_target_under_one() {
+        // 16 sources at load 0.6: f = 0.95 / 9.6 ≈ 0.099.
+        let f = IncastArrivals::admissible_fraction(16, 0.6);
+        assert!(16.0 * 0.6 * f <= 0.95 + 1e-9);
+        assert!(f >= 1.0 / 16.0, "never below the uniform share");
+        // 2 sources at low load: capped at 1.0 (everything may converge).
+        assert_eq!(IncastArrivals::admissible_fraction(2, 0.1), 1.0);
     }
 
     #[test]

@@ -39,7 +39,8 @@ mod seq;
 mod trace;
 
 pub use arrivals::{
-    ArrivalGenerator, BurstyArrivals, HotspotArrivals, RoundRobinArrivals, UniformArrivals,
+    ArrivalGenerator, BurstyArrivals, HotspotArrivals, IncastArrivals, RoundRobinArrivals,
+    UniformArrivals,
 };
 pub use requests::{
     AdversarialRoundRobin, GreedyQueueDrain, HotspotRequests, RequestGenerator,
@@ -121,13 +122,16 @@ mod tests {
     #[test]
     fn arrival_generators_are_deterministic_in_their_seed() {
         type Maker = fn(u64) -> Box<dyn ArrivalGenerator>;
-        let makers: [(&str, Maker); 3] = [
+        let makers: [(&str, Maker); 4] = [
             ("uniform", |s| Box::new(UniformArrivals::new(16, 0.7, s))),
             ("bursty", |s| {
                 Box::new(BurstyArrivals::new(16, 24.0, 6.0, s))
             }),
             ("hotspot", |s| {
                 Box::new(HotspotArrivals::new(16, 0.8, 2, 0.8, s))
+            }),
+            ("incast", |s| {
+                Box::new(IncastArrivals::new(16, 0.8, 0, 0.5, s))
             }),
         ];
         for (name, make) in makers {
@@ -148,13 +152,16 @@ mod tests {
     #[test]
     fn fill_arrivals_matches_per_slot_stream() {
         type Maker = fn(u64) -> Box<dyn ArrivalGenerator>;
-        let makers: [(&str, Maker); 4] = [
+        let makers: [(&str, Maker); 5] = [
             ("uniform", |s| Box::new(UniformArrivals::new(16, 0.7, s))),
             ("bursty", |s| {
                 Box::new(BurstyArrivals::new(16, 24.0, 6.0, s))
             }),
             ("hotspot", |s| {
                 Box::new(HotspotArrivals::new(16, 0.8, 2, 0.8, s))
+            }),
+            ("incast", |s| {
+                Box::new(IncastArrivals::new(16, 0.8, 0, 0.5, s))
             }),
             ("round-robin", |_| Box::new(RoundRobinArrivals::new(16))),
         ];

@@ -1,75 +1,89 @@
-//! A virtual-output-queued input line card in front of a crossbar-like
-//! scheduler: live arrivals, per-queue destinations and a fabric that asks for
-//! cells according to its own (hot-spotted) schedule.
+//! A whole virtual-output-queued router: 16 ingress line cards (one CFDS
+//! packet buffer each), an iSLIP crossbar and 16 line-rate egress ports,
+//! under admissible incast traffic — every ingress port pressing on one hot
+//! egress port at just under its line rate.
 //!
-//! Exercises the full tail-SRAM → DRAM → head-SRAM path of the CFDS buffer
-//! with renaming under a skewed, bursty workload, and prints per-queue
-//! delivery counts at the end.
+//! This used to be a single line card driven by a hand-rolled "fabric"
+//! request generator; it is now a thin driver over the real `fabric` crate —
+//! arbitration, egress contention and end-to-end latency come from the
+//! system layer instead of being approximated by a request pattern.
 //!
 //! Run with: `cargo run --release --example voq_fabric_sim`
 
-use future_packet_buffers::buffers::{CfdsBuffer, PacketBuffer};
-use future_packet_buffers::model::{CfdsConfig, LineRate, LogicalQueueId};
-use future_packet_buffers::traffic::{
-    ArrivalGenerator, BurstyArrivals, HotspotRequests, RequestGenerator,
+use future_packet_buffers::sim::fabric::{
+    ArbiterChoice, FabricDesign, FabricScenario, FabricWorkload,
 };
+use future_packet_buffers::sim::scenario::DesignKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let num_queues = 32;
-    let cfg = CfdsConfig::builder()
-        .line_rate(LineRate::Oc3072)
-        .num_queues(num_queues)
-        .granularity(2)
-        .rads_granularity(8)
-        .num_banks(64)
-        .physical_queue_factor(2)
-        .build()?;
-    let mut buf = CfdsBuffer::new(cfg);
+    let scenario = FabricScenario {
+        ports: 16,
+        design: FabricDesign::Fixed(DesignKind::Cfds),
+        workload: FabricWorkload::Incast,
+        arbiter: ArbiterChoice::Islip,
+        granularity: 2,
+        rads_granularity: 8,
+        num_banks: 64,
+        load_percent: 85,
+        arrival_slots: 30_000,
+        seed: 2024,
+        ..FabricScenario::small()
+    };
+    scenario.validate()?;
+    let report = scenario.run();
 
-    // Bursty arrivals (long trains of cells to one destination at a time) and
-    // a fabric scheduler that favours a handful of hot output ports.
-    let mut arrivals = BurstyArrivals::new(num_queues, 48.0, 12.0, 2024);
-    let mut fabric = HotspotRequests::new(num_queues, 4, 0.7, 77);
+    let misses: u64 = report.per_port.iter().map(|p| p.stats.misses).sum();
+    let drops: u64 = report.per_port.iter().map(|p| p.stats.drops).sum();
+    let conflicts: u64 = report.per_port.iter().map(|p| p.stats.bank_conflicts).sum();
+    let peak_head = report
+        .per_port
+        .iter()
+        .map(|p| p.stats.peak_head_sram_cells)
+        .max()
+        .unwrap_or(0);
+    let peak_tail = report
+        .per_port
+        .iter()
+        .map(|p| p.stats.peak_tail_sram_cells)
+        .max()
+        .unwrap_or(0);
+    let peak_rr = report
+        .per_port
+        .iter()
+        .map(|p| p.stats.peak_rr_entries)
+        .max()
+        .unwrap_or(0);
 
-    let active_slots = 60_000u64;
-    let drain = buf.pipeline_delay_slots() as u64 + 2_048;
-    let mut per_queue_grants = vec![0u64; num_queues];
-    for t in 0..(active_slots + drain) {
-        let arrival = (t < active_slots).then(|| arrivals.next(t)).flatten();
-        let request = fabric.next(t, &|q: LogicalQueueId| buf.requestable_cells(q));
-        let outcome = buf.step(arrival, request);
-        if let Some(cell) = outcome.granted {
-            per_queue_grants[cell.queue().as_usize()] += 1;
-        }
-        assert!(
-            outcome.miss.is_none(),
-            "zero-miss guarantee violated at slot {t}"
-        );
-    }
-
-    let stats = buf.stats();
     println!(
-        "VOQ line card with {num_queues} queues over {} slots",
-        stats.slots
+        "VOQ fabric with {} ports over {} slots",
+        report.ports, report.slots
     );
     println!(
         "arrivals {}   grants {}   misses {}   drops {}   bank conflicts {}",
-        stats.arrivals, stats.grants, stats.misses, stats.drops, stats.bank_conflicts
+        report.arrivals, report.grants, misses, drops, conflicts
     );
     println!(
-        "peak SRAM: head {} cells, tail {} cells; peak RR {} entries; DRAM utilisation {:.3}",
-        stats.peak_head_sram_cells,
-        stats.peak_tail_sram_cells,
-        stats.peak_rr_entries,
-        buf.dram_utilisation()
+        "peak SRAM per port: head {peak_head} cells, tail {peak_tail} cells; peak RR {peak_rr} \
+         entries; crossbar utilisation {:.3}",
+        report.crossbar_utilization
     );
-    println!("\nper-queue grants (hot outputs first):");
-    for (i, grants) in per_queue_grants.iter().enumerate() {
-        if *grants > 0 {
-            println!("  queue {i:3}: {grants}");
+    println!(
+        "end-to-end latency: mean {:.1} slots, max {} slots",
+        report.mean_latency_slots, report.max_latency_slots
+    );
+    println!("\nper-output deliveries (the incast target first):");
+    for (j, output) in report.per_output.iter().enumerate() {
+        if output.transmitted > 0 {
+            println!(
+                "  output {j:3}: {} (peak egress depth {})",
+                output.transmitted, output.peak_queue_depth
+            );
         }
     }
-    assert!(stats.is_loss_free());
+    assert!(
+        report.zero_loss && report.conservation_holds(),
+        "worst-case guarantees must hold"
+    );
     println!("\nworst-case guarantees held for the whole run.");
     Ok(())
 }

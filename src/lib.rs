@@ -13,6 +13,8 @@
 //! * [`mma`] — lookahead, occupancy counters, ECQF/MDQF, tail MMA, sizing.
 //! * [`cfds`] — requests register, DRAM scheduler, latency register, renaming.
 //! * [`buffers`] — the assembled `RadsBuffer`, `CfdsBuffer`, `DramOnlyBuffer`.
+//! * [`fabric`] — the `N×N` VOQ switch composing per-port buffers with a
+//!   crossbar arbiter and rate-limited egress ports.
 //! * [`traffic`] — arrival and arbiter-request workload generators.
 //! * [`sim`] — slot-level engine, scenarios, the declarative experiment layer
 //!   (`sim::spec::ExperimentSpec` + `sim::lab::LabRunner`, the substrate of
@@ -26,6 +28,7 @@
 pub use cacti_lite as cacti;
 pub use cfds;
 pub use dram_sim as dram;
+pub use fabric;
 pub use mma;
 pub use pktbuf as buffers;
 pub use pktbuf_model as model;
