@@ -1,0 +1,535 @@
+//! A lightweight item parser over the token stream.
+//!
+//! It recovers just the structure the rules need: function spans (with
+//! names), `impl` blocks (trait + type + method names), `enum` definitions
+//! (variant names), and which spans are test code (`#[cfg(test)]` items,
+//! `#[test]` functions, `mod tests`). It is *not* a full grammar — bodies
+//! are tracked by delimiter balancing, which the lexer makes safe by
+//! swallowing literals and comments.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A function item (free function, method, or trait default body).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Token-index range of the body, `start..end` (exclusive) — the tokens
+    /// strictly between the body braces. Empty for bodiless trait methods.
+    pub body: std::ops::Range<usize>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the function lives in test code.
+    pub in_test: bool,
+    /// Index into [`ParsedFile::impls`] when this is an `impl` method.
+    pub impl_index: Option<usize>,
+}
+
+/// An `impl` block header.
+#[derive(Debug, Clone)]
+pub struct ImplItem {
+    /// Trait name (last path segment) for `impl Trait for Type`, else `None`.
+    pub trait_name: Option<String>,
+    /// Implementing type name (last path segment before generics).
+    pub type_name: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+    /// Whether the impl lives in test code.
+    pub in_test: bool,
+    /// Names of the methods defined in this block.
+    pub methods: Vec<String>,
+}
+
+/// An `enum` definition.
+#[derive(Debug, Clone)]
+pub struct EnumItem {
+    /// The enum's name.
+    pub name: String,
+    /// Variant names in declaration order.
+    pub variants: Vec<String>,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Whether the enum lives in test code.
+    pub in_test: bool,
+}
+
+/// The structural view of one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every function with a recovered span.
+    pub fns: Vec<FnItem>,
+    /// Every `impl` block.
+    pub impls: Vec<ImplItem>,
+    /// Every `enum` definition.
+    pub enums: Vec<EnumItem>,
+}
+
+/// Parses the token stream of one file.
+pub fn parse(tokens: &[Token]) -> ParsedFile {
+    let mut parsed = ParsedFile::default();
+    let mut parser = Parser {
+        tokens,
+        out: &mut parsed,
+    };
+    let mut i = 0;
+    parser.items(&mut i, false, None);
+    parsed
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    out: &'a mut ParsedFile,
+}
+
+impl Parser<'_> {
+    /// Parses items until end-of-tokens or an unmatched `}` (the caller's
+    /// closing brace). `in_test` marks the whole scope as test code;
+    /// `impl_index` is set while inside an `impl` body.
+    fn items(&mut self, i: &mut usize, in_test: bool, impl_index: Option<usize>) {
+        // Test-ness granted by an attribute applies to the next item only.
+        let mut pending_test = false;
+        while *i < self.tokens.len() {
+            let tok = &self.tokens[*i];
+            match &tok.kind {
+                TokenKind::Punct('}') => return, // caller consumes it
+                TokenKind::Punct('#') => {
+                    pending_test |= self.attribute(i);
+                }
+                TokenKind::Punct('{') => {
+                    // A stray block at item level (e.g. inside a macro body).
+                    *i += 1;
+                    self.items(i, in_test || pending_test, impl_index);
+                    self.expect_close(i);
+                    pending_test = false;
+                }
+                TokenKind::Punct('(') | TokenKind::Punct('[') => {
+                    self.balanced(i);
+                }
+                TokenKind::Ident(word) => match word.as_str() {
+                    "fn" => {
+                        self.function(i, in_test || pending_test, impl_index);
+                        pending_test = false;
+                    }
+                    "mod" => {
+                        self.module(i, in_test || pending_test, impl_index);
+                        pending_test = false;
+                    }
+                    "impl" => {
+                        self.impl_block(i, in_test || pending_test);
+                        pending_test = false;
+                    }
+                    "enum" => {
+                        self.enum_def(i, in_test || pending_test);
+                        pending_test = false;
+                    }
+                    "trait" => {
+                        self.skip_to_body_and_recurse(i, in_test || pending_test);
+                        pending_test = false;
+                    }
+                    "struct" | "union" | "type" | "static" | "const" | "use" | "extern" => {
+                        self.skip_item(i);
+                        pending_test = false;
+                    }
+                    "macro_rules" => {
+                        // macro_rules! name { … }
+                        *i += 1; // macro_rules
+                        while *i < self.tokens.len() && !self.open_delim(*i) {
+                            *i += 1;
+                        }
+                        self.balanced(i);
+                        pending_test = false;
+                    }
+                    _ => *i += 1, // pub, unsafe, async, idents in macros, …
+                },
+                _ => *i += 1,
+            }
+        }
+    }
+
+    fn open_delim(&self, idx: usize) -> bool {
+        matches!(
+            self.tokens.get(idx).map(|t| &t.kind),
+            Some(TokenKind::Punct('{' | '(' | '['))
+        )
+    }
+
+    /// Consumes a balanced delimiter group starting at an opener. Tolerant:
+    /// at end-of-tokens it simply stops.
+    fn balanced(&mut self, i: &mut usize) {
+        let mut depth = 0usize;
+        while *i < self.tokens.len() {
+            match self.tokens[*i].kind {
+                TokenKind::Punct('{' | '(' | '[') => depth += 1,
+                TokenKind::Punct('}' | ')' | ']') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        *i += 1;
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            *i += 1;
+        }
+    }
+
+    fn expect_close(&self, i: &mut usize) {
+        if matches!(
+            self.tokens.get(*i).map(|t| &t.kind),
+            Some(TokenKind::Punct('}'))
+        ) {
+            *i += 1;
+        }
+    }
+
+    /// Consumes `#[…]` / `#![…]`; returns true when it marks test code
+    /// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`, …).
+    fn attribute(&mut self, i: &mut usize) -> bool {
+        *i += 1; // '#'
+        if matches!(
+            self.tokens.get(*i).map(|t| &t.kind),
+            Some(TokenKind::Punct('!'))
+        ) {
+            *i += 1;
+        }
+        let start = *i;
+        self.balanced(i); // the [...] group
+        let body = &self.tokens[start..*i];
+        let has = |name: &str| body.iter().any(|t| t.ident() == Some(name));
+        // `#[test]` is exactly `[ test ]`; `#[cfg(test)]`-style attributes
+        // count unless the `test` is negated (`#[cfg(not(test))]` is *non*-
+        // test code and must stay in scope for the rules).
+        let bare_test = body.len() == 3 && body[1].ident() == Some("test");
+        bare_test || (has("cfg") && has("test") && !has("not"))
+    }
+
+    /// `fn name …` — records the item and consumes through the body.
+    fn function(&mut self, i: &mut usize, in_test: bool, impl_index: Option<usize>) {
+        let line = self.tokens[*i].line;
+        *i += 1; // fn
+        let name = match self.tokens.get(*i).and_then(|t| t.ident()) {
+            Some(name) => name.to_owned(),
+            None => return, // `fn` inside a macro pattern; skip the keyword
+        };
+        *i += 1;
+        // Scan the signature for the body `{` or a bodiless `;`. Parens and
+        // brackets in the signature are skipped as balanced groups so a
+        // default argument or array type cannot fool the scan.
+        while *i < self.tokens.len() {
+            match self.tokens[*i].kind {
+                TokenKind::Punct(';') => {
+                    *i += 1;
+                    self.record_fn(name, 0..0, line, in_test, impl_index);
+                    return;
+                }
+                TokenKind::Punct('{') => break,
+                TokenKind::Punct('(') | TokenKind::Punct('[') => self.balanced(i),
+                _ => *i += 1,
+            }
+        }
+        if *i >= self.tokens.len() {
+            self.record_fn(name, 0..0, line, in_test, impl_index);
+            return;
+        }
+        let body_start = *i + 1;
+        self.balanced(i); // the body { … }
+        let body_end = i.saturating_sub(1);
+        self.record_fn(name, body_start..body_end, line, in_test, impl_index);
+    }
+
+    fn record_fn(
+        &mut self,
+        name: String,
+        body: std::ops::Range<usize>,
+        line: u32,
+        in_test: bool,
+        impl_index: Option<usize>,
+    ) {
+        if let Some(idx) = impl_index {
+            self.out.impls[idx].methods.push(name.clone());
+        }
+        self.out.fns.push(FnItem {
+            name,
+            body,
+            line,
+            in_test,
+            impl_index,
+        });
+    }
+
+    fn module(&mut self, i: &mut usize, in_test: bool, impl_index: Option<usize>) {
+        *i += 1; // mod
+        let name = self.tokens.get(*i).and_then(|t| t.ident()).unwrap_or("");
+        // `mod tests` without the cfg attribute is still, by convention,
+        // test code in this workspace.
+        let is_test = in_test || name == "tests";
+        *i += 1;
+        match self.tokens.get(*i).map(|t| &t.kind) {
+            Some(TokenKind::Punct('{')) => {
+                *i += 1;
+                self.items(i, is_test, impl_index);
+                self.expect_close(i);
+            }
+            Some(TokenKind::Punct(';')) => *i += 1,
+            _ => {}
+        }
+    }
+
+    /// `impl … {` — extracts trait/type names and recurses into the body.
+    fn impl_block(&mut self, i: &mut usize, in_test: bool) {
+        let line = self.tokens[*i].line;
+        *i += 1; // impl
+                 // Collect path idents, tracking angle-bracket depth so generic
+                 // arguments don't pollute the trait/type names.
+        let mut angle: i32 = 0;
+        let mut before_for: Vec<String> = Vec::new();
+        let mut after_for: Vec<String> = Vec::new();
+        let mut saw_for = false;
+        while *i < self.tokens.len() {
+            match &self.tokens[*i].kind {
+                TokenKind::Punct('{') => break,
+                TokenKind::Punct('<') => {
+                    angle += 1;
+                    *i += 1;
+                }
+                TokenKind::Punct('>') => {
+                    angle -= 1;
+                    *i += 1;
+                }
+                TokenKind::Punct('(') | TokenKind::Punct('[') => self.balanced(i),
+                TokenKind::Ident(word) if word == "for" && angle <= 0 => {
+                    saw_for = true;
+                    *i += 1;
+                }
+                TokenKind::Ident(word) if word == "where" && angle <= 0 => {
+                    // The rest of the header is bounds; scan to the body.
+                    while *i < self.tokens.len() && !self.tokens[*i].is_punct('{') {
+                        if self.open_delim(*i) && !self.tokens[*i].is_punct('{') {
+                            self.balanced(i);
+                        } else {
+                            *i += 1;
+                        }
+                    }
+                    break;
+                }
+                TokenKind::Ident(word) if angle <= 0 => {
+                    if saw_for {
+                        after_for.push(word.clone());
+                    } else {
+                        before_for.push(word.clone());
+                    }
+                    *i += 1;
+                }
+                _ => *i += 1,
+            }
+        }
+        let (trait_name, type_name) = if saw_for {
+            (before_for.pop(), after_for.pop().unwrap_or_default())
+        } else {
+            (None, before_for.pop().unwrap_or_default())
+        };
+        let impl_index = self.out.impls.len();
+        self.out.impls.push(ImplItem {
+            trait_name,
+            type_name,
+            line,
+            in_test,
+            methods: Vec::new(),
+        });
+        if matches!(
+            self.tokens.get(*i).map(|t| &t.kind),
+            Some(TokenKind::Punct('{'))
+        ) {
+            *i += 1;
+            self.items(i, in_test, Some(impl_index));
+            self.expect_close(i);
+        }
+    }
+
+    fn enum_def(&mut self, i: &mut usize, in_test: bool) {
+        let line = self.tokens[*i].line;
+        *i += 1; // enum
+        let name = match self.tokens.get(*i).and_then(|t| t.ident()) {
+            Some(name) => name.to_owned(),
+            None => return,
+        };
+        *i += 1;
+        // Skip generics/where to the body.
+        while *i < self.tokens.len() && !self.tokens[*i].is_punct('{') {
+            *i += 1;
+        }
+        if *i >= self.tokens.len() {
+            return;
+        }
+        *i += 1; // '{'
+        let mut variants = Vec::new();
+        let mut expect_variant = true;
+        while *i < self.tokens.len() {
+            match &self.tokens[*i].kind {
+                TokenKind::Punct('}') => {
+                    *i += 1;
+                    break;
+                }
+                TokenKind::Punct('#') => {
+                    self.attribute(i);
+                }
+                TokenKind::Punct('{') | TokenKind::Punct('(') => {
+                    self.balanced(i); // variant payload
+                }
+                TokenKind::Punct('=') => {
+                    // Discriminant expression: skip to the separating comma.
+                    while *i < self.tokens.len()
+                        && !self.tokens[*i].is_punct(',')
+                        && !self.tokens[*i].is_punct('}')
+                    {
+                        *i += 1;
+                    }
+                }
+                TokenKind::Punct(',') => {
+                    expect_variant = true;
+                    *i += 1;
+                }
+                TokenKind::Ident(word) => {
+                    if expect_variant {
+                        variants.push(word.clone());
+                        expect_variant = false;
+                    }
+                    *i += 1;
+                }
+                _ => *i += 1,
+            }
+        }
+        self.out.enums.push(EnumItem {
+            name,
+            variants,
+            line,
+            in_test,
+        });
+    }
+
+    /// `trait Name … { items }` — method declarations inside get recorded.
+    fn skip_to_body_and_recurse(&mut self, i: &mut usize, in_test: bool) {
+        *i += 1; // trait
+        while *i < self.tokens.len() && !self.tokens[*i].is_punct('{') {
+            match self.tokens[*i].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => self.balanced(i),
+                _ => *i += 1,
+            }
+        }
+        if matches!(
+            self.tokens.get(*i).map(|t| &t.kind),
+            Some(TokenKind::Punct('{'))
+        ) {
+            *i += 1;
+            self.items(i, in_test, None);
+            self.expect_close(i);
+        }
+    }
+
+    /// Items that end at `;` or at a balanced brace body (struct, const, …).
+    fn skip_item(&mut self, i: &mut usize) {
+        *i += 1; // keyword
+        let mut depth = 0usize;
+        while *i < self.tokens.len() {
+            match self.tokens[*i].kind {
+                TokenKind::Punct('{' | '(' | '[') => depth += 1,
+                TokenKind::Punct(')' | ']') => depth = depth.saturating_sub(1),
+                TokenKind::Punct('}') => {
+                    if depth == 0 {
+                        return; // parent scope's closing brace
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        // `struct X { … }` ends at its brace body.
+                        *i += 1;
+                        return;
+                    }
+                }
+                TokenKind::Punct(';') if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+            *i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn finds_functions_and_test_scopes() {
+        let parsed = parse_src(
+            "fn hot() { step(); }\n\
+             #[cfg(test)]\nmod tests {\n  #[test]\n  fn check() { hot(); }\n}\n\
+             fn also_hot() {}",
+        );
+        let names: Vec<(&str, bool)> = parsed
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.in_test))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("hot", false), ("check", true), ("also_hot", false)]
+        );
+    }
+
+    #[test]
+    fn impl_blocks_capture_trait_type_and_methods() {
+        let parsed = parse_src(
+            "impl<T: Clone> PacketBuffer for MyBuf<T> where T: Send {\n\
+               fn step(&mut self) {}\n\
+               fn step_batch(&mut self) {}\n\
+             }\n\
+             impl MyBuf<u32> { fn helper(&self) {} }",
+        );
+        assert_eq!(parsed.impls.len(), 2);
+        let tr = &parsed.impls[0];
+        assert_eq!(tr.trait_name.as_deref(), Some("PacketBuffer"));
+        assert_eq!(tr.type_name, "MyBuf");
+        assert_eq!(tr.methods, vec!["step", "step_batch"]);
+        let inherent = &parsed.impls[1];
+        assert_eq!(inherent.trait_name, None);
+        assert_eq!(inherent.methods, vec!["helper"]);
+    }
+
+    #[test]
+    fn enums_capture_variants_with_payloads_and_discriminants() {
+        let parsed = parse_src(
+            "pub enum DesignKind { DramOnly, Rads, Cfds }\n\
+             enum Mixed { A(u32), B { x: u64 }, C = 4, D }",
+        );
+        assert_eq!(parsed.enums[0].variants, vec!["DramOnly", "Rads", "Cfds"]);
+        assert_eq!(parsed.enums[1].variants, vec!["A", "B", "C", "D"]);
+    }
+
+    #[test]
+    fn fn_bodies_span_nested_blocks() {
+        let parsed = parse_src("fn outer() { if x { y(); } match z { _ => {} } }\nfn next() {}");
+        assert_eq!(parsed.fns.len(), 2);
+        assert!(parsed.fns[0].body.len() > parsed.fns[1].body.len());
+    }
+
+    #[test]
+    fn trait_decls_record_bodiless_methods() {
+        let parsed = parse_src(
+            "trait PacketBuffer {\n\
+               fn step(&mut self);\n\
+               fn advance_idle(&mut self, n: u64) { for _ in 0..n { self.step(); } }\n\
+             }",
+        );
+        let names: Vec<&str> = parsed.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["step", "advance_idle"]);
+        assert!(parsed.fns[0].body.is_empty());
+        assert!(!parsed.fns[1].body.is_empty());
+    }
+}

@@ -1,0 +1,422 @@
+//! A hand-rolled Rust lexer: just enough fidelity for structural rules.
+//!
+//! The token stream keeps identifiers (keywords included) and punctuation
+//! with their line numbers, collapses every literal into an opaque
+//! [`TokenKind::Literal`], and collects comments on the side (waivers live in
+//! comments, see [`crate::waiver`]). String/char/raw-string bodies and
+//! comment bodies are *consumed*, so braces or rule-trigger words inside them
+//! can never confuse the item parser or a rule.
+
+/// What a token is. Literal contents are deliberately discarded: no rule
+/// cares what is inside a string, only that the span is not code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `Box`, `step_batch`, …).
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+    /// Any literal: string, raw string, byte string, char, number.
+    Literal,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// One token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind (and text, for identifiers).
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A comment, kept verbatim (minus the delimiters) for waiver parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Text after `//`/`///`/`//!` or between `/*`/`*/`.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when nothing but whitespace precedes the comment on its line —
+    /// such a waiver comment covers the *next* code line, a trailing one
+    /// covers its own line.
+    pub own_line: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments. Never fails: unterminated
+/// literals or comments simply run to end-of-file (the compiler, not the
+/// analyzer, is the authority on well-formedness).
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_has_code: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_has_code: bool,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.line_has_code = false;
+                    self.pos += 1;
+                }
+                b if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'\'' => self.quote(),
+                b'"' => self.string_literal(),
+                b'b' | b'r' | b'c' if self.is_literal_prefix() => self.prefixed_literal(),
+                b if b.is_ascii_digit() => self.number(),
+                b if b == b'_' || b.is_ascii_alphabetic() => self.ident(),
+                other => {
+                    self.push(TokenKind::Punct(other as char));
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        self.line_has_code = true;
+        self.out.tokens.push(Token {
+            kind,
+            line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        let own_line = !self.line_has_code;
+        self.pos += 2;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.comments.push(Comment {
+            text,
+            line: start_line,
+            own_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let own_line = !self.line_has_code;
+        self.pos += 2;
+        let start = self.pos;
+        let mut depth = 1usize;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                self.line += 1;
+            }
+            if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos.min(self.bytes.len())])
+            .into_owned();
+        self.pos = (self.pos + 2).min(self.bytes.len());
+        self.out.comments.push(Comment {
+            text,
+            line: start_line,
+            own_line,
+        });
+    }
+
+    /// `'` starts either a char literal or a lifetime. A lifetime is `'ident`
+    /// *not* followed by a closing `'`; everything else (including `'\n'`)
+    /// is a char literal.
+    fn quote(&mut self) {
+        let after = self.peek(1);
+        let is_ident_start = matches!(after, Some(b) if b == b'_' || b.is_ascii_alphabetic());
+        if is_ident_start {
+            // Scan the identifier run; if it ends in `'` this was a char
+            // literal like 'a'; otherwise a lifetime.
+            let mut end = self.pos + 2;
+            while matches!(self.bytes.get(end), Some(&b) if b == b'_' || b.is_ascii_alphanumeric())
+            {
+                end += 1;
+            }
+            if self.bytes.get(end) == Some(&b'\'') {
+                self.push(TokenKind::Literal);
+                self.pos = end + 1;
+            } else {
+                self.push(TokenKind::Lifetime);
+                self.pos = end;
+            }
+            return;
+        }
+        // Char literal with an escape or punctuation payload: consume until
+        // the closing quote, honouring `\'` and `\\`.
+        self.pos += 1;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => break, // stray quote; don't swallow the file
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Literal);
+    }
+
+    fn string_literal(&mut self) {
+        self.pos += 1;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Literal);
+    }
+
+    /// Whether the `b`/`r`/`c` at the cursor starts a literal (`b"`, `r"`,
+    /// `r#"`, `br"`, `b'`, `c"` …) rather than an identifier.
+    fn is_literal_prefix(&self) -> bool {
+        let mut idx = self.pos;
+        // Up to two prefix letters (`br`, `rb` is not legal but harmless).
+        for _ in 0..2 {
+            match self.bytes.get(idx) {
+                Some(b'b' | b'r' | b'c') => idx += 1,
+                _ => break,
+            }
+        }
+        match self.bytes.get(idx) {
+            Some(b'"') => true,
+            Some(b'#') => {
+                // Raw string guard hashes: r#"…"# / r##"…"##.
+                let mut j = idx;
+                while self.bytes.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                self.bytes.get(j) == Some(&b'"')
+                    // `r#ident` is a raw identifier, not a string.
+                    && self.bytes[self.pos..idx].contains(&b'r')
+            }
+            Some(b'\'') => self.bytes[self.pos..idx] == [b'b'],
+            _ => false,
+        }
+    }
+
+    fn prefixed_literal(&mut self) {
+        // Skip prefix letters.
+        while matches!(self.bytes.get(self.pos), Some(b'b' | b'r' | b'c')) {
+            self.pos += 1;
+        }
+        let mut hashes = 0usize;
+        while self.bytes.get(self.pos) == Some(&b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        match self.bytes.get(self.pos) {
+            Some(b'\'') => {
+                // b'x' byte char.
+                self.pos += 1;
+                while let Some(&b) = self.bytes.get(self.pos) {
+                    match b {
+                        b'\\' => self.pos += 2,
+                        b'\'' => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => self.pos += 1,
+                    }
+                }
+                self.push(TokenKind::Literal);
+            }
+            Some(b'"') if hashes == 0 => self.string_literal(),
+            Some(b'"') => {
+                // Raw string: ends at `"` followed by `hashes` hashes.
+                self.pos += 1;
+                while let Some(&b) = self.bytes.get(self.pos) {
+                    if b == b'\n' {
+                        self.line += 1;
+                        self.pos += 1;
+                        continue;
+                    }
+                    if b == b'"' {
+                        let tail = &self.bytes[self.pos + 1..];
+                        if tail.len() >= hashes && tail[..hashes].iter().all(|&h| h == b'#') {
+                            self.pos += 1 + hashes;
+                            break;
+                        }
+                    }
+                    self.pos += 1;
+                }
+                self.push(TokenKind::Literal);
+            }
+            _ => {
+                // `r#ident` raw identifier or a plain ident starting with the
+                // prefix letters: back up and lex as identifier.
+                self.ident();
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else if b == b'.'
+                && matches!(self.bytes.get(self.pos + 1), Some(d) if d.is_ascii_digit())
+            {
+                // `1.5` continues the number; `1..n` leaves the dots alone.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Literal);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(&b) if b == b'_' || b.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokenKind::Ident(text));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let lexed = lex("let s = \"vec![Box::new(0)]\"; // HashMap::new()\n/* fn bad() { } */");
+        assert!(!lexed.tokens.iter().any(|t| t.ident() == Some("Box")));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("HashMap"));
+        assert!(!lexed.comments[0].own_line);
+        assert!(lexed.comments[1].own_line);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'a'; let nl = '\\n'; }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(literals, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_hash_free_code_after() {
+        let lexed = lex(r##"let s = r#"unwrap() " quote"#; s.len()"##);
+        assert!(lexed.tokens.iter().any(|t| t.ident() == Some("len")));
+        assert!(!lexed.tokens.iter().any(|t| t.ident() == Some("unwrap")));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let lexed = lex("for i in 0..n { }");
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+        assert!(lexed.tokens.iter().any(|t| t.ident() == Some("n")));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let lexed = lex("/* outer /* inner */ still comment */ fn ok() {}");
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), vec!["fn", "f"]);
+        assert!(lexed.tokens.iter().any(|t| t.ident() == Some("ok")));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let lexed = lex("let a = \"line\nline\";\nlet b = 1;");
+        let b = lexed
+            .tokens
+            .iter()
+            .find(|t| t.ident() == Some("b"))
+            .expect("b is lexed");
+        assert_eq!(b.line, 3);
+    }
+}

@@ -1,0 +1,155 @@
+//! In-source waivers: `// analyze: allow(<rule>[, <rule>…]) — <justification>`.
+//!
+//! A waiver written as a trailing comment covers its own line; a waiver on a
+//! line of its own covers the next line that carries code. The justification
+//! is mandatory — a waiver without one is itself a diagnostic — and a waiver
+//! that suppresses nothing is an `unused-waiver` error, so stale waivers
+//! cannot silently outlive the code they excused.
+
+use crate::lexer::{Comment, Token};
+
+/// One parsed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule names this waiver suppresses.
+    pub rules: Vec<String>,
+    /// 1-based line the waiver comment starts on.
+    pub line: u32,
+    /// The code line the waiver covers.
+    pub covered_line: u32,
+    /// Why the violation is acceptable (mandatory, recorded in the report).
+    pub justification: String,
+}
+
+/// A malformed waiver comment (reported as an error by the engine).
+#[derive(Debug, Clone)]
+pub struct MalformedWaiver {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// Result of scanning one file's comments for waivers.
+#[derive(Debug, Default)]
+pub struct WaiverSet {
+    /// Well-formed waivers.
+    pub waivers: Vec<Waiver>,
+    /// Comments that tried to be waivers but don't parse.
+    pub malformed: Vec<MalformedWaiver>,
+}
+
+/// Extracts the waivers from a file's comments. `tokens` locates the next
+/// code line after an own-line waiver.
+pub fn collect(comments: &[Comment], tokens: &[Token]) -> WaiverSet {
+    let mut set = WaiverSet::default();
+    for comment in comments {
+        let text = comment.text.trim_start_matches(['/', '!']).trim();
+        let Some(rest) = text.strip_prefix("analyze:") else {
+            continue;
+        };
+        match parse_waiver_body(rest.trim()) {
+            Ok((rules, justification)) => {
+                let covered_line = if comment.own_line {
+                    tokens
+                        .iter()
+                        .map(|t| t.line)
+                        .find(|&l| l > comment.line)
+                        .unwrap_or(comment.line)
+                } else {
+                    comment.line
+                };
+                set.waivers.push(Waiver {
+                    rules,
+                    line: comment.line,
+                    covered_line,
+                    justification,
+                });
+            }
+            Err(problem) => set.malformed.push(MalformedWaiver {
+                line: comment.line,
+                problem,
+            }),
+        }
+    }
+    set
+}
+
+/// Parses `allow(rule[, rule…]) <sep> justification` where `<sep>` is an em
+/// dash, en dash, hyphen, or colon.
+fn parse_waiver_body(body: &str) -> Result<(Vec<String>, String), String> {
+    let rest = body
+        .strip_prefix("allow")
+        .ok_or_else(|| "expected `allow(<rule>) — <justification>`".to_owned())?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after `allow`".to_owned())?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "unclosed rule list in `allow(…)`".to_owned())?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|rule| rule.trim().to_owned())
+        .filter(|rule| !rule.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("`allow()` names no rule".to_owned());
+    }
+    let mut justification = rest[close + 1..].trim();
+    for sep in ["—", "–", "-", ":"] {
+        if let Some(stripped) = justification.strip_prefix(sep) {
+            justification = stripped.trim();
+            break;
+        }
+    }
+    if justification.is_empty() {
+        return Err("waiver has no justification (write `allow(rule) — why`)".to_owned());
+    }
+    Ok((rules, justification.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_waiver_covers_its_own_line() {
+        let src = "let x = risky(); // analyze: allow(panic-freedom) — invariant documented\n";
+        let lexed = lex(src);
+        let set = collect(&lexed.comments, &lexed.tokens);
+        assert_eq!(set.waivers.len(), 1);
+        assert_eq!(set.waivers[0].covered_line, 1);
+        assert_eq!(set.waivers[0].rules, vec!["panic-freedom"]);
+        assert_eq!(set.waivers[0].justification, "invariant documented");
+    }
+
+    #[test]
+    fn own_line_waiver_covers_next_code_line() {
+        let src = "// analyze: allow(hotpath-alloc, determinism) - grows only on resize\n\nlet x = vec![0];\n";
+        let lexed = lex(src);
+        let set = collect(&lexed.comments, &lexed.tokens);
+        assert_eq!(set.waivers.len(), 1);
+        assert_eq!(set.waivers[0].covered_line, 3);
+        assert_eq!(set.waivers[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn missing_justification_is_malformed() {
+        let src = "// analyze: allow(panic-freedom)\nlet x = 1;\n";
+        let lexed = lex(src);
+        let set = collect(&lexed.comments, &lexed.tokens);
+        assert!(set.waivers.is_empty());
+        assert_eq!(set.malformed.len(), 1);
+    }
+
+    #[test]
+    fn non_waiver_comments_are_ignored() {
+        let src = "// analyzer-adjacent prose, not a waiver\nlet x = 1;\n";
+        let lexed = lex(src);
+        let set = collect(&lexed.comments, &lexed.tokens);
+        assert!(set.waivers.is_empty());
+        assert!(set.malformed.is_empty());
+    }
+}

@@ -31,7 +31,7 @@ fn bench_dsa_select(c: &mut Criterion) {
                         t += 4;
                     }
                     issued
-                })
+                });
             },
         );
     }

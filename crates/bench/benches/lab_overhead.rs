@@ -54,7 +54,7 @@ fn bench_lab_overhead(c: &mut Criterion) {
             let report = scenario().run();
             assert!(report.stats.grants > 0);
             report.stats.grants
-        })
+        });
     });
 
     // Same run through the full declarative stack, single worker.
@@ -65,7 +65,7 @@ fn bench_lab_overhead(c: &mut Criterion) {
             let report = runner.run(&spec).expect("spec runs");
             assert_eq!(report.runs.len(), 1);
             report.aggregate.total_grants
-        })
+        });
     });
 
     group.finish();
@@ -87,7 +87,7 @@ fn bench_engine_reference(c: &mut Criterion) {
                 SimulationEngine::new(buffer.as_mut()).run(&mut arrivals, &mut requests, SLOTS);
             assert!(report.stats.grants > 0);
             report.stats.grants
-        })
+        });
     });
     group.finish();
 }

@@ -28,7 +28,7 @@ fn bench_renaming(c: &mut Criterion) {
                         table.note_block_read(q);
                     }
                     table.allocations()
-                })
+                });
             },
         );
     }

@@ -13,7 +13,7 @@ fn bench_sizing(c: &mut Criterion) {
     c.sample_size(10);
     c.measurement_time(std::time::Duration::from_secs(3));
     c.bench_function("rads_point_oc3072", |b| {
-        b.iter(|| rads_point(LineRate::Oc3072, 512, 32, 15_873, &node))
+        b.iter(|| rads_point(LineRate::Oc3072, 512, 32, 15_873, &node));
     });
     let cfg = CfdsConfig::builder()
         .num_queues(512)
@@ -23,10 +23,10 @@ fn bench_sizing(c: &mut Criterion) {
         .build()
         .unwrap();
     c.bench_function("cfds_point_oc3072_b4", |b| {
-        b.iter(|| cfds_point(&cfg, cfg.min_lookahead(), &node))
+        b.iter(|| cfds_point(&cfg, cfg.min_lookahead(), &node));
     });
     c.bench_function("fig11_max_queues_cfds_b4", |b| {
-        b.iter(|| max_queues_meeting_target(LineRate::Oc3072, 4, 32, 256, &node))
+        b.iter(|| max_queues_meeting_target(LineRate::Oc3072, 4, 32, 256, &node));
     });
     c.finish();
 }

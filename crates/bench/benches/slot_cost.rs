@@ -78,19 +78,19 @@ fn bench_slot_cost_live(c: &mut Criterion) {
             b.iter(|| {
                 let mut buf = DramOnlyBuffer::new(rads_cfg(q));
                 drive_live(&mut buf, &mut AdversarialRoundRobin::new(q), 4_096);
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("rads", q), &q, |b, &q| {
             b.iter(|| {
                 let mut buf = RadsBuffer::new(rads_cfg(q));
                 drive_live(&mut buf, &mut AdversarialRoundRobin::new(q), 4_096);
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("cfds", q), &q, |b, &q| {
             b.iter(|| {
                 let mut buf = CfdsBuffer::new(cfds_cfg(q));
                 drive_live(&mut buf, &mut AdversarialRoundRobin::new(q), 4_096);
-            })
+            });
         });
     }
     group.finish();
@@ -136,19 +136,19 @@ fn bench_slot_cost_batch(c: &mut Criterion) {
             b.iter(|| {
                 let mut buf = DramOnlyBuffer::new(rads_cfg(q));
                 drive_live_batch(&mut buf, AdversarialRoundRobin::new(q), 4_096);
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("rads", q), &q, |b, &q| {
             b.iter(|| {
                 let mut buf = RadsBuffer::new(rads_cfg(q));
                 drive_live_batch(&mut buf, AdversarialRoundRobin::new(q), 4_096);
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("cfds", q), &q, |b, &q| {
             b.iter(|| {
                 let mut buf = CfdsBuffer::new(cfds_cfg(q));
                 drive_live_batch(&mut buf, AdversarialRoundRobin::new(q), 4_096);
-            })
+            });
         });
     }
     group.finish();
@@ -166,7 +166,7 @@ fn bench_slot_cost(c: &mut Criterion) {
                     buf.preload(queue, cells);
                 }
                 drive(&mut buf, &mut AdversarialRoundRobin::new(q), 4_096);
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("rads", q), &q, |b, &q| {
             b.iter(|| {
@@ -175,7 +175,7 @@ fn bench_slot_cost(c: &mut Criterion) {
                     buf.preload_dram(queue, cells);
                 }
                 drive(&mut buf, &mut AdversarialRoundRobin::new(q), 4_096);
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("cfds", q), &q, |b, &q| {
             b.iter(|| {
@@ -184,7 +184,7 @@ fn bench_slot_cost(c: &mut Criterion) {
                     buf.preload_dram(queue, cells);
                 }
                 drive(&mut buf, &mut AdversarialRoundRobin::new(q), 4_096);
-            })
+            });
         });
     }
     group.finish();

@@ -35,6 +35,7 @@ fn main() -> ExitCode {
         "sweep" => run_command(rest, true),
         "bench" => bench_command(rest),
         "fabric" => fabric_command(rest),
+        "analyze" => analyze_command(rest),
         "paper" => paper_command(rest),
         "spec" => {
             println!("{}", template_spec().to_json());
@@ -64,8 +65,18 @@ USAGE:
     pktbuf-lab sweep  [SPEC FLAGS] [OUTPUT FLAGS]  same, and print the per-run table
     pktbuf-lab fabric [FABRIC FLAGS]               run N×N VOQ switch-fabric experiments
     pktbuf-lab bench  [BENCH FLAGS]                run the hot-path benchmark suite
+    pktbuf-lab analyze [ANALYZE FLAGS]             check the source-level invariants
     pktbuf-lab paper  <ARTEFACT>                   regenerate a paper artefact
     pktbuf-lab spec                                print a template spec JSON
+
+ANALYZE FLAGS (static invariant checker: hot-path allocation/panic freedom,
+report determinism, cross-crate dispatch sync; rules and waiver syntax are
+documented in crates/analysis and README 'Static analysis'; exits non-zero
+on any unwaived error-severity diagnostic):
+    --root <DIR>             workspace root to scan            (default .)
+    --config <FILE>          rule config                       (default <root>/analysis.toml)
+    --json <FILE>            write the diagnostics artifact ('-' = stdout)
+    --show-waived            also print findings suppressed by waivers
 
 FABRIC FLAGS (whole-router runs: per-port packet buffers + crossbar arbiter +
 rate-limited egress; sweepable axes accept the same sweep syntax as below):
@@ -188,6 +199,65 @@ fn bench_command(args: &[String]) -> Result<(), String> {
     }
 }
 
+fn analyze_command(args: &[String]) -> Result<(), String> {
+    let mut root = ".".to_owned();
+    let mut config_path: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut show_waived = false;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--root" => root = value("--root")?,
+            "--config" => config_path = Some(value("--config")?),
+            "--json" => json_out = Some(value("--json")?),
+            "--show-waived" => show_waived = true,
+            other => return Err(format!("unknown analyze flag {other:?}")),
+        }
+    }
+    let root = std::path::PathBuf::from(root);
+    let config_file =
+        config_path.map_or_else(|| root.join("analysis.toml"), std::path::PathBuf::from);
+    let config = analysis::load_config(&config_file)?;
+    let report = analysis::analyze_workspace(&root, &config)?;
+    // Machine artifact on stdout moves the human lines to stderr, exactly
+    // like the run/fabric reports.
+    let machine_stdout = json_out.as_deref() == Some("-");
+    let emit = |line: &str| {
+        if machine_stdout {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    for diag in &report.diagnostics {
+        if !diag.waived || show_waived {
+            emit(&diag.to_string());
+        }
+    }
+    emit(&format!(
+        "analyze: {} files, {} errors, {} warnings, {} waived",
+        report.files_scanned,
+        report.error_count(),
+        report.warning_count(),
+        report.waived_count(),
+    ));
+    if let Some(path) = &json_out {
+        write_artifact(path, &report.to_json(), "analysis JSON report")?;
+    }
+    if report.error_count() > 0 {
+        return Err(format!(
+            "analyze found {} unwaived error(s)",
+            report.error_count()
+        ));
+    }
+    Ok(())
+}
+
 /// Crossbar utilisation the `--smoke` gate requires under the admissible
 /// uniform load (the acceptance criterion of the fabric layer).
 const SMOKE_MIN_UTILIZATION: f64 = 0.90;
@@ -217,6 +287,7 @@ fn fabric_smoke_spec() -> FabricSpec {
 }
 
 fn fabric_command(args: &[String]) -> Result<(), String> {
+    type FabricEdit = Box<dyn FnOnce(&mut FabricSpec) -> Result<(), String>>;
     let mut base: Option<FabricSpec> = None;
     let mut output = OutputOptions {
         threads: None,
@@ -225,7 +296,6 @@ fn fabric_command(args: &[String]) -> Result<(), String> {
     };
     let mut smoke = false;
     let mut print_spec = false;
-    type FabricEdit = Box<dyn FnOnce(&mut FabricSpec) -> Result<(), String>>;
     let mut edits: Vec<FabricEdit> = Vec::new();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -355,7 +425,7 @@ fn fabric_command(args: &[String]) -> Result<(), String> {
                 }));
             }
             "--threads" => {
-                output.threads = Some(parse_int(&value("--threads")?, "--threads")? as usize)
+                output.threads = Some(parse_int(&value("--threads")?, "--threads")? as usize);
             }
             "--json" => output.json = Some(value("--json")?),
             "--csv" => output.csv = Some(value("--csv")?),
@@ -733,7 +803,7 @@ fn parse_spec_args(args: &[String]) -> Result<(ExperimentSpec, OutputOptions), S
                 }));
             }
             "--threads" => {
-                output.threads = Some(parse_int(&value("--threads")?, "--threads")? as usize)
+                output.threads = Some(parse_int(&value("--threads")?, "--threads")? as usize);
             }
             "--json" => output.json = Some(value("--json")?),
             "--csv" => output.csv = Some(value("--csv")?),

@@ -92,7 +92,7 @@ enum PointKind {
 }
 
 impl PointKind {
-    fn workload_name(&self) -> String {
+    fn workload_name(self) -> String {
         match self {
             PointKind::Live(w) => w.to_string(),
             PointKind::DrainPreload => "adversarial-drain".to_owned(),
@@ -198,12 +198,16 @@ fn slots_for(smoke: bool) -> u64 {
 /// jitter separates them; a genuine batching pessimisation (the chunked loop
 /// doing *more* work than the per-slot loop) shows up well beyond this.
 ///
-/// 15% rather than 10%: the RNG-request workloads (e.g.
+/// 12% rather than 10%: the RNG-request workloads (e.g.
 /// DRAM-only/uniform-random) cannot skip their per-slot draws, so chunked ≈
-/// per-slot there *by design*, and a parity point under single-run scheduler
-/// jitter was observed swinging to 0.85× on an unchanged binary. A real
-/// regression on the points where batching matters is multiples of this.
-const CHUNKED_GATE_NOISE_PCT: f64 = 15.0;
+/// per-slot there *by design*, and those parity points swing under scheduler
+/// jitter. Narrowed from 15% in PR 6: CI runs the gate with `--repeat 2`
+/// (best-of-N), which pulled the worst observed single-run parity swing from
+/// 0.85× to 0.98×, so 12% keeps margin without masking a real batching
+/// pessimisation (which shows up at multiples of this on the points where
+/// batching matters). See the `notes` section of `BENCH_hotpath.json` for
+/// the PR-5 0.88× investigation that motivated the re-measurement.
+const CHUNKED_GATE_NOISE_PCT: f64 = 12.0;
 
 /// Entries whose chunked run finished faster than this are excluded from the
 /// *cross-run* `--compare` gate: a handful of milliseconds of wall time is
@@ -717,6 +721,9 @@ fn build_trajectory(
 /// Returns a message when the baseline files cannot be read or parsed, or the
 /// output artifact cannot be written.
 pub fn run_bench(options: &BenchOptions) -> Result<bool, String> {
+    /// Median throughput ratio below this fails the cross-run gate outright:
+    /// a uniform slowdown, not per-point noise.
+    const GLOBAL_FLOOR: f64 = 0.5;
     if options.tag.is_some() && options.smoke {
         // Smoke-scale numbers amortise setup differently and would corrupt
         // the full-scale trajectory history (and its median-vs-previous).
@@ -852,6 +859,17 @@ pub fn run_bench(options: &BenchOptions) -> Result<bool, String> {
         );
     }
 
+    // Notes: free-form measurement history (noise-floor investigations,
+    // machine-drift observations) carried in the artifact; re-recording must
+    // not drop them.
+    if let Some(Value::Array(notes)) = previous_for_tag
+        .as_ref()
+        .and_then(|p| p.as_object())
+        .and_then(|o| o.get("notes"))
+    {
+        root.insert("notes", Value::Array(notes.clone()));
+    }
+
     if let Some(before_path) = &options.before {
         let before = load_artifact(before_path)?;
         let before_map = slots_per_sec_section(&before, "results");
@@ -934,7 +952,6 @@ pub fn run_bench(options: &BenchOptions) -> Result<bool, String> {
         }
         let suite_median =
             median(ratios.iter().map(|(_, r)| *r).collect()).expect("ratios nonempty");
-        const GLOBAL_FLOOR: f64 = 0.5;
         if suite_median < GLOBAL_FLOOR {
             eprintln!(
                 "bench: REGRESSION: median throughput ratio {suite_median:.2} vs {compare_path} \

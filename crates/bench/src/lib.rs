@@ -12,6 +12,8 @@
 //! | `fragmentation` | §6             | DRAM utilisation with and without renaming |
 //! | `ablation_dsa`  | design ablation| oldest-first vs. FIFO vs. random DSA |
 
+#![forbid(unsafe_code)]
+
 use pktbuf_model::{CfdsConfig, LineRate};
 
 pub mod hotpath;

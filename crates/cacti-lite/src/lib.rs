@@ -27,6 +27,7 @@
 //! assert!(e_small.area_cm2 < e_large.area_cm2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -100,7 +100,7 @@ impl OngoingRequestsRegister {
 
     /// Banks currently locked, oldest first.
     pub fn locked_banks(&self) -> Vec<BankId> {
-        self.slots.iter().copied().flatten().collect()
+        self.slots.iter().copied().flatten().collect() // analyze: allow(hotpath-alloc) — diagnostic accessor for tests, never called from the slot loop
     }
 }
 

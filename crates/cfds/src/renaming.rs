@@ -285,7 +285,7 @@ impl RenamingTable {
         let idx = logical.as_usize();
         let tail = self.registers[idx]
             .back_mut()
-            .expect("note_block_written without an assigned physical queue");
+            .expect("note_block_written without an assigned physical queue"); // analyze: allow(panic-freedom) — documented # Panics contract: callers write only to queues with an assigned physical chain
         tail.blocks += 1;
     }
 
@@ -321,13 +321,13 @@ impl RenamingTable {
         let idx = logical.as_usize();
         let head = self.registers[idx]
             .front_mut()
-            .expect("note_block_read on a logical queue with no DRAM blocks");
+            .expect("note_block_read on a logical queue with no DRAM blocks"); // analyze: allow(panic-freedom) — documented # Panics contract: callers read only queues with recorded DRAM blocks
         assert!(head.blocks > 0, "note_block_read with zero recorded blocks");
         head.blocks -= 1;
         if head.blocks == 0 {
             let released = self.registers[idx]
                 .pop_front()
-                .expect("head exists")
+                .expect("head exists") // analyze: allow(panic-freedom) — the front_mut above proved the chain non-empty
                 .physical;
             let group = self.group_of(released);
             self.free[group.index()].push(released);

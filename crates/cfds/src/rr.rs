@@ -87,7 +87,7 @@ impl RequestsRegister {
         let entry = self
             .entries
             .remove(position)
-            .expect("RequestsRegister::take position out of range");
+            .expect("RequestsRegister::take position out of range"); // analyze: allow(panic-freedom) — documented # Panics contract: the scheduler passes positions from its own scan of this register
         for older in self.entries.iter_mut().take(position) {
             older.skips += 1;
         }

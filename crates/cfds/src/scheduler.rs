@@ -217,7 +217,7 @@ impl DramSchedulerSubsystem {
 
     /// Kinds of the pending requests, oldest first (for debugging/tests).
     pub fn pending_kinds(&self) -> Vec<AccessKind> {
-        self.rr.iter().map(|e| e.request.kind).collect()
+        self.rr.iter().map(|e| e.request.kind).collect() // analyze: allow(hotpath-alloc) — debugging/test accessor, never called from the slot loop
     }
 }
 

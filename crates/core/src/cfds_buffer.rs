@@ -218,6 +218,9 @@ impl CfdsBuffer {
     ///
     /// Panics if the number of cells is not a multiple of the granularity or
     /// if the DRAM has no room for them.
+    // By-value keeps the ~18 call sites moving their staging Vec straight in;
+    // this is a setup-only path, so the extra copy inside is irrelevant.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn preload_dram(&mut self, queue: LogicalQueueId, cells: Vec<Cell>) {
         let b = self.cfg.granularity;
         assert!(
@@ -255,14 +258,17 @@ impl CfdsBuffer {
 
     #[inline]
     fn deliver_due(&mut self, now: u64) {
-        while let Some(front) = self.pending_deliveries.front() {
-            if front.deliver_slot > now {
+        while self
+            .pending_deliveries
+            .front()
+            .is_some_and(|front| front.deliver_slot <= now)
+        {
+            let Some(d) = self.pending_deliveries.pop_front() else {
                 break;
-            }
-            let d = self.pending_deliveries.pop_front().expect("front exists");
+            };
             self.head_sram
                 .insert_block_cells(d.queue, d.block_index, &d.cells)
-                .expect("head SRAM is functionally unbounded");
+                .expect("head SRAM is functionally unbounded"); // analyze: allow(panic-freedom) — the head SRAM is configured functionally unbounded; occupancy is measured, not capped
             self.pool.put(d.cells);
             self.stats.peak_head_sram_cells = self
                 .stats
@@ -398,7 +404,7 @@ impl CfdsBuffer {
                     let (queue, block_index) = self
                         .read_tags
                         .remove(physical.index(), ordinal)
-                        .expect("every issued read was tagged at submit time");
+                        .expect("every issued read was tagged at submit time"); // analyze: allow(panic-freedom) — every issued read was tagged at submit time and untagged only here
                     let cells = match self.store.read_block_at(physical, ordinal) {
                         Ok(cells) => cells,
                         Err(_) => {
@@ -412,9 +418,10 @@ impl CfdsBuffer {
                                 self.group_pending[group.index()].saturating_sub(1);
                             self.store
                                 .note_forwarded(physical, ordinal)
-                                .expect("issued reads target known queues");
+                                .expect("issued reads target known queues"); // analyze: allow(panic-freedom) — the forwarded queue was registered with the store at write submit
                             self.pending_writes
                                 .remove(physical.index(), ordinal)
+                                // analyze: allow(panic-freedom) — a read that overtook its write finds that write still pending by construction
                                 .expect("forwarded block exists among pending writes")
                         }
                     };
@@ -787,7 +794,7 @@ mod tests {
         let available: Vec<u64> = (0..2).map(|i| buf.requestable_cells(lq(i))).collect();
         let total: u64 = available.iter().sum();
         let delay = buf.pipeline_delay_slots() as u64;
-        let mut remaining = available.clone();
+        let mut remaining = available;
         let mut granted_target = 0u64;
         for t in 0..(total + delay + 128) {
             let qi = (t % 2) as usize;

@@ -232,7 +232,7 @@ impl TailCellArena {
         for _ in 0..count {
             let cell = self
                 .pop_front(queue)
-                .expect("tail MMA selected a queue with a full batch");
+                .expect("tail MMA selected a queue with a full batch"); // analyze: allow(panic-freedom) — documented # Panics contract: the tail MMA selects only queues holding a full batch
             out.push(cell);
         }
     }
@@ -261,7 +261,7 @@ impl BlockPool {
                 buf.reserve(cells);
                 buf
             }
-            None => Vec::with_capacity(cells),
+            None => Vec::with_capacity(cells), // analyze: allow(hotpath-alloc) — pool-miss path: allocates only until the circulating block set is built during warmup
         }
     }
 
@@ -347,6 +347,7 @@ impl<T> PendingTable<T> {
                     return;
                 }
                 Some((tag, _)) if *tag == ordinal => {
+                    // analyze: allow(panic-freedom) — corruption guard: a duplicate in-flight ordinal breaks the one-outstanding-access contract
                     panic!("duplicate in-flight entry for queue {queue}, ordinal {ordinal}")
                 }
                 // Two live ordinals of this queue collide: widen the window.
@@ -358,14 +359,15 @@ impl<T> PendingTable<T> {
     /// Removes and returns the payload for `(queue, ordinal)`, if present.
     pub fn remove(&mut self, queue: u32, ordinal: u64) -> Option<T> {
         let idx = self.index(queue, ordinal);
-        match &self.slots[idx] {
-            Some((tag, _)) if *tag == ordinal => {
-                let (_, value) = self.slots[idx].take().expect("slot was just matched");
-                self.len -= 1;
-                Some(value)
-            }
-            _ => None,
+        if self.slots[idx]
+            .as_ref()
+            .is_some_and(|(tag, _)| *tag == ordinal)
+        {
+            let (_, value) = self.slots[idx].take()?;
+            self.len -= 1;
+            return Some(value);
         }
+        None
     }
 
     fn grow(&mut self) {
@@ -375,7 +377,7 @@ impl<T> PendingTable<T> {
         // multiple of the new way count still collide).
         let mut new_ways = old_ways * 2;
         loop {
-            let mut used = vec![false; self.num_queues * new_ways];
+            let mut used = vec![false; self.num_queues * new_ways]; // analyze: allow(hotpath-alloc) — rare rehash when two live ordinals collide; the window settles during warmup
             let collision = self.slots.iter().enumerate().any(|(old_idx, slot)| {
                 let Some((ordinal, _)) = slot else {
                     return false;
@@ -392,7 +394,7 @@ impl<T> PendingTable<T> {
         self.ways = new_ways;
         let mut slots: Vec<PendingSlot<T>> = std::iter::repeat_with(|| None)
             .take(self.num_queues * new_ways)
-            .collect();
+            .collect(); // analyze: allow(hotpath-alloc) — rare rehash when two live ordinals collide; the window settles during warmup
         for (old_idx, slot) in self.slots.drain(..).enumerate() {
             let Some((ordinal, value)) = slot else {
                 continue;

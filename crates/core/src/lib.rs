@@ -65,6 +65,7 @@
 //! # Ok::<(), pktbuf_model::ConfigError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

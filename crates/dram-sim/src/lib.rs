@@ -40,6 +40,7 @@
 //! assert!(banks.start_access(b0, 8).is_err()); // still busy until slot 32
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -295,7 +295,9 @@ impl DramStore {
         let pos = (ordinal - q.base) as usize;
         let BlockSlot::Present(block) = std::mem::replace(&mut q.ring[pos], BlockSlot::Consumed)
         else {
-            unreachable!("slot was checked to be present");
+            // The is_present probe above makes this unreachable; returning
+            // the miss error keeps the hot path free of panicking branches.
+            return Err(StoreError::BlockMissing { queue, ordinal });
         };
         q.resident_blocks -= 1;
         q.resident_cells -= block.len();
@@ -408,7 +410,7 @@ impl DramStore {
             .iter()
             .enumerate()
             .min_by_key(|(_, occ)| **occ)
-            .expect("at least one group");
+            .expect("at least one group"); // analyze: allow(panic-freedom) — a store always has at least one group (validated at construction)
         GroupId::new(idx as u32)
     }
 
@@ -424,9 +426,9 @@ impl DramStore {
             .enumerate()
             .filter(|(_, occ)| **occ < self.group_capacity_blocks)
             .map(|(i, _)| GroupId::new(i as u32))
-            .collect();
-        // (occupancy, index) keys are distinct, so the unstable in-place sort
-        // produces exactly the stable by-occupancy order.
+            .collect(); // analyze: allow(hotpath-alloc) — documented cold-path accessor; the per-period writeback path ranks groups without materialising a list
+                        // (occupancy, index) keys are distinct, so the unstable in-place sort
+                        // produces exactly the stable by-occupancy order.
         out.sort_unstable_by_key(|g| (self.group_occupancy[g.index()], g.index()));
         out
     }

@@ -53,6 +53,7 @@
 //! assert_eq!(report.transmitted + report.resident_cells, report.arrivals);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -6,7 +6,10 @@
 //! that forwards the [`PacketBuffer`] contract with a single predictable
 //! branch per call — no heap indirection, no virtual dispatch.
 
-use pktbuf::{BufferStats, CfdsBuffer, DramOnlyBuffer, PacketBuffer, RadsBuffer, SlotOutcome};
+use pktbuf::{
+    BatchReport, BufferStats, CfdsBuffer, DramOnlyBuffer, GrantSink, PacketBuffer, RadsBuffer,
+    RequestSource, SlotOutcome,
+};
 use pktbuf_model::{Cell, LogicalQueueId};
 
 /// An ingress buffer of any of the three shipped designs.
@@ -84,8 +87,17 @@ impl PacketBuffer for PortBuffer {
         delegate!(self, b => b.design_name())
     }
 
+    fn step_batch<R: RequestSource>(
+        &mut self,
+        arrivals: &mut [Option<Cell>],
+        requests: &mut R,
+        grants: &mut GrantSink,
+    ) -> BatchReport {
+        delegate!(self, b => b.step_batch(arrivals, requests, grants))
+    }
+
     fn advance_idle(&mut self, slots: u64) {
-        delegate!(self, b => b.advance_idle(slots))
+        delegate!(self, b => b.advance_idle(slots));
     }
 
     fn is_quiescent(&self) -> bool {
@@ -122,5 +134,48 @@ mod tests {
         port.advance_idle(8);
         assert_eq!(port.current_slot(), 9);
         assert_eq!(port.stats().arrivals, 1);
+    }
+
+    /// Requests queue 0 whenever the buffer reports it requestable.
+    struct Greedy;
+
+    impl RequestSource for Greedy {
+        fn next_request<F>(&mut self, _slot: u64, requestable: &F) -> Option<LogicalQueueId>
+        where
+            F: Fn(LogicalQueueId) -> u64 + ?Sized,
+        {
+            let q = LogicalQueueId::new(0);
+            (requestable(q) > 0).then_some(q)
+        }
+    }
+
+    #[test]
+    fn step_batch_through_the_enum_matches_the_per_slot_reference() {
+        let cfg = RadsConfig {
+            line_rate: LineRate::Oc3072,
+            num_queues: 4,
+            granularity: 4,
+            lookahead: None,
+            dram: Default::default(),
+        };
+        let q = LogicalQueueId::new(0);
+        let slots = 256u64;
+
+        let mut port: PortBuffer = RadsBuffer::new(cfg).into();
+        let mut arrivals: Vec<Option<Cell>> =
+            (0..slots).map(|s| Some(Cell::new(q, s, s))).collect();
+        let mut grants = GrantSink::new(true);
+        port.step_batch(&mut arrivals, &mut Greedy, &mut grants);
+
+        let mut reference = RadsBuffer::new(cfg);
+        let mut reference_grants = 0usize;
+        for s in 0..slots {
+            let request = (reference.requestable_cells(q) > 0).then_some(q);
+            let outcome = reference.step(Some(Cell::new(q, s, s)), request);
+            reference_grants += usize::from(outcome.granted.is_some());
+        }
+
+        assert_eq!(port.stats(), reference.stats());
+        assert_eq!(grants.recorded(), reference_grants);
     }
 }

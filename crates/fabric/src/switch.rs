@@ -150,8 +150,8 @@ impl<B: PacketBuffer> VoqSwitch<B> {
         active_slots: u64,
     ) -> FabricRunReport {
         self.check_generators(arrivals);
-        let mut rings: Vec<Vec<Option<Cell>>> = vec![vec![None; FABRIC_CHUNK_SLOTS]; self.ports];
-        let mut slot_arrivals: Vec<Option<Cell>> = vec![None; self.ports];
+        let mut rings: Vec<Vec<Option<Cell>>> = vec![vec![None; FABRIC_CHUNK_SLOTS]; self.ports]; // analyze: allow(hotpath-alloc) — per-run chunk rings allocated once at run entry, before the slot loop
+        let mut slot_arrivals: Vec<Option<Cell>> = vec![None; self.ports]; // analyze: allow(hotpath-alloc) — per-run scratch allocated once at run entry, before the slot loop
         let mut done = 0u64;
         while done < active_slots {
             let len = FABRIC_CHUNK_SLOTS.min((active_slots - done) as usize);
@@ -194,7 +194,7 @@ impl<B: PacketBuffer> VoqSwitch<B> {
         active_slots: u64,
     ) -> FabricRunReport {
         self.check_generators(arrivals);
-        let mut slot_arrivals: Vec<Option<Cell>> = vec![None; self.ports];
+        let mut slot_arrivals: Vec<Option<Cell>> = vec![None; self.ports]; // analyze: allow(hotpath-alloc) — per-run scratch allocated once at run entry (reference engine)
         for _ in 0..active_slots {
             let t = self.clock;
             for (slot_arrival, generator) in slot_arrivals.iter_mut().zip(arrivals.iter_mut()) {
@@ -313,7 +313,7 @@ impl<B: PacketBuffer> VoqSwitch<B> {
             .max()
             .unwrap_or(0) as u64
             + 4;
-        let mut slot_arrivals: Vec<Option<Cell>> = vec![None; self.ports];
+        let mut slot_arrivals: Vec<Option<Cell>> = vec![None; self.ports]; // analyze: allow(hotpath-alloc) — drain scratch allocated once when the run winds down
         let mut idle_streak = 0u64;
         loop {
             let requestable = self.buffers.iter().any(|b| b.requestable_total() > 0);

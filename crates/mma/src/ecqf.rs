@@ -83,7 +83,7 @@ impl EcqfMma {
             return;
         }
         let new_leaves = num_queues.max(1).next_power_of_two();
-        let mut tree = vec![NO_CRITICAL; 2 * new_leaves];
+        let mut tree = vec![NO_CRITICAL; 2 * new_leaves]; // analyze: allow(hotpath-alloc) — tree regrowth on first sight of a larger queue index; settles during warmup
         for i in 0..self.leaves {
             tree[new_leaves + i] = self.tree[self.leaves + i];
         }

@@ -44,6 +44,7 @@
 //! assert_eq!(decision.index(), 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

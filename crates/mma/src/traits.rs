@@ -64,7 +64,7 @@ impl HeadMma for Box<dyn HeadMma + Send> {
         counters: &OccupancyCounters,
         lookahead: &LookaheadRegister,
     ) {
-        (**self).note_queue_changed(queue, counters, lookahead)
+        (**self).note_queue_changed(queue, counters, lookahead);
     }
 }
 

@@ -387,13 +387,13 @@ impl<'de> Deserialize<'de> for ConfigOverrides {
                     match key.as_str() {
                         "lookahead" => out.lookahead = Some(map.next_value()?),
                         "physical_queue_factor" => {
-                            out.physical_queue_factor = Some(map.next_value()?)
+                            out.physical_queue_factor = Some(map.next_value()?);
                         }
                         "dram_random_access_ns" => {
-                            out.dram_random_access_ns = Some(map.next_value()?)
+                            out.dram_random_access_ns = Some(map.next_value()?);
                         }
                         "dram_address_cycle_ns" => {
-                            out.dram_address_cycle_ns = Some(map.next_value()?)
+                            out.dram_address_cycle_ns = Some(map.next_value()?);
                         }
                         "dram_capacity_cells" => out.dram_capacity_cells = Some(map.next_value()?),
                         other => {

@@ -37,6 +37,7 @@
 //! assert_eq!(cfds.num_groups(), 32);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -215,7 +215,7 @@ impl<'a, B: PacketBuffer + ?Sized> SimulationEngine<'a, B> {
         requests: &mut R,
         active_slots: u64,
     ) -> SimulationReport {
-        let mut grant_log = self.record_grants.then(Vec::new);
+        let mut grant_log = self.record_grants.then(Vec::new); // analyze: allow(hotpath-alloc) — grant-log setup at run entry, before the slot loop
         let workload = match self.workload_label {
             Some(label) => label,
             None => workload_label(arrivals.name(), requests.name()),

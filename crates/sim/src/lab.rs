@@ -374,7 +374,7 @@ mod tests {
         let b = LabRunner::new().record_grants(true).run(&spec).unwrap();
         assert_eq!(a, b);
         // And a different seed really changes the stochastic runs.
-        let mut other = spec.clone();
+        let mut other = spec;
         other.seeds = vec![6];
         let c = LabRunner::new().record_grants(true).run(&other).unwrap();
         assert_ne!(

@@ -64,6 +64,7 @@
 //! assert!(report.aggregate.all_loss_free);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -137,11 +137,12 @@ impl Workload {
     pub fn engine_label(self, live_arrivals: bool) -> &'static str {
         match (self, live_arrivals) {
             (Workload::AdversarialRoundRobin, true) => "uniform+adversarial-round-robin",
-            (Workload::AdversarialRoundRobin, false) => "preload-only+adversarial-round-robin",
+            (Workload::AdversarialRoundRobin | Workload::Bursty, false) => {
+                "preload-only+adversarial-round-robin"
+            }
             (Workload::UniformRandom, true) => "uniform+uniform-random",
             (Workload::UniformRandom, false) => "preload-only+uniform-random",
             (Workload::Bursty, true) => "bursty+adversarial-round-robin",
-            (Workload::Bursty, false) => "preload-only+adversarial-round-robin",
             (Workload::Hotspot, true) => "hotspot+hotspot",
             (Workload::Hotspot, false) => "preload-only+hotspot",
             (Workload::GreedyDrain, true) => "uniform+greedy-queue-drain",

@@ -617,7 +617,7 @@ impl<'de> Deserialize<'de> for ExperimentSpec {
                         "rads_granularity" => spec.rads_granularity = map.next_value()?,
                         "num_banks" => spec.num_banks = map.next_value()?,
                         "preload_cells_per_queue" => {
-                            spec.preload_cells_per_queue = map.next_value()?
+                            spec.preload_cells_per_queue = map.next_value()?;
                         }
                         "arrival_slots" => {
                             spec.arrival_slots = map.next_value()?;

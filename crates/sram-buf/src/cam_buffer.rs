@@ -214,9 +214,8 @@ impl SharedBuffer for GlobalCamBuffer {
     }
 
     fn available(&self, queue: LogicalQueueId) -> usize {
-        let idx = match self.check_queue(queue) {
-            Ok(i) => i,
-            Err(_) => return 0,
+        let Ok(idx) = self.check_queue(queue) else {
+            return 0;
         };
         self.rings[idx]
             .ring

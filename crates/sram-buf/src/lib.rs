@@ -36,6 +36,7 @@
 //! assert_eq!(buf.pop_front(q).unwrap().seq(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

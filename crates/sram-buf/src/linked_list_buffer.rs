@@ -207,9 +207,8 @@ impl SharedBuffer for UnifiedLinkedListBuffer {
     }
 
     fn available(&self, queue: LogicalQueueId) -> usize {
-        let qi = match self.check_queue(queue) {
-            Ok(i) => i,
-            Err(_) => return 0,
+        let Ok(qi) = self.check_queue(queue) else {
+            return 0;
         };
         // Walk the lanes in pop order, counting cells until a lane runs dry
         // before a full block was available.

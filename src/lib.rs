@@ -23,6 +23,7 @@
 //! See `README.md` for a tour of the workspace, the design notes, and how to
 //! run the tests, benches and experiment binaries.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use cacti_lite as cacti;

@@ -4,6 +4,7 @@
 //! reference-counted, immutable byte buffer — with the construction and
 //! dereferencing surface `pktbuf_model::CellPayload` relies on.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::Deref;

@@ -11,6 +11,7 @@
 //!
 //! `cargo bench` works end to end; numbers are indicative, not rigorous.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;

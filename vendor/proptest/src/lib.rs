@@ -8,6 +8,7 @@
 //! `Arbitrary` machinery are intentionally absent — a failing case reports the
 //! drawn values unshrunk via the assertion message.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Configuration for a `proptest!` block.

@@ -7,6 +7,7 @@
 //! cryptographic, and neither is the statistical quality identical to the real
 //! `StdRng` (ChaCha12) — seeded streams differ, which no test here relies on.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};

@@ -21,6 +21,7 @@
 //! * `MapAccess::next_key` / `next_value` mirror real serde's convenience
 //!   methods (the `*_seed` layer is omitted).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};

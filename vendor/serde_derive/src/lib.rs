@@ -9,6 +9,8 @@
 //! exist. Swap this crate for the real `serde_derive` by editing
 //! `[workspace.dependencies]` once the build has network access.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Extracts the identifier of the type a derive was applied to.

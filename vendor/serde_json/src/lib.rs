@@ -14,6 +14,7 @@
 //! streaming readers/writers, borrowed (zero-copy) deserialisation, arbitrary
 //! precision numbers, the `json!` macro.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod parse;
