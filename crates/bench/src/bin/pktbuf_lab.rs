@@ -14,6 +14,10 @@
 //! pktbuf-lab spec  # print a template spec to adapt
 //! ```
 
+use bench::cli::{
+    parse_int, parse_list, parse_sweep, read_spec_text, write_artifact, OutputOptions,
+};
+use sim::clos::{ClosLabReport, ClosSpec, DispatchChoice};
 use sim::fabric::{ArbiterChoice, FabricDesign, FabricLabReport, FabricSpec, FabricWorkload};
 use sim::lab::{ExperimentReport, LabRunner};
 use sim::report::TextTable;
@@ -35,6 +39,7 @@ fn main() -> ExitCode {
         "sweep" => run_command(rest, true),
         "bench" => bench_command(rest),
         "fabric" => fabric_command(rest),
+        "clos" => clos_command(rest),
         "analyze" => analyze_command(rest),
         "paper" => paper_command(rest),
         "spec" => {
@@ -64,6 +69,7 @@ USAGE:
     pktbuf-lab run    [SPEC FLAGS] [OUTPUT FLAGS]  execute a spec (file or inline flags)
     pktbuf-lab sweep  [SPEC FLAGS] [OUTPUT FLAGS]  same, and print the per-run table
     pktbuf-lab fabric [FABRIC FLAGS]               run N×N VOQ switch-fabric experiments
+    pktbuf-lab clos   [CLOS FLAGS]                 run three-stage Clos fabric experiments
     pktbuf-lab bench  [BENCH FLAGS]                run the hot-path benchmark suite
     pktbuf-lab analyze [ANALYZE FLAGS]             check the source-level invariants
     pktbuf-lab paper  <ARTEFACT>                   regenerate a paper artefact
@@ -94,6 +100,31 @@ rate-limited egress; sweepable axes accept the same sweep syntax as below):
     --load <SWEEP>           offered load per port, percent      (default 90)
     --egress-period <N>      slots per egress cell, 1 = line rate (default 1)
     -b/-B/--banks, --rate, --slots, --seeds, --name, --threads, --json, --csv
+                             as for `run`/`sweep`
+
+CLOS FLAGS (three-stage folded Clos: r ingress switches of radix N, m middle,
+r egress, credit-flow-controlled inter-stage links; sweepable axes accept the
+same sweep syntax as below):
+    --spec <FILE>            read a Clos spec from JSON ('-' = stdin); flags override it
+    --print-spec             print the resulting spec as JSON and exit (save to adapt)
+    --smoke                  run the acceptance gate suite (the 64-port-equivalent
+                             r=8, m=8 Clos of 8×8 RADS switches, spray + flow-hash
+                             dispatch): fails unless every run is zero-loss and
+                             conserving and flow-hash delivers zero reordered cells
+    --radix <SWEEP>          switch radix N                      (default 4)
+    --ingress <SWEEP>        ingress (= egress) switches r       (default 4)
+    --middle <SWEEP>         middle switches m (<= N)            (default 4)
+    --designs <LIST|all>     dram-only, rads, cfds, mixed        (default rads)
+    --workloads <LIST|all>   uniform, hotspot, incast, bursty    (default uniform)
+    --dispatches <LIST|all>  spray, flowhash                     (default spray)
+    --arbiters <LIST|all>    islip, maximal                      (default islip)
+    --iters <N>              iSLIP iterations per slot, 0 = auto (default 0)
+    --load <SWEEP>           offered load per external port, %   (default 80)
+    --link-capacity <SWEEP>  credits (= FIFO slots) per link     (default 8)
+    --link-latency <N>       one-way link latency, slots         (default 1)
+    --egress-period <N>      slots per egress cell, 1 = line rate (default 1)
+    --workers <N>            per-stage worker threads inside each run (default 1)
+    --rate, -b/-B/--banks, --slots, --seeds, --name, --threads, --json, --csv
                              as for `run`/`sweep`
 
 BENCH FLAGS (all designs x all workloads + drain/idle showcase points, both
@@ -576,6 +607,388 @@ fn print_fabric_summary(report: &FabricLabReport, to_stderr: bool) {
     ));
 }
 
+/// The `clos --smoke` gate suite: the 64-port-equivalent three-stage Clos
+/// (r = 8 ingress/egress switches of radix 8, m = 8 middle switches) with
+/// per-port RADS buffers under the uniform workload, crossing both dispatch
+/// policies with a moderate and a near-saturation load. Spray at 85% is the
+/// stress point (every uplink load-balanced); flow-hash runs gate the
+/// ordering guarantee on top of zero loss.
+fn clos_smoke_spec() -> ClosSpec {
+    ClosSpec::builder()
+        .name("clos-smoke")
+        .designs([FabricDesign::Fixed(DesignKind::Rads)])
+        .workloads([FabricWorkload::Uniform])
+        .dispatches(DispatchChoice::all())
+        .radix(Sweep::fixed(8))
+        .ingress_switches(Sweep::fixed(8))
+        .middle_switches(Sweep::fixed(8))
+        .load_percent(Sweep::list([50, 85]))
+        .arrival_slots(10_000)
+        .build()
+        .expect("the clos smoke spec is valid")
+}
+
+fn clos_command(args: &[String]) -> Result<(), String> {
+    type ClosEdit = Box<dyn FnOnce(&mut ClosSpec) -> Result<(), String>>;
+    let mut base: Option<ClosSpec> = None;
+    let mut output = OutputOptions::default();
+    let mut smoke = false;
+    let mut print_spec = false;
+    let mut edits: Vec<ClosEdit> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--print-spec" => print_spec = true,
+            "--spec" => {
+                let text = read_spec_text(&value("--spec")?)?;
+                base = Some(ClosSpec::from_json(&text).map_err(|e| e.to_string())?);
+            }
+            "--name" => {
+                let v = value("--name")?;
+                edits.push(Box::new(move |s| {
+                    s.name = v;
+                    Ok(())
+                }));
+            }
+            "--radix" => {
+                let v = value("--radix")?;
+                edits.push(Box::new(move |s| {
+                    s.radix = parse_sweep(&v, "--radix")?;
+                    Ok(())
+                }));
+            }
+            "--ingress" => {
+                let v = value("--ingress")?;
+                edits.push(Box::new(move |s| {
+                    s.ingress_switches = parse_sweep(&v, "--ingress")?;
+                    Ok(())
+                }));
+            }
+            "--middle" => {
+                let v = value("--middle")?;
+                edits.push(Box::new(move |s| {
+                    s.middle_switches = parse_sweep(&v, "--middle")?;
+                    Ok(())
+                }));
+            }
+            "--designs" => {
+                let v = value("--designs")?;
+                edits.push(Box::new(move |s| {
+                    s.designs = if v.eq_ignore_ascii_case("all") {
+                        FabricDesign::all().to_vec()
+                    } else {
+                        parse_list(&v, "fabric design")?
+                    };
+                    Ok(())
+                }));
+            }
+            "--workloads" => {
+                let v = value("--workloads")?;
+                edits.push(Box::new(move |s| {
+                    s.workloads = if v.eq_ignore_ascii_case("all") {
+                        FabricWorkload::all().to_vec()
+                    } else {
+                        parse_list(&v, "fabric workload")?
+                    };
+                    Ok(())
+                }));
+            }
+            "--dispatches" => {
+                let v = value("--dispatches")?;
+                edits.push(Box::new(move |s| {
+                    s.dispatches = if v.eq_ignore_ascii_case("all") {
+                        DispatchChoice::all().to_vec()
+                    } else {
+                        parse_list(&v, "dispatch policy")?
+                    };
+                    Ok(())
+                }));
+            }
+            "--arbiters" => {
+                let v = value("--arbiters")?;
+                edits.push(Box::new(move |s| {
+                    s.arbiters = if v.eq_ignore_ascii_case("all") {
+                        ArbiterChoice::all().to_vec()
+                    } else {
+                        parse_list(&v, "arbiter")?
+                    };
+                    Ok(())
+                }));
+            }
+            "--iters" => {
+                let v = value("--iters")?;
+                edits.push(Box::new(move |s| {
+                    s.islip_iterations = parse_int(&v, "--iters")?;
+                    Ok(())
+                }));
+            }
+            "--load" => {
+                let v = value("--load")?;
+                edits.push(Box::new(move |s| {
+                    s.load_percent = parse_sweep(&v, "--load")?;
+                    Ok(())
+                }));
+            }
+            "--link-capacity" => {
+                let v = value("--link-capacity")?;
+                edits.push(Box::new(move |s| {
+                    s.link_capacity = parse_sweep(&v, "--link-capacity")?;
+                    Ok(())
+                }));
+            }
+            "--link-latency" => {
+                let v = value("--link-latency")?;
+                edits.push(Box::new(move |s| {
+                    s.link_latency = parse_int(&v, "--link-latency")?;
+                    Ok(())
+                }));
+            }
+            "--egress-period" => {
+                let v = value("--egress-period")?;
+                edits.push(Box::new(move |s| {
+                    s.egress_period = parse_int(&v, "--egress-period")?;
+                    Ok(())
+                }));
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                edits.push(Box::new(move |s| {
+                    s.workers = parse_int(&v, "--workers")?;
+                    Ok(())
+                }));
+            }
+            "--rate" => {
+                let v = value("--rate")?;
+                edits.push(Box::new(move |s| {
+                    s.line_rate = v.parse().map_err(|e| format!("--rate: {e}"))?;
+                    Ok(())
+                }));
+            }
+            "-b" | "--granularity" => {
+                let v = value("--granularity")?;
+                edits.push(Box::new(move |s| {
+                    s.granularity = parse_int(&v, "--granularity")?;
+                    Ok(())
+                }));
+            }
+            "-B" | "--rads-granularity" => {
+                let v = value("--rads-granularity")?;
+                edits.push(Box::new(move |s| {
+                    s.rads_granularity = parse_int(&v, "--rads-granularity")?;
+                    Ok(())
+                }));
+            }
+            "--banks" => {
+                let v = value("--banks")?;
+                edits.push(Box::new(move |s| {
+                    s.num_banks = parse_int(&v, "--banks")?;
+                    Ok(())
+                }));
+            }
+            "--slots" => {
+                let v = value("--slots")?;
+                edits.push(Box::new(move |s| {
+                    s.arrival_slots = parse_int(&v, "--slots")?;
+                    Ok(())
+                }));
+            }
+            "--seeds" => {
+                let v = value("--seeds")?;
+                edits.push(Box::new(move |s| {
+                    s.seeds = v
+                        .split(',')
+                        .map(|part| parse_int(part, "--seeds"))
+                        .collect::<Result<Vec<u64>, String>>()?;
+                    Ok(())
+                }));
+            }
+            "--threads" => {
+                output.threads = Some(parse_int(&value("--threads")?, "--threads")? as usize);
+            }
+            "--json" => output.json = Some(value("--json")?),
+            "--csv" => output.csv = Some(value("--csv")?),
+            other => return Err(format!("unknown clos flag {other:?}")),
+        }
+    }
+    let mut spec = if smoke {
+        // The smoke suite is a *fixed* acceptance gate, exactly like
+        // `fabric --smoke`: spec flags cannot weaken the gated scenario.
+        if base.is_some() || !edits.is_empty() {
+            return Err(
+                "--smoke runs the fixed gate suite; drop --spec and the spec flags \
+                 (--threads/--json/--csv remain available)"
+                    .to_owned(),
+            );
+        }
+        clos_smoke_spec()
+    } else {
+        base.unwrap_or_else(|| {
+            ClosSpec::builder()
+                .build()
+                .expect("the default clos spec is valid")
+        })
+    };
+    for edit in edits {
+        edit(&mut spec)?;
+    }
+    spec.expand().map_err(|e| e.to_string())?;
+    if print_spec {
+        println!("{}", spec.to_json());
+        return Ok(());
+    }
+    let machine_stdout = output.machine_stdout()?;
+    let mut runner = LabRunner::new();
+    if let Some(threads) = output.threads {
+        runner = runner.with_threads(threads);
+    }
+    let report = runner.run_clos(&spec).map_err(|e| e.to_string())?;
+    print_clos_summary(&report, machine_stdout);
+    output.write_reports("clos ", || report.to_json(), || report.to_csv())?;
+    if smoke {
+        gate_clos_smoke(&report)?;
+    }
+    Ok(())
+}
+
+/// The `clos --smoke` acceptance gates: zero lost cells and fabric-wide cell
+/// conservation on every run, and zero reordered deliveries on the flow-hash
+/// runs (the ordering guarantee pinned fabric-wide). Spray reordering is
+/// *reported* — load-balancing trades order for balance by design — but not
+/// gated.
+fn gate_clos_smoke(report: &ClosLabReport) -> Result<(), String> {
+    let mut failures = Vec::new();
+    let mut spray_reordered = 0u64;
+    for run in &report.runs {
+        let s = &run.scenario;
+        let label = format!(
+            "run {} ({}x{} r={} m={} {}/{}@{}%)",
+            run.index,
+            s.radix,
+            s.radix,
+            s.ingress_switches,
+            s.middle_switches,
+            s.workload,
+            s.dispatch,
+            s.load_percent,
+        );
+        if !run.report.zero_loss {
+            failures.push(format!("{label} lost {} cells", run.report.lost_cells));
+        }
+        if !run.report.conservation_holds() {
+            failures.push(format!(
+                "{label} broke conservation: {} arrived vs {} delivered + {} resident",
+                run.report.arrivals,
+                run.report.delivered,
+                run.report.resident_cells + run.report.link_resident_cells,
+            ));
+        }
+        match s.dispatch {
+            DispatchChoice::FlowHash => {
+                if run.report.reordered_cells > 0 {
+                    failures.push(format!(
+                        "{label} reordered {} cells under flow-hash pinning",
+                        run.report.reordered_cells,
+                    ));
+                }
+            }
+            DispatchChoice::Spray => spray_reordered += run.report.reordered_cells,
+        }
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "clos smoke: all {} runs zero-loss and conserving; flow-hash in order; \
+             spray reordered {} cells (reported, not gated)",
+            report.runs.len(),
+            spray_reordered,
+        );
+        Ok(())
+    } else {
+        Err(format!("clos smoke gate failed: {}", failures.join("; ")))
+    }
+}
+
+fn print_clos_summary(report: &ClosLabReport, to_stderr: bool) {
+    let emit = |line: &str| {
+        if to_stderr {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    let mut table = TextTable::new(vec![
+        "run",
+        "N",
+        "r",
+        "m",
+        "design",
+        "workload",
+        "dispatch",
+        "arbiter",
+        "load%",
+        "seed",
+        "arrivals",
+        "delivered",
+        "lost",
+        "reordered",
+        "stalls",
+        "peak-link",
+        "latency",
+        "zero-loss",
+        "conserving",
+    ]);
+    for run in &report.runs {
+        let s = &run.scenario;
+        let r = &run.report;
+        table.push_row(vec![
+            run.index.to_string(),
+            s.radix.to_string(),
+            s.ingress_switches.to_string(),
+            s.middle_switches.to_string(),
+            s.design.to_string(),
+            s.workload.to_string(),
+            s.dispatch.to_string(),
+            s.arbiter.to_string(),
+            s.load_percent.to_string(),
+            s.seed.to_string(),
+            r.arrivals.to_string(),
+            r.delivered.to_string(),
+            r.lost_cells.to_string(),
+            r.reordered_cells.to_string(),
+            r.credit_stall_slots.to_string(),
+            r.peak_link_depth.to_string(),
+            format!("{:.1}", r.mean_latency_slots),
+            r.zero_loss.to_string(),
+            r.conservation_holds().to_string(),
+        ]);
+    }
+    emit(&table.render());
+    let agg = &report.aggregate;
+    emit(&format!(
+        "{}: {} runs ({} skipped invalid), {} zero-loss, {} conserving, {} arrivals, \
+         {} delivered, {} lost, {} reordered, {} credit-stall slots, peak link depth {}, \
+         mean latency {:.1}, max latency {} slots",
+        report.spec.name,
+        agg.runs,
+        report.skipped_invalid,
+        agg.zero_loss_runs,
+        agg.conserving_runs,
+        agg.total_arrivals,
+        agg.total_delivered,
+        agg.total_lost_cells,
+        agg.total_reordered_cells,
+        agg.total_credit_stall_slots,
+        agg.peak_link_depth,
+        agg.mean_latency_slots,
+        agg.max_latency_slots,
+    ));
+}
+
 fn paper_command(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or_else(|| {
         format!(
@@ -596,63 +1009,6 @@ fn paper_command(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Parsed output options shared by `run`, `sweep` and `fabric`.
-struct OutputOptions {
-    threads: Option<usize>,
-    json: Option<String>,
-    csv: Option<String>,
-}
-
-impl OutputOptions {
-    /// Whether a machine-readable artifact targets stdout (`'-'`) — the
-    /// human summary then moves to stderr so the stream stays valid
-    /// JSON/CSV. Checked *before* a run starts: two artifacts cannot share
-    /// stdout (the concatenation would be neither), and discovering that
-    /// only after a long sweep would discard it.
-    ///
-    /// # Errors
-    ///
-    /// Errors when both `--json -` and `--csv -` were requested.
-    fn machine_stdout(&self) -> Result<bool, String> {
-        if self.json.as_deref() == Some("-") && self.csv.as_deref() == Some("-") {
-            return Err("--json - and --csv - cannot both write to stdout".to_owned());
-        }
-        Ok(self.json.as_deref() == Some("-") || self.csv.as_deref() == Some("-"))
-    }
-
-    /// Writes the JSON/CSV artifacts that were requested; the renderers run
-    /// lazily so an unrequested format costs nothing.
-    fn write_reports(
-        &self,
-        what: &str,
-        json: impl FnOnce() -> String,
-        csv: impl FnOnce() -> String,
-    ) -> Result<(), String> {
-        if let Some(path) = &self.json {
-            write_artifact(path, &json(), &format!("{what}JSON report"))?;
-        }
-        if let Some(path) = &self.csv {
-            write_artifact(path, &csv(), &format!("{what}CSV report"))?;
-        }
-        Ok(())
-    }
-}
-
-/// Reads a spec's JSON text from a file path, or from stdin for `'-'`
-/// (shared by the `run`/`sweep` and `fabric` `--spec` flags).
-fn read_spec_text(path: &str) -> Result<String, String> {
-    if path == "-" {
-        use std::io::Read as _;
-        let mut buffer = String::new();
-        std::io::stdin()
-            .read_to_string(&mut buffer)
-            .map_err(|e| format!("cannot read stdin: {e}"))?;
-        Ok(buffer)
-    } else {
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))
-    }
-}
-
 fn run_command(args: &[String], print_runs: bool) -> Result<(), String> {
     let (spec, output) = parse_spec_args(args)?;
     let machine_stdout = output.machine_stdout()?;
@@ -663,18 +1019,6 @@ fn run_command(args: &[String], print_runs: bool) -> Result<(), String> {
     let report = runner.run(&spec).map_err(|e| e.to_string())?;
     print_summary(&report, print_runs, machine_stdout);
     output.write_reports("", || report.to_json(), || report.to_csv())
-}
-
-fn write_artifact(path: &str, content: &str, what: &str) -> Result<(), String> {
-    if path == "-" {
-        println!("{content}");
-        Ok(())
-    } else {
-        std::fs::write(path, content)
-            .map_err(|e| format!("cannot write {what} to {path:?}: {e}"))?;
-        eprintln!("wrote {what} to {path}");
-        Ok(())
-    }
 }
 
 /// A deferred spec mutation from one inline flag.
@@ -820,32 +1164,6 @@ fn parse_spec_args(args: &[String]) -> Result<(ExperimentSpec, OutputOptions), S
     }
     spec.expand().map_err(|e| e.to_string())?;
     Ok((spec, output))
-}
-
-fn parse_int(text: &str, flag: &str) -> Result<u64, String> {
-    text.trim()
-        .parse()
-        .map_err(|_| format!("{flag}: {text:?} is not an unsigned integer"))
-}
-
-fn parse_sweep(text: &str, flag: &str) -> Result<Sweep, String> {
-    text.parse().map_err(|e| format!("{flag}: {e}"))
-}
-
-fn parse_list<T: std::str::FromStr>(text: &str, what: &str) -> Result<Vec<T>, String>
-where
-    T::Err: std::fmt::Display,
-{
-    let items = text
-        .split(',')
-        .filter(|part| !part.trim().is_empty())
-        .map(|part| part.trim().parse::<T>().map_err(|e| e.to_string()))
-        .collect::<Result<Vec<T>, String>>()?;
-    if items.is_empty() {
-        Err(format!("empty {what} list"))
-    } else {
-        Ok(items)
-    }
 }
 
 fn print_summary(report: &ExperimentReport, print_runs: bool, to_stderr: bool) {

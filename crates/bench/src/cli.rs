@@ -1,0 +1,248 @@
+//! Shared guard rails of the `pktbuf-lab` subcommands.
+//!
+//! Every subcommand that writes machine-readable artifacts shares the same
+//! failure modes, and each used to carry its own copy of the protections:
+//!
+//! * **stdout conflicts** — `--json -` and `--csv -` cannot both stream to
+//!   stdout (the concatenation is neither valid JSON nor valid CSV), and a
+//!   stdout-bound artifact must move the human summary to stderr. Checked
+//!   *before* a run starts, so a long sweep is never discarded on output.
+//! * **history collisions** — re-recording a `--tag` that a trajectory
+//!   already carries would make the per-PR performance history ambiguous;
+//!   the guard refuses unless `--force` is passed.
+//!
+//! [`OutputOptions`] and [`guard_fresh_tag`] centralise both, next to the
+//! artifact read/write and flag-parsing helpers every subcommand uses, so a
+//! new subcommand (e.g. `clos`) inherits the full guard set by construction.
+
+use serde_json::Value;
+use sim::spec::Sweep;
+
+/// Parsed `--threads`/`--json`/`--csv` output options shared by the `run`,
+/// `sweep`, `fabric` and `clos` subcommands.
+#[derive(Debug, Clone, Default)]
+pub struct OutputOptions {
+    /// Worker threads for the lab runner (`None` = all cores).
+    pub threads: Option<usize>,
+    /// JSON report destination (`'-'` = stdout).
+    pub json: Option<String>,
+    /// CSV report destination (`'-'` = stdout).
+    pub csv: Option<String>,
+}
+
+impl OutputOptions {
+    /// Whether a machine-readable artifact targets stdout (`'-'`) — the
+    /// human summary then moves to stderr so the stream stays valid
+    /// JSON/CSV. Checked *before* a run starts: two artifacts cannot share
+    /// stdout (the concatenation would be neither), and discovering that
+    /// only after a long sweep would discard it.
+    ///
+    /// # Errors
+    ///
+    /// Errors when both `--json -` and `--csv -` were requested.
+    pub fn machine_stdout(&self) -> Result<bool, String> {
+        if self.json.as_deref() == Some("-") && self.csv.as_deref() == Some("-") {
+            return Err("--json - and --csv - cannot both write to stdout".to_owned());
+        }
+        Ok(self.json.as_deref() == Some("-") || self.csv.as_deref() == Some("-"))
+    }
+
+    /// Writes the JSON/CSV artifacts that were requested; the renderers run
+    /// lazily so an unrequested format costs nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`write_artifact`] failures (unwritable destination).
+    pub fn write_reports(
+        &self,
+        what: &str,
+        json: impl FnOnce() -> String,
+        csv: impl FnOnce() -> String,
+    ) -> Result<(), String> {
+        if let Some(path) = &self.json {
+            write_artifact(path, &json(), &format!("{what}JSON report"))?;
+        }
+        if let Some(path) = &self.csv {
+            write_artifact(path, &csv(), &format!("{what}CSV report"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes one artifact to `path`, or to stdout for `'-'` (the status line
+/// then goes to stderr, keeping stdout machine-clean).
+///
+/// # Errors
+///
+/// Errors when the destination file cannot be written.
+pub fn write_artifact(path: &str, content: &str, what: &str) -> Result<(), String> {
+    if path == "-" {
+        println!("{content}");
+        Ok(())
+    } else {
+        std::fs::write(path, content)
+            .map_err(|e| format!("cannot write {what} to {path:?}: {e}"))?;
+        eprintln!("wrote {what} to {path}");
+        Ok(())
+    }
+}
+
+/// Reads a spec's JSON text from a file path, or from stdin for `'-'`
+/// (shared by the `run`/`sweep`, `fabric` and `clos` `--spec` flags).
+///
+/// # Errors
+///
+/// Errors when the file (or stdin) cannot be read.
+pub fn read_spec_text(path: &str) -> Result<String, String> {
+    if path == "-" {
+        use std::io::Read as _;
+        let mut buffer = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buffer)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        Ok(buffer)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))
+    }
+}
+
+/// Loads a JSON artifact (bench history, spec, …) from `path`.
+///
+/// # Errors
+///
+/// Errors when the file cannot be read or does not parse as JSON.
+pub fn load_artifact(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path:?}: {e}"))
+}
+
+/// Whether a previously recorded artifact's trajectory already carries an
+/// entry under `tag`.
+pub fn trajectory_has_tag(artifact: &Value, tag: &str) -> bool {
+    let Some(Value::Array(rows)) = artifact.as_object().and_then(|o| o.get("trajectory")) else {
+        return false;
+    };
+    rows.iter().any(|row| {
+        row.as_object()
+            .and_then(|o| o.get("tag"))
+            .and_then(Value::as_str)
+            == Some(tag)
+    })
+}
+
+/// The `--tag` re-recording guard: refuses to append a trajectory entry
+/// under a tag the previous artifact already carries, unless `force`.
+/// Run it *before* the (minutes-long) measurement, not after.
+///
+/// # Errors
+///
+/// Errors when `previous` already has an entry tagged `tag` and `force` is
+/// not set.
+pub fn guard_fresh_tag(previous: Option<&Value>, tag: &str, force: bool) -> Result<(), String> {
+    if let Some(previous) = previous {
+        if !force && trajectory_has_tag(previous, tag) {
+            return Err(format!(
+                "trajectory already has an entry tagged {tag:?}; re-recording would \
+                 make the per-PR history ambiguous (pass --force to append anyway)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Parses one unsigned-integer flag value.
+///
+/// # Errors
+///
+/// Errors when `text` is not an unsigned integer, naming `flag`.
+pub fn parse_int(text: &str, flag: &str) -> Result<u64, String> {
+    text.trim()
+        .parse()
+        .map_err(|_| format!("{flag}: {text:?} is not an unsigned integer"))
+}
+
+/// Parses one sweep flag value (`v`, `v1,v2,…`, `a..b*factor`, `a..b+step`).
+///
+/// # Errors
+///
+/// Errors when `text` is not valid sweep syntax, naming `flag`.
+pub fn parse_sweep(text: &str, flag: &str) -> Result<Sweep, String> {
+    text.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+/// Parses one comma-separated list flag value into any `FromStr` item type.
+///
+/// # Errors
+///
+/// Errors when any item fails to parse or the list is empty, naming `what`.
+pub fn parse_list<T: std::str::FromStr>(text: &str, what: &str) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let items = text
+        .split(',')
+        .filter(|part| !part.trim().is_empty())
+        .map(|part| part.trim().parse::<T>().map_err(|e| e.to_string()))
+        .collect::<Result<Vec<T>, String>>()?;
+    if items.is_empty() {
+        Err(format!("empty {what} list"))
+    } else {
+        Ok(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn options(json: Option<&str>, csv: Option<&str>) -> OutputOptions {
+        OutputOptions {
+            threads: None,
+            json: json.map(str::to_owned),
+            csv: csv.map(str::to_owned),
+        }
+    }
+
+    #[test]
+    fn stdout_conflict_is_refused_before_any_run() {
+        assert!(options(Some("-"), Some("-")).machine_stdout().is_err());
+        assert!(!options(None, None).machine_stdout().unwrap());
+        assert!(options(Some("-"), None).machine_stdout().unwrap());
+        assert!(options(None, Some("-")).machine_stdout().unwrap());
+        assert!(!options(Some("a.json"), Some("b.csv"))
+            .machine_stdout()
+            .unwrap());
+    }
+
+    #[test]
+    fn fresh_tag_guard_refuses_duplicates_unless_forced() {
+        let artifact = serde_json::from_str::<Value>(
+            "{\"trajectory\":[{\"tag\":\"PR-6\"},{\"tag\":\"baseline\"}]}",
+        )
+        .unwrap();
+        assert!(trajectory_has_tag(&artifact, "PR-6"));
+        assert!(!trajectory_has_tag(&artifact, "PR-7"));
+        assert!(guard_fresh_tag(Some(&artifact), "PR-6", false).is_err());
+        assert!(guard_fresh_tag(Some(&artifact), "PR-6", true).is_ok());
+        assert!(guard_fresh_tag(Some(&artifact), "PR-7", false).is_ok());
+        assert!(guard_fresh_tag(None, "PR-6", false).is_ok());
+        // No trajectory section: nothing to collide with.
+        let empty = serde_json::from_str::<Value>("{}").unwrap();
+        assert!(guard_fresh_tag(Some(&empty), "PR-6", false).is_ok());
+    }
+
+    #[test]
+    fn flag_parsers_name_the_flag_in_errors() {
+        assert_eq!(parse_int("42", "--slots").unwrap(), 42);
+        assert!(parse_int("x", "--slots").unwrap_err().contains("--slots"));
+        assert!(parse_sweep("4..16*2", "--ports").is_ok());
+        assert!(parse_sweep("nope", "--ports")
+            .unwrap_err()
+            .contains("--ports"));
+        let loads: Vec<u64> = parse_list("25, 95", "load").unwrap();
+        assert_eq!(loads, [25, 95]);
+        assert!(parse_list::<u64>(" , ", "load")
+            .unwrap_err()
+            .contains("load"));
+    }
+}

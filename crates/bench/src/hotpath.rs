@@ -26,7 +26,9 @@
 //! noise floor — batching must never pessimise) and asserts that both
 //! engines simulated identical slot and grant counts.
 
+use crate::cli::{guard_fresh_tag, load_artifact};
 use serde_json::{Map, Number, Value};
+use sim::clos::ClosScenario;
 use sim::fabric::{ArbiterChoice, FabricDesign, FabricScenario, FabricWorkload};
 use sim::scenario::{DesignKind, Scenario, Workload};
 use sim::SimulationEngine;
@@ -36,8 +38,9 @@ use traffic::{AdversarialRoundRobin, BurstyArrivals};
 /// Version tag of the JSON artifact layout. v2: per-entry dual-engine
 /// measurements, showcase points, and the `trajectory` section. v3: fabric
 /// sections (`fabric_results`, `fabric_smoke_results`, and per-trajectory
-/// `fabric_slots_per_sec`).
-pub const BENCH_SCHEMA: u64 = 3;
+/// `fabric_slots_per_sec`). v4: three-stage Clos sections (`clos_results`,
+/// `clos_smoke_results`, and per-trajectory `clos_port_slots_per_sec`).
+pub const BENCH_SCHEMA: u64 = 4;
 
 /// Default artifact path, relative to the invocation directory.
 pub const BENCH_DEFAULT_OUT: &str = "BENCH_hotpath.json";
@@ -524,6 +527,189 @@ fn fabric_results_json(entries: &[FabricBenchEntry]) -> Value {
     Value::Array(rows)
 }
 
+/// Active slots per full-scale Clos bench point. Every Clos slot steps all
+/// `2r + m` switches (192 buffers at the 64-port point), so the slot budget
+/// sits well below even the fabric points for comparable wall time.
+const CLOS_SLOTS_FULL: u64 = 20_000;
+/// Active slots per smoke-mode Clos bench point.
+const CLOS_SLOTS_SMOKE: u64 = 5_000;
+
+/// The Clos bench points: the 64-port-equivalent three-stage fabric
+/// (`r = m = N = 8`) under uniform spray traffic. Three RADS points span the
+/// arbiter × load plane — iSLIP and maximal at 85% near saturation, and
+/// maximal at 50%, the headline point whose sustained throughput (in
+/// port-slots/sec, `slots_per_sec × 64`) the acceptance criteria gate on.
+/// The DRAM-only point is the §1 motivation baseline at Clos scale: its
+/// buffers drop under contention *by design*, so it is exempt from the
+/// zero-loss standing gate (conservation still must hold — every lost cell
+/// accounted, none vanished).
+fn clos_suite_points(slots: u64) -> Vec<ClosScenario> {
+    let base = ClosScenario {
+        radix: 8,
+        ingress_switches: 8,
+        middle_switches: 8,
+        arrival_slots: slots,
+        ..ClosScenario::small()
+    };
+    vec![
+        ClosScenario {
+            arbiter: ArbiterChoice::Islip,
+            load_percent: 85,
+            ..base
+        },
+        ClosScenario {
+            arbiter: ArbiterChoice::Maximal,
+            load_percent: 85,
+            ..base
+        },
+        ClosScenario {
+            arbiter: ArbiterChoice::Maximal,
+            load_percent: 50,
+            ..base
+        },
+        ClosScenario {
+            design: FabricDesign::Fixed(DesignKind::DramOnly),
+            arbiter: ArbiterChoice::Islip,
+            load_percent: 85,
+            ..base
+        },
+    ]
+}
+
+/// Whether a Clos bench point sits inside the zero-loss envelope the standing
+/// gate enforces. DRAM-only buffers miss grants under bank contention by
+/// design (the paper's motivation baseline), so only the RADS/CFDS points
+/// promise zero loss.
+fn clos_point_expects_zero_loss(scenario: &ClosScenario) -> bool {
+    scenario.design != FabricDesign::Fixed(DesignKind::DramOnly)
+}
+
+/// One measured Clos bench point.
+#[derive(Debug, Clone)]
+struct ClosBenchEntry {
+    scenario: ClosScenario,
+    slots: u64,
+    delivered: u64,
+    zero_loss: bool,
+    conserving: bool,
+    seconds: f64,
+}
+
+impl ClosBenchEntry {
+    fn key(&self) -> String {
+        let s = &self.scenario;
+        format!(
+            "clos{}x{}x{}-{}/{}+{}@{}+{}",
+            s.ingress_switches,
+            s.middle_switches,
+            s.radix,
+            s.design,
+            s.workload,
+            s.arbiter,
+            s.load_percent,
+            s.dispatch,
+        )
+    }
+
+    fn slots_per_sec(&self) -> f64 {
+        slots_per_sec(self.slots, self.seconds)
+    }
+
+    /// Port-normalised throughput: one Clos slot advances all `r·N` external
+    /// ports, so this is the number a single-switch `slots_per_sec` is
+    /// comparable against.
+    fn port_slots_per_sec(&self) -> f64 {
+        self.slots_per_sec() * self.scenario.external_ports() as f64
+    }
+}
+
+fn run_clos_suite(smoke: bool, repeat: usize) -> Vec<ClosBenchEntry> {
+    let slots = if smoke {
+        CLOS_SLOTS_SMOKE
+    } else {
+        CLOS_SLOTS_FULL
+    };
+    let points = clos_suite_points(slots);
+    let mut entries: Vec<ClosBenchEntry> = Vec::new();
+    for round in 0..repeat.max(1) {
+        for (i, scenario) in points.iter().enumerate() {
+            let start = Instant::now();
+            let report = scenario.run();
+            let seconds = start.elapsed().as_secs_f64();
+            if round == 0 {
+                entries.push(ClosBenchEntry {
+                    scenario: *scenario,
+                    slots: report.slots,
+                    delivered: report.delivered,
+                    zero_loss: report.zero_loss,
+                    conserving: report.conservation_holds(),
+                    seconds,
+                });
+            } else {
+                let best = &mut entries[i];
+                // Deterministic simulation: repeats reproduce the run.
+                assert_eq!(
+                    (best.slots, best.delivered),
+                    (report.slots, report.delivered)
+                );
+                best.seconds = best.seconds.min(seconds);
+            }
+        }
+    }
+    for entry in &entries {
+        eprintln!(
+            "bench: {:<44} {:>7} slots  clos {:>9.0} slots/s = {:>10.0} port-slots/s  \
+             (zero-loss {}, conserving {})",
+            entry.key(),
+            entry.slots,
+            entry.slots_per_sec(),
+            entry.port_slots_per_sec(),
+            entry.zero_loss,
+            entry.conserving,
+        );
+    }
+    entries
+}
+
+fn clos_results_json(entries: &[ClosBenchEntry]) -> Value {
+    let mut rows = Vec::new();
+    for e in entries {
+        let s = &e.scenario;
+        let mut row = Map::new();
+        row.insert("key", Value::String(e.key()));
+        row.insert("radix", Value::Number(Number::from_u64(s.radix as u64)));
+        row.insert(
+            "ingress_switches",
+            Value::Number(Number::from_u64(s.ingress_switches as u64)),
+        );
+        row.insert(
+            "middle_switches",
+            Value::Number(Number::from_u64(s.middle_switches as u64)),
+        );
+        row.insert(
+            "external_ports",
+            Value::Number(Number::from_u64(s.external_ports() as u64)),
+        );
+        row.insert("design", Value::String(s.design.to_string()));
+        row.insert("workload", Value::String(s.workload.to_string()));
+        row.insert("dispatch", Value::String(s.dispatch.to_string()));
+        row.insert("arbiter", Value::String(s.arbiter.to_string()));
+        row.insert(
+            "load_percent",
+            Value::Number(Number::from_u64(s.load_percent)),
+        );
+        row.insert("slots", Value::Number(Number::from_u64(e.slots)));
+        row.insert("delivered", Value::Number(Number::from_u64(e.delivered)));
+        row.insert("zero_loss", Value::Bool(e.zero_loss));
+        row.insert("conserving", Value::Bool(e.conserving));
+        row.insert("seconds", number(e.seconds));
+        row.insert("slots_per_sec", number(e.slots_per_sec()));
+        row.insert("port_slots_per_sec", number(e.port_slots_per_sec()));
+        rows.push(Value::Object(row));
+    }
+    Value::Array(rows)
+}
+
 fn number(v: f64) -> Value {
     Value::Number(Number::from_f64(v).expect("bench numbers are finite"))
 }
@@ -601,25 +787,6 @@ fn slots_per_sec_section(value: &Value, section: &str) -> Vec<(String, f64)> {
     per_key_section(value, section, "slots_per_sec")
 }
 
-fn load_artifact(path: &str) -> Result<Value, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path:?}: {e}"))
-}
-
-/// Whether a previously recorded artifact's trajectory already carries an
-/// entry under `tag`.
-fn trajectory_has_tag(artifact: &Value, tag: &str) -> bool {
-    let Some(Value::Array(rows)) = artifact.as_object().and_then(|o| o.get("trajectory")) else {
-        return false;
-    };
-    rows.iter().any(|row| {
-        row.as_object()
-            .and_then(|o| o.get("tag"))
-            .and_then(Value::as_str)
-            == Some(tag)
-    })
-}
-
 fn median(mut values: Vec<f64>) -> Option<f64> {
     if values.is_empty() {
         return None;
@@ -635,6 +802,7 @@ fn build_trajectory(
     previous: Option<&Value>,
     entries: &[BenchEntry],
     fabric_entries: &[FabricBenchEntry],
+    clos_entries: &[ClosBenchEntry],
     tag: &str,
     rss: u64,
 ) -> Value {
@@ -682,6 +850,16 @@ fn build_trajectory(
             fabric.insert(e.key(), number(e.slots_per_sec()));
         }
         entry.insert("fabric_slots_per_sec", Value::Object(fabric));
+    }
+    if !clos_entries.is_empty() {
+        // Port-normalised: one Clos slot advances all r·N external ports, so
+        // this is the figure comparable across fabric sizes (and the one the
+        // PR-7 throughput acceptance gates on).
+        let mut clos = Map::new();
+        for e in clos_entries {
+            clos.insert(e.key(), number(e.port_slots_per_sec()));
+        }
+        entry.insert("clos_port_slots_per_sec", Value::Object(clos));
     }
     entry.insert("peak_rss_bytes", Value::Number(Number::from_u64(rss)));
     // Median speedup vs the previous trajectory entry, over shared keys.
@@ -746,17 +924,13 @@ pub fn run_bench(options: &BenchOptions) -> Result<bool, String> {
         }
         None => None,
     };
-    if let (Some(tag), Some(previous)) = (&options.tag, &previous_for_tag) {
-        if !options.force && trajectory_has_tag(previous, tag) {
-            return Err(format!(
-                "trajectory already has an entry tagged {tag:?}; re-recording would \
-                 make the per-PR history ambiguous (pass --force to append anyway)"
-            ));
-        }
+    if let Some(tag) = &options.tag {
+        guard_fresh_tag(previous_for_tag.as_ref(), tag, options.force)?;
     }
     let tolerance = options.max_regression_pct.unwrap_or(15.0);
     let entries = run_suite(options.smoke, options.repeat.unwrap_or(1));
     let fabric_entries = run_fabric_suite(options.smoke, options.repeat.unwrap_or(1));
+    let clos_entries = run_clos_suite(options.smoke, options.repeat.unwrap_or(1));
     // A recorded full artifact also carries a smoke-mode section: the short
     // CI runs amortise fixed per-run setup far less than the 1M-slot runs,
     // so `--smoke --compare` must check against smoke-mode numbers.
@@ -768,6 +942,11 @@ pub fn run_bench(options: &BenchOptions) -> Result<bool, String> {
     };
     let fabric_smoke_entries = if !options.smoke && options.out.is_some() {
         Some(run_fabric_suite(true, options.repeat.unwrap_or(1)))
+    } else {
+        None
+    };
+    let clos_smoke_entries = if !options.smoke && options.out.is_some() {
+        Some(run_clos_suite(true, options.repeat.unwrap_or(1)))
     } else {
         None
     };
@@ -807,6 +986,23 @@ pub fn run_bench(options: &BenchOptions) -> Result<bool, String> {
             ok = false;
         }
     }
+    // Standing gate: the RADS Clos points sit inside the zero-loss envelope
+    // and every Clos point — including the drop-by-design DRAM-only baseline
+    // — must conserve cells fabric-wide (arrivals = delivered + resident +
+    // accounted losses; nothing vanishes in an inter-stage link).
+    for entry in &clos_entries {
+        if clos_point_expects_zero_loss(&entry.scenario) && !entry.zero_loss {
+            eprintln!("bench: REGRESSION {}: clos run lost cells", entry.key());
+            ok = false;
+        }
+        if !entry.conserving {
+            eprintln!(
+                "bench: REGRESSION {}: clos run broke cell conservation",
+                entry.key()
+            );
+            ok = false;
+        }
+    }
 
     let mut root = Map::new();
     root.insert("schema", Value::Number(Number::from_u64(BENCH_SCHEMA)));
@@ -843,6 +1039,10 @@ pub fn run_bench(options: &BenchOptions) -> Result<bool, String> {
             fabric_results_json(fabric_smoke_entries),
         );
     }
+    root.insert("clos_results", clos_results_json(&clos_entries));
+    if let Some(clos_smoke_entries) = &clos_smoke_entries {
+        root.insert("clos_smoke_results", clos_results_json(clos_smoke_entries));
+    }
 
     // Trajectory: carry the previous artifact's history forward (loaded —
     // and its tag checked for collision — before the suites ran).
@@ -853,6 +1053,7 @@ pub fn run_bench(options: &BenchOptions) -> Result<bool, String> {
                 previous_for_tag.as_ref(),
                 &entries,
                 &fabric_entries,
+                &clos_entries,
                 tag,
                 rss,
             ),
@@ -1033,7 +1234,7 @@ mod tests {
         )
         .unwrap();
         let entries = vec![entry(Workload::AdversarialRoundRobin, 2000.0, 1400.0)];
-        let trajectory = build_trajectory(Some(&old), &entries, &[], "PR-4", 7);
+        let trajectory = build_trajectory(Some(&old), &entries, &[], &[], "PR-4", 7);
         let rows = trajectory.as_array().unwrap();
         assert_eq!(rows.len(), 2);
         let seed = rows[0].as_object().unwrap();
@@ -1049,19 +1250,22 @@ mod tests {
         let mut root = Map::new();
         root.insert("trajectory", trajectory);
         let with_history = Value::Object(root);
-        let again = build_trajectory(Some(&with_history), &entries, &[], "PR-5", 7);
+        let again = build_trajectory(Some(&with_history), &entries, &[], &[], "PR-5", 7);
         assert_eq!(again.as_array().unwrap().len(), 3);
     }
 
     #[test]
     fn duplicate_trajectory_tags_are_detected() {
+        use crate::cli::trajectory_has_tag;
         let entries = vec![entry(Workload::AdversarialRoundRobin, 2000.0, 1400.0)];
-        let trajectory = build_trajectory(None, &entries, &[], "PR-5", 7);
+        let trajectory = build_trajectory(None, &entries, &[], &[], "PR-5", 7);
         let mut root = Map::new();
         root.insert("trajectory", trajectory);
         let artifact = Value::Object(root);
         assert!(trajectory_has_tag(&artifact, "PR-5"));
         assert!(!trajectory_has_tag(&artifact, "PR-6"));
+        assert!(guard_fresh_tag(Some(&artifact), "PR-5", false).is_err());
+        assert!(guard_fresh_tag(Some(&artifact), "PR-5", true).is_ok());
         // An artifact without a trajectory section has no tags.
         assert!(!trajectory_has_tag(
             &serde_json::from_str::<Value>("{}").unwrap(),
@@ -1107,6 +1311,61 @@ mod tests {
         );
         // Keys are unique (the trajectory map would silently collapse dups).
         let mut keys: Vec<String> = entries.iter().map(FabricBenchEntry::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), entries.len());
+    }
+
+    #[test]
+    fn clos_points_cover_the_axes_and_serialize() {
+        let points = clos_suite_points(1_000);
+        assert!(points.len() >= 4, "the trajectory records >= 4 clos points");
+        // All points run the 64-port-equivalent fabric of the acceptance
+        // criteria: r = m = N = 8.
+        for p in &points {
+            assert_eq!(p.external_ports(), 64, "{p:?}");
+            assert!(p.validate().is_ok(), "{p:?}");
+        }
+        assert!(points.iter().any(|p| p.arbiter == ArbiterChoice::Islip));
+        assert!(points.iter().any(|p| p.arbiter == ArbiterChoice::Maximal));
+        // The headline point: maximal matching at moderate load, the
+        // zero-loss configuration whose port-slots/sec the PR-7 acceptance
+        // criteria gate on.
+        assert!(points
+            .iter()
+            .any(|p| p.arbiter == ArbiterChoice::Maximal && p.load_percent == 50));
+        // The DRAM-only motivation baseline is present and loss-exempt; the
+        // RADS points are not.
+        assert!(points.iter().any(|p| !clos_point_expects_zero_loss(p)));
+        assert!(points.iter().any(clos_point_expects_zero_loss));
+        let entries: Vec<ClosBenchEntry> = points
+            .iter()
+            .map(|scenario| ClosBenchEntry {
+                scenario: *scenario,
+                slots: 1_000,
+                delivered: 900,
+                zero_loss: true,
+                conserving: true,
+                seconds: 0.5,
+            })
+            .collect();
+        assert_eq!(entries[0].key(), "clos8x8x8-RADS/uniform+islip@85+spray");
+        // Port normalisation: one slot advances all 64 external ports.
+        assert!((entries[0].port_slots_per_sec() - 2_000.0 * 64.0).abs() < 1e-6);
+        let json = clos_results_json(&entries);
+        let rows = json.as_array().unwrap();
+        assert_eq!(rows.len(), entries.len());
+        let first = rows[0].as_object().unwrap();
+        assert_eq!(
+            first.get("external_ports").and_then(Value::as_u64),
+            Some(64)
+        );
+        assert!(first
+            .get("port_slots_per_sec")
+            .and_then(Value::as_f64)
+            .is_some());
+        // Keys are unique (the trajectory map would silently collapse dups).
+        let mut keys: Vec<String> = entries.iter().map(ClosBenchEntry::key).collect();
         keys.sort();
         keys.dedup();
         assert_eq!(keys.len(), entries.len());

@@ -16,6 +16,7 @@
 
 use pktbuf_model::{CfdsConfig, LineRate};
 
+pub mod cli;
 pub mod hotpath;
 pub mod paper;
 

@@ -70,6 +70,14 @@ pub struct CrossbarArbiter {
     accept_ptr: Vec<u32>,
     /// Scratch: the input each output granted to in the current iteration.
     granted: Vec<u32>,
+    /// Scratch: the eligibility matrix of the current slot, row-major
+    /// (`i * ports + j`), evaluated once per [`CrossbarArbiter::schedule`]
+    /// call. Matching probes the same pair several times across iterations
+    /// and scans inputs in column order; evaluating the oracle in one
+    /// sequential pass per input instead keeps the probes of each buffer's
+    /// occupancy array together and leaves the iterations reading this
+    /// cache-resident scratch.
+    elig: Vec<bool>,
 }
 
 impl CrossbarArbiter {
@@ -82,6 +90,7 @@ impl CrossbarArbiter {
             grant_ptr: vec![0; ports],
             accept_ptr: vec![0; ports],
             granted: vec![NO_INPUT; ports],
+            elig: vec![false; ports * ports],
         }
     }
 
@@ -97,6 +106,12 @@ impl CrossbarArbiter {
     /// this slot. The matching lands in `match_in` (per input: the matched
     /// output) and `match_out` (per output: the matched input); both are
     /// cleared first. Returns the number of matched pairs.
+    ///
+    /// `eligible` must be a pure function of the slot's buffer state: it is
+    /// evaluated exactly once per `(i, j)` pair, row by row, up front —
+    /// iSLIP's iterations re-probe pairs and scan inputs in column order, so
+    /// snapshotting the matrix both bounds the oracle calls and turns them
+    /// into one sequential pass over each input's occupancy counters.
     ///
     /// A call that matches nothing leaves the arbiter bit-identical — iSLIP
     /// pointers move only on accepts, and the maximal matcher's rotating
@@ -119,24 +134,24 @@ impl CrossbarArbiter {
         debug_assert_eq!(output_ready.len(), self.ports);
         match_in.fill(None);
         match_out.fill(None);
-        match self.kind {
-            ArbiterKind::Islip { .. } => self.islip(&eligible, output_ready, match_in, match_out),
-            ArbiterKind::Maximal => {
-                self.maximal(slot, &eligible, output_ready, match_in, match_out)
+        let n = self.ports;
+        for i in 0..n {
+            for j in 0..n {
+                self.elig[i * n + j] = eligible(i, j);
             }
+        }
+        match self.kind {
+            ArbiterKind::Islip { .. } => self.islip(output_ready, match_in, match_out),
+            ArbiterKind::Maximal => self.maximal(slot, output_ready, match_in, match_out),
         }
     }
 
-    fn islip<F>(
+    fn islip(
         &mut self,
-        eligible: &F,
         output_ready: &[bool],
         match_in: &mut [Option<u32>],
         match_out: &mut [Option<u32>],
-    ) -> u64
-    where
-        F: Fn(usize, usize) -> bool,
-    {
+    ) -> u64 {
         let n = self.ports;
         let mut matched = 0u64;
         for iteration in 0..self.iterations {
@@ -152,7 +167,7 @@ impl CrossbarArbiter {
                     if i >= n {
                         i = 0;
                     }
-                    if match_in[i].is_none() && eligible(i, j) {
+                    if match_in[i].is_none() && self.elig[i * n + j] {
                         self.granted[j] = i as u32;
                         break;
                     }
@@ -193,17 +208,13 @@ impl CrossbarArbiter {
         matched
     }
 
-    fn maximal<F>(
+    fn maximal(
         &mut self,
         slot: u64,
-        eligible: &F,
         output_ready: &[bool],
         match_in: &mut [Option<u32>],
         match_out: &mut [Option<u32>],
-    ) -> u64
-    where
-        F: Fn(usize, usize) -> bool,
-    {
+    ) -> u64 {
         let n = self.ports;
         let priority = (slot % n as u64) as usize;
         let mut matched = 0u64;
@@ -214,7 +225,7 @@ impl CrossbarArbiter {
                 if j >= n {
                     j = 0;
                 }
-                if match_out[j].is_none() && output_ready[j] && eligible(i, j) {
+                if match_out[j].is_none() && output_ready[j] && self.elig[i * n + j] {
                     match_in[i] = Some(j as u32);
                     match_out[j] = Some(i as u32);
                     self.accept_ptr[i] = ((j + 1) % n) as u32;

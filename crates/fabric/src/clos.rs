@@ -1,0 +1,1688 @@
+//! A three-stage folded Clos of [`VoqSwitch`]es: multi-chassis scale-out.
+//!
+//! One crossbar stops at its radix. This module composes `r` ingress
+//! switches (radix `N`), `m` middle switches (radix `r`) and `r` egress
+//! switches (radix `N`) into a single router with `r·N` external ports —
+//! the canonical scale-out topology: every ingress switch has one link to
+//! every middle switch, every middle switch one link to every egress switch,
+//! and with `m ≥ N` the fabric is rearrangeably non-blocking.
+//!
+//! # Inter-stage links and credit flow control
+//!
+//! Each inter-stage link is a bounded FIFO of `link_capacity` cells with a
+//! propagation latency of `link_latency` slots in **both** directions: a
+//! cell transmitted at slot `t` becomes visible to the downstream switch at
+//! `t + L`, and the credit returned when the downstream switch accepts it
+//! becomes visible upstream at `acceptance + L`. Under the default
+//! [`LinkDiscipline::Credit`] an upstream output is *gated out of
+//! arbitration* while its link has no credit, so a full link propagates
+//! backpressure into the upstream VOQs and **no cell is ever dropped
+//! between stages** — fabric-wide conservation is checked by
+//! [`ClosRunReport::conservation_holds`]. A link shorter than its
+//! round-trip (`link_capacity < 2·link_latency`) merely throttles.
+//! [`LinkDiscipline::DropOnFull`] removes the gate and silently discards
+//! cells arriving at a full link FIFO — a deliberately broken discipline
+//! that exists so tests can prove the conservation checker *fails* when
+//! cells are lost.
+//!
+//! # Per-hop sequencing and flow tags
+//!
+//! The packet buffers verify per-VOQ FIFO delivery internally (contiguous
+//! sequence numbers from 0), so a cell is re-sequenced at every hop: each
+//! (switch, input, VOQ) keeps a hop-local sequence counter, and the flow
+//! identity — external source, destination, flow sequence — rides beside
+//! the buffer in a sidecar FIFO per (input, VOQ), advanced by the
+//! [`StageSink`] callbacks in exactly the order the buffer grants (which
+//! the buffers' own delivery verifier pins to FIFO order).
+//!
+//! # Dispatch and reordering
+//!
+//! [`DispatchPolicy::Spray`] round-robins each external port's cells over
+//! the middle switches — perfect load balance, but two cells of one flow
+//! can race over different middle switches and arrive reordered; the report
+//! counts exactly how many. [`DispatchPolicy::FlowHash`] pins each
+//! (source, destination) flow to one middle switch — zero reordering by
+//! construction (pinned by tests), at the cost of hash-collision hotspots.
+//!
+//! # Execution
+//!
+//! All link events carry slot stamps (a cell is visible when `ready ≤ t`,
+//! a credit when `avail ≤ t`), so the schedule — one thread or one thread
+//! per stage — cannot change what any switch observes: with `link_latency
+//! ≥ 1`, a batch produced at slot `t` is observable at `t+1` or later, and
+//! the pipelined drivers deliver it before the consumer steps `t+1`.
+//! [`ClosFabric::run`] is therefore **byte-identical for any worker
+//! count**, and bit-identical to the skip-free [`ClosFabric::run_reference`]
+//! twin (differential tests pin both). The drain phase always runs
+//! single-threaded after the workers join.
+
+use crate::report::FabricRunReport;
+use crate::switch::{FabricConfig, StageSink, VoqSwitch, FABRIC_CHUNK_SLOTS};
+use crate::ArbiterKind;
+use pktbuf::PacketBuffer;
+use pktbuf_model::{Cell, LogicalQueueId};
+use serde::{Serialize, Serializer};
+use std::collections::VecDeque;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use traffic::ArrivalGenerator;
+
+/// How the ingress stage spreads cells over the middle switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Round-robin spraying per external port: perfect balance, may reorder
+    /// a flow's cells (two cells race over different middle switches).
+    Spray,
+    /// Flow-hash pinning: every (source, destination) pair sticks to one
+    /// middle switch — zero reordering, hash-collision hotspots possible.
+    FlowHash,
+}
+
+impl DispatchPolicy {
+    /// Stable lower-case label for reports and specs.
+    pub fn label(self) -> &'static str {
+        match self {
+            DispatchPolicy::Spray => "spray",
+            DispatchPolicy::FlowHash => "flowhash",
+        }
+    }
+}
+
+/// What an inter-stage link does when a cell arrives and its FIFO is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDiscipline {
+    /// Credit flow control: an upstream output without credit is gated out
+    /// of arbitration, so the FIFO can never overflow and no cell is lost.
+    Credit,
+    /// No gating; a cell arriving at a full FIFO is silently discarded.
+    /// Exists to prove the conservation checker detects silent loss.
+    DropOnFull,
+}
+
+impl LinkDiscipline {
+    /// Stable lower-case label for reports and specs.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkDiscipline::Credit => "credit",
+            LinkDiscipline::DropOnFull => "drop-on-full",
+        }
+    }
+}
+
+/// Which stage of the Clos a switch belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClosStage {
+    /// External-facing input stage (`r` switches of radix `N`).
+    Ingress,
+    /// Load-balancing middle stage (`m` switches of radix `r`).
+    Middle,
+    /// External-facing output stage (`r` switches of radix `N`).
+    Egress,
+}
+
+impl ClosStage {
+    /// Stable lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClosStage::Ingress => "ingress",
+            ClosStage::Middle => "middle",
+            ClosStage::Egress => "egress",
+        }
+    }
+}
+
+/// Static configuration of a three-stage Clos.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClosConfig {
+    /// Radix `N` of each ingress/egress switch (external ports per switch).
+    pub radix: usize,
+    /// Number `r` of ingress (= egress) switches; external ports = `r·N`.
+    pub ingress_switches: usize,
+    /// Number `m` of middle switches (`1 ≤ m ≤ N`); `m = N` is
+    /// rearrangeably non-blocking.
+    pub middle_switches: usize,
+    /// Ingress load-balancing policy.
+    pub dispatch: DispatchPolicy,
+    /// Cells each inter-stage link FIFO holds (= credits per link).
+    pub link_capacity: usize,
+    /// One-way link propagation latency in slots (`0` is treated as `1`).
+    pub link_latency: u64,
+    /// Full-FIFO behaviour of the inter-stage links.
+    pub discipline: LinkDiscipline,
+    /// Slots per transmitted cell at each *external* output line.
+    pub egress_period: u64,
+    /// Crossbar arbiter used by every switch of every stage.
+    pub arbiter: ArbiterKind,
+}
+
+impl ClosConfig {
+    /// A credit-flow-controlled spraying Clos of `ingress_switches` ingress
+    /// and egress switches of radix `radix` with `middle_switches` middle
+    /// switches, full-line-rate outputs and iSLIP arbitration.
+    pub fn new(radix: usize, ingress_switches: usize, middle_switches: usize) -> Self {
+        ClosConfig {
+            radix,
+            ingress_switches,
+            middle_switches,
+            dispatch: DispatchPolicy::Spray,
+            link_capacity: 8,
+            link_latency: 1,
+            discipline: LinkDiscipline::Credit,
+            egress_period: 1,
+            arbiter: ArbiterKind::Islip { iterations: 0 },
+        }
+    }
+
+    /// External (line-side) port count: `r·N`.
+    pub fn external_ports(&self) -> usize {
+        self.ingress_switches * self.radix
+    }
+}
+
+/// Flow identity riding beside the buffers: minted once at the external
+/// ingress line, preserved hop to hop while the cell itself is re-sequenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FlowTag {
+    /// External source port (`ingress switch · N + port`).
+    src: u32,
+    /// External destination port.
+    dest: u32,
+    /// Per-(src, dest) flow sequence number, assigned at injection.
+    seq: u64,
+}
+
+/// One cell in flight on an inter-stage link.
+#[derive(Debug)]
+struct LinkCell {
+    /// First slot at which the downstream switch may accept the cell.
+    ready: u64,
+    cell: Cell,
+    tag: FlowTag,
+}
+
+/// One slot's cells crossing one stage boundary (upstream → downstream).
+/// `link` is the producer-side link id: `upstream_switch · radix + output`.
+#[derive(Debug, Default)]
+struct FwdBatch {
+    slot: u64,
+    cells: Vec<(u32, Cell, FlowTag)>,
+}
+
+/// One slot's credit returns crossing one stage boundary (downstream →
+/// upstream), as producer-side link ids.
+#[derive(Debug, Default)]
+struct CreditBatch {
+    slot: u64,
+    links: Vec<u32>,
+}
+
+/// SplitMix64-style avalanche of a (src, dest) flow onto a middle switch.
+#[inline]
+fn flow_hash(src: u32, dest: u32) -> u64 {
+    let mut x = (u64::from(src) << 32) | u64::from(dest);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
+/// Delivery-side accounting owned by the egress stage: the per-flow
+/// delivered matrix and the reordering tracker.
+#[derive(Debug)]
+struct Delivery {
+    ext_ports: usize,
+    /// Row-major `ext × ext`: cells delivered from external src to dest.
+    delivered_matrix: Vec<u64>,
+    /// Per flow: highest delivered flow sequence + 1 (0 = none yet).
+    highest_plus1: Vec<u64>,
+    /// Per flow: whether any cell of this flow arrived out of order.
+    flow_reordered: Vec<bool>,
+    reordered_cells: u64,
+}
+
+impl Delivery {
+    fn new(ext_ports: usize) -> Self {
+        Delivery {
+            ext_ports,
+            delivered_matrix: vec![0; ext_ports * ext_ports],
+            highest_plus1: vec![0; ext_ports * ext_ports],
+            flow_reordered: vec![false; ext_ports * ext_ports],
+            reordered_cells: 0,
+        }
+    }
+
+    /// Records one cell leaving the fabric on its external output line.
+    #[inline]
+    fn deliver(&mut self, tag: FlowTag) {
+        let flow = tag.src as usize * self.ext_ports + tag.dest as usize;
+        self.delivered_matrix[flow] += 1;
+        // `highest_plus1` stores max-delivered-seq + 1; a cell at or below
+        // the running max overtook a later-injected cell somewhere.
+        if tag.seq < self.highest_plus1[flow] {
+            self.reordered_cells += 1;
+            self.flow_reordered[flow] = true;
+        } else {
+            self.highest_plus1[flow] = tag.seq + 1;
+        }
+    }
+}
+
+/// The [`StageSink`] wired into one switch's [`VoqSwitch::step_coupled`]:
+/// advances the sidecar flow tags in grant order, debits link credits and
+/// stages transmitted cells into the outbound link batch (interior stages)
+/// or the delivery tracker (egress stage).
+struct StageHooks<'a> {
+    s: usize,
+    radix: usize,
+    discipline: LinkDiscipline,
+    voq_tags: &'a mut [VecDeque<FlowTag>],
+    out_tags: &'a mut [VecDeque<FlowTag>],
+    hop_seq: &'a mut [u64],
+    out_credits: &'a mut [u32],
+    fwd: &'a mut FwdBatch,
+    delivery: Option<&'a mut Delivery>,
+}
+
+impl StageSink for StageHooks<'_> {
+    #[inline]
+    fn granted(&mut self, input: usize, cell: &Cell) {
+        let v = cell.queue().as_usize();
+        let h = (self.s * self.radix + input) * self.radix + v;
+        if let Some(tag) = self.voq_tags[h].pop_front() {
+            self.out_tags[self.s * self.radix + v].push_back(tag);
+        } else {
+            debug_assert!(false, "granted cell without a sidecar flow tag");
+        }
+    }
+
+    #[inline]
+    fn transmitted(&mut self, output: usize, cell: Cell) {
+        let o = self.s * self.radix + output;
+        let Some(tag) = self.out_tags[o].pop_front() else {
+            debug_assert!(false, "transmitted cell without a sidecar flow tag");
+            return;
+        };
+        match self.delivery.as_deref_mut() {
+            Some(delivery) => delivery.deliver(tag),
+            None => {
+                if self.discipline == LinkDiscipline::Credit {
+                    debug_assert!(self.out_credits[o] > 0, "transmit without link credit");
+                    self.out_credits[o] -= 1;
+                }
+                self.fwd.cells.push((o as u32, cell, tag));
+            }
+        }
+    }
+
+    #[inline]
+    fn dropped(&mut self, input: usize, cell: &Cell) {
+        // The arrival's tag was pushed just before the buffer refused the
+        // cell; undo the push and the hop sequence so grants stay contiguous.
+        let h = (self.s * self.radix + input) * self.radix + cell.queue().as_usize();
+        self.voq_tags[h].pop_back();
+        self.hop_seq[h] -= 1;
+    }
+}
+
+/// One stage of the Clos: its switches plus everything that rides beside
+/// them — sidecar flow tags, hop sequence counters, inbound link FIFOs and
+/// outbound link credits.
+#[derive(Debug)]
+struct Stage<B: PacketBuffer> {
+    stage: ClosStage,
+    radix: usize,
+    /// Radix of the *upstream* stage (link-id decode); 0 at the ingress.
+    up_radix: usize,
+    /// External switch radix `N` (routing: middle VOQ = dest / N, egress
+    /// VOQ = dest % N).
+    ext_radix: usize,
+    middle: usize,
+    dispatch: DispatchPolicy,
+    discipline: LinkDiscipline,
+    switches: Vec<VoqSwitch<B>>,
+    /// Sidecar tag FIFO per (switch, input, VOQ), in buffer-FIFO order.
+    voq_tags: Vec<VecDeque<FlowTag>>,
+    /// Tags of cells sitting in each (switch, output) egress FIFO.
+    out_tags: Vec<VecDeque<FlowTag>>,
+    /// Hop-local next sequence per (switch, input, VOQ).
+    hop_seq: Vec<u64>,
+    /// Inbound link FIFO per (switch, input); empty at the ingress stage.
+    in_links: Vec<VecDeque<LinkCell>>,
+    /// Outbound link credits per (switch, output); empty at the egress.
+    out_credits: Vec<u32>,
+    /// Credit returns in flight back to this stage: (visible slot, link id).
+    credit_pending: VecDeque<(u64, u32)>,
+    /// Ingress only: next middle switch per external port (spray pointer).
+    spray_next: Vec<u32>,
+    /// Ingress only: row-major `ext × ext` offered-traffic matrix.
+    offered_matrix: Vec<u64>,
+    /// Egress only: delivery + reordering tracker.
+    delivery: Option<Delivery>,
+    /// Per-slot scratch: one arrival per input.
+    arrivals: Vec<Option<Cell>>,
+    /// Per-slot scratch: crossbar gate per output.
+    gate: Vec<bool>,
+    /// Output-slots in which a queued cell sat gated awaiting a credit.
+    credit_stall_slots: u64,
+    /// Deepest any inbound link FIFO has been.
+    peak_link_depth: usize,
+    /// Cells silently discarded at full inbound links (`DropOnFull` only).
+    link_dropped: u64,
+    /// Crossbar matches per switch at the end of the active phase.
+    active_matches: Vec<u64>,
+}
+
+impl<B: PacketBuffer> Stage<B> {
+    fn new(
+        stage: ClosStage,
+        config: &ClosConfig,
+        switch_radix: usize,
+        up_radix: usize,
+        count: usize,
+        switches: Vec<VoqSwitch<B>>,
+    ) -> Self {
+        let ext = config.external_ports();
+        let is_egress = stage == ClosStage::Egress;
+        let has_out_links = stage != ClosStage::Egress;
+        let has_in_links = stage != ClosStage::Ingress;
+        Stage {
+            stage,
+            radix: switch_radix,
+            up_radix,
+            ext_radix: config.radix,
+            middle: config.middle_switches,
+            dispatch: config.dispatch,
+            discipline: config.discipline,
+            switches,
+            voq_tags: (0..count * switch_radix * switch_radix)
+                .map(|_| VecDeque::new())
+                .collect(),
+            out_tags: (0..count * switch_radix).map(|_| VecDeque::new()).collect(),
+            hop_seq: vec![0; count * switch_radix * switch_radix],
+            in_links: if has_in_links {
+                (0..count * switch_radix).map(|_| VecDeque::new()).collect()
+            } else {
+                Vec::new()
+            },
+            out_credits: if has_out_links {
+                vec![config.link_capacity as u32; count * switch_radix]
+            } else {
+                Vec::new()
+            },
+            credit_pending: VecDeque::new(),
+            spray_next: if stage == ClosStage::Ingress {
+                // Stagger the spray pointers so simultaneous first cells on
+                // different ports do not all aim at middle switch 0.
+                (0..ext)
+                    .map(|g| (g % config.middle_switches) as u32)
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            offered_matrix: if stage == ClosStage::Ingress {
+                vec![0; ext * ext]
+            } else {
+                Vec::new()
+            },
+            delivery: is_egress.then(|| Delivery::new(ext)),
+            arrivals: vec![None; switch_radix],
+            gate: vec![false; switch_radix],
+            credit_stall_slots: 0,
+            peak_link_depth: 0,
+            link_dropped: 0,
+            active_matches: vec![0; count],
+        }
+    }
+
+    /// Applies a forward batch from the upstream stage to the inbound link
+    /// FIFOs (visible from `batch.slot + latency`). Under `DropOnFull` a
+    /// cell aimed at a full FIFO is silently discarded — the loss the
+    /// conservation checker must detect.
+    fn apply_fwd(&mut self, batch: &mut FwdBatch, latency: u64, capacity: usize) {
+        let ready = batch.slot + latency;
+        for (id, cell, tag) in batch.cells.drain(..) {
+            let id = id as usize;
+            let idx = (id % self.up_radix) * self.radix + id / self.up_radix;
+            let fifo = &mut self.in_links[idx];
+            if fifo.len() >= capacity {
+                debug_assert!(
+                    self.discipline == LinkDiscipline::DropOnFull,
+                    "credit flow control let a link FIFO overflow"
+                );
+                self.link_dropped += 1;
+                continue;
+            }
+            fifo.push_back(LinkCell { ready, cell, tag });
+            self.peak_link_depth = self.peak_link_depth.max(fifo.len());
+        }
+    }
+
+    /// Applies a credit batch returned by the downstream stage; each credit
+    /// becomes visible to the gated outputs at `batch.slot + latency`.
+    fn apply_credits(&mut self, batch: &mut CreditBatch, latency: u64) {
+        let avail = batch.slot + latency;
+        for link in batch.links.drain(..) {
+            self.credit_pending.push_back((avail, link));
+        }
+    }
+
+    /// Releases every pending credit that is visible at `slot`.
+    #[inline]
+    fn release_credits(&mut self, slot: u64) {
+        while let Some(&(avail, link)) = self.credit_pending.front() {
+            if avail > slot {
+                break;
+            }
+            self.credit_pending.pop_front();
+            self.out_credits[link as usize] += 1;
+        }
+    }
+}
+
+impl<B: PacketBuffer> Stage<B> {
+    /// Steps every switch of the stage through slot `slot`.
+    ///
+    /// The ingress stage takes its arrivals from `external` (one entry per
+    /// external port, flattened `switch · N + port`; `None` during the
+    /// drain); interior stages take them from their inbound link FIFOs,
+    /// pushing one credit per accepted cell into `credits`. Interior
+    /// transmissions land in `fwd` with their producer-side link ids.
+    fn step(
+        &mut self,
+        slot: u64,
+        mut external: Option<&mut [Option<Cell>]>,
+        fwd: &mut FwdBatch,
+        credits: &mut CreditBatch,
+    ) {
+        if !self.out_credits.is_empty() {
+            self.release_credits(slot);
+        }
+        fwd.slot = slot;
+        credits.slot = slot;
+        debug_assert!(fwd.cells.is_empty() && credits.links.is_empty());
+        let Stage {
+            stage,
+            radix,
+            up_radix,
+            ext_radix,
+            middle,
+            dispatch,
+            discipline,
+            switches,
+            voq_tags,
+            out_tags,
+            hop_seq,
+            in_links,
+            out_credits,
+            spray_next,
+            offered_matrix,
+            delivery,
+            arrivals,
+            gate,
+            credit_stall_slots,
+            ..
+        } = self;
+        let (radix, up_radix, ext_radix, middle) = (*radix, *up_radix, *ext_radix, *middle);
+        let stage_kind = *stage;
+        let gated = *discipline == LinkDiscipline::Credit && stage_kind != ClosStage::Egress;
+        let ext_total = switches.len() * radix;
+        for (s, switch) in switches.iter_mut().enumerate() {
+            // 1. Arrivals: external lines at the ingress, link FIFOs inside.
+            if stage_kind == ClosStage::Ingress {
+                if let Some(lines) = external.as_deref_mut() {
+                    for (i, arrival) in arrivals.iter_mut().enumerate() {
+                        let src = s * radix + i;
+                        let Some(cell) = lines[src].take() else {
+                            *arrival = None;
+                            continue;
+                        };
+                        let dest = cell.queue().as_usize();
+                        offered_matrix[src * ext_total + dest] += 1;
+                        let p = match dispatch {
+                            DispatchPolicy::Spray => {
+                                let p = spray_next[src] as usize;
+                                spray_next[src] = ((p + 1) % middle) as u32;
+                                p
+                            }
+                            DispatchPolicy::FlowHash => {
+                                (flow_hash(src as u32, dest as u32) % middle as u64) as usize
+                            }
+                        };
+                        let h = (s * radix + i) * radix + p;
+                        let hop = hop_seq[h];
+                        hop_seq[h] += 1;
+                        voq_tags[h].push_back(FlowTag {
+                            src: src as u32,
+                            dest: dest as u32,
+                            seq: cell.seq(),
+                        });
+                        *arrival = Some(Cell::new(
+                            LogicalQueueId::new(p as u32),
+                            hop,
+                            cell.arrival_slot(),
+                        ));
+                    }
+                } else {
+                    arrivals.fill(None);
+                }
+            } else {
+                for (i, arrival) in arrivals.iter_mut().enumerate() {
+                    let li = s * radix + i;
+                    if in_links[li].front().is_none_or(|c| c.ready > slot) {
+                        *arrival = None;
+                        continue;
+                    }
+                    let Some(LinkCell { cell, tag, .. }) = in_links[li].pop_front() else {
+                        *arrival = None;
+                        continue;
+                    };
+                    credits.links.push((i * up_radix + s) as u32);
+                    let dest = tag.dest as usize;
+                    let v = if stage_kind == ClosStage::Middle {
+                        dest / ext_radix
+                    } else {
+                        dest % ext_radix
+                    };
+                    let h = (s * radix + i) * radix + v;
+                    let hop = hop_seq[h];
+                    hop_seq[h] += 1;
+                    voq_tags[h].push_back(tag);
+                    *arrival = Some(Cell::new(
+                        LogicalQueueId::new(v as u32),
+                        hop,
+                        cell.arrival_slot(),
+                    ));
+                }
+            }
+            // 2. Gate: outputs without a link credit sit out this slot's
+            // arbitration (that is the backpressure).
+            let gate_ref: &[bool] = if gated {
+                for (j, open) in gate.iter_mut().enumerate() {
+                    let has_credit = out_credits[s * radix + j] > 0;
+                    *open = has_credit;
+                    if !has_credit && switch.egress_depth(j) > 0 {
+                        *credit_stall_slots += 1;
+                    }
+                }
+                gate
+            } else {
+                &[]
+            };
+            // 3. One coupled switch slot; the hooks move the sidecar tags
+            // and stage transmissions onto the outbound link batch.
+            let mut hooks = StageHooks {
+                s,
+                radix,
+                discipline: *discipline,
+                voq_tags: &mut voq_tags[..],
+                out_tags: &mut out_tags[..],
+                hop_seq: &mut hop_seq[..],
+                out_credits: &mut out_credits[..],
+                fwd: &mut *fwd,
+                delivery: delivery.as_mut(),
+            };
+            switch.step_coupled(arrivals, gate_ref, &mut hooks);
+        }
+    }
+
+    /// Snapshots each switch's crossbar match count (called when the active
+    /// phase ends, before the drain).
+    fn snapshot_active_matches(&mut self) {
+        for (slot, switch) in self.active_matches.iter_mut().zip(&self.switches) {
+            *slot = switch.matches_so_far();
+        }
+    }
+
+    /// Cells currently in flight on (or queued in) this stage's inbound
+    /// link FIFOs.
+    fn link_resident(&self) -> u64 {
+        self.in_links.iter().map(|q| q.len() as u64).sum()
+    }
+
+    /// Whether the stage is provably idle: switches idle, no cell on any
+    /// inbound link, no credit still in flight back to this stage.
+    fn is_idle(&self) -> bool {
+        self.credit_pending.is_empty()
+            && self.in_links.iter().all(VecDeque::is_empty)
+            && self.switches.iter().all(VoqSwitch::is_idle)
+    }
+
+    /// Fast-forwards `slots` provably idle slots (caller checked
+    /// [`Stage::is_idle`] on every stage and that no batch is in flight).
+    fn advance_idle(&mut self, slots: u64) {
+        for switch in &mut self.switches {
+            switch.advance_idle(slots);
+        }
+    }
+}
+
+/// Per-slot link-batch scratch for the serial drivers (allocated once per
+/// run; the batches' vectors are reused every slot).
+#[derive(Debug, Default)]
+struct SerialScratch {
+    fwd_a: FwdBatch,
+    fwd_b: FwdBatch,
+    cred_a: CreditBatch,
+    cred_b: CreditBatch,
+    fwd_unused: FwdBatch,
+    cred_unused: CreditBatch,
+}
+
+/// A three-stage folded Clos of [`VoqSwitch`]es — see the module docs for
+/// the topology, the credit flow control and the execution model.
+#[derive(Debug)]
+pub struct ClosFabric<B: PacketBuffer> {
+    config: ClosConfig,
+    ingress: Stage<B>,
+    middle: Stage<B>,
+    egress: Stage<B>,
+    clock: u64,
+}
+
+impl<B: PacketBuffer> ClosFabric<B> {
+    /// Builds the Clos; `build` is called once per ingress buffer of every
+    /// switch with the stage it will serve (ingress/egress buffers hold `N`
+    /// VOQs, middle buffers `r`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry is invalid (`N < 2`, `r < 2`,
+    /// `m < 1`, `m > N`, `link_capacity < 1`) or a built buffer's queue
+    /// count does not match its stage's radix.
+    pub fn new<F: FnMut(ClosStage) -> B>(config: ClosConfig, mut build: F) -> Self {
+        let ClosConfig {
+            radix,
+            ingress_switches: r,
+            middle_switches: m,
+            ..
+        } = config;
+        assert!(radix >= 2, "ingress/egress switches need radix >= 2");
+        assert!(r >= 2, "a Clos needs at least 2 ingress switches");
+        assert!(
+            (1..=radix).contains(&m),
+            "middle switches must satisfy 1 <= m <= N"
+        );
+        assert!(config.link_capacity >= 1, "links need at least one credit");
+        let mut config = config;
+        config.link_latency = config.link_latency.max(1);
+        let arbiter = config.arbiter;
+        let mut mk_switches = |stage: ClosStage, count: usize, ports: usize, period: u64| {
+            (0..count)
+                .map(|_| {
+                    VoqSwitch::new(
+                        FabricConfig {
+                            ports,
+                            egress_period: period,
+                            arbiter,
+                        },
+                        (0..ports).map(|_| build(stage)).collect(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let ingress_switches = mk_switches(ClosStage::Ingress, r, radix, 1);
+        let middle_switches = mk_switches(ClosStage::Middle, m, r, 1);
+        let egress_switches = mk_switches(ClosStage::Egress, r, radix, config.egress_period);
+        ClosFabric {
+            ingress: Stage::new(ClosStage::Ingress, &config, radix, 0, r, ingress_switches),
+            middle: Stage::new(ClosStage::Middle, &config, r, radix, m, middle_switches),
+            egress: Stage::new(ClosStage::Egress, &config, radix, r, r, egress_switches),
+            config,
+            clock: 0,
+        }
+    }
+
+    /// The configuration the Clos was built with (`link_latency`
+    /// normalized to at least 1).
+    pub fn config(&self) -> &ClosConfig {
+        &self.config
+    }
+
+    /// The fabric clock (slots advanced so far).
+    pub fn current_slot(&self) -> u64 {
+        self.clock
+    }
+
+    fn check_generators<A: ArrivalGenerator>(&self, arrivals: &[A]) {
+        let ext = self.config.external_ports();
+        assert_eq!(
+            arrivals.len(),
+            ext,
+            "one arrival generator per external port"
+        );
+        for (p, generator) in arrivals.iter().enumerate() {
+            assert_eq!(
+                generator.num_queues(),
+                ext,
+                "generator {p} must target one destination per external port"
+            );
+        }
+    }
+
+    /// Advances the whole Clos by one slot, serially, in stage order.
+    ///
+    /// Every stage steps **before** any slot-`t` batch is applied, mirroring
+    /// the pipelined workers, where a consumer receives the slot-`t` batch
+    /// only after finishing its own slot `t`. The cells' visibility stamps
+    /// (`>= t+1`, `link_latency >= 1`) make consumption identical either
+    /// way, but the *physical* FIFO occupancy — which `peak_link_depth` and
+    /// the `DropOnFull` full-check observe — only matches across schedules
+    /// when the push happens after the same slot's pops everywhere.
+    fn step_all(&mut self, external: Option<&mut [Option<Cell>]>, sc: &mut SerialScratch) {
+        let slot = self.clock;
+        let latency = self.config.link_latency;
+        let capacity = self.config.link_capacity;
+        self.ingress
+            .step(slot, external, &mut sc.fwd_a, &mut sc.cred_unused);
+        self.middle.step(slot, None, &mut sc.fwd_b, &mut sc.cred_a);
+        self.egress
+            .step(slot, None, &mut sc.fwd_unused, &mut sc.cred_b);
+        self.middle.apply_fwd(&mut sc.fwd_a, latency, capacity);
+        self.egress.apply_fwd(&mut sc.fwd_b, latency, capacity);
+        self.ingress.apply_credits(&mut sc.cred_a, latency);
+        self.middle.apply_credits(&mut sc.cred_b, latency);
+        self.clock += 1;
+    }
+
+    /// Whether an idle slot provably changes nothing: every stage idle, no
+    /// cell on any link, no credit in flight.
+    fn is_idle(&self) -> bool {
+        self.ingress.is_idle() && self.middle.is_idle() && self.egress.is_idle()
+    }
+
+    fn advance_idle(&mut self, slots: u64) {
+        self.ingress.advance_idle(slots);
+        self.middle.advance_idle(slots);
+        self.egress.advance_idle(slots);
+        self.clock += slots;
+    }
+
+    /// The chunked, fast-forwarding serial active phase (worker count 1).
+    fn run_active_serial<A: ArrivalGenerator>(
+        &mut self,
+        arrivals: &mut [A],
+        active_slots: u64,
+        sc: &mut SerialScratch,
+    ) {
+        let ext = self.config.external_ports();
+        let mut rings: Vec<Vec<Option<Cell>>> = vec![vec![None; FABRIC_CHUNK_SLOTS]; ext]; // analyze: allow(hotpath-alloc) — per-run chunk rings allocated once at run entry, before the slot loop
+        let mut lines: Vec<Option<Cell>> = vec![None; ext]; // analyze: allow(hotpath-alloc) — per-run scratch allocated once at run entry, before the slot loop
+        let mut done = 0u64;
+        while done < active_slots {
+            let len = FABRIC_CHUNK_SLOTS.min((active_slots - done) as usize);
+            let base = self.clock;
+            let mut produced = 0usize;
+            for (generator, ring) in arrivals.iter_mut().zip(rings.iter_mut()) {
+                produced += generator.fill_arrivals(base, &mut ring[..len]);
+            }
+            if produced == 0 && self.is_idle() {
+                // No arrival anywhere in the chunk, every stage idle,
+                // nothing on any link and no credit in flight: the chunk is
+                // pure idle for all three stages at once.
+                self.advance_idle(len as u64);
+            } else {
+                for s in 0..len {
+                    for (line, ring) in lines.iter_mut().zip(rings.iter_mut()) {
+                        *line = ring[s].take();
+                    }
+                    self.step_all(Some(&mut lines), sc);
+                }
+            }
+            done += len as u64;
+        }
+    }
+
+    /// Drains the fabric after the active phase: single-threaded, stepping
+    /// until every deliverable cell has left on an external line — VOQs
+    /// empty of requestable cells, pipelines flushed, egress FIFOs empty
+    /// and **no cell left on any inter-stage link**. Residual partial tail
+    /// batches below a design's writeback threshold stay resident (never
+    /// lost); the flush horizon mirrors the single-switch drain rule.
+    fn drain(&mut self, sc: &mut SerialScratch) {
+        let flush = [&self.ingress, &self.middle, &self.egress]
+            .iter()
+            .flat_map(|stage| stage.switches.iter().map(VoqSwitch::max_pipeline_delay))
+            .max()
+            .unwrap_or(0) as u64
+            + 4;
+        let mut idle_streak = 0u64;
+        loop {
+            let stages = [&self.ingress, &self.middle, &self.egress];
+            let requestable = stages.iter().any(|stage| {
+                stage.link_resident() > 0
+                    || stage.switches.iter().any(|sw| sw.requestable_total() > 0)
+            });
+            if requestable {
+                idle_streak = 0;
+            } else {
+                let quiescent = stages
+                    .iter()
+                    .all(|stage| stage.switches.iter().all(VoqSwitch::buffers_quiescent));
+                let flushed = stages
+                    .iter()
+                    .all(|stage| stage.switches.iter().all(|sw| sw.egress_backlog() == 0));
+                if (quiescent || idle_streak > flush) && flushed {
+                    break;
+                }
+                idle_streak += 1;
+            }
+            self.step_all(None, sc);
+        }
+    }
+}
+
+/// Producer side of a recycled batch channel: take an empty batch from
+/// `back_rx`, fill it, send it on `tx`.
+#[derive(Debug)]
+struct BatchTx<T> {
+    tx: SyncSender<T>,
+    back_rx: Receiver<T>,
+}
+
+/// Consumer side: receive a filled batch on `rx`, drain it, return it on
+/// `back_tx`. Batches circulate, so the steady-state loop never allocates.
+#[derive(Debug)]
+struct BatchRx<T> {
+    rx: Receiver<T>,
+    back_tx: SyncSender<T>,
+}
+
+/// Builds one bounded, recycled inter-stage channel: `seed` empty batches
+/// circulate between producer and consumer, bounding the slot skew between
+/// neighbouring stage workers without ever blocking the whole pipeline.
+fn batch_channel<T: Default>(seed: usize) -> (BatchTx<T>, BatchRx<T>) {
+    let (tx, rx) = sync_channel(seed + 1);
+    let (back_tx, back_rx) = sync_channel(seed + 1);
+    for _ in 0..seed {
+        let _ = back_tx.send(T::default());
+    }
+    (BatchTx { tx, back_rx }, BatchRx { rx, back_tx })
+}
+
+/// Empty batches kept circulating per channel (bounds worker skew to a few
+/// slots; 2 would do — one in flight, one being filled — 3 adds slack).
+const BATCH_SEED: usize = 3;
+
+/// The slot window and link parameters a stage worker runs over.
+#[derive(Debug, Clone, Copy)]
+struct RunWindow {
+    start: u64,
+    slots: u64,
+    latency: u64,
+    capacity: usize,
+}
+
+/// The ingress stage worker: generates external arrivals chunk-at-a-time,
+/// steps the stage, ships forward batches downstream and absorbs returned
+/// credits. A slot-`t` iteration consumes the credit batch of slot `t-1`
+/// (none at `t == 0`), so everything it observes is already visible.
+fn ingress_worker<B: PacketBuffer, A: ArrivalGenerator>(
+    stage: &mut Stage<B>,
+    arrivals: &mut [A],
+    win: RunWindow,
+    fwd_out: &BatchTx<FwdBatch>,
+    cred_in: &BatchRx<CreditBatch>,
+) {
+    let ext = arrivals.len();
+    let mut rings: Vec<Vec<Option<Cell>>> = vec![vec![None; FABRIC_CHUNK_SLOTS]; ext]; // analyze: allow(hotpath-alloc) — per-run chunk rings allocated once at worker entry, before the slot loop
+    let mut lines: Vec<Option<Cell>> = vec![None; ext]; // analyze: allow(hotpath-alloc) — per-run scratch allocated once at worker entry, before the slot loop
+    let mut unused_credits = CreditBatch::default();
+    for offset in 0..win.slots {
+        let slot = win.start + offset;
+        if offset > 0 {
+            // Credits of slot-1, visible from slot onwards.
+            let Ok(mut batch) = cred_in.rx.recv() else {
+                return;
+            };
+            stage.apply_credits(&mut batch, win.latency);
+            let _ = cred_in.back_tx.send(batch);
+        }
+        let idx = (offset as usize) % FABRIC_CHUNK_SLOTS;
+        if idx == 0 {
+            let len = FABRIC_CHUNK_SLOTS.min((win.slots - offset) as usize);
+            for (generator, ring) in arrivals.iter_mut().zip(rings.iter_mut()) {
+                generator.fill_arrivals(slot, &mut ring[..len]);
+            }
+        }
+        for (line, ring) in lines.iter_mut().zip(rings.iter_mut()) {
+            *line = ring[idx].take();
+        }
+        let Ok(mut fwd) = fwd_out.back_rx.recv() else {
+            return;
+        };
+        stage.step(slot, Some(&mut lines), &mut fwd, &mut unused_credits);
+        if fwd_out.tx.send(fwd).is_err() {
+            return;
+        }
+    }
+    // The last slot's credits are still in flight; absorb them so the
+    // serially-drained state matches the serial driver exactly.
+    if win.slots > 0 {
+        if let Ok(mut batch) = cred_in.rx.recv() {
+            stage.apply_credits(&mut batch, win.latency);
+        }
+    }
+}
+
+/// The middle stage worker (worker count >= 3): consumes ingress forward
+/// batches and egress credit batches of slot `t-1`, steps, ships its own.
+fn middle_worker<B: PacketBuffer>(
+    stage: &mut Stage<B>,
+    win: RunWindow,
+    fwd_in: &BatchRx<FwdBatch>,
+    cred_out: &BatchTx<CreditBatch>,
+    fwd_out: &BatchTx<FwdBatch>,
+    cred_in: &BatchRx<CreditBatch>,
+) {
+    for offset in 0..win.slots {
+        let slot = win.start + offset;
+        if offset > 0 {
+            let Ok(mut batch) = fwd_in.rx.recv() else {
+                return;
+            };
+            stage.apply_fwd(&mut batch, win.latency, win.capacity);
+            let _ = fwd_in.back_tx.send(batch);
+            let Ok(mut batch) = cred_in.rx.recv() else {
+                return;
+            };
+            stage.apply_credits(&mut batch, win.latency);
+            let _ = cred_in.back_tx.send(batch);
+        }
+        let Ok(mut fwd) = fwd_out.back_rx.recv() else {
+            return;
+        };
+        let Ok(mut credits) = cred_out.back_rx.recv() else {
+            return;
+        };
+        stage.step(slot, None, &mut fwd, &mut credits);
+        if fwd_out.tx.send(fwd).is_err() || cred_out.tx.send(credits).is_err() {
+            return;
+        }
+    }
+    if win.slots > 0 {
+        if let Ok(mut batch) = fwd_in.rx.recv() {
+            stage.apply_fwd(&mut batch, win.latency, win.capacity);
+        }
+        if let Ok(mut batch) = cred_in.rx.recv() {
+            stage.apply_credits(&mut batch, win.latency);
+        }
+    }
+}
+
+/// The egress stage worker (worker count >= 3): consumes middle forward
+/// batches of slot `t-1`, steps, returns credits.
+fn egress_worker<B: PacketBuffer>(
+    stage: &mut Stage<B>,
+    win: RunWindow,
+    fwd_in: &BatchRx<FwdBatch>,
+    cred_out: &BatchTx<CreditBatch>,
+) {
+    let mut unused_fwd = FwdBatch::default();
+    for offset in 0..win.slots {
+        let slot = win.start + offset;
+        if offset > 0 {
+            let Ok(mut batch) = fwd_in.rx.recv() else {
+                return;
+            };
+            stage.apply_fwd(&mut batch, win.latency, win.capacity);
+            let _ = fwd_in.back_tx.send(batch);
+        }
+        let Ok(mut credits) = cred_out.back_rx.recv() else {
+            return;
+        };
+        stage.step(slot, None, &mut unused_fwd, &mut credits);
+        if cred_out.tx.send(credits).is_err() {
+            return;
+        }
+    }
+    if win.slots > 0 {
+        if let Ok(mut batch) = fwd_in.rx.recv() {
+            stage.apply_fwd(&mut batch, win.latency, win.capacity);
+        }
+    }
+}
+
+/// The fused middle+egress worker (worker count 2): the two downstream
+/// stages step in serial order on one thread — their local batches need no
+/// channel — while ingress runs concurrently upstream. The middle→egress
+/// batch is carried one iteration and applied *after* egress steps the
+/// producing slot, matching the dedicated egress worker's receive timing.
+fn middle_egress_worker<B: PacketBuffer>(
+    middle: &mut Stage<B>,
+    egress: &mut Stage<B>,
+    win: RunWindow,
+    fwd_in: &BatchRx<FwdBatch>,
+    cred_out: &BatchTx<CreditBatch>,
+) {
+    let mut fwd_b = FwdBatch::default();
+    let mut cred_b = CreditBatch::default();
+    let mut unused_fwd = FwdBatch::default();
+    for offset in 0..win.slots {
+        let slot = win.start + offset;
+        if offset > 0 {
+            let Ok(mut batch) = fwd_in.rx.recv() else {
+                return;
+            };
+            middle.apply_fwd(&mut batch, win.latency, win.capacity);
+            let _ = fwd_in.back_tx.send(batch);
+        }
+        let Ok(mut cred_a) = cred_out.back_rx.recv() else {
+            return;
+        };
+        middle.step(slot, None, &mut fwd_b, &mut cred_a);
+        if cred_out.tx.send(cred_a).is_err() {
+            return;
+        }
+        egress.step(slot, None, &mut unused_fwd, &mut cred_b);
+        egress.apply_fwd(&mut fwd_b, win.latency, win.capacity);
+        middle.apply_credits(&mut cred_b, win.latency);
+    }
+    if win.slots > 0 {
+        if let Ok(mut batch) = fwd_in.rx.recv() {
+            middle.apply_fwd(&mut batch, win.latency, win.capacity);
+        }
+    }
+}
+
+impl<B: PacketBuffer> ClosFabric<B> {
+    /// Runs the Clos: `active_slots` slots of live arrivals (generator `g`
+    /// feeds external port `g`; its queue ids are *global* destinations in
+    /// `0..r·N`), then a single-threaded drain until every deliverable cell
+    /// has left on an external line.
+    ///
+    /// `workers` selects the execution schedule — 1 steps the three stages
+    /// serially (with chunked arrivals and the idle fast-forward), 2 puts
+    /// the ingress stage on its own thread, 3 or more gives every stage its
+    /// own thread. The report is **byte-identical for every worker count**
+    /// and bit-identical to [`ClosFabric::run_reference`]; differential
+    /// tests pin all of it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the generator count or any generator's queue count does
+    /// not match the external port count.
+    pub fn run<A: ArrivalGenerator + Send>(
+        &mut self,
+        arrivals: &mut [A],
+        active_slots: u64,
+        workers: usize,
+    ) -> ClosRunReport
+    where
+        B: Send,
+    {
+        self.check_generators(arrivals);
+        let mut sc = SerialScratch::default();
+        if workers <= 1 {
+            self.run_active_serial(arrivals, active_slots, &mut sc);
+        } else {
+            let win = RunWindow {
+                start: self.clock,
+                slots: active_slots,
+                latency: self.config.link_latency,
+                capacity: self.config.link_capacity,
+            };
+            let ClosFabric {
+                ingress,
+                middle,
+                egress,
+                clock,
+                ..
+            } = self;
+            let (fwd_a_tx, fwd_a_rx) = batch_channel::<FwdBatch>(BATCH_SEED);
+            let (cred_a_tx, cred_a_rx) = batch_channel::<CreditBatch>(BATCH_SEED);
+            if workers == 2 {
+                std::thread::scope(|scope| {
+                    scope.spawn(move || {
+                        ingress_worker(ingress, arrivals, win, &fwd_a_tx, &cred_a_rx)
+                    });
+                    scope.spawn(move || {
+                        middle_egress_worker(middle, egress, win, &fwd_a_rx, &cred_a_tx);
+                    });
+                });
+            } else {
+                let (fwd_b_tx, fwd_b_rx) = batch_channel::<FwdBatch>(BATCH_SEED);
+                let (cred_b_tx, cred_b_rx) = batch_channel::<CreditBatch>(BATCH_SEED);
+                std::thread::scope(|scope| {
+                    scope.spawn(move || {
+                        ingress_worker(ingress, arrivals, win, &fwd_a_tx, &cred_a_rx)
+                    });
+                    scope.spawn(move || {
+                        middle_worker(middle, win, &fwd_a_rx, &cred_a_tx, &fwd_b_tx, &cred_b_rx);
+                    });
+                    scope.spawn(move || egress_worker(egress, win, &fwd_b_rx, &cred_b_tx));
+                });
+            }
+            *clock += active_slots;
+        }
+        self.finish(active_slots, &mut sc)
+    }
+
+    /// Runs the Clos slot by slot on one thread with no chunking and no
+    /// idle fast-forward: the skip-free reference twin every other schedule
+    /// is differentially tested against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the generator count or any generator's queue count does
+    /// not match the external port count.
+    pub fn run_reference<A: ArrivalGenerator>(
+        &mut self,
+        arrivals: &mut [A],
+        active_slots: u64,
+    ) -> ClosRunReport {
+        self.check_generators(arrivals);
+        let ext = self.config.external_ports();
+        let mut sc = SerialScratch::default();
+        let mut lines: Vec<Option<Cell>> = vec![None; ext]; // analyze: allow(hotpath-alloc) — per-run scratch allocated once at run entry (reference engine)
+        for _ in 0..active_slots {
+            let t = self.clock;
+            for (line, generator) in lines.iter_mut().zip(arrivals.iter_mut()) {
+                *line = generator.next(t);
+            }
+            self.step_all(Some(&mut lines), &mut sc);
+        }
+        self.finish(active_slots, &mut sc)
+    }
+
+    /// Ends the active phase: snapshots the utilisation boundary, drains
+    /// serially and builds the report.
+    fn finish(&mut self, active_slots: u64, sc: &mut SerialScratch) -> ClosRunReport {
+        self.ingress.snapshot_active_matches();
+        self.middle.snapshot_active_matches();
+        self.egress.snapshot_active_matches();
+        self.drain(sc);
+        self.build_report(active_slots)
+    }
+
+    fn stage_report(stage: &Stage<B>, active_slots: u64) -> ClosStageReport {
+        let switches: Vec<FabricRunReport> = stage
+            .switches
+            .iter()
+            .zip(&stage.active_matches)
+            .map(|(switch, &matches)| switch.snapshot_report(active_slots, matches))
+            .collect();
+        let utilization = if switches.is_empty() {
+            0.0
+        } else {
+            switches.iter().map(|r| r.crossbar_utilization).sum::<f64>() / switches.len() as f64
+        };
+        ClosStageReport {
+            stage: stage.stage.label(),
+            crossbar_utilization: utilization,
+            link_resident_cells: stage.link_resident(),
+            link_dropped_cells: stage.link_dropped,
+            peak_link_depth: stage.peak_link_depth as u64,
+            credit_stall_slots: stage.credit_stall_slots,
+            switches,
+        }
+    }
+
+    fn build_report(&self, active_slots: u64) -> ClosRunReport {
+        let config = &self.config;
+        let ext = config.external_ports();
+        let stages = vec![
+            Self::stage_report(&self.ingress, active_slots),
+            Self::stage_report(&self.middle, active_slots),
+            Self::stage_report(&self.egress, active_slots),
+        ];
+        let arrivals: u64 = self.ingress.offered_matrix.iter().sum();
+        let delivery = self.egress.delivery.as_ref();
+        let delivered_matrix = delivery.map_or_else(Vec::new, |d| d.delivered_matrix.clone());
+        let delivered: u64 = delivered_matrix.iter().sum();
+        let reordered_cells = delivery.map_or(0, |d| d.reordered_cells);
+        let reordered_flows = delivery.map_or(0, |d| {
+            d.flow_reordered.iter().filter(|&&f| f).count() as u64
+        });
+        let active_flows = self
+            .ingress
+            .offered_matrix
+            .iter()
+            .filter(|&&c| c > 0)
+            .count() as u64;
+        let link_dropped_cells: u64 = stages.iter().map(|s| s.link_dropped_cells).sum();
+        let buffer_lost: u64 = stages
+            .iter()
+            .flat_map(|s| s.switches.iter().map(|r| r.lost_cells))
+            .sum();
+        let resident_cells: u64 = stages
+            .iter()
+            .flat_map(|s| s.switches.iter().map(|r| r.resident_cells))
+            .sum();
+        let link_resident_cells: u64 = stages.iter().map(|s| s.link_resident_cells).sum();
+        // External end-to-end latency lives at the egress-stage output
+        // lines (the cell's line-side arrival slot survives re-sequencing).
+        let egress_outputs = stages[2].switches.iter().flat_map(|r| r.per_output.iter());
+        let latency_weighted: f64 = egress_outputs
+            .clone()
+            .map(|o| o.mean_latency_slots * o.transmitted as f64)
+            .sum();
+        let mean_latency_slots = if delivered == 0 {
+            0.0
+        } else {
+            latency_weighted / delivered as f64
+        };
+        let max_latency_slots = egress_outputs
+            .map(|o| o.max_latency_slots)
+            .max()
+            .unwrap_or(0);
+        let lost_cells = buffer_lost + link_dropped_cells;
+        ClosRunReport {
+            radix: config.radix,
+            ingress_switches: config.ingress_switches,
+            middle_switches: config.middle_switches,
+            external_ports: ext,
+            dispatch: config.dispatch.label(),
+            discipline: config.discipline.label(),
+            arbiter: stages[0].switches.first().map_or("islip", |r| r.arbiter),
+            link_capacity: config.link_capacity,
+            link_latency: config.link_latency,
+            slots: self.clock,
+            active_slots,
+            arrivals,
+            delivered,
+            lost_cells,
+            link_dropped_cells,
+            resident_cells,
+            link_resident_cells,
+            reordered_cells,
+            reordered_flows,
+            active_flows,
+            credit_stall_slots: stages.iter().map(|s| s.credit_stall_slots).sum(),
+            peak_link_depth: stages.iter().map(|s| s.peak_link_depth).max().unwrap_or(0),
+            mean_latency_slots,
+            max_latency_slots,
+            zero_loss: lost_cells == 0,
+            stages,
+            arrivals_matrix: self.ingress.offered_matrix.clone(),
+            delivered_matrix,
+        }
+    }
+}
+
+/// One stage's outcome: its switches' full [`FabricRunReport`]s plus the
+/// stage's inbound-link and credit accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosStageReport {
+    /// Stage label ("ingress" / "middle" / "egress").
+    pub stage: &'static str,
+    /// Mean crossbar utilisation over the stage's switches (active phase).
+    pub crossbar_utilization: f64,
+    /// Cells still sitting in this stage's inbound link FIFOs (0 after a
+    /// completed drain).
+    pub link_resident_cells: u64,
+    /// Cells silently discarded at this stage's full inbound links
+    /// ([`LinkDiscipline::DropOnFull`] only; always 0 under credits).
+    pub link_dropped_cells: u64,
+    /// Deepest any of this stage's inbound link FIFOs has been.
+    pub peak_link_depth: u64,
+    /// Output-slots in which a queued cell sat gated awaiting a credit.
+    pub credit_stall_slots: u64,
+    /// Per-switch reports, in switch order.
+    pub switches: Vec<FabricRunReport>,
+}
+
+impl Serialize for ClosStageReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("ClosStageReport", 7)?;
+        st.serialize_field("stage", &self.stage)?;
+        st.serialize_field("crossbar_utilization", &self.crossbar_utilization)?;
+        st.serialize_field("link_resident_cells", &self.link_resident_cells)?;
+        st.serialize_field("link_dropped_cells", &self.link_dropped_cells)?;
+        st.serialize_field("peak_link_depth", &self.peak_link_depth)?;
+        st.serialize_field("credit_stall_slots", &self.credit_stall_slots)?;
+        st.serialize_field("switches", &self.switches)?;
+        st.end()
+    }
+}
+
+/// The result of one whole Clos run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosRunReport {
+    /// Radix `N` of the ingress/egress switches.
+    pub radix: usize,
+    /// Number `r` of ingress (= egress) switches.
+    pub ingress_switches: usize,
+    /// Number `m` of middle switches.
+    pub middle_switches: usize,
+    /// External port count `r·N`.
+    pub external_ports: usize,
+    /// Dispatch policy label ("spray" / "flowhash").
+    pub dispatch: &'static str,
+    /// Link discipline label ("credit" / "drop-on-full").
+    pub discipline: &'static str,
+    /// Arbiter label ("islip" / "maximal").
+    pub arbiter: &'static str,
+    /// Credits (= FIFO capacity) per inter-stage link.
+    pub link_capacity: usize,
+    /// One-way inter-stage link latency, slots.
+    pub link_latency: u64,
+    /// Slots simulated, including the drain phase.
+    pub slots: u64,
+    /// Slots of the live-arrival phase.
+    pub active_slots: u64,
+    /// Cells offered across every external ingress line.
+    pub arrivals: u64,
+    /// Cells transmitted on the external output lines.
+    pub delivered: u64,
+    /// Cells lost anywhere: buffer drops + misses + order violations over
+    /// every switch of every stage, plus silently dropped link cells.
+    pub lost_cells: u64,
+    /// Cells silently discarded at full inter-stage links
+    /// ([`LinkDiscipline::DropOnFull`] only).
+    pub link_dropped_cells: u64,
+    /// Cells still resident in some buffer when the run ended (residual
+    /// partial tail batches — never lost).
+    pub resident_cells: u64,
+    /// Cells still sitting on inter-stage links when the run ended.
+    pub link_resident_cells: u64,
+    /// Delivered cells that overtook an earlier cell of their flow.
+    pub reordered_cells: u64,
+    /// Flows with at least one reordered delivery.
+    pub reordered_flows: u64,
+    /// (src, dest) pairs that offered at least one cell.
+    pub active_flows: u64,
+    /// Output-slots in which a queued cell sat gated awaiting a credit
+    /// (summed over the ingress and middle stages — the backpressure at
+    /// work).
+    pub credit_stall_slots: u64,
+    /// Deepest any inter-stage link FIFO has been (bounded by
+    /// `link_capacity` under credit flow control — checked by tests).
+    pub peak_link_depth: u64,
+    /// Mean external end-to-end latency over delivered cells, slots.
+    pub mean_latency_slots: f64,
+    /// Largest external end-to-end latency observed, slots.
+    pub max_latency_slots: u64,
+    /// Whether no cell was lost anywhere in the fabric.
+    pub zero_loss: bool,
+    /// Per-stage reports: ingress, middle, egress.
+    pub stages: Vec<ClosStageReport>,
+    /// Row-major `ext × ext`: cells offered from external src to dest.
+    pub arrivals_matrix: Vec<u64>,
+    /// Row-major `ext × ext`: cells delivered from external src to dest.
+    pub delivered_matrix: Vec<u64>,
+}
+
+impl ClosRunReport {
+    /// Checks cell conservation fabric-wide, across every hand-off:
+    ///
+    /// * every switch of every stage satisfies its own
+    ///   [`FabricRunReport::conservation_holds`];
+    /// * per flow, deliveries never exceed offers;
+    /// * at each stage boundary, upstream transmissions equal downstream
+    ///   switch arrivals plus cells still on the links — a **silently
+    ///   dropped link cell breaks this**, by design: link drops are not
+    ///   credited anywhere, so `DropOnFull` losses make the check fail;
+    /// * fabric-wide, external arrivals = delivered + buffer residents +
+    ///   buffer drops + link residents.
+    pub fn conservation_holds(&self) -> bool {
+        let [ingress, middle, egress] = &self.stages[..] else {
+            return false;
+        };
+        let switches_ok = self
+            .stages
+            .iter()
+            .flat_map(|s| s.switches.iter())
+            .all(FabricRunReport::conservation_holds);
+        let flows_ok = self
+            .delivered_matrix
+            .iter()
+            .zip(&self.arrivals_matrix)
+            .all(|(d, a)| d <= a);
+        let boundary = |up: &ClosStageReport, down: &ClosStageReport| {
+            let sent: u64 = up.switches.iter().map(|r| r.transmitted).sum();
+            let received: u64 = down.switches.iter().map(|r| r.arrivals).sum();
+            sent == received + down.link_resident_cells
+        };
+        let delivered: u64 = egress.switches.iter().map(|r| r.transmitted).sum();
+        let buffer_drops: u64 = self
+            .stages
+            .iter()
+            .flat_map(|s| s.switches.iter().flat_map(|r| r.per_port.iter()))
+            .map(|p| p.stats.drops)
+            .sum();
+        switches_ok
+            && flows_ok
+            && boundary(ingress, middle)
+            && boundary(middle, egress)
+            && delivered == self.delivered
+            && self.arrivals
+                == self.delivered + self.resident_cells + buffer_drops + self.link_resident_cells
+    }
+}
+
+impl Serialize for ClosRunReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("ClosRunReport", 28)?;
+        st.serialize_field("radix", &self.radix)?;
+        st.serialize_field("ingress_switches", &self.ingress_switches)?;
+        st.serialize_field("middle_switches", &self.middle_switches)?;
+        st.serialize_field("external_ports", &self.external_ports)?;
+        st.serialize_field("dispatch", &self.dispatch)?;
+        st.serialize_field("discipline", &self.discipline)?;
+        st.serialize_field("arbiter", &self.arbiter)?;
+        st.serialize_field("link_capacity", &self.link_capacity)?;
+        st.serialize_field("link_latency", &self.link_latency)?;
+        st.serialize_field("slots", &self.slots)?;
+        st.serialize_field("active_slots", &self.active_slots)?;
+        st.serialize_field("arrivals", &self.arrivals)?;
+        st.serialize_field("delivered", &self.delivered)?;
+        st.serialize_field("lost_cells", &self.lost_cells)?;
+        st.serialize_field("link_dropped_cells", &self.link_dropped_cells)?;
+        st.serialize_field("resident_cells", &self.resident_cells)?;
+        st.serialize_field("link_resident_cells", &self.link_resident_cells)?;
+        st.serialize_field("reordered_cells", &self.reordered_cells)?;
+        st.serialize_field("reordered_flows", &self.reordered_flows)?;
+        st.serialize_field("active_flows", &self.active_flows)?;
+        st.serialize_field("credit_stall_slots", &self.credit_stall_slots)?;
+        st.serialize_field("peak_link_depth", &self.peak_link_depth)?;
+        st.serialize_field("mean_latency_slots", &self.mean_latency_slots)?;
+        st.serialize_field("max_latency_slots", &self.max_latency_slots)?;
+        st.serialize_field("zero_loss", &self.zero_loss)?;
+        st.serialize_field("stages", &self.stages)?;
+        st.serialize_field("arrivals_matrix", &self.arrivals_matrix)?;
+        st.serialize_field("delivered_matrix", &self.delivered_matrix)?;
+        st.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pktbuf::RadsBuffer;
+    use pktbuf_model::{LineRate, RadsConfig};
+    use traffic::{stream_seed, BurstyArrivals, UniformArrivals};
+
+    /// RADS buffers sized for whichever stage asks: `N` VOQs at the edges,
+    /// `r` in the middle.
+    fn rads_builder(config: ClosConfig) -> impl FnMut(ClosStage) -> RadsBuffer {
+        move |stage| {
+            let num_queues = match stage {
+                ClosStage::Middle => config.ingress_switches,
+                ClosStage::Ingress | ClosStage::Egress => config.radix,
+            };
+            // Fabric ports need `B` slots of lookahead on top of the ECQF
+            // minimum: a crossbar arbiter can land a due request inside the
+            // in-flight replenishment window (see `sim`'s `rads_config`).
+            let granularity = 4;
+            RadsBuffer::new(RadsConfig {
+                line_rate: LineRate::Oc3072,
+                num_queues,
+                granularity,
+                lookahead: Some(num_queues * (granularity - 1) + 1 + granularity),
+                dram: Default::default(),
+            })
+        }
+    }
+
+    fn clos(config: ClosConfig) -> ClosFabric<RadsBuffer> {
+        ClosFabric::new(config, rads_builder(config))
+    }
+
+    fn uniform(config: &ClosConfig, load: f64, seed: u64) -> Vec<UniformArrivals> {
+        let ext = config.external_ports();
+        (0..ext)
+            .map(|g| UniformArrivals::new(ext, load, stream_seed(seed, g as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn spray_clos_delivers_every_cell() {
+        let config = ClosConfig::new(4, 4, 4);
+        let mut fabric = clos(config);
+        let report = fabric.run(&mut uniform(&config, 0.7, 11), 3_000, 1);
+        assert!(report.zero_loss, "lost {} cells", report.lost_cells);
+        assert!(report.conservation_holds(), "{report:?}");
+        assert!(report.arrivals > 5_000);
+        assert_eq!(report.delivered + report.resident_cells, report.arrivals);
+        assert_eq!(report.link_resident_cells, 0, "links drain empty");
+        assert_eq!(report.external_ports, 16);
+        assert_eq!(report.stages.len(), 3);
+        assert_eq!(report.stages[0].switches.len(), 4);
+        assert_eq!(report.stages[1].switches.len(), 4);
+        assert_eq!(report.stages[2].switches.len(), 4);
+        assert!(report.peak_link_depth <= config.link_capacity as u64);
+        assert!(report.mean_latency_slots > 0.0);
+        assert!(report.max_latency_slots >= 4, "three hops plus two links");
+        assert_eq!(report.arrivals_matrix.iter().sum::<u64>(), report.arrivals);
+        assert_eq!(
+            report.delivered_matrix.iter().sum::<u64>(),
+            report.delivered
+        );
+        assert!(report.active_flows > 200);
+    }
+
+    #[test]
+    fn every_schedule_is_byte_identical_to_the_reference() {
+        // Bursty arrivals with long gaps make many chunks pure-idle for the
+        // serial fast-forward, while the pipelined schedules (2 and 3+
+        // workers) cross every stage boundary through channels.
+        for dispatch in [DispatchPolicy::Spray, DispatchPolicy::FlowHash] {
+            let mut config = ClosConfig::new(3, 3, 2);
+            config.dispatch = dispatch;
+            config.link_capacity = 2;
+            let generators = || {
+                let ext = config.external_ports();
+                (0..ext)
+                    .map(|g| BurstyArrivals::new(ext, 12.0, 500.0, stream_seed(5, g as u64)))
+                    .collect::<Vec<_>>()
+            };
+            let reference = clos(config).run_reference(&mut generators(), 5_000);
+            for workers in [1usize, 2, 3, 5] {
+                let report = clos(config).run(&mut generators(), 5_000, workers);
+                assert_eq!(
+                    report,
+                    reference,
+                    "workers={workers} dispatch={} diverged",
+                    dispatch.label()
+                );
+            }
+            assert!(reference.zero_loss);
+            assert!(reference.conservation_holds());
+        }
+    }
+
+    #[test]
+    fn flowhash_pinning_never_reorders() {
+        let mut config = ClosConfig::new(4, 3, 4);
+        config.dispatch = DispatchPolicy::FlowHash;
+        let mut fabric = clos(config);
+        let report = fabric.run(&mut uniform(&config, 0.85, 23), 4_000, 3);
+        assert!(report.zero_loss);
+        assert!(report.conservation_holds());
+        assert_eq!(report.reordered_cells, 0, "pinned flows cannot race");
+        assert_eq!(report.reordered_flows, 0);
+    }
+
+    #[test]
+    fn spraying_reorders_contended_flows_and_reports_it() {
+        let mut config = ClosConfig::new(4, 3, 4);
+        config.link_capacity = 2;
+        let mut fabric = clos(config);
+        let report = fabric.run(&mut uniform(&config, 0.95, 23), 4_000, 1);
+        assert!(report.zero_loss);
+        assert!(report.conservation_holds());
+        assert!(
+            report.reordered_cells > 0,
+            "sprayed cells race over unevenly loaded middle switches: {report:?}"
+        );
+        assert!(report.reordered_flows > 0);
+    }
+
+    #[test]
+    fn undersized_credit_links_throttle_but_never_drop() {
+        let mut config = ClosConfig::new(3, 3, 3);
+        // One credit against a 2-slot round trip: every link is throttled
+        // to half rate, so backpressure must do real work.
+        config.link_capacity = 1;
+        let mut fabric = clos(config);
+        let report = fabric.run(&mut uniform(&config, 0.9, 7), 3_000, 1);
+        assert!(
+            report.zero_loss,
+            "credits may stall, never lose: {report:?}"
+        );
+        assert!(report.conservation_holds());
+        assert_eq!(report.link_dropped_cells, 0);
+        assert!(report.peak_link_depth <= 1);
+        assert!(
+            report.credit_stall_slots > 0,
+            "an undersized link must visibly stall: {report:?}"
+        );
+    }
+
+    #[test]
+    fn drop_on_full_loses_cells_and_breaks_conservation() {
+        let mut config = ClosConfig::new(3, 3, 2);
+        config.discipline = LinkDiscipline::DropOnFull;
+        // A link holds wire cells and queued cells alike, so a capacity
+        // smaller than the wire latency cannot even cover the cells in
+        // flight at line rate: overflow — and silent loss — is guaranteed.
+        config.link_capacity = 1;
+        config.link_latency = 4;
+        let mut fabric = clos(config);
+        let report = fabric.run(&mut uniform(&config, 0.95, 3), 3_000, 1);
+        assert!(report.link_dropped_cells > 0, "{report:?}");
+        assert!(!report.zero_loss);
+        assert!(
+            !report.conservation_holds(),
+            "silent link drops must be detected as a conservation break"
+        );
+        // Drop decisions read physical FIFO occupancy; the differential
+        // guarantee must hold for lossy links too.
+        let pipelined = clos(config).run(&mut uniform(&config, 0.95, 3), 3_000, 3);
+        assert_eq!(pipelined, report, "lossy runs must stay schedule-invariant");
+    }
+
+    #[test]
+    fn conservation_checker_rejects_tampered_reports() {
+        let config = ClosConfig::new(3, 3, 3);
+        let mut fabric = clos(config);
+        let report = fabric.run(&mut uniform(&config, 0.6, 9), 1_500, 1);
+        assert!(report.conservation_holds());
+        let mut tampered = report.clone();
+        tampered.delivered += 1;
+        assert!(!tampered.conservation_holds());
+        let mut tampered = report.clone();
+        tampered.arrivals -= 1;
+        assert!(!tampered.conservation_holds());
+        let mut tampered = report;
+        tampered.stages[1].link_resident_cells += 1;
+        assert!(!tampered.conservation_holds());
+    }
+
+    #[test]
+    fn link_latency_zero_is_normalized_to_one() {
+        let mut config = ClosConfig::new(3, 3, 3);
+        config.link_latency = 0;
+        let fabric = clos(config);
+        assert_eq!(fabric.config().link_latency, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "middle switches")]
+    fn more_middle_switches_than_radix_panics() {
+        let config = ClosConfig::new(3, 3, 4);
+        let _ = clos(config);
+    }
+}

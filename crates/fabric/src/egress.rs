@@ -80,18 +80,20 @@ impl EgressPort {
     }
 
     /// Transmits at the end of slot `slot` if the cadence allows, recording
-    /// the transmitted cell's end-to-end latency.
+    /// the transmitted cell's end-to-end latency. Returns the transmitted
+    /// cell so that composed fabrics (the Clos layer) can forward it onto an
+    /// inter-stage link; standalone switches simply drop it.
     #[inline]
-    pub fn end_slot(&mut self, slot: u64) {
+    pub fn end_slot(&mut self, slot: u64) -> Option<Cell> {
         if !slot.is_multiple_of(self.period) {
-            return;
+            return None;
         }
-        if let Some(cell) = self.queue.pop_front() {
-            let latency = slot.saturating_sub(cell.arrival_slot());
-            self.transmitted += 1;
-            self.latency_sum += latency;
-            self.latency_max = self.latency_max.max(latency);
-        }
+        let cell = self.queue.pop_front()?;
+        let latency = slot.saturating_sub(cell.arrival_slot());
+        self.transmitted += 1;
+        self.latency_sum += latency;
+        self.latency_max = self.latency_max.max(latency);
+        Some(cell)
     }
 
     /// Fast-forwards over `slots` slots starting at `slot` in which the port

@@ -58,13 +58,18 @@
 #![warn(missing_debug_implementations)]
 
 mod arbiter;
+pub mod clos;
 mod egress;
 mod port;
 mod report;
 mod switch;
 
 pub use arbiter::{ArbiterKind, CrossbarArbiter};
+pub use clos::{
+    ClosConfig, ClosFabric, ClosRunReport, ClosStage, ClosStageReport, DispatchPolicy,
+    LinkDiscipline,
+};
 pub use egress::EgressPort;
 pub use port::PortBuffer;
 pub use report::{EgressReport, FabricRunReport, PortReport};
-pub use switch::{FabricConfig, VoqSwitch, FABRIC_CHUNK_SLOTS};
+pub use switch::{FabricConfig, NullSink, StageSink, VoqSwitch, FABRIC_CHUNK_SLOTS};

@@ -38,6 +38,37 @@ use traffic::ArrivalGenerator;
 /// chunk size; one ring of this length exists per ingress port).
 pub const FABRIC_CHUNK_SLOTS: usize = 256;
 
+/// Observer of the cell movements of one [`VoqSwitch::step_coupled`] slot.
+///
+/// A standalone switch only counts its cells; a *composed* switch (a stage
+/// of a Clos — see [`crate::ClosFabric`]) must see them move: which input's
+/// VOQ a grant left (to advance flow metadata riding beside the buffer),
+/// which output line a cell was transmitted on (to forward it onto an
+/// inter-stage link) and which arrival was refused at a full tail SRAM (to
+/// roll the metadata back). All methods default to no-ops so a sink
+/// implements only what it observes.
+pub trait StageSink {
+    /// A granted cell left input `input`'s VOQ `cell.queue()` for its egress
+    /// FIFO.
+    fn granted(&mut self, input: usize, cell: &Cell) {
+        let _ = (input, cell);
+    }
+    /// A cell was transmitted on output `output`'s line this slot.
+    fn transmitted(&mut self, output: usize, cell: Cell) {
+        let _ = (output, cell);
+    }
+    /// Input `input`'s arriving cell was dropped at a full tail SRAM.
+    fn dropped(&mut self, input: usize, cell: &Cell) {
+        let _ = (input, cell);
+    }
+}
+
+/// The sink of a standalone switch: observes nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl StageSink for NullSink {}
+
 /// Static configuration of a fabric.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FabricConfig {
@@ -221,11 +252,48 @@ impl<B: PacketBuffer> VoqSwitch<B> {
     /// Advances the fabric by one slot; `arrivals[p]` is port `p`'s line-side
     /// arrival. Returns the number of crossbar matches made.
     fn step_slot(&mut self, arrivals: &mut [Option<Cell>]) -> u64 {
+        self.step_coupled(arrivals, &[], &mut NullSink)
+    }
+
+    /// Advances the fabric by one slot as a *stage of a larger fabric*:
+    /// `arrivals[p]` is port `p`'s line-side arrival, `output_gate` gates
+    /// each output line on downstream readiness and `sink` observes every
+    /// cell movement (see [`StageSink`]).
+    ///
+    /// An empty `output_gate` leaves every output ungated (the standalone
+    /// behaviour — [`VoqSwitch::run`] uses exactly this path). A gated-out
+    /// output `j` neither transmits this slot (its head-of-line cell waits
+    /// for downstream credit) nor accepts a crossbar match (matching more
+    /// cells into a stalled FIFO would only move the congestion forward:
+    /// backpressure instead holds them in the VOQs, where the arbiter can
+    /// still match the same input to a different, uncongested output).
+    ///
+    /// Returns the number of crossbar matches made.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `output_gate` is neither empty nor `ports` long.
+    pub fn step_coupled<S: StageSink>(
+        &mut self,
+        arrivals: &mut [Option<Cell>],
+        output_gate: &[bool],
+        sink: &mut S,
+    ) -> u64 {
+        assert!(
+            output_gate.is_empty() || output_gate.len() == self.ports,
+            "output gate must cover every output"
+        );
         let clock = self.clock;
         let ports = self.ports;
-        for (ready, egress) in self.output_ready.iter_mut().zip(self.egress.iter_mut()) {
+        let ungated = output_gate.is_empty();
+        for (j, (ready, egress)) in self
+            .output_ready
+            .iter_mut()
+            .zip(self.egress.iter_mut())
+            .enumerate()
+        {
             egress.begin_slot(clock);
-            *ready = egress.ready();
+            *ready = egress.ready() && (ungated || output_gate[j]);
         }
         let matched = {
             let Self {
@@ -260,11 +328,19 @@ impl<B: PacketBuffer> VoqSwitch<B> {
                 let dst = cell.queue().as_usize();
                 self.departures_matrix[i * ports + dst] += 1;
                 self.grants_total += 1;
+                sink.granted(i, &cell);
                 self.egress[dst].push(cell);
             }
+            if let Some(cell) = outcome.dropped_arrival {
+                sink.dropped(i, &cell);
+            }
         }
-        for egress in &mut self.egress {
-            egress.end_slot(clock);
+        for (j, egress) in self.egress.iter_mut().enumerate() {
+            if ungated || output_gate[j] {
+                if let Some(cell) = egress.end_slot(clock) {
+                    sink.transmitted(j, cell);
+                }
+            }
         }
         self.clock += 1;
         matched
@@ -274,7 +350,7 @@ impl<B: PacketBuffer> VoqSwitch<B> {
     /// ingress pipeline quiescent with an empty requestable set (so the
     /// eligibility matrix is all-false and frozen) and every egress FIFO
     /// empty.
-    fn is_idle(&self) -> bool {
+    pub fn is_idle(&self) -> bool {
         self.egress.iter().all(EgressPort::is_empty)
             && self
                 .buffers
@@ -282,9 +358,59 @@ impl<B: PacketBuffer> VoqSwitch<B> {
                 .all(|b| b.is_quiescent() && b.requestable_total() == 0)
     }
 
+    /// Total requestable cells over every VOQ of every ingress buffer.
+    pub fn requestable_total(&self) -> u64 {
+        self.buffers
+            .iter()
+            .map(PacketBuffer::requestable_total)
+            .sum()
+    }
+
+    /// Whether every ingress buffer's pipeline is quiescent.
+    pub fn buffers_quiescent(&self) -> bool {
+        self.buffers.iter().all(PacketBuffer::is_quiescent)
+    }
+
+    /// The largest head-pipeline delay of any ingress buffer, in slots.
+    pub fn max_pipeline_delay(&self) -> usize {
+        self.buffers
+            .iter()
+            .map(PacketBuffer::pipeline_delay_slots)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Current depth of output `output`'s transmit FIFO.
+    pub fn egress_depth(&self, output: usize) -> usize {
+        self.egress[output].depth()
+    }
+
+    /// Total cells waiting in the transmit FIFOs across all outputs.
+    pub fn egress_backlog(&self) -> u64 {
+        self.egress.iter().map(|e| e.depth() as u64).sum()
+    }
+
+    /// Crossbar matches made so far (the composed-fabric layer snapshots
+    /// this at the end of the active phase for its utilisation metric).
+    pub fn matches_so_far(&self) -> u64 {
+        self.matches
+    }
+
+    /// Builds this switch's [`FabricRunReport`] for a run driven externally
+    /// through [`VoqSwitch::step_coupled`]: `active_slots` and
+    /// `active_matches` carry the composed run's active-phase boundary (see
+    /// [`FabricRunReport::crossbar_utilization`]).
+    pub fn snapshot_report(&self, active_slots: u64, active_matches: u64) -> FabricRunReport {
+        self.build_report(active_slots, active_matches)
+    }
+
     /// Fast-forwards `slots` provably idle slots: O(1) per buffer (their own
     /// quiescent fast-forward) plus an arithmetic egress-credit update.
-    fn advance_idle(&mut self, slots: u64) {
+    ///
+    /// The caller must have checked [`VoqSwitch::is_idle`]; the composed
+    /// (Clos) engine additionally checks that no cell is in flight on any
+    /// inter-stage link before skipping a chunk.
+    pub fn advance_idle(&mut self, slots: u64) {
         for buffer in &mut self.buffers {
             buffer.advance_idle(slots);
         }

@@ -1,0 +1,1450 @@
+//! Declarative Clos experiments: multi-chassis scenarios, sweepable specs
+//! and the lab integration.
+//!
+//! This module is the Clos-level mirror of [`crate::fabric`]: a
+//! [`ClosScenario`] fully describes one three-stage folded-Clos run (a
+//! [`fabric::ClosFabric`] of `r` ingress, `m` middle and `r` egress
+//! [`fabric::VoqSwitch`]es — see the `fabric::clos` module docs for the
+//! topology and the credit flow control), and a [`ClosSpec`] sweeps those
+//! axes into a cartesian product that [`LabRunner::run_clos`] executes
+//! deterministically across worker threads.
+//!
+//! The scenario reuses the fabric axes wholesale — [`FabricDesign`] for the
+//! per-stage buffer designs, [`FabricWorkload`] for the external traffic
+//! matrix, [`ArbiterChoice`] for every stage's crossbar — and adds the
+//! Clos-only ones: the geometry (`radix`, `ingress_switches`,
+//! `middle_switches`), the ingress [`DispatchChoice`] and the inter-stage
+//! link provisioning (`link_capacity`, `link_latency`).
+//!
+//! External traffic targets *global* destinations in `0..r·N`; generator
+//! seeds are derived hierarchically with [`traffic::plane_seed`] (one plane
+//! per ingress switch, one stream per port) so that sweeping the geometry
+//! never makes two ports share an RNG stream.
+
+use crate::fabric::{
+    hot_output_count, ArbiterChoice, FabricDesign, FabricWorkload, FABRIC_BURST_CELLS,
+    FABRIC_HOT_FRACTION,
+};
+use crate::lab::{run_sharded, LabRunner};
+use crate::scenario::{normalize_name, serde_via_string, DesignKind, ParseNameError};
+use crate::spec::{SpecError, Sweep};
+pub use ::fabric::ClosRunReport;
+use ::fabric::{ClosConfig, ClosFabric, ClosStage, DispatchPolicy, PortBuffer};
+use pktbuf::PacketBuffer;
+use pktbuf_model::{CfdsConfig, ConfigError, ConfigOverrides, DramTiming, LineRate, RadsConfig};
+use serde::{de, Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+use std::str::FromStr;
+use traffic::{plane_seed, BurstyArrivals, HotspotArrivals, IncastArrivals, UniformArrivals};
+
+/// Which ingress dispatch policy a Clos scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DispatchChoice {
+    /// Round-robin spraying over the middle switches (may reorder flows).
+    Spray,
+    /// Flow-hash pinning to one middle switch (never reorders).
+    FlowHash,
+}
+
+impl DispatchChoice {
+    /// Both dispatch policies, spray first.
+    pub fn all() -> [DispatchChoice; 2] {
+        [DispatchChoice::Spray, DispatchChoice::FlowHash]
+    }
+
+    /// The fabric-crate dispatch policy.
+    pub fn to_policy(self) -> DispatchPolicy {
+        match self {
+            DispatchChoice::Spray => DispatchPolicy::Spray,
+            DispatchChoice::FlowHash => DispatchPolicy::FlowHash,
+        }
+    }
+}
+
+impl fmt::Display for DispatchChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.to_policy().label())
+    }
+}
+
+impl FromStr for DispatchChoice {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match normalize_name(s).as_str() {
+            "spray" => Ok(DispatchChoice::Spray),
+            "flowhash" => Ok(DispatchChoice::FlowHash),
+            _ => Err(ParseNameError::new("dispatch policy", s, "spray, flowhash")),
+        }
+    }
+}
+
+serde_via_string!(DispatchChoice, "a dispatch policy name (spray, flowhash)");
+
+/// Why a Clos scenario is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClosScenarioError {
+    /// Ingress/egress switches need radix ≥ 2.
+    BadRadix(usize),
+    /// A Clos needs at least 2 ingress switches.
+    TooFewIngress(usize),
+    /// The middle stage must satisfy `1 ≤ m ≤ N`.
+    BadMiddle(usize, usize),
+    /// Offered load must stay in (0, 100] percent.
+    BadLoad(u64),
+    /// Inter-stage links need at least one credit.
+    BadLinkCapacity(usize),
+    /// A per-stage buffer configuration is invalid.
+    Config(ConfigError),
+}
+
+impl fmt::Display for ClosScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClosScenarioError::BadRadix(n) => {
+                write!(f, "ingress/egress switches need radix >= 2, got {n}")
+            }
+            ClosScenarioError::TooFewIngress(r) => {
+                write!(f, "a Clos needs at least 2 ingress switches, got {r}")
+            }
+            ClosScenarioError::BadMiddle(m, n) => {
+                write!(
+                    f,
+                    "middle switches must satisfy 1 <= m <= N, got m={m}, N={n}"
+                )
+            }
+            ClosScenarioError::BadLoad(pct) => {
+                write!(f, "offered load must be in (0, 100] percent, got {pct}")
+            }
+            ClosScenarioError::BadLinkCapacity(c) => {
+                write!(f, "inter-stage links need at least one credit, got {c}")
+            }
+            ClosScenarioError::Config(e) => write!(f, "stage buffer configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClosScenarioError {}
+
+/// A fully specified Clos run: one expanded point of a [`ClosSpec`], or a
+/// hand-built one-off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClosScenario {
+    /// Radix `N` of each ingress/egress switch; external ports = `r·N`.
+    pub radix: usize,
+    /// Number `r` of ingress (= egress) switches.
+    pub ingress_switches: usize,
+    /// Number `m` of middle switches (`1 ≤ m ≤ N`).
+    pub middle_switches: usize,
+    /// Per-stage buffer design ([`FabricDesign::Mixed`] alternates CFDS and
+    /// RADS over the build order).
+    pub design: FabricDesign,
+    /// External traffic matrix, over `r·N` global destinations.
+    pub workload: FabricWorkload,
+    /// Ingress load-balancing policy.
+    pub dispatch: DispatchChoice,
+    /// Crossbar arbiter of every switch of every stage.
+    pub arbiter: ArbiterChoice,
+    /// iSLIP iterations per slot (`0` = auto).
+    pub islip_iterations: u64,
+    /// Line rate of every port.
+    pub line_rate: LineRate,
+    /// CFDS granularity `b` of CFDS buffers.
+    pub granularity: usize,
+    /// RADS granularity `B` (all designs).
+    pub rads_granularity: usize,
+    /// DRAM banks `M` of CFDS buffers.
+    pub num_banks: usize,
+    /// Offered load per external ingress port, percent of the line rate.
+    pub load_percent: u64,
+    /// Slots per transmitted cell at each external output (1 = line rate).
+    pub egress_period: u64,
+    /// Cells (= credits) per inter-stage link FIFO.
+    pub link_capacity: usize,
+    /// One-way inter-stage link latency, slots.
+    pub link_latency: u64,
+    /// Slots of the live-arrival phase (the drain runs until delivery).
+    pub arrival_slots: u64,
+    /// Base RNG seed; the port `i` of ingress switch `s` seeds its
+    /// generator with [`traffic::plane_seed`]`(seed, s, i)`.
+    pub seed: u64,
+    /// Worker threads of the per-run execution schedule (1 = serial; the
+    /// report is byte-identical for any value).
+    pub workers: usize,
+    /// Configuration knobs applied to every stage buffer.
+    pub overrides: ConfigOverrides,
+}
+
+impl ClosScenario {
+    /// A small RADS Clos useful as a smoke test: `N = r = m = 4`
+    /// (16 external ports), uniform traffic at 80% load, 3 000 active slots.
+    pub fn small() -> Self {
+        ClosScenario {
+            radix: 4,
+            ingress_switches: 4,
+            middle_switches: 4,
+            design: FabricDesign::Fixed(DesignKind::Rads),
+            workload: FabricWorkload::Uniform,
+            dispatch: DispatchChoice::Spray,
+            arbiter: ArbiterChoice::Islip,
+            islip_iterations: 0,
+            line_rate: LineRate::Oc3072,
+            granularity: 2,
+            rads_granularity: 8,
+            num_banks: 16,
+            load_percent: 80,
+            egress_period: 1,
+            link_capacity: 8,
+            link_latency: 1,
+            arrival_slots: 3_000,
+            seed: 1,
+            workers: 1,
+            overrides: ConfigOverrides::none(),
+        }
+    }
+
+    /// External (line-side) port count `r·N`.
+    pub fn external_ports(&self) -> usize {
+        self.ingress_switches * self.radix
+    }
+
+    /// Offered load per external port as a fraction.
+    pub fn load(&self) -> f64 {
+        (self.load_percent as f64 / 100.0).clamp(0.0, 1.0)
+    }
+
+    /// VOQ count of a buffer serving `stage`: `N` at the edges, `r` in the
+    /// middle.
+    pub fn stage_queue_count(&self, stage: ClosStage) -> usize {
+        match stage {
+            ClosStage::Middle => self.ingress_switches,
+            ClosStage::Ingress | ClosStage::Egress => self.radix,
+        }
+    }
+
+    /// The RADS configuration of a `num_queues`-VOQ stage buffer, with the
+    /// same fabric lookahead margin as
+    /// [`crate::fabric::FabricScenario::rads_config`]: `B` slots on top of
+    /// the ECQF minimum, because a crossbar arbiter can land a due request
+    /// inside the DRAM in-flight window.
+    pub fn rads_config(&self, num_queues: usize) -> RadsConfig {
+        let ecqf_minimum = num_queues * (self.rads_granularity - 1) + 1;
+        self.overrides.apply_rads(RadsConfig {
+            line_rate: self.line_rate,
+            num_queues,
+            granularity: self.rads_granularity,
+            lookahead: Some(ecqf_minimum + self.rads_granularity),
+            dram: DramTiming::paper_design_point(),
+        })
+    }
+
+    /// The CFDS configuration of a `num_queues`-VOQ stage buffer, or the
+    /// reason it is invalid (same margins and oversubscription as
+    /// [`crate::fabric::FabricScenario::try_cfds_config`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the parameters violate the CFDS
+    /// constraints (sweeps may produce such combinations; the spec layer
+    /// skips them).
+    pub fn try_cfds_config(&self, num_queues: usize) -> Result<CfdsConfig, ConfigError> {
+        let ecqf_minimum = num_queues * (self.granularity - 1) + 1;
+        self.overrides
+            .apply_cfds(
+                CfdsConfig::builder()
+                    .line_rate(self.line_rate)
+                    .num_queues(num_queues)
+                    .physical_queue_factor(2)
+                    .granularity(self.granularity)
+                    .rads_granularity(self.rads_granularity)
+                    .num_banks(self.num_banks)
+                    .lookahead(ecqf_minimum + self.rads_granularity),
+            )
+            .build()
+    }
+
+    /// The fabric-crate Clos configuration (geometry, dispatch, links,
+    /// arbiter; always credit flow control — the lossy `DropOnFull`
+    /// discipline is a fault-injection mode for tests, not an experiment
+    /// axis).
+    pub fn clos_config(&self) -> ClosConfig {
+        ClosConfig {
+            radix: self.radix,
+            ingress_switches: self.ingress_switches,
+            middle_switches: self.middle_switches,
+            dispatch: self.dispatch.to_policy(),
+            link_capacity: self.link_capacity,
+            link_latency: self.link_latency,
+            egress_period: self.egress_period.max(1),
+            arbiter: self.arbiter.to_kind(self.islip_iterations as usize),
+            ..ClosConfig::new(self.radix, self.ingress_switches, self.middle_switches)
+        }
+    }
+
+    /// Checks that the scenario can be built and run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosScenarioError`] when the geometry, load, link
+    /// provisioning or any stage buffer configuration is invalid.
+    pub fn validate(&self) -> Result<(), ClosScenarioError> {
+        if self.radix < 2 {
+            return Err(ClosScenarioError::BadRadix(self.radix));
+        }
+        if self.ingress_switches < 2 {
+            return Err(ClosScenarioError::TooFewIngress(self.ingress_switches));
+        }
+        if !(1..=self.radix).contains(&self.middle_switches) {
+            return Err(ClosScenarioError::BadMiddle(
+                self.middle_switches,
+                self.radix,
+            ));
+        }
+        if self.load_percent == 0 || self.load_percent > 100 {
+            return Err(ClosScenarioError::BadLoad(self.load_percent));
+        }
+        if self.link_capacity < 1 {
+            return Err(ClosScenarioError::BadLinkCapacity(self.link_capacity));
+        }
+        let needs = |kind: DesignKind, queues: usize| -> Result<(), ClosScenarioError> {
+            match kind {
+                DesignKind::Cfds => self
+                    .try_cfds_config(queues)
+                    .map(drop)
+                    .map_err(ClosScenarioError::Config),
+                DesignKind::DramOnly | DesignKind::Rads => self
+                    .rads_config(queues)
+                    .validate()
+                    .map_err(ClosScenarioError::Config),
+            }
+        };
+        for queues in [self.radix, self.ingress_switches] {
+            match self.design {
+                FabricDesign::Fixed(kind) => needs(kind, queues)?,
+                FabricDesign::Mixed => {
+                    needs(DesignKind::Cfds, queues)?;
+                    needs(DesignKind::Rads, queues)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the scenario to completion with the scenario's own worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`ClosScenario::validate`] would return an error.
+    pub fn run(&self) -> ClosRunReport {
+        self.run_with_workers(self.workers)
+    }
+
+    /// Runs the scenario with an explicit worker count (the report is
+    /// byte-identical for any value — pinned by the fabric crate's
+    /// differential tests and re-checked here).
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`ClosScenario::validate`] would return an error.
+    pub fn run_with_workers(&self, workers: usize) -> ClosRunReport {
+        self.dispatch_design(RunMode::Workers(workers.max(1)))
+    }
+
+    /// Runs the skip-free single-threaded reference twin
+    /// ([`ClosFabric::run_reference`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`ClosScenario::validate`] would return an error.
+    pub fn run_reference(&self) -> ClosRunReport {
+        self.dispatch_design(RunMode::Reference)
+    }
+
+    fn build_port(&self, kind: DesignKind, queues: usize) -> PortBuffer {
+        match kind {
+            DesignKind::DramOnly => pktbuf::DramOnlyBuffer::new(self.rads_config(queues)).into(),
+            DesignKind::Rads => pktbuf::RadsBuffer::new(self.rads_config(queues)).into(),
+            DesignKind::Cfds => pktbuf::CfdsBuffer::new(
+                self.try_cfds_config(queues)
+                    .expect("validated CFDS configuration"),
+            )
+            .into(),
+        }
+    }
+
+    fn dispatch_design(&self, mode: RunMode) -> ClosRunReport {
+        match self.design {
+            FabricDesign::Fixed(DesignKind::DramOnly) => self.run_clos(mode, |scenario, queues| {
+                pktbuf::DramOnlyBuffer::new(scenario.rads_config(queues))
+            }),
+            FabricDesign::Fixed(DesignKind::Rads) => self.run_clos(mode, |scenario, queues| {
+                pktbuf::RadsBuffer::new(scenario.rads_config(queues))
+            }),
+            FabricDesign::Fixed(DesignKind::Cfds) => self.run_clos(mode, |scenario, queues| {
+                pktbuf::CfdsBuffer::new(
+                    scenario
+                        .try_cfds_config(queues)
+                        .expect("validated CFDS configuration"),
+                )
+            }),
+            FabricDesign::Mixed => {
+                // Alternate CFDS and RADS over the deterministic build order
+                // (per switch, per port), the Clos analogue of the mixed
+                // single-switch fabric.
+                let mut next = 0usize;
+                self.run_clos(mode, move |scenario, queues| {
+                    let kind = if next.is_multiple_of(2) {
+                        DesignKind::Cfds
+                    } else {
+                        DesignKind::Rads
+                    };
+                    next += 1;
+                    scenario.build_port(kind, queues)
+                })
+            }
+        }
+    }
+
+    fn run_clos<B, F>(&self, mode: RunMode, mut build: F) -> ClosRunReport
+    where
+        B: PacketBuffer + Send,
+        F: FnMut(&ClosScenario, usize) -> B,
+    {
+        let mut fabric = ClosFabric::new(self.clos_config(), |stage| {
+            build(self, self.stage_queue_count(stage))
+        });
+        let ext = self.external_ports();
+        let n = self.radix as u64;
+        let load = self.load();
+        let seed_for = |g: usize| plane_seed(self.seed, g as u64 / n, g as u64 % n);
+        macro_rules! drive {
+            ($arrivals:expr) => {{
+                let mut arrivals = $arrivals;
+                match mode {
+                    RunMode::Workers(workers) => {
+                        fabric.run(&mut arrivals, self.arrival_slots, workers)
+                    }
+                    RunMode::Reference => fabric.run_reference(&mut arrivals, self.arrival_slots),
+                }
+            }};
+        }
+        match self.workload {
+            FabricWorkload::Uniform => drive!((0..ext)
+                .map(|g| UniformArrivals::new(ext, load, seed_for(g)))
+                .collect::<Vec<_>>()),
+            FabricWorkload::Hotspot => drive!((0..ext)
+                .map(|g| HotspotArrivals::new(
+                    ext,
+                    load,
+                    hot_output_count(ext),
+                    FABRIC_HOT_FRACTION,
+                    seed_for(g),
+                ))
+                .collect::<Vec<_>>()),
+            FabricWorkload::Incast => {
+                let fraction = IncastArrivals::admissible_fraction(ext, load);
+                drive!((0..ext)
+                    .map(|g| IncastArrivals::new(ext, load, 0, fraction, seed_for(g)))
+                    .collect::<Vec<_>>())
+            }
+            FabricWorkload::Bursty => {
+                let gap = FABRIC_BURST_CELLS * (1.0 - load) / load.max(f64::MIN_POSITIVE);
+                drive!((0..ext)
+                    .map(|g| BurstyArrivals::new(ext, FABRIC_BURST_CELLS, gap, seed_for(g)))
+                    .collect::<Vec<_>>())
+            }
+        }
+    }
+}
+
+/// Which execution engine a scenario run uses.
+#[derive(Debug, Clone, Copy)]
+enum RunMode {
+    /// The production engine at a given worker count.
+    Workers(usize),
+    /// The skip-free single-threaded reference twin.
+    Reference,
+}
+
+// Hand-written serde: a scenario is a flat JSON object; only `radix` is
+// required, everything else takes the `small()` defaults.
+impl Serialize for ClosScenario {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("ClosScenario", 21)?;
+        st.serialize_field("radix", &self.radix)?;
+        st.serialize_field("ingress_switches", &self.ingress_switches)?;
+        st.serialize_field("middle_switches", &self.middle_switches)?;
+        st.serialize_field("design", &self.design)?;
+        st.serialize_field("workload", &self.workload)?;
+        st.serialize_field("dispatch", &self.dispatch)?;
+        st.serialize_field("arbiter", &self.arbiter)?;
+        st.serialize_field("islip_iterations", &self.islip_iterations)?;
+        st.serialize_field("line_rate", &self.line_rate)?;
+        st.serialize_field("granularity", &self.granularity)?;
+        st.serialize_field("rads_granularity", &self.rads_granularity)?;
+        st.serialize_field("num_banks", &self.num_banks)?;
+        st.serialize_field("load_percent", &self.load_percent)?;
+        st.serialize_field("egress_period", &self.egress_period)?;
+        st.serialize_field("link_capacity", &self.link_capacity)?;
+        st.serialize_field("link_latency", &self.link_latency)?;
+        st.serialize_field("arrival_slots", &self.arrival_slots)?;
+        st.serialize_field("seed", &self.seed)?;
+        st.serialize_field("workers", &self.workers)?;
+        st.serialize_field("overrides", &self.overrides)?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for ClosScenario {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = ClosScenario;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a Clos scenario object")
+            }
+            fn visit_map<A: de::MapAccess<'de>>(
+                self,
+                mut map: A,
+            ) -> Result<ClosScenario, A::Error> {
+                let mut scenario = ClosScenario::small();
+                let mut saw_radix = false;
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "radix" => {
+                            scenario.radix = map.next_value()?;
+                            saw_radix = true;
+                        }
+                        "ingress_switches" => scenario.ingress_switches = map.next_value()?,
+                        "middle_switches" => scenario.middle_switches = map.next_value()?,
+                        "design" => scenario.design = map.next_value()?,
+                        "workload" => scenario.workload = map.next_value()?,
+                        "dispatch" => scenario.dispatch = map.next_value()?,
+                        "arbiter" => scenario.arbiter = map.next_value()?,
+                        "islip_iterations" => scenario.islip_iterations = map.next_value()?,
+                        "line_rate" => scenario.line_rate = map.next_value()?,
+                        "granularity" => scenario.granularity = map.next_value()?,
+                        "rads_granularity" => scenario.rads_granularity = map.next_value()?,
+                        "num_banks" => scenario.num_banks = map.next_value()?,
+                        "load_percent" => scenario.load_percent = map.next_value()?,
+                        "egress_period" => scenario.egress_period = map.next_value()?,
+                        "link_capacity" => scenario.link_capacity = map.next_value()?,
+                        "link_latency" => scenario.link_latency = map.next_value()?,
+                        "arrival_slots" => scenario.arrival_slots = map.next_value()?,
+                        "seed" => scenario.seed = map.next_value()?,
+                        "workers" => scenario.workers = map.next_value()?,
+                        "overrides" => scenario.overrides = map.next_value()?,
+                        other => {
+                            return Err(de::Error::custom(format_args!(
+                                "unknown Clos scenario field {other:?}"
+                            )))
+                        }
+                    }
+                }
+                if !saw_radix {
+                    return Err(de::Error::custom("missing field \"radix\""));
+                }
+                Ok(scenario)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+/// A declarative, serializable Clos experiment: designs × workloads ×
+/// dispatches × arbiters × swept geometry/provisioning × seeds, expanded
+/// into [`ClosScenario`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosSpec {
+    /// Experiment name (used in reports and file names).
+    pub name: String,
+    /// Per-stage design choices to cross (outermost axis).
+    pub designs: Vec<FabricDesign>,
+    /// Traffic matrices to cross.
+    pub workloads: Vec<FabricWorkload>,
+    /// Ingress dispatch policies to cross.
+    pub dispatches: Vec<DispatchChoice>,
+    /// Arbiters to cross.
+    pub arbiters: Vec<ArbiterChoice>,
+    /// Line rate shared by every run.
+    pub line_rate: LineRate,
+    /// Sweep of the switch radix `N`.
+    pub radix: Sweep,
+    /// Sweep of the ingress (= egress) switch count `r`.
+    pub ingress_switches: Sweep,
+    /// Sweep of the middle switch count `m` (combinations with `m > N` are
+    /// skipped).
+    pub middle_switches: Sweep,
+    /// Sweep of the per-port offered load, percent.
+    pub load_percent: Sweep,
+    /// Sweep of the inter-stage link capacity (credits per link).
+    pub link_capacity: Sweep,
+    /// CFDS granularity `b` shared by every run.
+    pub granularity: u64,
+    /// RADS granularity `B` shared by every run.
+    pub rads_granularity: u64,
+    /// DRAM banks `M` shared by every run.
+    pub num_banks: u64,
+    /// iSLIP iterations per slot (`0` = auto).
+    pub islip_iterations: u64,
+    /// Slots per transmitted cell at each external output.
+    pub egress_period: u64,
+    /// One-way inter-stage link latency, slots.
+    pub link_latency: u64,
+    /// Live-arrival slots per run.
+    pub arrival_slots: u64,
+    /// Per-run worker threads (the lab already shards across runs, so 1 is
+    /// the right default; the report is worker-count-invariant regardless).
+    pub workers: u64,
+    /// Seeds to cross (innermost axis).
+    pub seeds: Vec<u64>,
+    /// Configuration knobs applied to every stage buffer.
+    pub overrides: ConfigOverrides,
+}
+
+impl ClosSpec {
+    /// Starts a builder with smoke-test defaults (the
+    /// [`ClosScenario::small`] geometry, uniform spray traffic at 80% load
+    /// under iSLIP, 3 000 live slots, seed 1).
+    pub fn builder() -> ClosSpecBuilder {
+        ClosSpecBuilder::default()
+    }
+
+    /// Expands the spec into the cartesian product of its axes, in a fixed
+    /// documented order: designs ▸ workloads ▸ dispatches ▸ arbiters ▸
+    /// radix ▸ ingress switches ▸ middle switches ▸ load ▸ link capacity ▸
+    /// seeds (left outermost). Invalid combinations (e.g. `m > N` from
+    /// crossed geometry sweeps) are skipped and counted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when an axis is empty or malformed, or when
+    /// every combination is invalid.
+    pub fn expand(&self) -> Result<ClosExpansion, SpecError> {
+        if self.designs.is_empty() {
+            return Err(SpecError::EmptyAxis("designs"));
+        }
+        if self.workloads.is_empty() {
+            return Err(SpecError::EmptyAxis("workloads"));
+        }
+        if self.dispatches.is_empty() {
+            return Err(SpecError::EmptyAxis("dispatches"));
+        }
+        if self.arbiters.is_empty() {
+            return Err(SpecError::EmptyAxis("arbiters"));
+        }
+        if self.seeds.is_empty() {
+            return Err(SpecError::EmptyAxis("seeds"));
+        }
+        let radixes = self.radix.values()?;
+        let ingresses = self.ingress_switches.values()?;
+        let middles = self.middle_switches.values()?;
+        let loads = self.load_percent.values()?;
+        let capacities = self.link_capacity.values()?;
+        let mut runs = Vec::new();
+        let mut skipped_invalid = 0usize;
+        for design in &self.designs {
+            for workload in &self.workloads {
+                for dispatch in &self.dispatches {
+                    for arbiter in &self.arbiters {
+                        for n in &radixes {
+                            for r in &ingresses {
+                                for m in &middles {
+                                    for load in &loads {
+                                        for capacity in &capacities {
+                                            for seed in &self.seeds {
+                                                let scenario = ClosScenario {
+                                                    radix: *n as usize,
+                                                    ingress_switches: *r as usize,
+                                                    middle_switches: *m as usize,
+                                                    design: *design,
+                                                    workload: *workload,
+                                                    dispatch: *dispatch,
+                                                    arbiter: *arbiter,
+                                                    islip_iterations: self.islip_iterations,
+                                                    line_rate: self.line_rate,
+                                                    granularity: self.granularity as usize,
+                                                    rads_granularity: self.rads_granularity
+                                                        as usize,
+                                                    num_banks: self.num_banks as usize,
+                                                    load_percent: *load,
+                                                    egress_period: self.egress_period,
+                                                    link_capacity: *capacity as usize,
+                                                    link_latency: self.link_latency,
+                                                    arrival_slots: self.arrival_slots,
+                                                    seed: *seed,
+                                                    workers: self.workers.max(1) as usize,
+                                                    overrides: self.overrides,
+                                                };
+                                                if scenario.validate().is_ok() {
+                                                    runs.push(scenario);
+                                                } else {
+                                                    skipped_invalid += 1;
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if runs.is_empty() {
+            return Err(SpecError::NoValidRuns);
+        }
+        Ok(ClosExpansion {
+            runs,
+            skipped_invalid,
+        })
+    }
+
+    /// Renders the spec as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("a Clos spec always serializes")
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Json`] on malformed JSON or unknown/ill-typed
+    /// fields.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        serde_json::from_str(text).map_err(|e| SpecError::Json(e.to_string()))
+    }
+}
+
+/// The result of expanding a Clos spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosExpansion {
+    /// The valid runs, in expansion order.
+    pub runs: Vec<ClosScenario>,
+    /// Combinations skipped because they were invalid.
+    pub skipped_invalid: usize,
+}
+
+/// Builder for [`ClosSpec`].
+#[derive(Debug, Clone)]
+pub struct ClosSpecBuilder {
+    spec: ClosSpec,
+}
+
+impl Default for ClosSpecBuilder {
+    fn default() -> Self {
+        ClosSpecBuilder {
+            spec: ClosSpec {
+                name: "clos".to_owned(),
+                designs: vec![FabricDesign::Fixed(DesignKind::Rads)],
+                workloads: vec![FabricWorkload::Uniform],
+                dispatches: vec![DispatchChoice::Spray],
+                arbiters: vec![ArbiterChoice::Islip],
+                line_rate: LineRate::Oc3072,
+                radix: Sweep::Fixed(4),
+                ingress_switches: Sweep::Fixed(4),
+                middle_switches: Sweep::Fixed(4),
+                load_percent: Sweep::Fixed(80),
+                link_capacity: Sweep::Fixed(8),
+                granularity: 2,
+                rads_granularity: 8,
+                num_banks: 16,
+                islip_iterations: 0,
+                egress_period: 1,
+                link_latency: 1,
+                arrival_slots: 3_000,
+                workers: 1,
+                seeds: vec![1],
+                overrides: ConfigOverrides::none(),
+            },
+        }
+    }
+}
+
+impl ClosSpecBuilder {
+    /// Sets the experiment name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.spec.name = name.into();
+        self
+    }
+
+    /// Sets the designs axis.
+    pub fn designs(mut self, designs: impl IntoIterator<Item = FabricDesign>) -> Self {
+        self.spec.designs = designs.into_iter().collect();
+        self
+    }
+
+    /// Sets the workloads axis.
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = FabricWorkload>) -> Self {
+        self.spec.workloads = workloads.into_iter().collect();
+        self
+    }
+
+    /// Sets the dispatch-policy axis.
+    pub fn dispatches(mut self, dispatches: impl IntoIterator<Item = DispatchChoice>) -> Self {
+        self.spec.dispatches = dispatches.into_iter().collect();
+        self
+    }
+
+    /// Sets the arbiters axis.
+    pub fn arbiters(mut self, arbiters: impl IntoIterator<Item = ArbiterChoice>) -> Self {
+        self.spec.arbiters = arbiters.into_iter().collect();
+        self
+    }
+
+    /// Sets the line rate.
+    pub fn line_rate(mut self, rate: LineRate) -> Self {
+        self.spec.line_rate = rate;
+        self
+    }
+
+    /// Sets the switch-radix axis.
+    pub fn radix(mut self, sweep: Sweep) -> Self {
+        self.spec.radix = sweep;
+        self
+    }
+
+    /// Sets the ingress-switch-count axis.
+    pub fn ingress_switches(mut self, sweep: Sweep) -> Self {
+        self.spec.ingress_switches = sweep;
+        self
+    }
+
+    /// Sets the middle-switch-count axis.
+    pub fn middle_switches(mut self, sweep: Sweep) -> Self {
+        self.spec.middle_switches = sweep;
+        self
+    }
+
+    /// Sets the offered-load axis (percent).
+    pub fn load_percent(mut self, sweep: Sweep) -> Self {
+        self.spec.load_percent = sweep;
+        self
+    }
+
+    /// Sets the inter-stage link capacity axis.
+    pub fn link_capacity(mut self, sweep: Sweep) -> Self {
+        self.spec.link_capacity = sweep;
+        self
+    }
+
+    /// Sets the CFDS granularity `b`.
+    pub fn granularity(mut self, granularity: u64) -> Self {
+        self.spec.granularity = granularity;
+        self
+    }
+
+    /// Sets the RADS granularity `B`.
+    pub fn rads_granularity(mut self, granularity: u64) -> Self {
+        self.spec.rads_granularity = granularity;
+        self
+    }
+
+    /// Sets the DRAM bank count `M`.
+    pub fn num_banks(mut self, banks: u64) -> Self {
+        self.spec.num_banks = banks;
+        self
+    }
+
+    /// Sets the iSLIP iteration count (`0` = auto).
+    pub fn islip_iterations(mut self, iterations: u64) -> Self {
+        self.spec.islip_iterations = iterations;
+        self
+    }
+
+    /// Sets the egress period (slots per transmitted cell).
+    pub fn egress_period(mut self, period: u64) -> Self {
+        self.spec.egress_period = period;
+        self
+    }
+
+    /// Sets the one-way inter-stage link latency (slots).
+    pub fn link_latency(mut self, latency: u64) -> Self {
+        self.spec.link_latency = latency;
+        self
+    }
+
+    /// Sets the number of live-arrival slots.
+    pub fn arrival_slots(mut self, slots: u64) -> Self {
+        self.spec.arrival_slots = slots;
+        self
+    }
+
+    /// Sets the per-run worker-thread count.
+    pub fn workers(mut self, workers: u64) -> Self {
+        self.spec.workers = workers;
+        self
+    }
+
+    /// Sets the seeds axis.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.spec.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the configuration overrides applied to every stage buffer.
+    pub fn overrides(mut self, overrides: ConfigOverrides) -> Self {
+        self.spec.overrides = overrides;
+        self
+    }
+
+    /// Finalises the spec, checking that it expands to at least one run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SpecError`] from [`ClosSpec::expand`].
+    pub fn build(self) -> Result<ClosSpec, SpecError> {
+        self.spec.expand()?;
+        Ok(self.spec)
+    }
+}
+
+impl Serialize for ClosSpec {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("ClosSpec", 22)?;
+        st.serialize_field("name", &self.name)?;
+        st.serialize_field("designs", &self.designs)?;
+        st.serialize_field("workloads", &self.workloads)?;
+        st.serialize_field("dispatches", &self.dispatches)?;
+        st.serialize_field("arbiters", &self.arbiters)?;
+        st.serialize_field("line_rate", &self.line_rate)?;
+        st.serialize_field("radix", &self.radix)?;
+        st.serialize_field("ingress_switches", &self.ingress_switches)?;
+        st.serialize_field("middle_switches", &self.middle_switches)?;
+        st.serialize_field("load_percent", &self.load_percent)?;
+        st.serialize_field("link_capacity", &self.link_capacity)?;
+        st.serialize_field("granularity", &self.granularity)?;
+        st.serialize_field("rads_granularity", &self.rads_granularity)?;
+        st.serialize_field("num_banks", &self.num_banks)?;
+        st.serialize_field("islip_iterations", &self.islip_iterations)?;
+        st.serialize_field("egress_period", &self.egress_period)?;
+        st.serialize_field("link_latency", &self.link_latency)?;
+        st.serialize_field("arrival_slots", &self.arrival_slots)?;
+        st.serialize_field("workers", &self.workers)?;
+        st.serialize_field("seeds", &self.seeds)?;
+        st.serialize_field("overrides", &self.overrides)?;
+        st.serialize_field("kind", &"clos")?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for ClosSpec {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = ClosSpec;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a Clos-spec object")
+            }
+            fn visit_map<A: de::MapAccess<'de>>(self, mut map: A) -> Result<ClosSpec, A::Error> {
+                // Unknown fields are rejected; omitted fields keep the
+                // builder defaults, so a minimal spec file stays minimal.
+                let mut spec = ClosSpecBuilder::default().spec;
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "name" => spec.name = map.next_value()?,
+                        "designs" => spec.designs = map.next_value()?,
+                        "workloads" => spec.workloads = map.next_value()?,
+                        "dispatches" => spec.dispatches = map.next_value()?,
+                        "arbiters" => spec.arbiters = map.next_value()?,
+                        "line_rate" => spec.line_rate = map.next_value()?,
+                        "radix" => spec.radix = map.next_value()?,
+                        "ingress_switches" => spec.ingress_switches = map.next_value()?,
+                        "middle_switches" => spec.middle_switches = map.next_value()?,
+                        "load_percent" => spec.load_percent = map.next_value()?,
+                        "link_capacity" => spec.link_capacity = map.next_value()?,
+                        "granularity" => spec.granularity = map.next_value()?,
+                        "rads_granularity" => spec.rads_granularity = map.next_value()?,
+                        "num_banks" => spec.num_banks = map.next_value()?,
+                        "islip_iterations" => spec.islip_iterations = map.next_value()?,
+                        "egress_period" => spec.egress_period = map.next_value()?,
+                        "link_latency" => spec.link_latency = map.next_value()?,
+                        "arrival_slots" => spec.arrival_slots = map.next_value()?,
+                        "workers" => spec.workers = map.next_value()?,
+                        "seeds" => spec.seeds = map.next_value()?,
+                        "overrides" => spec.overrides = map.next_value()?,
+                        "kind" => {
+                            let kind: String = map.next_value()?;
+                            if kind != "clos" {
+                                return Err(de::Error::custom(format_args!(
+                                    "not a Clos spec (kind {kind:?})"
+                                )));
+                            }
+                        }
+                        other => {
+                            return Err(de::Error::custom(format_args!(
+                                "unknown Clos spec field {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(spec)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+/// One executed Clos run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosRunRecord {
+    /// Index of this run in the spec's expansion order.
+    pub index: usize,
+    /// The exact parameters of the run.
+    pub scenario: ClosScenario,
+    /// The Clos outcome.
+    pub report: ClosRunReport,
+}
+
+impl Serialize for ClosRunRecord {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("ClosRunRecord", 3)?;
+        st.serialize_field("index", &self.index)?;
+        st.serialize_field("scenario", &self.scenario)?;
+        st.serialize_field("report", &self.report)?;
+        st.end()
+    }
+}
+
+/// Aggregate statistics over every run of a Clos experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClosAggregate {
+    /// Number of runs executed.
+    pub runs: u64,
+    /// Runs that lost no cell anywhere in the fabric.
+    pub zero_loss_runs: u64,
+    /// Whether every run was zero-loss.
+    pub all_zero_loss: bool,
+    /// Runs whose fabric-wide conservation check held.
+    pub conserving_runs: u64,
+    /// Whether every run conserved cells.
+    pub all_conserving: bool,
+    /// Total cells offered across runs.
+    pub total_arrivals: u64,
+    /// Total cells delivered on external output lines across runs.
+    pub total_delivered: u64,
+    /// Total cells lost across runs (must stay 0).
+    pub total_lost_cells: u64,
+    /// Total reordered deliveries across runs (spray dispatch only).
+    pub total_reordered_cells: u64,
+    /// Total output-slots spent gated awaiting a link credit.
+    pub total_credit_stall_slots: u64,
+    /// Deepest any inter-stage link FIFO got in any run.
+    pub peak_link_depth: u64,
+    /// Largest external end-to-end latency any run saw (slots).
+    pub max_latency_slots: u64,
+    /// Mean of the runs' mean end-to-end latencies (unweighted, slots).
+    pub mean_latency_slots: f64,
+}
+
+impl Serialize for ClosAggregate {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("ClosAggregate", 13)?;
+        st.serialize_field("runs", &self.runs)?;
+        st.serialize_field("zero_loss_runs", &self.zero_loss_runs)?;
+        st.serialize_field("all_zero_loss", &self.all_zero_loss)?;
+        st.serialize_field("conserving_runs", &self.conserving_runs)?;
+        st.serialize_field("all_conserving", &self.all_conserving)?;
+        st.serialize_field("total_arrivals", &self.total_arrivals)?;
+        st.serialize_field("total_delivered", &self.total_delivered)?;
+        st.serialize_field("total_lost_cells", &self.total_lost_cells)?;
+        st.serialize_field("total_reordered_cells", &self.total_reordered_cells)?;
+        st.serialize_field("total_credit_stall_slots", &self.total_credit_stall_slots)?;
+        st.serialize_field("peak_link_depth", &self.peak_link_depth)?;
+        st.serialize_field("max_latency_slots", &self.max_latency_slots)?;
+        st.serialize_field("mean_latency_slots", &self.mean_latency_slots)?;
+        st.end()
+    }
+}
+
+/// The structured result of executing a whole [`ClosSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosLabReport {
+    /// The spec that was executed.
+    pub spec: ClosSpec,
+    /// Combinations skipped during expansion.
+    pub skipped_invalid: usize,
+    /// Per-run results, in expansion order.
+    pub runs: Vec<ClosRunRecord>,
+    /// Aggregates over `runs`.
+    pub aggregate: ClosAggregate,
+}
+
+impl Serialize for ClosLabReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("ClosLabReport", 4)?;
+        st.serialize_field("spec", &self.spec)?;
+        st.serialize_field("skipped_invalid", &self.skipped_invalid)?;
+        st.serialize_field("aggregate", &self.aggregate)?;
+        st.serialize_field("runs", &self.runs)?;
+        st.end()
+    }
+}
+
+impl ClosLabReport {
+    /// Renders the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("a Clos report always serializes")
+    }
+
+    /// Renders one CSV row per run (with a header).
+    pub fn to_csv(&self) -> String {
+        let mut table = crate::report::TextTable::new(vec![
+            "index",
+            "radix",
+            "ingress_switches",
+            "middle_switches",
+            "external_ports",
+            "design",
+            "workload",
+            "dispatch",
+            "arbiter",
+            "load_percent",
+            "link_capacity",
+            "seed",
+            "slots",
+            "arrivals",
+            "delivered",
+            "lost_cells",
+            "resident_cells",
+            "link_resident_cells",
+            "reordered_cells",
+            "credit_stall_slots",
+            "peak_link_depth",
+            "mean_latency_slots",
+            "max_latency_slots",
+            "zero_loss",
+            "conserving",
+        ]);
+        for run in &self.runs {
+            let s = &run.scenario;
+            let r = &run.report;
+            table.push_row(vec![
+                run.index.to_string(),
+                s.radix.to_string(),
+                s.ingress_switches.to_string(),
+                s.middle_switches.to_string(),
+                r.external_ports.to_string(),
+                s.design.to_string(),
+                s.workload.to_string(),
+                s.dispatch.to_string(),
+                s.arbiter.to_string(),
+                s.load_percent.to_string(),
+                s.link_capacity.to_string(),
+                s.seed.to_string(),
+                r.slots.to_string(),
+                r.arrivals.to_string(),
+                r.delivered.to_string(),
+                r.lost_cells.to_string(),
+                r.resident_cells.to_string(),
+                r.link_resident_cells.to_string(),
+                r.reordered_cells.to_string(),
+                r.credit_stall_slots.to_string(),
+                r.peak_link_depth.to_string(),
+                format!("{:.3}", r.mean_latency_slots),
+                r.max_latency_slots.to_string(),
+                r.zero_loss.to_string(),
+                r.conservation_holds().to_string(),
+            ]);
+        }
+        table.to_csv()
+    }
+}
+
+impl LabRunner {
+    /// Expands `spec` and executes every Clos run, exactly like
+    /// [`LabRunner::run_fabric`]: runs shard over the worker threads through
+    /// an atomic cursor and results are stored by index, so the report is
+    /// identical whatever the worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when the spec does not expand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn run_clos(&self, spec: &ClosSpec) -> Result<ClosLabReport, SpecError> {
+        let expansion = spec.expand()?;
+        let runs = run_sharded(self.threads(), expansion.runs.len(), |index| {
+            let scenario = expansion.runs[index];
+            let report = scenario.run();
+            ClosRunRecord {
+                index,
+                scenario,
+                report,
+            }
+        });
+        let aggregate = aggregate_clos(&runs);
+        Ok(ClosLabReport {
+            spec: spec.clone(),
+            skipped_invalid: expansion.skipped_invalid,
+            runs,
+            aggregate,
+        })
+    }
+}
+
+fn aggregate_clos(runs: &[ClosRunRecord]) -> ClosAggregate {
+    let mut agg = ClosAggregate {
+        all_zero_loss: true,
+        all_conserving: true,
+        ..ClosAggregate::default()
+    };
+    let mut latency_sum = 0.0f64;
+    for run in runs {
+        let r = &run.report;
+        agg.runs += 1;
+        if r.zero_loss {
+            agg.zero_loss_runs += 1;
+        } else {
+            agg.all_zero_loss = false;
+        }
+        if r.conservation_holds() {
+            agg.conserving_runs += 1;
+        } else {
+            agg.all_conserving = false;
+        }
+        agg.total_arrivals += r.arrivals;
+        agg.total_delivered += r.delivered;
+        agg.total_lost_cells += r.lost_cells;
+        agg.total_reordered_cells += r.reordered_cells;
+        agg.total_credit_stall_slots += r.credit_stall_slots;
+        agg.peak_link_depth = agg.peak_link_depth.max(r.peak_link_depth);
+        agg.max_latency_slots = agg.max_latency_slots.max(r.max_latency_slots);
+        latency_sum += r.mean_latency_slots;
+    }
+    if agg.runs > 0 {
+        agg.mean_latency_slots = latency_sum / agg.runs as f64;
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ClosScenario {
+        ClosScenario {
+            radix: 3,
+            ingress_switches: 3,
+            middle_switches: 3,
+            arrival_slots: 1_200,
+            load_percent: 70,
+            ..ClosScenario::small()
+        }
+    }
+
+    #[test]
+    fn small_clos_scenario_is_zero_loss_and_conserving() {
+        let report = ClosScenario::small().run();
+        assert!(report.zero_loss, "{report:?}");
+        assert!(report.conservation_holds());
+        assert_eq!(report.external_ports, 16);
+        assert!(report.arrivals > 10_000);
+        assert_eq!(report.delivered + report.resident_cells, report.arrivals);
+    }
+
+    #[test]
+    fn every_design_and_dispatch_runs_zero_loss() {
+        for design in FabricDesign::all() {
+            for dispatch in DispatchChoice::all() {
+                let scenario = ClosScenario {
+                    design,
+                    dispatch,
+                    ..quick()
+                };
+                let report = scenario.run();
+                assert!(
+                    report.conservation_holds(),
+                    "{design}/{dispatch}: {report:?}"
+                );
+                // The DRAM-only baseline misses under back-to-back requests
+                // — that is its point; every worst-case design must not.
+                if design != FabricDesign::Fixed(DesignKind::DramOnly) {
+                    assert!(report.zero_loss, "{design}/{dispatch}: {report:?}");
+                }
+                if dispatch == DispatchChoice::FlowHash {
+                    assert_eq!(report.reordered_cells, 0, "{design}: pinned flows");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_workload_runs_conserving() {
+        for workload in FabricWorkload::all() {
+            let scenario = ClosScenario {
+                workload,
+                ..quick()
+            };
+            let report = scenario.run();
+            assert!(
+                report.zero_loss && report.conservation_holds(),
+                "{workload}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_counts_and_reference_agree() {
+        let scenario = quick();
+        let reference = scenario.run_reference();
+        for workers in [1usize, 2, 3] {
+            let report = scenario.run_with_workers(workers);
+            assert_eq!(report, reference, "workers={workers} diverged");
+        }
+        assert!(reference.zero_loss);
+    }
+
+    #[test]
+    fn dispatch_names_round_trip() {
+        for dispatch in DispatchChoice::all() {
+            let text = dispatch.to_string();
+            assert_eq!(text.parse::<DispatchChoice>().unwrap(), dispatch, "{text}");
+        }
+        assert!("shotgun".parse::<DispatchChoice>().is_err());
+    }
+
+    #[test]
+    fn scenario_validation_catches_bad_parameters() {
+        assert!(ClosScenario::small().validate().is_ok());
+        let bad = |s: ClosScenario| s.validate().unwrap_err();
+        assert_eq!(
+            bad(ClosScenario {
+                radix: 1,
+                ..ClosScenario::small()
+            }),
+            ClosScenarioError::BadRadix(1)
+        );
+        assert_eq!(
+            bad(ClosScenario {
+                ingress_switches: 1,
+                ..ClosScenario::small()
+            }),
+            ClosScenarioError::TooFewIngress(1)
+        );
+        assert_eq!(
+            bad(ClosScenario {
+                middle_switches: 5,
+                ..ClosScenario::small()
+            }),
+            ClosScenarioError::BadMiddle(5, 4)
+        );
+        assert_eq!(
+            bad(ClosScenario {
+                load_percent: 0,
+                ..ClosScenario::small()
+            }),
+            ClosScenarioError::BadLoad(0)
+        );
+        assert_eq!(
+            bad(ClosScenario {
+                link_capacity: 0,
+                ..ClosScenario::small()
+            }),
+            ClosScenarioError::BadLinkCapacity(0)
+        );
+        let bad_cfds = ClosScenario {
+            design: FabricDesign::Fixed(DesignKind::Cfds),
+            granularity: 3, // does not divide B = 8
+            ..ClosScenario::small()
+        };
+        assert!(matches!(
+            bad_cfds.validate(),
+            Err(ClosScenarioError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn spec_expansion_skips_invalid_geometry() {
+        let spec = ClosSpec::builder()
+            .radix(Sweep::list([3, 4]))
+            .middle_switches(Sweep::list([3, 4]))
+            .ingress_switches(Sweep::fixed(3))
+            .arrival_slots(400)
+            .build()
+            .unwrap();
+        let expansion = spec.expand().unwrap();
+        // m = 4 > N = 3 is skipped; the other three combinations survive.
+        assert_eq!(expansion.runs.len(), 3);
+        assert_eq!(expansion.skipped_invalid, 1);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = ClosSpec::builder()
+            .name("clos-sweep")
+            .designs([
+                FabricDesign::Fixed(DesignKind::Rads),
+                FabricDesign::Fixed(DesignKind::Cfds),
+            ])
+            .dispatches(DispatchChoice::all())
+            .arbiters(ArbiterChoice::all())
+            .radix(Sweep::list([3, 4]))
+            .load_percent(Sweep::list([60, 90]))
+            .link_capacity(Sweep::list([2, 8]))
+            .arrival_slots(500)
+            .seeds([1, 101])
+            .build()
+            .unwrap();
+        let json = spec.to_json();
+        let back = ClosSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), json);
+        // A minimal spec takes the builder defaults.
+        let minimal = ClosSpec::from_json("{\"name\": \"tiny\"}").unwrap();
+        assert_eq!(minimal.name, "tiny");
+        assert_eq!(minimal.radix, Sweep::Fixed(4));
+        // Unknown fields and foreign kinds are rejected.
+        assert!(ClosSpec::from_json("{\"mystery\": 1}").is_err());
+        assert!(ClosSpec::from_json("{\"kind\": \"fabric\"}").is_err());
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let scenario = ClosScenario {
+            design: FabricDesign::Mixed,
+            workload: FabricWorkload::Incast,
+            dispatch: DispatchChoice::FlowHash,
+            seed: 99,
+            ..ClosScenario::small()
+        };
+        let json = serde_json::to_string_pretty(scenario).unwrap();
+        let back: ClosScenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scenario);
+        let minimal: ClosScenario = serde_json::from_str("{\"radix\": 8}").unwrap();
+        assert_eq!(minimal.radix, 8);
+        assert_eq!(minimal.dispatch, DispatchChoice::Spray);
+        assert!(serde_json::from_str::<ClosScenario>("{}").is_err());
+    }
+
+    #[test]
+    fn lab_runner_report_is_thread_count_invariant() {
+        let spec = ClosSpec::builder()
+            .dispatches(DispatchChoice::all())
+            .load_percent(Sweep::list([60, 85]))
+            .radix(Sweep::fixed(3))
+            .ingress_switches(Sweep::fixed(3))
+            .middle_switches(Sweep::fixed(3))
+            .arrival_slots(600)
+            .build()
+            .unwrap();
+        let single = LabRunner::new().with_threads(1).run_clos(&spec).unwrap();
+        let multi = LabRunner::new().with_threads(4).run_clos(&spec).unwrap();
+        assert_eq!(single, multi);
+        assert_eq!(single.to_json(), multi.to_json());
+        assert_eq!(single.to_csv(), multi.to_csv());
+        assert_eq!(single.runs.len(), 4);
+        assert!(single.aggregate.all_zero_loss);
+        assert!(single.aggregate.all_conserving);
+        let csv = single.to_csv();
+        assert_eq!(csv.lines().count(), 1 + single.runs.len());
+        assert!(csv.starts_with("index,radix,ingress_switches"));
+    }
+}

@@ -253,12 +253,12 @@ impl fmt::Display for FabricScenarioError {
 impl std::error::Error for FabricScenarioError {}
 
 /// Mean on-burst length (cells) of the bursty fabric workload.
-const FABRIC_BURST_CELLS: f64 = 32.0;
+pub(crate) const FABRIC_BURST_CELLS: f64 = 32.0;
 /// Fraction of hotspot traffic aimed at the hot outputs.
-const FABRIC_HOT_FRACTION: f64 = 0.75;
+pub(crate) const FABRIC_HOT_FRACTION: f64 = 0.75;
 
 /// Number of hot outputs in the hotspot fabric workload.
-fn hot_output_count(ports: usize) -> usize {
+pub(crate) fn hot_output_count(ports: usize) -> usize {
     ports.div_ceil(8)
 }
 

@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod clos;
 mod engine;
 pub mod fabric;
 pub mod lab;
@@ -76,6 +77,7 @@ pub mod scenario;
 pub mod spec;
 pub mod techeval;
 
+pub use crate::clos::{ClosLabReport, ClosScenario, ClosSpec};
 pub use crate::fabric::{FabricScenario, FabricSpec};
 pub use engine::{
     workload_label, GeneratorSource, SimulationEngine, SimulationReport, CHUNK_SLOTS,

@@ -73,6 +73,21 @@ pub fn stream_seed(base: u64, stream: u64) -> u64 {
     base.wrapping_add(stream)
 }
 
+/// Derives the RNG seed for stream `stream` of *plane* `plane` — two-level
+/// [`stream_seed`] for systems with whole groups of independent streams.
+///
+/// A multi-stage fabric has one stream per external port of every ingress
+/// switch: flat `stream_seed(base, k)` indexing would make "switch 0,
+/// port 1" collide with "switch 1, port 0" whenever the caller also sweeps
+/// the geometry. Planes space their stream blocks `2³²` apart, so any
+/// realistic per-plane stream count stays collision-free while plane 0
+/// stream `k` remains exactly `stream_seed(base, k)` (existing single-plane
+/// workloads are unchanged).
+pub fn plane_seed(base: u64, plane: u64, stream: u64) -> u64 {
+    base.wrapping_add(plane.wrapping_shl(32))
+        .wrapping_add(stream)
+}
+
 /// Builds a preload set: `cells_per_queue` cells for each of `num_queues`
 /// queues, with sequence numbers starting at zero. Use together with
 /// [`SeqTracker::with_offset`] (or the generators' `with_seq_offset`
@@ -116,6 +131,16 @@ mod tests {
         assert_ne!(stream_seed(7, 0), stream_seed(7, 1));
         // Wrapping, not panicking, at the top of the range.
         let _ = stream_seed(u64::MAX, 2);
+    }
+
+    #[test]
+    fn plane_seeds_nest_stream_seeds_without_collisions() {
+        // Plane 0 is plain stream seeding.
+        assert_eq!(plane_seed(7, 0, 3), stream_seed(7, 3));
+        // Distinct planes never collide for realistic stream counts.
+        assert_ne!(plane_seed(7, 0, 1), plane_seed(7, 1, 0));
+        assert_eq!(plane_seed(7, 1, 0) - plane_seed(7, 0, 0), 1 << 32);
+        let _ = plane_seed(u64::MAX, u64::MAX, u64::MAX);
     }
 
     /// Every stochastic arrival generator must be bit-identical under the same
