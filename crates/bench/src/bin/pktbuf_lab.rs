@@ -17,12 +17,14 @@
 use bench::cli::{
     parse_int, parse_list, parse_sweep, read_spec_text, write_artifact, OutputOptions,
 };
+use serde::{Serialize, Serializer};
 use sim::clos::{ClosLabReport, ClosSpec, DispatchChoice};
 use sim::fabric::{ArbiterChoice, FabricDesign, FabricLabReport, FabricSpec, FabricWorkload};
 use sim::lab::{ExperimentReport, LabRunner};
 use sim::report::TextTable;
 use sim::scenario::{DesignKind, Workload};
 use sim::spec::{ExperimentSpec, Sweep};
+use sim::{FaultEvent, FaultKind, FaultPlan, LinkBoundary};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -110,7 +112,11 @@ same sweep syntax as below):
     --smoke                  run the acceptance gate suite (the 64-port-equivalent
                              r=8, m=8 Clos of 8×8 RADS switches, spray + flow-hash
                              dispatch): fails unless every run is zero-loss and
-                             conserving and flow-hash delivers zero reordered cells
+                             conserving and flow-hash delivers zero reordered cells;
+                             then re-runs the same Clos under a fixed fault plan
+                             (a mid-run middle-switch death + one link flap) and
+                             fails unless conservation still closes through the
+                             fault ledger with bounded reordering
     --radix <SWEEP>          switch radix N                      (default 4)
     --ingress <SWEEP>        ingress (= egress) switches r       (default 4)
     --middle <SWEEP>         middle switches m (<= N)            (default 4)
@@ -124,6 +130,9 @@ same sweep syntax as below):
     --link-latency <N>       one-way link latency, slots         (default 1)
     --egress-period <N>      slots per egress cell, 1 = line rate (default 1)
     --workers <N>            per-stage worker threads inside each run (default 1)
+    --faults <FILE>          arm a fault plan in every run: a JSON list of fault
+                             events ('-' = stdin; see README 'Fault injection')
+    --faults-json <FILE>     write the per-run fault ledgers as JSON ('-' = stdout)
     --rate, -b/-B/--banks, --slots, --seeds, --name, --threads, --json, --csv
                              as for `run`/`sweep`
 
@@ -628,12 +637,98 @@ fn clos_smoke_spec() -> ClosSpec {
         .expect("the clos smoke spec is valid")
 }
 
+/// The fixed fault plan of the `clos --smoke` degraded-mode leg: middle
+/// switch 3 dies at slot 2 000 and revives 3 000 slots later (spray must
+/// route around it on live credit occupancy, flow-hash must fail over), then
+/// the ingress→middle link `2 → 5` flaps for 400 slots near the end of the
+/// live phase (stall-and-recover, no loss).
+fn clos_fault_smoke_plan() -> FaultPlan {
+    FaultPlan::new([
+        FaultEvent::windowed(FaultKind::MiddleDeath { switch: 3 }, 2_000, 3_000),
+        FaultEvent::windowed(
+            FaultKind::LinkFlap {
+                boundary: LinkBoundary::IngressMiddle,
+                switch: 2,
+                output: 5,
+            },
+            6_500,
+            400,
+        ),
+    ])
+}
+
+/// The degraded-mode leg of the `clos --smoke` gate: the same
+/// 64-port-equivalent Clos as [`clos_smoke_spec`], spray + flow-hash at the
+/// near-saturation load, with [`clos_fault_smoke_plan`] armed in every run.
+fn clos_fault_smoke_spec() -> ClosSpec {
+    ClosSpec::builder()
+        .name("clos-fault-smoke")
+        .designs([FabricDesign::Fixed(DesignKind::Rads)])
+        .workloads([FabricWorkload::Uniform])
+        .dispatches(DispatchChoice::all())
+        .radix(Sweep::fixed(8))
+        .ingress_switches(Sweep::fixed(8))
+        .middle_switches(Sweep::fixed(8))
+        .load_percent(Sweep::fixed(85))
+        .arrival_slots(10_000)
+        .faults(clos_fault_smoke_plan())
+        .build()
+        .expect("the clos fault smoke spec is valid")
+}
+
+/// One run's slice of the `--faults-json` artifact: enough scenario context
+/// to identify the run, plus its full fault ledger.
+struct ClosFaultRecord<'a> {
+    index: usize,
+    experiment: &'a str,
+    dispatch: DispatchChoice,
+    load_percent: u64,
+    seed: u64,
+    ledger: &'a sim::FaultLedger,
+}
+
+impl Serialize for ClosFaultRecord<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("ClosFaultRecord", 6)?;
+        st.serialize_field("index", &self.index)?;
+        st.serialize_field("experiment", &self.experiment)?;
+        st.serialize_field("dispatch", &self.dispatch)?;
+        st.serialize_field("load_percent", &self.load_percent)?;
+        st.serialize_field("seed", &self.seed)?;
+        st.serialize_field("ledger", &self.ledger)?;
+        st.end()
+    }
+}
+
+/// Renders every faulted run's ledger (across one or two lab reports) as the
+/// pretty-JSON `--faults-json` artifact.
+fn clos_fault_ledgers_json(reports: &[&ClosLabReport]) -> String {
+    let records: Vec<ClosFaultRecord<'_>> = reports
+        .iter()
+        .flat_map(|report| {
+            report.runs.iter().filter_map(|run| {
+                run.report.faults.as_ref().map(|ledger| ClosFaultRecord {
+                    index: run.index,
+                    experiment: &report.spec.name,
+                    dispatch: run.scenario.dispatch,
+                    load_percent: run.scenario.load_percent,
+                    seed: run.scenario.seed,
+                    ledger,
+                })
+            })
+        })
+        .collect();
+    serde_json::to_string_pretty(&records).expect("fault ledgers always serialize")
+}
+
 fn clos_command(args: &[String]) -> Result<(), String> {
     type ClosEdit = Box<dyn FnOnce(&mut ClosSpec) -> Result<(), String>>;
     let mut base: Option<ClosSpec> = None;
     let mut output = OutputOptions::default();
     let mut smoke = false;
     let mut print_spec = false;
+    let mut faults_json: Option<String> = None;
     let mut edits: Vec<ClosEdit> = Vec::new();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -808,6 +903,16 @@ fn clos_command(args: &[String]) -> Result<(), String> {
                     Ok(())
                 }));
             }
+            "--faults" => {
+                let text = read_spec_text(&value("--faults")?)?;
+                let plan: FaultPlan =
+                    serde_json::from_str(&text).map_err(|e| format!("--faults: {e}"))?;
+                edits.push(Box::new(move |s| {
+                    s.faults = plan;
+                    Ok(())
+                }));
+            }
+            "--faults-json" => faults_json = Some(value("--faults-json")?),
             "--threads" => {
                 output.threads = Some(parse_int(&value("--threads")?, "--threads")? as usize);
             }
@@ -850,10 +955,117 @@ fn clos_command(args: &[String]) -> Result<(), String> {
     let report = runner.run_clos(&spec).map_err(|e| e.to_string())?;
     print_clos_summary(&report, machine_stdout);
     output.write_reports("clos ", || report.to_json(), || report.to_csv())?;
+    let fault_report = if smoke {
+        // The degraded-mode leg: same Clos, fixed fault plan. Run and write
+        // the ledger artifact *before* gating either leg, so a gate failure
+        // still leaves the evidence on disk for CI to upload.
+        let fault_spec = clos_fault_smoke_spec();
+        let fault_report = runner.run_clos(&fault_spec).map_err(|e| e.to_string())?;
+        print_clos_summary(&fault_report, machine_stdout);
+        Some(fault_report)
+    } else {
+        None
+    };
+    if let Some(path) = &faults_json {
+        let sources: Vec<&ClosLabReport> = match &fault_report {
+            Some(faulted) => vec![&report, faulted],
+            None => vec![&report],
+        };
+        write_artifact(path, &clos_fault_ledgers_json(&sources), "fault ledgers")?;
+    }
     if smoke {
         gate_clos_smoke(&report)?;
+        gate_clos_fault_smoke(
+            fault_report.as_ref().expect("smoke ran the fault leg"),
+            &report,
+        )?;
     }
     Ok(())
+}
+
+/// The degraded-mode acceptance gates of `clos --smoke`: under the fixed
+/// fault plan every run must still conserve cells (the fault ledger closes
+/// the balance), lose nothing silently (both faults are windowed, so no cell
+/// may be stranded or dropped — only delayed), keep reordering bounded
+/// (spray reorders by design, so its rate may grow at most 1.5× over the
+/// fault-free leg's rate at the same dispatch and load, plus a tenth of
+/// deliveries of slack that also covers flow-hash failover from its healthy
+/// zero), and actually feel the faults (a run whose ledger shows no stalled
+/// cells did not exercise the plan).
+fn gate_clos_fault_smoke(report: &ClosLabReport, healthy: &ClosLabReport) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for run in &report.runs {
+        let label = format!(
+            "fault run {} ({}@{}%)",
+            run.index, run.scenario.dispatch, run.scenario.load_percent,
+        );
+        let r = &run.report;
+        let healthy_rate = healthy
+            .runs
+            .iter()
+            .find(|h| {
+                h.scenario.dispatch == run.scenario.dispatch
+                    && h.scenario.load_percent == run.scenario.load_percent
+            })
+            .map_or(0.0, |h| {
+                h.report.reordered_cells as f64 / h.report.delivered.max(1) as f64
+            });
+        let Some(ledger) = r.faults.as_ref() else {
+            failures.push(format!("{label} reported no fault ledger"));
+            continue;
+        };
+        if !r.conservation_holds() {
+            failures.push(format!(
+                "{label} broke degraded-mode conservation: {} arrived vs {} delivered, \
+                 ledger {:?}",
+                r.arrivals, r.delivered, ledger,
+            ));
+        }
+        if r.lost_cells != ledger.refused_cells + ledger.dropped_cells {
+            failures.push(format!(
+                "{label} lost {} cells but the ledger only explains {}",
+                r.lost_cells,
+                ledger.refused_cells + ledger.dropped_cells,
+            ));
+        }
+        if ledger.stranded_cells != 0 || ledger.dropped_cells != 0 || ledger.refused_cells != 0 {
+            failures.push(format!(
+                "{label}: windowed faults must only delay cells, ledger {ledger:?}"
+            ));
+        }
+        if ledger.stalled_cell_slots == 0 {
+            failures.push(format!("{label} never stalled — the plan did not bite"));
+        }
+        let bound = healthy_rate * 1.5 + 0.1;
+        if r.reordered_cells as f64 > r.delivered as f64 * bound {
+            failures.push(format!(
+                "{label} reordered {} of {} delivered cells (bound {:.1}%)",
+                r.reordered_cells,
+                r.delivered,
+                bound * 100.0,
+            ));
+        }
+    }
+    if failures.is_empty() {
+        let stalled: u64 = report
+            .runs
+            .iter()
+            .filter_map(|run| run.report.faults.as_ref())
+            .map(|ledger| ledger.stalled_cell_slots)
+            .sum();
+        eprintln!(
+            "clos fault smoke: all {} degraded runs conserving with every cell ledgered \
+             ({} stalled cell-slots across ledgers); reordering bounded",
+            report.runs.len(),
+            stalled,
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "clos fault smoke gate failed: {}",
+            failures.join("; ")
+        ))
+    }
 }
 
 /// The `clos --smoke` acceptance gates: zero lost cells and fabric-wide cell

@@ -555,17 +555,17 @@ fn clos_suite_points(slots: u64) -> Vec<ClosScenario> {
         ClosScenario {
             arbiter: ArbiterChoice::Islip,
             load_percent: 85,
-            ..base
+            ..base.clone()
         },
         ClosScenario {
             arbiter: ArbiterChoice::Maximal,
             load_percent: 85,
-            ..base
+            ..base.clone()
         },
         ClosScenario {
             arbiter: ArbiterChoice::Maximal,
             load_percent: 50,
-            ..base
+            ..base.clone()
         },
         ClosScenario {
             design: FabricDesign::Fixed(DesignKind::DramOnly),
@@ -638,7 +638,7 @@ fn run_clos_suite(smoke: bool, repeat: usize) -> Vec<ClosBenchEntry> {
             let seconds = start.elapsed().as_secs_f64();
             if round == 0 {
                 entries.push(ClosBenchEntry {
-                    scenario: *scenario,
+                    scenario: scenario.clone(),
                     slots: report.slots,
                     delivered: report.delivered,
                     zero_loss: report.zero_loss,
@@ -1341,7 +1341,7 @@ mod tests {
         let entries: Vec<ClosBenchEntry> = points
             .iter()
             .map(|scenario| ClosBenchEntry {
-                scenario: *scenario,
+                scenario: scenario.clone(),
                 slots: 1_000,
                 delivered: 900,
                 zero_loss: true,

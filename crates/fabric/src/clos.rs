@@ -13,17 +13,32 @@
 //! propagation latency of `link_latency` slots in **both** directions: a
 //! cell transmitted at slot `t` becomes visible to the downstream switch at
 //! `t + L`, and the credit returned when the downstream switch accepts it
-//! becomes visible upstream at `acceptance + L`. Under the default
-//! [`LinkDiscipline::Credit`] an upstream output is *gated out of
-//! arbitration* while its link has no credit, so a full link propagates
-//! backpressure into the upstream VOQs and **no cell is ever dropped
-//! between stages** — fabric-wide conservation is checked by
+//! becomes visible upstream at `acceptance + L`. An upstream output is
+//! *gated out of arbitration* while its link has no credit, so a full link
+//! propagates backpressure into the upstream VOQs and **no cell is ever
+//! dropped between stages** — fabric-wide conservation is checked by
 //! [`ClosRunReport::conservation_holds`]. A link shorter than its
-//! round-trip (`link_capacity < 2·link_latency`) merely throttles.
-//! [`LinkDiscipline::DropOnFull`] removes the gate and silently discards
-//! cells arriving at a full link FIFO — a deliberately broken discipline
-//! that exists so tests can prove the conservation checker *fails* when
-//! cells are lost.
+//! round-trip (`link_capacity < 2·link_latency`) merely throttles. The
+//! deliberately lossy alternative — discard a cell arriving at a full FIFO
+//! — is a fault, not a configuration: arm a
+//! [`crate::faults::FaultKind::DropOnFull`] plan entry via
+//! [`ClosFabric::arm_faults`].
+//!
+//! # Fault injection
+//!
+//! A [`crate::faults::FaultPlan`] armed before the run injects
+//! deterministic, slot-scheduled failures — middle-switch death/revival,
+//! inter-stage link flaps, egress slowdown, ingress port death — without
+//! touching the fault-free hot path (an unarmed stage carries no fault
+//! state at all). Dead middle switches are routed around through the
+//! credit machinery: a dead stage returns no credits, so spray dispatch
+//! starves away from it, and while any death window is active the spray
+//! becomes credit-occupancy-aware (it skips dead paths outright and picks
+//! the least-committed live path) so flows never target a dead middle and
+//! reordering stays bounded. Flapped links stall and recover without
+//! loss. Every fault's impact is accounted in the report's
+//! [`crate::faults::FaultLedger`]; see [`crate::faults`] for the taxonomy
+//! and the degraded-mode conservation definition.
 //!
 //! # Per-hop sequencing and flow tags
 //!
@@ -56,6 +71,7 @@
 //! twin (differential tests pin both). The drain phase always runs
 //! single-threaded after the workers join.
 
+use crate::faults::{FaultLedger, FaultPlan, ImpactCounters, StageFaults};
 use crate::report::FabricRunReport;
 use crate::switch::{FabricConfig, StageSink, VoqSwitch, FABRIC_CHUNK_SLOTS};
 use crate::ArbiterKind;
@@ -83,27 +99,6 @@ impl DispatchPolicy {
         match self {
             DispatchPolicy::Spray => "spray",
             DispatchPolicy::FlowHash => "flowhash",
-        }
-    }
-}
-
-/// What an inter-stage link does when a cell arrives and its FIFO is full.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LinkDiscipline {
-    /// Credit flow control: an upstream output without credit is gated out
-    /// of arbitration, so the FIFO can never overflow and no cell is lost.
-    Credit,
-    /// No gating; a cell arriving at a full FIFO is silently discarded.
-    /// Exists to prove the conservation checker detects silent loss.
-    DropOnFull,
-}
-
-impl LinkDiscipline {
-    /// Stable lower-case label for reports and specs.
-    pub fn label(self) -> &'static str {
-        match self {
-            LinkDiscipline::Credit => "credit",
-            LinkDiscipline::DropOnFull => "drop-on-full",
         }
     }
 }
@@ -146,8 +141,6 @@ pub struct ClosConfig {
     pub link_capacity: usize,
     /// One-way link propagation latency in slots (`0` is treated as `1`).
     pub link_latency: u64,
-    /// Full-FIFO behaviour of the inter-stage links.
-    pub discipline: LinkDiscipline,
     /// Slots per transmitted cell at each *external* output line.
     pub egress_period: u64,
     /// Crossbar arbiter used by every switch of every stage.
@@ -166,7 +159,6 @@ impl ClosConfig {
             dispatch: DispatchPolicy::Spray,
             link_capacity: 8,
             link_latency: 1,
-            discipline: LinkDiscipline::Credit,
             egress_period: 1,
             arbiter: ArbiterKind::Islip { iterations: 0 },
         }
@@ -274,7 +266,9 @@ impl Delivery {
 struct StageHooks<'a> {
     s: usize,
     radix: usize,
-    discipline: LinkDiscipline,
+    /// Whether transmissions debit link credits (false only when a
+    /// `DropOnFull` fault disabled credit flow control for the run).
+    debit: bool,
     voq_tags: &'a mut [VecDeque<FlowTag>],
     out_tags: &'a mut [VecDeque<FlowTag>],
     hop_seq: &'a mut [u64],
@@ -305,7 +299,7 @@ impl StageSink for StageHooks<'_> {
         match self.delivery.as_deref_mut() {
             Some(delivery) => delivery.deliver(tag),
             None => {
-                if self.discipline == LinkDiscipline::Credit {
+                if self.debit {
                     debug_assert!(self.out_credits[o] > 0, "transmit without link credit");
                     self.out_credits[o] -= 1;
                 }
@@ -338,7 +332,12 @@ struct Stage<B: PacketBuffer> {
     ext_radix: usize,
     middle: usize,
     dispatch: DispatchPolicy,
-    discipline: LinkDiscipline,
+    /// Whether a `DropOnFull` fault disabled credit flow control (false on
+    /// the fault-free path: gates on, overflow impossible).
+    drop_on_full: bool,
+    /// Compiled fault state; `None` unless a plan was armed, so the
+    /// fault-free hot path carries nothing.
+    faults: Option<StageFaults>,
     switches: Vec<VoqSwitch<B>>,
     /// Sidecar tag FIFO per (switch, input, VOQ), in buffer-FIFO order.
     voq_tags: Vec<VecDeque<FlowTag>>,
@@ -366,7 +365,7 @@ struct Stage<B: PacketBuffer> {
     credit_stall_slots: u64,
     /// Deepest any inbound link FIFO has been.
     peak_link_depth: usize,
-    /// Cells silently discarded at full inbound links (`DropOnFull` only).
+    /// Cells discarded at full inbound links (`DropOnFull` fault only).
     link_dropped: u64,
     /// Crossbar matches per switch at the end of the active phase.
     active_matches: Vec<u64>,
@@ -392,7 +391,8 @@ impl<B: PacketBuffer> Stage<B> {
             ext_radix: config.radix,
             middle: config.middle_switches,
             dispatch: config.dispatch,
-            discipline: config.discipline,
+            drop_on_full: false,
+            faults: None,
             switches,
             voq_tags: (0..count * switch_radix * switch_radix)
                 .map(|_| VecDeque::new())
@@ -435,9 +435,9 @@ impl<B: PacketBuffer> Stage<B> {
     }
 
     /// Applies a forward batch from the upstream stage to the inbound link
-    /// FIFOs (visible from `batch.slot + latency`). Under `DropOnFull` a
-    /// cell aimed at a full FIFO is silently discarded — the loss the
-    /// conservation checker must detect.
+    /// FIFOs (visible from `batch.slot + latency`). Under a `DropOnFull`
+    /// fault a cell aimed at a full FIFO is discarded and ledgered — the
+    /// loss the conservation checker must account for.
     fn apply_fwd(&mut self, batch: &mut FwdBatch, latency: u64, capacity: usize) {
         let ready = batch.slot + latency;
         for (id, cell, tag) in batch.cells.drain(..) {
@@ -446,10 +446,15 @@ impl<B: PacketBuffer> Stage<B> {
             let fifo = &mut self.in_links[idx];
             if fifo.len() >= capacity {
                 debug_assert!(
-                    self.discipline == LinkDiscipline::DropOnFull,
+                    self.drop_on_full,
                     "credit flow control let a link FIFO overflow"
                 );
                 self.link_dropped += 1;
+                if let Some(f) = self.faults.as_mut() {
+                    if let Some(e) = f.drop_event {
+                        f.impact[e].dropped_cells += 1;
+                    }
+                }
                 continue;
             }
             fifo.push_back(LinkCell { ready, cell, tag });
@@ -507,7 +512,8 @@ impl<B: PacketBuffer> Stage<B> {
             ext_radix,
             middle,
             dispatch,
-            discipline,
+            drop_on_full,
+            faults,
             switches,
             voq_tags,
             out_tags,
@@ -524,9 +530,42 @@ impl<B: PacketBuffer> Stage<B> {
         } = self;
         let (radix, up_radix, ext_radix, middle) = (*radix, *up_radix, *ext_radix, *middle);
         let stage_kind = *stage;
-        let gated = *discipline == LinkDiscipline::Credit && stage_kind != ClosStage::Egress;
+        let debit = !*drop_on_full;
+        let gated = debit && stage_kind != ClosStage::Egress;
         let ext_total = switches.len() * radix;
         for (s, switch) in switches.iter_mut().enumerate() {
+            // 0. Fault ledger: cells ready to move but held behind an
+            // active fault this slot are accounted as added latency. The
+            // counts read physical link FIFO occupancy, which is schedule-
+            // invariant (pushes land after the same slot's pops everywhere).
+            let dead_switch = match faults.as_mut() {
+                None => false,
+                Some(f) => {
+                    let dead = f.switch_dead(s, slot);
+                    let StageFaults {
+                        dead_switches,
+                        stalled_in,
+                        impact,
+                        ..
+                    } = f;
+                    for &(e, sw, w) in dead_switches.iter() {
+                        if sw == s && w.contains(slot) {
+                            let held: u64 = in_links[s * radix..(s + 1) * radix]
+                                .iter()
+                                .map(|q| q.iter().filter(|c| c.ready <= slot).count() as u64)
+                                .sum();
+                            impact[e].stalled_cell_slots += held;
+                        }
+                    }
+                    for &(e, li, w) in stalled_in.iter() {
+                        if li / radix == s && w.contains(slot) {
+                            impact[e].stalled_cell_slots +=
+                                in_links[li].iter().filter(|c| c.ready <= slot).count() as u64;
+                        }
+                    }
+                    dead
+                }
+            };
             // 1. Arrivals: external lines at the ingress, link FIFOs inside.
             if stage_kind == ClosStage::Ingress {
                 if let Some(lines) = external.as_deref_mut() {
@@ -538,14 +577,72 @@ impl<B: PacketBuffer> Stage<B> {
                         };
                         let dest = cell.queue().as_usize();
                         offered_matrix[src * ext_total + dest] += 1;
+                        if let Some(f) = faults.as_mut() {
+                            // A dead ingress line refuses the cell at the
+                            // very edge of the fabric: offered, ledgered,
+                            // never entering any switch.
+                            if let Some(e) = f.dead_input_event(src, slot) {
+                                f.impact[e].refused_cells += 1;
+                                *arrival = None;
+                                continue;
+                            }
+                        }
                         let p = match dispatch {
                             DispatchPolicy::Spray => {
-                                let p = spray_next[src] as usize;
+                                let start = spray_next[src] as usize;
+                                let p = match faults.as_ref().filter(|f| f.reroutes_paths(slot)) {
+                                    None => start,
+                                    // Credit-occupancy-aware spray while a
+                                    // middle death is active: skip dead
+                                    // paths, pick the least-committed live
+                                    // one (queued VOQ cells, plus a full-
+                                    // link penalty when its credits are
+                                    // exhausted), scanning from the round-
+                                    // robin pointer so ties keep the fair
+                                    // cadence.
+                                    Some(f) => {
+                                        let mut best: Option<(usize, usize)> = None;
+                                        for k in 0..middle {
+                                            let cand = (start + k) % middle;
+                                            if f.path_dead(cand, slot) {
+                                                continue;
+                                            }
+                                            let h = (s * radix + i) * radix + cand;
+                                            let mut key = voq_tags[h].len();
+                                            if out_credits[s * radix + cand] == 0 {
+                                                key += f.capacity;
+                                            }
+                                            if best.is_none_or(|(_, b)| key < b) {
+                                                best = Some((cand, key));
+                                            }
+                                        }
+                                        best.map_or(start, |(p, _)| p)
+                                    }
+                                };
                                 spray_next[src] = ((p + 1) % middle) as u32;
                                 p
                             }
                             DispatchPolicy::FlowHash => {
-                                (flow_hash(src as u32, dest as u32) % middle as u64) as usize
+                                let mut p =
+                                    (flow_hash(src as u32, dest as u32) % middle as u64) as usize;
+                                if let Some(f) = faults.as_ref() {
+                                    // Failover: a flow hashed onto a dead
+                                    // middle probes linearly to the first
+                                    // live one (deterministic, so the flow
+                                    // stays pinned for the whole window;
+                                    // reordering is bounded to the two
+                                    // failover edges).
+                                    if f.path_dead(p, slot) {
+                                        for k in 1..middle {
+                                            let cand = (p + k) % middle;
+                                            if !f.path_dead(cand, slot) {
+                                                p = cand;
+                                                break;
+                                            }
+                                        }
+                                    }
+                                }
+                                p
                             }
                         };
                         let h = (s * radix + i) * radix + p;
@@ -568,7 +665,13 @@ impl<B: PacketBuffer> Stage<B> {
             } else {
                 for (i, arrival) in arrivals.iter_mut().enumerate() {
                     let li = s * radix + i;
-                    if in_links[li].front().is_none_or(|c| c.ready > slot) {
+                    // A dead switch accepts nothing; a flapped link
+                    // delivers nothing. Cells wait in the FIFO (stall,
+                    // never drop) and credits stop flowing upstream.
+                    if dead_switch
+                        || faults.as_ref().is_some_and(|f| f.in_stalled(li, slot))
+                        || in_links[li].front().is_none_or(|c| c.ready > slot)
+                    {
                         *arrival = None;
                         continue;
                     }
@@ -595,13 +698,38 @@ impl<B: PacketBuffer> Stage<B> {
                 }
             }
             // 2. Gate: outputs without a link credit sit out this slot's
-            // arbitration (that is the backpressure).
-            let gate_ref: &[bool] = if gated {
+            // arbitration (that is the backpressure); a dead switch sits
+            // out on every output (it still steps, so its clock stays in
+            // sync — equivalent to idling); a slowed egress output only
+            // opens on its degraded cadence.
+            let gate_ref: &[bool] = if dead_switch {
+                gate.fill(false);
+                gate
+            } else if gated {
                 for (j, open) in gate.iter_mut().enumerate() {
                     let has_credit = out_credits[s * radix + j] > 0;
                     *open = has_credit;
                     if !has_credit && switch.egress_depth(j) > 0 {
                         *credit_stall_slots += 1;
+                    }
+                }
+                gate
+            } else if faults
+                .as_ref()
+                .is_some_and(|f| f.gates_switch(s, radix, slot))
+            {
+                gate.fill(true);
+                if let Some(f) = faults.as_mut() {
+                    let StageFaults {
+                        slowed_out, impact, ..
+                    } = f;
+                    for &(e, idx, factor, w) in slowed_out.iter() {
+                        if idx / radix == s && w.contains(slot) && !slot.is_multiple_of(factor) {
+                            gate[idx % radix] = false;
+                            if switch.egress_depth(idx % radix) > 0 {
+                                impact[e].slowed_slots += 1;
+                            }
+                        }
                     }
                 }
                 gate
@@ -613,7 +741,7 @@ impl<B: PacketBuffer> Stage<B> {
             let mut hooks = StageHooks {
                 s,
                 radix,
-                discipline: *discipline,
+                debit,
                 voq_tags: &mut voq_tags[..],
                 out_tags: &mut out_tags[..],
                 hop_seq: &mut hop_seq[..],
@@ -677,6 +805,11 @@ pub struct ClosFabric<B: PacketBuffer> {
     middle: Stage<B>,
     egress: Stage<B>,
     clock: u64,
+    /// The armed fault plan (`None` = fault-free, the default).
+    plan: Option<FaultPlan>,
+    /// Every slot at which some armed fault turns on or off, sorted; the
+    /// drain refuses to give up on stuck cells while an edge lies ahead.
+    fault_edges: Vec<u64>,
 }
 
 impl<B: PacketBuffer> ClosFabric<B> {
@@ -729,7 +862,47 @@ impl<B: PacketBuffer> ClosFabric<B> {
             egress: Stage::new(ClosStage::Egress, &config, radix, r, r, egress_switches),
             config,
             clock: 0,
+            plan: None,
+            fault_edges: Vec::new(),
         }
+    }
+
+    /// Arms a [`FaultPlan`] for the coming run: validates it against the
+    /// geometry and compiles it into per-stage fault state. An empty plan
+    /// is a no-op — the fabric stays exactly on the fault-free path and
+    /// its reports stay byte-identical to an unarmed run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan fails [`FaultPlan::validate`] against this
+    /// fabric's geometry, or when the fabric has already run (plans are
+    /// armed at slot 0 so every schedule sees every fault identically).
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        assert_eq!(self.clock, 0, "fault plans must be armed before the run");
+        let ClosConfig {
+            radix,
+            ingress_switches: r,
+            middle_switches: m,
+            link_capacity,
+            ..
+        } = self.config;
+        if let Err(err) = plan.validate(radix, r, m) {
+            panic!("invalid fault plan: {err}");
+        }
+        let drop = plan.has_drop_on_full();
+        for (stage, kind) in [
+            (&mut self.ingress, ClosStage::Ingress),
+            (&mut self.middle, ClosStage::Middle),
+            (&mut self.egress, ClosStage::Egress),
+        ] {
+            stage.faults = Some(plan.compile(kind, radix, r, m, link_capacity));
+            stage.drop_on_full = drop;
+        }
+        self.fault_edges = plan.edges();
+        self.plan = Some(plan.clone());
     }
 
     /// The configuration the Clos was built with (`link_latency`
@@ -838,6 +1011,15 @@ impl<B: PacketBuffer> ClosFabric<B> {
     /// and **no cell left on any inter-stage link**. Residual partial tail
     /// batches below a design's writeback threshold stay resident (never
     /// lost); the flush horizon mirrors the single-switch drain rule.
+    ///
+    /// With a fault plan armed, a permanent fault can pin cells in place
+    /// forever (a dead middle holds its frozen cells, and the ingress VOQs
+    /// aimed at it stay requestable but creditless). The drain then watches
+    /// a progress signature — any cell or credit movement anywhere changes
+    /// it — and gives up only once the signature has been flat for longer
+    /// than every recovery horizon *and* no fault transition lies ahead:
+    /// whatever is still stuck at that point is stuck forever, and the
+    /// report accounts it as stranded.
     fn drain(&mut self, sc: &mut SerialScratch) {
         let flush = [&self.ingress, &self.middle, &self.egress]
             .iter()
@@ -845,7 +1027,14 @@ impl<B: PacketBuffer> ClosFabric<B> {
             .max()
             .unwrap_or(0) as u64
             + 4;
+        let faulted = self.plan.is_some();
+        let stall_horizon = flush
+            + 2 * self.config.link_latency
+            + self.plan.as_ref().map_or(0, FaultPlan::max_slow_factor)
+            + 8;
         let mut idle_streak = 0u64;
+        let mut stuck_streak = 0u64;
+        let mut last_sig = (0u64, 0u64, 0u64, 0u64, 0usize);
         loop {
             let stages = [&self.ingress, &self.middle, &self.egress];
             let requestable = stages.iter().any(|stage| {
@@ -865,6 +1054,43 @@ impl<B: PacketBuffer> ClosFabric<B> {
                     break;
                 }
                 idle_streak += 1;
+            }
+            if faulted {
+                let sig = (
+                    stages
+                        .iter()
+                        .flat_map(|stage| stage.switches.iter())
+                        .map(VoqSwitch::matches_so_far)
+                        .sum::<u64>(),
+                    stages
+                        .iter()
+                        .flat_map(|stage| stage.switches.iter())
+                        .map(VoqSwitch::egress_backlog)
+                        .sum::<u64>(),
+                    stages
+                        .iter()
+                        .map(|stage| stage.link_resident())
+                        .sum::<u64>(),
+                    stages
+                        .iter()
+                        .flat_map(|stage| stage.switches.iter())
+                        .map(VoqSwitch::requestable_total)
+                        .sum::<u64>(),
+                    stages
+                        .iter()
+                        .map(|stage| stage.credit_pending.len())
+                        .sum::<usize>(),
+                );
+                let edge_ahead = self.fault_edges.last().is_some_and(|&e| e > self.clock);
+                if sig == last_sig && !edge_ahead {
+                    stuck_streak += 1;
+                    if stuck_streak > stall_horizon {
+                        break;
+                    }
+                } else {
+                    stuck_streak = 0;
+                    last_sig = sig;
+                }
             }
             self.step_all(None, sc);
         }
@@ -1133,7 +1359,7 @@ impl<B: PacketBuffer> ClosFabric<B> {
             if workers == 2 {
                 std::thread::scope(|scope| {
                     scope.spawn(move || {
-                        ingress_worker(ingress, arrivals, win, &fwd_a_tx, &cred_a_rx)
+                        ingress_worker(ingress, arrivals, win, &fwd_a_tx, &cred_a_rx);
                     });
                     scope.spawn(move || {
                         middle_egress_worker(middle, egress, win, &fwd_a_rx, &cred_a_tx);
@@ -1144,7 +1370,7 @@ impl<B: PacketBuffer> ClosFabric<B> {
                 let (cred_b_tx, cred_b_rx) = batch_channel::<CreditBatch>(BATCH_SEED);
                 std::thread::scope(|scope| {
                     scope.spawn(move || {
-                        ingress_worker(ingress, arrivals, win, &fwd_a_tx, &cred_a_rx)
+                        ingress_worker(ingress, arrivals, win, &fwd_a_tx, &cred_a_rx);
                     });
                     scope.spawn(move || {
                         middle_worker(middle, win, &fwd_a_rx, &cred_a_tx, &fwd_b_tx, &cred_b_rx);
@@ -1265,14 +1491,69 @@ impl<B: PacketBuffer> ClosFabric<B> {
             .map(|o| o.max_latency_slots)
             .max()
             .unwrap_or(0);
-        let lost_cells = buffer_lost + link_dropped_cells;
+        // Merge every stage's per-event impact counters, then account the
+        // cells a still-dead middle switch froze in place as stranded: its
+        // own egress-FIFO backlog, plus the cells the ingress switches had
+        // already granted into their output FIFOs toward it (creditless
+        // once the dead link filled, so equally frozen). Each FIFO is
+        // attributed to the first death window still active, so overlapping
+        // windows cannot double-count.
+        let faults = self.plan.as_ref().map(|plan| {
+            let mut merged = vec![ImpactCounters::default(); plan.events.len()];
+            for stage in [&self.ingress, &self.middle, &self.egress] {
+                if let Some(f) = stage.faults.as_ref() {
+                    for (m, c) in merged.iter_mut().zip(&f.impact) {
+                        m.merge(c);
+                    }
+                }
+            }
+            if let Some(f) = self.middle.faults.as_ref() {
+                for (s, switch) in self.middle.switches.iter().enumerate() {
+                    let backlog = switch.egress_backlog();
+                    if backlog == 0 {
+                        continue;
+                    }
+                    if let Some(&(e, _, _)) = f
+                        .dead_switches
+                        .iter()
+                        .find(|&&(_, sw, w)| sw == s && w.contains(self.clock))
+                    {
+                        merged[e].stranded_cells += backlog;
+                    }
+                }
+            }
+            if let Some(f) = self.ingress.faults.as_ref() {
+                for switch in &self.ingress.switches {
+                    for p in 0..self.config.middle_switches {
+                        let depth = switch.egress_depth(p) as u64;
+                        if depth == 0 {
+                            continue;
+                        }
+                        if let Some(&(e, _, _)) = f
+                            .dead_paths
+                            .iter()
+                            .find(|&&(_, sw, w)| sw == p && w.contains(self.clock))
+                        {
+                            merged[e].stranded_cells += depth;
+                        }
+                    }
+                }
+            }
+            FaultLedger::from_events(&plan.events, &merged)
+        });
+        let refused = faults.as_ref().map_or(0, |l| l.refused_cells);
+        let lost_cells = buffer_lost + link_dropped_cells + refused;
         ClosRunReport {
             radix: config.radix,
             ingress_switches: config.ingress_switches,
             middle_switches: config.middle_switches,
             external_ports: ext,
             dispatch: config.dispatch.label(),
-            discipline: config.discipline.label(),
+            discipline: if self.plan.as_ref().is_some_and(FaultPlan::has_drop_on_full) {
+                "drop-on-full"
+            } else {
+                "credit"
+            },
             arbiter: stages[0].switches.first().map_or("islip", |r| r.arbiter),
             link_capacity: config.link_capacity,
             link_latency: config.link_latency,
@@ -1295,6 +1576,7 @@ impl<B: PacketBuffer> ClosFabric<B> {
             stages,
             arrivals_matrix: self.ingress.offered_matrix.clone(),
             delivered_matrix,
+            faults,
         }
     }
 }
@@ -1310,8 +1592,8 @@ pub struct ClosStageReport {
     /// Cells still sitting in this stage's inbound link FIFOs (0 after a
     /// completed drain).
     pub link_resident_cells: u64,
-    /// Cells silently discarded at this stage's full inbound links
-    /// ([`LinkDiscipline::DropOnFull`] only; always 0 under credits).
+    /// Cells discarded at this stage's full inbound links (a `DropOnFull`
+    /// fault only; always 0 under credit flow control).
     pub link_dropped_cells: u64,
     /// Deepest any of this stage's inbound link FIFOs has been.
     pub peak_link_depth: u64,
@@ -1349,7 +1631,8 @@ pub struct ClosRunReport {
     pub external_ports: usize,
     /// Dispatch policy label ("spray" / "flowhash").
     pub dispatch: &'static str,
-    /// Link discipline label ("credit" / "drop-on-full").
+    /// Link discipline label: "credit", or "drop-on-full" when a
+    /// `DropOnFull` fault disabled credit flow control for the run.
     pub discipline: &'static str,
     /// Arbiter label ("islip" / "maximal").
     pub arbiter: &'static str,
@@ -1366,10 +1649,11 @@ pub struct ClosRunReport {
     /// Cells transmitted on the external output lines.
     pub delivered: u64,
     /// Cells lost anywhere: buffer drops + misses + order violations over
-    /// every switch of every stage, plus silently dropped link cells.
+    /// every switch of every stage, plus dropped link cells and cells
+    /// refused at dead external ingress lines.
     pub lost_cells: u64,
-    /// Cells silently discarded at full inter-stage links
-    /// ([`LinkDiscipline::DropOnFull`] only).
+    /// Cells discarded at full inter-stage links (a `DropOnFull` fault
+    /// only).
     pub link_dropped_cells: u64,
     /// Cells still resident in some buffer when the run ended (residual
     /// partial tail batches — never lost).
@@ -1401,29 +1685,47 @@ pub struct ClosRunReport {
     pub arrivals_matrix: Vec<u64>,
     /// Row-major `ext × ext`: cells delivered from external src to dest.
     pub delivered_matrix: Vec<u64>,
+    /// The per-fault ledger; `None` when no fault plan was armed (and the
+    /// field is then omitted from the serialized report, keeping
+    /// fault-free reports byte-identical to pre-fault-framework output).
+    pub faults: Option<FaultLedger>,
 }
 
 impl ClosRunReport {
     /// Checks cell conservation fabric-wide, across every hand-off:
     ///
-    /// * every switch of every stage satisfies its own
-    ///   [`FabricRunReport::conservation_holds`];
+    /// * every switch of every stage balances via
+    ///   [`FabricRunReport::conservation_deficit`], and the deficits —
+    ///   cells a dead switch froze in its egress FIFOs — sum to exactly
+    ///   the fault ledger's stranded count (0 with no ledger);
     /// * per flow, deliveries never exceed offers;
+    /// * every dropped link cell appears in the fault ledger — a
+    ///   **silently** dropped cell (lost without a ledger entry) breaks
+    ///   the check, by design;
     /// * at each stage boundary, upstream transmissions equal downstream
-    ///   switch arrivals plus cells still on the links — a **silently
-    ///   dropped link cell breaks this**, by design: link drops are not
-    ///   credited anywhere, so `DropOnFull` losses make the check fail;
+    ///   switch arrivals plus cells still on the links plus ledgered link
+    ///   drops at that boundary;
     /// * fabric-wide, external arrivals = delivered + buffer residents +
-    ///   buffer drops + link residents.
+    ///   buffer drops + link residents + **stranded + refused + dropped
+    ///   per the fault ledger** — the degraded-mode conservation law: a
+    ///   faulted run conserves iff every missing cell is accounted.
     pub fn conservation_holds(&self) -> bool {
         let [ingress, middle, egress] = &self.stages[..] else {
             return false;
         };
-        let switches_ok = self
-            .stages
-            .iter()
-            .flat_map(|s| s.switches.iter())
-            .all(FabricRunReport::conservation_holds);
+        let (stranded, refused, ledger_dropped) = self.faults.as_ref().map_or((0, 0, 0), |l| {
+            (l.stranded_cells, l.refused_cells, l.dropped_cells)
+        });
+        let mut deficits = 0u64;
+        let switches_ok = self.stages.iter().flat_map(|s| s.switches.iter()).all(|r| {
+            match r.conservation_deficit() {
+                Some(d) => {
+                    deficits += d;
+                    true
+                }
+                None => false,
+            }
+        });
         let flows_ok = self
             .delivered_matrix
             .iter()
@@ -1432,7 +1734,7 @@ impl ClosRunReport {
         let boundary = |up: &ClosStageReport, down: &ClosStageReport| {
             let sent: u64 = up.switches.iter().map(|r| r.transmitted).sum();
             let received: u64 = down.switches.iter().map(|r| r.arrivals).sum();
-            sent == received + down.link_resident_cells
+            sent == received + down.link_resident_cells + down.link_dropped_cells
         };
         let delivered: u64 = egress.switches.iter().map(|r| r.transmitted).sum();
         let buffer_drops: u64 = self
@@ -1442,12 +1744,20 @@ impl ClosRunReport {
             .map(|p| p.stats.drops)
             .sum();
         switches_ok
+            && deficits == stranded
+            && ledger_dropped == self.link_dropped_cells
             && flows_ok
             && boundary(ingress, middle)
             && boundary(middle, egress)
             && delivered == self.delivered
             && self.arrivals
-                == self.delivered + self.resident_cells + buffer_drops + self.link_resident_cells
+                == self.delivered
+                    + self.resident_cells
+                    + buffer_drops
+                    + self.link_resident_cells
+                    + stranded
+                    + refused
+                    + ledger_dropped
     }
 }
 
@@ -1483,6 +1793,11 @@ impl Serialize for ClosRunReport {
         st.serialize_field("stages", &self.stages)?;
         st.serialize_field("arrivals_matrix", &self.arrivals_matrix)?;
         st.serialize_field("delivered_matrix", &self.delivered_matrix)?;
+        // Only faulted runs carry a ledger; omitting the field keeps
+        // fault-free reports byte-identical to pre-fault-framework output.
+        if let Some(faults) = &self.faults {
+            st.serialize_field("faults", faults)?;
+        }
         st.end()
     }
 }
@@ -1490,6 +1805,7 @@ impl Serialize for ClosRunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultEvent, FaultKind, LinkBoundary};
     use pktbuf::RadsBuffer;
     use pktbuf_model::{LineRate, RadsConfig};
     use traffic::{stream_seed, BurstyArrivals, UniformArrivals};
@@ -1631,27 +1947,253 @@ mod tests {
         );
     }
 
+    fn faulted(config: ClosConfig, plan: &FaultPlan) -> ClosFabric<RadsBuffer> {
+        let mut fabric = clos(config);
+        fabric.arm_faults(plan);
+        fabric
+    }
+
     #[test]
-    fn drop_on_full_loses_cells_and_breaks_conservation() {
+    fn drop_on_full_loses_cells_and_only_the_ledger_explains_them() {
         let mut config = ClosConfig::new(3, 3, 2);
-        config.discipline = LinkDiscipline::DropOnFull;
         // A link holds wire cells and queued cells alike, so a capacity
         // smaller than the wire latency cannot even cover the cells in
-        // flight at line rate: overflow — and silent loss — is guaranteed.
+        // flight at line rate: overflow — and loss — is guaranteed.
         config.link_capacity = 1;
         config.link_latency = 4;
-        let mut fabric = clos(config);
-        let report = fabric.run(&mut uniform(&config, 0.95, 3), 3_000, 1);
+        let plan = FaultPlan::new([FaultEvent::permanent(FaultKind::DropOnFull, 0)]);
+        let report = faulted(config, &plan).run(&mut uniform(&config, 0.95, 3), 3_000, 1);
         assert!(report.link_dropped_cells > 0, "{report:?}");
         assert!(!report.zero_loss);
+        assert_eq!(report.discipline, "drop-on-full");
+        let ledger = report.faults.as_ref().expect("armed runs carry a ledger");
+        assert_eq!(ledger.dropped_cells, report.link_dropped_cells);
         assert!(
-            !report.conservation_holds(),
+            report.conservation_holds(),
+            "ledgered drops are accounted loss: {report:?}"
+        );
+        // Strip the ledger and the same drops become *silent* loss — the
+        // conservation checker must refuse them (the PR 7 guarantee).
+        let mut silent = report.clone();
+        silent.faults = None;
+        assert!(
+            !silent.conservation_holds(),
             "silent link drops must be detected as a conservation break"
+        );
+        let mut tampered = report.clone();
+        if let Some(l) = tampered.faults.as_mut() {
+            l.dropped_cells -= 1;
+        }
+        assert!(
+            !tampered.conservation_holds(),
+            "undercounted drops detected"
         );
         // Drop decisions read physical FIFO occupancy; the differential
         // guarantee must hold for lossy links too.
-        let pipelined = clos(config).run(&mut uniform(&config, 0.95, 3), 3_000, 3);
+        let pipelined = faulted(config, &plan).run(&mut uniform(&config, 0.95, 3), 3_000, 3);
         assert_eq!(pipelined, report, "lossy runs must stay schedule-invariant");
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_an_unarmed_run() {
+        let config = ClosConfig::new(3, 3, 3);
+        let baseline = clos(config).run(&mut uniform(&config, 0.7, 9), 1_500, 1);
+        let mut armed = clos(config);
+        armed.arm_faults(&FaultPlan::none());
+        let report = armed.run(&mut uniform(&config, 0.7, 9), 1_500, 1);
+        assert_eq!(report, baseline);
+        assert!(report.faults.is_none());
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(
+            !json.contains("\"faults\""),
+            "fault-free reports must not carry a ledger field"
+        );
+        assert_eq!(json, serde_json::to_string(&baseline).unwrap());
+    }
+
+    #[test]
+    fn middle_death_reroutes_and_strands_nothing_after_revival() {
+        // Kill middle switch 1 for a window in the middle of the run: the
+        // occupancy-aware spray must steer every new cell around it, the
+        // frozen cells must resume on revival, and the run must end with
+        // zero loss and full conservation.
+        for workers in [1usize, 2, 3] {
+            let config = ClosConfig::new(4, 4, 4);
+            let plan = FaultPlan::new([FaultEvent::windowed(
+                FaultKind::MiddleDeath { switch: 1 },
+                1_000,
+                600,
+            )]);
+            let report = faulted(config, &plan).run(&mut uniform(&config, 0.7, 11), 3_000, workers);
+            assert!(report.zero_loss, "workers={workers}: {report:?}");
+            assert!(report.conservation_holds(), "workers={workers}");
+            let ledger = report.faults.as_ref().unwrap();
+            assert_eq!(ledger.stranded_cells, 0, "revived switch must drain");
+            assert!(
+                ledger.stalled_cell_slots > 0,
+                "cells caught in the dead switch's links must be accounted"
+            );
+            assert!(report.delivered > 5_000, "traffic must keep flowing");
+        }
+    }
+
+    #[test]
+    fn permanent_middle_death_strands_ledgered_cells() {
+        let config = ClosConfig::new(4, 4, 4);
+        let plan = FaultPlan::new([FaultEvent::permanent(
+            FaultKind::MiddleDeath { switch: 2 },
+            800,
+        )]);
+        let reference = {
+            let mut fabric = faulted(config, &plan);
+            fabric.run_reference(&mut uniform(&config, 0.7, 11), 2_500)
+        };
+        for workers in [1usize, 2, 3] {
+            let report = faulted(config, &plan).run(&mut uniform(&config, 0.7, 11), 2_500, workers);
+            assert_eq!(report, reference, "workers={workers} diverged");
+        }
+        let ledger = reference.faults.as_ref().unwrap();
+        // The cells granted into the dead switch's egress FIFOs before the
+        // death froze in place; conservation must hold with them accounted
+        // as stranded (not lost — recoverable on repair).
+        assert!(reference.conservation_holds(), "{reference:?}");
+        assert!(reference.zero_loss, "stranding is not loss");
+        assert!(reference.delivered > 4_000, "the fabric degrades, not dies");
+        let resident_everywhere =
+            reference.resident_cells + reference.link_resident_cells + ledger.stranded_cells;
+        assert_eq!(
+            reference.arrivals,
+            reference.delivered + resident_everywhere,
+            "every undelivered cell sits in an accounted bucket"
+        );
+        // Spray never targets the dead path: after the death slot the dead
+        // switch accepts nothing, so its report stops growing; tampering
+        // with the stranded count must break conservation.
+        let mut tampered = reference.clone();
+        if let Some(l) = tampered.faults.as_mut() {
+            l.stranded_cells += 1;
+        }
+        assert!(!tampered.conservation_holds());
+    }
+
+    #[test]
+    fn flowhash_fails_over_around_a_dead_middle() {
+        let mut config = ClosConfig::new(4, 3, 4);
+        config.dispatch = DispatchPolicy::FlowHash;
+        let plan = FaultPlan::new([FaultEvent::windowed(
+            FaultKind::MiddleDeath { switch: 0 },
+            500,
+            1_000,
+        )]);
+        let report = faulted(config, &plan).run(&mut uniform(&config, 0.8, 23), 3_000, 3);
+        assert!(report.zero_loss, "{report:?}");
+        assert!(report.conservation_holds());
+        assert_eq!(report.faults.as_ref().unwrap().stranded_cells, 0);
+        // Failover re-pins flows at the window edges; only cells caught in
+        // flight across those two edges may reorder, so the count stays a
+        // small fraction of the traffic.
+        assert!(
+            report.reordered_cells * 10 <= report.delivered,
+            "failover reordering must stay bounded: {} of {}",
+            report.reordered_cells,
+            report.delivered
+        );
+    }
+
+    #[test]
+    fn link_flap_stalls_and_recovers_without_loss() {
+        let config = ClosConfig::new(3, 3, 3);
+        let plan = FaultPlan::new([
+            FaultEvent::windowed(
+                FaultKind::LinkFlap {
+                    boundary: LinkBoundary::IngressMiddle,
+                    switch: 0,
+                    output: 2,
+                },
+                400,
+                300,
+            ),
+            FaultEvent::windowed(
+                FaultKind::LinkFlap {
+                    boundary: LinkBoundary::MiddleEgress,
+                    switch: 1,
+                    output: 1,
+                },
+                900,
+                200,
+            ),
+        ]);
+        let report = faulted(config, &plan).run(&mut uniform(&config, 0.8, 7), 2_500, 1);
+        assert!(report.zero_loss, "flaps stall, never drop: {report:?}");
+        assert!(report.conservation_holds());
+        let ledger = report.faults.as_ref().unwrap();
+        assert_eq!(ledger.stranded_cells, 0, "flapped cells recover");
+        assert_eq!(ledger.dropped_cells, 0);
+        assert!(
+            ledger.events.iter().all(|e| e.stalled_cell_slots > 0),
+            "each flap's added latency must be accounted: {ledger:?}"
+        );
+        let pipelined = faulted(config, &plan).run(&mut uniform(&config, 0.8, 7), 2_500, 3);
+        assert_eq!(pipelined, report);
+    }
+
+    #[test]
+    fn egress_slowdown_degrades_measurably_but_conserves() {
+        let config = ClosConfig::new(3, 3, 3);
+        let plan = FaultPlan::new([FaultEvent::windowed(
+            FaultKind::EgressSlowdown { port: 4, factor: 4 },
+            200,
+            1_500,
+        )]);
+        let healthy = clos(config).run(&mut uniform(&config, 0.8, 5), 2_000, 1);
+        let report = faulted(config, &plan).run(&mut uniform(&config, 0.8, 5), 2_000, 1);
+        assert!(report.zero_loss, "{report:?}");
+        assert!(report.conservation_holds());
+        let ledger = report.faults.as_ref().unwrap();
+        assert!(
+            ledger.slowed_slots > 0,
+            "the degraded window must be observed: {ledger:?}"
+        );
+        assert!(
+            report.max_latency_slots > healthy.max_latency_slots,
+            "a throttled output line must show up as added latency"
+        );
+    }
+
+    #[test]
+    fn ingress_port_death_refuses_and_accounts_cells() {
+        let config = ClosConfig::new(3, 3, 3);
+        let plan = FaultPlan::new([FaultEvent::permanent(
+            FaultKind::IngressPortDeath { port: 4 },
+            500,
+        )]);
+        let report = faulted(config, &plan).run(&mut uniform(&config, 0.8, 13), 2_000, 1);
+        let ledger = report.faults.as_ref().unwrap();
+        assert!(ledger.refused_cells > 0, "{ledger:?}");
+        assert!(!report.zero_loss, "refused cells are accounted loss");
+        assert_eq!(report.lost_cells, ledger.refused_cells);
+        assert!(
+            report.conservation_holds(),
+            "refusals are ledgered, so conservation holds: {report:?}"
+        );
+        let mut tampered = report.clone();
+        if let Some(l) = tampered.faults.as_mut() {
+            l.refused_cells -= 1;
+        }
+        assert!(!tampered.conservation_holds());
+        let pipelined = faulted(config, &plan).run(&mut uniform(&config, 0.8, 13), 2_000, 2);
+        assert_eq!(pipelined, report);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn arming_a_plan_that_does_not_fit_the_geometry_panics() {
+        let config = ClosConfig::new(3, 3, 2);
+        let mut fabric = clos(config);
+        fabric.arm_faults(&FaultPlan::new([FaultEvent::permanent(
+            FaultKind::MiddleDeath { switch: 2 },
+            0,
+        )]));
     }
 
     #[test]

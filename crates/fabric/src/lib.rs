@@ -22,6 +22,9 @@
 //!   accounting.
 //! * [`FabricRunReport`] — per-port, per-output and traffic-matrix-level
 //!   results, with a built-in cell-conservation check.
+//! * [`faults`] — deterministic, slot-scheduled fault injection for the
+//!   Clos fabric ([`FaultPlan`]), with every fault's impact accounted in a
+//!   per-fault [`FaultLedger`] so conservation still closes under failure.
 //!
 //! # Example
 //!
@@ -60,16 +63,17 @@
 mod arbiter;
 pub mod clos;
 mod egress;
+pub mod faults;
 mod port;
 mod report;
 mod switch;
 
 pub use arbiter::{ArbiterKind, CrossbarArbiter};
-pub use clos::{
-    ClosConfig, ClosFabric, ClosRunReport, ClosStage, ClosStageReport, DispatchPolicy,
-    LinkDiscipline,
-};
+pub use clos::{ClosConfig, ClosFabric, ClosRunReport, ClosStage, ClosStageReport, DispatchPolicy};
 pub use egress::EgressPort;
+pub use faults::{
+    FaultEvent, FaultImpact, FaultKind, FaultLedger, FaultPlan, FaultPlanError, LinkBoundary,
+};
 pub use port::PortBuffer;
 pub use report::{EgressReport, FabricRunReport, PortReport};
 pub use switch::{FabricConfig, NullSink, StageSink, VoqSwitch, FABRIC_CHUNK_SLOTS};

@@ -114,6 +114,20 @@ impl FabricRunReport {
     /// departures aimed at it (egress FIFOs are flushed before a report is
     /// built); and fabric-wide, arrivals = transmitted + resident + dropped.
     pub fn conservation_holds(&self) -> bool {
+        self.conservation_deficit() == Some(0)
+    }
+
+    /// The same check, but tolerating cells granted to an egress FIFO and
+    /// never transmitted — exactly what a mid-run switch death freezes in
+    /// place. Returns `None` when some balance is outright wrong (counts
+    /// that no fault can explain), otherwise `Some(deficit)` where
+    /// `deficit` is the number of frozen egress cells: per output
+    /// `transmitted ≤ aimed` with the shortfalls summed, and fabric-wide
+    /// `arrivals = transmitted + resident + dropped + deficit`. A healthy
+    /// run has deficit 0 ([`FabricRunReport::conservation_holds`]); a
+    /// faulted Clos run must account every deficit cell as stranded in its
+    /// fault ledger.
+    pub fn conservation_deficit(&self) -> Option<u64> {
         let p = self.ports;
         let flows_ok = self
             .arrivals_matrix
@@ -127,15 +141,18 @@ impl FabricRunReport {
                 && departures == port.grants
                 && port.arrivals == port.grants + port.resident_cells + port.stats.drops
         });
+        let mut deficit = 0u64;
         let outputs_ok = self.per_output.iter().enumerate().all(|(j, output)| {
             let aimed: u64 = (0..p).map(|i| self.departures_matrix[i * p + j]).sum();
-            output.transmitted == aimed
+            deficit += aimed.saturating_sub(output.transmitted);
+            output.transmitted <= aimed
         });
         let dropped: u64 = self.per_port.iter().map(|port| port.stats.drops).sum();
-        flows_ok
+        let balanced = flows_ok
             && ports_ok
             && outputs_ok
-            && self.arrivals == self.transmitted + self.resident_cells + dropped
+            && self.arrivals == self.transmitted + self.resident_cells + dropped + deficit;
+        balanced.then_some(deficit)
     }
 }
 

@@ -29,7 +29,9 @@ use crate::lab::{run_sharded, LabRunner};
 use crate::scenario::{normalize_name, serde_via_string, DesignKind, ParseNameError};
 use crate::spec::{SpecError, Sweep};
 pub use ::fabric::ClosRunReport;
-use ::fabric::{ClosConfig, ClosFabric, ClosStage, DispatchPolicy, PortBuffer};
+use ::fabric::{
+    ClosConfig, ClosFabric, ClosStage, DispatchPolicy, FaultPlan, FaultPlanError, PortBuffer,
+};
 use pktbuf::PacketBuffer;
 use pktbuf_model::{CfdsConfig, ConfigError, ConfigOverrides, DramTiming, LineRate, RadsConfig};
 use serde::{de, Deserialize, Deserializer, Serialize, Serializer};
@@ -96,6 +98,8 @@ pub enum ClosScenarioError {
     BadLinkCapacity(usize),
     /// A per-stage buffer configuration is invalid.
     Config(ConfigError),
+    /// The fault plan does not fit the geometry or is malformed.
+    Faults(FaultPlanError),
 }
 
 impl fmt::Display for ClosScenarioError {
@@ -120,6 +124,7 @@ impl fmt::Display for ClosScenarioError {
                 write!(f, "inter-stage links need at least one credit, got {c}")
             }
             ClosScenarioError::Config(e) => write!(f, "stage buffer configuration: {e}"),
+            ClosScenarioError::Faults(e) => write!(f, "fault plan: {e}"),
         }
     }
 }
@@ -128,7 +133,7 @@ impl std::error::Error for ClosScenarioError {}
 
 /// A fully specified Clos run: one expanded point of a [`ClosSpec`], or a
 /// hand-built one-off.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClosScenario {
     /// Radix `N` of each ingress/egress switch; external ports = `r·N`.
     pub radix: usize,
@@ -173,6 +178,9 @@ pub struct ClosScenario {
     pub workers: usize,
     /// Configuration knobs applied to every stage buffer.
     pub overrides: ConfigOverrides,
+    /// Deterministic fault plan armed before slot 0 (empty = fault-free; an
+    /// empty plan leaves the run byte-identical to an unarmed one).
+    pub faults: FaultPlan,
 }
 
 impl ClosScenario {
@@ -200,6 +208,7 @@ impl ClosScenario {
             seed: 1,
             workers: 1,
             overrides: ConfigOverrides::none(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -264,9 +273,9 @@ impl ClosScenario {
     }
 
     /// The fabric-crate Clos configuration (geometry, dispatch, links,
-    /// arbiter; always credit flow control — the lossy `DropOnFull`
-    /// discipline is a fault-injection mode for tests, not an experiment
-    /// axis).
+    /// arbiter; always credit flow control — the lossy drop-on-full mode is
+    /// requested through [`fabric::FaultKind::DropOnFull`] in the
+    /// scenario's fault plan, not an experiment axis).
     pub fn clos_config(&self) -> ClosConfig {
         ClosConfig {
             radix: self.radix,
@@ -277,7 +286,6 @@ impl ClosScenario {
             link_latency: self.link_latency,
             egress_period: self.egress_period.max(1),
             arbiter: self.arbiter.to_kind(self.islip_iterations as usize),
-            ..ClosConfig::new(self.radix, self.ingress_switches, self.middle_switches)
         }
     }
 
@@ -306,6 +314,9 @@ impl ClosScenario {
         if self.link_capacity < 1 {
             return Err(ClosScenarioError::BadLinkCapacity(self.link_capacity));
         }
+        self.faults
+            .validate(self.radix, self.ingress_switches, self.middle_switches)
+            .map_err(ClosScenarioError::Faults)?;
         let needs = |kind: DesignKind, queues: usize| -> Result<(), ClosScenarioError> {
             match kind {
                 DesignKind::Cfds => self
@@ -413,6 +424,9 @@ impl ClosScenario {
         let mut fabric = ClosFabric::new(self.clos_config(), |stage| {
             build(self, self.stage_queue_count(stage))
         });
+        if !self.faults.is_empty() {
+            fabric.arm_faults(&self.faults);
+        }
         let ext = self.external_ports();
         let n = self.radix as u64;
         let load = self.load();
@@ -492,6 +506,9 @@ impl Serialize for ClosScenario {
         st.serialize_field("seed", &self.seed)?;
         st.serialize_field("workers", &self.workers)?;
         st.serialize_field("overrides", &self.overrides)?;
+        if !self.faults.is_empty() {
+            st.serialize_field("faults", &self.faults)?;
+        }
         st.end()
     }
 }
@@ -535,6 +552,7 @@ impl<'de> Deserialize<'de> for ClosScenario {
                         "seed" => scenario.seed = map.next_value()?,
                         "workers" => scenario.workers = map.next_value()?,
                         "overrides" => scenario.overrides = map.next_value()?,
+                        "faults" => scenario.faults = map.next_value()?,
                         other => {
                             return Err(de::Error::custom(format_args!(
                                 "unknown Clos scenario field {other:?}"
@@ -601,6 +619,10 @@ pub struct ClosSpec {
     pub seeds: Vec<u64>,
     /// Configuration knobs applied to every stage buffer.
     pub overrides: ConfigOverrides,
+    /// Fault plan armed in every expanded run (empty = fault-free;
+    /// combinations whose geometry the plan does not fit are skipped like
+    /// any other invalid point).
+    pub faults: FaultPlan,
 }
 
 impl ClosSpec {
@@ -676,6 +698,7 @@ impl ClosSpec {
                                                     seed: *seed,
                                                     workers: self.workers.max(1) as usize,
                                                     overrides: self.overrides,
+                                                    faults: self.faults.clone(),
                                                 };
                                                 if scenario.validate().is_ok() {
                                                     runs.push(scenario);
@@ -757,6 +780,7 @@ impl Default for ClosSpecBuilder {
                 workers: 1,
                 seeds: vec![1],
                 overrides: ConfigOverrides::none(),
+                faults: FaultPlan::none(),
             },
         }
     }
@@ -889,6 +913,12 @@ impl ClosSpecBuilder {
         self
     }
 
+    /// Sets the fault plan armed in every expanded run.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.spec.faults = faults;
+        self
+    }
+
     /// Finalises the spec, checking that it expands to at least one run.
     ///
     /// # Errors
@@ -925,6 +955,9 @@ impl Serialize for ClosSpec {
         st.serialize_field("workers", &self.workers)?;
         st.serialize_field("seeds", &self.seeds)?;
         st.serialize_field("overrides", &self.overrides)?;
+        if !self.faults.is_empty() {
+            st.serialize_field("faults", &self.faults)?;
+        }
         st.serialize_field("kind", &"clos")?;
         st.end()
     }
@@ -965,6 +998,7 @@ impl<'de> Deserialize<'de> for ClosSpec {
                         "workers" => spec.workers = map.next_value()?,
                         "seeds" => spec.seeds = map.next_value()?,
                         "overrides" => spec.overrides = map.next_value()?,
+                        "faults" => spec.faults = map.next_value()?,
                         "kind" => {
                             let kind: String = map.next_value()?;
                             if kind != "clos" {
@@ -1172,7 +1206,7 @@ impl LabRunner {
     pub fn run_clos(&self, spec: &ClosSpec) -> Result<ClosLabReport, SpecError> {
         let expansion = spec.expand()?;
         let runs = run_sharded(self.threads(), expansion.runs.len(), |index| {
-            let scenario = expansion.runs[index];
+            let scenario = expansion.runs[index].clone();
             let report = scenario.run();
             ClosRunRecord {
                 index,
@@ -1415,13 +1449,101 @@ mod tests {
             seed: 99,
             ..ClosScenario::small()
         };
-        let json = serde_json::to_string_pretty(scenario).unwrap();
+        let json = serde_json::to_string_pretty(&scenario).unwrap();
+        assert!(!json.contains("\"faults\""), "empty plan stays implicit");
         let back: ClosScenario = serde_json::from_str(&json).unwrap();
         assert_eq!(back, scenario);
         let minimal: ClosScenario = serde_json::from_str("{\"radix\": 8}").unwrap();
         assert_eq!(minimal.radix, 8);
         assert_eq!(minimal.dispatch, DispatchChoice::Spray);
         assert!(serde_json::from_str::<ClosScenario>("{}").is_err());
+    }
+
+    #[test]
+    fn faulted_scenario_round_trips_and_validates_geometry() {
+        use ::fabric::{FaultEvent, FaultKind, LinkBoundary};
+        let scenario = ClosScenario {
+            faults: FaultPlan::new([
+                FaultEvent::windowed(FaultKind::MiddleDeath { switch: 1 }, 300, 200),
+                FaultEvent::windowed(
+                    FaultKind::LinkFlap {
+                        boundary: LinkBoundary::MiddleEgress,
+                        switch: 0,
+                        output: 1,
+                    },
+                    600,
+                    100,
+                ),
+            ]),
+            ..quick()
+        };
+        assert!(scenario.validate().is_ok());
+        let json = serde_json::to_string_pretty(&scenario).unwrap();
+        assert!(json.contains("\"middle-death\""));
+        let back: ClosScenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scenario);
+        // A plan that targets a middle switch the geometry lacks is caught
+        // at validation, before any fabric is built.
+        let misfit = ClosScenario {
+            faults: FaultPlan::new([FaultEvent::permanent(
+                FaultKind::MiddleDeath { switch: 9 },
+                100,
+            )]),
+            ..quick()
+        };
+        assert!(matches!(
+            misfit.validate(),
+            Err(ClosScenarioError::Faults(_))
+        ));
+    }
+
+    #[test]
+    fn faulted_scenario_runs_conserving_with_a_ledger() {
+        use ::fabric::{FaultEvent, FaultKind};
+        let scenario = ClosScenario {
+            faults: FaultPlan::new([FaultEvent::windowed(
+                FaultKind::MiddleDeath { switch: 1 },
+                300,
+                250,
+            )]),
+            ..quick()
+        };
+        let reference = scenario.run_reference();
+        assert!(reference.zero_loss, "{reference:?}");
+        assert!(reference.conservation_holds(), "{reference:?}");
+        let ledger = reference.faults.as_ref().expect("armed plans report");
+        assert_eq!(ledger.events.len(), 1);
+        assert!(ledger.stalled_cell_slots > 0, "{ledger:?}");
+        for workers in [1usize, 3] {
+            assert_eq!(scenario.run_with_workers(workers), reference);
+        }
+    }
+
+    #[test]
+    fn spec_faults_reach_every_expanded_run() {
+        use ::fabric::{FaultEvent, FaultKind};
+        let plan = FaultPlan::new([FaultEvent::windowed(
+            FaultKind::MiddleDeath { switch: 0 },
+            100,
+            50,
+        )]);
+        let spec = ClosSpec::builder()
+            .radix(Sweep::fixed(3))
+            .ingress_switches(Sweep::fixed(3))
+            .middle_switches(Sweep::fixed(3))
+            .load_percent(Sweep::list([60, 85]))
+            .arrival_slots(400)
+            .faults(plan.clone())
+            .build()
+            .unwrap();
+        let json = spec.to_json();
+        assert_eq!(ClosSpec::from_json(&json).unwrap(), spec);
+        let expansion = spec.expand().unwrap();
+        assert_eq!(expansion.runs.len(), 2);
+        assert!(expansion.runs.iter().all(|run| run.faults == plan));
+        let report = LabRunner::new().with_threads(2).run_clos(&spec).unwrap();
+        assert!(report.aggregate.all_conserving, "{:?}", report.aggregate);
+        assert!(report.runs.iter().all(|run| run.report.faults.is_some()));
     }
 
     #[test]

@@ -79,6 +79,7 @@ pub mod techeval;
 
 pub use crate::clos::{ClosLabReport, ClosScenario, ClosSpec};
 pub use crate::fabric::{FabricScenario, FabricSpec};
+pub use ::fabric::{FaultEvent, FaultKind, FaultLedger, FaultPlan, FaultPlanError, LinkBoundary};
 pub use engine::{
     workload_label, GeneratorSource, SimulationEngine, SimulationReport, CHUNK_SLOTS,
 };

@@ -2,12 +2,13 @@
 //! layer: cell conservation across the whole router, determinism, and the
 //! zero-loss envelope.
 
+use future_packet_buffers::sim::clos::{ClosScenario, DispatchChoice};
 use future_packet_buffers::sim::fabric::{
     ArbiterChoice, FabricDesign, FabricScenario, FabricSpec, FabricWorkload,
 };
 use future_packet_buffers::sim::lab::LabRunner;
 use future_packet_buffers::sim::scenario::DesignKind;
-use future_packet_buffers::sim::Sweep;
+use future_packet_buffers::sim::{FaultEvent, FaultKind, FaultPlan, LinkBoundary, Sweep};
 use proptest::prelude::*;
 
 proptest! {
@@ -64,6 +65,112 @@ proptest! {
         // Determinism: the identical scenario replays bit-identically.
         let replay = scenario.run();
         prop_assert_eq!(&replay, &report);
+    }
+
+    /// Chaos invariant: a random fault plan over a random Clos shape never
+    /// loses a cell silently. Either the run is zero-loss, or every missing
+    /// cell appears in the fault ledger (refused at a dead ingress port or
+    /// dropped on a full link under drop-on-full); stranded cells stay
+    /// inside the degraded-mode conservation balance either way. The same
+    /// seed replays bit-identically, including across worker counts.
+    #[test]
+    fn faulted_clos_ledgers_every_missing_cell_and_replays(
+        radix in 2usize..=4,
+        ingress in 2usize..=3,
+        middle_raw in 1usize..=4,
+        dispatch_index in 0usize..2,
+        death_switch in 0usize..4,
+        death_start in 100u64..=500,
+        death_permanent in prop::bool::ANY,
+        flap_boundary in prop::bool::ANY,
+        flap_switch in 0usize..4,
+        flap_output in 0usize..4,
+        flap_start in 100u64..=600,
+        flap_len in 50u64..=250,
+        slow_port in 0usize..16,
+        slow_factor in 2u64..=4,
+        kill_ingress in prop::bool::ANY,
+        kill_port in 0usize..16,
+        drop_on_full in prop::bool::ANY,
+        load_percent in 40u64..=85,
+        arrival_slots in 400u64..=800,
+        seed in 0u64..10_000,
+    ) {
+        let middle = middle_raw.min(radix);
+        let ext = ingress * radix;
+        let mut events = vec![
+            if death_permanent {
+                FaultEvent::permanent(
+                    FaultKind::MiddleDeath { switch: death_switch % middle },
+                    death_start,
+                )
+            } else {
+                FaultEvent::windowed(
+                    FaultKind::MiddleDeath { switch: death_switch % middle },
+                    death_start,
+                    300,
+                )
+            },
+            FaultEvent::windowed(
+                if flap_boundary {
+                    FaultKind::LinkFlap {
+                        boundary: LinkBoundary::IngressMiddle,
+                        switch: flap_switch % ingress,
+                        output: flap_output % middle,
+                    }
+                } else {
+                    FaultKind::LinkFlap {
+                        boundary: LinkBoundary::MiddleEgress,
+                        switch: flap_switch % middle,
+                        output: flap_output % ingress,
+                    }
+                },
+                flap_start,
+                flap_len,
+            ),
+            FaultEvent::windowed(
+                FaultKind::EgressSlowdown { port: slow_port % ext, factor: slow_factor },
+                150,
+                400,
+            ),
+        ];
+        if kill_ingress {
+            events.push(FaultEvent::permanent(
+                FaultKind::IngressPortDeath { port: kill_port % ext },
+                death_start + 50,
+            ));
+        }
+        if drop_on_full {
+            events.push(FaultEvent::permanent(FaultKind::DropOnFull, 0));
+        }
+        let scenario = ClosScenario {
+            radix,
+            ingress_switches: ingress,
+            middle_switches: middle,
+            dispatch: DispatchChoice::all()[dispatch_index],
+            load_percent,
+            arrival_slots,
+            seed,
+            faults: FaultPlan::new(events),
+            ..ClosScenario::small()
+        };
+        prop_assert!(scenario.validate().is_ok(), "{scenario:?}");
+        let report = scenario.run();
+        prop_assert!(report.conservation_holds(), "{scenario:?}: {report:?}");
+        let ledger = report.faults.as_ref().expect("armed plans always report");
+        // No silent loss: everything lost is refused or dropped in the
+        // ledger, and a run with nothing ledgered lost nothing.
+        prop_assert_eq!(
+            report.lost_cells,
+            ledger.refused_cells + ledger.dropped_cells,
+            "{:?}", ledger
+        );
+        if !kill_ingress && !drop_on_full {
+            prop_assert!(report.zero_loss, "{scenario:?}: {report:?}");
+        }
+        // Same-seed replay is bit-identical, whatever the worker count.
+        prop_assert_eq!(&scenario.run(), &report);
+        prop_assert_eq!(&scenario.run_with_workers(3), &report);
     }
 }
 
