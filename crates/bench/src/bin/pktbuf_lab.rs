@@ -18,13 +18,13 @@ use bench::cli::{
     parse_int, parse_list, parse_sweep, read_spec_text, write_artifact, OutputOptions,
 };
 use serde::{Serialize, Serializer};
-use sim::clos::{ClosLabReport, ClosSpec, DispatchChoice};
+use sim::clos::{ClosLabReport, ClosSpec, DispatchChoice, TransportScenario};
 use sim::fabric::{ArbiterChoice, FabricDesign, FabricLabReport, FabricSpec, FabricWorkload};
 use sim::lab::{ExperimentReport, LabRunner};
 use sim::report::TextTable;
 use sim::scenario::{DesignKind, Workload};
 use sim::spec::{ExperimentSpec, Sweep};
-use sim::{FaultEvent, FaultKind, FaultPlan, LinkBoundary};
+use sim::{FaultEvent, FaultKind, FaultPlan, LinkBoundary, RecoveryReport, TransportReport};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -116,13 +116,18 @@ same sweep syntax as below):
                              then re-runs the same Clos under a fixed fault plan
                              (a mid-run middle-switch death + one link flap) and
                              fails unless conservation still closes through the
-                             fault ledger with bounded reordering
+                             fault ledger with bounded reordering; finally runs
+                             the closed-loop recovery leg — the reliable transport
+                             over a 16-port cut-through Clos, fault-free and under
+                             a fixed death+flap plan — and fails unless delivery
+                             is exactly-once, the transport ledger closes, and
+                             goodput recovers within a bounded window
     --radix <SWEEP>          switch radix N                      (default 4)
     --ingress <SWEEP>        ingress (= egress) switches r       (default 4)
     --middle <SWEEP>         middle switches m (<= N)            (default 4)
     --designs <LIST|all>     dram-only, rads, cfds, mixed        (default rads)
     --workloads <LIST|all>   uniform, hotspot, incast, bursty    (default uniform)
-    --dispatches <LIST|all>  spray, flowhash                     (default spray)
+    --dispatches <LIST|all>  spray, flowhash, occupancy-spray    (default spray)
     --arbiters <LIST|all>    islip, maximal                      (default islip)
     --iters <N>              iSLIP iterations per slot, 0 = auto (default 0)
     --load <SWEEP>           offered load per external port, %   (default 80)
@@ -133,6 +138,11 @@ same sweep syntax as below):
     --faults <FILE>          arm a fault plan in every run: a JSON list of fault
                              events ('-' = stdin; see README 'Fault injection')
     --faults-json <FILE>     write the per-run fault ledgers as JSON ('-' = stdout)
+    --transport              layer the closed-loop reliable transport over every
+                             run (forces cut-through RADS granularity 1; the
+                             sources self-clock, so --workloads/--load are inert)
+    --recovery-json <FILE>   write the smoke recovery reports as JSON
+                             ('-' = stdout; requires --smoke)
     --rate, -b/-B/--banks, --slots, --seeds, --name, --threads, --json, --csv
                              as for `run`/`sweep`
 
@@ -701,6 +711,112 @@ impl Serialize for ClosFaultRecord<'_> {
     }
 }
 
+/// The closed-loop transport leg of the `clos --smoke` gate: a 16-port
+/// cut-through Clos (r = 4 ingress/egress switches of radix 4, m = 4 middle)
+/// running the default reliable transport under spray dispatch. Cut-through
+/// (RADS write granularity 1) is what the transport requires fabric-wide:
+/// batched writeback would park sub-batch tails as permanent residents and
+/// the reliable sources would retransmit against them forever.
+fn clos_transport_smoke_spec() -> ClosSpec {
+    ClosSpec::builder()
+        .name("clos-transport-smoke")
+        .designs([FabricDesign::Fixed(DesignKind::Rads)])
+        .workloads([FabricWorkload::Uniform])
+        .dispatches([DispatchChoice::Spray])
+        .radix(Sweep::fixed(4))
+        .ingress_switches(Sweep::fixed(4))
+        .middle_switches(Sweep::fixed(4))
+        .load_percent(Sweep::fixed(85))
+        .rads_granularity(1)
+        .arrival_slots(6_000)
+        .transport(TransportScenario::default())
+        .build()
+        .expect("the clos transport smoke spec is valid")
+}
+
+/// The fixed fault plan of the recovery leg: middle switch 1 dies at slot
+/// 1 000 and revives 1 500 slots later (a quarter of the middle capacity
+/// gone — in-flight cells are lost and must be retransmitted), then the
+/// ingress→middle link `2 → 1` flaps for 300 slots. The last window closes
+/// at slot 3 100, leaving 2 900 live slots for goodput to climb back to the
+/// fault-free twin's.
+fn clos_recovery_smoke_plan() -> FaultPlan {
+    FaultPlan::new([
+        FaultEvent::windowed(FaultKind::MiddleDeath { switch: 1 }, 1_000, 1_500),
+        FaultEvent::windowed(
+            FaultKind::LinkFlap {
+                boundary: LinkBoundary::IngressMiddle,
+                switch: 2,
+                output: 1,
+            },
+            2_800,
+            300,
+        ),
+    ])
+}
+
+/// The faulted twin of [`clos_transport_smoke_spec`]: same geometry, same
+/// sources, same transport config, with [`clos_recovery_smoke_plan`] armed.
+fn clos_recovery_fault_smoke_spec() -> ClosSpec {
+    let mut spec = clos_transport_smoke_spec();
+    spec.name = "clos-recovery-smoke".to_owned();
+    spec.faults = clos_recovery_smoke_plan();
+    spec
+}
+
+/// One paired run's slice of the `--recovery-json` artifact: the fault-free
+/// and faulted transport reports side by side, the faulted run's ledger, and
+/// the measured time-to-recover.
+struct ClosRecoveryRecord<'a> {
+    index: usize,
+    dispatch: DispatchChoice,
+    seed: u64,
+    fault_free: Option<&'a TransportReport>,
+    faulted: Option<&'a TransportReport>,
+    ledger: Option<&'a sim::FaultLedger>,
+    recovery: Option<RecoveryReport>,
+}
+
+impl Serialize for ClosRecoveryRecord<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("ClosRecoveryRecord", 7)?;
+        st.serialize_field("index", &self.index)?;
+        st.serialize_field("dispatch", &self.dispatch)?;
+        st.serialize_field("seed", &self.seed)?;
+        st.serialize_field("fault_free", &self.fault_free)?;
+        st.serialize_field("faulted", &self.faulted)?;
+        st.serialize_field("ledger", &self.ledger)?;
+        st.serialize_field("recovery", &self.recovery)?;
+        st.end()
+    }
+}
+
+/// Renders the recovery leg (fault-free twin + faulted twin, paired run by
+/// run) as the pretty-JSON `--recovery-json` artifact.
+fn clos_recovery_json(healthy: &ClosLabReport, faulted: &ClosLabReport) -> String {
+    let records: Vec<ClosRecoveryRecord<'_>> = faulted
+        .runs
+        .iter()
+        .map(|fault_run| {
+            let twin = healthy.runs.iter().find(|h| {
+                h.scenario.dispatch == fault_run.scenario.dispatch
+                    && h.scenario.seed == fault_run.scenario.seed
+            });
+            ClosRecoveryRecord {
+                index: fault_run.index,
+                dispatch: fault_run.scenario.dispatch,
+                seed: fault_run.scenario.seed,
+                fault_free: twin.and_then(|h| h.report.transport.as_ref()),
+                faulted: fault_run.report.transport.as_ref(),
+                ledger: fault_run.report.faults.as_ref(),
+                recovery: twin.and_then(|h| RecoveryReport::measure(&h.report, &fault_run.report)),
+            }
+        })
+        .collect();
+    serde_json::to_string_pretty(&records).expect("recovery records always serialize")
+}
+
 /// Renders every faulted run's ledger (across one or two lab reports) as the
 /// pretty-JSON `--faults-json` artifact.
 fn clos_fault_ledgers_json(reports: &[&ClosLabReport]) -> String {
@@ -729,6 +845,7 @@ fn clos_command(args: &[String]) -> Result<(), String> {
     let mut smoke = false;
     let mut print_spec = false;
     let mut faults_json: Option<String> = None;
+    let mut recovery_json: Option<String> = None;
     let mut edits: Vec<ClosEdit> = Vec::new();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -913,6 +1030,14 @@ fn clos_command(args: &[String]) -> Result<(), String> {
                 }));
             }
             "--faults-json" => faults_json = Some(value("--faults-json")?),
+            "--transport" => {
+                edits.push(Box::new(|s| {
+                    s.transport = Some(TransportScenario::default());
+                    s.rads_granularity = 1;
+                    Ok(())
+                }));
+            }
+            "--recovery-json" => recovery_json = Some(value("--recovery-json")?),
             "--threads" => {
                 output.threads = Some(parse_int(&value("--threads")?, "--threads")? as usize);
             }
@@ -966,6 +1091,23 @@ fn clos_command(args: &[String]) -> Result<(), String> {
     } else {
         None
     };
+    let recovery_legs = if smoke {
+        // The end-to-end recovery leg: the closed-loop reliable transport
+        // over a cut-through Clos, once fault-free and once under the fixed
+        // death+flap plan. Run both and write the artifact *before* gating,
+        // so a gate failure still leaves the evidence on disk.
+        let healthy = runner
+            .run_clos(&clos_transport_smoke_spec())
+            .map_err(|e| e.to_string())?;
+        print_clos_summary(&healthy, machine_stdout);
+        let faulted = runner
+            .run_clos(&clos_recovery_fault_smoke_spec())
+            .map_err(|e| e.to_string())?;
+        print_clos_summary(&faulted, machine_stdout);
+        Some((healthy, faulted))
+    } else {
+        None
+    };
     if let Some(path) = &faults_json {
         let sources: Vec<&ClosLabReport> = match &fault_report {
             Some(faulted) => vec![&report, faulted],
@@ -973,14 +1115,141 @@ fn clos_command(args: &[String]) -> Result<(), String> {
         };
         write_artifact(path, &clos_fault_ledgers_json(&sources), "fault ledgers")?;
     }
+    if let Some(path) = &recovery_json {
+        let Some((healthy, faulted)) = &recovery_legs else {
+            return Err(
+                "--recovery-json needs --smoke (only the smoke suite runs the recovery leg)"
+                    .to_owned(),
+            );
+        };
+        write_artifact(
+            path,
+            &clos_recovery_json(healthy, faulted),
+            "recovery reports",
+        )?;
+    }
     if smoke {
         gate_clos_smoke(&report)?;
         gate_clos_fault_smoke(
             fault_report.as_ref().expect("smoke ran the fault leg"),
             &report,
         )?;
+        let (healthy, faulted) = recovery_legs.as_ref().expect("smoke ran the recovery legs");
+        gate_clos_recovery_smoke(healthy, faulted)?;
     }
     Ok(())
+}
+
+/// The end-to-end recovery gates of `clos --smoke`: pairing each faulted
+/// transport run with its fault-free twin, every leg must deliver
+/// exactly-once (zero duplicate deliveries), close both the transport ledger
+/// (`injected = acked + in-flight + queued retransmissions + abandoned`) and
+/// the fabric conservation balance, and abandon nothing (both faults are
+/// windowed, so the retry budget must carry every cell across); the
+/// fault-free twin must drain completely (every injected cell acked), the
+/// faulted run must actually feel the plan (timeouts fired), and goodput
+/// must regain ≥95% of the twin's within `MAX_SLOTS_TO_RECOVER` slots of
+/// the last fault window closing.
+fn gate_clos_recovery_smoke(
+    healthy: &ClosLabReport,
+    faulted: &ClosLabReport,
+) -> Result<(), String> {
+    /// Recovery deadline, in slots after the last fault window closes.
+    const MAX_SLOTS_TO_RECOVER: u64 = 2_000;
+    let mut failures = Vec::new();
+    if healthy.runs.len() != faulted.runs.len() {
+        return Err(format!(
+            "recovery legs diverged: {} fault-free runs vs {} faulted",
+            healthy.runs.len(),
+            faulted.runs.len(),
+        ));
+    }
+    let mut recovered_slots = Vec::new();
+    for (h, f) in healthy.runs.iter().zip(&faulted.runs) {
+        let label = format!("recovery run {} ({})", f.index, f.scenario.dispatch);
+        let (Some(ht), Some(ft)) = (h.report.transport.as_ref(), f.report.transport.as_ref())
+        else {
+            failures.push(format!("{label} is missing a transport report"));
+            continue;
+        };
+        for (leg, run, t) in [("fault-free", &h.report, ht), ("faulted", &f.report, ft)] {
+            if t.duplicate_deliveries != 0 {
+                failures.push(format!(
+                    "{label} {leg} leg delivered {} duplicates past dedup",
+                    t.duplicate_deliveries,
+                ));
+            }
+            if !run.transport_conservation_holds() {
+                failures.push(format!(
+                    "{label} {leg} leg broke the transport ledger: {} injected vs \
+                     {} acked + {} in flight + {} queued + {} abandoned",
+                    t.injected_cells,
+                    t.acked_cells,
+                    t.in_flight_at_end,
+                    t.retransmissions_outstanding_at_end,
+                    t.gave_up_cells,
+                ));
+            }
+            if !run.conservation_holds() {
+                failures.push(format!(
+                    "{label} {leg} leg broke fabric conservation: {} arrived vs {} delivered",
+                    run.arrivals, run.delivered,
+                ));
+            }
+            if t.gave_up_cells != 0 {
+                failures.push(format!(
+                    "{label} {leg} leg abandoned {} cells under windowed faults",
+                    t.gave_up_cells,
+                ));
+            }
+        }
+        if ht.acked_cells != ht.injected_cells {
+            failures.push(format!(
+                "{label} fault-free leg left {} of {} cells unacked",
+                ht.injected_cells - ht.acked_cells,
+                ht.injected_cells,
+            ));
+        }
+        if ft.timeouts_fired == 0 {
+            failures.push(format!("{label} fired no timeouts — the plan did not bite"));
+        }
+        match RecoveryReport::measure(&h.report, &f.report) {
+            None => failures.push(format!("{label} produced no recovery measurement")),
+            Some(rec) => {
+                if !rec.recovered {
+                    failures.push(format!(
+                        "{label} never regained 95% goodput after the fault window \
+                         closed at slot {}",
+                        rec.fault_close_slot,
+                    ));
+                } else {
+                    let slots = rec.slots_to_recover.unwrap_or(u64::MAX);
+                    if slots > MAX_SLOTS_TO_RECOVER {
+                        failures.push(format!(
+                            "{label} took {slots} slots to recover \
+                             (bound {MAX_SLOTS_TO_RECOVER})",
+                        ));
+                    } else {
+                        recovered_slots.push(slots);
+                    }
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "clos recovery smoke: all {} paired runs exactly-once with closed transport \
+             ledgers; goodput recovered within {:?} slots of the fault window closing",
+            faulted.runs.len(),
+            recovered_slots,
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "clos recovery smoke gate failed: {}",
+            failures.join("; ")
+        ))
+    }
 }
 
 /// The degraded-mode acceptance gates of `clos --smoke`: under the fixed
@@ -1109,7 +1378,9 @@ fn gate_clos_smoke(report: &ClosLabReport) -> Result<(), String> {
                     ));
                 }
             }
-            DispatchChoice::Spray => spray_reordered += run.report.reordered_cells,
+            DispatchChoice::Spray | DispatchChoice::OccupancySpray => {
+                spray_reordered += run.report.reordered_cells;
+            }
         }
     }
     if failures.is_empty() {
@@ -1180,6 +1451,28 @@ fn print_clos_summary(report: &ClosLabReport, to_stderr: bool) {
         ]);
     }
     emit(&table.render());
+    for run in &report.runs {
+        if let Some(t) = &run.report.transport {
+            emit(&format!(
+                "  run {} transport: {} injected, {} acked, {} retransmitted, \
+                 {} timeouts, {} duplicates filtered, {} duplicate deliveries, \
+                 {} abandoned, ledger {}",
+                run.index,
+                t.injected_cells,
+                t.acked_cells,
+                t.retransmitted_cells,
+                t.timeouts_fired,
+                t.duplicates_filtered,
+                t.duplicate_deliveries,
+                t.gave_up_cells,
+                if run.report.transport_conservation_holds() {
+                    "closed"
+                } else {
+                    "OPEN"
+                },
+            ));
+        }
+    }
     let agg = &report.aggregate;
     emit(&format!(
         "{}: {} runs ({} skipped invalid), {} zero-loss, {} conserving, {} arrivals, \

@@ -28,7 +28,7 @@
 
 use crate::cli::{guard_fresh_tag, load_artifact};
 use serde_json::{Map, Number, Value};
-use sim::clos::ClosScenario;
+use sim::clos::{ClosScenario, TransportScenario};
 use sim::fabric::{ArbiterChoice, FabricDesign, FabricScenario, FabricWorkload};
 use sim::scenario::{DesignKind, Scenario, Workload};
 use sim::SimulationEngine;
@@ -39,8 +39,11 @@ use traffic::{AdversarialRoundRobin, BurstyArrivals};
 /// measurements, showcase points, and the `trajectory` section. v3: fabric
 /// sections (`fabric_results`, `fabric_smoke_results`, and per-trajectory
 /// `fabric_slots_per_sec`). v4: three-stage Clos sections (`clos_results`,
-/// `clos_smoke_results`, and per-trajectory `clos_port_slots_per_sec`).
-pub const BENCH_SCHEMA: u64 = 4;
+/// `clos_smoke_results`, and per-trajectory `clos_port_slots_per_sec`). v5:
+/// the closed-loop transport Clos point (`+transport` key suffix, per-row
+/// `transport`/`transport_ok` flags, and the exactly-once/conservation
+/// standing gates over it).
+pub const BENCH_SCHEMA: u64 = 5;
 
 /// Default artifact path, relative to the invocation directory.
 pub const BENCH_DEFAULT_OUT: &str = "BENCH_hotpath.json";
@@ -542,7 +545,10 @@ const CLOS_SLOTS_SMOKE: u64 = 5_000;
 /// The DRAM-only point is the §1 motivation baseline at Clos scale: its
 /// buffers drop under contention *by design*, so it is exempt from the
 /// zero-loss standing gate (conservation still must hold — every lost cell
-/// accounted, none vanished).
+/// accounted, none vanished). The transport point layers the closed-loop
+/// reliable sources over a cut-through twin of the headline geometry: it
+/// measures the ack/retransmit machinery's overhead and stands under the
+/// exactly-once and end-to-end conservation gates.
 fn clos_suite_points(slots: u64) -> Vec<ClosScenario> {
     let base = ClosScenario {
         radix: 8,
@@ -571,6 +577,11 @@ fn clos_suite_points(slots: u64) -> Vec<ClosScenario> {
             design: FabricDesign::Fixed(DesignKind::DramOnly),
             arbiter: ArbiterChoice::Islip,
             load_percent: 85,
+            ..base.clone()
+        },
+        ClosScenario {
+            rads_granularity: 1,
+            transport: Some(TransportScenario::default()),
             ..base
         },
     ]
@@ -592,13 +603,17 @@ struct ClosBenchEntry {
     delivered: u64,
     zero_loss: bool,
     conserving: bool,
+    /// Open-loop points: trivially true. Transport points: exactly-once
+    /// delivery (zero duplicates) and the end-to-end retry-loop ledger
+    /// closed.
+    transport_ok: bool,
     seconds: f64,
 }
 
 impl ClosBenchEntry {
     fn key(&self) -> String {
         let s = &self.scenario;
-        format!(
+        let mut key = format!(
             "clos{}x{}x{}-{}/{}+{}@{}+{}",
             s.ingress_switches,
             s.middle_switches,
@@ -608,7 +623,11 @@ impl ClosBenchEntry {
             s.arbiter,
             s.load_percent,
             s.dispatch,
-        )
+        );
+        if s.transport.is_some() {
+            key.push_str("+transport");
+        }
+        key
     }
 
     fn slots_per_sec(&self) -> f64 {
@@ -637,12 +656,17 @@ fn run_clos_suite(smoke: bool, repeat: usize) -> Vec<ClosBenchEntry> {
             let report = scenario.run();
             let seconds = start.elapsed().as_secs_f64();
             if round == 0 {
+                let transport_ok = match &report.transport {
+                    None => true,
+                    Some(t) => t.duplicate_deliveries == 0 && report.transport_conservation_holds(),
+                };
                 entries.push(ClosBenchEntry {
                     scenario: scenario.clone(),
                     slots: report.slots,
                     delivered: report.delivered,
                     zero_loss: report.zero_loss,
                     conserving: report.conservation_holds(),
+                    transport_ok,
                     seconds,
                 });
             } else {
@@ -702,6 +726,8 @@ fn clos_results_json(entries: &[ClosBenchEntry]) -> Value {
         row.insert("delivered", Value::Number(Number::from_u64(e.delivered)));
         row.insert("zero_loss", Value::Bool(e.zero_loss));
         row.insert("conserving", Value::Bool(e.conserving));
+        row.insert("transport", Value::Bool(s.transport.is_some()));
+        row.insert("transport_ok", Value::Bool(e.transport_ok));
         row.insert("seconds", number(e.seconds));
         row.insert("slots_per_sec", number(e.slots_per_sec()));
         row.insert("port_slots_per_sec", number(e.port_slots_per_sec()));
@@ -998,6 +1024,14 @@ pub fn run_bench(options: &BenchOptions) -> Result<bool, String> {
         if !entry.conserving {
             eprintln!(
                 "bench: REGRESSION {}: clos run broke cell conservation",
+                entry.key()
+            );
+            ok = false;
+        }
+        if !entry.transport_ok {
+            eprintln!(
+                "bench: REGRESSION {}: clos transport run broke exactly-once \
+                 delivery or end-to-end conservation",
                 entry.key()
             );
             ok = false;
@@ -1346,10 +1380,20 @@ mod tests {
                 delivered: 900,
                 zero_loss: true,
                 conserving: true,
+                transport_ok: true,
                 seconds: 0.5,
             })
             .collect();
         assert_eq!(entries[0].key(), "clos8x8x8-RADS/uniform+islip@85+spray");
+        // The transport point rides the suite under its own key suffix, on a
+        // cut-through buffer (closed-loop sources need granularity 1).
+        let transport: Vec<&ClosBenchEntry> = entries
+            .iter()
+            .filter(|e| e.scenario.transport.is_some())
+            .collect();
+        assert_eq!(transport.len(), 1);
+        assert!(transport[0].key().ends_with("+transport"));
+        assert_eq!(transport[0].scenario.rads_granularity, 1);
         // Port normalisation: one slot advances all 64 external ports.
         assert!((entries[0].port_slots_per_sec() - 2_000.0 * 64.0).abs() < 1e-6);
         let json = clos_results_json(&entries);

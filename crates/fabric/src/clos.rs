@@ -74,13 +74,14 @@
 use crate::faults::{FaultLedger, FaultPlan, ImpactCounters, StageFaults};
 use crate::report::FabricRunReport;
 use crate::switch::{FabricConfig, StageSink, VoqSwitch, FABRIC_CHUNK_SLOTS};
+use crate::transport::{SinkState, TransportConfig, TransportReport};
 use crate::ArbiterKind;
 use pktbuf::PacketBuffer;
 use pktbuf_model::{Cell, LogicalQueueId};
 use serde::{Serialize, Serializer};
 use std::collections::VecDeque;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use traffic::ArrivalGenerator;
+use traffic::{ArrivalGenerator, ClosedLoopSource, MatrixTrace};
 
 /// How the ingress stage spreads cells over the middle switches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +92,13 @@ pub enum DispatchPolicy {
     /// Flow-hash pinning: every (source, destination) pair sticks to one
     /// middle switch — zero reordering, hash-collision hotspots possible.
     FlowHash,
+    /// Credit-occupancy-aware spray, always on: each cell goes to the
+    /// least-committed live middle path (queued VOQ cells, plus a full-link
+    /// penalty when the path's credits are exhausted), scanning from the
+    /// round-robin pointer so ties keep [`DispatchPolicy::Spray`]'s fair
+    /// cadence. This is the adaptive policy PR 8 used only inside
+    /// middle-death fault windows, promoted to a steady-state option.
+    OccupancySpray,
 }
 
 impl DispatchPolicy {
@@ -99,6 +107,7 @@ impl DispatchPolicy {
         match self {
             DispatchPolicy::Spray => "spray",
             DispatchPolicy::FlowHash => "flowhash",
+            DispatchPolicy::OccupancySpray => "occupancy-spray",
         }
     }
 }
@@ -200,11 +209,14 @@ struct FwdBatch {
 }
 
 /// One slot's credit returns crossing one stage boundary (downstream →
-/// upstream), as producer-side link ids.
+/// upstream), as producer-side link ids. When the reliable transport is
+/// enabled the egress stage piggybacks its acks here — the ack back-channel
+/// reuses the existing credit-return path, hop by hop.
 #[derive(Debug, Default)]
 struct CreditBatch {
     slot: u64,
     links: Vec<u32>,
+    acks: Vec<FlowTag>,
 }
 
 /// SplitMix64-style avalanche of a (src, dest) flow onto a middle switch.
@@ -230,6 +242,9 @@ struct Delivery {
     /// Per flow: whether any cell of this flow arrived out of order.
     flow_reordered: Vec<bool>,
     reordered_cells: u64,
+    /// Transport sink state (dedup + goodput); `None` unless the reliable
+    /// transport is enabled, so the open-loop path carries nothing.
+    transport: Option<SinkState>,
 }
 
 impl Delivery {
@@ -240,12 +255,13 @@ impl Delivery {
             highest_plus1: vec![0; ext_ports * ext_ports],
             flow_reordered: vec![false; ext_ports * ext_ports],
             reordered_cells: 0,
+            transport: None,
         }
     }
 
     /// Records one cell leaving the fabric on its external output line.
     #[inline]
-    fn deliver(&mut self, tag: FlowTag) {
+    fn deliver(&mut self, tag: FlowTag, slot: u64) {
         let flow = tag.src as usize * self.ext_ports + tag.dest as usize;
         self.delivered_matrix[flow] += 1;
         // `highest_plus1` stores max-delivered-seq + 1; a cell at or below
@@ -255,6 +271,9 @@ impl Delivery {
             self.flow_reordered[flow] = true;
         } else {
             self.highest_plus1[flow] = tag.seq + 1;
+        }
+        if let Some(sink) = self.transport.as_mut() {
+            sink.deliver(tag.src, tag.dest, tag.seq, slot);
         }
     }
 }
@@ -266,6 +285,7 @@ impl Delivery {
 struct StageHooks<'a> {
     s: usize,
     radix: usize,
+    slot: u64,
     /// Whether transmissions debit link credits (false only when a
     /// `DropOnFull` fault disabled credit flow control for the run).
     debit: bool,
@@ -275,6 +295,10 @@ struct StageHooks<'a> {
     out_credits: &'a mut [u32],
     fwd: &'a mut FwdBatch,
     delivery: Option<&'a mut Delivery>,
+    /// Egress only, transport on: every delivery (unique *and* duplicate —
+    /// re-acking a filtered copy is what stops its source retrying) also
+    /// pushes an ack onto the outbound credit batch.
+    acks: Option<&'a mut Vec<FlowTag>>,
 }
 
 impl StageSink for StageHooks<'_> {
@@ -297,7 +321,12 @@ impl StageSink for StageHooks<'_> {
             return;
         };
         match self.delivery.as_deref_mut() {
-            Some(delivery) => delivery.deliver(tag),
+            Some(delivery) => {
+                if let Some(acks) = self.acks.as_deref_mut() {
+                    acks.push(tag);
+                }
+                delivery.deliver(tag, self.slot);
+            }
             None => {
                 if self.debit {
                     debug_assert!(self.out_credits[o] > 0, "transmit without link credit");
@@ -332,6 +361,8 @@ struct Stage<B: PacketBuffer> {
     ext_radix: usize,
     middle: usize,
     dispatch: DispatchPolicy,
+    /// Link FIFO capacity (the occupancy-aware spray's full-link penalty).
+    link_capacity: usize,
     /// Whether a `DropOnFull` fault disabled credit flow control (false on
     /// the fault-free path: gates on, overflow impossible).
     drop_on_full: bool,
@@ -351,6 +382,13 @@ struct Stage<B: PacketBuffer> {
     out_credits: Vec<u32>,
     /// Credit returns in flight back to this stage: (visible slot, link id).
     credit_pending: VecDeque<(u64, u32)>,
+    /// Egress only, transport on: whether deliveries emit acks onto the
+    /// credit back-channel (false keeps open-loop runs byte-identical).
+    emit_acks: bool,
+    /// Acks in flight toward this stage: (visible slot, tag). The middle
+    /// stage relays them upstream; the ingress stage hands them to the
+    /// closed-loop driver.
+    ack_pending: VecDeque<(u64, FlowTag)>,
     /// Ingress only: next middle switch per external port (spray pointer).
     spray_next: Vec<u32>,
     /// Ingress only: row-major `ext × ext` offered-traffic matrix.
@@ -391,6 +429,7 @@ impl<B: PacketBuffer> Stage<B> {
             ext_radix: config.radix,
             middle: config.middle_switches,
             dispatch: config.dispatch,
+            link_capacity: config.link_capacity,
             drop_on_full: false,
             faults: None,
             switches,
@@ -410,6 +449,8 @@ impl<B: PacketBuffer> Stage<B> {
                 Vec::new()
             },
             credit_pending: VecDeque::new(),
+            emit_acks: false,
+            ack_pending: VecDeque::new(),
             spray_next: if stage == ClosStage::Ingress {
                 // Stagger the spray pointers so simultaneous first cells on
                 // different ports do not all aim at middle switch 0.
@@ -463,11 +504,15 @@ impl<B: PacketBuffer> Stage<B> {
     }
 
     /// Applies a credit batch returned by the downstream stage; each credit
-    /// becomes visible to the gated outputs at `batch.slot + latency`.
+    /// becomes visible to the gated outputs at `batch.slot + latency`, and
+    /// each piggybacked ack rides the same latency toward the ingress.
     fn apply_credits(&mut self, batch: &mut CreditBatch, latency: u64) {
         let avail = batch.slot + latency;
         for link in batch.links.drain(..) {
             self.credit_pending.push_back((avail, link));
+        }
+        for tag in batch.acks.drain(..) {
+            self.ack_pending.push_back((avail, tag));
         }
     }
 
@@ -505,6 +550,19 @@ impl<B: PacketBuffer> Stage<B> {
         fwd.slot = slot;
         credits.slot = slot;
         debug_assert!(fwd.cells.is_empty() && credits.links.is_empty());
+        debug_assert!(credits.acks.is_empty());
+        if self.stage == ClosStage::Middle {
+            // Relay acks arriving from the egress onto the upstream credit
+            // batch: they become visible at the ingress after one more link
+            // latency, exactly like a credit.
+            while let Some(&(avail, tag)) = self.ack_pending.front() {
+                if avail > slot {
+                    break;
+                }
+                self.ack_pending.pop_front();
+                credits.acks.push(tag);
+            }
+        }
         let Stage {
             stage,
             radix,
@@ -512,6 +570,7 @@ impl<B: PacketBuffer> Stage<B> {
             ext_radix,
             middle,
             dispatch,
+            link_capacity,
             drop_on_full,
             faults,
             switches,
@@ -520,6 +579,7 @@ impl<B: PacketBuffer> Stage<B> {
             hop_seq,
             in_links,
             out_credits,
+            emit_acks,
             spray_next,
             offered_matrix,
             delivery,
@@ -529,6 +589,7 @@ impl<B: PacketBuffer> Stage<B> {
             ..
         } = self;
         let (radix, up_radix, ext_radix, middle) = (*radix, *up_radix, *ext_radix, *middle);
+        let link_capacity = *link_capacity;
         let stage_kind = *stage;
         let debit = !*drop_on_full;
         let gated = debit && stage_kind != ClosStage::Egress;
@@ -588,36 +649,38 @@ impl<B: PacketBuffer> Stage<B> {
                             }
                         }
                         let p = match dispatch {
-                            DispatchPolicy::Spray => {
+                            DispatchPolicy::Spray | DispatchPolicy::OccupancySpray => {
                                 let start = spray_next[src] as usize;
-                                let p = match faults.as_ref().filter(|f| f.reroutes_paths(slot)) {
-                                    None => start,
-                                    // Credit-occupancy-aware spray while a
-                                    // middle death is active: skip dead
-                                    // paths, pick the least-committed live
-                                    // one (queued VOQ cells, plus a full-
-                                    // link penalty when its credits are
-                                    // exhausted), scanning from the round-
-                                    // robin pointer so ties keep the fair
-                                    // cadence.
-                                    Some(f) => {
-                                        let mut best: Option<(usize, usize)> = None;
-                                        for k in 0..middle {
-                                            let cand = (start + k) % middle;
-                                            if f.path_dead(cand, slot) {
-                                                continue;
-                                            }
-                                            let h = (s * radix + i) * radix + cand;
-                                            let mut key = voq_tags[h].len();
-                                            if out_credits[s * radix + cand] == 0 {
-                                                key += f.capacity;
-                                            }
-                                            if best.is_none_or(|(_, b)| key < b) {
-                                                best = Some((cand, key));
-                                            }
+                                // Credit-occupancy-aware spray: skip dead
+                                // paths, pick the least-committed live one
+                                // (queued VOQ cells, plus a full-link
+                                // penalty when its credits are exhausted),
+                                // scanning from the round-robin pointer so
+                                // ties keep the fair cadence. `Spray` only
+                                // adapts while a middle death is active;
+                                // `OccupancySpray` adapts on every slot.
+                                let adaptive = *dispatch == DispatchPolicy::OccupancySpray
+                                    || faults.as_ref().is_some_and(|f| f.reroutes_paths(slot));
+                                let p = if !adaptive {
+                                    start
+                                } else {
+                                    let mut best: Option<(usize, usize)> = None;
+                                    for k in 0..middle {
+                                        let cand = (start + k) % middle;
+                                        if faults.as_ref().is_some_and(|f| f.path_dead(cand, slot))
+                                        {
+                                            continue;
                                         }
-                                        best.map_or(start, |(p, _)| p)
+                                        let h = (s * radix + i) * radix + cand;
+                                        let mut key = voq_tags[h].len();
+                                        if out_credits[s * radix + cand] == 0 {
+                                            key += link_capacity;
+                                        }
+                                        if best.is_none_or(|(_, b)| key < b) {
+                                            best = Some((cand, key));
+                                        }
                                     }
+                                    best.map_or(start, |(p, _)| p)
                                 };
                                 spray_next[src] = ((p + 1) % middle) as u32;
                                 p
@@ -741,6 +804,7 @@ impl<B: PacketBuffer> Stage<B> {
             let mut hooks = StageHooks {
                 s,
                 radix,
+                slot,
                 debit,
                 voq_tags: &mut voq_tags[..],
                 out_tags: &mut out_tags[..],
@@ -748,6 +812,7 @@ impl<B: PacketBuffer> Stage<B> {
                 out_credits: &mut out_credits[..],
                 fwd: &mut *fwd,
                 delivery: delivery.as_mut(),
+                acks: emit_acks.then_some(&mut credits.acks),
             };
             switch.step_coupled(arrivals, gate_ref, &mut hooks);
         }
@@ -768,9 +833,10 @@ impl<B: PacketBuffer> Stage<B> {
     }
 
     /// Whether the stage is provably idle: switches idle, no cell on any
-    /// inbound link, no credit still in flight back to this stage.
+    /// inbound link, no credit or ack still in flight toward this stage.
     fn is_idle(&self) -> bool {
         self.credit_pending.is_empty()
+            && self.ack_pending.is_empty()
             && self.in_links.iter().all(VecDeque::is_empty)
             && self.switches.iter().all(VoqSwitch::is_idle)
     }
@@ -810,6 +876,8 @@ pub struct ClosFabric<B: PacketBuffer> {
     /// Every slot at which some armed fault turns on or off, sorted; the
     /// drain refuses to give up on stuck cells while an edge lies ahead.
     fault_edges: Vec<u64>,
+    /// The enabled transport config (`None` = open-loop, the default).
+    transport: Option<TransportConfig>,
 }
 
 impl<B: PacketBuffer> ClosFabric<B> {
@@ -864,6 +932,7 @@ impl<B: PacketBuffer> ClosFabric<B> {
             clock: 0,
             plan: None,
             fault_edges: Vec::new(),
+            transport: None,
         }
     }
 
@@ -886,7 +955,6 @@ impl<B: PacketBuffer> ClosFabric<B> {
             radix,
             ingress_switches: r,
             middle_switches: m,
-            link_capacity,
             ..
         } = self.config;
         if let Err(err) = plan.validate(radix, r, m) {
@@ -898,11 +966,37 @@ impl<B: PacketBuffer> ClosFabric<B> {
             (&mut self.middle, ClosStage::Middle),
             (&mut self.egress, ClosStage::Egress),
         ] {
-            stage.faults = Some(plan.compile(kind, radix, r, m, link_capacity));
+            stage.faults = Some(plan.compile(kind, radix, r, m));
             stage.drop_on_full = drop;
         }
         self.fault_edges = plan.edges();
         self.plan = Some(plan.clone());
+    }
+
+    /// Enables the end-to-end reliable transport for the coming run: the
+    /// egress stage acknowledges and deduplicates every delivery (acks ride
+    /// the credit-return path back to the ingress) and
+    /// [`ClosFabric::run_transport`] drives closed-loop sources against it.
+    ///
+    /// An un-enabled fabric carries no transport state at all — open-loop
+    /// runs stay byte-identical to a build without this feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fabric has already run (like fault plans, the
+    /// transport is enabled at slot 0 so every schedule sees it
+    /// identically).
+    pub fn enable_transport(&mut self, config: TransportConfig) {
+        assert_eq!(self.clock, 0, "transport must be enabled before the run");
+        let ext = self.config.external_ports();
+        let delivery = self
+            .egress
+            .delivery
+            .as_mut()
+            .expect("egress stage always has delivery state");
+        delivery.transport = Some(SinkState::new(ext, config.goodput_bucket));
+        self.egress.emit_acks = true;
+        self.transport = Some(config);
     }
 
     /// The configuration the Clos was built with (`link_latency`
@@ -1310,6 +1404,58 @@ fn middle_egress_worker<B: PacketBuffer>(
     }
 }
 
+/// The ingress worker of a closed-loop transport run: like
+/// [`ingress_worker`], but the arrivals come from the sources' ack/timer
+/// state machines instead of open-loop generators. A slot-`t` iteration
+/// consumes the credit batch of slot `t-1` first, so the acks it hands the
+/// sources are exactly the ones the serial driver sees at slot `t`.
+fn ingress_transport_worker<B: PacketBuffer>(
+    stage: &mut Stage<B>,
+    sources: &mut [ClosedLoopSource],
+    win: RunWindow,
+    fwd_out: &BatchTx<FwdBatch>,
+    cred_in: &BatchRx<CreditBatch>,
+) {
+    let ext = sources.len();
+    let mut lines: Vec<Option<Cell>> = vec![None; ext]; // analyze: allow(hotpath-alloc) — per-run scratch allocated once at worker entry, before the slot loop
+    let mut unused_credits = CreditBatch::default();
+    for offset in 0..win.slots {
+        let slot = win.start + offset;
+        if offset > 0 {
+            let Ok(mut batch) = cred_in.rx.recv() else {
+                return;
+            };
+            stage.apply_credits(&mut batch, win.latency);
+            let _ = cred_in.back_tx.send(batch);
+        }
+        while let Some(&(avail, tag)) = stage.ack_pending.front() {
+            if avail > slot {
+                break;
+            }
+            stage.ack_pending.pop_front();
+            sources[tag.src as usize].on_ack(tag.dest, tag.seq, slot);
+        }
+        for (line, source) in lines.iter_mut().zip(sources.iter_mut()) {
+            source.expire_timers(slot);
+            *line = source
+                .poll(slot, true)
+                .map(|(dest, seq)| Cell::new(LogicalQueueId::new(dest), seq, slot));
+        }
+        let Ok(mut fwd) = fwd_out.back_rx.recv() else {
+            return;
+        };
+        stage.step(slot, Some(&mut lines), &mut fwd, &mut unused_credits);
+        if fwd_out.tx.send(fwd).is_err() {
+            return;
+        }
+    }
+    if win.slots > 0 {
+        if let Ok(mut batch) = cred_in.rx.recv() {
+            stage.apply_credits(&mut batch, win.latency);
+        }
+    }
+}
+
 impl<B: PacketBuffer> ClosFabric<B> {
     /// Runs the Clos: `active_slots` slots of live arrivals (generator `g`
     /// feeds external port `g`; its queue ids are *global* destinations in
@@ -1418,6 +1564,327 @@ impl<B: PacketBuffer> ClosFabric<B> {
         self.egress.snapshot_active_matches();
         self.drain(sc);
         self.build_report(active_slots)
+    }
+
+    fn check_sources(&self, sources: &[ClosedLoopSource]) {
+        let ext = self.config.external_ports();
+        assert_eq!(
+            sources.len(),
+            ext,
+            "one closed-loop source per external port"
+        );
+        for (g, source) in sources.iter().enumerate() {
+            assert_eq!(
+                source.src() as usize,
+                g,
+                "source {g} must send from external port {g}"
+            );
+            assert_eq!(
+                source.num_ports(),
+                ext,
+                "source {g} must target one destination per external port"
+            );
+        }
+    }
+
+    /// One serial slot of a closed-loop run: deliver the acks that became
+    /// visible this slot, fire timers, poll each source for at most one
+    /// cell, then advance the whole fabric. Mirrors
+    /// [`ingress_transport_worker`]'s per-slot order exactly.
+    fn transport_slot(
+        &mut self,
+        sources: &mut [ClosedLoopSource],
+        lines: &mut [Option<Cell>],
+        allow_new: bool,
+        sc: &mut SerialScratch,
+        record: Option<&mut MatrixTrace>,
+    ) {
+        let slot = self.clock;
+        while let Some(&(avail, tag)) = self.ingress.ack_pending.front() {
+            if avail > slot {
+                break;
+            }
+            self.ingress.ack_pending.pop_front();
+            sources[tag.src as usize].on_ack(tag.dest, tag.seq, slot);
+        }
+        for (line, source) in lines.iter_mut().zip(sources.iter_mut()) {
+            source.expire_timers(slot);
+            *line = source
+                .poll(slot, allow_new)
+                .map(|(dest, seq)| Cell::new(LogicalQueueId::new(dest), seq, slot));
+        }
+        if let Some(trace) = record {
+            let row: Vec<Option<(u32, u64)>> = lines
+                .iter()
+                .map(|c| c.as_ref().map(|c| (c.queue().index(), c.seq())))
+                .collect(); // analyze: allow(hotpath-alloc) — recording path only, never taken by the steady-state drivers
+            trace.record_slot(&row);
+        }
+        self.step_all(Some(lines), sc);
+    }
+
+    /// Runs the fabric with closed-loop reliable sources: `active_slots`
+    /// slots in which sources may open new work, then a recovery tail in
+    /// which pending retransmissions finish (or exhaust their budget) and
+    /// the fabric drains. Requires [`ClosFabric::enable_transport`].
+    ///
+    /// `workers` selects the execution schedule exactly like
+    /// [`ClosFabric::run`]; the report is byte-identical for every worker
+    /// count. The tail always runs single-threaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the transport is not enabled, or when the source count,
+    /// source ports or port counts do not match the geometry.
+    pub fn run_transport(
+        &mut self,
+        sources: &mut [ClosedLoopSource],
+        active_slots: u64,
+        workers: usize,
+    ) -> ClosRunReport
+    where
+        B: Send,
+    {
+        self.run_transport_inner(sources, active_slots, workers, None)
+    }
+
+    /// [`ClosFabric::run_transport`] with the exact injected traffic matrix
+    /// recorded into `trace` (serial schedule only): replaying the trace
+    /// open-loop through an identically built-and-armed fabric reproduces
+    /// this run's deliveries bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`ClosFabric::run_transport`].
+    pub fn run_transport_recorded(
+        &mut self,
+        sources: &mut [ClosedLoopSource],
+        active_slots: u64,
+        trace: &mut MatrixTrace,
+    ) -> ClosRunReport
+    where
+        B: Send,
+    {
+        *trace = MatrixTrace::new(self.config.external_ports());
+        self.run_transport_inner(sources, active_slots, 1, Some(trace))
+    }
+
+    fn run_transport_inner(
+        &mut self,
+        sources: &mut [ClosedLoopSource],
+        active_slots: u64,
+        workers: usize,
+        mut record: Option<&mut MatrixTrace>,
+    ) -> ClosRunReport
+    where
+        B: Send,
+    {
+        let config = self
+            .transport
+            .expect("enable_transport must be called before run_transport"); // analyze: allow(panic-freedom) — documented API contract, checked once at run entry before the slot loop
+        self.check_sources(sources);
+        let ext = self.config.external_ports();
+        let mut sc = SerialScratch::default();
+        let mut lines: Vec<Option<Cell>> = vec![None; ext]; // analyze: allow(hotpath-alloc) — per-run scratch allocated once at run entry, before the slot loop
+        if workers <= 1 || record.is_some() {
+            // No idle fast-forward in the active phase: a source with an
+            // armed timer is never provably idle anyway, and skip-free slots
+            // keep the serial driver the reference for the workers.
+            for _ in 0..active_slots {
+                self.transport_slot(sources, &mut lines, true, &mut sc, record.as_deref_mut());
+            }
+        } else {
+            let win = RunWindow {
+                start: self.clock,
+                slots: active_slots,
+                latency: self.config.link_latency,
+                capacity: self.config.link_capacity,
+            };
+            let ClosFabric {
+                ingress,
+                middle,
+                egress,
+                clock,
+                ..
+            } = self;
+            let (fwd_a_tx, fwd_a_rx) = batch_channel::<FwdBatch>(BATCH_SEED);
+            let (cred_a_tx, cred_a_rx) = batch_channel::<CreditBatch>(BATCH_SEED);
+            let src_ref = &mut *sources;
+            if workers == 2 {
+                std::thread::scope(|scope| {
+                    scope.spawn(move || {
+                        ingress_transport_worker(ingress, src_ref, win, &fwd_a_tx, &cred_a_rx);
+                    });
+                    scope.spawn(move || {
+                        middle_egress_worker(middle, egress, win, &fwd_a_rx, &cred_a_tx);
+                    });
+                });
+            } else {
+                let (fwd_b_tx, fwd_b_rx) = batch_channel::<FwdBatch>(BATCH_SEED);
+                let (cred_b_tx, cred_b_rx) = batch_channel::<CreditBatch>(BATCH_SEED);
+                std::thread::scope(|scope| {
+                    scope.spawn(move || {
+                        ingress_transport_worker(ingress, src_ref, win, &fwd_a_tx, &cred_a_rx);
+                    });
+                    scope.spawn(move || {
+                        middle_worker(middle, win, &fwd_a_rx, &cred_a_tx, &fwd_b_tx, &cred_b_rx);
+                    });
+                    scope.spawn(move || egress_worker(egress, win, &fwd_b_rx, &cred_b_tx));
+                });
+            }
+            *clock += active_slots;
+        }
+        self.ingress.snapshot_active_matches();
+        self.middle.snapshot_active_matches();
+        self.egress.snapshot_active_matches();
+        self.run_transport_tail(sources, &mut lines, &mut sc, record);
+        let mut report = self.build_report(active_slots);
+        let sink = self
+            .egress
+            .delivery
+            .as_ref()
+            .and_then(|d| d.transport.as_ref())
+            .expect("transport sink present on a transport run"); // analyze: allow(panic-freedom) — enable_transport installed the sink; checked once after the slot loop
+        let sp = config.source_params();
+        report.transport = Some(TransportReport {
+            rto_initial: sp.rto_initial,
+            rto_cap: sp.rto_cap,
+            max_retries: sp.max_retries,
+            cwnd_init: sp.cwnd_init,
+            cwnd_max: sp.cwnd_max,
+            goodput_bucket: sink.bucket(),
+            injected_cells: sources.iter().map(ClosedLoopSource::injected).sum(),
+            retransmitted_cells: sources.iter().map(ClosedLoopSource::retransmitted).sum(),
+            timeouts_fired: sources.iter().map(ClosedLoopSource::timeouts).sum(),
+            acked_cells: sources.iter().map(ClosedLoopSource::acked).sum(),
+            delivered_unique: sink.delivered_unique(),
+            duplicates_filtered: sink.duplicates_filtered(),
+            duplicate_deliveries: sink.duplicate_deliveries(),
+            gave_up_cells: sources.iter().map(ClosedLoopSource::gave_up).sum(),
+            in_flight_at_end: sources.iter().map(|s| s.in_flight_len() as u64).sum(),
+            retransmissions_outstanding_at_end: sources.iter().map(|s| s.rq_len() as u64).sum(),
+            goodput: sink.goodput().to_vec(), // analyze: allow(hotpath-alloc) — report assembly, once after the run
+        });
+        report
+    }
+
+    /// The recovery tail of a closed-loop run: always single-threaded. While
+    /// any source still has work in flight (or acks are still riding home)
+    /// the loop keeps stepping — fast-forwarding provably idle gaps to the
+    /// next retransmission deadline — with fresh injection disabled; once
+    /// every source is quiet it degrades into exactly the open-loop drain
+    /// (same flush horizon, same stuck-signature escape under permanent
+    /// faults). Bounded retry budgets make the whole tail finite.
+    fn run_transport_tail(
+        &mut self,
+        sources: &mut [ClosedLoopSource],
+        lines: &mut [Option<Cell>],
+        sc: &mut SerialScratch,
+        mut record: Option<&mut MatrixTrace>,
+    ) {
+        let flush = [&self.ingress, &self.middle, &self.egress]
+            .iter()
+            .flat_map(|stage| stage.switches.iter().map(VoqSwitch::max_pipeline_delay))
+            .max()
+            .unwrap_or(0) as u64
+            + 4;
+        let faulted = self.plan.is_some();
+        let stall_horizon = flush
+            + 2 * self.config.link_latency
+            + self.plan.as_ref().map_or(0, FaultPlan::max_slow_factor)
+            + 8;
+        let mut idle_streak = 0u64;
+        let mut stuck_streak = 0u64;
+        let mut last_sig = (0u64, 0u64, 0u64, 0u64, 0usize);
+        loop {
+            let sources_quiet = sources.iter().all(ClosedLoopSource::is_quiet);
+            // Acks still riding home count as pending on every hop: a late
+            // ack can resurrect an abandoned cell, so the tail must not end
+            // while one is in flight anywhere.
+            let acks_pending = [&self.ingress, &self.middle, &self.egress]
+                .iter()
+                .any(|stage| !stage.ack_pending.is_empty());
+            if sources_quiet && !acks_pending {
+                let stages = [&self.ingress, &self.middle, &self.egress];
+                let requestable = stages.iter().any(|stage| {
+                    stage.link_resident() > 0
+                        || stage.switches.iter().any(|sw| sw.requestable_total() > 0)
+                });
+                if requestable {
+                    idle_streak = 0;
+                } else {
+                    let quiescent = stages
+                        .iter()
+                        .all(|stage| stage.switches.iter().all(VoqSwitch::buffers_quiescent));
+                    let flushed = stages
+                        .iter()
+                        .all(|stage| stage.switches.iter().all(|sw| sw.egress_backlog() == 0));
+                    if (quiescent || idle_streak > flush) && flushed {
+                        break;
+                    }
+                    idle_streak += 1;
+                }
+                if faulted {
+                    let sig = (
+                        stages
+                            .iter()
+                            .flat_map(|stage| stage.switches.iter())
+                            .map(VoqSwitch::matches_so_far)
+                            .sum::<u64>(),
+                        stages
+                            .iter()
+                            .flat_map(|stage| stage.switches.iter())
+                            .map(VoqSwitch::egress_backlog)
+                            .sum::<u64>(),
+                        stages
+                            .iter()
+                            .map(|stage| stage.link_resident())
+                            .sum::<u64>(),
+                        stages
+                            .iter()
+                            .flat_map(|stage| stage.switches.iter())
+                            .map(VoqSwitch::requestable_total)
+                            .sum::<u64>(),
+                        stages
+                            .iter()
+                            .map(|stage| stage.credit_pending.len())
+                            .sum::<usize>(),
+                    );
+                    let edge_ahead = self.fault_edges.last().is_some_and(|&e| e > self.clock);
+                    if sig == last_sig && !edge_ahead {
+                        stuck_streak += 1;
+                        if stuck_streak > stall_horizon {
+                            break;
+                        }
+                    } else {
+                        stuck_streak = 0;
+                        last_sig = sig;
+                    }
+                }
+            } else {
+                idle_streak = 0;
+                stuck_streak = 0;
+                if self.is_idle() && !acks_pending {
+                    // Nothing anywhere in the fabric: the only future event
+                    // is a source timer. Jump straight to it.
+                    let next = sources
+                        .iter()
+                        .filter_map(ClosedLoopSource::next_action_slot)
+                        .min();
+                    if let Some(next) = next {
+                        if next > self.clock {
+                            let skip = next - self.clock;
+                            if let Some(trace) = record.as_deref_mut() {
+                                trace.pad_idle(skip);
+                            }
+                            self.advance_idle(skip);
+                            continue;
+                        }
+                    }
+                }
+            }
+            self.transport_slot(sources, lines, false, sc, record.as_deref_mut());
+        }
     }
 
     fn stage_report(stage: &Stage<B>, active_slots: u64) -> ClosStageReport {
@@ -1577,6 +2044,7 @@ impl<B: PacketBuffer> ClosFabric<B> {
             arrivals_matrix: self.ingress.offered_matrix.clone(),
             delivered_matrix,
             faults,
+            transport: None,
         }
     }
 }
@@ -1689,6 +2157,10 @@ pub struct ClosRunReport {
     /// field is then omitted from the serialized report, keeping
     /// fault-free reports byte-identical to pre-fault-framework output).
     pub faults: Option<FaultLedger>,
+    /// The end-to-end transport report; `None` on open-loop runs (and the
+    /// field is then omitted from the serialized report, keeping open-loop
+    /// reports byte-identical to pre-transport output).
+    pub transport: Option<TransportReport>,
 }
 
 impl ClosRunReport {
@@ -1759,6 +2231,38 @@ impl ClosRunReport {
                     + refused
                     + ledger_dropped
     }
+
+    /// Checks end-to-end conservation of the reliable transport — the
+    /// retry-loop identity nesting [`ClosRunReport::conservation_holds`]
+    /// one level up:
+    ///
+    /// * `injected = acked + in_flight + retransmissions_outstanding +
+    ///   gave_up` — every fresh cell is accounted at the sources;
+    /// * `acked = delivered_unique` — every unique delivery acked exactly
+    ///   once, no ack invented;
+    /// * fabric `delivered = delivered_unique + duplicates_filtered` — the
+    ///   sink saw every delivered copy;
+    /// * `duplicate_deliveries == 0` — exactly-once delivery;
+    /// * `duplicates_filtered ≤ retransmitted ≤ timeouts` — every duplicate
+    ///   copy traces to a retransmission and every retransmission to a
+    ///   fired timer.
+    ///
+    /// Returns `false` on an open-loop report (no transport to conserve).
+    pub fn transport_conservation_holds(&self) -> bool {
+        let Some(t) = self.transport.as_ref() else {
+            return false;
+        };
+        t.injected_cells
+            == t.acked_cells
+                + t.in_flight_at_end
+                + t.retransmissions_outstanding_at_end
+                + t.gave_up_cells
+            && t.acked_cells == t.delivered_unique
+            && self.delivered == t.delivered_unique + t.duplicates_filtered
+            && t.duplicate_deliveries == 0
+            && t.duplicates_filtered <= t.retransmitted_cells
+            && t.retransmitted_cells <= t.timeouts_fired
+    }
 }
 
 impl Serialize for ClosRunReport {
@@ -1797,6 +2301,10 @@ impl Serialize for ClosRunReport {
         // fault-free reports byte-identical to pre-fault-framework output.
         if let Some(faults) = &self.faults {
             st.serialize_field("faults", faults)?;
+        }
+        // Likewise: only closed-loop runs carry a transport report.
+        if let Some(transport) = &self.transport {
+            st.serialize_field("transport", transport)?;
         }
         st.end()
     }
@@ -2226,5 +2734,381 @@ mod tests {
     fn more_middle_switches_than_radix_panics() {
         let config = ClosConfig::new(3, 3, 4);
         let _ = clos(config);
+    }
+
+    // ----- reliable transport (closed-loop) ---------------------------
+
+    use traffic::{ClosedLoopSource, DemandPattern, MatrixTrace};
+
+    /// Cut-through RADS buffers (granularity 1): every accepted cell is
+    /// requestable immediately. Closed-loop transport needs this — batched
+    /// writeback (granularity > 1) parks sub-batch tails as permanent
+    /// residents, which a reliable sender would retransmit until the stale
+    /// copies themselves fill a DRAM batch.
+    fn cutthrough(config: ClosConfig) -> ClosFabric<RadsBuffer> {
+        ClosFabric::new(config, move |stage| {
+            let num_queues = match stage {
+                ClosStage::Middle => config.ingress_switches,
+                ClosStage::Ingress | ClosStage::Egress => config.radix,
+            };
+            RadsBuffer::new(RadsConfig {
+                line_rate: LineRate::Oc3072,
+                num_queues,
+                granularity: 1,
+                lookahead: Some(2),
+                dram: Default::default(),
+            })
+        })
+    }
+
+    fn sweep_sources(config: &ClosConfig, t: &TransportConfig) -> Vec<ClosedLoopSource> {
+        let ext = config.external_ports();
+        (0..ext)
+            .map(|g| ClosedLoopSource::new(g as u32, ext, DemandPattern::Sweep, t.source_params()))
+            .collect()
+    }
+
+    fn transport_clos(
+        config: ClosConfig,
+        t: &TransportConfig,
+        plan: Option<&FaultPlan>,
+    ) -> ClosFabric<RadsBuffer> {
+        let mut fabric = cutthrough(config);
+        if let Some(plan) = plan {
+            fabric.arm_faults(plan);
+        }
+        fabric.enable_transport(*t);
+        fabric
+    }
+
+    /// The CI-style death+flap plan scaled to the test geometry.
+    fn death_and_flap_plan() -> FaultPlan {
+        FaultPlan::new([
+            FaultEvent::windowed(FaultKind::MiddleDeath { switch: 1 }, 500, 800),
+            FaultEvent::windowed(
+                FaultKind::LinkFlap {
+                    boundary: LinkBoundary::IngressMiddle,
+                    switch: 2,
+                    output: 1,
+                },
+                1_600,
+                300,
+            ),
+        ])
+    }
+
+    #[test]
+    fn fault_free_transport_run_conserves_end_to_end_and_is_schedule_invariant() {
+        let config = ClosConfig::new(4, 4, 4);
+        let t = TransportConfig::default();
+        let reference = transport_clos(config, &t, None).run_transport(
+            &mut sweep_sources(&config, &t),
+            3_000,
+            1,
+        );
+        let rt = reference.transport.as_ref().expect("transport report");
+        assert!(rt.injected_cells > 1_000, "sources must offer real load");
+        assert_eq!(rt.duplicate_deliveries, 0);
+        assert_eq!(rt.gave_up_cells, 0, "nothing abandons without faults");
+        assert_eq!(rt.in_flight_at_end, 0, "the tail lets every ack land");
+        assert_eq!(rt.acked_cells, rt.injected_cells);
+        assert!(reference.transport_conservation_holds(), "{rt:?}");
+        assert!(reference.conservation_holds());
+        assert!(reference.zero_loss);
+        for workers in [2usize, 3] {
+            let report = transport_clos(config, &t, None).run_transport(
+                &mut sweep_sources(&config, &t),
+                3_000,
+                workers,
+            );
+            assert_eq!(report, reference, "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn transport_recovers_lost_cells_under_death_and_flap() {
+        let config = ClosConfig::new(4, 4, 4);
+        let t = TransportConfig {
+            rto_initial: 16,
+            rto_cap: 256,
+            ..TransportConfig::default()
+        };
+        let plan = death_and_flap_plan();
+        let reference = transport_clos(config, &t, Some(&plan)).run_transport(
+            &mut sweep_sources(&config, &t),
+            3_000,
+            1,
+        );
+        let rt = reference.transport.as_ref().unwrap();
+        assert!(
+            rt.timeouts_fired > 0 && rt.retransmitted_cells > 0,
+            "the fault window must provoke retries: {rt:?}"
+        );
+        assert_eq!(rt.duplicate_deliveries, 0, "exactly-once delivery");
+        assert_eq!(rt.gave_up_cells, 0, "finite faults: every cell recovers");
+        assert_eq!(
+            rt.acked_cells, rt.injected_cells,
+            "every injected cell eventually delivered and acked"
+        );
+        assert!(reference.transport_conservation_holds(), "{rt:?}");
+        assert!(reference.conservation_holds(), "fabric ledger still closes");
+        for workers in [2usize, 3] {
+            let report = transport_clos(config, &t, Some(&plan)).run_transport(
+                &mut sweep_sources(&config, &t),
+                3_000,
+                workers,
+            );
+            assert_eq!(report, reference, "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn goodput_recovers_after_the_fault_window_closes() {
+        let config = ClosConfig::new(4, 4, 4);
+        let t = TransportConfig {
+            rto_initial: 16,
+            rto_cap: 256,
+            goodput_bucket: 250,
+            ..TransportConfig::default()
+        };
+        let plan = death_and_flap_plan();
+        let baseline = transport_clos(config, &t, None).run_transport(
+            &mut sweep_sources(&config, &t),
+            4_000,
+            1,
+        );
+        let faulted = transport_clos(config, &t, Some(&plan)).run_transport(
+            &mut sweep_sources(&config, &t),
+            4_000,
+            1,
+        );
+        let recovery = crate::RecoveryReport::measure(&baseline, &faulted)
+            .expect("both transport reports present, faulted run has finite windows");
+        assert_eq!(
+            recovery.fault_close_slot, 1_900,
+            "last window closes at 1600+300"
+        );
+        assert!(
+            recovery.recovered,
+            "goodput must regain >=95% of baseline: {recovery:?}\nbase {:?}\nfaulted {:?}",
+            baseline.transport.as_ref().unwrap().goodput,
+            faulted.transport.as_ref().unwrap().goodput,
+        );
+        assert!(
+            recovery.slots_to_recover.unwrap() <= 1_500,
+            "recovery must be prompt: {recovery:?}"
+        );
+    }
+
+    #[test]
+    fn permanent_port_death_abandons_but_still_conserves() {
+        let config = ClosConfig::new(3, 3, 3);
+        let t = TransportConfig {
+            rto_initial: 8,
+            rto_cap: 64,
+            max_retries: 4,
+            ..TransportConfig::default()
+        };
+        // A dead external ingress line refuses everything its source offers
+        // (fresh copies and retries alike): the retry budget must run out
+        // and the abandonment must be visible — yet accounted.
+        let plan = FaultPlan::new([FaultEvent::permanent(
+            FaultKind::IngressPortDeath { port: 4 },
+            0,
+        )]);
+        let report = transport_clos(config, &t, Some(&plan)).run_transport(
+            &mut sweep_sources(&config, &t),
+            1_500,
+            1,
+        );
+        let rt = report.transport.as_ref().unwrap();
+        assert!(rt.gave_up_cells > 0, "the dead port's cells must abandon");
+        assert_eq!(rt.duplicate_deliveries, 0);
+        assert!(report.transport_conservation_holds(), "{rt:?}");
+        assert!(report.conservation_holds());
+        assert!(
+            report.faults.as_ref().unwrap().refused_cells > 0,
+            "every abandonment traces to ledgered refusals"
+        );
+    }
+
+    #[test]
+    fn incast_mode_synchronizes_retries_and_still_delivers_exactly_once() {
+        let config = ClosConfig::new(3, 3, 3);
+        let t = TransportConfig {
+            rto_initial: 16,
+            rto_cap: 128,
+            cwnd_max: 16,
+            ..TransportConfig::default()
+        };
+        let ext = config.external_ports();
+        let mut sources: Vec<ClosedLoopSource> = (0..ext)
+            .map(|g| {
+                ClosedLoopSource::new(
+                    g as u32,
+                    ext,
+                    DemandPattern::Incast { target: 0 },
+                    t.source_params(),
+                )
+            })
+            .collect();
+        // Slow the incast target to force timeout storms at the sources.
+        let plan = FaultPlan::new([FaultEvent::windowed(
+            FaultKind::EgressSlowdown { port: 0, factor: 8 },
+            200,
+            1_000,
+        )]);
+        let report = transport_clos(config, &t, Some(&plan)).run_transport(&mut sources, 2_000, 1);
+        let rt = report.transport.as_ref().unwrap();
+        assert!(
+            rt.timeouts_fired > 0,
+            "a x8-slowed incast target must blow RTOs: {rt:?}"
+        );
+        assert_eq!(rt.duplicate_deliveries, 0);
+        assert!(report.transport_conservation_holds(), "{rt:?}");
+        assert!(report.conservation_holds());
+        // All goodput lands on target 0's column of the delivered matrix.
+        for src in 0..ext {
+            for dest in 1..ext {
+                assert_eq!(report.delivered_matrix[src * ext + dest], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn transport_off_runs_stay_byte_identical_and_carry_no_transport_field() {
+        let config = ClosConfig::new(3, 3, 3);
+        let baseline = clos(config).run(&mut uniform(&config, 0.7, 9), 1_500, 1);
+        assert!(baseline.transport.is_none());
+        assert!(!baseline.transport_conservation_holds());
+        let json = serde_json::to_string(&baseline).unwrap();
+        assert!(
+            !json.contains("\"transport\""),
+            "open-loop reports must not carry a transport field"
+        );
+    }
+
+    #[test]
+    fn recorded_transport_run_replays_bit_identically_through_an_open_loop_fabric() {
+        let config = ClosConfig::new(3, 3, 3);
+        let t = TransportConfig {
+            rto_initial: 16,
+            rto_cap: 256,
+            ..TransportConfig::default()
+        };
+        let plan = FaultPlan::new([FaultEvent::windowed(
+            FaultKind::MiddleDeath { switch: 0 },
+            400,
+            500,
+        )]);
+        let mut trace = MatrixTrace::new(0);
+        let recorded = transport_clos(config, &t, Some(&plan)).run_transport_recorded(
+            &mut sweep_sources(&config, &t),
+            1_500,
+            &mut trace,
+        );
+        assert!(recorded.transport_conservation_holds());
+        assert!(trace.len() as u64 >= 1_500, "tail slots recorded too");
+        // Replay the exact arrival matrix open-loop through a fresh fabric
+        // with the same plan: same offers, same deliveries, bit for bit.
+        let mut replayed_fabric = cutthrough(config);
+        replayed_fabric.arm_faults(&plan);
+        let replayed = replayed_fabric.run(&mut trace.replay(), trace.len() as u64, 1);
+        assert_eq!(replayed.arrivals_matrix, recorded.arrivals_matrix);
+        assert_eq!(replayed.delivered_matrix, recorded.delivered_matrix);
+        assert_eq!(replayed.arrivals, recorded.arrivals);
+        assert_eq!(replayed.delivered, recorded.delivered);
+        assert_eq!(replayed.reordered_cells, recorded.reordered_cells);
+        assert_eq!(replayed.lost_cells, recorded.lost_cells);
+        // And the recorded run itself matches the unrecorded serial twin.
+        let unrecorded = transport_clos(config, &t, Some(&plan)).run_transport(
+            &mut sweep_sources(&config, &t),
+            1_500,
+            1,
+        );
+        assert_eq!(unrecorded, recorded);
+    }
+
+    #[test]
+    fn recorded_open_loop_matrix_replays_to_a_fully_identical_report() {
+        let config = ClosConfig::new(3, 3, 2);
+        let ext = config.external_ports();
+        let mk = || -> Vec<UniformArrivals> { uniform(&config, 0.7, 21) };
+        let direct = clos(config).run(&mut mk(), 2_000, 1);
+        let trace = MatrixTrace::record(&mut mk(), 2_000);
+        assert_eq!(trace.ports(), ext);
+        let replayed = clos(config).run(&mut trace.replay(), 2_000, 1);
+        assert_eq!(replayed, direct, "open-loop matrix replay is lossless");
+    }
+
+    // ----- occupancy-aware spray as a steady-state policy -------------
+
+    #[test]
+    fn occupancy_spray_differs_under_contention_but_conserves_and_spray_is_unchanged() {
+        let mut config = ClosConfig::new(4, 4, 4);
+        // Tight links make occupancy visible to the adaptive policy.
+        config.link_capacity = 2;
+        let bursty = |seed_off: u64| -> Vec<BurstyArrivals> {
+            let ext = config.external_ports();
+            (0..ext)
+                .map(|g| BurstyArrivals::new(ext, 16.0, 4.0, stream_seed(31 + seed_off, g as u64)))
+                .collect()
+        };
+        let spray = clos(config).run(&mut bursty(0), 3_000, 1);
+        assert_eq!(spray.dispatch, "spray");
+
+        let mut adaptive_config = config;
+        adaptive_config.dispatch = DispatchPolicy::OccupancySpray;
+        let adaptive = clos(adaptive_config).run(&mut bursty(0), 3_000, 1);
+        assert_eq!(adaptive.dispatch, "occupancy-spray");
+        assert!(adaptive.zero_loss, "{adaptive:?}");
+        assert!(adaptive.conservation_holds());
+        assert_eq!(adaptive.arrivals, spray.arrivals, "same offered load");
+        assert_ne!(
+            adaptive.delivered_matrix, spray.delivered_matrix,
+            "under bursty contention the adaptive policy must actually steer"
+        );
+        // Differential guarantee: the default spray path is untouched by
+        // the promotion — byte-identical to the skip-free reference, for
+        // every worker count.
+        let reference = {
+            let mut fabric = clos(config);
+            fabric.run_reference(&mut bursty(0), 3_000)
+        };
+        assert_eq!(spray, reference);
+        for workers in [2usize, 3] {
+            assert_eq!(clos(config).run(&mut bursty(0), 3_000, workers), reference);
+        }
+        // The adaptive policy honours the same invariants across schedules.
+        for workers in [2usize, 3] {
+            assert_eq!(
+                clos(adaptive_config).run(&mut bursty(0), 3_000, workers),
+                adaptive,
+                "occupancy-spray must stay schedule-invariant"
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_spray_steers_around_a_dead_middle_like_spray_does() {
+        let mut config = ClosConfig::new(4, 4, 4);
+        config.dispatch = DispatchPolicy::OccupancySpray;
+        let plan = FaultPlan::new([FaultEvent::windowed(
+            FaultKind::MiddleDeath { switch: 1 },
+            1_000,
+            600,
+        )]);
+        let report = faulted(config, &plan).run(&mut uniform(&config, 0.7, 11), 3_000, 1);
+        assert!(report.zero_loss, "{report:?}");
+        assert!(report.conservation_holds());
+        assert_eq!(report.faults.as_ref().unwrap().stranded_cells, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "enable_transport must be called")]
+    fn running_transport_without_enabling_it_panics() {
+        let config = ClosConfig::new(3, 3, 3);
+        let t = TransportConfig::default();
+        let _ = clos(config).run_transport(&mut sweep_sources(&config, &t), 100, 1);
     }
 }

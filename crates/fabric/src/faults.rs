@@ -390,11 +390,9 @@ impl FaultPlan {
         radix: usize,
         ingress_switches: usize,
         middle_switches: usize,
-        link_capacity: usize,
     ) -> StageFaults {
         let r = ingress_switches;
         let mut f = StageFaults {
-            capacity: link_capacity,
             drop_event: None,
             dead_switches: Vec::new(),
             dead_paths: Vec::new(),
@@ -491,8 +489,6 @@ impl ImpactCounters {
 /// `None` instead, so the fault-free hot path pays nothing.
 #[derive(Debug)]
 pub(crate) struct StageFaults {
-    /// Link capacity (the zero-credit penalty unit of the adaptive spray).
-    pub(crate) capacity: usize,
     /// Index of the plan's `DropOnFull` event, if any (whole-run).
     pub(crate) drop_event: Option<usize>,
     /// `(event, switch)` — this stage's switch is dark during the window.
@@ -949,9 +945,9 @@ mod tests {
     fn compile_places_faults_on_the_right_stages() {
         let plan = sample_plan();
         let (n, r, m) = (3, 3, 3);
-        let ingress = plan.compile(ClosStage::Ingress, n, r, m, 8);
-        let middle = plan.compile(ClosStage::Middle, r, r, m, 8);
-        let egress = plan.compile(ClosStage::Egress, n, r, m, 8);
+        let ingress = plan.compile(ClosStage::Ingress, n, r, m);
+        let middle = plan.compile(ClosStage::Middle, r, r, m);
+        let egress = plan.compile(ClosStage::Egress, n, r, m);
         assert_eq!(ingress.dead_paths.len(), 1);
         assert_eq!(ingress.dead_inputs.len(), 1);
         assert!(ingress.dead_switches.is_empty());

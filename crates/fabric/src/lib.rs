@@ -25,6 +25,10 @@
 //! * [`faults`] — deterministic, slot-scheduled fault injection for the
 //!   Clos fabric ([`FaultPlan`]), with every fault's impact accounted in a
 //!   per-fault [`FaultLedger`] so conservation still closes under failure.
+//! * [`transport`] — end-to-end reliable delivery over the Clos: egress
+//!   ports ack and deduplicate, closed-loop sources
+//!   ([`traffic::ClosedLoopSource`]) retransmit what the fault layer killed,
+//!   and [`RecoveryReport`] measures how fast goodput returns to baseline.
 //!
 //! # Example
 //!
@@ -67,6 +71,7 @@ pub mod faults;
 mod port;
 mod report;
 mod switch;
+pub mod transport;
 
 pub use arbiter::{ArbiterKind, CrossbarArbiter};
 pub use clos::{ClosConfig, ClosFabric, ClosRunReport, ClosStage, ClosStageReport, DispatchPolicy};
@@ -77,3 +82,4 @@ pub use faults::{
 pub use port::PortBuffer;
 pub use report::{EgressReport, FabricRunReport, PortReport};
 pub use switch::{FabricConfig, NullSink, StageSink, VoqSwitch, FABRIC_CHUNK_SLOTS};
+pub use transport::{RecoveryReport, TransportConfig, TransportReport};

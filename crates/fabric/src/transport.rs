@@ -1,0 +1,384 @@
+//! End-to-end reliable transport over the Clos fabric: ack/dedup sink
+//! state, the transport-level report, and the recovery metric.
+//!
+//! The fabric carries cells; it never *recovers* them — PR 8's fault layer
+//! accounts every loss in a ledger but nothing retries. This module is the
+//! delivery half of the closed-loop transport (the sending half is
+//! [`traffic::ClosedLoopSource`]): egress ports acknowledge every delivered
+//! cell on the existing credit-return path and deduplicate retransmitted
+//! copies, so the run as a whole provides exactly-once delivery on top of a
+//! lossy fabric.
+//!
+//! End-to-end conservation nests the PR-8 fault ledger one level up. The
+//! fabric-level identity (arrivals = delivered + resident + drops + …) still
+//! closes per run; the transport identity closes over the *retry loop*:
+//!
+//! ```text
+//! injected = acked + in_flight + retransmissions_outstanding + gave_up
+//! acked    = delivered_unique       (every unique delivery acks exactly once)
+//! delivered (fabric) = delivered_unique + duplicates_filtered
+//! duplicate_deliveries == 0
+//! ```
+//!
+//! checked by `ClosRunReport::transport_conservation_holds`. Every
+//! retransmission is attributable: a copy is only ever sent after a timer
+//! fires (`retransmitted ≤ timeouts`), and a timer only fires when the
+//! original was lost, stranded, refused (all ledgered by the fault layer) or
+//! late.
+//!
+//! [`RecoveryReport`] turns "the fabric healed" into a number: slots from
+//! the close of the last finite fault window until goodput regains ≥95% of a
+//! fault-free twin run's, bucket by bucket.
+//!
+//! # Cut-through buffers required
+//!
+//! Closed-loop runs need fabric buffers whose accepted cells always become
+//! requestable — for RADS buffers, granularity 1. Batched writeback
+//! (granularity > 1) parks a sub-batch tail as a *permanent resident*: the
+//! open-loop drain correctly reports it as resident-not-lost, but a reliable
+//! sender keeps retransmitting it until the stale copies themselves fill a
+//! DRAM batch, which turns every trickle flow into a timeout storm.
+
+use serde::ser::SerializeStruct as _;
+use serde::{Serialize, Serializer};
+use std::collections::BTreeSet;
+
+/// Parameters of the reliable transport layered over a Clos run.
+///
+/// The sender-side fields mirror [`traffic::ClosedLoopConfig`] (see
+/// [`TransportConfig::source_params`]); `goodput_bucket` is the sink-side
+/// histogram resolution used by the recovery metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// Initial / minimum retransmission timeout, in slots.
+    pub rto_initial: u64,
+    /// Upper bound on any backed-off RTO, in slots.
+    pub rto_cap: u64,
+    /// Retransmission attempts before a cell is abandoned.
+    pub max_retries: u32,
+    /// Initial AIMD congestion window, in cells.
+    pub cwnd_init: u64,
+    /// Maximum AIMD congestion window, in cells.
+    pub cwnd_max: u64,
+    /// Goodput histogram bucket width, in slots (clamped to ≥ 1).
+    pub goodput_bucket: u64,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            rto_initial: 32,
+            rto_cap: 1024,
+            max_retries: 32,
+            cwnd_init: 2,
+            cwnd_max: 32,
+            goodput_bucket: 200,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// The sender-side slice of this config, for building
+    /// [`traffic::ClosedLoopSource`]s.
+    pub fn source_params(&self) -> traffic::ClosedLoopConfig {
+        traffic::ClosedLoopConfig {
+            rto_initial: self.rto_initial,
+            rto_cap: self.rto_cap,
+            max_retries: self.max_retries,
+            cwnd_init: self.cwnd_init,
+            cwnd_max: self.cwnd_max,
+        }
+        .normalized()
+    }
+}
+
+/// Receiver-side transport state attached to the egress stage: per-flow
+/// dedup (cumulative prefix + out-of-order set) and the goodput histogram.
+#[derive(Debug, Clone)]
+pub(crate) struct SinkState {
+    ext_ports: usize,
+    bucket: u64,
+    /// `cum[flow]` = all seqs `< cum` delivered, where
+    /// `flow = src * ext_ports + dest`.
+    cum: Vec<u64>,
+    /// Out-of-order delivered seqs (`≥ cum`) per flow.
+    ooo: Vec<BTreeSet<u64>>,
+    delivered_unique: u64,
+    duplicates_filtered: u64,
+    /// Unique deliveries per `bucket`-slot window, indexed by `slot/bucket`.
+    goodput: Vec<u64>,
+}
+
+impl SinkState {
+    pub(crate) fn new(ext_ports: usize, goodput_bucket: u64) -> Self {
+        SinkState {
+            ext_ports,
+            bucket: goodput_bucket.max(1),
+            cum: vec![0; ext_ports * ext_ports],
+            ooo: vec![BTreeSet::new(); ext_ports * ext_ports],
+            delivered_unique: 0,
+            duplicates_filtered: 0,
+            goodput: Vec::new(),
+        }
+    }
+
+    /// Accepts one delivery; returns `true` if the cell was new (first
+    /// delivery of this `(src, dest, seq)`), `false` for a filtered
+    /// duplicate.
+    pub(crate) fn deliver(&mut self, src: u32, dest: u32, seq: u64, slot: u64) -> bool {
+        let flow = src as usize * self.ext_ports + dest as usize;
+        if seq < self.cum[flow] || self.ooo[flow].contains(&seq) {
+            self.duplicates_filtered += 1;
+            return false;
+        }
+        if seq == self.cum[flow] {
+            self.cum[flow] += 1;
+            while self.ooo[flow].remove(&self.cum[flow]) {
+                self.cum[flow] += 1;
+            }
+        } else {
+            self.ooo[flow].insert(seq);
+        }
+        self.delivered_unique += 1;
+        let b = (slot / self.bucket) as usize;
+        if b >= self.goodput.len() {
+            self.goodput.resize(b + 1, 0);
+        }
+        self.goodput[b] += 1;
+        true
+    }
+
+    pub(crate) fn delivered_unique(&self) -> u64 {
+        self.delivered_unique
+    }
+
+    pub(crate) fn duplicates_filtered(&self) -> u64 {
+        self.duplicates_filtered
+    }
+
+    /// Deliveries the dedup state cannot account for: any accepted-as-unique
+    /// cell not present in the per-flow structures. Always 0 unless the
+    /// sink itself is buggy — reported so the invariant is *checked*, not
+    /// assumed.
+    pub(crate) fn duplicate_deliveries(&self) -> u64 {
+        let accounted: u64 = self
+            .cum
+            .iter()
+            .zip(&self.ooo)
+            .map(|(c, o)| c + o.len() as u64)
+            .sum();
+        self.delivered_unique.saturating_sub(accounted)
+    }
+
+    pub(crate) fn goodput(&self) -> &[u64] {
+        &self.goodput
+    }
+
+    pub(crate) fn bucket(&self) -> u64 {
+        self.bucket
+    }
+}
+
+/// Transport-level results of a closed-loop Clos run, attached to
+/// `ClosRunReport` when the transport is enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportReport {
+    /// Initial/minimum RTO the sources ran with, in slots.
+    pub rto_initial: u64,
+    /// RTO backoff cap, in slots.
+    pub rto_cap: u64,
+    /// Retry budget per cell.
+    pub max_retries: u32,
+    /// Initial congestion window, in cells.
+    pub cwnd_init: u64,
+    /// Maximum congestion window, in cells.
+    pub cwnd_max: u64,
+    /// Goodput histogram bucket width, in slots.
+    pub goodput_bucket: u64,
+    /// Fresh cells injected across all sources (first transmissions).
+    pub injected_cells: u64,
+    /// Retransmission copies sent across all sources.
+    pub retransmitted_cells: u64,
+    /// Retransmission timers fired across all sources.
+    pub timeouts_fired: u64,
+    /// Unique cells acknowledged back to their source.
+    pub acked_cells: u64,
+    /// Unique cells the sinks delivered (first copies).
+    pub delivered_unique: u64,
+    /// Retransmitted copies the sinks filtered as duplicates.
+    pub duplicates_filtered: u64,
+    /// Deliveries that escaped dedup — the exactly-once violation count,
+    /// gated to 0.
+    pub duplicate_deliveries: u64,
+    /// Cells whose retry budget was exhausted without an ack.
+    pub gave_up_cells: u64,
+    /// Cells still carrying a live retransmission timer at end of run.
+    pub in_flight_at_end: u64,
+    /// Cells queued for retransmission (timer fired, copy not yet sent) at
+    /// end of run.
+    pub retransmissions_outstanding_at_end: u64,
+    /// Unique deliveries per `goodput_bucket`-slot window.
+    pub goodput: Vec<u64>,
+}
+
+impl Serialize for TransportReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("TransportReport", 17)?;
+        st.serialize_field("rto_initial", &self.rto_initial)?;
+        st.serialize_field("rto_cap", &self.rto_cap)?;
+        st.serialize_field("max_retries", &self.max_retries)?;
+        st.serialize_field("cwnd_init", &self.cwnd_init)?;
+        st.serialize_field("cwnd_max", &self.cwnd_max)?;
+        st.serialize_field("goodput_bucket", &self.goodput_bucket)?;
+        st.serialize_field("injected_cells", &self.injected_cells)?;
+        st.serialize_field("retransmitted_cells", &self.retransmitted_cells)?;
+        st.serialize_field("timeouts_fired", &self.timeouts_fired)?;
+        st.serialize_field("acked_cells", &self.acked_cells)?;
+        st.serialize_field("delivered_unique", &self.delivered_unique)?;
+        st.serialize_field("duplicates_filtered", &self.duplicates_filtered)?;
+        st.serialize_field("duplicate_deliveries", &self.duplicate_deliveries)?;
+        st.serialize_field("gave_up_cells", &self.gave_up_cells)?;
+        st.serialize_field("in_flight_at_end", &self.in_flight_at_end)?;
+        st.serialize_field(
+            "retransmissions_outstanding_at_end",
+            &self.retransmissions_outstanding_at_end,
+        )?;
+        st.serialize_field("goodput", &self.goodput)?;
+        st.end()
+    }
+}
+
+/// Time-to-recover: how long after the last fault window closed did the
+/// faulted run's goodput regain ≥95% of the fault-free twin's?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Slot at which the last finite fault window closed.
+    pub fault_close_slot: u64,
+    /// Goodput bucket width both runs were measured with, in slots.
+    pub bucket_slots: u64,
+    /// Whether goodput recovered within the measured horizon.
+    pub recovered: bool,
+    /// First slot (bucket boundary) at which the ≥95% criterion held, if
+    /// recovery was observed.
+    pub recovery_slot: Option<u64>,
+    /// `recovery_slot - fault_close_slot`, if recovery was observed.
+    pub slots_to_recover: Option<u64>,
+}
+
+impl Serialize for RecoveryReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("RecoveryReport", 5)?;
+        st.serialize_field("fault_close_slot", &self.fault_close_slot)?;
+        st.serialize_field("bucket_slots", &self.bucket_slots)?;
+        st.serialize_field("recovered", &self.recovered)?;
+        st.serialize_field("recovery_slot", &self.recovery_slot)?;
+        st.serialize_field("slots_to_recover", &self.slots_to_recover)?;
+        st.end()
+    }
+}
+
+impl RecoveryReport {
+    /// Measures time-to-recover from a fault-free `baseline` run and a
+    /// `faulted` twin (same geometry, sources and transport config; only the
+    /// fault plan differs).
+    ///
+    /// Returns `None` when the comparison is not meaningful: either run
+    /// lacks a transport report, the goodput buckets differ, or the faulted
+    /// run has no finite fault window to recover *from*.
+    ///
+    /// The scan starts at the first full bucket after the last finite fault
+    /// window closes and accepts the first bucket where
+    /// `faulted ≥ 95% · baseline`; only buckets within the baseline's
+    /// recorded horizon count (a bucket past it has no reference value).
+    pub fn measure(
+        baseline: &crate::ClosRunReport,
+        faulted: &crate::ClosRunReport,
+    ) -> Option<RecoveryReport> {
+        let base_t = baseline.transport.as_ref()?;
+        let fault_t = faulted.transport.as_ref()?;
+        if base_t.goodput_bucket != fault_t.goodput_bucket {
+            return None;
+        }
+        let bucket = base_t.goodput_bucket.max(1);
+        let close = faulted
+            .faults
+            .as_ref()?
+            .events
+            .iter()
+            .filter_map(|e| e.duration.map(|d| e.start.saturating_add(d)))
+            .max()?;
+        let first_bucket = close.div_ceil(bucket) as usize;
+        let horizon = base_t.goodput.len().min(fault_t.goodput.len());
+        let mut report = RecoveryReport {
+            fault_close_slot: close,
+            bucket_slots: bucket,
+            recovered: false,
+            recovery_slot: None,
+            slots_to_recover: None,
+        };
+        for b in first_bucket..horizon {
+            if fault_t.goodput[b] * 100 >= base_t.goodput[b] * 95 {
+                let slot = (b as u64 + 1) * bucket;
+                report.recovered = true;
+                report.recovery_slot = Some(slot);
+                report.slots_to_recover = Some(slot - close);
+                break;
+            }
+        }
+        Some(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_dedups_and_tracks_goodput() {
+        let mut sink = SinkState::new(2, 10);
+        assert!(sink.deliver(0, 1, 0, 0));
+        assert!(sink.deliver(0, 1, 2, 5), "out of order is still unique");
+        assert!(!sink.deliver(0, 1, 0, 7), "retransmit copy filtered");
+        assert!(sink.deliver(0, 1, 1, 12), "gap fill drains the ooo set");
+        assert!(!sink.deliver(0, 1, 2, 13), "late copy of ooo cell filtered");
+        assert_eq!(sink.delivered_unique(), 3);
+        assert_eq!(sink.duplicates_filtered(), 2);
+        assert_eq!(sink.duplicate_deliveries(), 0);
+        assert_eq!(sink.goodput(), &[2, 1]);
+        assert_eq!(sink.bucket(), 10);
+    }
+
+    #[test]
+    fn sink_keeps_flows_independent() {
+        let mut sink = SinkState::new(3, 100);
+        assert!(sink.deliver(0, 1, 0, 0));
+        // Same seq, different (src, dest): distinct flows, both unique.
+        assert!(sink.deliver(1, 0, 0, 0));
+        assert!(sink.deliver(0, 2, 0, 0));
+        assert_eq!(sink.delivered_unique(), 3);
+        assert_eq!(sink.duplicates_filtered(), 0);
+    }
+
+    #[test]
+    fn source_params_round_trips_the_sender_fields() {
+        let cfg = TransportConfig {
+            rto_initial: 7,
+            rto_cap: 70,
+            max_retries: 5,
+            cwnd_init: 3,
+            cwnd_max: 9,
+            goodput_bucket: 50,
+        };
+        let p = cfg.source_params();
+        assert_eq!(
+            (
+                p.rto_initial,
+                p.rto_cap,
+                p.max_retries,
+                p.cwnd_init,
+                p.cwnd_max
+            ),
+            (7, 70, 5, 3, 9)
+        );
+    }
+}

@@ -46,12 +46,19 @@ pub enum DispatchChoice {
     Spray,
     /// Flow-hash pinning to one middle switch (never reorders).
     FlowHash,
+    /// Credit-occupancy-aware spraying on every slot (spray's fault-time
+    /// steering promoted to a steady-state policy).
+    OccupancySpray,
 }
 
 impl DispatchChoice {
-    /// Both dispatch policies, spray first.
-    pub fn all() -> [DispatchChoice; 2] {
-        [DispatchChoice::Spray, DispatchChoice::FlowHash]
+    /// Every dispatch policy, spray first.
+    pub fn all() -> [DispatchChoice; 3] {
+        [
+            DispatchChoice::Spray,
+            DispatchChoice::FlowHash,
+            DispatchChoice::OccupancySpray,
+        ]
     }
 
     /// The fabric-crate dispatch policy.
@@ -59,6 +66,7 @@ impl DispatchChoice {
         match self {
             DispatchChoice::Spray => DispatchPolicy::Spray,
             DispatchChoice::FlowHash => DispatchPolicy::FlowHash,
+            DispatchChoice::OccupancySpray => DispatchPolicy::OccupancySpray,
         }
     }
 }
@@ -76,12 +84,192 @@ impl FromStr for DispatchChoice {
         match normalize_name(s).as_str() {
             "spray" => Ok(DispatchChoice::Spray),
             "flowhash" => Ok(DispatchChoice::FlowHash),
-            _ => Err(ParseNameError::new("dispatch policy", s, "spray, flowhash")),
+            "occupancyspray" => Ok(DispatchChoice::OccupancySpray),
+            _ => Err(ParseNameError::new(
+                "dispatch policy",
+                s,
+                "spray, flowhash, occupancy-spray",
+            )),
         }
     }
 }
 
-serde_via_string!(DispatchChoice, "a dispatch policy name (spray, flowhash)");
+serde_via_string!(
+    DispatchChoice,
+    "a dispatch policy name (spray, flowhash, occupancy-spray)"
+);
+
+/// Demand pattern of the closed-loop sources of a transport scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportMode {
+    /// Each source sweeps destinations round-robin (skipping itself).
+    Sweep,
+    /// Every source hammers one destination — the synchronized-retry-storm
+    /// worst case.
+    Incast,
+}
+
+impl TransportMode {
+    /// The traffic-crate demand pattern (`target` only matters for incast).
+    pub fn to_pattern(self, target: u32) -> traffic::DemandPattern {
+        match self {
+            TransportMode::Sweep => traffic::DemandPattern::Sweep,
+            TransportMode::Incast => traffic::DemandPattern::Incast { target },
+        }
+    }
+}
+
+impl fmt::Display for TransportMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TransportMode::Sweep => "sweep",
+            TransportMode::Incast => "incast",
+        })
+    }
+}
+
+impl FromStr for TransportMode {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match normalize_name(s).as_str() {
+            "sweep" => Ok(TransportMode::Sweep),
+            "incast" => Ok(TransportMode::Incast),
+            _ => Err(ParseNameError::new("transport mode", s, "sweep, incast")),
+        }
+    }
+}
+
+serde_via_string!(TransportMode, "a transport mode name (sweep, incast)");
+
+/// The closed-loop reliable-transport layer of a Clos scenario: when
+/// present, the run replaces the open-loop workload with one
+/// [`traffic::ClosedLoopSource`] per external port
+/// ([`fabric::ClosFabric::run_transport`]); the open-loop `workload`,
+/// `load_percent` and `seed` axes are ignored (closed-loop demand is
+/// deterministic).
+///
+/// Transport runs need cut-through stage buffers — a RADS-family design
+/// with `rads_granularity = 1` — because batched writeback parks sub-batch
+/// tails as permanent residents that a reliable sender would retransmit
+/// forever; [`ClosScenario::validate`] enforces this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportScenario {
+    /// Demand pattern of every source.
+    pub mode: TransportMode,
+    /// Destination port every source targets in incast mode.
+    pub incast_target: u32,
+    /// Initial / minimum retransmission timeout, slots.
+    pub rto_initial: u64,
+    /// Upper bound on any backed-off RTO, slots.
+    pub rto_cap: u64,
+    /// Retransmission attempts before a cell is abandoned.
+    pub max_retries: u32,
+    /// Initial AIMD congestion window, cells.
+    pub cwnd_init: u64,
+    /// Maximum AIMD congestion window, cells.
+    pub cwnd_max: u64,
+    /// Goodput histogram bucket width, slots.
+    pub goodput_bucket: u64,
+}
+
+impl Default for TransportScenario {
+    fn default() -> Self {
+        let t = ::fabric::TransportConfig::default();
+        TransportScenario {
+            mode: TransportMode::Sweep,
+            incast_target: 0,
+            rto_initial: t.rto_initial,
+            rto_cap: t.rto_cap,
+            max_retries: t.max_retries,
+            cwnd_init: t.cwnd_init,
+            cwnd_max: t.cwnd_max,
+            goodput_bucket: t.goodput_bucket,
+        }
+    }
+}
+
+impl TransportScenario {
+    /// The fabric-crate transport configuration.
+    pub fn to_config(self) -> ::fabric::TransportConfig {
+        ::fabric::TransportConfig {
+            rto_initial: self.rto_initial,
+            rto_cap: self.rto_cap,
+            max_retries: self.max_retries,
+            cwnd_init: self.cwnd_init,
+            cwnd_max: self.cwnd_max,
+            goodput_bucket: self.goodput_bucket,
+        }
+    }
+
+    /// One closed-loop source per external port of the scenario.
+    pub fn sources(&self, external_ports: usize) -> Vec<traffic::ClosedLoopSource> {
+        let params = self.to_config().source_params();
+        (0..external_ports)
+            .map(|g| {
+                traffic::ClosedLoopSource::new(
+                    g as u32,
+                    external_ports,
+                    self.mode.to_pattern(self.incast_target),
+                    params,
+                )
+            })
+            .collect()
+    }
+}
+
+impl Serialize for TransportScenario {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("TransportScenario", 8)?;
+        st.serialize_field("mode", &self.mode)?;
+        st.serialize_field("incast_target", &self.incast_target)?;
+        st.serialize_field("rto_initial", &self.rto_initial)?;
+        st.serialize_field("rto_cap", &self.rto_cap)?;
+        st.serialize_field("max_retries", &self.max_retries)?;
+        st.serialize_field("cwnd_init", &self.cwnd_init)?;
+        st.serialize_field("cwnd_max", &self.cwnd_max)?;
+        st.serialize_field("goodput_bucket", &self.goodput_bucket)?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for TransportScenario {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = TransportScenario;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a transport scenario object")
+            }
+            fn visit_map<A: de::MapAccess<'de>>(
+                self,
+                mut map: A,
+            ) -> Result<TransportScenario, A::Error> {
+                let mut t = TransportScenario::default();
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "mode" => t.mode = map.next_value()?,
+                        "incast_target" => t.incast_target = map.next_value()?,
+                        "rto_initial" => t.rto_initial = map.next_value()?,
+                        "rto_cap" => t.rto_cap = map.next_value()?,
+                        "max_retries" => t.max_retries = map.next_value()?,
+                        "cwnd_init" => t.cwnd_init = map.next_value()?,
+                        "cwnd_max" => t.cwnd_max = map.next_value()?,
+                        "goodput_bucket" => t.goodput_bucket = map.next_value()?,
+                        other => {
+                            return Err(de::Error::custom(format_args!(
+                                "unknown transport scenario field {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(t)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
 
 /// Why a Clos scenario is invalid.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,6 +288,11 @@ pub enum ClosScenarioError {
     Config(ConfigError),
     /// The fault plan does not fit the geometry or is malformed.
     Faults(FaultPlanError),
+    /// Closed-loop transport needs cut-through stage buffers (a RADS-family
+    /// design with `rads_granularity = 1`).
+    TransportNeedsCutThrough,
+    /// The incast target must be an external port of the geometry.
+    BadIncastTarget(u32, usize),
 }
 
 impl fmt::Display for ClosScenarioError {
@@ -125,6 +318,21 @@ impl fmt::Display for ClosScenarioError {
             }
             ClosScenarioError::Config(e) => write!(f, "stage buffer configuration: {e}"),
             ClosScenarioError::Faults(e) => write!(f, "fault plan: {e}"),
+            ClosScenarioError::TransportNeedsCutThrough => {
+                write!(
+                    f,
+                    "closed-loop transport needs cut-through stage buffers: a RADS-family \
+                     design with rads_granularity = 1 (batched writeback parks sub-batch \
+                     tails as permanent residents that a reliable sender would retransmit \
+                     forever)"
+                )
+            }
+            ClosScenarioError::BadIncastTarget(t, ext) => {
+                write!(
+                    f,
+                    "incast target {t} is not an external port of the geometry (0..{ext})"
+                )
+            }
         }
     }
 }
@@ -181,6 +389,10 @@ pub struct ClosScenario {
     /// Deterministic fault plan armed before slot 0 (empty = fault-free; an
     /// empty plan leaves the run byte-identical to an unarmed one).
     pub faults: FaultPlan,
+    /// Closed-loop reliable transport (`None` = open-loop; the run is then
+    /// byte-identical to a pre-transport one). When present, the open-loop
+    /// `workload`, `load_percent` and `seed` axes are ignored.
+    pub transport: Option<TransportScenario>,
 }
 
 impl ClosScenario {
@@ -209,6 +421,18 @@ impl ClosScenario {
             workers: 1,
             overrides: ConfigOverrides::none(),
             faults: FaultPlan::none(),
+            transport: None,
+        }
+    }
+
+    /// The [`ClosScenario::small`] geometry rebuilt for closed-loop
+    /// transport: cut-through RADS buffers (`rads_granularity = 1`) and a
+    /// default sweep-mode [`TransportScenario`].
+    pub fn small_transport() -> Self {
+        ClosScenario {
+            rads_granularity: 1,
+            transport: Some(TransportScenario::default()),
+            ..ClosScenario::small()
         }
     }
 
@@ -317,6 +541,22 @@ impl ClosScenario {
         self.faults
             .validate(self.radix, self.ingress_switches, self.middle_switches)
             .map_err(ClosScenarioError::Faults)?;
+        if let Some(t) = &self.transport {
+            let cutthrough = matches!(
+                self.design,
+                FabricDesign::Fixed(DesignKind::Rads) | FabricDesign::Fixed(DesignKind::DramOnly)
+            ) && self.rads_granularity == 1;
+            if !cutthrough {
+                return Err(ClosScenarioError::TransportNeedsCutThrough);
+            }
+            if t.mode == TransportMode::Incast && t.incast_target as usize >= self.external_ports()
+            {
+                return Err(ClosScenarioError::BadIncastTarget(
+                    t.incast_target,
+                    self.external_ports(),
+                ));
+            }
+        }
         let needs = |kind: DesignKind, queues: usize| -> Result<(), ClosScenarioError> {
             match kind {
                 DesignKind::Cfds => self
@@ -428,6 +668,16 @@ impl ClosScenario {
             fabric.arm_faults(&self.faults);
         }
         let ext = self.external_ports();
+        if let Some(t) = &self.transport {
+            // Closed-loop demand is deterministic, so the skip-free
+            // reference twin is simply the serial schedule.
+            fabric.enable_transport(t.to_config());
+            let workers = match mode {
+                RunMode::Workers(workers) => workers,
+                RunMode::Reference => 1,
+            };
+            return fabric.run_transport(&mut t.sources(ext), self.arrival_slots, workers);
+        }
         let n = self.radix as u64;
         let load = self.load();
         let seed_for = |g: usize| plane_seed(self.seed, g as u64 / n, g as u64 % n);
@@ -509,6 +759,9 @@ impl Serialize for ClosScenario {
         if !self.faults.is_empty() {
             st.serialize_field("faults", &self.faults)?;
         }
+        if let Some(transport) = &self.transport {
+            st.serialize_field("transport", transport)?;
+        }
         st.end()
     }
 }
@@ -553,6 +806,7 @@ impl<'de> Deserialize<'de> for ClosScenario {
                         "workers" => scenario.workers = map.next_value()?,
                         "overrides" => scenario.overrides = map.next_value()?,
                         "faults" => scenario.faults = map.next_value()?,
+                        "transport" => scenario.transport = Some(map.next_value()?),
                         other => {
                             return Err(de::Error::custom(format_args!(
                                 "unknown Clos scenario field {other:?}"
@@ -623,6 +877,10 @@ pub struct ClosSpec {
     /// combinations whose geometry the plan does not fit are skipped like
     /// any other invalid point).
     pub faults: FaultPlan,
+    /// Closed-loop transport layered over every expanded run (`None` =
+    /// open-loop; combinations without cut-through buffers are skipped like
+    /// any other invalid point).
+    pub transport: Option<TransportScenario>,
 }
 
 impl ClosSpec {
@@ -699,6 +957,7 @@ impl ClosSpec {
                                                     workers: self.workers.max(1) as usize,
                                                     overrides: self.overrides,
                                                     faults: self.faults.clone(),
+                                                    transport: self.transport,
                                                 };
                                                 if scenario.validate().is_ok() {
                                                     runs.push(scenario);
@@ -781,6 +1040,7 @@ impl Default for ClosSpecBuilder {
                 seeds: vec![1],
                 overrides: ConfigOverrides::none(),
                 faults: FaultPlan::none(),
+                transport: None,
             },
         }
     }
@@ -919,6 +1179,12 @@ impl ClosSpecBuilder {
         self
     }
 
+    /// Layers closed-loop transport over every expanded run.
+    pub fn transport(mut self, transport: TransportScenario) -> Self {
+        self.spec.transport = Some(transport);
+        self
+    }
+
     /// Finalises the spec, checking that it expands to at least one run.
     ///
     /// # Errors
@@ -957,6 +1223,9 @@ impl Serialize for ClosSpec {
         st.serialize_field("overrides", &self.overrides)?;
         if !self.faults.is_empty() {
             st.serialize_field("faults", &self.faults)?;
+        }
+        if let Some(transport) = &self.transport {
+            st.serialize_field("transport", transport)?;
         }
         st.serialize_field("kind", &"clos")?;
         st.end()
@@ -999,6 +1268,7 @@ impl<'de> Deserialize<'de> for ClosSpec {
                         "seeds" => spec.seeds = map.next_value()?,
                         "overrides" => spec.overrides = map.next_value()?,
                         "faults" => spec.faults = map.next_value()?,
+                        "transport" => spec.transport = Some(map.next_value()?),
                         "kind" => {
                             let kind: String = map.next_value()?;
                             if kind != "clos" {
@@ -1342,7 +1612,102 @@ mod tests {
             let text = dispatch.to_string();
             assert_eq!(text.parse::<DispatchChoice>().unwrap(), dispatch, "{text}");
         }
+        assert_eq!(
+            "occupancy-spray".parse::<DispatchChoice>().unwrap(),
+            DispatchChoice::OccupancySpray
+        );
         assert!("shotgun".parse::<DispatchChoice>().is_err());
+    }
+
+    #[test]
+    fn transport_scenario_runs_conserving_across_schedules() {
+        let scenario = ClosScenario {
+            radix: 3,
+            ingress_switches: 3,
+            middle_switches: 3,
+            arrival_slots: 1_200,
+            ..ClosScenario::small_transport()
+        };
+        assert!(scenario.validate().is_ok());
+        let reference = scenario.run_reference();
+        let transport = reference.transport.as_ref().expect("transport report");
+        assert!(transport.injected_cells > 1_000, "{transport:?}");
+        assert_eq!(transport.duplicate_deliveries, 0);
+        assert!(reference.transport_conservation_holds());
+        assert!(reference.conservation_holds());
+        for workers in [1usize, 3] {
+            assert_eq!(scenario.run_with_workers(workers), reference);
+        }
+    }
+
+    #[test]
+    fn transport_requires_cut_through_buffers() {
+        // The plain small() geometry batches writebacks (B = 8): layering
+        // transport over it must be refused, not run pathologically.
+        let batched = ClosScenario {
+            transport: Some(TransportScenario::default()),
+            ..ClosScenario::small()
+        };
+        assert_eq!(
+            batched.validate().unwrap_err(),
+            ClosScenarioError::TransportNeedsCutThrough
+        );
+        let cfds = ClosScenario {
+            design: FabricDesign::Fixed(DesignKind::Cfds),
+            ..ClosScenario::small_transport()
+        };
+        assert_eq!(
+            cfds.validate().unwrap_err(),
+            ClosScenarioError::TransportNeedsCutThrough
+        );
+        let bad_target = ClosScenario {
+            transport: Some(TransportScenario {
+                mode: TransportMode::Incast,
+                incast_target: 99,
+                ..TransportScenario::default()
+            }),
+            ..ClosScenario::small_transport()
+        };
+        assert_eq!(
+            bad_target.validate().unwrap_err(),
+            ClosScenarioError::BadIncastTarget(99, 16)
+        );
+    }
+
+    #[test]
+    fn transport_scenario_round_trips_through_json() {
+        let scenario = ClosScenario {
+            transport: Some(TransportScenario {
+                mode: TransportMode::Incast,
+                incast_target: 3,
+                rto_initial: 16,
+                ..TransportScenario::default()
+            }),
+            ..ClosScenario::small_transport()
+        };
+        let json = serde_json::to_string_pretty(&scenario).unwrap();
+        assert!(json.contains("\"transport\""));
+        assert!(json.contains("\"incast\""));
+        let back: ClosScenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scenario);
+        // Open-loop scenarios keep their pre-transport shape on the wire.
+        let open = serde_json::to_string_pretty(ClosScenario::small()).unwrap();
+        assert!(!open.contains("\"transport\""));
+        // And a spec carries the layer into every expanded run.
+        let spec = ClosSpec::builder()
+            .rads_granularity(1)
+            .load_percent(Sweep::list([60, 85]))
+            .arrival_slots(400)
+            .transport(TransportScenario::default())
+            .build()
+            .unwrap();
+        let spec_json = spec.to_json();
+        assert_eq!(ClosSpec::from_json(&spec_json).unwrap(), spec);
+        let expansion = spec.expand().unwrap();
+        assert!(expansion
+            .runs
+            .iter()
+            .all(|run| run.transport == spec.transport));
     }
 
     #[test]
@@ -1562,7 +1927,7 @@ mod tests {
         assert_eq!(single, multi);
         assert_eq!(single.to_json(), multi.to_json());
         assert_eq!(single.to_csv(), multi.to_csv());
-        assert_eq!(single.runs.len(), 4);
+        assert_eq!(single.runs.len(), 6);
         assert!(single.aggregate.all_zero_loss);
         assert!(single.aggregate.all_conserving);
         let csv = single.to_csv();

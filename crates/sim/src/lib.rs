@@ -77,9 +77,12 @@ pub mod scenario;
 pub mod spec;
 pub mod techeval;
 
-pub use crate::clos::{ClosLabReport, ClosScenario, ClosSpec};
+pub use crate::clos::{ClosLabReport, ClosScenario, ClosSpec, TransportMode, TransportScenario};
 pub use crate::fabric::{FabricScenario, FabricSpec};
-pub use ::fabric::{FaultEvent, FaultKind, FaultLedger, FaultPlan, FaultPlanError, LinkBoundary};
+pub use ::fabric::{
+    FaultEvent, FaultKind, FaultLedger, FaultPlan, FaultPlanError, LinkBoundary, RecoveryReport,
+    TransportConfig, TransportReport,
+};
 pub use engine::{
     workload_label, GeneratorSource, SimulationEngine, SimulationReport, CHUNK_SLOTS,
 };

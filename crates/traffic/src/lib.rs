@@ -6,6 +6,11 @@
 //! * **Arrivals** ([`ArrivalGenerator`]): cells coming from the transmission
 //!   line, at most one per slot. Uniform, bursty (on/off), hotspot and
 //!   deterministic round-robin patterns are provided, plus trace replay.
+//! * **Closed-loop sources** ([`ClosedLoopSource`]): reliable senders with
+//!   per-flow sequence numbers, an AIMD congestion window and an RTO with
+//!   exponential backoff — the reactive workloads that let a fabric prove it
+//!   *recovers* from injected faults, not just degrades. Their exact arrival
+//!   matrices can be recorded and replayed via [`MatrixTrace`].
 //! * **Requests** ([`RequestGenerator`]): the switch-fabric arbiter asking for
 //!   one cell per slot. The most important pattern is
 //!   [`AdversarialRoundRobin`], the worst case of the ECQF analysis (§3): the
@@ -35,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 mod arrivals;
+mod closedloop;
 mod requests;
 mod seq;
 mod trace;
@@ -43,12 +49,13 @@ pub use arrivals::{
     ArrivalGenerator, BurstyArrivals, HotspotArrivals, IncastArrivals, RoundRobinArrivals,
     UniformArrivals,
 };
+pub use closedloop::{ClosedLoopConfig, ClosedLoopSource, DemandPattern};
 pub use requests::{
     AdversarialRoundRobin, GreedyQueueDrain, HotspotRequests, RequestGenerator,
     UniformRandomRequests,
 };
 pub use seq::SeqTracker;
-pub use trace::{RecordedTrace, TraceArrivals, TraceRequests};
+pub use trace::{MatrixTrace, MatrixTraceArrivals, RecordedTrace, TraceArrivals, TraceRequests};
 
 /// Derives the RNG seed for one stochastic stream of a workload from the
 /// workload's base seed.

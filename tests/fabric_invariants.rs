@@ -2,7 +2,9 @@
 //! layer: cell conservation across the whole router, determinism, and the
 //! zero-loss envelope.
 
-use future_packet_buffers::sim::clos::{ClosScenario, DispatchChoice};
+use future_packet_buffers::sim::clos::{
+    ClosScenario, DispatchChoice, TransportMode, TransportScenario,
+};
 use future_packet_buffers::sim::fabric::{
     ArbiterChoice, FabricDesign, FabricScenario, FabricSpec, FabricWorkload,
 };
@@ -167,6 +169,113 @@ proptest! {
         );
         if !kill_ingress && !drop_on_full {
             prop_assert!(report.zero_loss, "{scenario:?}: {report:?}");
+        }
+        // Same-seed replay is bit-identical, whatever the worker count.
+        prop_assert_eq!(&scenario.run(), &report);
+        prop_assert_eq!(&scenario.run_with_workers(3), &report);
+    }
+
+    /// Chaos invariant for the closed loop: a random fault plan under the
+    /// reliable transport never delivers a cell past dedup twice, always
+    /// closes both the transport ledger (`injected = acked + in flight +
+    /// queued retransmissions + abandoned`) and the fabric conservation
+    /// balance, explains the fabric's deliveries as unique cells plus
+    /// filtered duplicates, and replays bit-identically across worker
+    /// counts. Permanent faults may abandon cells (the retry budget is
+    /// small by design here) — abandonment must stay inside the ledger,
+    /// never silent.
+    #[test]
+    fn faulted_closed_loop_delivers_exactly_once_and_replays(
+        radix in 2usize..=4,
+        ingress in 2usize..=3,
+        middle_raw in 1usize..=4,
+        incast in prop::bool::ANY,
+        death_switch in 0usize..4,
+        death_start in 100u64..=400,
+        death_permanent in prop::bool::ANY,
+        flap_boundary in prop::bool::ANY,
+        flap_switch in 0usize..4,
+        flap_output in 0usize..4,
+        flap_start in 100u64..=500,
+        flap_len in 50u64..=200,
+        kill_ingress in prop::bool::ANY,
+        kill_port in 0usize..16,
+        rto_initial in 8u64..=32,
+        arrival_slots in 400u64..=800,
+        seed in 0u64..10_000,
+    ) {
+        let middle = middle_raw.min(radix);
+        let ext = ingress * radix;
+        let mut events = vec![
+            if death_permanent {
+                FaultEvent::permanent(
+                    FaultKind::MiddleDeath { switch: death_switch % middle },
+                    death_start,
+                )
+            } else {
+                FaultEvent::windowed(
+                    FaultKind::MiddleDeath { switch: death_switch % middle },
+                    death_start,
+                    250,
+                )
+            },
+            FaultEvent::windowed(
+                if flap_boundary {
+                    FaultKind::LinkFlap {
+                        boundary: LinkBoundary::IngressMiddle,
+                        switch: flap_switch % ingress,
+                        output: flap_output % middle,
+                    }
+                } else {
+                    FaultKind::LinkFlap {
+                        boundary: LinkBoundary::MiddleEgress,
+                        switch: flap_switch % middle,
+                        output: flap_output % ingress,
+                    }
+                },
+                flap_start,
+                flap_len,
+            ),
+        ];
+        if kill_ingress {
+            events.push(FaultEvent::permanent(
+                FaultKind::IngressPortDeath { port: kill_port % ext },
+                death_start,
+            ));
+        }
+        let scenario = ClosScenario {
+            radix,
+            ingress_switches: ingress,
+            middle_switches: middle,
+            arrival_slots,
+            seed,
+            faults: FaultPlan::new(events),
+            transport: Some(TransportScenario {
+                mode: if incast { TransportMode::Incast } else { TransportMode::Sweep },
+                incast_target: (seed % ext as u64) as u32,
+                rto_initial,
+                rto_cap: 256,
+                max_retries: 8,
+                ..TransportScenario::default()
+            }),
+            ..ClosScenario::small_transport()
+        };
+        prop_assert!(scenario.validate().is_ok(), "{scenario:?}");
+        let report = scenario.run();
+        let t = report.transport.as_ref().expect("transport runs always report");
+        prop_assert_eq!(t.duplicate_deliveries, 0, "{:?}: {:?}", scenario, t);
+        prop_assert!(report.transport_conservation_holds(), "{scenario:?}: {t:?}");
+        prop_assert!(report.conservation_holds(), "{scenario:?}: {report:?}");
+        // Every fabric delivery is accounted for: a first copy or a filtered
+        // retransmission duplicate.
+        prop_assert_eq!(
+            report.delivered,
+            t.delivered_unique + t.duplicates_filtered,
+            "{:?}", t
+        );
+        // Only permanent faults may exhaust the retry budget.
+        if !death_permanent && !kill_ingress {
+            prop_assert_eq!(t.gave_up_cells, 0, "{:?}: {:?}", scenario, t);
         }
         // Same-seed replay is bit-identical, whatever the worker count.
         prop_assert_eq!(&scenario.run(), &report);
