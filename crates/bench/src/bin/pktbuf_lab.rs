@@ -18,7 +18,7 @@ use bench::cli::{
     parse_int, parse_list, parse_sweep, read_spec_text, write_artifact, OutputOptions,
 };
 use serde::{Serialize, Serializer};
-use sim::clos::{ClosLabReport, ClosSpec, DispatchChoice, TransportScenario};
+use sim::clos::{ClosLabReport, ClosSpec, DispatchChoice, ObsScenario, TransportScenario};
 use sim::fabric::{ArbiterChoice, FabricDesign, FabricLabReport, FabricSpec, FabricWorkload};
 use sim::lab::{ExperimentReport, LabRunner};
 use sim::report::TextTable;
@@ -143,6 +143,21 @@ same sweep syntax as below):
                              sources self-clock, so --workloads/--load are inert)
     --recovery-json <FILE>   write the smoke recovery reports as JSON
                              ('-' = stdout; requires --smoke)
+    --obs                    arm the standard deterministic probes in every run:
+                             latency + occupancy histograms and series sampling
+                             every 64 slots (the JSON report gains an 'obs'
+                             section, the CSV its latency percentile columns;
+                             the report stays worker-count-invariant)
+    --series <STRIDE>        sample per-stage throughput/occupancy/stall series
+                             every STRIDE slots (arms --obs if it is not)
+    --series-csv <FILE>      write the per-run, per-stage series samples as CSV
+                             ('-' = stdout; needs --series or --obs)
+    --trace-json <FILE>      write a cell-lifecycle flight-recorder dump as
+                             Chrome trace-event JSON ('-' = stdout; open in
+                             ui.perfetto.dev): with --smoke, re-runs the
+                             recovery leg's faulted run with the recorder
+                             armed over the fault windows; otherwise arms the
+                             recorder in every run and dumps the first one
     --rate, -b/-B/--banks, --slots, --seeds, --name, --threads, --json, --csv
                              as for `run`/`sweep`
 
@@ -686,6 +701,92 @@ fn clos_fault_smoke_spec() -> ClosSpec {
         .expect("the clos fault smoke spec is valid")
 }
 
+/// Flight-recorder ring capacity (events per stage) the `--trace-json` flag
+/// arms when the spec has not sized one itself: a million events per stage
+/// bounds the dump at tens of megabytes while covering every cell of the
+/// smoke-scale runs inside the recorded window.
+const CLOS_TRACE_CAPACITY: usize = 1 << 20;
+
+/// Renders every armed run's per-stage time-series as the `--series-csv`
+/// artifact: one row per sample, identified by run index and stage.
+///
+/// # Errors
+///
+/// Fails when no run armed the series probes (`--series`/`--obs`).
+fn clos_series_csv(report: &ClosLabReport) -> Result<String, String> {
+    let mut table = TextTable::new(vec![
+        "index",
+        "stage",
+        "slot",
+        "transmitted",
+        "occupancy",
+        "credit_stall_slots",
+    ]);
+    let mut sampled = false;
+    for run in &report.runs {
+        let Some(obs) = &run.report.obs else { continue };
+        for stage in &obs.stages {
+            let Some(series) = &stage.series else {
+                continue;
+            };
+            sampled = true;
+            for (i, slot) in series.slots.iter().enumerate() {
+                table.push_row(vec![
+                    run.index.to_string(),
+                    stage.stage.to_owned(),
+                    slot.to_string(),
+                    series.transmitted[i].to_string(),
+                    series.occupancy[i].to_string(),
+                    series.stalls[i].to_string(),
+                ]);
+            }
+        }
+    }
+    if !sampled {
+        return Err(
+            "--series-csv needs armed series probes: pass --series <stride> or --obs".to_owned(),
+        );
+    }
+    Ok(table.to_csv())
+}
+
+/// The flight-recorder leg of `clos --smoke --trace-json`: re-runs the
+/// recovery leg's faulted run (the closed-loop transport under the
+/// death+flap plan of [`clos_recovery_smoke_plan`]) with the recorder armed
+/// over the fault windows, and renders the merged timeline as Chrome
+/// trace-event JSON. The closed loop is the leg with the full event
+/// vocabulary — injections, retransmissions, fault marks, egress transmits —
+/// and a separate re-run keeps the gated smoke runs byte-identical to an
+/// unarmed suite.
+///
+/// # Errors
+///
+/// Fails when the recovery leg is empty (it never is — the spec is fixed).
+fn clos_smoke_trace(faulted: &ClosLabReport) -> Result<String, String> {
+    let run = faulted
+        .runs
+        .first()
+        .ok_or_else(|| "the recovery smoke leg produced no runs".to_owned())?;
+    let mut scenario = run.scenario.clone();
+    scenario.obs = Some(ObsScenario {
+        trace_capacity: CLOS_TRACE_CAPACITY,
+        // Bracket both fault windows of `clos_recovery_smoke_plan` (the
+        // middle death at 1000..2500 and the link flap at 2800..3100) with
+        // margin for the timeouts and retransmissions around them.
+        trace_from_slot: 900,
+        trace_to_slot: 3_300,
+        ..ObsScenario::standard()
+    });
+    let traced = scenario.run();
+    eprintln!(
+        "clos smoke: re-ran {} run {} with the flight recorder armed over slots 900..=3300",
+        faulted.spec.name, run.index,
+    );
+    traced
+        .trace_json()
+        .ok_or_else(|| "the traced re-run produced no recorder dump".to_owned())
+}
+
 /// One run's slice of the `--faults-json` artifact: enough scenario context
 /// to identify the run, plus its full fault ledger.
 struct ClosFaultRecord<'a> {
@@ -846,6 +947,8 @@ fn clos_command(args: &[String]) -> Result<(), String> {
     let mut print_spec = false;
     let mut faults_json: Option<String> = None;
     let mut recovery_json: Option<String> = None;
+    let mut series_csv: Option<String> = None;
+    let mut trace_json: Option<String> = None;
     let mut edits: Vec<ClosEdit> = Vec::new();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -1038,6 +1141,27 @@ fn clos_command(args: &[String]) -> Result<(), String> {
                 }));
             }
             "--recovery-json" => recovery_json = Some(value("--recovery-json")?),
+            "--obs" => {
+                edits.push(Box::new(|s| {
+                    s.obs.get_or_insert_with(ObsScenario::standard);
+                    Ok(())
+                }));
+            }
+            "--series" => {
+                let v = value("--series")?;
+                edits.push(Box::new(move |s| {
+                    let stride = parse_int(&v, "--series")?;
+                    if stride == 0 {
+                        return Err("--series needs a stride of at least 1 slot".to_owned());
+                    }
+                    let o = s.obs.get_or_insert_with(ObsScenario::standard);
+                    o.series_stride = stride;
+                    o.series_capacity = o.series_capacity.max(1024);
+                    Ok(())
+                }));
+            }
+            "--series-csv" => series_csv = Some(value("--series-csv")?),
+            "--trace-json" => trace_json = Some(value("--trace-json")?),
             "--threads" => {
                 output.threads = Some(parse_int(&value("--threads")?, "--threads")? as usize);
             }
@@ -1066,6 +1190,15 @@ fn clos_command(args: &[String]) -> Result<(), String> {
     };
     for edit in edits {
         edit(&mut spec)?;
+    }
+    if trace_json.is_some() && !smoke {
+        // `--trace-json` without `--smoke` arms the recorder in the spec
+        // itself (the smoke suite instead re-runs its degraded leg traced,
+        // keeping the gated runs byte-identical to an unarmed suite).
+        let o = spec.obs.get_or_insert_with(ObsScenario::standard);
+        if o.trace_capacity == 0 {
+            o.trace_capacity = CLOS_TRACE_CAPACITY;
+        }
     }
     spec.expand().map_err(|e| e.to_string())?;
     if print_spec {
@@ -1127,6 +1260,24 @@ fn clos_command(args: &[String]) -> Result<(), String> {
             &clos_recovery_json(healthy, faulted),
             "recovery reports",
         )?;
+    }
+    if let Some(path) = &series_csv {
+        write_artifact(path, &clos_series_csv(&report)?, "series samples")?;
+    }
+    if let Some(path) = &trace_json {
+        // Written before the gates, like every other smoke artifact, so a
+        // gate failure still leaves the trace on disk for CI to upload.
+        let dump = if smoke {
+            let (_, faulted) = recovery_legs.as_ref().expect("smoke ran the recovery legs");
+            clos_smoke_trace(faulted)?
+        } else {
+            report
+                .runs
+                .first()
+                .and_then(|run| run.report.trace_json())
+                .ok_or_else(|| "the spec produced no traced run".to_owned())?
+        };
+        write_artifact(path, &dump, "flight-recorder trace")?;
     }
     if smoke {
         gate_clos_smoke(&report)?;

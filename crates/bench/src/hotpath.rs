@@ -28,7 +28,7 @@
 
 use crate::cli::{guard_fresh_tag, load_artifact};
 use serde_json::{Map, Number, Value};
-use sim::clos::{ClosScenario, TransportScenario};
+use sim::clos::{ClosScenario, ObsScenario, TransportScenario};
 use sim::fabric::{ArbiterChoice, FabricDesign, FabricScenario, FabricWorkload};
 use sim::scenario::{DesignKind, Scenario, Workload};
 use sim::SimulationEngine;
@@ -42,8 +42,11 @@ use traffic::{AdversarialRoundRobin, BurstyArrivals};
 /// `clos_smoke_results`, and per-trajectory `clos_port_slots_per_sec`). v5:
 /// the closed-loop transport Clos point (`+transport` key suffix, per-row
 /// `transport`/`transport_ok` flags, and the exactly-once/conservation
-/// standing gates over it).
-pub const BENCH_SCHEMA: u64 = 5;
+/// standing gates over it). v6: the `obs_overhead` section — the headline
+/// Clos point measured with the probes off and with the standard obs probe
+/// set (`ObsScenario::standard`) armed, under a standing gate that the
+/// instrumented run costs at most `OBS_OVERHEAD_MAX_PCT` percent.
+pub const BENCH_SCHEMA: u64 = 6;
 
 /// Default artifact path, relative to the invocation directory.
 pub const BENCH_DEFAULT_OUT: &str = "BENCH_hotpath.json";
@@ -736,6 +739,142 @@ fn clos_results_json(entries: &[ClosBenchEntry]) -> Value {
     Value::Array(rows)
 }
 
+/// Maximum tolerated instrumentation-on overhead on the headline Clos
+/// point, percent of the probes-off wall time (a standing gate: the
+/// zero-overhead-off contract is tested functionally, this bounds the cost
+/// of actually *using* the probes).
+const OBS_OVERHEAD_MAX_PCT: f64 = 5.0;
+
+/// The measured cost of arming [`ObsScenario::standard`] (latency +
+/// occupancy histograms, series every 64 slots) on the headline Clos bench
+/// point, probes-off and probes-on interleaved.
+#[derive(Debug, Clone)]
+struct ObsOverheadEntry {
+    key: String,
+    slots: u64,
+    delivered: u64,
+    off_seconds: f64,
+    on_seconds: f64,
+    /// Median of the per-round paired on/off ratios, as a percentage. Each
+    /// round runs off then on back-to-back, so a pair shares whatever the
+    /// machine was doing that instant and its ratio cancels load drift; the
+    /// median across rounds then discards spike-hit pairs. A ratio of the
+    /// two minima would compare times from different noise epochs and has
+    /// been observed to swing ±10% on a busy host — far above the gate.
+    overhead_pct: f64,
+}
+
+/// Measures the headline Clos point (maximal arbiter at 50% load) with the
+/// probes off and with the standard probe set armed, interleaving the pair
+/// each round. The minimum per side is reported for throughput; the
+/// overhead gate uses the median paired ratio (see
+/// [`ObsOverheadEntry::overhead_pct`]).
+fn run_obs_overhead(smoke: bool, repeat: usize) -> ObsOverheadEntry {
+    let slots = if smoke {
+        CLOS_SLOTS_SMOKE
+    } else {
+        CLOS_SLOTS_FULL
+    };
+    let off = ClosScenario {
+        radix: 8,
+        ingress_switches: 8,
+        middle_switches: 8,
+        arbiter: ArbiterChoice::Maximal,
+        load_percent: 50,
+        arrival_slots: slots,
+        ..ClosScenario::small()
+    };
+    let armed = ClosScenario {
+        obs: Some(ObsScenario::standard()),
+        ..off.clone()
+    };
+    let mut entry: Option<ObsOverheadEntry> = None;
+    // A percent-level differential needs more rounds than the throughput
+    // suites: always take at least five interleaved pairs.
+    let mut ratios = Vec::new();
+    for _ in 0..repeat.max(5) {
+        let start = Instant::now();
+        let off_report = off.run();
+        let off_seconds = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let on_report = armed.run();
+        let on_seconds = start.elapsed().as_secs_f64();
+        // The probes must observe the run, never steer it.
+        assert_eq!(off_report.delivered, on_report.delivered);
+        assert_eq!(off_report.arrivals, on_report.arrivals);
+        assert!(on_report.obs.is_some() && off_report.obs.is_none());
+        if off_seconds > 0.0 {
+            ratios.push(on_seconds / off_seconds);
+        }
+        match &mut entry {
+            None => {
+                entry = Some(ObsOverheadEntry {
+                    key: format!(
+                        "clos{}x{}x{}-{}/{}+{}@{}+{}",
+                        off.ingress_switches,
+                        off.middle_switches,
+                        off.radix,
+                        off.design,
+                        off.workload,
+                        off.arbiter,
+                        off.load_percent,
+                        off.dispatch,
+                    ),
+                    slots: off_report.slots,
+                    delivered: off_report.delivered,
+                    off_seconds,
+                    on_seconds,
+                    overhead_pct: 0.0,
+                });
+            }
+            Some(e) => {
+                e.off_seconds = e.off_seconds.min(off_seconds);
+                e.on_seconds = e.on_seconds.min(on_seconds);
+            }
+        }
+    }
+    let mut entry = entry.expect("at least one round ran");
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let median = match ratios.as_slice() {
+        [] => 1.0,
+        r => {
+            let mid = r.len() / 2;
+            if r.len() % 2 == 1 {
+                r[mid]
+            } else {
+                (r[mid - 1] + r[mid]) / 2.0
+            }
+        }
+    };
+    entry.overhead_pct = (median - 1.0) * 100.0;
+    eprintln!(
+        "bench: obs overhead on {}: probes off {:.3}s, standard probes {:.3}s \
+         (median paired ratio {:+.1}%)",
+        entry.key, entry.off_seconds, entry.on_seconds, entry.overhead_pct,
+    );
+    entry
+}
+
+fn obs_overhead_json(e: &ObsOverheadEntry) -> Value {
+    let mut row = Map::new();
+    row.insert("key", Value::String(e.key.clone()));
+    row.insert("slots", Value::Number(Number::from_u64(e.slots)));
+    row.insert("delivered", Value::Number(Number::from_u64(e.delivered)));
+    row.insert("off_seconds", number(e.off_seconds));
+    row.insert("on_seconds", number(e.on_seconds));
+    row.insert(
+        "off_slots_per_sec",
+        number(slots_per_sec(e.slots, e.off_seconds)),
+    );
+    row.insert(
+        "on_slots_per_sec",
+        number(slots_per_sec(e.slots, e.on_seconds)),
+    );
+    row.insert("overhead_pct", number(e.overhead_pct));
+    row.insert("max_overhead_pct", number(OBS_OVERHEAD_MAX_PCT));
+    Value::Object(row)
+}
+
 fn number(v: f64) -> Value {
     Value::Number(Number::from_f64(v).expect("bench numbers are finite"))
 }
@@ -976,6 +1115,7 @@ pub fn run_bench(options: &BenchOptions) -> Result<bool, String> {
     } else {
         None
     };
+    let obs_overhead = run_obs_overhead(options.smoke, options.repeat.unwrap_or(3));
     let rss = peak_rss_bytes();
     eprintln!("bench: peak RSS {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
 
@@ -1037,6 +1177,17 @@ pub fn run_bench(options: &BenchOptions) -> Result<bool, String> {
             ok = false;
         }
     }
+    // Standing gate: arming the standard probe set must stay cheap. The
+    // off-path is free by construction (the byte-identity tests prove it);
+    // this bounds the cost of the probes people actually turn on.
+    if obs_overhead.overhead_pct > OBS_OVERHEAD_MAX_PCT {
+        eprintln!(
+            "bench: REGRESSION {}: standard obs probes cost {:.1}% \
+             (budget {OBS_OVERHEAD_MAX_PCT}%)",
+            obs_overhead.key, obs_overhead.overhead_pct,
+        );
+        ok = false;
+    }
 
     let mut root = Map::new();
     root.insert("schema", Value::Number(Number::from_u64(BENCH_SCHEMA)));
@@ -1077,6 +1228,7 @@ pub fn run_bench(options: &BenchOptions) -> Result<bool, String> {
     if let Some(clos_smoke_entries) = &clos_smoke_entries {
         root.insert("clos_smoke_results", clos_results_json(clos_smoke_entries));
     }
+    root.insert("obs_overhead", obs_overhead_json(&obs_overhead));
 
     // Trajectory: carry the previous artifact's history forward (loaded —
     // and its tag checked for collision — before the suites ran).

@@ -71,11 +71,14 @@
 //! twin (differential tests pin both). The drain phase always runs
 //! single-threaded after the workers join.
 
-use crate::faults::{FaultLedger, FaultPlan, ImpactCounters, StageFaults};
-use crate::report::FabricRunReport;
+use crate::faults::{FaultKind, FaultLedger, FaultPlan, ImpactCounters, LinkBoundary, StageFaults};
+use crate::report::{FabricRunReport, HistogramReport};
 use crate::switch::{FabricConfig, StageSink, VoqSwitch, FABRIC_CHUNK_SLOTS};
 use crate::transport::{SinkState, TransportConfig, TransportReport};
 use crate::ArbiterKind;
+use obs::{
+    merge_events, EventKind, FlightRecorder, Log2Histogram, ObsConfig, SeriesRing, TraceEvent,
+};
 use pktbuf::PacketBuffer;
 use pktbuf_model::{Cell, LogicalQueueId};
 use serde::{Serialize, Serializer};
@@ -278,6 +281,113 @@ impl Delivery {
     }
 }
 
+/// Per-stage observability probes: `None` on every stage unless
+/// [`ClosFabric::arm_obs`] installed them, so the uninstrumented hot path
+/// carries no state at all — the same zero-overhead-off discipline the
+/// fault and transport layers follow. Every probe is single-writer (owned
+/// by the stage that records into it) and clocked by slot time only, so
+/// instrumented runs stay byte-identical across worker counts.
+#[derive(Debug)]
+struct StageObs {
+    /// Chrome-trace stage id: 0 = ingress, 1 = middle, 2 = egress.
+    stage_no: u8,
+    /// VOQ backlog depth, recorded after every sidecar enqueue.
+    voq_backlog: Option<Log2Histogram>,
+    /// Outbound link occupancy (`capacity − credits`), recorded at every
+    /// transmit onto a link; never armed at the egress (no out links).
+    link_occupancy: Option<Log2Histogram>,
+    /// Slot-sampled throughput/occupancy/stall time-series.
+    series: Option<SeriesRing>,
+    /// Cell-lifecycle flight recorder.
+    recorder: Option<FlightRecorder>,
+}
+
+impl StageObs {
+    fn new(config: &ObsConfig, stage: ClosStage) -> Self {
+        let has_out_links = stage != ClosStage::Egress;
+        StageObs {
+            stage_no: match stage {
+                ClosStage::Ingress => 0,
+                ClosStage::Middle => 1,
+                ClosStage::Egress => 2,
+            },
+            voq_backlog: config.occupancy_hist.then(Log2Histogram::new),
+            link_occupancy: (config.occupancy_hist && has_out_links).then(Log2Histogram::new),
+            series: config
+                .series_enabled()
+                .then(|| SeriesRing::new(config.series_stride, config.series_capacity)),
+            recorder: config
+                .trace_enabled()
+                .then(|| FlightRecorder::new(config.trace_capacity, config.trace_filter())),
+        }
+    }
+
+    /// Records one flight-recorder event, when the recorder is armed.
+    #[inline]
+    fn record_event(&mut self, slot: u64, kind: EventKind, switch: u32, port: u32, tag: FlowTag) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(TraceEvent {
+                slot,
+                kind,
+                stage: self.stage_no,
+                switch,
+                port,
+                src: tag.src,
+                dest: tag.dest,
+                seq: tag.seq,
+            });
+        }
+    }
+
+    /// One cell queued into a VOQ: records the depth *after* the push and
+    /// the enqueue event.
+    #[inline]
+    fn on_voq_enqueue(&mut self, slot: u64, switch: u32, port: u32, tag: FlowTag, depth: u64) {
+        if let Some(h) = self.voq_backlog.as_mut() {
+            h.record(depth);
+        }
+        self.record_event(slot, EventKind::VoqEnqueue, switch, port, tag);
+    }
+
+    /// One output-slot in which a queued cell sat gated awaiting a credit.
+    #[inline]
+    fn on_stall(&mut self) {
+        if let Some(ring) = self.series.as_mut() {
+            ring.add_stalls(1);
+        }
+    }
+
+    /// One cell left the stage (onto a link or an external output line).
+    #[inline]
+    fn on_transmit(&mut self) {
+        if let Some(ring) = self.series.as_mut() {
+            ring.add_transmitted(1);
+        }
+    }
+
+    /// Records the outbound link's occupancy right after a transmit.
+    #[inline]
+    fn on_link_occupancy(&mut self, occupancy: u64) {
+        if let Some(h) = self.link_occupancy.as_mut() {
+            h.record(occupancy);
+        }
+    }
+}
+
+/// Cells resident in a stage right now: queued in VOQs, staged in egress
+/// FIFOs (counted by sidecar tags) or sitting in inbound link FIFOs. Read
+/// only at series sample slots.
+fn stage_occupancy(
+    voq_tags: &[VecDeque<FlowTag>],
+    out_tags: &[VecDeque<FlowTag>],
+    in_links: &[VecDeque<LinkCell>],
+) -> u64 {
+    let queued: usize = voq_tags.iter().map(VecDeque::len).sum();
+    let staged: usize = out_tags.iter().map(VecDeque::len).sum();
+    let linked: usize = in_links.iter().map(VecDeque::len).sum();
+    (queued + staged + linked) as u64
+}
+
 /// The [`StageSink`] wired into one switch's [`VoqSwitch::step_coupled`]:
 /// advances the sidecar flow tags in grant order, debits link credits and
 /// stages transmitted cells into the outbound link batch (interior stages)
@@ -289,6 +399,10 @@ struct StageHooks<'a> {
     /// Whether transmissions debit link credits (false only when a
     /// `DropOnFull` fault disabled credit flow control for the run).
     debit: bool,
+    /// Link FIFO capacity (the occupancy histogram's reference point).
+    link_capacity: usize,
+    /// Observability probes; `None` on the uninstrumented path.
+    obs: Option<&'a mut StageObs>,
     voq_tags: &'a mut [VecDeque<FlowTag>],
     out_tags: &'a mut [VecDeque<FlowTag>],
     hop_seq: &'a mut [u64],
@@ -307,6 +421,15 @@ impl StageSink for StageHooks<'_> {
         let v = cell.queue().as_usize();
         let h = (self.s * self.radix + input) * self.radix + v;
         if let Some(tag) = self.voq_tags[h].pop_front() {
+            if let Some(ob) = self.obs.as_deref_mut() {
+                ob.record_event(
+                    self.slot,
+                    EventKind::Grant,
+                    self.s as u32,
+                    input as u32,
+                    tag,
+                );
+            }
             self.out_tags[self.s * self.radix + v].push_back(tag);
         } else {
             debug_assert!(false, "granted cell without a sidecar flow tag");
@@ -325,12 +448,28 @@ impl StageSink for StageHooks<'_> {
                 if let Some(acks) = self.acks.as_deref_mut() {
                     acks.push(tag);
                 }
+                if let Some(ob) = self.obs.as_deref_mut() {
+                    ob.on_transmit();
+                    ob.record_event(
+                        self.slot,
+                        EventKind::EgressTransmit,
+                        self.s as u32,
+                        output as u32,
+                        tag,
+                    );
+                }
                 delivery.deliver(tag, self.slot);
             }
             None => {
                 if self.debit {
                     debug_assert!(self.out_credits[o] > 0, "transmit without link credit");
                     self.out_credits[o] -= 1;
+                }
+                if let Some(ob) = self.obs.as_deref_mut() {
+                    ob.on_transmit();
+                    ob.on_link_occupancy(
+                        (self.link_capacity as u64).saturating_sub(u64::from(self.out_credits[o])),
+                    );
                 }
                 self.fwd.cells.push((o as u32, cell, tag));
             }
@@ -407,6 +546,9 @@ struct Stage<B: PacketBuffer> {
     link_dropped: u64,
     /// Crossbar matches per switch at the end of the active phase.
     active_matches: Vec<u64>,
+    /// Observability probes; `None` unless [`ClosFabric::arm_obs`] armed
+    /// them, so the uninstrumented hot path carries nothing.
+    obs: Option<StageObs>,
 }
 
 impl<B: PacketBuffer> Stage<B> {
@@ -472,6 +614,7 @@ impl<B: PacketBuffer> Stage<B> {
             peak_link_depth: 0,
             link_dropped: 0,
             active_matches: vec![0; count],
+            obs: None,
         }
     }
 
@@ -586,6 +729,7 @@ impl<B: PacketBuffer> Stage<B> {
             arrivals,
             gate,
             credit_stall_slots,
+            obs,
             ..
         } = self;
         let (radix, up_radix, ext_radix, middle) = (*radix, *up_radix, *ext_radix, *middle);
@@ -711,11 +855,22 @@ impl<B: PacketBuffer> Stage<B> {
                         let h = (s * radix + i) * radix + p;
                         let hop = hop_seq[h];
                         hop_seq[h] += 1;
-                        voq_tags[h].push_back(FlowTag {
+                        let tag = FlowTag {
                             src: src as u32,
                             dest: dest as u32,
                             seq: cell.seq(),
-                        });
+                        };
+                        voq_tags[h].push_back(tag);
+                        if let Some(ob) = obs.as_mut() {
+                            ob.record_event(slot, EventKind::Inject, s as u32, i as u32, tag);
+                            ob.on_voq_enqueue(
+                                slot,
+                                s as u32,
+                                i as u32,
+                                tag,
+                                voq_tags[h].len() as u64,
+                            );
+                        }
                         *arrival = Some(Cell::new(
                             LogicalQueueId::new(p as u32),
                             hop,
@@ -753,6 +908,10 @@ impl<B: PacketBuffer> Stage<B> {
                     let hop = hop_seq[h];
                     hop_seq[h] += 1;
                     voq_tags[h].push_back(tag);
+                    if let Some(ob) = obs.as_mut() {
+                        ob.record_event(slot, EventKind::LinkTraverse, s as u32, i as u32, tag);
+                        ob.on_voq_enqueue(slot, s as u32, i as u32, tag, voq_tags[h].len() as u64);
+                    }
                     *arrival = Some(Cell::new(
                         LogicalQueueId::new(v as u32),
                         hop,
@@ -774,6 +933,9 @@ impl<B: PacketBuffer> Stage<B> {
                     *open = has_credit;
                     if !has_credit && switch.egress_depth(j) > 0 {
                         *credit_stall_slots += 1;
+                        if let Some(ob) = obs.as_mut() {
+                            ob.on_stall();
+                        }
                     }
                 }
                 gate
@@ -806,6 +968,8 @@ impl<B: PacketBuffer> Stage<B> {
                 radix,
                 slot,
                 debit,
+                link_capacity,
+                obs: obs.as_mut(),
                 voq_tags: &mut voq_tags[..],
                 out_tags: &mut out_tags[..],
                 hop_seq: &mut hop_seq[..],
@@ -815,6 +979,15 @@ impl<B: PacketBuffer> Stage<B> {
                 acks: emit_acks.then_some(&mut credits.acks),
             };
             switch.step_coupled(arrivals, gate_ref, &mut hooks);
+        }
+        // One series tick per stage per slot, after every switch stepped.
+        // Sampling reads only this stage's own state at the end of its own
+        // slot, so the samples are identical under every schedule.
+        if let Some(ring) = obs.as_mut().and_then(|ob| ob.series.as_mut()) {
+            if ring.due(slot) {
+                let occupancy = stage_occupancy(voq_tags, out_tags, in_links);
+                ring.sample(slot, occupancy);
+            }
         }
     }
 
@@ -841,11 +1014,22 @@ impl<B: PacketBuffer> Stage<B> {
             && self.switches.iter().all(VoqSwitch::is_idle)
     }
 
-    /// Fast-forwards `slots` provably idle slots (caller checked
-    /// [`Stage::is_idle`] on every stage and that no batch is in flight).
-    fn advance_idle(&mut self, slots: u64) {
+    /// Fast-forwards `slots` provably idle slots starting at `from_slot`
+    /// (caller checked [`Stage::is_idle`] on every stage and that no batch
+    /// is in flight). An idle window records nothing into the histograms or
+    /// the recorder, and its series samples are synthesized — zero
+    /// throughput, zero stalls, constant occupancy — exactly what stepping
+    /// each slot would have produced, so skipping schedules stay
+    /// byte-identical to the skip-free ones.
+    fn advance_idle(&mut self, from_slot: u64, slots: u64) {
         for switch in &mut self.switches {
             switch.advance_idle(slots);
+        }
+        if self.obs.as_ref().is_some_and(|ob| ob.series.is_some()) {
+            let occupancy = stage_occupancy(&self.voq_tags, &self.out_tags, &self.in_links);
+            if let Some(ring) = self.obs.as_mut().and_then(|ob| ob.series.as_mut()) {
+                ring.advance_idle(from_slot, slots, occupancy);
+            }
         }
     }
 }
@@ -878,6 +1062,8 @@ pub struct ClosFabric<B: PacketBuffer> {
     fault_edges: Vec<u64>,
     /// The enabled transport config (`None` = open-loop, the default).
     transport: Option<TransportConfig>,
+    /// The armed obs configuration (`None` = uninstrumented, the default).
+    obs: Option<ObsConfig>,
 }
 
 impl<B: PacketBuffer> ClosFabric<B> {
@@ -933,6 +1119,7 @@ impl<B: PacketBuffer> ClosFabric<B> {
             plan: None,
             fault_edges: Vec::new(),
             transport: None,
+            obs: None,
         }
     }
 
@@ -971,6 +1158,41 @@ impl<B: PacketBuffer> ClosFabric<B> {
         }
         self.fault_edges = plan.edges();
         self.plan = Some(plan.clone());
+    }
+
+    /// Arms the deterministic observability layer for the coming run:
+    /// latency/occupancy histograms, per-stage time-series and the cell
+    /// flight recorder, per `config`'s probe selection. [`ObsConfig::off`]
+    /// is a no-op — the fabric stays exactly on the uninstrumented path and
+    /// its reports stay byte-identical to an unarmed run (pinned by a
+    /// differential test). Armed probes are single-writer and clocked by
+    /// slot time only, so instrumented reports are still byte-identical
+    /// for every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fabric has already run (probes arm at slot 0 so
+    /// every schedule observes every event identically).
+    pub fn arm_obs(&mut self, config: &ObsConfig) {
+        if config.is_off() {
+            return;
+        }
+        assert_eq!(self.clock, 0, "obs probes must be armed before the run");
+        for (stage, kind) in [
+            (&mut self.ingress, ClosStage::Ingress),
+            (&mut self.middle, ClosStage::Middle),
+            (&mut self.egress, ClosStage::Egress),
+        ] {
+            stage.obs = Some(StageObs::new(config, kind));
+        }
+        if config.latency_hist {
+            // External end-to-end latency lives at the egress-stage output
+            // lines (the line-side arrival slot survives re-sequencing).
+            for switch in &mut self.egress.switches {
+                switch.arm_latency_obs();
+            }
+        }
+        self.obs = Some(config.clone());
     }
 
     /// Enables the end-to-end reliable transport for the coming run: the
@@ -1058,9 +1280,10 @@ impl<B: PacketBuffer> ClosFabric<B> {
     }
 
     fn advance_idle(&mut self, slots: u64) {
-        self.ingress.advance_idle(slots);
-        self.middle.advance_idle(slots);
-        self.egress.advance_idle(slots);
+        let from = self.clock;
+        self.ingress.advance_idle(from, slots);
+        self.middle.advance_idle(from, slots);
+        self.egress.advance_idle(from, slots);
         self.clock += slots;
     }
 
@@ -1435,11 +1658,26 @@ fn ingress_transport_worker<B: PacketBuffer>(
             stage.ack_pending.pop_front();
             sources[tag.src as usize].on_ack(tag.dest, tag.seq, slot);
         }
+        let radix = stage.radix as u32;
         for (line, source) in lines.iter_mut().zip(sources.iter_mut()) {
             source.expire_timers(slot);
+            let sent_retries = source.retransmitted();
             *line = source
                 .poll(slot, true)
                 .map(|(dest, seq)| Cell::new(LogicalQueueId::new(dest), seq, slot));
+            if let Some(ob) = stage.obs.as_mut() {
+                if source.retransmitted() > sent_retries {
+                    if let Some(cell) = line.as_ref() {
+                        let src = source.src();
+                        let tag = FlowTag {
+                            src,
+                            dest: cell.queue().index(),
+                            seq: cell.seq(),
+                        };
+                        ob.record_event(slot, EventKind::Retransmit, src / radix, src % radix, tag);
+                    }
+                }
+            }
         }
         let Ok(mut fwd) = fwd_out.back_rx.recv() else {
             return;
@@ -1607,11 +1845,26 @@ impl<B: PacketBuffer> ClosFabric<B> {
             self.ingress.ack_pending.pop_front();
             sources[tag.src as usize].on_ack(tag.dest, tag.seq, slot);
         }
+        let radix = self.config.radix as u32;
         for (line, source) in lines.iter_mut().zip(sources.iter_mut()) {
             source.expire_timers(slot);
+            let sent_retries = source.retransmitted();
             *line = source
                 .poll(slot, allow_new)
                 .map(|(dest, seq)| Cell::new(LogicalQueueId::new(dest), seq, slot));
+            if let Some(ob) = self.ingress.obs.as_mut() {
+                if source.retransmitted() > sent_retries {
+                    if let Some(cell) = line.as_ref() {
+                        let src = source.src();
+                        let tag = FlowTag {
+                            src,
+                            dest: cell.queue().index(),
+                            seq: cell.seq(),
+                        };
+                        ob.record_event(slot, EventKind::Retransmit, src / radix, src % radix, tag);
+                    }
+                }
+            }
         }
         if let Some(trace) = record {
             let row: Vec<Option<(u32, u64)>> = lines
@@ -1683,6 +1936,14 @@ impl<B: PacketBuffer> ClosFabric<B> {
             .transport
             .expect("enable_transport must be called before run_transport"); // analyze: allow(panic-freedom) — documented API contract, checked once at run entry before the slot loop
         self.check_sources(sources);
+        // Latency probes extend to the transport layer: each source tracks
+        // first-injection-to-ack latency so retransmitted cells are timed
+        // over their whole recovery.
+        if self.obs.as_ref().is_some_and(|c| c.latency_hist) {
+            for source in sources.iter_mut() {
+                source.arm_latency_obs();
+            }
+        }
         let ext = self.config.external_ports();
         let mut sc = SerialScratch::default();
         let mut lines: Vec<Option<Cell>> = vec![None; ext]; // analyze: allow(hotpath-alloc) — per-run scratch allocated once at run entry, before the slot loop
@@ -1746,6 +2007,15 @@ impl<B: PacketBuffer> ClosFabric<B> {
             .and_then(|d| d.transport.as_ref())
             .expect("transport sink present on a transport run"); // analyze: allow(panic-freedom) — enable_transport installed the sink; checked once after the slot loop
         let sp = config.source_params();
+        let first_injection_latency = {
+            let mut merged: Option<Log2Histogram> = None;
+            for source in sources.iter() {
+                if let Some(hist) = source.first_injection_hist() {
+                    merged.get_or_insert_with(Log2Histogram::new).merge(hist);
+                }
+            }
+            merged.as_ref().map(HistogramReport::from_hist)
+        };
         report.transport = Some(TransportReport {
             rto_initial: sp.rto_initial,
             rto_cap: sp.rto_cap,
@@ -1764,6 +2034,7 @@ impl<B: PacketBuffer> ClosFabric<B> {
             in_flight_at_end: sources.iter().map(|s| s.in_flight_len() as u64).sum(),
             retransmissions_outstanding_at_end: sources.iter().map(|s| s.rq_len() as u64).sum(),
             goodput: sink.goodput().to_vec(), // analyze: allow(hotpath-alloc) — report assembly, once after the run
+            first_injection_latency,
         });
         report
     }
@@ -2010,6 +2281,62 @@ impl<B: PacketBuffer> ClosFabric<B> {
         });
         let refused = faults.as_ref().map_or(0, |l| l.refused_cells);
         let lost_cells = buffer_lost + link_dropped_cells + refused;
+        // Probe assembly, once after the run; `None` (and absent from the
+        // serialized report) unless `arm_obs` armed probes.
+        let obs = self.obs.as_ref().map(|oc| {
+            let latency = if oc.latency_hist {
+                let mut merged: Option<Log2Histogram> = None;
+                for switch in &self.egress.switches {
+                    if let Some(hist) = switch.merged_latency_hist() {
+                        merged.get_or_insert_with(Log2Histogram::new).merge(&hist);
+                    }
+                }
+                merged.as_ref().map(HistogramReport::from_hist)
+            } else {
+                None
+            };
+            let stage_obs = |stage: &Stage<B>| {
+                let probes = stage.obs.as_ref();
+                ClosStageObsReport {
+                    stage: stage.stage.label(),
+                    voq_backlog: probes
+                        .and_then(|o| o.voq_backlog.as_ref())
+                        .map(HistogramReport::from_hist),
+                    link_occupancy: probes
+                        .and_then(|o| o.link_occupancy.as_ref())
+                        .map(HistogramReport::from_hist),
+                    series: probes
+                        .and_then(|o| o.series.as_ref())
+                        .map(SeriesReport::from_ring),
+                }
+            };
+            let trace = oc.trace_enabled().then(|| {
+                let mut dropped = 0;
+                let mut parts = Vec::new();
+                for stage in [&self.ingress, &self.middle, &self.egress] {
+                    if let Some(rec) = stage.obs.as_ref().and_then(|o| o.recorder.as_ref()) {
+                        dropped += rec.dropped();
+                        parts.push(rec.events().to_vec());
+                    }
+                }
+                if let Some(plan) = self.plan.as_ref() {
+                    parts.push(self.fault_trace_events(plan));
+                }
+                TraceReport {
+                    dropped,
+                    events: merge_events(parts),
+                }
+            });
+            ClosObsReport {
+                latency,
+                stages: vec![
+                    stage_obs(&self.ingress),
+                    stage_obs(&self.middle),
+                    stage_obs(&self.egress),
+                ],
+                trace,
+            }
+        });
         ClosRunReport {
             radix: config.radix,
             ingress_switches: config.ingress_switches,
@@ -2045,7 +2372,55 @@ impl<B: PacketBuffer> ClosFabric<B> {
             delivered_matrix,
             faults,
             transport: None,
+            obs,
         }
+    }
+
+    /// Synthesizes fault-window open/close markers for the flight-recorder
+    /// timeline: one `fault-open` at each event's start slot and, for bounded
+    /// windows, one `fault-close` at its end. Locations map onto the
+    /// stage/switch/port scheme of the real events; flow fields are zero.
+    fn fault_trace_events(&self, plan: &FaultPlan) -> Vec<TraceEvent> {
+        let radix = self.config.radix as u32;
+        let mut events = Vec::new();
+        for fe in &plan.events {
+            let (stage, switch, port) = match fe.kind {
+                FaultKind::MiddleDeath { switch } => (1, switch as u32, 0),
+                FaultKind::LinkFlap {
+                    boundary,
+                    switch,
+                    output,
+                } => {
+                    let stage = match boundary {
+                        LinkBoundary::IngressMiddle => 0,
+                        LinkBoundary::MiddleEgress => 1,
+                    };
+                    (stage, switch as u32, output as u32)
+                }
+                FaultKind::EgressSlowdown { port, .. } => {
+                    (2, port as u32 / radix, port as u32 % radix)
+                }
+                FaultKind::IngressPortDeath { port } => {
+                    (0, port as u32 / radix, port as u32 % radix)
+                }
+                FaultKind::DropOnFull => (0, 0, 0),
+            };
+            let mark = |slot, kind| TraceEvent {
+                slot,
+                kind,
+                stage,
+                switch,
+                port,
+                src: 0,
+                dest: 0,
+                seq: 0,
+            };
+            events.push(mark(fe.start, EventKind::FaultOpen));
+            if let Some(d) = fe.duration {
+                events.push(mark(fe.start + d, EventKind::FaultClose));
+            }
+        }
+        events
     }
 }
 
@@ -2082,6 +2457,171 @@ impl Serialize for ClosStageReport {
         st.serialize_field("peak_link_depth", &self.peak_link_depth)?;
         st.serialize_field("credit_stall_slots", &self.credit_stall_slots)?;
         st.serialize_field("switches", &self.switches)?;
+        st.end()
+    }
+}
+
+/// Serializable per-stage time-series: the columnar samples of one
+/// [`SeriesRing`]. Sample `i` covers the `stride` slots ending at
+/// `slots[i]`: `transmitted` and `stalls` accumulate over the window,
+/// `occupancy` is read at the sample slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesReport {
+    /// Slots between samples.
+    pub stride: u64,
+    /// Samples lost after the preallocated ring filled.
+    pub dropped: u64,
+    /// Sample slots, ascending.
+    pub slots: Vec<u64>,
+    /// Cells the stage transmitted during each sample window.
+    pub transmitted: Vec<u64>,
+    /// Stage occupancy (VOQ + egress-FIFO + inbound-link cells) at each
+    /// sample slot.
+    pub occupancy: Vec<u64>,
+    /// Credit-stall output-slots accumulated during each sample window.
+    pub stalls: Vec<u64>,
+}
+
+impl SeriesReport {
+    fn from_ring(ring: &SeriesRing) -> Self {
+        let samples = ring.samples();
+        SeriesReport {
+            stride: ring.stride(),
+            dropped: ring.dropped(),
+            slots: samples.iter().map(|s| s.slot).collect(),
+            transmitted: samples.iter().map(|s| s.transmitted).collect(),
+            occupancy: samples.iter().map(|s| s.occupancy).collect(),
+            stalls: samples.iter().map(|s| s.stalls).collect(),
+        }
+    }
+}
+
+impl Serialize for SeriesReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("SeriesReport", 6)?;
+        st.serialize_field("stride", &self.stride)?;
+        st.serialize_field("dropped", &self.dropped)?;
+        st.serialize_field("slots", &self.slots)?;
+        st.serialize_field("transmitted", &self.transmitted)?;
+        st.serialize_field("occupancy", &self.occupancy)?;
+        st.serialize_field("stalls", &self.stalls)?;
+        st.end()
+    }
+}
+
+/// One stage's observability outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosStageObsReport {
+    /// Stage label ("ingress" / "middle" / "egress").
+    pub stage: &'static str,
+    /// VOQ backlog depth histogram (recorded at every enqueue); present
+    /// only when the occupancy probes were armed.
+    pub voq_backlog: Option<HistogramReport>,
+    /// Outbound link occupancy histogram (recorded at every transmit onto
+    /// a link); absent at the egress stage, which has no outbound links.
+    pub link_occupancy: Option<HistogramReport>,
+    /// Slot-sampled throughput/occupancy/stall series, when armed.
+    pub series: Option<SeriesReport>,
+}
+
+impl Serialize for ClosStageObsReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("ClosStageObsReport", 4)?;
+        st.serialize_field("stage", &self.stage)?;
+        if let Some(hist) = &self.voq_backlog {
+            st.serialize_field("voq_backlog", hist)?;
+        }
+        if let Some(hist) = &self.link_occupancy {
+            st.serialize_field("link_occupancy", hist)?;
+        }
+        if let Some(series) = &self.series {
+            st.serialize_field("series", series)?;
+        }
+        st.end()
+    }
+}
+
+/// The merged flight-recorder timeline of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Events that passed the filters after a stage's ring filled.
+    pub dropped: u64,
+    /// The merged timeline, ordered by [`TraceEvent::sort_key`] — a total
+    /// order, so the dump is independent of worker count. Render it as
+    /// Chrome trace-event JSON with [`obs::chrome_trace_json`].
+    pub events: Vec<TraceEvent>,
+}
+
+/// [`TraceEvent`] lives in the zero-dependency `obs` crate, so its serde
+/// wiring lives here.
+struct SerTraceEvent<'a>(&'a TraceEvent);
+
+impl Serialize for SerTraceEvent<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let ev = self.0;
+        let mut st = serializer.serialize_struct("TraceEvent", 8)?;
+        st.serialize_field("event", ev.kind.name())?;
+        st.serialize_field("slot", &ev.slot)?;
+        st.serialize_field("stage", &ev.stage)?;
+        st.serialize_field("switch", &ev.switch)?;
+        st.serialize_field("port", &ev.port)?;
+        st.serialize_field("src", &ev.src)?;
+        st.serialize_field("dest", &ev.dest)?;
+        st.serialize_field("seq", &ev.seq)?;
+        st.end()
+    }
+}
+
+struct SerTraceEvents<'a>(&'a [TraceEvent]);
+
+impl Serialize for SerTraceEvents<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeSeq as _;
+        let mut seq = serializer.serialize_seq(Some(self.0.len()))?;
+        for ev in self.0 {
+            seq.serialize_element(&SerTraceEvent(ev))?;
+        }
+        seq.end()
+    }
+}
+
+impl Serialize for TraceReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("TraceReport", 2)?;
+        st.serialize_field("dropped", &self.dropped)?;
+        st.serialize_field("events", &SerTraceEvents(&self.events))?;
+        st.end()
+    }
+}
+
+/// The observability section of a [`ClosRunReport`]; present only when
+/// [`ClosFabric::arm_obs`] armed probes for the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosObsReport {
+    /// External end-to-end latency histogram merged over every egress
+    /// output line, when the latency probes were armed.
+    pub latency: Option<HistogramReport>,
+    /// Per-stage probes: ingress, middle, egress.
+    pub stages: Vec<ClosStageObsReport>,
+    /// The merged flight-recorder timeline, when the recorder was armed.
+    pub trace: Option<TraceReport>,
+}
+
+impl Serialize for ClosObsReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("ClosObsReport", 3)?;
+        if let Some(latency) = &self.latency {
+            st.serialize_field("latency", latency)?;
+        }
+        st.serialize_field("stages", &self.stages)?;
+        if let Some(trace) = &self.trace {
+            st.serialize_field("trace", trace)?;
+        }
         st.end()
     }
 }
@@ -2161,9 +2701,22 @@ pub struct ClosRunReport {
     /// field is then omitted from the serialized report, keeping open-loop
     /// reports byte-identical to pre-transport output).
     pub transport: Option<TransportReport>,
+    /// Observability probes' outcome; present only when
+    /// [`ClosFabric::arm_obs`] armed probes for the run (and omitted from
+    /// serialization otherwise, keeping uninstrumented reports
+    /// byte-identical to the pre-obs schema).
+    pub obs: Option<ClosObsReport>,
 }
 
 impl ClosRunReport {
+    /// Renders the flight-recorder timeline as Chrome trace-event JSON
+    /// (load it at `chrome://tracing` or in Perfetto), or `None` when no
+    /// recorder was armed for the run.
+    pub fn trace_json(&self) -> Option<String> {
+        let trace = self.obs.as_ref()?.trace.as_ref()?;
+        Some(obs::chrome_trace_json(&trace.events))
+    }
+
     /// Checks cell conservation fabric-wide, across every hand-off:
     ///
     /// * every switch of every stage balances via
@@ -2305,6 +2858,10 @@ impl Serialize for ClosRunReport {
         // Likewise: only closed-loop runs carry a transport report.
         if let Some(transport) = &self.transport {
             st.serialize_field("transport", transport)?;
+        }
+        // And only instrumented runs carry an obs section.
+        if let Some(obs) = &self.obs {
+            st.serialize_field("obs", obs)?;
         }
         st.end()
     }
@@ -3110,5 +3667,162 @@ mod tests {
         let config = ClosConfig::new(3, 3, 3);
         let t = TransportConfig::default();
         let _ = clos(config).run_transport(&mut sweep_sources(&config, &t), 100, 1);
+    }
+
+    #[test]
+    fn obs_off_is_byte_identical_to_an_unarmed_run() {
+        let config = ClosConfig::new(3, 3, 3);
+        let baseline = clos(config).run(&mut uniform(&config, 0.7, 9), 1_500, 1);
+        let mut armed = clos(config);
+        armed.arm_obs(&obs::ObsConfig::off());
+        let report = armed.run(&mut uniform(&config, 0.7, 9), 1_500, 1);
+        assert_eq!(report, baseline);
+        assert!(report.obs.is_none());
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(
+            !json.contains("\"obs\""),
+            "uninstrumented reports must not carry an obs field"
+        );
+        assert_eq!(json, serde_json::to_string(&baseline).unwrap());
+    }
+
+    fn series_config() -> obs::ObsConfig {
+        obs::ObsConfig {
+            series_stride: 100,
+            series_capacity: 64,
+            ..obs::ObsConfig::standard()
+        }
+    }
+
+    #[test]
+    fn armed_probes_stay_schedule_invariant_and_report_real_measurements() {
+        let config = ClosConfig::new(3, 3, 2);
+        let run = |workers: usize| {
+            let mut fabric = clos(config);
+            fabric.arm_obs(&series_config());
+            if workers == 0 {
+                fabric.run_reference(&mut uniform(&config, 0.8, 13), 2_500)
+            } else {
+                fabric.run(&mut uniform(&config, 0.8, 13), 2_500, workers)
+            }
+        };
+        let reference = run(0);
+        for workers in [1usize, 2, 3] {
+            assert_eq!(run(workers), reference, "workers={workers} diverged");
+        }
+        let obs = reference.obs.as_ref().expect("armed run reports probes");
+        let latency = obs.latency.as_ref().expect("latency probes armed");
+        assert_eq!(
+            latency.count, reference.delivered,
+            "every delivered cell is timed"
+        );
+        assert!(latency.p50 <= latency.p95 && latency.p95 <= latency.p99);
+        assert!(latency.p99 <= latency.max && latency.min <= latency.p50);
+        assert_eq!(obs.stages.len(), 3);
+        for (stage, label) in obs.stages.iter().zip(["ingress", "middle", "egress"]) {
+            assert_eq!(stage.stage, label);
+            let backlog = stage.voq_backlog.as_ref().expect("occupancy probes armed");
+            assert!(backlog.count > 0, "{label} saw enqueues");
+            assert!(backlog.min >= 1, "depth is recorded after the enqueue");
+            let series = stage.series.as_ref().expect("series probes armed");
+            assert_eq!(series.stride, 100);
+            assert_eq!(series.dropped, 0);
+            assert!(!series.slots.is_empty());
+            assert!(series.slots.windows(2).all(|w| w[1] == w[0] + 100));
+            assert!(series.transmitted.iter().sum::<u64>() > 0);
+        }
+        assert!(
+            obs.stages[0].link_occupancy.is_some() && obs.stages[1].link_occupancy.is_some(),
+            "forwarding stages watch their outbound links"
+        );
+        assert!(
+            obs.stages[2].link_occupancy.is_none(),
+            "the egress stage has no outbound links"
+        );
+        // Per-output percentiles ride along on the egress switch reports.
+        let egress_out = &reference.stages[2].switches[0].per_output[0];
+        assert!(egress_out.latency_p50_slots.is_some());
+        assert!(reference.trace_json().is_none(), "no recorder armed");
+    }
+
+    #[test]
+    fn flight_recorder_captures_the_death_and_flap_lifecycle() {
+        let config = ClosConfig::new(4, 4, 4);
+        let t = TransportConfig {
+            rto_initial: 16,
+            rto_cap: 256,
+            ..TransportConfig::default()
+        };
+        let plan = death_and_flap_plan();
+        let oc = obs::ObsConfig {
+            trace_capacity: 1 << 20,
+            ..series_config()
+        };
+        let run = |workers: usize| {
+            let mut fabric = transport_clos(config, &t, Some(&plan));
+            fabric.arm_obs(&oc);
+            fabric.run_transport(&mut sweep_sources(&config, &t), 3_000, workers)
+        };
+        let reference = run(1);
+        assert_eq!(run(2), reference, "traced runs stay schedule-invariant");
+        let obs_report = reference.obs.as_ref().unwrap();
+        let trace = obs_report.trace.as_ref().expect("recorder armed");
+        assert_eq!(trace.dropped, 0, "capacity covers the whole run");
+        assert!(
+            trace
+                .events
+                .windows(2)
+                .all(|w| w[0].sort_key() <= w[1].sort_key()),
+            "the merged timeline is totally ordered"
+        );
+        let count = |kind: EventKind| trace.events.iter().filter(|e| e.kind == kind).count();
+        for kind in [
+            EventKind::Inject,
+            EventKind::VoqEnqueue,
+            EventKind::Grant,
+            EventKind::LinkTraverse,
+            EventKind::Retransmit,
+            EventKind::EgressTransmit,
+        ] {
+            assert!(count(kind) > 0, "missing {} events", kind.name());
+        }
+        let rt = reference.transport.as_ref().unwrap();
+        // Every copy entering the fabric gets an inject event — fresh cells
+        // and retransmitted copies alike.
+        assert_eq!(
+            count(EventKind::Inject) as u64,
+            rt.injected_cells + rt.retransmitted_cells
+        );
+        assert_eq!(count(EventKind::Retransmit) as u64, rt.retransmitted_cells);
+        let marks: Vec<(u64, EventKind)> = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::FaultOpen | EventKind::FaultClose))
+            .map(|e| (e.slot, e.kind))
+            .collect();
+        assert_eq!(
+            marks,
+            vec![
+                (500, EventKind::FaultOpen),
+                (1_300, EventKind::FaultClose),
+                (1_600, EventKind::FaultOpen),
+                (1_900, EventKind::FaultClose),
+            ],
+            "fault windows bracket the timeline"
+        );
+        // The transport-layer latency histogram covers every acked cell —
+        // including the retransmitted ones, whose recovery shows up as a
+        // tail of at least one full RTO.
+        let first = rt.first_injection_latency.as_ref().unwrap();
+        assert_eq!(first.count, rt.acked_cells);
+        assert!(
+            first.max >= t.rto_initial,
+            "a retransmitted cell waited out at least one timer: {first:?}"
+        );
+        // And the whole thing renders as a Chrome trace.
+        let json = reference.trace_json().expect("recorder armed");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"retransmit\"") && json.contains("\"fault-open\""));
+        assert!(serde_json::from_str::<serde_json::Value>(&json).is_ok());
     }
 }

@@ -9,6 +9,7 @@
 //! same one) and leave at the line-rate cadence, where the end-to-end latency
 //! — transmit slot minus line-side arrival slot — is recorded.
 
+use obs::Log2Histogram;
 use pktbuf_model::Cell;
 use std::collections::VecDeque;
 
@@ -29,6 +30,9 @@ pub struct EgressPort {
     latency_max: u64,
     /// Deepest the transmit FIFO has been.
     peak_depth: usize,
+    /// Optional log2 latency histogram; `None` (the default) records nothing
+    /// and keeps the port byte-identical to the uninstrumented path.
+    latency_hist: Option<Log2Histogram>,
 }
 
 /// Number of accrual points (multiples of `period`) in `[0, end)`.
@@ -48,7 +52,19 @@ impl EgressPort {
             latency_sum: 0,
             latency_max: 0,
             peak_depth: 0,
+            latency_hist: None,
         }
+    }
+
+    /// Arms the per-port latency histogram. Call before the first slot; the
+    /// histogram then records every transmitted cell's end-to-end latency.
+    pub fn arm_latency_hist(&mut self) {
+        self.latency_hist = Some(Log2Histogram::new());
+    }
+
+    /// The armed latency histogram, if any.
+    pub fn latency_hist(&self) -> Option<&Log2Histogram> {
+        self.latency_hist.as_ref()
     }
 
     /// Accrues the line-rate credit at the start of slot `slot`.
@@ -93,6 +109,9 @@ impl EgressPort {
         self.transmitted += 1;
         self.latency_sum += latency;
         self.latency_max = self.latency_max.max(latency);
+        if let Some(hist) = self.latency_hist.as_mut() {
+            hist.record(latency);
+        }
         Some(cell)
     }
 

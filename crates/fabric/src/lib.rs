@@ -29,6 +29,11 @@
 //!   ports ack and deduplicate, closed-loop sources
 //!   ([`traffic::ClosedLoopSource`]) retransmit what the fault layer killed,
 //!   and [`RecoveryReport`] measures how fast goodput returns to baseline.
+//! * observability — deterministic probes armed via
+//!   [`ClosFabric::arm_obs`] with an [`obs::ObsConfig`]: end-to-end latency
+//!   and occupancy histograms, slot-sampled per-stage time-series and a
+//!   cell-lifecycle flight recorder, reported in [`ClosObsReport`]. Off by
+//!   default, and the off path is byte-identical to an unarmed run.
 //!
 //! # Example
 //!
@@ -74,12 +79,15 @@ mod switch;
 pub mod transport;
 
 pub use arbiter::{ArbiterKind, CrossbarArbiter};
-pub use clos::{ClosConfig, ClosFabric, ClosRunReport, ClosStage, ClosStageReport, DispatchPolicy};
+pub use clos::{
+    ClosConfig, ClosFabric, ClosObsReport, ClosRunReport, ClosStage, ClosStageObsReport,
+    ClosStageReport, DispatchPolicy, SeriesReport, TraceReport,
+};
 pub use egress::EgressPort;
 pub use faults::{
     FaultEvent, FaultImpact, FaultKind, FaultLedger, FaultPlan, FaultPlanError, LinkBoundary,
 };
 pub use port::PortBuffer;
-pub use report::{EgressReport, FabricRunReport, PortReport};
+pub use report::{EgressReport, FabricRunReport, HistogramReport, PortReport};
 pub use switch::{FabricConfig, NullSink, StageSink, VoqSwitch, FABRIC_CHUNK_SLOTS};
 pub use transport::{RecoveryReport, TransportConfig, TransportReport};

@@ -1,8 +1,60 @@
 //! Structured results of one fabric run: per-port, per-output and
 //! matrix-level accounting.
 
+use obs::Log2Histogram;
 use pktbuf::BufferStats;
 use serde::{Serialize, Serializer};
+
+/// Serializable summary of a [`Log2Histogram`]: sample count, exact extrema,
+/// integer-rank percentiles and the raw log2 bucket counts. Derived at report
+/// time; absent from reports when the corresponding probe was not armed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramReport {
+    /// Recorded samples.
+    pub count: u64,
+    /// Smallest recorded sample (0 when empty).
+    pub min: u64,
+    /// Largest recorded sample.
+    pub max: u64,
+    /// Integer-rank median (see `obs::Log2Histogram::percentile`).
+    pub p50: u64,
+    /// Integer-rank 95th percentile.
+    pub p95: u64,
+    /// Integer-rank 99th percentile.
+    pub p99: u64,
+    /// Log2 bucket counts; index `i` counts samples of bit length `i`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramReport {
+    /// Summarizes a histogram for inclusion in a report.
+    pub fn from_hist(hist: &Log2Histogram) -> Self {
+        HistogramReport {
+            count: hist.count(),
+            min: hist.min(),
+            max: hist.max(),
+            p50: hist.p50(),
+            p95: hist.p95(),
+            p99: hist.p99(),
+            buckets: hist.buckets().to_vec(),
+        }
+    }
+}
+
+impl Serialize for HistogramReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("HistogramReport", 7)?;
+        st.serialize_field("count", &self.count)?;
+        st.serialize_field("min", &self.min)?;
+        st.serialize_field("max", &self.max)?;
+        st.serialize_field("p50", &self.p50)?;
+        st.serialize_field("p95", &self.p95)?;
+        st.serialize_field("p99", &self.p99)?;
+        st.serialize_field("buckets", &self.buckets)?;
+        st.end()
+    }
+}
 
 /// One ingress port's outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +97,13 @@ pub struct EgressReport {
     pub max_latency_slots: u64,
     /// Mean end-to-end latency over transmitted cells, slots.
     pub mean_latency_slots: f64,
+    /// Histogram-derived median latency in slots; present only when the
+    /// port's latency histogram was armed (`ObsConfig` latency probes).
+    pub latency_p50_slots: Option<u64>,
+    /// Histogram-derived 95th-percentile latency, when armed.
+    pub latency_p95_slots: Option<u64>,
+    /// Histogram-derived 99th-percentile latency, when armed.
+    pub latency_p99_slots: Option<u64>,
 }
 
 impl Serialize for EgressReport {
@@ -55,6 +114,17 @@ impl Serialize for EgressReport {
         st.serialize_field("peak_queue_depth", &self.peak_queue_depth)?;
         st.serialize_field("max_latency_slots", &self.max_latency_slots)?;
         st.serialize_field("mean_latency_slots", &self.mean_latency_slots)?;
+        // Instrumented-only fields are omitted (not null) when unarmed so the
+        // off path serializes byte-identically to the pre-obs schema.
+        if let Some(p50) = &self.latency_p50_slots {
+            st.serialize_field("latency_p50_slots", p50)?;
+        }
+        if let Some(p95) = &self.latency_p95_slots {
+            st.serialize_field("latency_p95_slots", p95)?;
+        }
+        if let Some(p99) = &self.latency_p99_slots {
+            st.serialize_field("latency_p99_slots", p99)?;
+        }
         st.end()
     }
 }
@@ -94,6 +164,10 @@ pub struct FabricRunReport {
     pub mean_latency_slots: f64,
     /// Largest end-to-end latency observed on any output, slots.
     pub max_latency_slots: u64,
+    /// Merged end-to-end latency histogram over every output (count, min,
+    /// max, p50/p95/p99, log2 buckets); present only when the latency
+    /// probes were armed.
+    pub latency_histogram: Option<HistogramReport>,
     /// Whether every worst-case guarantee held on every port.
     pub zero_loss: bool,
     /// Per-ingress-port outcomes.
@@ -178,6 +252,11 @@ impl Serialize for FabricRunReport {
         st.serialize_field("per_output", &self.per_output)?;
         st.serialize_field("arrivals_matrix", &self.arrivals_matrix)?;
         st.serialize_field("departures_matrix", &self.departures_matrix)?;
+        // Omitted entirely when the latency probes were not armed, keeping
+        // uninstrumented reports byte-identical to the pre-obs schema.
+        if let Some(latency) = &self.latency_histogram {
+            st.serialize_field("latency_histogram", latency)?;
+        }
         st.end()
     }
 }

@@ -396,6 +396,28 @@ impl<B: PacketBuffer> VoqSwitch<B> {
         self.matches
     }
 
+    /// Arms the per-output latency histograms (the `obs` latency probe).
+    /// Call before the first slot; unarmed switches stay byte-identical to
+    /// the uninstrumented path.
+    pub fn arm_latency_obs(&mut self) {
+        for egress in &mut self.egress {
+            egress.arm_latency_hist();
+        }
+    }
+
+    /// End-to-end latency histogram merged across every output, when the
+    /// latency probes are armed.
+    pub fn merged_latency_hist(&self) -> Option<obs::Log2Histogram> {
+        let mut merged: Option<obs::Log2Histogram> = None;
+        for egress in &self.egress {
+            let hist = egress.latency_hist()?;
+            merged
+                .get_or_insert_with(obs::Log2Histogram::new)
+                .merge(hist);
+        }
+        merged
+    }
+
     /// Builds this switch's [`FabricRunReport`] for a run driven externally
     /// through [`VoqSwitch::step_coupled`]: `active_slots` and
     /// `active_matches` carry the composed run's active-phase boundary (see
@@ -494,6 +516,9 @@ impl<B: PacketBuffer> VoqSwitch<B> {
                 peak_queue_depth: egress.peak_depth() as u64,
                 max_latency_slots: egress.max_latency(),
                 mean_latency_slots: egress.mean_latency(),
+                latency_p50_slots: egress.latency_hist().map(obs::Log2Histogram::p50),
+                latency_p95_slots: egress.latency_hist().map(obs::Log2Histogram::p95),
+                latency_p99_slots: egress.latency_hist().map(obs::Log2Histogram::p99),
             })
             .collect();
         let transmitted: u64 = per_output.iter().map(|o| o.transmitted).sum();
@@ -506,6 +531,10 @@ impl<B: PacketBuffer> VoqSwitch<B> {
             .iter()
             .map(|o| o.mean_latency_slots * o.transmitted as f64)
             .sum();
+        let latency_histogram = self
+            .merged_latency_hist()
+            .as_ref()
+            .map(crate::HistogramReport::from_hist);
         FabricRunReport {
             ports,
             arbiter: self.arbiter.kind().label(),
@@ -536,6 +565,7 @@ impl<B: PacketBuffer> VoqSwitch<B> {
                 .map(|o| o.max_latency_slots)
                 .max()
                 .unwrap_or(0),
+            latency_histogram,
             zero_loss: lost_cells == 0 && per_port.iter().all(|p| p.stats.is_loss_free()),
             per_port,
             per_output,

@@ -219,6 +219,12 @@ pub struct TransportReport {
     pub retransmissions_outstanding_at_end: u64,
     /// Unique deliveries per `goodput_bucket`-slot window.
     pub goodput: Vec<u64>,
+    /// Transport-layer latency (first injection to ack) merged over every
+    /// source, when the latency probes were armed via `ClosFabric::arm_obs`.
+    /// Unlike the fabric-level latency histogram — which times each
+    /// *delivered copy* from its last injection — this spans retransmissions
+    /// and resurrections, so recovery tails are not under-counted.
+    pub first_injection_latency: Option<crate::HistogramReport>,
 }
 
 impl Serialize for TransportReport {
@@ -244,6 +250,11 @@ impl Serialize for TransportReport {
             &self.retransmissions_outstanding_at_end,
         )?;
         st.serialize_field("goodput", &self.goodput)?;
+        // Omitted when the latency probes were not armed, keeping
+        // uninstrumented transport reports byte-identical.
+        if let Some(latency) = &self.first_injection_latency {
+            st.serialize_field("first_injection_latency", latency)?;
+        }
         st.end()
     }
 }
@@ -263,6 +274,13 @@ pub struct RecoveryReport {
     pub recovery_slot: Option<u64>,
     /// `recovery_slot - fault_close_slot`, if recovery was observed.
     pub slots_to_recover: Option<u64>,
+    /// Faulted run's transport-layer latency median (first injection to
+    /// ack), in slots; present when its latency probes were armed.
+    pub latency_p50_slots: Option<u64>,
+    /// Faulted run's transport-layer 95th-percentile latency, when armed.
+    pub latency_p95_slots: Option<u64>,
+    /// Faulted run's transport-layer 99th-percentile latency, when armed.
+    pub latency_p99_slots: Option<u64>,
 }
 
 impl Serialize for RecoveryReport {
@@ -273,6 +291,17 @@ impl Serialize for RecoveryReport {
         st.serialize_field("recovered", &self.recovered)?;
         st.serialize_field("recovery_slot", &self.recovery_slot)?;
         st.serialize_field("slots_to_recover", &self.slots_to_recover)?;
+        // Omitted when the faulted run carried no latency probes, keeping
+        // pre-obs recovery reports byte-identical.
+        if let Some(p50) = &self.latency_p50_slots {
+            st.serialize_field("latency_p50_slots", p50)?;
+        }
+        if let Some(p95) = &self.latency_p95_slots {
+            st.serialize_field("latency_p95_slots", p95)?;
+        }
+        if let Some(p99) = &self.latency_p99_slots {
+            st.serialize_field("latency_p99_slots", p99)?;
+        }
         st.end()
     }
 }
@@ -309,12 +338,16 @@ impl RecoveryReport {
             .max()?;
         let first_bucket = close.div_ceil(bucket) as usize;
         let horizon = base_t.goodput.len().min(fault_t.goodput.len());
+        let hist = fault_t.first_injection_latency.as_ref();
         let mut report = RecoveryReport {
             fault_close_slot: close,
             bucket_slots: bucket,
             recovered: false,
             recovery_slot: None,
             slots_to_recover: None,
+            latency_p50_slots: hist.map(|h| h.p50),
+            latency_p95_slots: hist.map(|h| h.p95),
+            latency_p99_slots: hist.map(|h| h.p99),
         };
         for b in first_bucket..horizon {
             if fault_t.goodput[b] * 100 >= base_t.goodput[b] * 95 {

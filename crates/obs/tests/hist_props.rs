@@ -1,0 +1,75 @@
+//! Property tests for the histogram algebra the reports depend on: merging
+//! per-worker partials must be associative and commutative, and any
+//! partitioning of a sample stream must merge back to the single-stream
+//! histogram.
+
+use obs::Log2Histogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn hist_of(samples: &[u64]) -> Log2Histogram {
+    let mut h = Log2Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `merge` is commutative: a ⊎ b == b ⊎ a.
+    #[test]
+    fn merge_is_commutative(
+        a in vec(0u64..1 << 20, 0..200),
+        b in vec(0u64..1 << 20, 0..200),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb;
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// `merge` is associative: (a ⊎ b) ⊎ c == a ⊎ (b ⊎ c).
+    #[test]
+    fn merge_is_associative(
+        a in vec(0u64..1 << 20, 0..200),
+        b in vec(0u64..1 << 20, 0..200),
+        c in vec(0u64..1 << 20, 0..200),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut right_tail = hb;
+        right_tail.merge(&hc);
+        let mut right = ha;
+        right.merge(&right_tail);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Any partitioning of a sample stream into per-worker shards merges back
+    /// to the single-worker histogram, percentiles included.
+    #[test]
+    fn partition_merge_equals_single_stream(
+        samples in vec(0u64..1 << 24, 1..400),
+        workers in 1usize..=5,
+    ) {
+        let whole = hist_of(&samples);
+        let mut shards = vec![Log2Histogram::new(); workers];
+        for (i, &v) in samples.iter().enumerate() {
+            shards[i % workers].record(v);
+        }
+        let mut merged = Log2Histogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(merged.p50(), whole.p50());
+        prop_assert_eq!(merged.p95(), whole.p95());
+        prop_assert_eq!(merged.p99(), whole.p99());
+        prop_assert_eq!(merged.max(), whole.max());
+    }
+}

@@ -271,6 +271,131 @@ impl<'de> Deserialize<'de> for TransportScenario {
     }
 }
 
+/// The observability layer of a Clos scenario: which deterministic probes
+/// ([`obs::ObsConfig`]) the run arms before slot 0. The default arms
+/// nothing, and an all-off scenario leaves the run byte-identical to an
+/// unarmed one (the same discipline as an empty fault plan).
+///
+/// The flight-recorder flow filter is not an experiment axis — a scenario
+/// either records every flow inside the slot window or none; per-flow
+/// filtering stays a programmatic [`obs::TraceFilter`] concern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsScenario {
+    /// Arm end-to-end latency histograms (and first-injection latency under
+    /// transport).
+    pub latency_hist: bool,
+    /// Arm per-VOQ backlog and per-link credit-occupancy histograms.
+    pub occupancy_hist: bool,
+    /// Time-series sampling stride in slots; 0 disables the series probes.
+    pub series_stride: u64,
+    /// Maximum samples kept per stage series ring.
+    pub series_capacity: usize,
+    /// Flight-recorder ring capacity per stage; 0 disables the recorder.
+    pub trace_capacity: usize,
+    /// First slot (inclusive) the flight recorder is armed for.
+    pub trace_from_slot: u64,
+    /// Last slot (inclusive) the flight recorder is armed for.
+    pub trace_to_slot: u64,
+}
+
+impl Default for ObsScenario {
+    fn default() -> Self {
+        let c = obs::ObsConfig::off();
+        ObsScenario {
+            latency_hist: c.latency_hist,
+            occupancy_hist: c.occupancy_hist,
+            series_stride: c.series_stride,
+            series_capacity: c.series_capacity,
+            trace_capacity: c.trace_capacity,
+            trace_from_slot: c.trace_from_slot,
+            trace_to_slot: c.trace_to_slot,
+        }
+    }
+}
+
+impl ObsScenario {
+    /// The histogram + series preset ([`obs::ObsConfig::standard`]).
+    pub fn standard() -> Self {
+        let c = obs::ObsConfig::standard();
+        ObsScenario {
+            latency_hist: c.latency_hist,
+            occupancy_hist: c.occupancy_hist,
+            series_stride: c.series_stride,
+            series_capacity: c.series_capacity,
+            trace_capacity: c.trace_capacity,
+            trace_from_slot: c.trace_from_slot,
+            trace_to_slot: c.trace_to_slot,
+        }
+    }
+
+    /// The obs-crate probe configuration (every flow admitted).
+    pub fn to_config(self) -> obs::ObsConfig {
+        obs::ObsConfig {
+            latency_hist: self.latency_hist,
+            occupancy_hist: self.occupancy_hist,
+            series_stride: self.series_stride,
+            series_capacity: self.series_capacity,
+            trace_capacity: self.trace_capacity,
+            trace_flows: Vec::new(),
+            trace_from_slot: self.trace_from_slot,
+            trace_to_slot: self.trace_to_slot,
+        }
+    }
+
+    /// True when no probe is armed (the scenario is then a no-op).
+    pub fn is_off(self) -> bool {
+        self.to_config().is_off()
+    }
+}
+
+impl Serialize for ObsScenario {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("ObsScenario", 7)?;
+        st.serialize_field("latency_hist", &self.latency_hist)?;
+        st.serialize_field("occupancy_hist", &self.occupancy_hist)?;
+        st.serialize_field("series_stride", &self.series_stride)?;
+        st.serialize_field("series_capacity", &self.series_capacity)?;
+        st.serialize_field("trace_capacity", &self.trace_capacity)?;
+        st.serialize_field("trace_from_slot", &self.trace_from_slot)?;
+        st.serialize_field("trace_to_slot", &self.trace_to_slot)?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for ObsScenario {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = ObsScenario;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an observability scenario object")
+            }
+            fn visit_map<A: de::MapAccess<'de>>(self, mut map: A) -> Result<ObsScenario, A::Error> {
+                let mut o = ObsScenario::default();
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "latency_hist" => o.latency_hist = map.next_value()?,
+                        "occupancy_hist" => o.occupancy_hist = map.next_value()?,
+                        "series_stride" => o.series_stride = map.next_value()?,
+                        "series_capacity" => o.series_capacity = map.next_value()?,
+                        "trace_capacity" => o.trace_capacity = map.next_value()?,
+                        "trace_from_slot" => o.trace_from_slot = map.next_value()?,
+                        "trace_to_slot" => o.trace_to_slot = map.next_value()?,
+                        other => {
+                            return Err(de::Error::custom(format_args!(
+                                "unknown obs scenario field {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(o)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
 /// Why a Clos scenario is invalid.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClosScenarioError {
@@ -393,6 +518,9 @@ pub struct ClosScenario {
     /// byte-identical to a pre-transport one). When present, the open-loop
     /// `workload`, `load_percent` and `seed` axes are ignored.
     pub transport: Option<TransportScenario>,
+    /// Deterministic probes armed before slot 0 (`None` or all-off leaves
+    /// the run byte-identical to an unarmed one).
+    pub obs: Option<ObsScenario>,
 }
 
 impl ClosScenario {
@@ -422,6 +550,7 @@ impl ClosScenario {
             overrides: ConfigOverrides::none(),
             faults: FaultPlan::none(),
             transport: None,
+            obs: None,
         }
     }
 
@@ -667,6 +796,9 @@ impl ClosScenario {
         if !self.faults.is_empty() {
             fabric.arm_faults(&self.faults);
         }
+        if let Some(o) = &self.obs {
+            fabric.arm_obs(&o.to_config());
+        }
         let ext = self.external_ports();
         if let Some(t) = &self.transport {
             // Closed-loop demand is deterministic, so the skip-free
@@ -762,6 +894,9 @@ impl Serialize for ClosScenario {
         if let Some(transport) = &self.transport {
             st.serialize_field("transport", transport)?;
         }
+        if let Some(obs) = &self.obs {
+            st.serialize_field("obs", obs)?;
+        }
         st.end()
     }
 }
@@ -807,6 +942,7 @@ impl<'de> Deserialize<'de> for ClosScenario {
                         "overrides" => scenario.overrides = map.next_value()?,
                         "faults" => scenario.faults = map.next_value()?,
                         "transport" => scenario.transport = Some(map.next_value()?),
+                        "obs" => scenario.obs = Some(map.next_value()?),
                         other => {
                             return Err(de::Error::custom(format_args!(
                                 "unknown Clos scenario field {other:?}"
@@ -881,6 +1017,9 @@ pub struct ClosSpec {
     /// open-loop; combinations without cut-through buffers are skipped like
     /// any other invalid point).
     pub transport: Option<TransportScenario>,
+    /// Deterministic probes armed in every expanded run (`None` or all-off
+    /// leaves each run byte-identical to an unarmed one).
+    pub obs: Option<ObsScenario>,
 }
 
 impl ClosSpec {
@@ -958,6 +1097,7 @@ impl ClosSpec {
                                                     overrides: self.overrides,
                                                     faults: self.faults.clone(),
                                                     transport: self.transport,
+                                                    obs: self.obs,
                                                 };
                                                 if scenario.validate().is_ok() {
                                                     runs.push(scenario);
@@ -1041,6 +1181,7 @@ impl Default for ClosSpecBuilder {
                 overrides: ConfigOverrides::none(),
                 faults: FaultPlan::none(),
                 transport: None,
+                obs: None,
             },
         }
     }
@@ -1185,6 +1326,12 @@ impl ClosSpecBuilder {
         self
     }
 
+    /// Arms deterministic probes in every expanded run.
+    pub fn obs(mut self, obs: ObsScenario) -> Self {
+        self.spec.obs = Some(obs);
+        self
+    }
+
     /// Finalises the spec, checking that it expands to at least one run.
     ///
     /// # Errors
@@ -1226,6 +1373,9 @@ impl Serialize for ClosSpec {
         }
         if let Some(transport) = &self.transport {
             st.serialize_field("transport", transport)?;
+        }
+        if let Some(obs) = &self.obs {
+            st.serialize_field("obs", obs)?;
         }
         st.serialize_field("kind", &"clos")?;
         st.end()
@@ -1269,6 +1419,7 @@ impl<'de> Deserialize<'de> for ClosSpec {
                         "overrides" => spec.overrides = map.next_value()?,
                         "faults" => spec.faults = map.next_value()?,
                         "transport" => spec.transport = Some(map.next_value()?),
+                        "obs" => spec.obs = Some(map.next_value()?),
                         "kind" => {
                             let kind: String = map.next_value()?;
                             if kind != "clos" {
@@ -1422,12 +1573,21 @@ impl ClosLabReport {
             "peak_link_depth",
             "mean_latency_slots",
             "max_latency_slots",
+            "latency_p50_slots",
+            "latency_p95_slots",
+            "latency_p99_slots",
             "zero_loss",
             "conserving",
         ]);
         for run in &self.runs {
             let s = &run.scenario;
             let r = &run.report;
+            // Percentile columns are empty unless the run armed the latency
+            // probes (obs is an opt-in axis, not a default cost).
+            let latency = r.obs.as_ref().and_then(|o| o.latency.as_ref());
+            let pct = |f: fn(&::fabric::HistogramReport) -> u64| {
+                latency.map(|h| f(h).to_string()).unwrap_or_default()
+            };
             table.push_row(vec![
                 run.index.to_string(),
                 s.radix.to_string(),
@@ -1452,6 +1612,9 @@ impl ClosLabReport {
                 r.peak_link_depth.to_string(),
                 format!("{:.3}", r.mean_latency_slots),
                 r.max_latency_slots.to_string(),
+                pct(|h| h.p50),
+                pct(|h| h.p95),
+                pct(|h| h.p99),
                 r.zero_loss.to_string(),
                 r.conservation_holds().to_string(),
             ]);
@@ -1708,6 +1871,89 @@ mod tests {
             .runs
             .iter()
             .all(|run| run.transport == spec.transport));
+    }
+
+    #[test]
+    fn obs_scenario_round_trips_and_reaches_every_expanded_run() {
+        let scenario = ClosScenario {
+            obs: Some(ObsScenario {
+                series_stride: 50,
+                series_capacity: 32,
+                ..ObsScenario::standard()
+            }),
+            ..quick()
+        };
+        let json = serde_json::to_string_pretty(&scenario).unwrap();
+        assert!(json.contains("\"obs\""));
+        let back: ClosScenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scenario);
+        // Unarmed scenarios keep their pre-obs shape on the wire.
+        let unarmed = serde_json::to_string_pretty(ClosScenario::small()).unwrap();
+        assert!(!unarmed.contains("\"obs\""));
+        assert!(
+            serde_json::from_str::<ClosScenario>("{\"radix\": 4, \"obs\": {\"x\": 1}}").is_err()
+        );
+        // A spec carries the probes into every expanded run.
+        let spec = ClosSpec::builder()
+            .load_percent(Sweep::list([60, 85]))
+            .arrival_slots(400)
+            .obs(ObsScenario::standard())
+            .build()
+            .unwrap();
+        assert_eq!(ClosSpec::from_json(&spec.to_json()).unwrap(), spec);
+        let expansion = spec.expand().unwrap();
+        assert!(expansion.runs.iter().all(|run| run.obs == spec.obs));
+    }
+
+    #[test]
+    fn armed_scenario_reports_probes_and_fills_the_csv_percentiles() {
+        let armed = ClosScenario {
+            obs: Some(ObsScenario::standard()),
+            ..quick()
+        };
+        let report = armed.run();
+        let obs = report.obs.as_ref().expect("armed run reports probes");
+        let latency = obs.latency.as_ref().expect("latency histogram");
+        assert_eq!(latency.count, report.delivered);
+        assert!(latency.p50 <= latency.p95 && latency.p95 <= latency.p99);
+        // An all-off obs layer leaves the run byte-identical to `None`.
+        let off = ClosScenario {
+            obs: Some(ObsScenario::default()),
+            ..quick()
+        };
+        let baseline = quick().run();
+        assert_eq!(off.run(), baseline);
+        assert!(baseline.obs.is_none());
+        // The lab CSV exposes the percentiles for armed runs and leaves the
+        // columns empty for unarmed ones.
+        let lab = ClosLabReport {
+            spec: ClosSpec::builder().build().unwrap(),
+            skipped_invalid: 0,
+            runs: vec![
+                ClosRunRecord {
+                    index: 0,
+                    scenario: armed,
+                    report: report.clone(),
+                },
+                ClosRunRecord {
+                    index: 1,
+                    scenario: quick(),
+                    report: baseline,
+                },
+            ],
+            aggregate: ClosAggregate::default(),
+        };
+        let csv = lab.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("latency_p50_slots,latency_p95_slots,latency_p99_slots"));
+        let armed_row = lines.next().unwrap();
+        assert!(armed_row.contains(&format!(
+            ",{},{},{},",
+            latency.p50, latency.p95, latency.p99
+        )));
+        let unarmed_row = lines.next().unwrap();
+        assert!(unarmed_row.contains(",,,"));
     }
 
     #[test]

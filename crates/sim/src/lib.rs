@@ -77,7 +77,9 @@ pub mod scenario;
 pub mod spec;
 pub mod techeval;
 
-pub use crate::clos::{ClosLabReport, ClosScenario, ClosSpec, TransportMode, TransportScenario};
+pub use crate::clos::{
+    ClosLabReport, ClosScenario, ClosSpec, ObsScenario, TransportMode, TransportScenario,
+};
 pub use crate::fabric::{FabricScenario, FabricSpec};
 pub use ::fabric::{
     FaultEvent, FaultKind, FaultLedger, FaultPlan, FaultPlanError, LinkBoundary, RecoveryReport,

@@ -24,7 +24,8 @@
 //! [`ClosedLoopSource::poll`] for at most one cell to inject. Acks are
 //! `(dest, seq)` pairs; duplicate acks are ignored.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use obs::Log2Histogram;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Fixed-point scale for the congestion window (10 fractional bits), so the
 /// additive-increase step `1/cwnd` per ack needs no floating point.
@@ -114,6 +115,10 @@ impl ClosedLoopConfig {
 struct Outstanding {
     /// Slot of the most recent (re)transmission.
     last_sent: u64,
+    /// Slot of the *first* transmission — never re-stamped on a retry, so a
+    /// retransmitted cell's transport-layer latency (first injection to ack)
+    /// is measured over its whole recovery, not just the last copy.
+    first_sent: u64,
     /// Current RTO; doubles on every retry, capped at `rto_cap`.
     rto: u64,
     /// Absolute slot at which the timer fires (`last_sent + rto`).
@@ -149,14 +154,19 @@ pub struct ClosedLoopSource {
     in_flight: BTreeMap<(u32, u64), Outstanding>,
     /// Timed-out cells waiting for a retransmission slot.
     rq: VecDeque<(u32, u64, Outstanding)>,
-    /// Cells that exhausted `max_retries`. A late ack removes the entry and
-    /// decrements `gave_up`, so abandonment never double-counts a delivery.
-    abandoned: BTreeSet<(u32, u64)>,
+    /// Cells that exhausted `max_retries`, mapped to their first-injection
+    /// slot. A late ack removes the entry and decrements `gave_up`, so
+    /// abandonment never double-counts a delivery.
+    abandoned: BTreeMap<(u32, u64), u64>,
     injected: u64,
     retransmitted: u64,
     timeouts: u64,
     acked: u64,
     gave_up: u64,
+    /// Transport-layer latency histogram (first injection to ack), armed by
+    /// [`ClosedLoopSource::arm_latency_obs`]; `None` keeps the hot path free
+    /// of histogram work.
+    first_injection_hist: Option<Log2Histogram>,
 }
 
 impl ClosedLoopSource {
@@ -176,12 +186,32 @@ impl ClosedLoopSource {
             next_decrease_ok: 0,
             in_flight: BTreeMap::new(),
             rq: VecDeque::new(),
-            abandoned: BTreeSet::new(),
+            abandoned: BTreeMap::new(),
             injected: 0,
             retransmitted: 0,
             timeouts: 0,
             acked: 0,
             gave_up: 0,
+            first_injection_hist: None,
+        }
+    }
+
+    /// Arms the transport-layer latency histogram: every subsequent ack
+    /// records `ack slot − first-injection slot`. Covers retransmitted and
+    /// resurrected cells, which fabric-level (last-copy) latency
+    /// under-counts. Off by default; arming changes no transport behaviour.
+    pub fn arm_latency_obs(&mut self) {
+        self.first_injection_hist = Some(Log2Histogram::new());
+    }
+
+    /// The armed transport-layer latency histogram, if any.
+    pub fn first_injection_hist(&self) -> Option<&Log2Histogram> {
+        self.first_injection_hist.as_ref()
+    }
+
+    fn record_latency(&mut self, first_sent: u64, slot: u64) {
+        if let Some(hist) = self.first_injection_hist.as_mut() {
+            hist.record(slot.saturating_sub(first_sent));
         }
     }
 
@@ -217,6 +247,7 @@ impl ClosedLoopSource {
         let key = (dest, seq);
         if let Some(out) = self.in_flight.remove(&key) {
             self.acked += 1;
+            self.record_latency(out.first_sent, slot);
             if out.retries == 0 {
                 // Karn's rule: only retry-free samples feed the RTT estimate.
                 let rtt = slot.saturating_sub(out.last_sent).max(1);
@@ -230,12 +261,15 @@ impl ClosedLoopSource {
         } else if let Some(pos) = self.rq.iter().position(|&(d, s, _)| (d, s) == key) {
             // Acked while queued for retransmission: the original copy made
             // it after all. Drop the pending retry.
-            self.rq.remove(pos);
-            self.acked += 1;
-            self.grow_window();
-        } else if self.abandoned.remove(&key) {
+            if let Some((_, _, out)) = self.rq.remove(pos) {
+                self.acked += 1;
+                self.record_latency(out.first_sent, slot);
+                self.grow_window();
+            }
+        } else if let Some(first_sent) = self.abandoned.remove(&key) {
             self.gave_up -= 1;
             self.acked += 1;
+            self.record_latency(first_sent, slot);
         }
         // Otherwise: duplicate ack for an already-acked cell. Ignore.
     }
@@ -261,7 +295,7 @@ impl ClosedLoopSource {
             *timeouts += 1;
             fired = true;
             if out.retries >= cfg.max_retries {
-                abandoned.insert(key);
+                abandoned.insert(key, out.first_sent);
                 *gave_up += 1;
             } else {
                 rq.push_back((key.0, key.1, *out));
@@ -318,6 +352,7 @@ impl ClosedLoopSource {
             (dest, seq),
             Outstanding {
                 last_sent: slot,
+                first_sent: slot,
                 rto,
                 deadline: slot + rto,
                 retries: 0,
@@ -556,6 +591,61 @@ mod tests {
         let (d2, q2) = s.poll(6_000, true).unwrap();
         s.on_ack(d2, q2, 6_007);
         assert_eq!(s.srtt(), 7);
+    }
+
+    #[test]
+    fn first_injection_latency_spans_retransmissions_and_resurrections() {
+        let mut s = ClosedLoopSource::new(0, 2, DemandPattern::Sweep, cfg());
+        s.arm_latency_obs();
+        // Retransmitted cell: latency counts from the *first* copy.
+        let (d, q) = s.poll(10, true).unwrap();
+        s.expire_timers(100);
+        assert_eq!(s.poll(100, false), Some((d, q)));
+        s.on_ack(d, q, 110);
+        let hist = s.first_injection_hist().unwrap();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.max(), 100, "110 − 10, not 110 − 100");
+        // Clean cell: plain RTT.
+        let (d2, q2) = s.poll(200, true).unwrap();
+        s.on_ack(d2, q2, 205);
+        assert_eq!(s.first_injection_hist().unwrap().min(), 5);
+        // Abandoned-then-resurrected cell keeps its original injection slot.
+        let mut a = ClosedLoopSource::new(0, 2, DemandPattern::Sweep, cfg());
+        a.arm_latency_obs();
+        let (d3, q3) = a.poll(0, true).unwrap();
+        let mut slot = 0;
+        while !a.is_quiet() {
+            a.expire_timers(slot + 1000);
+            slot += 1000;
+            let _ = a.poll(slot, false);
+        }
+        assert_eq!(a.gave_up(), 1);
+        a.on_ack(d3, q3, slot + 500);
+        let hist = a.first_injection_hist().unwrap();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.max(), slot + 500);
+    }
+
+    #[test]
+    fn unarmed_sources_behave_identically_to_armed_ones() {
+        let run = |armed: bool| {
+            let mut s = ClosedLoopSource::new(2, 8, DemandPattern::Sweep, cfg());
+            if armed {
+                s.arm_latency_obs();
+            }
+            let mut events = Vec::new();
+            for slot in 0..2_000u64 {
+                s.expire_timers(slot);
+                if let Some((d, q)) = s.poll(slot, true) {
+                    events.push((slot, d, q));
+                    if !(d as u64 + q).is_multiple_of(7) {
+                        s.on_ack(d, q, slot + 5);
+                    }
+                }
+            }
+            (events, s.injected(), s.retransmitted(), s.acked())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! zero-loss envelope.
 
 use future_packet_buffers::sim::clos::{
-    ClosScenario, DispatchChoice, TransportMode, TransportScenario,
+    ClosScenario, DispatchChoice, ObsScenario, TransportMode, TransportScenario,
 };
 use future_packet_buffers::sim::fabric::{
     ArbiterChoice, FabricDesign, FabricScenario, FabricSpec, FabricWorkload,
@@ -280,6 +280,70 @@ proptest! {
         // Same-seed replay is bit-identical, whatever the worker count.
         prop_assert_eq!(&scenario.run(), &report);
         prop_assert_eq!(&scenario.run_with_workers(3), &report);
+    }
+
+    /// Observability invariant over random Clos shapes: arming every probe —
+    /// histograms, series, flight recorder — changes nothing about the run's
+    /// results and stays worker-count-invariant (per-worker histogram
+    /// partials merge to the single-worker report, the merged trace is
+    /// identical), while an all-off obs layer leaves the whole report
+    /// byte-identical to an unarmed run.
+    #[test]
+    fn armed_clos_probes_are_schedule_invariant_and_off_is_free(
+        radix in 2usize..=4,
+        ingress in 2usize..=3,
+        middle_raw in 1usize..=4,
+        dispatch_index in 0usize..2,
+        load_percent in 40u64..=85,
+        series_stride in 40u64..=200,
+        arrival_slots in 400u64..=800,
+        seed in 0u64..10_000,
+    ) {
+        let base = ClosScenario {
+            radix,
+            ingress_switches: ingress,
+            middle_switches: middle_raw.min(radix),
+            dispatch: DispatchChoice::all()[dispatch_index],
+            load_percent,
+            arrival_slots,
+            seed,
+            ..ClosScenario::small()
+        };
+        let baseline = base.run();
+        // All probes off (explicitly or by absence) is byte-identical.
+        let off = ClosScenario { obs: Some(ObsScenario::default()), ..base.clone() };
+        prop_assert_eq!(&off.run(), &baseline);
+        // Every probe armed: the traffic results are unchanged, the probes
+        // report real measurements, and any schedule produces the same
+        // report bit for bit.
+        let armed = ClosScenario {
+            obs: Some(ObsScenario {
+                series_stride,
+                series_capacity: 64,
+                trace_capacity: 1 << 14,
+                ..ObsScenario::standard()
+            }),
+            ..base
+        };
+        let report = armed.run_reference();
+        // The probes only *add* sections (per-output percentiles, the obs
+        // report); every traffic-level result is unchanged.
+        prop_assert_eq!(report.delivered, baseline.delivered);
+        prop_assert_eq!(report.arrivals, baseline.arrivals);
+        prop_assert_eq!(report.lost_cells, baseline.lost_cells);
+        prop_assert_eq!(report.reordered_cells, baseline.reordered_cells);
+        prop_assert_eq!(report.credit_stall_slots, baseline.credit_stall_slots);
+        prop_assert_eq!(report.slots, baseline.slots);
+        prop_assert_eq!(report.mean_latency_slots, baseline.mean_latency_slots);
+        prop_assert_eq!(report.max_latency_slots, baseline.max_latency_slots);
+        prop_assert_eq!(&report.delivered_matrix, &baseline.delivered_matrix);
+        let obs = report.obs.as_ref().expect("armed runs always report");
+        let latency = obs.latency.as_ref().expect("latency probes were armed");
+        prop_assert_eq!(latency.count, report.delivered);
+        prop_assert!(latency.p50 <= latency.p95 && latency.p99 <= latency.max);
+        for workers in [1usize, 2, 3] {
+            prop_assert_eq!(&armed.run_with_workers(workers), &report);
+        }
     }
 }
 

@@ -165,13 +165,28 @@ impl Parser<'_> {
                 Some(b) if b < 0x20 => {
                     return Err(self.error("unescaped control character in string"))
                 }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Copy one UTF-8 scalar (the input is a &str, so byte
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
-                    let ch = s.chars().next().expect("non-empty by peek");
+                    // Copy one multi-byte UTF-8 scalar. Validate at most 4
+                    // bytes — never the whole remaining input, which would
+                    // make string parsing quadratic on large documents. A
+                    // window that cuts the *next* scalar short still has a
+                    // valid prefix containing this one (the input is a
+                    // &str, so scalar boundaries are intact).
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("validated prefix")
+                        }
+                        Err(_) => return Err(self.error("invalid UTF-8 in string")),
+                    };
+                    let ch = valid.chars().next().expect("non-empty by peek");
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
